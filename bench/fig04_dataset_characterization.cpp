@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 4: RM2_1 embedding-stage performance across input
+ * types — (a) batch latency, (b) average load latency and L1D/L2/L3
+ * hit rates — for {one-item, High, Medium, Low, random}.
+ *
+ * Paper shape: one-item is the regular best case (load latency ~=
+ * L1D hit latency); hit rates fall and load latency rises toward
+ * random, with up to ~16x spread in average load latency (key
+ * takeaway 2 of Sec. 3.3).
+ */
+
+#include "common.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 4",
+                "RM2_1 embedding-stage comparison across datasets",
+                "Single core, Cascade Lake model, batch size 64.");
+
+    const auto cpu = platform::cascadeLake();
+    const auto model = core::rm2_1();
+
+    std::printf("\n%-12s %-12s %-12s %-9s %-9s %-9s\n", "Input",
+                "Batch(ms)", "LoadLat(cy)", "L1D hit", "L2 hit",
+                "L3 hit");
+
+    double one_item_lat = 0.0, worst_lat = 0.0;
+    for (auto h :
+         {traces::Hotness::OneItem, traces::Hotness::High,
+          traces::Hotness::Medium, traces::Hotness::Low,
+          traces::Hotness::Random}) {
+        const auto cfg = makeConfig(cpu, model, h,
+                                    core::Scheme::Baseline, 1);
+        const auto r = platform::compose(cfg, cachedSimulate(cfg));
+        std::printf("%-12s %-12.2f %-12.1f %-9.3f %-9.3f %-9.3f\n",
+                    traces::hotnessName(h).c_str(), r.embMs,
+                    r.embTiming.avgLoadLatency,
+                    r.sim.vtuneL1HitRate(), r.sim.l2HitRate(),
+                    r.sim.l3HitRate());
+        if (h == traces::Hotness::OneItem)
+            one_item_lat = r.embTiming.avgLoadLatency;
+        worst_lat = std::max(worst_lat, r.embTiming.avgLoadLatency);
+    }
+    std::printf("\nLoad-latency spread one-item vs worst: %.1fx "
+                "(paper: up to ~16x)\n",
+                worst_lat / one_item_lat);
+    std::printf("one-item avg load latency %.1f cy vs L1D hit latency "
+                "%.0f cy (paper: nearly equal)\n",
+                one_item_lat, cpu.l1LatencyCycles);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 5: sorted hot-embedding access counts for the
+ * three dataset hotness classes, plus the unique-access fractions of
+ * Sec. 5 (Low 60%, Medium 24%, High 3%).
+ */
+
+#include "common.hpp"
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 5", "Hot embedding access counts (sorted)",
+                "One rm2_1-shaped table over the paper's 120-batch "
+                "window; counts at log-spaced ranks.");
+
+    const auto model = core::rm2_1();
+    const std::size_t window = quickMode() ? 30 : 120;
+
+    std::printf("\n%-12s", "rank");
+    for (std::size_t rank = 1; rank <= 1u << 20; rank *= 4)
+        std::printf("%9zu", rank);
+    std::printf("\n");
+
+    for (auto h : {traces::Hotness::High, traces::Hotness::Medium,
+                   traces::Hotness::Low}) {
+        traces::TraceConfig tc =
+            traces::TraceConfig::forModel(model, h, 1);
+        tc.numBatches = window;
+        traces::TraceGenerator gen(tc);
+        const auto st =
+            traces::computeAccessStats(gen.tableStream(0, 0, window));
+
+        std::printf("%-12s", traces::hotnessName(h).c_str());
+        for (std::size_t rank = 1; rank <= 1u << 20; rank *= 4) {
+            if (rank <= st.sortedCounts.size())
+                std::printf("%9llu",
+                            static_cast<unsigned long long>(
+                                st.sortedCounts[rank - 1]));
+            else
+                std::printf("%9s", "-");
+        }
+        std::printf("\n");
+        std::printf("%-12s unique=%.1f%% (paper %.0f%%)  "
+                    "top-1024 rows carry %.1f%% of accesses\n",
+                    "", 100.0 * st.uniqueFraction(),
+                    100.0 * traces::targetUniqueFraction(h),
+                    100.0 * st.topKShare(1024));
+    }
+    std::printf("\nShape check: power-law head steepens from Low to "
+                "High hot (Fig. 5's ordering).\n");
+    return 0;
+}

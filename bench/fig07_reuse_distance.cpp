@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Fig. 7: reuse-distance histograms of the rm2_1
+ * embedding index trace for the three datasets at 24 cores / batch
+ * 64, with the cache-capacity hit-rate markers (L1D/L2/L3 in
+ * embedding vectors) and the cold-miss fraction.
+ *
+ * Paper shape: L1D-scale hit rates are very poor everywhere; cold
+ * misses reach ~72% (Low) and remain ~22% even for High hot (key
+ * takeaway 4); an inter-batch reuse bump sits at very large
+ * distances (the thick red arrow).
+ */
+
+#include "common.hpp"
+#include "memsim/reuse_model.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 7", "Reuse distance study (rm2_1, 24 cores)",
+                "Distances are in distinct embedding rows; capacities "
+                "are caches expressed in 512 B row vectors.");
+
+    const auto model = core::rm2_1();
+    const auto cpu = platform::cascadeLake();
+
+    for (auto h : {traces::Hotness::High, traces::Hotness::Medium,
+                   traces::Hotness::Low}) {
+        memsim::ReuseModelConfig rc;
+        rc.trace = traces::TraceConfig::forModel(model, h, 1);
+        rc.trace.tables = simTables(); // fold like the evaluator
+        rc.trace.hotSetSize = static_cast<std::size_t>(
+            1024.0 * model.tables / rc.trace.tables);
+        rc.dim = model.dim;
+        rc.cores = quickMode() ? 8 : 24;
+        rc.numBatches = rc.cores;
+        rc.cacheBytes = {cpu.l1.sizeBytes, cpu.l2.sizeBytes,
+                         cpu.l3.sizeBytes};
+        const auto res = memsim::runReuseModel(rc);
+
+        std::printf("\n-- %s --\n", traces::hotnessName(h).c_str());
+        std::printf("accesses=%llu distinct rows=%llu cold=%.1f%%\n",
+                    static_cast<unsigned long long>(
+                        res.hist.totalAccesses),
+                    static_cast<unsigned long long>(res.distinctRows),
+                    100.0 * res.coldFraction());
+        std::printf("hit rate @ L1D (%llu vecs) = %.3f, @ L2 (%llu) = "
+                    "%.3f, @ L3 (%llu) = %.3f\n",
+                    static_cast<unsigned long long>(
+                        res.capacityVectors[0]),
+                    res.hitRates[0],
+                    static_cast<unsigned long long>(
+                        res.capacityVectors[1]),
+                    res.hitRates[1],
+                    static_cast<unsigned long long>(
+                        res.capacityVectors[2]),
+                    res.hitRates[2]);
+
+        std::printf("distance histogram (log2 bins, %% of accesses):\n");
+        for (std::size_t b = 0; b < res.hist.bins.size(); ++b) {
+            const double pct = 100.0 *
+                               static_cast<double>(res.hist.bins[b]) /
+                               static_cast<double>(
+                                   res.hist.totalAccesses);
+            if (pct >= 0.05) {
+                std::printf("  [2^%-2zu, 2^%-2zu): %6.2f%% %s\n", b,
+                            b + 1, pct,
+                            std::string(
+                                static_cast<std::size_t>(pct), '#')
+                                .c_str());
+            }
+        }
+    }
+    std::printf("\nPaper reference: cold misses up to 72%% (Low), "
+                "~22%% (High); L1D hit rates \"very bad\" in all "
+                "datasets.\n");
+    return 0;
+}

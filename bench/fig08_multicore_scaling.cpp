@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 8: multi-core scalability of rm2_1 — (a) per-batch
+ * execution time and (b) aggregate memory bandwidth as the core
+ * count grows from 1 to 24 (batch-per-core mapping).
+ *
+ * Paper shape: from 1 to 24 cores, execution time grows only ~14%
+ * while bandwidth grows ~15.5x, yet stays below the socket peak —
+ * the headroom the SW-PF scheme later exploits (Sec. 3.2).
+ */
+
+#include "common.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 8", "Multi-core scaling of rm2_1",
+                "Execution time (ms/batch) and DRAM bandwidth (GB/s) "
+                "vs active cores; Cascade Lake, 140 GB/s peak.");
+
+    const auto cpu = platform::cascadeLake();
+    const auto model = core::rm2_1();
+    // 48 engages the second socket (the full 2 x 6240R machine).
+    const std::size_t core_list_full[] = {1, 2, 4, 8, 16, 24, 48};
+    const std::size_t core_list_quick[] = {1, 4, 8};
+    const auto *cores = quickMode() ? core_list_quick : core_list_full;
+    const std::size_t n = quickMode() ? 3 : 7;
+
+    for (auto h : {traces::Hotness::Low, traces::Hotness::Medium,
+                   traces::Hotness::High}) {
+        std::printf("\n-- %s --\n", traces::hotnessName(h).c_str());
+        std::printf("%-7s %-12s %-12s %-8s\n", "Cores", "Batch(ms)",
+                    "BW(GB/s)", "DRAM rho");
+        double t1 = 0.0, bw1 = 0.0, tn = 0.0, bwn = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto cfg = makeConfig(cpu, model, h,
+                                        core::Scheme::Baseline,
+                                        cores[i]);
+            const auto r = platform::compose(cfg, cachedSimulate(cfg));
+            std::printf("%-7zu %-12.2f %-12.1f %-8.2f\n", cores[i],
+                        r.embMs, r.embTiming.achievedGBs,
+                        r.embTiming.dramUtilization);
+            if (i == 0) {
+                t1 = r.embMs;
+                bw1 = r.embTiming.achievedGBs;
+            }
+            if (cores[i] == 24) {
+                tn = r.embMs;
+                bwn = r.embTiming.achievedGBs;
+            }
+        }
+        std::printf("1 -> 24 cores: time x%.2f (paper Low: ~1.14), "
+                    "bandwidth x%.1f (paper Low: ~15.5)\n",
+                    tn / t1, bwn / bw1);
+    }
+    return 0;
+}

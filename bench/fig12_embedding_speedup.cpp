@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Fig. 12: embedding-only speedups of w/o HW-PF and SW-PF
+ * over the baseline for the embedding-heavy models (rm2_1..3) across
+ * datasets, (a) single-core and (b) multi-core (24 cores).
+ *
+ * Paper bands: SW-PF 1.25-1.47x single-core, 1.16-1.43x multi-core;
+ * best on Low Hot; w/o HW-PF slightly slow except High Hot.
+ */
+
+#include "common.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 12", "Embedding-only speedups (rm2_1..3)",
+                "Speedup over Baseline (HW-PF on); Cascade Lake.");
+
+    const auto cpu = platform::cascadeLake();
+    std::vector<core::ModelConfig> models = {core::rm2_1(),
+                                             core::rm2_2(),
+                                             core::rm2_3()};
+    if (quickMode())
+        models.resize(1);
+
+    for (std::size_t cores : {std::size_t(1), std::size_t(24)}) {
+        std::printf("\n-- (%s) %zu core(s) --\n",
+                    cores == 1 ? "a" : "b", cores);
+        std::printf("%-8s %-12s %-12s %-12s %-12s\n", "Model",
+                    "Dataset", "Base(ms)", "w/oHW-PF", "SW-PF");
+        double min_pf = 1e9, max_pf = 0.0;
+        for (const auto& m : models) {
+            for (auto h :
+                 {traces::Hotness::High, traces::Hotness::Medium,
+                  traces::Hotness::Low}) {
+                auto cfg = makeConfig(cpu, m, h,
+                                      core::Scheme::Baseline, cores);
+                const auto base =
+                    platform::compose(cfg, cachedSimulate(cfg));
+                cfg.scheme = core::Scheme::HwPfOff;
+                const auto off =
+                    platform::compose(cfg, cachedSimulate(cfg));
+                cfg.scheme = core::Scheme::SwPf;
+                const auto pf =
+                    platform::compose(cfg, cachedSimulate(cfg));
+
+                const double s_off = base.embMs / off.embMs;
+                const double s_pf = base.embMs / pf.embMs;
+                min_pf = std::min(min_pf, s_pf);
+                max_pf = std::max(max_pf, s_pf);
+                std::printf("%-8s %-12s %-12.2f %-12.2f %-12.2f\n",
+                            m.name.c_str(),
+                            traces::hotnessName(h).c_str(),
+                            base.embMs, s_off, s_pf);
+            }
+        }
+        std::printf("SW-PF speedup range: %.2fx - %.2fx (paper: "
+                    "%s)\n", min_pf, max_pf,
+                    cores == 1 ? "1.25x - 1.47x" : "1.16x - 1.43x");
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 14: end-to-end speedups of all design points on
+ * the mixed model RM1 (RMC1 class, embedding ~65%).
+ *
+ * Paper shape: SW-PF averages ~1.1x (less irregularity to hide);
+ * MP-HT 1.25-1.37x (better overlap opportunity than RMC2 models);
+ * Integrated is non-linear, 1.37-1.54x; w/o HW-PF degrades (~0.85x)
+ * because the MLP stages rely on regular-pattern HW prefetching.
+ */
+
+#include "common.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+int
+main()
+{
+    printHeader("Fig. 14", "End-to-end speedups, mixed model RM1",
+                "Speedup over Baseline; Cascade Lake, 24 cores "
+                "(single-core shown for completeness).");
+
+    const auto cpu = platform::cascadeLake();
+    const auto model = core::rm1();
+
+    for (std::size_t cores : {std::size_t(1), std::size_t(24)}) {
+        if (quickMode() && cores != 1)
+            continue;
+        std::printf("\n-- %zu core(s) --\n", cores);
+        std::printf("%-12s %-10s %-8s %-8s %-8s %-8s %-10s\n",
+                    "Dataset", "Base(ms)", "w/oHW", "SW-PF", "DP-HT",
+                    "MP-HT", "Integrated");
+        double sum_pf = 0.0, sum_mp_lo = 1e9, sum_mp_hi = 0.0;
+        double int_lo = 1e9, int_hi = 0.0;
+        int cells = 0;
+        for (auto h : {traces::Hotness::High, traces::Hotness::Medium,
+                       traces::Hotness::Low}) {
+            const auto r = evalAllSchemes(makeConfig(
+                cpu, model, h, core::Scheme::Baseline, cores));
+            std::printf("%-12s %-10.2f %-8.2f %-8.2f %-8.2f %-8.2f "
+                        "%-10.2f\n",
+                        traces::hotnessName(h).c_str(), r.base.batchMs,
+                        r.speedup(r.off), r.speedup(r.swpf),
+                        r.speedup(r.dpht), r.speedup(r.mpht),
+                        r.speedup(r.integ));
+            sum_pf += r.speedup(r.swpf);
+            sum_mp_lo = std::min(sum_mp_lo, r.speedup(r.mpht));
+            sum_mp_hi = std::max(sum_mp_hi, r.speedup(r.mpht));
+            int_lo = std::min(int_lo, r.speedup(r.integ));
+            int_hi = std::max(int_hi, r.speedup(r.integ));
+            ++cells;
+        }
+        std::printf("SW-PF avg %.2fx (paper ~1.1x); MP-HT %.2f-%.2fx "
+                    "(paper 1.25-1.37x); Integrated %.2f-%.2fx "
+                    "(paper 1.37-1.54x)\n",
+                    sum_pf / cells, sum_mp_lo, sum_mp_hi, int_lo,
+                    int_hi);
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Table 4: batch execution time (ms) of the
+ * embedding-only stage, multi-core (24 cores), for all four models
+ * and three datasets, under HW-PF OFF / Baseline / SW-PF.
+ *
+ * Paper values are printed alongside the model's for a direct
+ * comparison (also recorded in EXPERIMENTS.md).
+ */
+
+#include "common.hpp"
+
+using namespace dlrmopt;
+using namespace dlrmopt::bench;
+
+namespace
+{
+
+/** Table 4 of the paper, indexed [hotness][model][scheme]. */
+struct PaperRow
+{
+    double off, base, swpf;
+};
+
+// Order: rm2_1, rm2_2, rm2_3, rm1.
+const PaperRow paperLow[4] = {{72.59, 74.36, 51.91},
+                              {180.42, 180.88, 129.61},
+                              {306.77, 303.56, 232.79},
+                              {11.23, 10.95, 9.14}};
+const PaperRow paperMed[4] = {{48.94, 49.65, 36.74},
+                              {115.76, 120.48, 90.88},
+                              {196.93, 201.87, 146.39},
+                              {7.33, 6.62, 5.31}};
+const PaperRow paperHigh[4] = {{32.92, 29.89, 24.43},
+                               {83.18, 70.28, 60.65},
+                               {126.54, 124.84, 99.26},
+                               {5.85, 4.68, 3.95}};
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Table 4",
+                "Embedding-only batch time (ms), multi-core",
+                "Model vs paper; Cascade Lake, 24 cores, batch 64.");
+
+    const auto cpu = platform::cascadeLake();
+    const std::size_t cores = quickMode() ? 8 : 24;
+    auto models = core::allModels();
+
+    const struct
+    {
+        traces::Hotness h;
+        const char *name;
+        const PaperRow *paper;
+    } groups[] = {{traces::Hotness::Low, "Low", paperLow},
+                  {traces::Hotness::Medium, "Medium", paperMed},
+                  {traces::Hotness::High, "High", paperHigh}};
+
+    for (const auto& g : groups) {
+        std::printf("\n-- %s Hot --\n", g.name);
+        std::printf("%-8s %-22s %-22s %-22s\n", "Model",
+                    "HW-PF OFF (model/paper)",
+                    "Baseline (model/paper)", "SW-PF (model/paper)");
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            if (quickMode() && i > 0)
+                break;
+            const auto& m = models[i];
+            auto cfg = makeConfig(cpu, m, g.h, core::Scheme::HwPfOff,
+                                  cores);
+            const auto off =
+                platform::compose(cfg, cachedSimulate(cfg));
+            cfg.scheme = core::Scheme::Baseline;
+            const auto base =
+                platform::compose(cfg, cachedSimulate(cfg));
+            cfg.scheme = core::Scheme::SwPf;
+            const auto pf =
+                platform::compose(cfg, cachedSimulate(cfg));
+            std::printf("%-8s %9.2f /%9.2f  %9.2f /%9.2f  %9.2f "
+                        "/%9.2f\n",
+                        m.name.c_str(), off.embMs, g.paper[i].off,
+                        base.embMs, g.paper[i].base, pf.embMs,
+                        g.paper[i].swpf);
+        }
+    }
+    std::printf("\nShape checks: times rise Low > Medium > High and "
+                "rm2_3 > rm2_2 > rm2_1 >> rm1; SW-PF < Baseline "
+                "everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trace characterization walkthrough (Sec. 3 of the paper): generate
+ * or load an embedding-lookup trace, then report its hotness
+ * statistics, reuse-distance profile, and modeled cache hit rates —
+ * the Fig. 5/6/7 analysis as a reusable tool.
+ *
+ * Usage:
+ *   characterize_trace [low|medium|high|random|one-item] [cores]
+ *   characterize_trace --file trace.bin [cores]
+ *
+ * The --file form reads a trace previously written with
+ * traces::saveTrace() (e.g. exported from production inputs in the
+ * offsets/indices layout of Meta's dlrm_datasets).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "memsim/reuse.hpp"
+#include "memsim/reuse_model.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+
+using namespace dlrmopt;
+
+namespace
+{
+
+traces::Hotness
+parseHotness(const char *s)
+{
+    const std::string v = s;
+    if (v == "low")
+        return traces::Hotness::Low;
+    if (v == "medium")
+        return traces::Hotness::Medium;
+    if (v == "high")
+        return traces::Hotness::High;
+    if (v == "random")
+        return traces::Hotness::Random;
+    if (v == "one-item")
+        return traces::Hotness::OneItem;
+    std::fprintf(stderr, "unknown hotness '%s'\n", s);
+    std::exit(1);
+}
+
+void
+reportStats(const std::vector<RowIndex>& stream, const char *label)
+{
+    const auto st = traces::computeAccessStats(stream);
+    std::printf("\n-- access statistics (%s) --\n", label);
+    std::printf("accesses: %llu, unique rows: %zu (%.1f%% unique)\n",
+                static_cast<unsigned long long>(st.totalAccesses),
+                st.uniqueRows(), 100.0 * st.uniqueFraction());
+    std::printf("hottest row: %llu accesses; top-64: %.1f%%; "
+                "top-1024: %.1f%% of traffic\n",
+                st.sortedCounts.empty()
+                    ? 0ull
+                    : static_cast<unsigned long long>(
+                          st.sortedCounts.front()),
+                100.0 * st.topKShare(64), 100.0 * st.topKShare(1024));
+
+    const auto hist = memsim::computeReuseHistogram(
+        std::vector<std::uint64_t>(stream.begin(), stream.end()));
+    std::printf("cold accesses: %.1f%%\n", 100.0 * hist.coldFraction());
+    std::printf("fully-associative hit rate at 64 rows (L1D-sized): "
+                "%.3f; at 2048 rows (L2): %.3f; at 73216 rows (LLC): "
+                "%.3f\n",
+                hist.hitRateAtCapacity(64),
+                hist.hitRateAtCapacity(2048),
+                hist.hitRateAtCapacity(73'216));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--file") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr, "--file needs a path\n");
+            return 1;
+        }
+        const auto batches = traces::loadTrace(argv[2]);
+        std::printf("loaded %zu batches from %s\n", batches.size(),
+                    argv[2]);
+        if (batches.empty())
+            return 0;
+        // Analyze table 0 across all batches.
+        std::vector<RowIndex> stream;
+        for (const auto& b : batches) {
+            stream.insert(stream.end(), b.indices[0].begin(),
+                          b.indices[0].end());
+        }
+        reportStats(stream, "table 0 of file");
+        return 0;
+    }
+
+    const traces::Hotness h =
+        argc > 1 ? parseHotness(argv[1]) : traces::Hotness::Medium;
+    const std::size_t cores =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+
+    const auto model = core::rm2_1();
+    traces::TraceConfig tc = traces::TraceConfig::forModel(model, h, 1);
+    tc.numBatches = 40;
+    traces::TraceGenerator gen(tc);
+
+    std::printf("synthetic %s trace for %s (%zu tables, %zu "
+                "lookups/sample, calibrated uniform fraction %.3f)\n",
+                traces::hotnessName(h).c_str(), model.name.c_str(),
+                model.tables, model.lookups, gen.uniformFraction());
+
+    reportStats(gen.tableStream(0, 0, tc.numBatches), "table 0");
+
+    // The multi-core reuse model of Fig. 6/7.
+    memsim::ReuseModelConfig rc;
+    rc.trace = tc;
+    rc.trace.tables = 12; // keep the example snappy
+    rc.dim = model.dim;
+    rc.cores = cores;
+    rc.numBatches = std::max<std::size_t>(cores, 8);
+    const auto res = memsim::runReuseModel(rc);
+    std::printf("\n-- multi-core reuse model (%zu cores, %zu tables "
+                "folded) --\n", cores, rc.trace.tables);
+    std::printf("cold: %.1f%%; hit rates L1D/L2/LLC = %.3f / %.3f / "
+                "%.3f\n",
+                100.0 * res.coldFraction(), res.hitRates[0],
+                res.hitRates[1], res.hitRates[2]);
+    std::printf("\nInterpretation (Sec. 3.3): reuse distances beyond "
+                "the LLC capacity and high cold fractions are why "
+                "LRU caches cannot capture this working set — the "
+                "motivation for application-level prefetching.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Platform explorer: evaluate any (CPU platform, model, dataset,
+ * scheme, core count) point on the simulated-server path — the same
+ * machinery behind the figure benches — and print the full result:
+ * stage times, cache behaviour, prefetch accounting, and bandwidth.
+ *
+ * Usage:
+ *   platform_explorer [cpu] [model] [hotness] [cores]
+ *     cpu     = SKL | CSL | ICL | SPR | Zen3        (default CSL)
+ *     model   = rm1 | rm2_1 | rm2_2 | rm2_3         (default rm2_1)
+ *     hotness = low | medium | high                 (default low)
+ *     cores   = 1..N                                (default 8)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "platform/evaluator.hpp"
+
+using namespace dlrmopt;
+
+namespace
+{
+
+traces::Hotness
+parseHotness(const std::string& v)
+{
+    if (v == "low")
+        return traces::Hotness::Low;
+    if (v == "medium")
+        return traces::Hotness::Medium;
+    if (v == "high")
+        return traces::Hotness::High;
+    std::fprintf(stderr, "unknown hotness '%s'\n", v.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    platform::EvalConfig cfg;
+    cfg.cpu = platform::cpuByName(argc > 1 ? argv[1] : "CSL");
+    cfg.model = core::modelByName(argc > 2 ? argv[2] : "rm2_1");
+    cfg.hotness = parseHotness(argc > 3 ? argv[3] : "low");
+    cfg.cores = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 8;
+    cfg.maxSimTables = 24; // keep interactive latency reasonable
+
+    std::printf("platform %s (%zu cores, %.1f GHz, LLC %.1f MB, "
+                "%.0f GB/s), model %s, %s, %zu active cores\n",
+                cfg.cpu.name.c_str(), cfg.cpu.cores, cfg.cpu.freqGHz,
+                cfg.cpu.l3.sizeBytes / (1024.0 * 1024.0),
+                cfg.cpu.dramBandwidthGBs, cfg.model.name.c_str(),
+                traces::hotnessName(cfg.hotness).c_str(), cfg.cores);
+
+    std::printf("\n%-12s %9s %9s %9s %9s %9s | %8s %8s %7s\n",
+                "scheme", "batch ms", "bottom", "emb", "inter", "top",
+                "L1D hit", "lat(cy)", "GB/s");
+    double base = 0.0;
+    for (auto s : core::allSchemes) {
+        cfg.scheme = s;
+        const auto r = platform::evaluate(cfg);
+        if (s == core::Scheme::Baseline)
+            base = r.batchMs;
+        std::printf("%-12s %9.2f %9.2f %9.2f %9.2f %9.2f | %8.3f "
+                    "%8.1f %7.1f",
+                    core::schemeName(s).c_str(), r.batchMs,
+                    r.stages.bottom, r.stages.emb, r.stages.inter,
+                    r.stages.top, r.sim.vtuneL1HitRate(),
+                    r.embTiming.avgLoadLatency,
+                    r.embTiming.achievedGBs);
+        if (base > 0.0)
+            std::printf("  %5.2fx", base / r.batchMs);
+        std::printf("\n");
+
+        if (s == core::Scheme::SwPf) {
+            std::printf("%-12s   prefetch: issued %llu lines, "
+                        "useless %llu, DRAM fills %llu, covered "
+                        "%llu\n",
+                        "",
+                        static_cast<unsigned long long>(
+                            r.sim.swPfIssued),
+                        static_cast<unsigned long long>(
+                            r.sim.swPfUseless),
+                        static_cast<unsigned long long>(
+                            r.sim.swPfDramFills),
+                        static_cast<unsigned long long>(
+                            r.sim.swCoveredTotal()));
+        }
+    }
+    std::printf("\nSLA target for this model class: %.0f ms\n",
+                cfg.model.slaMs());
+    return 0;
+}

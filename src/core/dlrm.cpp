@@ -1,0 +1,78 @@
+#include "core/dlrm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/gemm.hpp"
+#include "core/interaction.hpp"
+
+namespace dlrmopt::core
+{
+
+DlrmModel::DlrmModel(const ModelConfig& cfg, std::uint64_t seed)
+    : _cfg(cfg),
+      _bottom(cfg.bottomMlp, mix64(seed)),
+      _top(cfg.topMlpDims(), mix64(seed + 1))
+{
+    if (cfg.bottomMlp.back() != cfg.dim) {
+        throw std::invalid_argument(
+            "bottom-MLP output width must equal the embedding dim");
+    }
+    _tables.reserve(cfg.tables);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        _tables.push_back(std::make_unique<EmbeddingTable>(
+            cfg.rows, cfg.dim, mix64(seed + 100 + t)));
+    }
+}
+
+void
+DlrmModel::bottomForward(const Tensor& dense, Tensor& out) const
+{
+    _bottom.forward(dense, out);
+}
+
+void
+DlrmModel::embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
+                            const PrefetchSpec& pf) const
+{
+    assert(sparse.numTables() == _cfg.tables);
+    const std::size_t batch = sparse.batchSize;
+    emb_out.reshape(_cfg.tables, batch * _cfg.dim);
+    for (std::size_t t = 0; t < _cfg.tables; ++t) {
+        _tables[t]->bag(sparse.indices[t].data(), sparse.offsets[t].data(),
+                        batch, emb_out.row(t), pf);
+    }
+}
+
+void
+DlrmModel::interactionForward(const Tensor& bottom_out,
+                              const Tensor& emb_out, std::size_t batch,
+                              Tensor& out) const
+{
+    std::vector<const float *> emb(_cfg.tables);
+    for (std::size_t t = 0; t < _cfg.tables; ++t)
+        emb[t] = emb_out.row(t);
+    out.reshape(batch, _cfg.topInputDim());
+    dotInteraction(bottom_out.data(), emb, _cfg.tables, batch, _cfg.dim,
+                   out.data());
+}
+
+void
+DlrmModel::topForward(const Tensor& inter_out, Tensor& pred) const
+{
+    _top.forward(inter_out, pred);
+    sigmoidInplace(pred.data(), pred.size());
+}
+
+void
+DlrmModel::forward(const Tensor& dense, const SparseBatch& sparse,
+                   DlrmWorkspace& ws, const PrefetchSpec& pf) const
+{
+    bottomForward(dense, ws.bottomOut);
+    embeddingForward(sparse, ws.embOut, pf);
+    interactionForward(ws.bottomOut, ws.embOut, sparse.batchSize,
+                       ws.interOut);
+    topForward(ws.interOut, ws.pred);
+}
+
+} // namespace dlrmopt::core

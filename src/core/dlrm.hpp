@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The full DLRM inference model: bottom MLP, embedding tables,
+ * feature interaction, and top MLP (Fig. 2 of the paper).
+ */
+
+#ifndef DLRMOPT_CORE_DLRM_HPP
+#define DLRMOPT_CORE_DLRM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/mlp.hpp"
+#include "core/model_config.hpp"
+#include "core/sparse_input.hpp"
+#include "core/tensor.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * Scratch buffers for one in-flight inference batch. Reused across
+ * batches to keep the steady-state allocation-free.
+ */
+struct DlrmWorkspace
+{
+    Tensor bottomOut; //!< [batch x dim]
+    Tensor embOut;    //!< [tables x (batch * dim)]
+    Tensor interOut;  //!< [batch x topInputDim]
+    Tensor pred;      //!< [batch x 1]
+};
+
+/**
+ * A materialized DLRM with real weights and embedding tables.
+ *
+ * Construction allocates rows * dim * 4 bytes per table; use
+ * ModelConfig::scaledToFit() before constructing on small hosts.
+ */
+class DlrmModel
+{
+  public:
+    /**
+     * Builds the model with deterministic pseudo-random parameters.
+     *
+     * @param cfg Architecture description (see Table 2 presets).
+     * @param seed Seed for reproducible weights/table contents.
+     */
+    explicit DlrmModel(const ModelConfig& cfg, std::uint64_t seed = 42);
+
+    const ModelConfig& config() const { return _cfg; }
+
+    const EmbeddingTable& table(std::size_t t) const { return *_tables[t]; }
+
+    /** Runs the bottom MLP: dense [batch x denseDim] -> [batch x dim]. */
+    void bottomForward(const Tensor& dense, Tensor& out) const;
+
+    /**
+     * Runs the embedding lookup stage over all tables.
+     *
+     * @param sparse Lookup indices/offsets for the batch.
+     * @param emb_out Output reshaped to [tables x (batch * dim)];
+     *                row t holds table t's pooled [batch x dim] block.
+     * @param pf Software-prefetch configuration for embedding_bag.
+     */
+    void embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
+                          const PrefetchSpec& pf = {}) const;
+
+    /** Runs feature interaction given both stage outputs. */
+    void interactionForward(const Tensor& bottom_out, const Tensor& emb_out,
+                            std::size_t batch, Tensor& out) const;
+
+    /** Runs the top MLP and sigmoid, producing CTR predictions. */
+    void topForward(const Tensor& inter_out, Tensor& pred) const;
+
+    /**
+     * Full end-to-end forward pass (sequential stage order).
+     *
+     * @param dense Dense features [batch x denseDim].
+     * @param sparse Sparse lookups for the same batch.
+     * @param ws Scratch workspace (reused across calls).
+     * @param pf Software-prefetch configuration.
+     */
+    void forward(const Tensor& dense, const SparseBatch& sparse,
+                 DlrmWorkspace& ws, const PrefetchSpec& pf = {}) const;
+
+    const Mlp& bottomMlp() const { return _bottom; }
+    const Mlp& topMlp() const { return _top; }
+
+    /** Total bytes held in embedding tables. */
+    std::size_t
+    embeddingBytes() const
+    {
+        std::size_t n = 0;
+        for (const auto& t : _tables)
+            n += t->bytes();
+        return n;
+    }
+
+  private:
+    ModelConfig _cfg;
+    Mlp _bottom;
+    Mlp _top;
+    std::vector<std::unique_ptr<EmbeddingTable>> _tables;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_DLRM_HPP

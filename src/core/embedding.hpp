@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Embedding table and the embedding_bag operator with optional
+ * application-initiated software prefetching (Algorithm 3 of the
+ * paper).
+ */
+
+#ifndef DLRMOPT_CORE_EMBEDDING_HPP
+#define DLRMOPT_CORE_EMBEDDING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * Configuration for programmer-inserted software prefetching in the
+ * embedding_bag kernel (Sec. 4.2: what/when/how/where to prefetch).
+ */
+struct PrefetchSpec
+{
+    /**
+     * Look-ahead distance in lookups: while accumulating lookup s, the
+     * kernel prefetches the row for lookup s + distance. The paper
+     * finds 4 optimal on Cascade Lake (Fig. 10b). 0 disables software
+     * prefetching.
+     */
+    int distance = 0;
+
+    /**
+     * Prefetch amount: number of 64 B cache lines of the target row to
+     * prefetch. A 128-dim fp32 row spans 8 lines; the paper finds
+     * prefetching the full row (8) best on CSL (Fig. 10c), 2 on
+     * ICL/SPR, 4 on Zen3 (Sec. 6.4).
+     */
+    int lines = 0;
+
+    /**
+     * Temporal-locality hint: 3 = _MM_HINT_T0 (into L1D, the paper's
+     * choice), 2 = T1 (L2), 1 = T2 (LLC), 0 = NTA.
+     */
+    int locality = 3;
+
+    bool enabled() const { return distance > 0 && lines > 0; }
+
+    /** The paper's tuned configuration for Cascade Lake. */
+    static PrefetchSpec
+    paperDefault()
+    {
+        return {4, 8, 3};
+    }
+};
+
+/**
+ * One embedding table: rows x dim fp32 matrix accessed by row index.
+ */
+class EmbeddingTable
+{
+  public:
+    /**
+     * Allocates a rows x dim table with deterministic pseudo-random
+     * contents.
+     *
+     * @param rows Number of embedding rows (categorical values).
+     * @param dim Embedding vector dimension.
+     * @param seed Seed for reproducible contents.
+     */
+    EmbeddingTable(std::size_t rows, std::size_t dim, std::uint64_t seed);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t dim() const { return _dim; }
+    std::size_t bytes() const { return _rows * _dim * sizeof(float); }
+
+    const float *data() const { return _data.data(); }
+
+    /** Pointer to embedding row @p idx. */
+    const float *
+    rowPtr(RowIndex idx) const
+    {
+        return _data.data() + static_cast<std::size_t>(idx) * _dim;
+    }
+
+    /**
+     * embedding_bag with sum pooling (Algorithm 2/3 of the paper).
+     *
+     * For each sample i in [0, samples), sums the rows selected by
+     * indices[offsets[i] .. offsets[i+1]) into out[i * dim ..]. When
+     * @p pf is enabled, issues software prefetches for the row
+     * pf.distance lookups ahead before accumulating the current row.
+     *
+     * @param indices Flat lookup-index array.
+     * @param offsets samples + 1 offsets delimiting each sample.
+     * @param samples Number of output samples (pooled bags).
+     * @param out Output buffer [samples x dim].
+     * @param pf Software-prefetch configuration.
+     */
+    void bag(const RowIndex *indices, const RowIndex *offsets,
+             std::size_t samples, float *out,
+             const PrefetchSpec& pf = {}) const;
+
+  private:
+    std::size_t _rows;
+    std::size_t _dim;
+    std::vector<float, AlignedAllocator<float>> _data;
+};
+
+/**
+ * Naive reference embedding_bag used to validate the optimized kernel
+ * in the test suite.
+ */
+void embeddingBagRef(const float *table, std::size_t dim,
+                     const RowIndex *indices, const RowIndex *offsets,
+                     std::size_t samples, float *out);
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_EMBEDDING_HPP

@@ -1,0 +1,82 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrmopt::core
+{
+
+namespace
+{
+
+/** Tile sizes chosen so one (in-tile x out-tile) weight block stays in
+ *  L1D alongside the activation rows. */
+constexpr std::size_t tileIn = 256;
+constexpr std::size_t tileOut = 64;
+
+} // namespace
+
+void
+denseLayerForward(const float *in, std::size_t batch, std::size_t in_dim,
+                  const float *weights, const float *bias,
+                  std::size_t out_dim, float *out, bool relu)
+{
+    // Initialize outputs with the bias (or zero).
+    for (std::size_t b = 0; b < batch; ++b) {
+        float *o = out + b * out_dim;
+        if (bias) {
+            std::copy(bias, bias + out_dim, o);
+        } else {
+            std::fill(o, o + out_dim, 0.0f);
+        }
+    }
+
+    for (std::size_t k0 = 0; k0 < in_dim; k0 += tileIn) {
+        const std::size_t k1 = std::min(in_dim, k0 + tileIn);
+        for (std::size_t n0 = 0; n0 < out_dim; n0 += tileOut) {
+            const std::size_t n1 = std::min(out_dim, n0 + tileOut);
+            for (std::size_t b = 0; b < batch; ++b) {
+                const float *x = in + b * in_dim;
+                float *o = out + b * out_dim;
+                for (std::size_t n = n0; n < n1; ++n) {
+                    const float *w = weights + n * in_dim;
+                    float acc = 0.0f;
+                    for (std::size_t k = k0; k < k1; ++k)
+                        acc += x[k] * w[k];
+                    o[n] += acc;
+                }
+            }
+        }
+    }
+
+    if (relu) {
+        for (std::size_t i = 0; i < batch * out_dim; ++i)
+            out[i] = std::max(out[i], 0.0f);
+    }
+}
+
+void
+denseLayerForwardRef(const float *in, std::size_t batch, std::size_t in_dim,
+                     const float *weights, const float *bias,
+                     std::size_t out_dim, float *out, bool relu)
+{
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t n = 0; n < out_dim; ++n) {
+            double acc = bias ? bias[n] : 0.0;
+            for (std::size_t k = 0; k < in_dim; ++k)
+                acc += static_cast<double>(in[b * in_dim + k]) *
+                       weights[n * in_dim + k];
+            float v = static_cast<float>(acc);
+            out[b * out_dim + n] = relu ? std::max(v, 0.0f) : v;
+        }
+    }
+}
+
+void
+sigmoidInplace(float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+}
+
+} // namespace dlrmopt::core

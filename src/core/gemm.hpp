@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dense (fully-connected) layer kernels.
+ *
+ * The bottom- and top-MLP stages of DLRM are back-to-back dense layers
+ * (Sec. 2.1 of the paper). We implement a cache-blocked SGEMM with the
+ * weight matrix stored transposed (out_dim x in_dim), the layout used
+ * by PyTorch's nn.Linear, so each output neuron reads a contiguous
+ * weight row and the inner loop auto-vectorizes with FMA.
+ */
+
+#ifndef DLRMOPT_CORE_GEMM_HPP
+#define DLRMOPT_CORE_GEMM_HPP
+
+#include <cstddef>
+
+namespace dlrmopt::core
+{
+
+/**
+ * Computes one dense layer: out = act(in * W^T + b).
+ *
+ * @param in Input activations, row-major [batch x in_dim].
+ * @param batch Number of samples in the batch.
+ * @param in_dim Input feature dimension.
+ * @param weights Weight matrix, row-major [out_dim x in_dim].
+ * @param bias Bias vector of length out_dim, or nullptr for no bias.
+ * @param out_dim Output feature dimension.
+ * @param out Output activations, row-major [batch x out_dim].
+ * @param relu Apply ReLU when true (hidden layers); identity when
+ *             false (final layer before the sigmoid).
+ */
+void denseLayerForward(const float *in, std::size_t batch,
+                       std::size_t in_dim, const float *weights,
+                       const float *bias, std::size_t out_dim, float *out,
+                       bool relu);
+
+/**
+ * Reference (naive triple loop) implementation of denseLayerForward,
+ * used by the test suite to validate the blocked kernel.
+ */
+void denseLayerForwardRef(const float *in, std::size_t batch,
+                          std::size_t in_dim, const float *weights,
+                          const float *bias, std::size_t out_dim,
+                          float *out, bool relu);
+
+/** Logistic sigmoid applied elementwise in place. */
+void sigmoidInplace(float *data, std::size_t n);
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_GEMM_HPP

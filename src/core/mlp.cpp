@@ -1,0 +1,64 @@
+#include "core/mlp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/gemm.hpp"
+
+namespace dlrmopt::core
+{
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, std::uint64_t seed)
+    : _dims(dims)
+{
+    if (dims.size() < 2)
+        throw std::invalid_argument("Mlp needs at least input+one layer");
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        Tensor w(dims[l + 1], dims[l]);
+        // Scale roughly like Xavier init so activations stay bounded.
+        float scale = 1.0f / static_cast<float>(std::max<std::size_t>(
+                                 1, dims[l] / 8 + 1));
+        w.randomize(mix64(seed + l), scale);
+        _weights.push_back(std::move(w));
+        std::vector<float> b(dims[l + 1]);
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            b[i] = static_cast<float>(
+                       toUnitInterval(mix64(seed ^ (l * 131 + i))) - 0.5) *
+                   0.02f;
+        }
+        _biases.push_back(std::move(b));
+    }
+}
+
+double
+Mlp::flopsPerSample() const
+{
+    double f = 0.0;
+    for (std::size_t l = 0; l + 1 < _dims.size(); ++l)
+        f += 2.0 * static_cast<double>(_dims[l]) *
+             static_cast<double>(_dims[l + 1]);
+    return f;
+}
+
+void
+Mlp::forward(const Tensor& in, Tensor& out) const
+{
+    assert(in.cols() == inputDim());
+    const std::size_t batch = in.rows();
+
+    Tensor scratch_a = in;  // current activations
+    Tensor scratch_b;
+    for (std::size_t l = 0; l < _weights.size(); ++l) {
+        const bool last = (l + 1 == _weights.size());
+        const std::size_t od = _dims[l + 1];
+        Tensor& dst = last ? out : scratch_b;
+        dst.reshape(batch, od);
+        denseLayerForward(scratch_a.data(), batch, _dims[l],
+                          _weights[l].data(), _biases[l].data(), od,
+                          dst.data(), !last);
+        if (!last)
+            std::swap(scratch_a, scratch_b);
+    }
+}
+
+} // namespace dlrmopt::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-layer perceptron built from dense layers.
+ *
+ * DLRM uses two MLPs: the bottom MLP transforms dense (continuous)
+ * features into the embedding dimension, and the top MLP maps the
+ * feature-interaction output to a click-through-rate prediction
+ * (Fig. 2 of the paper).
+ */
+
+#ifndef DLRMOPT_CORE_MLP_HPP
+#define DLRMOPT_CORE_MLP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * A feed-forward MLP. Hidden layers use ReLU; the final layer is
+ * linear (a sigmoid is applied separately for CTR outputs).
+ */
+class Mlp
+{
+  public:
+    /** Creates an empty MLP (no layers). */
+    Mlp() = default;
+
+    /**
+     * Builds an MLP from a size list.
+     *
+     * @param dims Layer sizes including the input dimension, e.g.
+     *             {256, 128, 128} is a 256-input MLP with two layers.
+     * @param seed Seed for deterministic weight initialization.
+     */
+    Mlp(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+    /** Input feature dimension. */
+    std::size_t inputDim() const { return _dims.empty() ? 0 : _dims.front(); }
+
+    /** Output feature dimension. */
+    std::size_t outputDim() const { return _dims.empty() ? 0 : _dims.back(); }
+
+    /** Number of dense layers. */
+    std::size_t numLayers() const { return _weights.size(); }
+
+    /** Layer size list including the input dimension. */
+    const std::vector<std::size_t>& dims() const { return _dims; }
+
+    /**
+     * Multiply-accumulate count for one sample (2 * sum of products of
+     * consecutive dims). Used by the analytic timing model.
+     */
+    double flopsPerSample() const;
+
+    /**
+     * Runs the MLP on a batch.
+     *
+     * @param in Input activations [batch x inputDim()].
+     * @param out Output activations; reshaped to [batch x outputDim()].
+     */
+    void forward(const Tensor& in, Tensor& out) const;
+
+  private:
+    std::vector<std::size_t> _dims;
+    std::vector<Tensor> _weights;          //!< per layer [out x in]
+    std::vector<std::vector<float>> _biases;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_MLP_HPP

@@ -1,0 +1,123 @@
+#include "core/model_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlrmopt::core
+{
+
+double
+slaTargetMs(ModelClass cls)
+{
+    switch (cls) {
+      case ModelClass::RMC1:
+        return 100.0;
+      case ModelClass::RMC2:
+        return 400.0;
+      case ModelClass::RMC3:
+        return 100.0;
+    }
+    return 100.0;
+}
+
+ModelConfig
+rm1()
+{
+    ModelConfig m;
+    m.name = "rm1";
+    m.cls = ModelClass::RMC1;
+    m.rows = 500'000;
+    m.dim = 64;
+    m.tables = 32;
+    m.lookups = 80;
+    m.bottomMlp = {2048, 2048, 256, 64};
+    m.topMlp = {768, 384, 1};
+    m.embTimePercent = 65.0;
+    return m;
+}
+
+ModelConfig
+rm2_1()
+{
+    ModelConfig m;
+    m.name = "rm2_1";
+    m.cls = ModelClass::RMC2;
+    m.rows = 1'000'000;
+    m.dim = 128;
+    m.tables = 60;
+    m.lookups = 120;
+    m.bottomMlp = {256, 128, 128};
+    m.topMlp = {128, 64, 1};
+    m.embTimePercent = 98.0;
+    return m;
+}
+
+ModelConfig
+rm2_2()
+{
+    ModelConfig m;
+    m.name = "rm2_2";
+    m.cls = ModelClass::RMC2;
+    m.rows = 1'000'000;
+    m.dim = 128;
+    m.tables = 120;
+    m.lookups = 150;
+    m.bottomMlp = {1024, 512, 128, 128};
+    m.topMlp = {384, 192, 1};
+    m.embTimePercent = 96.0;
+    return m;
+}
+
+ModelConfig
+rm2_3()
+{
+    ModelConfig m;
+    m.name = "rm2_3";
+    m.cls = ModelClass::RMC2;
+    m.rows = 1'000'000;
+    m.dim = 128;
+    m.tables = 170;
+    m.lookups = 180;
+    m.bottomMlp = {2048, 1024, 256, 128};
+    m.topMlp = {512, 256, 1};
+    m.embTimePercent = 95.0;
+    return m;
+}
+
+const std::vector<ModelConfig>&
+allModels()
+{
+    static const std::vector<ModelConfig> models = {rm2_1(), rm2_2(),
+                                                    rm2_3(), rm1()};
+    return models;
+}
+
+const ModelConfig&
+modelByName(const std::string& name)
+{
+    for (const auto& m : allModels()) {
+        if (m.name == name)
+            return m;
+    }
+    throw std::out_of_range("unknown model: " + name);
+}
+
+ModelConfig
+ModelConfig::scaledToFit(double max_bytes) const
+{
+    ModelConfig m = *this;
+    if (embeddingBytes() <= max_bytes)
+        return m;
+
+    // Shrink the table count first (keeps per-table reuse structure),
+    // then the row count, but never below sizes that still exceed any
+    // modeled LLC so the memory-bound character is preserved.
+    while (m.tables > 4 && m.embeddingBytes() > max_bytes)
+        m.tables = std::max<std::size_t>(4, m.tables / 2);
+    while (m.rows > 65'536 && m.embeddingBytes() > max_bytes)
+        m.rows = std::max<std::size_t>(65'536, m.rows / 2);
+    m.name += "_scaled";
+    return m;
+}
+
+} // namespace dlrmopt::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DLRM model architecture descriptions.
+ *
+ * Encodes Table 1 (model classes / SLA targets) and Table 2 (the four
+ * models evaluated: rm1 and rm2_1..3) of the paper, plus helpers for
+ * deriving stage shapes and scaling models down to fit small hosts
+ * for real-execution runs.
+ */
+
+#ifndef DLRMOPT_CORE_MODEL_CONFIG_HPP
+#define DLRMOPT_CORE_MODEL_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/interaction.hpp"
+
+namespace dlrmopt::core
+{
+
+/** Model classes from Gupta et al. as reused in the paper (Table 1). */
+enum class ModelClass
+{
+    RMC1, //!< Embedding ~60% of time, small model, 100 ms SLA.
+    RMC2, //!< Embedding ~90%+, large model, 400 ms SLA.
+    RMC3, //!< MLP ~80%, medium model, 100 ms SLA.
+};
+
+/** SLA latency target in milliseconds for a model class (Table 1). */
+double slaTargetMs(ModelClass cls);
+
+/**
+ * Full architecture of one DLRM variant (one row of Table 2).
+ */
+struct ModelConfig
+{
+    std::string name;
+    ModelClass cls = ModelClass::RMC2;
+
+    std::size_t rows = 0;        //!< rows per embedding table
+    std::size_t dim = 0;         //!< embedding dimension
+    std::size_t tables = 0;      //!< number of embedding tables
+    std::size_t lookups = 0;     //!< lookups per sample per table
+
+    /** Bottom-MLP sizes including the dense input dim; the last entry
+     *  equals the embedding dimension. */
+    std::vector<std::size_t> bottomMlp;
+
+    /** Top-MLP hidden sizes ending in 1 (the CTR output). The input
+     *  width is derived from the interaction stage. */
+    std::vector<std::size_t> topMlp;
+
+    /** Embedding share of execution time reported in Table 2 (%). */
+    double embTimePercent = 0.0;
+
+    std::size_t denseDim() const { return bottomMlp.front(); }
+
+    /** Bytes of one embedding table ("Per table capacity", Table 2). */
+    double tableBytes() const
+    {
+        return static_cast<double>(rows) * dim * sizeof(float);
+    }
+
+    /** Total embedding bytes ("Emb. Size", Table 2). */
+    double embeddingBytes() const { return tableBytes() * tables; }
+
+    /** Width of the interaction-stage output / top-MLP input. */
+    std::size_t
+    topInputDim() const
+    {
+        return interactionOutputDim(tables, dim);
+    }
+
+    /** Top-MLP size list including its derived input dimension. */
+    std::vector<std::size_t>
+    topMlpDims() const
+    {
+        std::vector<std::size_t> d;
+        d.push_back(topInputDim());
+        d.insert(d.end(), topMlp.begin(), topMlp.end());
+        return d;
+    }
+
+    double slaMs() const { return slaTargetMs(cls); }
+
+    /**
+     * Returns a copy scaled down for real execution on small hosts:
+     * row count and table count are reduced while keeping the
+     * embedding dimension and lookup structure (and therefore the
+     * per-lookup memory behaviour) intact.
+     *
+     * @param max_bytes Upper bound for total embedding bytes.
+     */
+    ModelConfig scaledToFit(double max_bytes) const;
+};
+
+/** The four evaluated models (Table 2). */
+ModelConfig rm1();
+ModelConfig rm2_1();
+ModelConfig rm2_2();
+ModelConfig rm2_3();
+
+/** All Table 2 models in paper order: rm2_1, rm2_2, rm2_3, rm1. */
+const std::vector<ModelConfig>& allModels();
+
+/** Looks up a Table 2 model by name; throws std::out_of_range. */
+const ModelConfig& modelByName(const std::string& name);
+
+/** Batch size used throughout the paper's evaluation (Sec. 5). */
+constexpr std::size_t paperBatchSize = 64;
+
+/** Number of batches each latency figure is averaged over (Sec. 6). */
+constexpr std::size_t paperNumBatches = 120;
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_MODEL_CONFIG_HPP

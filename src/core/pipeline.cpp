@@ -1,0 +1,164 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace dlrmopt::core
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+InferencePipeline::InferencePipeline(const DlrmModel& model, Scheme scheme,
+                                     const PrefetchSpec& pf)
+    : _model(model), _scheme(scheme), _pf(pf)
+{
+}
+
+PipelineStats
+InferencePipeline::run(const Tensor& dense,
+                       const std::vector<SparseBatch>& batches) const
+{
+    const PrefetchSpec pf =
+        usesSwPrefetch(_scheme) ? _pf : PrefetchSpec{};
+    switch (_scheme) {
+      case Scheme::MpHt:
+      case Scheme::Integrated:
+        return runMpHt(dense, batches, pf);
+      case Scheme::DpHt:
+        return runDpHt(dense, batches);
+      default:
+        return runSequential(dense, batches, pf);
+    }
+}
+
+PipelineStats
+InferencePipeline::runSequential(const Tensor& dense,
+                                 const std::vector<SparseBatch>& batches,
+                                 const PrefetchSpec& pf) const
+{
+    PipelineStats st;
+    DlrmWorkspace ws;
+    const auto run0 = Clock::now();
+    for (const auto& b : batches) {
+        auto t0 = Clock::now();
+        _model.bottomForward(dense, ws.bottomOut);
+        st.bottomMs += msSince(t0);
+
+        t0 = Clock::now();
+        _model.embeddingForward(b, ws.embOut, pf);
+        st.embMs += msSince(t0);
+
+        t0 = Clock::now();
+        _model.interactionForward(ws.bottomOut, ws.embOut, b.batchSize,
+                                  ws.interOut);
+        st.interMs += msSince(t0);
+
+        t0 = Clock::now();
+        _model.topForward(ws.interOut, ws.pred);
+        st.topMs += msSince(t0);
+        ++st.batches;
+    }
+    st.totalMs = msSince(run0);
+    return st;
+}
+
+PipelineStats
+InferencePipeline::runMpHt(const Tensor& dense,
+                           const std::vector<SparseBatch>& batches,
+                           const PrefetchSpec& pf) const
+{
+    PipelineStats st;
+    DlrmWorkspace ws;
+    const auto run0 = Clock::now();
+    for (const auto& b : batches) {
+        // The bottom MLP and the embedding lookup are independent
+        // (Sec. 4.3): run them concurrently. On a real SMT machine the
+        // two threads would be pinned to sibling hyperthreads by the
+        // sched::HtThreadPool; here we let the OS place them.
+        const auto stage0 = Clock::now();
+        double bottom_ms = 0.0;
+        std::thread mlp_thread([&] {
+            const auto t0 = Clock::now();
+            _model.bottomForward(dense, ws.bottomOut);
+            bottom_ms = msSince(t0);
+        });
+        const auto t_emb = Clock::now();
+        _model.embeddingForward(b, ws.embOut, pf);
+        st.embMs += msSince(t_emb);
+        mlp_thread.join();
+        st.bottomMs += bottom_ms;
+        (void)stage0;
+
+        auto t0 = Clock::now();
+        _model.interactionForward(ws.bottomOut, ws.embOut, b.batchSize,
+                                  ws.interOut);
+        st.interMs += msSince(t0);
+
+        t0 = Clock::now();
+        _model.topForward(ws.interOut, ws.pred);
+        st.topMs += msSince(t0);
+        ++st.batches;
+    }
+    st.totalMs = msSince(run0);
+    return st;
+}
+
+PipelineStats
+InferencePipeline::runDpHt(const Tensor& dense,
+                           const std::vector<SparseBatch>& batches) const
+{
+    // Naive hyperthreading: two complete inference instances execute
+    // concurrently, splitting the batch stream. Each instance runs
+    // sequential stages; the two compete for one core's pipeline and
+    // caches (which is why the paper finds this detrimental).
+    PipelineStats st;
+    const auto run0 = Clock::now();
+
+    auto worker = [&](std::size_t first, PipelineStats *out) {
+        DlrmWorkspace ws;
+        for (std::size_t i = first; i < batches.size(); i += 2) {
+            const auto& b = batches[i];
+            auto t0 = Clock::now();
+            _model.bottomForward(dense, ws.bottomOut);
+            out->bottomMs += msSince(t0);
+            t0 = Clock::now();
+            _model.embeddingForward(b, ws.embOut, PrefetchSpec{});
+            out->embMs += msSince(t0);
+            t0 = Clock::now();
+            _model.interactionForward(ws.bottomOut, ws.embOut, b.batchSize,
+                                      ws.interOut);
+            out->interMs += msSince(t0);
+            t0 = Clock::now();
+            _model.topForward(ws.interOut, ws.pred);
+            out->topMs += msSince(t0);
+            ++out->batches;
+        }
+    };
+
+    PipelineStats s0, s1;
+    std::thread t1(worker, 1, &s1);
+    worker(0, &s0);
+    t1.join();
+
+    st.batches = s0.batches + s1.batches;
+    st.bottomMs = s0.bottomMs + s1.bottomMs;
+    st.embMs = s0.embMs + s1.embMs;
+    st.interMs = s0.interMs + s1.interMs;
+    st.topMs = s0.topMs + s1.topMs;
+    st.totalMs = msSince(run0);
+    return st;
+}
+
+} // namespace dlrmopt::core

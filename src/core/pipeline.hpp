@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Real-execution inference pipeline implementing the paper's stage
+ * orderings: Sequential, MP-HT (embedding and bottom-MLP overlapped
+ * on two threads, Fig. 11), and DP-HT (two full instances running
+ * concurrently).
+ *
+ * This is the path that runs actual kernels with wall-clock timing;
+ * the simulator-based path used for the figure benches lives in
+ * src/platform.
+ */
+
+#ifndef DLRMOPT_CORE_PIPELINE_HPP
+#define DLRMOPT_CORE_PIPELINE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/scheme.hpp"
+
+namespace dlrmopt::core
+{
+
+/** Per-stage wall-clock timing aggregated over a run. */
+struct PipelineStats
+{
+    std::size_t batches = 0;
+    double totalMs = 0.0;
+    double bottomMs = 0.0; //!< bottom-MLP stage (may overlap embedding)
+    double embMs = 0.0;    //!< embedding lookup stage
+    double interMs = 0.0;  //!< feature interaction
+    double topMs = 0.0;    //!< top MLP + sigmoid
+
+    double
+    avgBatchMs() const
+    {
+        return batches ? totalMs / static_cast<double>(batches) : 0.0;
+    }
+};
+
+/**
+ * Drives DlrmModel::forward over a batch stream under one execution
+ * scheme. Thread-overlap schemes spawn their helper thread per run and
+ * join before returning, so the pipeline is stateless between runs.
+ */
+class InferencePipeline
+{
+  public:
+    /**
+     * @param model Model to run (not owned; must outlive the pipeline).
+     * @param scheme Execution scheme. HwPfOff behaves like Baseline in
+     *               real execution (MSRs are not touched); the
+     *               distinction only exists in the simulator.
+     * @param pf Prefetch spec used when the scheme enables SW-PF.
+     */
+    InferencePipeline(const DlrmModel& model, Scheme scheme,
+                      const PrefetchSpec& pf = PrefetchSpec::paperDefault());
+
+    /**
+     * Runs inference over all batches and returns per-stage timing.
+     *
+     * @param dense Dense features shared by every batch.
+     * @param batches Sparse inputs, one entry per batch.
+     */
+    PipelineStats run(const Tensor& dense,
+                      const std::vector<SparseBatch>& batches) const;
+
+  private:
+    PipelineStats runSequential(const Tensor& dense,
+                                const std::vector<SparseBatch>& batches,
+                                const PrefetchSpec& pf) const;
+    PipelineStats runMpHt(const Tensor& dense,
+                          const std::vector<SparseBatch>& batches,
+                          const PrefetchSpec& pf) const;
+    PipelineStats runDpHt(const Tensor& dense,
+                          const std::vector<SparseBatch>& batches) const;
+
+    const DlrmModel& _model;
+    Scheme _scheme;
+    PrefetchSpec _pf;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_PIPELINE_HPP

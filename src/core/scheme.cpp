@@ -1,0 +1,26 @@
+#include "core/scheme.hpp"
+
+namespace dlrmopt::core
+{
+
+std::string
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::HwPfOff:
+        return "w/o HW-PF";
+      case Scheme::Baseline:
+        return "Baseline";
+      case Scheme::SwPf:
+        return "SW-PF";
+      case Scheme::DpHt:
+        return "DP-HT";
+      case Scheme::MpHt:
+        return "MP-HT";
+      case Scheme::Integrated:
+        return "Integrated";
+    }
+    return "unknown";
+}
+
+} // namespace dlrmopt::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The six execution design points evaluated in Sec. 6 of the paper.
+ */
+
+#ifndef DLRMOPT_CORE_SCHEME_HPP
+#define DLRMOPT_CORE_SCHEME_HPP
+
+#include <array>
+#include <string>
+
+namespace dlrmopt::core
+{
+
+/**
+ * Execution scheme for DLRM inference (Sec. 6 design points).
+ */
+enum class Scheme
+{
+    HwPfOff,    //!< Hardware prefetchers disabled ("w/o HW-PF").
+    Baseline,   //!< Hardware prefetchers on, no software technique.
+    SwPf,       //!< Application-initiated software prefetching (Sec. 4.2).
+    DpHt,       //!< Naive data-parallel hyperthreading (two instances).
+    MpHt,       //!< Model-parallel HT: embedding + bottom-MLP colocated.
+    Integrated, //!< SW-PF combined with MP-HT (Sec. 4.4).
+};
+
+/** All schemes in the paper's presentation order. */
+constexpr std::array<Scheme, 6> allSchemes = {
+    Scheme::HwPfOff, Scheme::Baseline, Scheme::SwPf,
+    Scheme::DpHt,    Scheme::MpHt,     Scheme::Integrated,
+};
+
+/** Human-readable scheme name matching the paper's legends. */
+std::string schemeName(Scheme s);
+
+/** True when the scheme uses software prefetching in embedding_bag. */
+constexpr bool
+usesSwPrefetch(Scheme s)
+{
+    return s == Scheme::SwPf || s == Scheme::Integrated;
+}
+
+/** True when the scheme colocates embedding and bottom-MLP threads. */
+constexpr bool
+usesMpHt(Scheme s)
+{
+    return s == Scheme::MpHt || s == Scheme::Integrated;
+}
+
+/** True when hardware prefetchers are modeled as enabled. */
+constexpr bool
+usesHwPrefetch(Scheme s)
+{
+    return s != Scheme::HwPfOff;
+}
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_SCHEME_HPP

@@ -1,0 +1,145 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define DLRMOPT_X86 1
+#else
+#define DLRMOPT_X86 0
+#endif
+
+namespace dlrmopt::core
+{
+
+namespace
+{
+
+#if DLRMOPT_X86
+bool
+cpuSupports(const char *feature)
+{
+    // __builtin_cpu_supports is a GCC/Clang builtin backed by cpuid.
+    if (feature[0] == '5') // "512"
+        return __builtin_cpu_supports("avx512f");
+    return __builtin_cpu_supports("avx2");
+}
+#endif
+
+std::atomic<SimdLevel> activeLevel{detectSimdLevel()};
+
+} // namespace
+
+SimdLevel
+detectSimdLevel()
+{
+#if DLRMOPT_X86
+    if (cpuSupports("512"))
+        return SimdLevel::Avx512;
+    if (cpuSupports("avx2"))
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+std::string
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Avx2:
+        return "AVX2";
+      case SimdLevel::Avx512:
+        return "AVX-512";
+    }
+    return "unknown";
+}
+
+void
+accumulateRowScalar(float *out, const float *row, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] += row[i];
+}
+
+#if DLRMOPT_X86 && defined(__AVX2__)
+void
+accumulateRowAvx2(float *out, const float *row, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 a = _mm256_loadu_ps(out + i);
+        const __m256 b = _mm256_loadu_ps(row + i);
+        _mm256_storeu_ps(out + i, _mm256_add_ps(a, b));
+    }
+    for (; i < n; ++i)
+        out[i] += row[i];
+}
+#else
+void
+accumulateRowAvx2(float *out, const float *row, std::size_t n)
+{
+    accumulateRowScalar(out, row, n);
+}
+#endif
+
+#if DLRMOPT_X86 && defined(__AVX512F__)
+void
+accumulateRowAvx512(float *out, const float *row, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 a = _mm512_loadu_ps(out + i);
+        const __m512 b = _mm512_loadu_ps(row + i);
+        _mm512_storeu_ps(out + i, _mm512_add_ps(a, b));
+    }
+    if (i < n) {
+        const __mmask16 mask =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 a = _mm512_maskz_loadu_ps(mask, out + i);
+        const __m512 b = _mm512_maskz_loadu_ps(mask, row + i);
+        _mm512_mask_storeu_ps(out + i, mask, _mm512_add_ps(a, b));
+    }
+}
+#else
+void
+accumulateRowAvx512(float *out, const float *row, std::size_t n)
+{
+    accumulateRowAvx2(out, row, n);
+}
+#endif
+
+void
+accumulateRow(float *out, const float *row, std::size_t n)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+        accumulateRowAvx512(out, row, n);
+        return;
+      case SimdLevel::Avx2:
+        accumulateRowAvx2(out, row, n);
+        return;
+      default:
+        accumulateRowScalar(out, row, n);
+        return;
+    }
+}
+
+SimdLevel
+setSimdLevel(SimdLevel level)
+{
+    const SimdLevel cap = detectSimdLevel();
+    if (static_cast<int>(level) > static_cast<int>(cap))
+        level = cap;
+    activeLevel.store(level, std::memory_order_relaxed);
+    return level;
+}
+
+SimdLevel
+currentSimdLevel()
+{
+    return activeLevel.load(std::memory_order_relaxed);
+}
+
+} // namespace dlrmopt::core

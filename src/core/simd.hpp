@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SIMD feature detection and vectorized accumulate kernels.
+ *
+ * The paper's embedding stage runs on IPEX's AVX-512 kernels
+ * (vec.ld / vec.add / vec.st in Algorithm 1). embedding_bag's inner
+ * accumulate is provided here in explicit AVX-512 and AVX2 forms
+ * with runtime dispatch, falling back to the portable scalar loop.
+ * All variants are bit-identical for fp32 addition (same order).
+ */
+
+#ifndef DLRMOPT_CORE_SIMD_HPP
+#define DLRMOPT_CORE_SIMD_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace dlrmopt::core
+{
+
+/** Instruction set the accumulate kernel dispatches to. */
+enum class SimdLevel
+{
+    Scalar,
+    Avx2,
+    Avx512,
+};
+
+/** Highest level supported by the running CPU. */
+SimdLevel detectSimdLevel();
+
+/** Human-readable name ("scalar", "AVX2", "AVX-512"). */
+std::string simdLevelName(SimdLevel level);
+
+/**
+ * out[0..n) += row[0..n), dispatched to the best available ISA.
+ * @param n Element count (any value; tails handled).
+ */
+void accumulateRow(float *out, const float *row, std::size_t n);
+
+/** Force a specific implementation (testing / ablation). */
+void accumulateRowScalar(float *out, const float *row, std::size_t n);
+void accumulateRowAvx2(float *out, const float *row, std::size_t n);
+void accumulateRowAvx512(float *out, const float *row, std::size_t n);
+
+/**
+ * Overrides dispatch globally (e.g. to benchmark scalar vs vector).
+ * Levels above the detected capability are clamped down.
+ * @return The level actually selected.
+ */
+SimdLevel setSimdLevel(SimdLevel level);
+
+/** Currently selected dispatch level. */
+SimdLevel currentSimdLevel();
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_SIMD_HPP

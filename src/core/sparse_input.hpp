@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sparse-feature input layout for one inference batch.
+ *
+ * Mirrors PyTorch's embedding_bag input convention (Fig. 3 of the
+ * paper): per table, an offsets array of length batch_size + 1 and a
+ * flat indices array; sample i's lookups for table t are
+ * indices[t][offsets[t][i] .. offsets[t][i+1]).
+ */
+
+#ifndef DLRMOPT_CORE_SPARSE_INPUT_HPP
+#define DLRMOPT_CORE_SPARSE_INPUT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * Sparse lookups for one batch across all embedding tables.
+ */
+struct SparseBatch
+{
+    std::size_t batchSize = 0;
+
+    /** indices[t] is the flat lookup-index array for table t. */
+    std::vector<std::vector<RowIndex>> indices;
+
+    /** offsets[t] has batchSize + 1 entries delimiting each sample. */
+    std::vector<std::vector<RowIndex>> offsets;
+
+    std::size_t numTables() const { return indices.size(); }
+
+    /** Total number of lookups across all tables in this batch. */
+    std::size_t
+    totalLookups() const
+    {
+        std::size_t n = 0;
+        for (const auto& v : indices)
+            n += v.size();
+        return n;
+    }
+
+    /**
+     * Structural validity check: matching table counts, offset array
+     * shapes, monotone offsets ending at the index-array length, and
+     * all indices within [0, rows).
+     *
+     * @param rows Number of rows per embedding table.
+     * @retval true when the batch is well-formed.
+     */
+    bool
+    valid(std::size_t rows) const
+    {
+        if (offsets.size() != indices.size())
+            return false;
+        for (std::size_t t = 0; t < indices.size(); ++t) {
+            const auto& off = offsets[t];
+            if (off.size() != batchSize + 1 || off.front() != 0)
+                return false;
+            if (static_cast<std::size_t>(off.back()) != indices[t].size())
+                return false;
+            for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+                if (off[i] > off[i + 1])
+                    return false;
+            }
+            for (RowIndex idx : indices[t]) {
+                if (idx < 0 || static_cast<std::size_t>(idx) >= rows)
+                    return false;
+            }
+        }
+        return true;
+    }
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_SPARSE_INPUT_HPP

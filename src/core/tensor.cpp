@@ -1,0 +1,15 @@
+#include "core/tensor.hpp"
+
+namespace dlrmopt::core
+{
+
+void
+Tensor::randomize(std::uint64_t seed, float scale)
+{
+    for (std::size_t i = 0; i < _data.size(); ++i) {
+        double u = toUnitInterval(mix64(seed ^ (i * 0x9e3779b97f4a7c15ull)));
+        _data[i] = static_cast<float>((2.0 * u - 1.0) * scale);
+    }
+}
+
+} // namespace dlrmopt::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A minimal row-major 2D float tensor with cache-line-aligned storage.
+ *
+ * The DLRM inference path only needs dense fp32 matrices (activations,
+ * weights), so the tensor is deliberately small: no broadcasting, no
+ * views, no reference counting. Keeping it simple makes the kernels
+ * easy to audit against the paper's Algorithms 1-3.
+ */
+
+#ifndef DLRMOPT_CORE_TENSOR_HPP
+#define DLRMOPT_CORE_TENSOR_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * Row-major 2D float matrix with 64-byte-aligned backing storage.
+ */
+class Tensor
+{
+  public:
+    /** Creates an empty 0x0 tensor. */
+    Tensor() = default;
+
+    /**
+     * Creates a zero-initialized tensor.
+     *
+     * @param rows Number of rows.
+     * @param cols Number of columns.
+     */
+    Tensor(std::size_t rows, std::size_t cols)
+        : _rows(rows), _cols(cols), _data(rows * cols, 0.0f)
+    {
+    }
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    std::size_t size() const { return _rows * _cols; }
+    bool empty() const { return size() == 0; }
+
+    float *data() { return _data.data(); }
+    const float *data() const { return _data.data(); }
+
+    /** Pointer to the start of row @p r. */
+    float *row(std::size_t r) { return _data.data() + r * _cols; }
+    const float *
+    row(std::size_t r) const
+    {
+        return _data.data() + r * _cols;
+    }
+
+    float& at(std::size_t r, std::size_t c) { return _data[r * _cols + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return _data[r * _cols + c];
+    }
+
+    /** Sets every element to @p v. */
+    void
+    fill(float v)
+    {
+        std::fill(_data.begin(), _data.end(), v);
+    }
+
+    /** Sets every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /**
+     * Resizes to rows x cols, discarding contents (zero-filled).
+     * No-op if the shape already matches.
+     */
+    void
+    reshape(std::size_t rows, std::size_t cols)
+    {
+        if (rows == _rows && cols == _cols)
+            return;
+        _rows = rows;
+        _cols = cols;
+        _data.assign(rows * cols, 0.0f);
+    }
+
+    /**
+     * Fills the tensor with deterministic pseudo-random values in
+     * [-scale, scale). Used for reproducible weight initialization.
+     *
+     * @param seed Seed; the same seed always yields the same contents.
+     * @param scale Half-width of the uniform distribution.
+     */
+    void randomize(std::uint64_t seed, float scale = 0.1f);
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<float, AlignedAllocator<float>> _data;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_TENSOR_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Common type aliases, constants, and memory utilities shared across the
+ * dlrmopt libraries.
+ */
+
+#ifndef DLRMOPT_CORE_TYPES_HPP
+#define DLRMOPT_CORE_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace dlrmopt
+{
+
+/** Size of one cache line on all modeled platforms, in bytes. */
+constexpr std::size_t cachelineBytes = 64;
+
+/** Number of 32-bit floats that fit in one cache line. */
+constexpr std::size_t floatsPerLine = cachelineBytes / sizeof(float);
+
+/** Row index into an embedding table (PyTorch uses int64 indices). */
+using RowIndex = std::int64_t;
+
+/**
+ * Minimal STL-compatible allocator that over-aligns allocations to a
+ * cache-line boundary. Used for tensors and embedding tables so SIMD
+ * loads never split lines and false sharing is avoided.
+ */
+template <typename T>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U>&) noexcept
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        void *p = ::operator new[](n * sizeof(T),
+                                   std::align_val_t(cachelineBytes));
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete[](p, std::align_val_t(cachelineBytes));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U>&) const noexcept
+    {
+        return true;
+    }
+};
+
+/**
+ * Deterministic 64-bit mixing function (splitmix64 finalizer). Used
+ * wherever the library needs cheap, reproducible pseudo-randomness
+ * derived from a counter, e.g. weight initialization and synthetic
+ * index draws.
+ *
+ * @param x Input word (typically seed ^ counter).
+ * @return Well-mixed 64-bit value.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Map a 64-bit random word to a uniform double in [0, 1).
+ */
+constexpr double
+toUnitInterval(std::uint64_t x)
+{
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace dlrmopt
+
+#endif // DLRMOPT_CORE_TYPES_HPP

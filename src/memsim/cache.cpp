@@ -1,0 +1,231 @@
+#include "memsim/cache.hpp"
+
+#include <stdexcept>
+
+namespace dlrmopt::memsim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig& cfg)
+    : _cfg(cfg), _numSets(cfg.numSets())
+{
+    if (cfg.lineBytes == 0 || !isPow2(cfg.lineBytes))
+        throw std::invalid_argument("line size must be a power of two");
+    if (cfg.assoc == 0 || _numSets == 0)
+        throw std::invalid_argument("cache too small for its associativity");
+    // Real LLCs (e.g. 35.75 MB 11-way) have non-power-of-two set
+    // counts; those are indexed with a multiply-shift hash instead of
+    // a mask.
+    _setsPow2 = isPow2(_numSets);
+    _lineShift = 0;
+    while ((1u << _lineShift) < cfg.lineBytes)
+        ++_lineShift;
+    if (_setsPow2) {
+        _setShift = 0;
+        while ((std::uint64_t(1) << _setShift) < _numSets)
+            ++_setShift;
+    }
+    _ways.assign(_numSets * cfg.assoc, invalidWord);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t line) const
+{
+    if (_setsPow2)
+        return line & (_numSets - 1);
+    // Fibonacci multiply-shift: maps the line id uniformly onto
+    // [0, numSets) without a division. The exact set mapping of a
+    // non-power-of-two LLC is undocumented anyway; uniformity is what
+    // matters for the model.
+    const std::uint64_t h = line * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(h) * _numSets) >> 64);
+}
+
+std::uint64_t
+Cache::tagBitsOf(std::uint64_t line) const
+{
+    // Line ids stay below 2^31 for every modeled address space
+    // (<= 170 tables x 512 MB), so 32 tag bits never collide. With
+    // power-of-two sets the set bits are redundant and shifted out;
+    // with hashed indexing the full line id is kept.
+    const std::uint64_t tag32 = _setsPow2
+        ? (line >> _setShift) & 0xffffffffull
+        : line & 0x7fffffffull;
+    return tag32 << 32;
+}
+
+std::uint32_t
+Cache::nextTick()
+{
+    if (++_tick >= useMax)
+        renormalizeTicks();
+    return _tick;
+}
+
+void
+Cache::renormalizeTicks()
+{
+    // 24-bit tick overflow: compress all timestamps, preserving
+    // order. Amortized cost is negligible (once per ~16M touches).
+    for (auto& w : _ways) {
+        if (w == invalidWord)
+            continue;
+        const std::uint32_t use = wordUse(w) >> 12;
+        w = (w & ~0xffffff00ull) | (std::uint64_t(use) << 8);
+    }
+    _tick >>= 12;
+}
+
+Cache::LookupResult
+Cache::lookup(std::uint64_t addr)
+{
+    ++_accesses;
+    const std::uint64_t line = addr >> _lineShift;
+    const std::size_t base = setIndex(line) * _cfg.assoc;
+    const std::uint64_t tag = tagBitsOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        std::uint64_t& word = _ways[base + w];
+        if (word != invalidWord && (word & tagMask) == tag) {
+            ++_hits;
+            const auto flag = static_cast<std::uint8_t>(wordFlag(word));
+            word = tag | (std::uint64_t(nextTick()) << 8); // flag -> 0
+            return {true, flag};
+        }
+    }
+    return {false, 0};
+}
+
+Cache::LookupResult
+Cache::accessFill(std::uint64_t addr)
+{
+    ++_accesses;
+    const std::uint64_t line = addr >> _lineShift;
+    const std::size_t base = setIndex(line) * _cfg.assoc;
+    const std::uint64_t tag = tagBitsOf(line);
+
+    std::size_t victim = base;
+    std::uint32_t victim_use = ~0u;
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        std::uint64_t& word = _ways[base + w];
+        if (word == invalidWord) {
+            if (victim_use != 0) {
+                victim = base + w;
+                victim_use = 0;
+            }
+            continue;
+        }
+        if ((word & tagMask) == tag) {
+            ++_hits;
+            const auto flag = static_cast<std::uint8_t>(wordFlag(word));
+            word = tag | (std::uint64_t(nextTick()) << 8);
+            return {true, flag};
+        }
+        if (wordUse(word) < victim_use) {
+            victim = base + w;
+            victim_use = wordUse(word);
+        }
+    }
+
+    if (_ways[victim] != invalidWord)
+        ++_evictions;
+    _ways[victim] = tag | (std::uint64_t(nextTick()) << 8);
+    return {false, 0};
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t line = addr >> _lineShift;
+    const std::size_t base = setIndex(line) * _cfg.assoc;
+    const std::uint64_t tag = tagBitsOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        const std::uint64_t word = _ways[base + w];
+        if (word != invalidWord && (word & tagMask) == tag)
+            return true;
+    }
+    return false;
+}
+
+std::pair<bool, bool>
+Cache::fill(std::uint64_t addr, std::uint8_t flag)
+{
+    const std::uint64_t line = addr >> _lineShift;
+    const std::size_t base = setIndex(line) * _cfg.assoc;
+    const std::uint64_t tag = tagBitsOf(line);
+
+    std::size_t victim = base;
+    std::uint32_t victim_use = ~0u;
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        std::uint64_t& word = _ways[base + w];
+        if (word == invalidWord) {
+            if (victim_use != 0) {
+                victim = base + w;
+                victim_use = 0;
+            }
+            continue;
+        }
+        if ((word & tagMask) == tag) {
+            word = tag | (std::uint64_t(nextTick()) << 8) | flag;
+            return {true, false};
+        }
+        if (wordUse(word) < victim_use) {
+            victim = base + w;
+            victim_use = wordUse(word);
+        }
+    }
+    const bool evicted = _ways[victim] != invalidWord;
+    if (evicted)
+        ++_evictions;
+    _ways[victim] = tag | (std::uint64_t(nextTick()) << 8) | flag;
+    return {false, evicted};
+}
+
+bool
+Cache::insert(std::uint64_t addr, std::uint8_t flag)
+{
+    return fill(addr, flag).second;
+}
+
+bool
+Cache::insertProbe(std::uint64_t addr, std::uint8_t flag)
+{
+    return fill(addr, flag).first;
+}
+
+void
+Cache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t line = addr >> _lineShift;
+    const std::size_t base = setIndex(line) * _cfg.assoc;
+    const std::uint64_t tag = tagBitsOf(line);
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (_ways[base + w] != invalidWord &&
+            (_ways[base + w] & tagMask) == tag) {
+            _ways[base + w] = invalidWord;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    _ways.assign(_ways.size(), invalidWord);
+    _tick = 0;
+    _accesses = 0;
+    _hits = 0;
+    _evictions = 0;
+}
+
+} // namespace dlrmopt::memsim

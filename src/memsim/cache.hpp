@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * This is the building block of the trace-driven memory-hierarchy
+ * simulator that substitutes for VTune measurements (see DESIGN.md).
+ * It models contents (hits/misses/evictions), not timing; timing is
+ * layered on top by the platform timing model.
+ *
+ * Performance matters here: simulations replay hundreds of millions
+ * of accesses, so each way is packed into a single 64-bit word
+ * (tag | LRU stamp | annotation flag) — an 8-way set scan touches
+ * exactly one host cache line — and fused operations (accessFill,
+ * insertProbe) avoid scanning a set twice on the miss path.
+ */
+
+#ifndef DLRMOPT_MEMSIM_CACHE_HPP
+#define DLRMOPT_MEMSIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrmopt::memsim
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+
+    std::uint64_t
+    numSets() const
+    {
+        const std::uint64_t denom =
+            static_cast<std::uint64_t>(assoc) * lineBytes;
+        return denom ? sizeBytes / denom : 0;
+    }
+
+    std::uint64_t
+    numLines() const
+    {
+        return lineBytes ? sizeBytes / lineBytes : 0;
+    }
+};
+
+/**
+ * A single set-associative, LRU-replacement cache. Addresses are byte
+ * addresses; the cache operates on aligned lines.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& cfg);
+
+    const CacheConfig& config() const { return _cfg; }
+
+    /** Result of a demand access. */
+    struct LookupResult
+    {
+        bool hit = false;
+        std::uint8_t flag = 0; //!< line's annotation at hit time
+    };
+
+    /**
+     * Looks up @p addr, updating LRU state on a hit. A hit consumes
+     * the line's annotation flag (returned in the result and cleared
+     * on the line) — used to credit prefetches on first demand use.
+     *
+     * @return Hit/miss plus the consumed flag. Does NOT allocate on
+     *         miss; callers decide fill policy.
+     */
+    LookupResult lookup(std::uint64_t addr);
+
+    /**
+     * Demand access with allocate-on-miss, in a single set scan:
+     * behaves like lookup(), but on a miss fills the line (evicting
+     * the LRU way if needed).
+     */
+    LookupResult accessFill(std::uint64_t addr);
+
+    /** Peeks without touching replacement state or flags. */
+    bool contains(std::uint64_t addr) const;
+
+    /**
+     * Inserts the line for @p addr, evicting the set's LRU line if
+     * needed. If the line is already present, refreshes recency and
+     * overwrites its flag.
+     *
+     * @param flag Annotation stored on the line (0 = plain demand
+     *        fill; prefetch fills encode kind and source level).
+     * @retval true when an existing (valid) line was evicted.
+     */
+    bool insert(std::uint64_t addr, std::uint8_t flag = 0);
+
+    /**
+     * Prefetch-style fused probe + fill in one scan: like insert(),
+     * but reports prior residency instead of eviction.
+     *
+     * @retval true when the line was already present (the fill only
+     *         refreshed recency and the flag).
+     */
+    bool insertProbe(std::uint64_t addr, std::uint8_t flag = 0);
+
+    /** Removes the line holding @p addr if present. */
+    void invalidate(std::uint64_t addr);
+
+    /**
+     * Hints the host CPU to pull this address's set row into its own
+     * caches. Pure simulation-speed optimization: the hierarchy
+     * prefetches the L2/LLC set rows while the L1 scan runs, hiding
+     * host memory latency on the (dominant) miss path.
+     */
+    void
+    hostPrefetch(std::uint64_t addr) const
+    {
+        const std::uint64_t line = addr >> _lineShift;
+        __builtin_prefetch(_ways.data() + setIndex(line) * _cfg.assoc,
+                           0, 1);
+    }
+
+    /** Drops all contents and statistics. */
+    void reset();
+
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _accesses - _hits; }
+    std::uint64_t evictions() const { return _evictions; }
+
+    double
+    hitRate() const
+    {
+        return _accesses
+            ? static_cast<double>(_hits) / static_cast<double>(_accesses)
+            : 0.0;
+    }
+
+  private:
+    // Way word layout: [tag:32][use:24][flag:8].
+    static constexpr std::uint64_t invalidWord = ~std::uint64_t(0);
+    static constexpr std::uint64_t tagMask = 0xffffffff00000000ull;
+    static constexpr std::uint32_t useMax = 0xffffff;
+
+    static std::uint32_t wordFlag(std::uint64_t w)
+    {
+        return static_cast<std::uint32_t>(w & 0xff);
+    }
+
+    static std::uint32_t wordUse(std::uint64_t w)
+    {
+        return static_cast<std::uint32_t>((w >> 8) & 0xffffff);
+    }
+
+    std::uint64_t setIndex(std::uint64_t line) const;
+    std::uint64_t tagBitsOf(std::uint64_t line) const;
+
+    std::uint32_t _lineShift = 6; //!< log2(lineBytes)
+    std::uint32_t _setShift = 0;  //!< log2(numSets) when power of two
+    std::uint32_t nextTick();
+    void renormalizeTicks();
+
+    /** Core fill: scans once; returns (wasPresent, evicted). */
+    std::pair<bool, bool> fill(std::uint64_t addr, std::uint8_t flag);
+
+    CacheConfig _cfg;
+    std::uint64_t _numSets;
+    bool _setsPow2 = true;
+
+    std::vector<std::uint64_t> _ways; //!< numSets x assoc, row-major
+
+    std::uint32_t _tick = 0; //!< LRU timestamp source (24-bit domain)
+    std::uint64_t _accesses = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _evictions = 0;
+};
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_CACHE_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DRAM latency/bandwidth model.
+ *
+ * Captures the two memory-system effects the paper's evaluation
+ * hinges on: a long base access latency (hidden by prefetching) and a
+ * finite per-socket bandwidth that multi-core embedding stages
+ * saturate (Sec. 3.2, Fig. 8). Queueing delay grows with utilization
+ * following an M/D/1-style 1/(1-rho) curve, capped to keep the model
+ * stable at saturation.
+ */
+
+#ifndef DLRMOPT_MEMSIM_DRAM_HPP
+#define DLRMOPT_MEMSIM_DRAM_HPP
+
+#include <algorithm>
+
+namespace dlrmopt::memsim
+{
+
+/** Parameters of the memory interface (per socket). */
+struct DramConfig
+{
+    double baseLatencyCycles = 220.0; //!< unloaded load-to-use latency
+    double peakBandwidthGBs = 140.0;  //!< per-socket peak (Table 3)
+    double freqGHz = 2.4;             //!< core clock for unit conversion
+    double queueCap = 4.0;            //!< max latency inflation factor
+
+    /** Peak bytes transferred per core clock cycle. */
+    double
+    peakBytesPerCycle() const
+    {
+        return peakBandwidthGBs / freqGHz;
+    }
+};
+
+/**
+ * Analytic DRAM timing: effective latency at a given utilization.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig& cfg) : _cfg(cfg) {}
+
+    const DramConfig& config() const { return _cfg; }
+
+    /**
+     * Effective average access latency (cycles) at utilization
+     * @p rho in [0, 1]. Unloaded latency at rho = 0; inflates as
+     * 1 + rho^2/(1-rho) (M/D/1 mean wait) capped at queueCap x.
+     */
+    double
+    latencyAt(double rho) const
+    {
+        const double r = std::clamp(rho, 0.0, 0.999);
+        const double inflation =
+            std::min(_cfg.queueCap, 1.0 + r * r / (1.0 - r));
+        return _cfg.baseLatencyCycles * inflation;
+    }
+
+    /**
+     * Utilization implied by moving @p bytes over @p cycles.
+     * Clamped to [0, 1].
+     */
+    double
+    utilization(double bytes, double cycles) const
+    {
+        if (cycles <= 0.0)
+            return 1.0;
+        return std::clamp(bytes / (cycles * _cfg.peakBytesPerCycle()),
+                          0.0, 1.0);
+    }
+
+    /**
+     * Achieved bandwidth in GB/s for @p bytes over @p cycles.
+     */
+    double
+    achievedGBs(double bytes, double cycles) const
+    {
+        if (cycles <= 0.0)
+            return 0.0;
+        return bytes / cycles * _cfg.freqGHz;
+    }
+
+  private:
+    DramConfig _cfg;
+};
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_DRAM_HPP

@@ -1,0 +1,265 @@
+#include "memsim/embedding_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "memsim/hw_prefetcher.hpp"
+
+namespace dlrmopt::memsim
+{
+
+namespace
+{
+
+/**
+ * Severity rank for worst-line lookup classification, ordered by the
+ * effective exposed latency of each line category.
+ */
+enum Severity : int
+{
+    sevL1 = 0,
+    sevPfL2 = 1,
+    sevL2 = 2,
+    sevPfL3 = 3,
+    sevL3 = 4,
+    sevPfDram = 5,
+    sevDram = 6,
+};
+
+/** Walk state of one core through its assigned batches. */
+struct CoreCursor
+{
+    std::size_t nextBatch = 0;  //!< next batch id to start (stride cores)
+    std::size_t batch = 0;      //!< current batch id
+    std::size_t table = 0;
+    std::size_t sample = 0;
+    std::size_t lookup = 0;
+    bool active = false;        //!< currently executing a batch
+    bool done = false;          //!< no more batches
+};
+
+} // namespace
+
+EmbeddingSim::EmbeddingSim(const EmbSimConfig& cfg) : _cfg(cfg) {}
+
+EmbSimStats
+EmbeddingSim::run()
+{
+    const std::size_t cores = _cfg.hier.cores;
+    const std::size_t tables = _cfg.trace.tables;
+    const std::size_t batch_size = _cfg.trace.batchSize;
+    const std::size_t lookups = _cfg.trace.lookups;
+    const std::size_t row_lines = _cfg.rowLines();
+    const std::uint64_t row_bytes = _cfg.dim * sizeof(float);
+
+    // Lay tables out back to back, 4 KiB aligned.
+    const std::uint64_t table_stride =
+        ((static_cast<std::uint64_t>(_cfg.trace.rows) * row_bytes + 4095) /
+         4096) *
+        4096;
+
+    traces::TraceGenerator gen(_cfg.trace);
+    CacheHierarchy hier(_cfg.hier);
+    EmbSimStats st;
+
+    std::vector<std::unique_ptr<NextLinePrefetcher>> l1pf(cores);
+    std::vector<std::unique_ptr<StridePrefetcher>> l2pf(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        l1pf[c] = std::make_unique<NextLinePrefetcher>();
+        l2pf[c] = std::make_unique<StridePrefetcher>();
+    }
+
+    std::vector<CoreCursor> cur(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        cur[c].nextBatch = c;
+        cur[c].done = c >= _cfg.numBatches;
+    }
+
+    const std::size_t per_batch_per_table = batch_size * lookups;
+    const bool sw_enabled = _cfg.swPf.enabled();
+    const std::size_t sw_dist =
+        sw_enabled ? static_cast<std::size_t>(_cfg.swPf.distance) : 0;
+    const std::size_t sw_lines = sw_enabled
+        ? std::min<std::size_t>(static_cast<std::size_t>(_cfg.swPf.lines),
+                                row_lines)
+        : 0;
+    const bool sw_fill_l1 = _cfg.swPf.locality >= 3;
+    const bool sw_fill_l2 = _cfg.swPf.locality >= 2;
+
+    std::vector<std::uint64_t> cands;
+
+    auto row_addr = [&](std::size_t table, RowIndex row) {
+        return table * table_stride +
+               static_cast<std::uint64_t>(row) * row_bytes;
+    };
+
+    std::size_t active_cores = cores;
+    while (active_cores > 0) {
+        active_cores = 0;
+        for (std::size_t c = 0; c < cores; ++c) {
+            CoreCursor& k = cur[c];
+            if (k.done)
+                continue;
+            if (!k.active) {
+                if (k.nextBatch >= _cfg.numBatches) {
+                    k.done = true;
+                    continue;
+                }
+                k.batch = k.nextBatch;
+                k.nextBatch += cores;
+                k.table = k.sample = k.lookup = 0;
+                k.active = true;
+            }
+            ++active_cores;
+
+            // ---- One lookup of Algorithm 1 on this core. ----
+            const std::size_t pos = k.sample * lookups + k.lookup;
+            const std::uint64_t counter =
+                static_cast<std::uint64_t>(k.batch) * per_batch_per_table +
+                pos;
+            const RowIndex row = gen.drawIndex(k.table, counter);
+            const std::uint64_t base = row_addr(k.table, row);
+
+            // Software prefetch for the row sw_dist lookups ahead,
+            // clamped to the current (table, batch) segment exactly
+            // like the kernel's bounds check (Algorithm 3).
+            if (sw_enabled && pos + sw_dist < per_batch_per_table) {
+                const RowIndex pf_row =
+                    gen.drawIndex(k.table, counter + sw_dist);
+                const std::uint64_t pf_base = row_addr(k.table, pf_row);
+                for (std::size_t cb = 0; cb < sw_lines; ++cb) {
+                    const std::uint64_t a = pf_base + cb * 64;
+                    ++st.swPfIssued;
+                    const HitLevel src = hier.prefetch(
+                        c, a, sw_fill_l1, sw_fill_l2, pfflag::sw);
+                    if (src == HitLevel::L1)
+                        ++st.swPfUseless;
+                    else if (src == HitLevel::Dram)
+                        ++st.swPfDramFills;
+                }
+            }
+
+            // Demand loads for every line of the selected row. When
+            // this row was software-prefetched with a partial amount
+            // (fewer lines than the row has), the remaining lines'
+            // misses are "row-primed": the prefetch already paid the
+            // TLB walk and opened the DRAM row, and the leading
+            // covered lines free the window, so the trailing misses
+            // behave like prefetch residuals rather than full stalls
+            // (this is what makes small amounts viable on
+            // large-window CPUs, Sec. 6.4).
+            const bool row_prefetched =
+                sw_enabled && pos >= sw_dist;
+            int worst = sevL1;
+            for (std::size_t cb = 0; cb < row_lines; ++cb) {
+                const std::uint64_t a = base + cb * 64;
+                const auto r = hier.access(c, a);
+                ++st.lines;
+
+                int sev;
+                switch (r.level) {
+                  case HitLevel::L1:
+                    ++st.lineL1;
+                    if (r.flag != 0) {
+                        const HitLevel src = pfflag::srcOf(r.flag);
+                        const std::size_t si =
+                            static_cast<std::size_t>(src) - 1;
+                        if (pfflag::kindOf(r.flag) == pfflag::sw)
+                            ++st.swCovered[si];
+                        else
+                            ++st.hwCovered[si];
+                        sev = src == HitLevel::Dram ? sevPfDram
+                            : src == HitLevel::L3  ? sevPfL3
+                                                   : sevPfL2;
+                    } else {
+                        sev = sevL1;
+                    }
+                    break;
+                  case HitLevel::L2:
+                    ++st.lineL2;
+                    sev = sevL2;
+                    break;
+                  case HitLevel::L3:
+                    ++st.lineL3;
+                    sev = row_prefetched && cb >= sw_lines ? sevPfL3
+                                                           : sevL3;
+                    break;
+                  default:
+                    ++st.lineDram;
+                    ++st.dramDemandFills;
+                    sev = row_prefetched && cb >= sw_lines
+                        ? sevPfDram
+                        : sevDram;
+                    break;
+                }
+                worst = std::max(worst, sev);
+
+                // Hardware prefetchers observe the demand stream.
+                if (_cfg.hwPrefetch) {
+                    cands.clear();
+                    l1pf[c]->observe(a, r.level != HitLevel::L1, cands);
+                    for (std::uint64_t pa : cands) {
+                        ++st.hwPfIssued;
+                        const HitLevel src = hier.prefetch(
+                            c, pa, true, true, pfflag::hw);
+                        if (src == HitLevel::Dram)
+                            ++st.hwPfDramFills;
+                    }
+                    if (r.level != HitLevel::L1) {
+                        cands.clear();
+                        l2pf[c]->observe(a, r.level != HitLevel::L2,
+                                         cands);
+                        for (std::uint64_t pa : cands) {
+                            ++st.hwPfIssued;
+                            const HitLevel src = hier.prefetch(
+                                c, pa, false, true, pfflag::hw);
+                            if (src == HitLevel::Dram)
+                                ++st.hwPfDramFills;
+                        }
+                    }
+                }
+            }
+            ++st.lookups;
+            switch (worst) {
+              case sevL1:
+                ++st.cls.l1;
+                break;
+              case sevPfL2:
+                ++st.cls.pfL2;
+                break;
+              case sevL2:
+                ++st.cls.l2;
+                break;
+              case sevPfL3:
+                ++st.cls.pfL3;
+                break;
+              case sevL3:
+                ++st.cls.l3;
+                break;
+              case sevPfDram:
+                ++st.cls.pfDram;
+                break;
+              default:
+                ++st.cls.dram;
+                break;
+            }
+
+            // Advance the cursor (innermost: lookup, then sample,
+            // then table, then batch).
+            if (++k.lookup == lookups) {
+                k.lookup = 0;
+                if (++k.sample == batch_size) {
+                    k.sample = 0;
+                    if (++k.table == tables) {
+                        k.table = 0;
+                        k.active = false;
+                    }
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace dlrmopt::memsim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trace-driven simulation of the embedding lookup stage's memory
+ * behaviour.
+ *
+ * Replays the exact load stream of Algorithm 1/2 of the paper — for
+ * every batch, table, sample, and lookup, the dim/16 cache lines of
+ * the selected embedding row — through the multi-core cache
+ * hierarchy, with optional hardware prefetchers and the paper's
+ * application-initiated software prefetching (Algorithm 3). Cores
+ * execute their assigned batches with their lookups interleaved
+ * round-robin, so constructive/destructive LLC sharing (Sec. 3.1.2
+ * "inter-core") is captured.
+ *
+ * The simulator models *contents* (who hits where, which prefetches
+ * were useful and from which level they pulled the line, DRAM
+ * traffic); the platform timing model converts its statistics into
+ * cycles and milliseconds.
+ */
+
+#ifndef DLRMOPT_MEMSIM_EMBEDDING_SIM_HPP
+#define DLRMOPT_MEMSIM_EMBEDDING_SIM_HPP
+
+#include <cstdint>
+
+#include "core/embedding.hpp"
+#include "memsim/hierarchy.hpp"
+#include "trace/generator.hpp"
+
+namespace dlrmopt::memsim
+{
+
+/** Configuration of one embedding-stage simulation. */
+struct EmbSimConfig
+{
+    traces::TraceConfig trace;  //!< index trace (rows/tables/lookups/hotness)
+    std::size_t dim = 128;      //!< embedding dimension (fp32)
+    HierarchyConfig hier;       //!< cache geometry incl. core count
+    bool hwPrefetch = true;     //!< model HW next-line + stride prefetchers
+    core::PrefetchSpec swPf{};  //!< SW prefetch spec ({} = disabled)
+    std::size_t numBatches = 12; //!< batches simulated (across all cores)
+
+    /** Cache lines per embedding row. */
+    std::size_t
+    rowLines() const
+    {
+        return (dim * sizeof(float) + 63) / 64;
+    }
+};
+
+/**
+ * Per-lookup worst-line classification, ordered by effective exposed
+ * latency: a lookup stalls for its slowest line. "pfX" means the
+ * worst line was prefetch-covered and the prefetch pulled it from
+ * level X (so only X's latency — mostly hidden — is exposed).
+ */
+struct LookupClasses
+{
+    std::uint64_t l1 = 0;     //!< all lines hit L1, no prefetch credit
+    std::uint64_t pfL2 = 0;   //!< worst: covered line sourced from L2
+    std::uint64_t l2 = 0;     //!< worst: plain L2 hit
+    std::uint64_t pfL3 = 0;   //!< worst: covered line sourced from L3
+    std::uint64_t l3 = 0;     //!< worst: plain L3 hit
+    std::uint64_t pfDram = 0; //!< worst: covered line sourced from DRAM
+    std::uint64_t dram = 0;   //!< worst: plain DRAM access
+
+    std::uint64_t
+    total() const
+    {
+        return l1 + pfL2 + l2 + pfL3 + l3 + pfDram + dram;
+    }
+};
+
+/** Aggregate results of an embedding-stage simulation. */
+struct EmbSimStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t lines = 0;       //!< demand line accesses (row data)
+
+    std::uint64_t lineL1 = 0;      //!< demand lines satisfied in L1
+    std::uint64_t lineL2 = 0;
+    std::uint64_t lineL3 = 0;
+    std::uint64_t lineDram = 0;
+
+    /** L1 demand hits credited to a SW prefetch, by source level the
+     *  prefetch pulled from: [0] = L2, [1] = L3, [2] = DRAM. */
+    std::uint64_t swCovered[3] = {0, 0, 0};
+    std::uint64_t hwCovered[3] = {0, 0, 0};
+
+    std::uint64_t swPfIssued = 0;    //!< SW prefetch line requests
+    std::uint64_t swPfUseless = 0;   //!< target already in L1
+    std::uint64_t swPfDramFills = 0; //!< SW prefetches sourced from DRAM
+    std::uint64_t hwPfIssued = 0;
+    std::uint64_t hwPfDramFills = 0;
+
+    std::uint64_t dramDemandFills = 0; //!< demand misses to DRAM
+
+    LookupClasses cls;
+
+    /** Raw row-data L1 hit rate (contents view). */
+    double
+    l1HitRate() const
+    {
+        return lines ? static_cast<double>(lineL1) /
+                           static_cast<double>(lines)
+                     : 0.0;
+    }
+
+    /**
+     * Profiler-view L1D hit rate: the kernel issues one accumulator
+     * load (always L1-resident) per row-data load (Algorithm 1's
+     * vec.ld accm / vec.ld row_block pair), so measured hit rates sit
+     * halfway between the row hit rate and 1. This is the number to
+     * compare against the paper's VTune figures (Figs. 4, 10c, 15).
+     */
+    double
+    vtuneL1HitRate() const
+    {
+        return lines ? (static_cast<double>(lines) +
+                        static_cast<double>(lineL1)) /
+                           (2.0 * static_cast<double>(lines))
+                     : 0.0;
+    }
+
+    double
+    l2HitRate() const
+    {
+        const std::uint64_t seen = lines - lineL1;
+        return seen ? static_cast<double>(lineL2) /
+                          static_cast<double>(seen)
+                    : 0.0;
+    }
+
+    double
+    l3HitRate() const
+    {
+        const std::uint64_t seen = lines - lineL1 - lineL2;
+        return seen ? static_cast<double>(lineL3) /
+                          static_cast<double>(seen)
+                    : 0.0;
+    }
+
+    std::uint64_t
+    swCoveredTotal() const
+    {
+        return swCovered[0] + swCovered[1] + swCovered[2];
+    }
+
+    std::uint64_t
+    hwCoveredTotal() const
+    {
+        return hwCovered[0] + hwCovered[1] + hwCovered[2];
+    }
+
+    /** Total bytes moved from DRAM (demand + both prefetch kinds). */
+    double
+    dramBytes() const
+    {
+        return 64.0 * static_cast<double>(dramDemandFills + swPfDramFills +
+                                          hwPfDramFills);
+    }
+};
+
+/**
+ * Runs the embedding-stage memory simulation described above.
+ */
+class EmbeddingSim
+{
+  public:
+    explicit EmbeddingSim(const EmbSimConfig& cfg);
+
+    /**
+     * Simulates the configured number of batches. Batch b is assigned
+     * to core b % cores (the paper's batch-per-core mapping); cores
+     * advance one lookup per round-robin turn.
+     */
+    EmbSimStats run();
+
+  private:
+    EmbSimConfig _cfg;
+};
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_EMBEDDING_SIM_HPP

@@ -1,0 +1,92 @@
+#include "memsim/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace dlrmopt::memsim
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg)
+    : _cfg(cfg)
+{
+    if (cfg.cores == 0)
+        throw std::invalid_argument("hierarchy needs at least one core");
+    if (cfg.sockets == 0 || cfg.sockets > cfg.cores)
+        throw std::invalid_argument("bad socket count");
+    _coresPerSocket = (cfg.cores + cfg.sockets - 1) / cfg.sockets;
+    for (std::size_t c = 0; c < cfg.cores; ++c) {
+        _l1.push_back(std::make_unique<Cache>(cfg.l1));
+        _l2.push_back(std::make_unique<Cache>(cfg.l2));
+    }
+    for (std::size_t s = 0; s < cfg.sockets; ++s)
+        _l3.push_back(std::make_unique<Cache>(cfg.l3));
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::access(std::size_t core, std::uint64_t addr)
+{
+    // Each level is probed and (on miss) filled in one fused scan —
+    // NINE behaviour, no back-invalidation. Deeper levels' set rows
+    // are host-prefetched up front so their scans don't serialize on
+    // host memory latency.
+    _l2[core]->hostPrefetch(addr);
+    _l3[socketOf(core)]->hostPrefetch(addr);
+    ++_stats.accesses[0];
+    if (auto r = _l1[core]->accessFill(addr); r.hit) {
+        ++_stats.hits[0];
+        return {HitLevel::L1, r.flag};
+    }
+
+    ++_stats.accesses[1];
+    if (auto r = _l2[core]->accessFill(addr); r.hit) {
+        ++_stats.hits[1];
+        return {HitLevel::L2, r.flag};
+    }
+
+    ++_stats.accesses[2];
+    if (auto r = _l3[socketOf(core)]->accessFill(addr); r.hit) {
+        ++_stats.hits[2];
+        return {HitLevel::L3, r.flag};
+    }
+
+    ++_stats.dramFills;
+    return {HitLevel::Dram, 0};
+}
+
+HitLevel
+CacheHierarchy::prefetch(std::size_t core, std::uint64_t addr, bool fill_l1,
+                         bool fill_l2, pfflag::Kind kind)
+{
+    // Prefetches probe without perturbing demand hit statistics.
+    if (_l1[core]->contains(addr))
+        return HitLevel::L1; // already where the demand will look
+
+    HitLevel src;
+    if (_l2[core]->contains(addr)) {
+        // Line already in this core's L2; the prefetch just pulls it
+        // closer (NINE: no need to touch the LLC).
+        src = HitLevel::L2;
+    } else {
+        // Fused LLC probe + fill. The flag assumes a DRAM source
+        // (the common cold case); if the line turned out to be LLC
+        // resident, rewrite the annotation with the true source.
+        Cache& llc = *_l3[socketOf(core)];
+        const bool in_l3 = llc.insertProbe(
+            addr, pfflag::make(kind, HitLevel::Dram));
+        if (in_l3) {
+            src = HitLevel::L3;
+            llc.insert(addr, pfflag::make(kind, src));
+        } else {
+            src = HitLevel::Dram;
+            ++_stats.dramFills;
+        }
+    }
+
+    const std::uint8_t flag = pfflag::make(kind, src);
+    if (fill_l2 && src != HitLevel::L2)
+        _l2[core]->insert(addr, flag);
+    if (fill_l1)
+        _l1[core]->insert(addr, flag);
+    return src;
+}
+
+} // namespace dlrmopt::memsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Three-level cache hierarchy: private L1D and L2 per core, one
+ * shared LLC. Models contents and hit levels; latency numbers are
+ * attached by the platform timing model.
+ */
+
+#ifndef DLRMOPT_MEMSIM_HIERARCHY_HPP
+#define DLRMOPT_MEMSIM_HIERARCHY_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsim/cache.hpp"
+
+namespace dlrmopt::memsim
+{
+
+/** Where a demand access was satisfied. */
+enum class HitLevel : std::uint8_t
+{
+    L1 = 0,
+    L2 = 1,
+    L3 = 2,
+    Dram = 3,
+};
+
+/**
+ * Annotation flags stored on cache lines to credit prefetches when a
+ * demand access first touches a prefetched line. Encodes who issued
+ * the prefetch and where the line was sourced from.
+ */
+namespace pfflag
+{
+
+enum Kind : std::uint8_t
+{
+    none = 0,
+    sw = 1, //!< application-initiated software prefetch
+    hw = 2, //!< hardware prefetcher
+};
+
+/** Builds a flag from prefetch kind and source level. */
+constexpr std::uint8_t
+make(Kind kind, HitLevel src)
+{
+    return static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(kind) << 3) |
+        (static_cast<std::uint8_t>(src) + 1));
+}
+
+constexpr Kind
+kindOf(std::uint8_t flag)
+{
+    return static_cast<Kind>(flag >> 3);
+}
+
+constexpr HitLevel
+srcOf(std::uint8_t flag)
+{
+    return static_cast<HitLevel>((flag & 0x7) - 1);
+}
+
+} // namespace pfflag
+
+/** Geometry of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1{32 * 1024, 8, 64};
+    CacheConfig l2{1024 * 1024, 16, 64};
+    CacheConfig l3{35 * 1024 * 1024 + 768 * 1024, 11, 64}; //!< CSL 35.75 MB
+    std::size_t cores = 1;   //!< total cores across all sockets
+    std::size_t sockets = 1; //!< each socket has its own LLC
+};
+
+/** Hit/access counters per level, aggregated over all cores. */
+struct HierarchyStats
+{
+    std::array<std::uint64_t, 3> accesses{}; //!< per level L1/L2/L3
+    std::array<std::uint64_t, 3> hits{};
+    std::uint64_t dramFills = 0;
+
+    double
+    hitRate(HitLevel level) const
+    {
+        const auto l = static_cast<std::size_t>(level);
+        return accesses[l] ? static_cast<double>(hits[l]) /
+                                 static_cast<double>(accesses[l])
+                           : 0.0;
+    }
+};
+
+/**
+ * Multi-core cache hierarchy with demand and prefetch access paths.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig& cfg);
+
+    const HierarchyConfig& config() const { return _cfg; }
+
+    /** Result of a demand access. */
+    struct AccessResult
+    {
+        HitLevel level = HitLevel::Dram;
+        std::uint8_t flag = 0; //!< consumed prefetch annotation, if any
+    };
+
+    /**
+     * Demand access from @p core to byte address @p addr. Fills every
+     * level on the way in (NINE behaviour: no back-invalidation). If
+     * the hit line carries a prefetch annotation, it is consumed and
+     * returned so the caller can credit the prefetch.
+     *
+     * @return The level that satisfied the access plus the flag.
+     */
+    AccessResult access(std::size_t core, std::uint64_t addr);
+
+    /**
+     * Prefetch fill from @p core. A line already resident in the
+     * core's L1D is left untouched (the prefetch is useless).
+     *
+     * @param fill_l1 Insert into the core's L1D (T0 hint).
+     * @param fill_l2 Insert into the core's L2 (T0/T1 hints).
+     *                The LLC is always filled (all hints).
+     * @param kind Annotation recorded on the filled lines.
+     * @return The level the line was sourced from (Dram = the
+     *         prefetch paid a DRAM transfer; L1 = useless).
+     */
+    HitLevel prefetch(std::size_t core, std::uint64_t addr, bool fill_l1,
+                      bool fill_l2, pfflag::Kind kind);
+
+    /** True when the line is already in the core's L1D. */
+    bool
+    inL1(std::size_t core, std::uint64_t addr) const
+    {
+        return _l1[core]->contains(addr);
+    }
+
+    const HierarchyStats& stats() const { return _stats; }
+    void
+    resetStats()
+    {
+        _stats = HierarchyStats{};
+    }
+
+    Cache& l1(std::size_t core) { return *_l1[core]; }
+    Cache& l2(std::size_t core) { return *_l2[core]; }
+
+    /** The LLC shared by @p core's socket. */
+    Cache&
+    l3(std::size_t core = 0)
+    {
+        return *_l3[socketOf(core)];
+    }
+
+    /** Socket index of a core (cores are striped contiguously). */
+    std::size_t
+    socketOf(std::size_t core) const
+    {
+        return core / _coresPerSocket;
+    }
+
+  private:
+    HierarchyConfig _cfg;
+    std::size_t _coresPerSocket = 1;
+    std::vector<std::unique_ptr<Cache>> _l1;
+    std::vector<std::unique_ptr<Cache>> _l2;
+    std::vector<std::unique_ptr<Cache>> _l3; //!< one per socket
+    HierarchyStats _stats;
+};
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_HIERARCHY_HPP

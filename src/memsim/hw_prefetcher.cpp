@@ -1,0 +1,71 @@
+#include "memsim/hw_prefetcher.hpp"
+
+#include <cstdlib>
+
+namespace dlrmopt::memsim
+{
+
+void
+NextLinePrefetcher::observe(std::uint64_t addr, bool miss,
+                            std::vector<std::uint64_t>& out)
+{
+    if (!miss)
+        return;
+    const std::uint64_t line = addr / _lineBytes;
+    for (std::uint32_t d = 1; d <= _degree; ++d) {
+        out.push_back((line + d) * _lineBytes);
+        ++_issued;
+    }
+}
+
+StridePrefetcher::StridePrefetcher(std::uint32_t line_bytes,
+                                   std::size_t table_size,
+                                   std::uint32_t degree)
+    : _lineBytes(line_bytes), _degree(degree), _table(table_size)
+{
+}
+
+void
+StridePrefetcher::observe(std::uint64_t addr, bool miss,
+                          std::vector<std::uint64_t>& out)
+{
+    (void)miss; // stride detection trains on hits too
+    const std::uint64_t line = addr / _lineBytes;
+    // 4 KiB-page-region tag approximates per-stream tracking without
+    // PCs (the simulator has no instruction stream).
+    const std::uint64_t region = line >> 6;
+    StreamEntry& e = _table[region % _table.size()];
+    ++_tick;
+
+    if (e.valid && (e.lastLine >> 6) == region) {
+        const std::int64_t stride =
+            static_cast<std::int64_t>(line) -
+            static_cast<std::int64_t>(e.lastLine);
+        if (stride != 0 && stride == e.stride) {
+            if (e.confidence < 4)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = stride != 0 ? 1 : 0;
+        }
+        if (e.confidence >= 2 && e.stride != 0) {
+            for (std::uint32_t d = 1; d <= _degree; ++d) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(line) + e.stride * d;
+                if (target > 0) {
+                    out.push_back(static_cast<std::uint64_t>(target) *
+                                  _lineBytes);
+                    ++_issued;
+                }
+            }
+        }
+    } else {
+        e.stride = 0;
+        e.confidence = 0;
+    }
+    e.lastLine = line;
+    e.lastUse = _tick;
+    e.valid = true;
+}
+
+} // namespace dlrmopt::memsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Hardware prefetcher models.
+ *
+ * Off-the-shelf CPUs ship simple next-line and stride prefetchers
+ * (Sec. 4.1 / [29] in the paper); they capture the sequential lines
+ * inside one embedding row but not the indirect row-to-row pattern.
+ * These models observe the demand line stream and emit prefetch
+ * candidate addresses for the hierarchy to fill.
+ */
+
+#ifndef DLRMOPT_MEMSIM_HW_PREFETCHER_HPP
+#define DLRMOPT_MEMSIM_HW_PREFETCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrmopt::memsim
+{
+
+/**
+ * Interface for hardware prefetchers: observe an access, propose
+ * prefetch addresses.
+ */
+class HwPrefetcher
+{
+  public:
+    virtual ~HwPrefetcher() = default;
+
+    /**
+     * Observes a demand access and appends prefetch candidate byte
+     * addresses to @p out.
+     *
+     * @param addr Demand byte address.
+     * @param miss Whether the demand access missed its cache level.
+     * @param out Candidate list (not cleared).
+     */
+    virtual void observe(std::uint64_t addr, bool miss,
+                         std::vector<std::uint64_t>& out) = 0;
+
+    std::uint64_t issued() const { return _issued; }
+
+  protected:
+    std::uint64_t _issued = 0;
+};
+
+/**
+ * Next-line prefetcher (L1-adjacent): on a miss to line X, prefetch
+ * X+1. Catches the sequential walk over an embedding row's lines.
+ */
+class NextLinePrefetcher : public HwPrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(std::uint32_t line_bytes = 64,
+                                std::uint32_t degree = 1)
+        : _lineBytes(line_bytes), _degree(degree)
+    {
+    }
+
+    void observe(std::uint64_t addr, bool miss,
+                 std::vector<std::uint64_t>& out) override;
+
+  private:
+    std::uint32_t _lineBytes;
+    std::uint32_t _degree;
+};
+
+/**
+ * Stream/stride prefetcher (L2-style): tracks a small table of
+ * recently seen streams; after observing the same line-stride twice
+ * in a stream's region, prefetches ahead by the stride.
+ */
+class StridePrefetcher : public HwPrefetcher
+{
+  public:
+    explicit StridePrefetcher(std::uint32_t line_bytes = 64,
+                              std::size_t table_size = 16,
+                              std::uint32_t degree = 2);
+
+    void observe(std::uint64_t addr, bool miss,
+                 std::vector<std::uint64_t>& out) override;
+
+  private:
+    struct StreamEntry
+    {
+        std::uint64_t lastLine = 0;
+        std::int64_t stride = 0;
+        std::uint32_t confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t _lineBytes;
+    std::uint32_t _degree;
+    std::vector<StreamEntry> _table;
+    std::uint64_t _tick = 0;
+};
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_HW_PREFETCHER_HPP

@@ -1,0 +1,187 @@
+#include "memsim/reuse.hpp"
+
+#include <algorithm>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::memsim
+{
+
+double
+ReuseHistogram::hitRateAtCapacity(std::uint64_t capacity_elems) const
+{
+    if (totalAccesses == 0)
+        return 0.0;
+    // Count accesses with distance < capacity. Bin i spans
+    // [2^i, 2^(i+1)) (bin 0 spans [0, 2)); bins entirely below the
+    // capacity count fully, the straddling bin counts pro rata
+    // (distances are near-uniform inside a bin at this granularity).
+    double hits = 0.0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
+        const double hi = static_cast<double>(1ull << (i + 1));
+        const double cap = static_cast<double>(capacity_elems);
+        if (cap >= hi) {
+            hits += static_cast<double>(bins[i]);
+        } else if (cap > lo) {
+            hits += static_cast<double>(bins[i]) * (cap - lo) / (hi - lo);
+        }
+    }
+    return hits / static_cast<double>(totalAccesses);
+}
+
+void
+ReuseHistogram::merge(const ReuseHistogram& other)
+{
+    if (other.bins.size() > bins.size())
+        bins.resize(other.bins.size(), 0);
+    for (std::size_t i = 0; i < other.bins.size(); ++i)
+        bins[i] += other.bins[i];
+    coldAccesses += other.coldAccesses;
+    totalAccesses += other.totalAccesses;
+}
+
+namespace
+{
+
+std::size_t
+binOf(std::int64_t distance)
+{
+    std::size_t b = 0;
+    while ((std::int64_t(1) << (b + 1)) <= distance)
+        ++b;
+    return b;
+}
+
+} // namespace
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(std::size_t capacity_hint)
+{
+    const std::size_t n = std::max<std::size_t>(capacity_hint, 1024);
+    _tree.assign(n + 1, 0);
+    _mapSize = 2048;
+    while (_mapSize < n * 2)
+        _mapSize <<= 1;
+    _lastPos.assign(_mapSize, 0);
+    _keys.assign(_mapSize, 0);
+    _used.assign(_mapSize, 0);
+}
+
+void
+ReuseDistanceAnalyzer::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    for (std::size_t i = pos + 1; i < _tree.size(); i += i & (~i + 1))
+        _tree[i] += delta;
+}
+
+std::int64_t
+ReuseDistanceAnalyzer::fenwickSum(std::size_t pos) const
+{
+    // Sum of marks in positions [0, pos].
+    std::int64_t s = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        s += _tree[i];
+    return s;
+}
+
+std::size_t
+ReuseDistanceAnalyzer::findSlot(std::uint64_t key) const
+{
+    std::size_t slot = mix64(key) & (_mapSize - 1);
+    while (_used[slot] && _keys[slot] != key)
+        slot = (slot + 1) & (_mapSize - 1);
+    return slot;
+}
+
+void
+ReuseDistanceAnalyzer::growMap()
+{
+    const std::size_t old_size = _mapSize;
+    auto old_keys = std::move(_keys);
+    auto old_pos = std::move(_lastPos);
+    auto old_used = std::move(_used);
+    _mapSize <<= 1;
+    _keys.assign(_mapSize, 0);
+    _lastPos.assign(_mapSize, 0);
+    _used.assign(_mapSize, 0);
+    for (std::size_t i = 0; i < old_size; ++i) {
+        if (!old_used[i])
+            continue;
+        const std::size_t slot = findSlot(old_keys[i]);
+        _keys[slot] = old_keys[i];
+        _lastPos[slot] = old_pos[i];
+        _used[slot] = 1;
+    }
+}
+
+std::int64_t
+ReuseDistanceAnalyzer::access(std::uint64_t key)
+{
+    // Grow the Fenwick tree by rebuilding when the trace outruns the
+    // hint. Marks are recoverable from the live last-position map.
+    if (_time + 2 >= _tree.size()) {
+        const std::size_t new_size = _tree.size() * 2;
+        _tree.assign(new_size, 0);
+        for (std::size_t i = 0; i < _mapSize; ++i) {
+            if (_used[i])
+                fenwickAdd(_lastPos[i] - 1, 1);
+        }
+    }
+
+    if (_mapCount * 10 >= _mapSize * 7)
+        growMap();
+
+    const std::size_t slot = findSlot(key);
+    std::int64_t distance = -1;
+    ++_hist.totalAccesses;
+
+    if (_used[slot]) {
+        const std::uint64_t prev = _lastPos[slot] - 1;
+        // Distinct keys touched strictly after prev and before now.
+        distance = fenwickSum(static_cast<std::size_t>(_time)) -
+                   fenwickSum(static_cast<std::size_t>(prev));
+        fenwickAdd(static_cast<std::size_t>(prev), -1);
+        const std::size_t b = binOf(distance);
+        if (b >= _hist.bins.size())
+            _hist.bins.resize(b + 1, 0);
+        ++_hist.bins[b];
+    } else {
+        _used[slot] = 1;
+        _keys[slot] = key;
+        ++_mapCount;
+        ++_hist.coldAccesses;
+    }
+
+    fenwickAdd(static_cast<std::size_t>(_time), 1);
+    _lastPos[slot] = _time + 1;
+    ++_time;
+    return distance;
+}
+
+std::uint64_t
+ReuseDistanceAnalyzer::distinctKeys() const
+{
+    return _mapCount;
+}
+
+std::vector<std::int64_t>
+computeStackDistances(const std::vector<std::uint64_t>& trace)
+{
+    ReuseDistanceAnalyzer a(trace.size());
+    std::vector<std::int64_t> out;
+    out.reserve(trace.size());
+    for (std::uint64_t key : trace)
+        out.push_back(a.access(key));
+    return out;
+}
+
+ReuseHistogram
+computeReuseHistogram(const std::vector<std::uint64_t>& trace)
+{
+    ReuseDistanceAnalyzer a(trace.size());
+    for (std::uint64_t key : trace)
+        a.access(key);
+    return a.histogram();
+}
+
+} // namespace dlrmopt::memsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reuse-distance (LRU stack distance) analysis — the "model" of
+ * Fig. 6 of the paper.
+ *
+ * Given an index access trace, computes for every access the number
+ * of *distinct* elements touched since the previous access to the
+ * same element (infinite for first-touch / cold accesses). Comparing
+ * the distance distribution against a cache's capacity in elements
+ * yields the hit rate a fully-associative LRU cache of that capacity
+ * would achieve (Sec. 3.1.2, Fig. 7).
+ */
+
+#ifndef DLRMOPT_MEMSIM_REUSE_HPP
+#define DLRMOPT_MEMSIM_REUSE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrmopt::memsim
+{
+
+/**
+ * Histogram of reuse distances in power-of-two bins.
+ */
+struct ReuseHistogram
+{
+    /** bins[i] counts accesses with distance in [2^i, 2^(i+1)).
+     *  bins[0] covers distances 0 and 1. */
+    std::vector<std::uint64_t> bins;
+
+    std::uint64_t coldAccesses = 0;  //!< first touches (infinite dist)
+    std::uint64_t totalAccesses = 0;
+
+    /** Fraction of all accesses that are cold (Fig. 7 yellow marker). */
+    double
+    coldFraction() const
+    {
+        return totalAccesses ? static_cast<double>(coldAccesses) /
+                                   static_cast<double>(totalAccesses)
+                             : 0.0;
+    }
+
+    /**
+     * Hit rate of a fully-associative LRU cache holding
+     * @p capacity_elems elements: the fraction of accesses whose
+     * reuse distance is strictly below the capacity.
+     */
+    double hitRateAtCapacity(std::uint64_t capacity_elems) const;
+
+    /** Merges another histogram into this one. */
+    void merge(const ReuseHistogram& other);
+};
+
+/**
+ * Streaming stack-distance calculator. Feed accesses one at a time;
+ * distances are exact (Bennett-Kruskal algorithm: hash map of last
+ * positions + Fenwick tree over live positions, O(log n) per access).
+ */
+class ReuseDistanceAnalyzer
+{
+  public:
+    /** @param capacity_hint Expected trace length (reserve sizing). */
+    explicit ReuseDistanceAnalyzer(std::size_t capacity_hint = 0);
+
+    /**
+     * Records an access to @p key.
+     *
+     * @return The reuse distance, or -1 for a cold (first) access.
+     */
+    std::int64_t access(std::uint64_t key);
+
+    /** Histogram of everything recorded so far, with exact counts. */
+    ReuseHistogram histogram() const { return _hist; }
+
+    std::uint64_t distinctKeys() const;
+
+  private:
+    void fenwickAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t fenwickSum(std::size_t pos) const;
+
+    std::vector<std::int64_t> _tree;  //!< Fenwick over access positions
+    std::vector<std::uint64_t> _lastPos; //!< open-addressing: position+1
+    std::vector<std::uint64_t> _keys;
+    std::vector<std::uint8_t> _used;
+    std::size_t _mapSize = 0;
+    std::size_t _mapCount = 0;
+    std::uint64_t _time = 0;
+    ReuseHistogram _hist;
+
+    std::size_t findSlot(std::uint64_t key) const;
+    void growMap();
+};
+
+/**
+ * Convenience wrapper: exact reuse distance per access of @p trace
+ * (-1 = cold). Used by tests to validate against a brute-force
+ * reference.
+ */
+std::vector<std::int64_t>
+computeStackDistances(const std::vector<std::uint64_t>& trace);
+
+/** One-shot histogram over a full trace. */
+ReuseHistogram computeReuseHistogram(const std::vector<std::uint64_t>& trace);
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_REUSE_HPP

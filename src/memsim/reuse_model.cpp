@@ -1,0 +1,80 @@
+#include "memsim/reuse_model.hpp"
+#include <algorithm>
+
+
+namespace dlrmopt::memsim
+{
+
+ReuseModelResult
+runReuseModel(const ReuseModelConfig& cfg)
+{
+    const std::size_t cores = std::max<std::size_t>(1, cfg.cores);
+    const std::size_t tables = cfg.trace.tables;
+    const std::size_t per_table =
+        cfg.trace.batchSize * cfg.trace.lookups;
+    const std::size_t per_batch = per_table * tables;
+
+    traces::TraceGenerator gen(cfg.trace);
+
+    // Interleave the per-core lookup streams round-robin, mirroring
+    // the batch-per-core execution (Sec. 3.2): core c owns batches
+    // c, c + cores, ...
+    struct Walker
+    {
+        std::size_t batch;
+        std::size_t pos = 0; //!< flat position within the batch
+        bool done = false;
+    };
+    std::vector<Walker> w(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        w[c].batch = c;
+        w[c].done = c >= cfg.numBatches;
+    }
+
+    ReuseDistanceAnalyzer analyzer(cfg.numBatches * per_batch);
+    std::size_t active = cores;
+    while (active > 0) {
+        active = 0;
+        for (std::size_t c = 0; c < cores; ++c) {
+            if (w[c].done)
+                continue;
+            ++active;
+            const std::size_t table = w[c].pos / per_table;
+            const std::size_t off = w[c].pos % per_table;
+            const std::uint64_t counter =
+                static_cast<std::uint64_t>(w[c].batch) * per_table + off;
+            const RowIndex row = gen.drawIndex(table, counter);
+            // Qualify by table so rows of different tables never alias.
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(table) * cfg.trace.rows +
+                static_cast<std::uint64_t>(row);
+            analyzer.access(key);
+
+            if (++w[c].pos == per_batch) {
+                w[c].pos = 0;
+                w[c].batch += cores;
+                if (w[c].batch >= cfg.numBatches)
+                    w[c].done = true;
+            }
+        }
+    }
+
+    ReuseModelResult res;
+    res.hist = analyzer.histogram();
+    res.distinctRows = analyzer.distinctKeys();
+
+    std::vector<std::uint64_t> levels = cfg.cacheBytes;
+    if (levels.empty()) {
+        levels = {32ull * 1024, 1024ull * 1024,
+                  35ull * 1024 * 1024 + 768ull * 1024};
+    }
+    const std::uint64_t row_bytes = cfg.dim * sizeof(float);
+    for (std::uint64_t bytes : levels) {
+        const std::uint64_t vecs = bytes / row_bytes;
+        res.capacityVectors.push_back(vecs);
+        res.hitRates.push_back(res.hist.hitRateAtCapacity(vecs));
+    }
+    return res;
+}
+
+} // namespace dlrmopt::memsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's reuse-distance "model" (Fig. 6): index trace in,
+ * reuse-distance bins and per-cache-level hit rates out.
+ *
+ * Pipeline: (1) generate the index access trace from the dataset and
+ * embedding parameters, interleaving cores round-robin; (2) compute
+ * stack distances over the trace; (3) convert each cache capacity
+ * into "how many embedding row vectors fit" (fully-associative
+ * assumption) and read the hit rate off the distance distribution.
+ */
+
+#ifndef DLRMOPT_MEMSIM_REUSE_MODEL_HPP
+#define DLRMOPT_MEMSIM_REUSE_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/reuse.hpp"
+#include "trace/generator.hpp"
+
+namespace dlrmopt::memsim
+{
+
+/** Inputs of the Fig. 6 model. */
+struct ReuseModelConfig
+{
+    traces::TraceConfig trace; //!< dataset + embedding parameters
+    std::size_t dim = 128;     //!< embedding dimension (fp32)
+    std::size_t cores = 1;     //!< concurrent cores (batch-per-core)
+    std::size_t numBatches = 12;
+
+    /** Cache capacities (bytes) to mark on the histogram; defaults to
+     *  CSL L1D/L2/L3 when empty. */
+    std::vector<std::uint64_t> cacheBytes;
+};
+
+/** Outputs of the Fig. 6 model. */
+struct ReuseModelResult
+{
+    ReuseHistogram hist;       //!< row-granularity reuse distances
+    std::vector<std::uint64_t> capacityVectors; //!< rows that fit/level
+    std::vector<double> hitRates;               //!< hit rate per level
+    std::uint64_t distinctRows = 0;
+
+    double coldFraction() const { return hist.coldFraction(); }
+};
+
+/**
+ * Runs the model: builds the interleaved multi-core row-id trace and
+ * feeds it through the stack-distance analyzer.
+ */
+ReuseModelResult runReuseModel(const ReuseModelConfig& cfg);
+
+} // namespace dlrmopt::memsim
+
+#endif // DLRMOPT_MEMSIM_REUSE_MODEL_HPP

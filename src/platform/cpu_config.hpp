@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CPU platform descriptions.
+ *
+ * Encodes the paper's evaluation hardware: the primary Cascade Lake
+ * 6240R (Table 3) plus the four additional platforms of Sec. 6.4
+ * (SkyLake, Ice Lake, Sapphire Rapids, Zen3). Cache geometry feeds
+ * the contents simulator; latency/bandwidth/window parameters feed
+ * the timing model.
+ */
+
+#ifndef DLRMOPT_PLATFORM_CPU_CONFIG_HPP
+#define DLRMOPT_PLATFORM_CPU_CONFIG_HPP
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "memsim/dram.hpp"
+#include "memsim/hierarchy.hpp"
+
+namespace dlrmopt::platform
+{
+
+/**
+ * One CPU platform.
+ */
+struct CpuConfig
+{
+    std::string name;
+    std::size_t cores = 24;        //!< physical cores per socket
+    std::size_t sockets = 2;       //!< sockets in the machine
+    std::size_t smtWays = 2;
+    double freqGHz = 2.4;
+
+    memsim::CacheConfig l1{32 * 1024, 8, 64};
+    memsim::CacheConfig l2{1024 * 1024, 16, 64};
+    memsim::CacheConfig l3{35 * 1024 * 1024 + 768 * 1024, 11, 64};
+
+    double l1LatencyCycles = 5.0;
+    double l2LatencyCycles = 14.0;
+    double l3LatencyCycles = 44.0;
+    double dramLatencyCycles = 220.0;
+    double dramBandwidthGBs = 140.0; //!< per socket
+    double dramQueueCap = 2.5;       //!< max queueing latency inflation
+
+    std::size_t robSize = 224;       //!< OoO instruction window
+    double simdFlopsPerCycle = 64.0; //!< peak fp32 FLOPs/cycle/core
+
+    /** Best software-prefetch amount in cache lines (Sec. 6.4). */
+    int bestPfAmount = 8;
+
+    /** Total physical cores across all sockets. */
+    std::size_t totalCores() const { return cores * sockets; }
+
+    /** Sockets engaged when @p active_cores are running (cores fill
+     *  socket 0 first, like a compact affinity policy). */
+    std::size_t
+    activeSockets(std::size_t active_cores) const
+    {
+        return std::min(sockets, (active_cores + cores - 1) / cores);
+    }
+
+    /** Cache geometry for the contents simulator. */
+    memsim::HierarchyConfig
+    hierarchy(std::size_t active_cores) const
+    {
+        memsim::HierarchyConfig h;
+        h.l1 = l1;
+        h.l2 = l2;
+        h.l3 = l3;
+        h.cores = active_cores;
+        h.sockets = activeSockets(active_cores);
+        return h;
+    }
+
+    /** DRAM timing for the timing model. */
+    memsim::DramConfig
+    dram() const
+    {
+        memsim::DramConfig d;
+        d.baseLatencyCycles = dramLatencyCycles;
+        d.peakBandwidthGBs = dramBandwidthGBs;
+        d.freqGHz = freqGHz;
+        d.queueCap = dramQueueCap;
+        return d;
+    }
+};
+
+/** Cascade Lake 6240R — the paper's primary platform (Table 3). */
+CpuConfig cascadeLake();
+
+/** SkyLake Xeon Gold 6136 (Sec. 6.4). */
+CpuConfig skylake();
+
+/** Ice Lake Xeon Silver 4314 (Sec. 6.4). */
+CpuConfig icelake();
+
+/** Sapphire Rapids Xeon Platinum 8480+ (Sec. 6.4). */
+CpuConfig sapphireRapids();
+
+/** AMD EPYC 7763 (Zen3) (Sec. 6.4). */
+CpuConfig zen3();
+
+/** All Fig. 16 platforms in the paper's order. */
+const std::vector<CpuConfig>& allCpus();
+
+/** Looks up a platform by name; throws std::out_of_range. */
+const CpuConfig& cpuByName(const std::string& name);
+
+} // namespace dlrmopt::platform
+
+#endif // DLRMOPT_PLATFORM_CPU_CONFIG_HPP

@@ -1,0 +1,209 @@
+#include "platform/evaluator.hpp"
+
+#include <algorithm>
+
+namespace dlrmopt::platform
+{
+
+double
+mlpFlops(const std::vector<std::size_t>& dims, std::size_t batch)
+{
+    double f = 0.0;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l)
+        f += 2.0 * static_cast<double>(dims[l]) *
+             static_cast<double>(dims[l + 1]);
+    return f * static_cast<double>(batch);
+}
+
+double
+interactionFlops(const core::ModelConfig& m, std::size_t batch)
+{
+    const double pairs =
+        static_cast<double>(m.tables) * (m.tables + 1) / 2.0;
+    return pairs * 2.0 * static_cast<double>(m.dim) *
+           static_cast<double>(batch);
+}
+
+core::PrefetchSpec
+resolvePrefetchSpec(const EvalConfig& cfg)
+{
+    core::PrefetchSpec pf;
+    pf.distance = cfg.pfDistance;
+    pf.lines = cfg.pfAmount >= 0 ? cfg.pfAmount : cfg.cpu.bestPfAmount;
+    pf.locality = cfg.pfLocality;
+    return pf;
+}
+
+namespace
+{
+
+/** Batch count an EvalConfig resolves to. */
+std::size_t
+resolveBatches(const EvalConfig& cfg)
+{
+    return cfg.numBatches ? cfg.numBatches
+                          : std::max<std::size_t>(cfg.cores, 6);
+}
+
+/** Runs the contents simulation for one scheme variant.
+ *  @param fold_out Receives the table-fold ratio (>= 1) that
+ *         per-batch embedding times must be scaled by. */
+memsim::EmbSimStats
+runSim(const EvalConfig& cfg, bool hw_pf, bool sw_pf, bool halve_private,
+       std::size_t num_batches, double *fold_out)
+{
+    memsim::EmbSimConfig sc;
+    sc.trace = traces::TraceConfig::forModel(cfg.model, cfg.hotness,
+                                             cfg.seed);
+    *fold_out = 1.0;
+    if (cfg.maxSimTables != 0 &&
+        cfg.model.tables > cfg.maxSimTables) {
+        *fold_out = static_cast<double>(cfg.model.tables) /
+                    static_cast<double>(cfg.maxSimTables);
+        sc.trace.tables = cfg.maxSimTables;
+        sc.trace.hotSetSize = static_cast<std::size_t>(
+            static_cast<double>(sc.trace.hotSetSize) * *fold_out);
+    }
+    sc.dim = cfg.model.dim;
+    sc.hier = cfg.cpu.hierarchy(cfg.cores);
+    if (halve_private) {
+        // DP-HT: two instances competitively share each core's
+        // private caches; approximate with static halving.
+        sc.hier.l1.sizeBytes /= 2;
+        sc.hier.l2.sizeBytes /= 2;
+    }
+    sc.hwPrefetch = hw_pf;
+    if (sw_pf)
+        sc.swPf = resolvePrefetchSpec(cfg);
+    sc.numBatches = num_batches;
+    return memsim::EmbeddingSim(sc).run();
+}
+
+} // namespace
+
+SimRun
+simulateEmbedding(const EvalConfig& cfg)
+{
+    SimRun run;
+    run.batches = resolveBatches(cfg);
+    run.stats = runSim(cfg, core::usesHwPrefetch(cfg.scheme),
+                       core::usesSwPrefetch(cfg.scheme),
+                       cfg.scheme == core::Scheme::DpHt, run.batches,
+                       &run.fold);
+    return run;
+}
+
+EvalResult
+compose(const EvalConfig& cfg, const SimRun& run)
+{
+    using core::Scheme;
+
+    const std::size_t batches = run.batches;
+    const TimingModel tm(cfg.cpu, cfg.timing);
+    const bool hw_pf = core::usesHwPrefetch(cfg.scheme);
+    const bool sw_pf = core::usesSwPrefetch(cfg.scheme);
+    const core::PrefetchSpec pf =
+        sw_pf ? resolvePrefetchSpec(cfg) : core::PrefetchSpec{};
+
+    EvalResult res;
+
+    // --- Embedding stage timing from the contents sim. ---
+    double window_share = 1.0;
+    double compute_inflation = 1.0;
+    if (cfg.scheme == Scheme::DpHt) {
+        window_share = tm.params().dpHtWindowShare;
+        compute_inflation = tm.params().dpHtComputeInflation;
+    }
+    res.sim = run.stats;
+    res.embTiming = tm.embeddingTime(
+        res.sim, cfg.cores, batches, pf, window_share,
+        compute_inflation, cfg.cpu.activeSockets(cfg.cores));
+    res.embTiming.msPerBatch *= run.fold;
+    res.embMs = res.embTiming.msPerBatch;
+
+    // --- Dense stages. ---
+    const std::size_t bs = core::paperBatchSize;
+    const double dense_penalty =
+        hw_pf ? 1.0 : tm.params().hwPfOffMlpPenalty;
+    double bottom_ms =
+        tm.mlpMs(mlpFlops(cfg.model.bottomMlp, bs), dense_penalty);
+    double inter_ms =
+        tm.interactionMs(interactionFlops(cfg.model, bs), dense_penalty);
+    double top_ms =
+        tm.mlpMs(mlpFlops(cfg.model.topMlpDims(), bs), dense_penalty);
+
+    // --- Scheme composition. ---
+    StageTimesMs& st = res.stages;
+    st.inter = inter_ms;
+    st.top = top_ms;
+
+    switch (cfg.scheme) {
+      case Scheme::MpHt:
+      case Scheme::Integrated: {
+        // Fig. 11 MP-HT: bottom-MLP on the sibling hyperthread,
+        // hidden under the embedding stage; once done, the sibling's
+        // spare pipeline assists the memory-bound embedding thread
+        // (SMT memory-level parallelism), which is what makes MP-HT
+        // profitable even for embedding-dominated models. The assist
+        // fades as DRAM saturates. SW prefetching frees issue slots
+        // and fill buffers, so Integrated gets a stronger assist
+        // (the Sec. 4.4 synergy).
+        const bool integrated = cfg.scheme == Scheme::Integrated;
+        const double eta = integrated
+            ? tm.params().smtAssistEtaIntegrated
+            : tm.params().smtAssistEta;
+        const double kappa = integrated
+            ? tm.params().mpHtMlpSlowdownIntegrated
+            : tm.params().mpHtMlpSlowdown;
+        const double emb = res.embMs;
+
+        // Embedding thread, with the sibling assisting once its MLP
+        // work is done (idle fraction of the embedding window).
+        const double idle_frac =
+            emb > 0.0
+                ? std::clamp(1.0 - bottom_ms * kappa / emb, 0.0, 1.0)
+                : 0.0;
+        const double headroom =
+            std::clamp(1.0 - res.embTiming.dramUtilization, 0.0, 1.0);
+        const double emb_t =
+            emb / (1.0 + eta * idle_frac * headroom);
+
+        // Sibling bottom-MLP: runs kappa-times slower while the
+        // embedding thread is active, then at full speed solo.
+        const double overlapped = emb_t / kappa; // work done during emb
+        const double bottom_t = bottom_ms > overlapped
+            ? emb_t + (bottom_ms - overlapped)
+            : bottom_ms * kappa;
+
+        st.bottom = bottom_t;
+        st.emb = emb_t;
+        res.batchMs = std::max(emb_t, bottom_t) + inter_ms + top_ms;
+        return res;
+      }
+      case Scheme::DpHt: {
+        // Both instances run concurrently; batch latency is the
+        // inflated per-instance time (throughput pays for latency,
+        // which is why the paper finds DP-HT detrimental).
+        st.bottom = bottom_ms * tm.params().dpHtComputeInflation;
+        st.emb = res.embMs;
+        st.inter = inter_ms * tm.params().dpHtComputeInflation;
+        st.top = top_ms * tm.params().dpHtComputeInflation;
+        res.batchMs = st.total();
+        return res;
+      }
+      default: {
+        st.bottom = bottom_ms;
+        st.emb = res.embMs;
+        res.batchMs = st.total();
+        return res;
+      }
+    }
+}
+
+EvalResult
+evaluate(const EvalConfig& cfg)
+{
+    return compose(cfg, simulateEmbedding(cfg));
+}
+
+} // namespace dlrmopt::platform

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end evaluation driver: composes the contents simulator and
+ * the timing model into per-scheme batch latencies — the quantity
+ * every evaluation figure of the paper reports.
+ */
+
+#ifndef DLRMOPT_PLATFORM_EVALUATOR_HPP
+#define DLRMOPT_PLATFORM_EVALUATOR_HPP
+
+#include <cstdint>
+
+#include "core/model_config.hpp"
+#include "core/scheme.hpp"
+#include "memsim/embedding_sim.hpp"
+#include "platform/timing.hpp"
+#include "trace/hotness.hpp"
+
+namespace dlrmopt::platform
+{
+
+/** One evaluation point: (cpu, model, dataset, scheme, cores). */
+struct EvalConfig
+{
+    CpuConfig cpu;
+    core::ModelConfig model;
+    traces::Hotness hotness = traces::Hotness::Low;
+    core::Scheme scheme = core::Scheme::Baseline;
+    std::size_t cores = 1;
+
+    /** Batches to simulate; 0 = auto (>= 1 per core, min 6). */
+    std::size_t numBatches = 0;
+
+    /**
+     * Table folding for simulation cost: when nonzero and the model
+     * has more tables, only this many tables are simulated, with the
+     * hot-set size scaled up by the fold ratio so the aggregate LLC
+     * footprint of hot rows is preserved, and the per-batch embedding
+     * time scaled back by the same ratio. Tables are homogeneous and
+     * processed sequentially (Algorithm 1), so per-table behaviour is
+     * unchanged; only the very long inter-batch reuse distances are
+     * approximated. 0 = simulate every table exactly.
+     */
+    std::size_t maxSimTables = 0;
+
+    /** SW prefetch tuning; amount < 0 = platform's best (Sec. 6.4). */
+    int pfDistance = 4;
+    int pfAmount = -1;
+    int pfLocality = 3;
+
+    std::uint64_t seed = 1;
+    TimingParams timing{};
+};
+
+/** Results of one evaluation point. */
+struct EvalResult
+{
+    StageTimesMs stages;   //!< per-stage ms for one batch
+    double batchMs = 0.0;  //!< end-to-end latency of one batch
+    double embMs = 0.0;    //!< embedding-only latency of one batch
+
+    memsim::EmbSimStats sim;
+    EmbTiming embTiming;
+};
+
+/** FLOPs of one batch through an MLP given its size list. */
+double mlpFlops(const std::vector<std::size_t>& dims, std::size_t batch);
+
+/** FLOPs of one batch through the interaction stage. */
+double interactionFlops(const core::ModelConfig& m, std::size_t batch);
+
+/** A completed embedding contents simulation plus its fold ratio. */
+struct SimRun
+{
+    memsim::EmbSimStats stats;
+    double fold = 1.0;      //!< table-fold scale factor for times
+    std::size_t batches = 0; //!< batches the stats cover
+};
+
+/**
+ * Runs the embedding contents simulation appropriate for the
+ * config's scheme (hardware prefetch on/off, software prefetch,
+ * halved private caches for DP-HT).
+ *
+ * Schemes that share contents can share a SimRun: MP-HT uses the
+ * Baseline run, Integrated uses the SW-PF run — compose() does not
+ * re-simulate.
+ */
+SimRun simulateEmbedding(const EvalConfig& cfg);
+
+/**
+ * Applies the scheme's timing composition (Sec. 4.3/4.4) to a
+ * completed simulation. @p run must have contents matching the
+ * scheme (see simulateEmbedding()).
+ */
+EvalResult compose(const EvalConfig& cfg, const SimRun& run);
+
+/**
+ * Evaluates one configuration: simulateEmbedding() then compose().
+ */
+EvalResult evaluate(const EvalConfig& cfg);
+
+/** The PrefetchSpec an EvalConfig resolves to for its platform. */
+core::PrefetchSpec resolvePrefetchSpec(const EvalConfig& cfg);
+
+} // namespace dlrmopt::platform
+
+#endif // DLRMOPT_PLATFORM_EVALUATOR_HPP

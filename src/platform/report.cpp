@@ -1,0 +1,121 @@
+#include "platform/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/hotness.hpp"
+
+namespace dlrmopt::platform
+{
+
+namespace
+{
+
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+csvHeader()
+{
+    return "cpu,model,hotness,scheme,cores,batch_ms,emb_ms,bottom_ms,"
+           "inter_ms,top_ms,l1_hit_vtune,l2_hit,l3_hit,"
+           "avg_load_latency_cy,dram_utilization,achieved_gbs,"
+           "sw_pf_issued,sw_pf_covered,dram_bytes\n";
+}
+
+void
+writeCsvRow(std::ostream& os, const EvalConfig& cfg,
+            const EvalResult& res)
+{
+    os << cfg.cpu.name << ',' << cfg.model.name << ','
+       << traces::hotnessName(cfg.hotness) << ','
+       << core::schemeName(cfg.scheme) << ',' << cfg.cores << ','
+       << fmt(res.batchMs) << ',' << fmt(res.embMs) << ','
+       << fmt(res.stages.bottom) << ',' << fmt(res.stages.inter) << ','
+       << fmt(res.stages.top) << ',' << fmt(res.sim.vtuneL1HitRate())
+       << ',' << fmt(res.sim.l2HitRate()) << ','
+       << fmt(res.sim.l3HitRate()) << ','
+       << fmt(res.embTiming.avgLoadLatency) << ','
+       << fmt(res.embTiming.dramUtilization) << ','
+       << fmt(res.embTiming.achievedGBs) << ',' << res.sim.swPfIssued
+       << ',' << res.sim.swCoveredTotal() << ','
+       << fmt(res.sim.dramBytes()) << '\n';
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const EvalConfig& cfg, const EvalResult& res)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"cpu\":\"" << jsonEscape(cfg.cpu.name) << "\",";
+    os << "\"model\":\"" << jsonEscape(cfg.model.name) << "\",";
+    os << "\"hotness\":\""
+       << jsonEscape(traces::hotnessName(cfg.hotness)) << "\",";
+    os << "\"scheme\":\"" << jsonEscape(core::schemeName(cfg.scheme))
+       << "\",";
+    os << "\"cores\":" << cfg.cores << ",";
+    os << "\"batch_ms\":" << fmt(res.batchMs) << ",";
+    os << "\"stages_ms\":{";
+    os << "\"bottom\":" << fmt(res.stages.bottom) << ",";
+    os << "\"embedding\":" << fmt(res.stages.emb) << ",";
+    os << "\"interaction\":" << fmt(res.stages.inter) << ",";
+    os << "\"top\":" << fmt(res.stages.top) << "},";
+    os << "\"cache\":{";
+    os << "\"l1_hit_vtune\":" << fmt(res.sim.vtuneL1HitRate()) << ",";
+    os << "\"l2_hit\":" << fmt(res.sim.l2HitRate()) << ",";
+    os << "\"l3_hit\":" << fmt(res.sim.l3HitRate()) << ",";
+    os << "\"avg_load_latency_cy\":"
+       << fmt(res.embTiming.avgLoadLatency) << "},";
+    os << "\"memory\":{";
+    os << "\"dram_utilization\":" << fmt(res.embTiming.dramUtilization)
+       << ",";
+    os << "\"achieved_gbs\":" << fmt(res.embTiming.achievedGBs) << ",";
+    os << "\"dram_bytes\":" << fmt(res.sim.dramBytes()) << "},";
+    os << "\"prefetch\":{";
+    os << "\"issued\":" << res.sim.swPfIssued << ",";
+    os << "\"covered\":" << res.sim.swCoveredTotal() << ",";
+    os << "\"useless\":" << res.sim.swPfUseless << "}";
+    os << "}";
+    return os.str();
+}
+
+} // namespace dlrmopt::platform

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable export of evaluation results (CSV rows and JSON
+ * objects, no external dependencies). Lets downstream tooling —
+ * plotting scripts, regression dashboards — consume the same data
+ * the benches print as text.
+ */
+
+#ifndef DLRMOPT_PLATFORM_REPORT_HPP
+#define DLRMOPT_PLATFORM_REPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "platform/evaluator.hpp"
+
+namespace dlrmopt::platform
+{
+
+/** Column header matching writeCsvRow(); ends with a newline. */
+std::string csvHeader();
+
+/**
+ * One result as a CSV row (same column order as csvHeader()).
+ * Ends with a newline.
+ */
+void writeCsvRow(std::ostream& os, const EvalConfig& cfg,
+                 const EvalResult& res);
+
+/**
+ * One result as a self-contained JSON object (configuration and
+ * metrics). Deterministic key order; no trailing newline.
+ */
+std::string toJson(const EvalConfig& cfg, const EvalResult& res);
+
+/** Escapes a string for safe embedding in JSON output. */
+std::string jsonEscape(const std::string& s);
+
+} // namespace dlrmopt::platform
+
+#endif // DLRMOPT_PLATFORM_REPORT_HPP

@@ -1,0 +1,173 @@
+#include "platform/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrmopt::platform
+{
+
+TimingModel::TimingModel(const CpuConfig& cpu, TimingParams params)
+    : _cpu(cpu), _p(params), _dram(cpu.dram())
+{
+}
+
+EmbTiming
+TimingModel::embeddingTime(const memsim::EmbSimStats& st,
+                           std::size_t cores, std::size_t num_batches,
+                           const core::PrefetchSpec& sw_pf,
+                           double window_share,
+                           double compute_inflation,
+                           std::size_t sockets) const
+{
+    sockets = std::max<std::size_t>(sockets, 1);
+    EmbTiming out;
+    if (st.lookups == 0 || num_batches == 0)
+        return out;
+
+    const double lookups = static_cast<double>(st.lookups);
+    const double row_lines = static_cast<double>(st.lines) / lookups;
+
+    // Per-lookup class mix from the contents simulation.
+    const double f_pf_l2 = static_cast<double>(st.cls.pfL2) / lookups;
+    const double f_pf_l3 = static_cast<double>(st.cls.pfL3) / lookups;
+    const double f_pf_dram = static_cast<double>(st.cls.pfDram) / lookups;
+    const double f_l2 = static_cast<double>(st.cls.l2) / lookups;
+    const double f_l3 = static_cast<double>(st.cls.l3) / lookups;
+    const double f_dram = static_cast<double>(st.cls.dram) / lookups;
+
+    const bool pf_on = sw_pf.enabled();
+    const double pf_instr = pf_on ? static_cast<double>(sw_pf.lines) : 0.0;
+    const double pf_dist =
+        pf_on ? static_cast<double>(sw_pf.distance) : 0.0;
+
+    const double dram_lines_per_lookup =
+        st.dramBytes() / 64.0 / lookups;
+
+    // Pure pipeline work per lookup; the DRAM fill-occupancy term is
+    // added on top for the total, but must not count as look-ahead
+    // slack for prefetch timeliness (it IS the memory pipe working).
+    const double compute_pipe =
+        (_p.cyclesPerLookupBase + row_lines * _p.cyclesPerLine +
+         pf_instr * _p.cyclesPerPrefetchInstr) *
+        compute_inflation;
+    const double compute =
+        compute_pipe +
+        dram_lines_per_lookup * _p.cyclesPerDramLine *
+            compute_inflation;
+
+    // Window occupancy scales with the row's line count: shorter
+    // rows (rm1's dim 64) fit more lookups in flight.
+    const double mlp = overlapFactor(window_share, row_lines);
+    const double lookups_per_core =
+        lookups / static_cast<double>(cores);
+
+    // Hard bandwidth floor: all active cores share the socket's DRAM
+    // pins, so a lookup can never complete faster than its DRAM
+    // bytes can be transferred. This is what caps SW-PF gains on
+    // bandwidth-saturated many-core parts (the paper's Zen3
+    // multi-core exception, Sec. 6.4).
+    const double bw_floor =
+        dram_lines_per_lookup * 64.0 * static_cast<double>(cores) /
+        (_dram.config().peakBytesPerCycle() *
+         static_cast<double>(sockets));
+
+    // Fixed point: per-lookup time determines DRAM utilization (all
+    // cores concurrently) and prefetch timeliness, which feed back
+    // into the per-lookup time.
+    double t = compute + 100.0; // starting guess
+    double rho = 0.0;
+    double l_dram = _dram.latencyAt(0.0);
+    for (int iter = 0; iter < 50; ++iter) {
+        l_dram = _dram.latencyAt(rho);
+
+        // Residual latency of a prefetch-covered lookup: a software
+        // prefetch was issued pf_dist lookups (pf_dist * t cycles)
+        // before the demand load; a hardware prefetch only triggers
+        // one access ahead. Either way a floor fraction of the
+        // *source level's* latency stays exposed (fill-buffer and
+        // queue occupancy).
+        const double hidden =
+            pf_on ? pf_dist * t : _p.hwPfHideCycles;
+        auto residual = [&](double src_lat) {
+            double e = std::max(_p.pfResidualFraction * src_lat,
+                                src_lat - hidden);
+            if (pf_on && pf_dist > 0.0) {
+                // Pipelining bound: only pf_dist prefetches are in
+                // flight, so one line group completes every
+                // src_lat / pf_dist cycles; short distances leave the
+                // prefetch pipe under-filled (why Fig. 10b's distance
+                // 1 is "too late").
+                e = std::max(e, src_lat / pf_dist - compute_pipe);
+            }
+            return e;
+        };
+
+        const double exposed =
+            (f_pf_l2 * residual(_cpu.l2LatencyCycles) +
+             f_pf_l3 * residual(_cpu.l3LatencyCycles) +
+             f_pf_dram * residual(l_dram) +
+             f_l2 * _cpu.l2LatencyCycles +
+             f_l3 * _cpu.l3LatencyCycles +
+             f_dram * l_dram / (1.0 + _p.dramOverlapBoost * f_dram)) /
+            mlp;
+
+        const double t_new = std::max(compute + exposed, bw_floor);
+        const double wall_cycles = lookups_per_core * t_new;
+        const double rho_new = _dram.utilization(
+            st.dramBytes() / static_cast<double>(sockets),
+            wall_cycles);
+
+        if (std::abs(t_new - t) < 1e-6 * t &&
+            std::abs(rho_new - rho) < 1e-9) {
+            t = t_new;
+            rho = rho_new;
+            break;
+        }
+        // Damp the utilization update for stability near saturation.
+        rho = 0.5 * rho + 0.5 * rho_new;
+        t = t_new;
+    }
+
+    const double wall_cycles = lookups_per_core * t;
+    out.cyclesPerLookup = t;
+    out.dramUtilization = rho;
+    out.effectiveDramLatency = l_dram;
+    out.achievedGBs = _dram.achievedGBs(st.dramBytes(), wall_cycles);
+    out.msPerBatch = wall_cycles /
+                     (static_cast<double>(num_batches) /
+                      static_cast<double>(cores)) /
+                     (_cpu.freqGHz * 1e6);
+
+    // VTune-style average load latency: the kernel pairs every
+    // row-data load with an accumulator load that always hits L1
+    // (Algorithm 1), so the profiler view averages over both.
+    const double lines = static_cast<double>(st.lines);
+    if (lines > 0.0) {
+        const double row_lat =
+            static_cast<double>(st.lineL1) * _cpu.l1LatencyCycles +
+            static_cast<double>(st.lineL2) * _cpu.l2LatencyCycles +
+            static_cast<double>(st.lineL3) * _cpu.l3LatencyCycles +
+            static_cast<double>(st.lineDram) * l_dram;
+        const double accum_lat = lines * _cpu.l1LatencyCycles;
+        out.avgLoadLatency = (row_lat + accum_lat) / (2.0 * lines);
+    }
+    return out;
+}
+
+double
+TimingModel::mlpMs(double flops, double inflation) const
+{
+    const double cycles =
+        flops / (_cpu.simdFlopsPerCycle * _p.mlpEfficiency);
+    return cycles * inflation / (_cpu.freqGHz * 1e6);
+}
+
+double
+TimingModel::interactionMs(double flops, double inflation) const
+{
+    const double cycles =
+        flops / (_cpu.simdFlopsPerCycle * _p.interEfficiency);
+    return cycles * inflation / (_cpu.freqGHz * 1e6);
+}
+
+} // namespace dlrmopt::platform

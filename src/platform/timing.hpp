@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Analytic CPU timing model layered on the contents simulator.
+ *
+ * Converts embedding-simulation statistics (who hit where, what was
+ * prefetched) into cycles and milliseconds for one platform, and
+ * provides dense-stage (MLP/interaction) compute timing. The model
+ * is deliberately simple — a handful of calibrated parameters, all
+ * in TimingParams — and captures the effects the paper's evaluation
+ * turns on:
+ *
+ *  - exposed memory latency limited by the OoO window's memory-level
+ *    parallelism (bigger ROB => less SW-PF headroom, Sec. 6.4);
+ *  - software-prefetch timeliness as a fixed point of the per-lookup
+ *    time (prefetch distance knob, Fig. 10b);
+ *  - DRAM bandwidth contention across cores via M/D/1-style queueing
+ *    (multi-core scaling, Fig. 8);
+ *  - SMT composition rules for DP-HT / MP-HT / Integrated (Fig. 11).
+ */
+
+#ifndef DLRMOPT_PLATFORM_TIMING_HPP
+#define DLRMOPT_PLATFORM_TIMING_HPP
+
+#include "core/embedding.hpp"
+#include "memsim/dram.hpp"
+#include "memsim/embedding_sim.hpp"
+#include "platform/cpu_config.hpp"
+
+namespace dlrmopt::platform
+{
+
+/**
+ * Calibrated model constants. Defaults are fitted so the Cascade
+ * Lake configuration lands in the paper's Table 4 / Fig. 12-15
+ * ranges (see EXPERIMENTS.md for the paper-vs-model comparison).
+ */
+struct TimingParams
+{
+    double cyclesPerLookupBase = 50.0; //!< loop/offset/index overhead
+    double cyclesPerLine = 8.0;       //!< vector load+add+store per line
+    double cyclesPerPrefetchInstr = 0.25;
+
+    double instrPerLookup = 240.0;     //!< occupancy of one lookup in ROB
+    double mlpCap = 8.0;               //!< max overlapped memory accesses
+
+    /** Floor fraction of the source-level latency still exposed for
+     *  a timely prefetch (queueing, fill-buffer occupancy). */
+    double pfResidualFraction = 0.08;
+
+    /** Cycles of look-ahead a hardware next-line/stride prefetch
+     *  achieves (it triggers only one access ahead). */
+    double hwPfHideCycles = 40.0;
+
+    /**
+     * Fill-pipeline occupancy: every line transferred from DRAM
+     * (demand or prefetch) holds a fill buffer / MSHR for a share of
+     * the access latency. This throughput term is what keeps software
+     * prefetching from fully collapsing DRAM-heavy (low-hot) stalls —
+     * the prefetch pipe itself becomes the bottleneck.
+     */
+    double cyclesPerDramLine = 16.0;
+
+    /**
+     * Miss-clustering overlap boost: when most lookups miss to DRAM
+     * the OoO window fills with independent misses and memory-level
+     * parallelism rises (runahead-like behaviour), so the exposed
+     * DRAM stall saturates instead of growing linearly with the miss
+     * fraction. Exposed DRAM time is divided by
+     * (1 + dramOverlapBoost * f_dram).
+     */
+    double dramOverlapBoost = 2.0;
+
+    double mlpEfficiency = 0.60;       //!< GEMM fraction-of-peak
+    double interEfficiency = 0.30;     //!< interaction fraction-of-peak
+    double hwPfOffMlpPenalty = 1.25;   //!< dense stages w/o HW prefetch
+
+    double smtAssistEta = 0.15;        //!< MP-HT sibling assist strength
+    double smtAssistEtaIntegrated = 0.12; //!< with SW-PF freeing the pipe
+    double mpHtMlpSlowdown = 2.1;     //!< bottom-MLP beside memory thread
+    /** Same penalty under Integrated: SW prefetching frees issue
+     *  slots and fill buffers, so the sibling MLP runs closer to
+     *  solo speed (part of the Sec. 4.4 synergy). */
+    double mpHtMlpSlowdownIntegrated = 2.1;
+    double dpHtComputeInflation = 1.9; //!< two instances sharing ports
+    double dpHtWindowShare = 0.5;      //!< ROB statically partitioned
+};
+
+/** Embedding-stage timing results. */
+struct EmbTiming
+{
+    double msPerBatch = 0.0;      //!< embedding latency of one batch
+    double cyclesPerLookup = 0.0;
+    double avgLoadLatency = 0.0;  //!< cycles per demand line (VTune-like)
+    double dramUtilization = 0.0; //!< converged rho
+    double achievedGBs = 0.0;     //!< aggregate DRAM bandwidth
+    double effectiveDramLatency = 0.0;
+};
+
+/** Per-stage end-to-end times for one batch (ms). */
+struct StageTimesMs
+{
+    double bottom = 0.0;
+    double emb = 0.0;
+    double inter = 0.0;
+    double top = 0.0;
+
+    double
+    total() const
+    {
+        return bottom + emb + inter + top;
+    }
+};
+
+/**
+ * The timing model for one CPU platform.
+ */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const CpuConfig& cpu, TimingParams params = {});
+
+    const TimingParams& params() const { return _p; }
+    const CpuConfig& cpu() const { return _cpu; }
+
+    /**
+     * Embedding-stage timing from contents-simulation statistics.
+     *
+     * @param st Aggregate sim statistics (all cores, all batches).
+     * @param cores Active cores (sharing DRAM bandwidth).
+     * @param num_batches Batches covered by @p st.
+     * @param sw_pf SW prefetch spec used in the sim ({} if none).
+     * @param window_share Fraction of the ROB available to the
+     *        embedding thread (DP-HT halves it).
+     * @param compute_inflation Multiplier on compute cycles (SMT port
+     *        contention).
+     * @param sockets Sockets the active cores span; DRAM bandwidth
+     *        scales with the socket count.
+     */
+    EmbTiming embeddingTime(const memsim::EmbSimStats& st,
+                            std::size_t cores, std::size_t num_batches,
+                            const core::PrefetchSpec& sw_pf,
+                            double window_share = 1.0,
+                            double compute_inflation = 1.0,
+                            std::size_t sockets = 1) const;
+
+    /** Dense-layer stage time for @p flops total FLOPs (one batch). */
+    double mlpMs(double flops, double inflation = 1.0) const;
+
+    /** Interaction stage time for @p flops total FLOPs (one batch). */
+    double interactionMs(double flops, double inflation = 1.0) const;
+
+    /**
+     * Effective memory-level-parallelism factor: how many long-latency
+     * lookups the OoO window keeps in flight.
+     */
+    double
+    overlapFactor(double window_share = 1.0,
+                  double row_lines = 8.0) const
+    {
+        const double f =
+            static_cast<double>(_cpu.robSize) * window_share /
+            (_p.instrPerLookup * row_lines / 8.0);
+        // A partitioned window (SMT sharing) can push the factor
+        // below 1: misses that no longer fit serialize and the
+        // exposure grows, which is the DP-HT failure mode.
+        return std::clamp(f, window_share, _p.mlpCap);
+    }
+
+  private:
+    CpuConfig _cpu;
+    TimingParams _p;
+    memsim::DramModel _dram;
+};
+
+} // namespace dlrmopt::platform
+
+#endif // DLRMOPT_PLATFORM_TIMING_HPP

@@ -1,0 +1,118 @@
+#include "sched/ht_thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace dlrmopt::sched
+{
+
+HtThreadPool::HtThreadPool(const Topology& topo, bool pin)
+{
+    const std::size_t cores = topo.numPhysicalCores();
+    if (cores == 0)
+        throw std::invalid_argument("topology has no cores");
+
+    _queues.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        _queues.push_back(std::make_unique<CoreQueue>());
+
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (int cpu : topo.siblings(c)) {
+            _workers.emplace_back(&HtThreadPool::workerLoop, this, c,
+                                  pin ? cpu : -1);
+        }
+    }
+}
+
+HtThreadPool::~HtThreadPool()
+{
+    _stop.store(true);
+    for (auto& q : _queues) {
+        std::lock_guard<std::mutex> lk(q->mtx);
+        q->cv.notify_all();
+    }
+    for (auto& w : _workers)
+        w.join();
+}
+
+std::future<void>
+HtThreadPool::submit(std::size_t core, Task task)
+{
+    if (core >= _queues.size())
+        throw std::out_of_range("no such core in pool");
+    std::packaged_task<void()> pt(std::move(task));
+    auto fut = pt.get_future();
+    _pending.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lk(_queues[core]->mtx);
+        _queues[core]->tasks.push_back(std::move(pt));
+    }
+    _queues[core]->cv.notify_one();
+    return fut;
+}
+
+std::future<void>
+HtThreadPool::submitAny(Task task)
+{
+    // Pick the shortest queue; round-robin breaks ties so successive
+    // batches spread across cores like the paper's batch-per-core
+    // mapping (Sec. 3.2).
+    std::size_t best = _rr.fetch_add(1) % _queues.size();
+    std::size_t best_len = SIZE_MAX;
+    for (std::size_t i = 0; i < _queues.size(); ++i) {
+        const std::size_t c = (best + i) % _queues.size();
+        std::lock_guard<std::mutex> lk(_queues[c]->mtx);
+        const std::size_t len =
+            _queues[c]->tasks.size() + _queues[c]->inflight;
+        if (len < best_len) {
+            best_len = len;
+            best = c;
+            if (len == 0)
+                break;
+        }
+    }
+    return submit(best, std::move(task));
+}
+
+void
+HtThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(_idleMtx);
+    _idleCv.wait(lk, [this] { return _pending.load() == 0; });
+}
+
+void
+HtThreadPool::workerLoop(std::size_t core, int cpu)
+{
+    if (cpu >= 0)
+        pinThreadToCpu(cpu);
+
+    CoreQueue& q = *_queues[core];
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(q.mtx);
+            q.cv.wait(lk, [&] {
+                return _stop.load() || !q.tasks.empty();
+            });
+            if (q.tasks.empty()) {
+                if (_stop.load())
+                    return;
+                continue;
+            }
+            task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            ++q.inflight;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(q.mtx);
+            --q.inflight;
+        }
+        if (_pending.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lk(_idleMtx);
+            _idleCv.notify_all();
+        }
+    }
+}
+
+} // namespace dlrmopt::sched

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hyperthreading-aware thread pool.
+ *
+ * Reimplements the paper's PyTorch thread-pool modification (Sec.
+ * 4.3): instead of one global task queue that any worker may steal
+ * from, each *physical core* owns a private task queue served only by
+ * the worker threads pinned to that core's hyperthreads. An inference
+ * instance submitted to core c therefore always runs on core c, and
+ * the two colocated stage tasks (embedding + bottom-MLP) land on
+ * sibling hyperthreads.
+ */
+
+#ifndef DLRMOPT_SCHED_HT_THREAD_POOL_HPP
+#define DLRMOPT_SCHED_HT_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/topology.hpp"
+
+namespace dlrmopt::sched
+{
+
+/**
+ * Thread pool with one task queue per physical core and one worker
+ * per hyperthread. Tasks are bound to a core and never migrate.
+ */
+class HtThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Spawns workers for every hyperthread in @p topo and pins them
+     * (best effort) to their logical CPU.
+     *
+     * @param topo Core/sibling layout to build the pool on.
+     * @param pin Attempt CPU affinity pinning when true.
+     */
+    explicit HtThreadPool(const Topology& topo, bool pin = true);
+
+    /** Drains queues and joins all workers. */
+    ~HtThreadPool();
+
+    HtThreadPool(const HtThreadPool&) = delete;
+    HtThreadPool& operator=(const HtThreadPool&) = delete;
+
+    std::size_t numCores() const { return _queues.size(); }
+    std::size_t numWorkers() const { return _workers.size(); }
+
+    /**
+     * Enqueues @p task on physical core @p core's private queue.
+     *
+     * @return Future completed when the task finishes (exceptions are
+     *         propagated through the future).
+     */
+    std::future<void> submit(std::size_t core, Task task);
+
+    /**
+     * Enqueues on the least-loaded core (round-robin tiebreak). Used
+     * for data-parallel batch dispatch where any core will do.
+     */
+    std::future<void> submitAny(Task task);
+
+    /** Blocks until every queue is empty and every worker is idle. */
+    void waitIdle();
+
+  private:
+    struct CoreQueue
+    {
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::deque<std::packaged_task<void()>> tasks;
+        std::size_t inflight = 0; //!< tasks popped but not finished
+    };
+
+    void workerLoop(std::size_t core, int cpu);
+
+    std::vector<std::unique_ptr<CoreQueue>> _queues;
+    std::vector<std::thread> _workers;
+    std::atomic<bool> _stop{false};
+    std::atomic<std::size_t> _rr{0};
+
+    std::mutex _idleMtx;
+    std::condition_variable _idleCv;
+    std::atomic<std::size_t> _pending{0};
+};
+
+} // namespace dlrmopt::sched
+
+#endif // DLRMOPT_SCHED_HT_THREAD_POOL_HPP

@@ -1,0 +1,78 @@
+#include "sched/mp_ht_runner.hpp"
+
+#include <chrono>
+#include <future>
+
+namespace dlrmopt::sched
+{
+
+MpHtRunner::MpHtRunner(const core::DlrmModel& model, const Topology& topo,
+                       const core::PrefetchSpec& pf, bool pin)
+    : _model(model), _pf(pf), _pool(topo, pin)
+{
+}
+
+MpHtRunStats
+MpHtRunner::run(const core::Tensor& dense,
+                const std::vector<core::SparseBatch>& batches,
+                std::vector<std::vector<float>> *predictions)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::size_t cores = _pool.numCores();
+    if (predictions)
+        predictions->assign(batches.size(), {});
+
+    // One workspace per in-flight batch: the bottom-MLP task and the
+    // embedding task of the same batch write disjoint buffers, and
+    // consecutive batches on one core never alias each other's
+    // workspace (a per-core workspace would race once the sibling
+    // starts the next batch's bottom-MLP early).
+    std::vector<core::DlrmWorkspace> ws(batches.size());
+
+    const auto t0 = Clock::now();
+    std::vector<std::future<void>> done;
+    done.reserve(batches.size());
+
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const std::size_t core_id = b % cores;
+        const auto& sparse = batches[b];
+        core::DlrmWorkspace& w = ws[b];
+
+        // Stage task 1: bottom MLP on one hyperthread of core_id.
+        auto bottom_done = std::make_shared<std::promise<void>>();
+        auto bottom_fut = bottom_done->get_future().share();
+        _pool.submit(core_id, [this, &dense, &w, bottom_done] {
+            _model.bottomForward(dense, w.bottomOut);
+            bottom_done->set_value();
+        });
+
+        // Stage task 2: embedding on the sibling, then the join +
+        // interaction + top MLP on whichever thread gets here.
+        done.push_back(_pool.submit(
+            core_id,
+            [this, &sparse, &w, bottom_fut, predictions, b] {
+                _model.embeddingForward(sparse, w.embOut, _pf);
+                bottom_fut.wait(); // both stage outputs ready
+                _model.interactionForward(w.bottomOut, w.embOut,
+                                          sparse.batchSize,
+                                          w.interOut);
+                _model.topForward(w.interOut, w.pred);
+                if (predictions) {
+                    (*predictions)[b].assign(
+                        w.pred.data(),
+                        w.pred.data() + w.pred.size());
+                }
+            }));
+    }
+    for (auto& f : done)
+        f.get();
+
+    MpHtRunStats st;
+    st.batches = batches.size();
+    st.totalMs = std::chrono::duration<double, std::milli>(
+                     Clock::now() - t0)
+                     .count();
+    return st;
+}
+
+} // namespace dlrmopt::sched

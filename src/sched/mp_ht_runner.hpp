@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MP-HT batch runner: the paper's Sec. 4.3 deployment layout on real
+ * hardware. Each physical core owns one inference instance; within a
+ * core, the embedding stage runs on one hyperthread while the
+ * bottom-MLP runs on the sibling (via the per-core task queues of
+ * HtThreadPool), then interaction + top-MLP complete the batch.
+ *
+ * On machines without SMT the runner still works — each "sibling"
+ * pair degenerates to one worker and the stages serialize — so the
+ * same code path is testable everywhere.
+ */
+
+#ifndef DLRMOPT_SCHED_MP_HT_RUNNER_HPP
+#define DLRMOPT_SCHED_MP_HT_RUNNER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/scheme.hpp"
+#include "sched/ht_thread_pool.hpp"
+
+namespace dlrmopt::sched
+{
+
+/** Aggregate results of a runner invocation. */
+struct MpHtRunStats
+{
+    std::size_t batches = 0;
+    double totalMs = 0.0; //!< wall-clock for the whole batch stream
+
+    double
+    avgBatchMs() const
+    {
+        return batches
+            ? totalMs / static_cast<double>(batches)
+            : 0.0;
+    }
+};
+
+/**
+ * Runs DLRM inference batches across physical cores with the MP-HT
+ * stage colocation.
+ */
+class MpHtRunner
+{
+  public:
+    /**
+     * @param model Model to serve (not owned; must outlive runner).
+     * @param topo Core topology; one inference instance per physical
+     *        core, stages colocated on its hyperthreads.
+     * @param pf Prefetch spec for the embedding stage (Integrated
+     *        scheme when enabled; MP-HT-only when default).
+     * @param pin Pin workers to their logical CPUs (best effort).
+     */
+    MpHtRunner(const core::DlrmModel& model, const Topology& topo,
+               const core::PrefetchSpec& pf = {}, bool pin = true);
+
+    /**
+     * Processes all batches; batch b is dispatched to physical core
+     * b % cores. Blocks until every batch completes.
+     *
+     * @param dense Dense features shared across batches.
+     * @param batches Sparse inputs.
+     * @param predictions Optional out-param: CTR predictions per
+     *        batch (resized to match).
+     */
+    MpHtRunStats run(const core::Tensor& dense,
+                     const std::vector<core::SparseBatch>& batches,
+                     std::vector<std::vector<float>> *predictions =
+                         nullptr);
+
+  private:
+    const core::DlrmModel& _model;
+    core::PrefetchSpec _pf;
+    HtThreadPool _pool;
+};
+
+} // namespace dlrmopt::sched
+
+#endif // DLRMOPT_SCHED_MP_HT_RUNNER_HPP

@@ -1,0 +1,55 @@
+#include "serve/latency_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dlrmopt::serve
+{
+
+double
+LatencyStats::percentile(double p) const
+{
+    if (_samples.empty())
+        return 0.0;
+    std::vector<double> sorted = _samples;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: ceil(p/100 * N), 1-based.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double
+LatencyStats::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return std::accumulate(_samples.begin(), _samples.end(), 0.0) /
+           static_cast<double>(_samples.size());
+}
+
+double
+LatencyStats::max() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return *std::max_element(_samples.begin(), _samples.end());
+}
+
+double
+LatencyStats::slaCompliance(double sla_ms) const
+{
+    if (_samples.empty())
+        return 0.0;
+    std::size_t ok = 0;
+    for (double s : _samples) {
+        if (s <= sla_ms)
+            ++ok;
+    }
+    return static_cast<double>(ok) / static_cast<double>(_samples.size());
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Latency distribution statistics (p95 tail latency, SLA compliance)
+ * for the serving evaluation (Sec. 6.5, Fig. 17).
+ */
+
+#ifndef DLRMOPT_SERVE_LATENCY_STATS_HPP
+#define DLRMOPT_SERVE_LATENCY_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace dlrmopt::serve
+{
+
+/**
+ * Accumulates latency samples and answers percentile queries.
+ */
+class LatencyStats
+{
+  public:
+    LatencyStats() = default;
+
+    explicit LatencyStats(std::vector<double> samples)
+        : _samples(std::move(samples))
+    {
+    }
+
+    void add(double latency_ms) { _samples.push_back(latency_ms); }
+
+    std::size_t count() const { return _samples.size(); }
+    bool empty() const { return _samples.empty(); }
+
+    /**
+     * @param p Percentile in [0, 100], e.g. 95 for the paper's tail
+     *          metric. Nearest-rank method.
+     */
+    double percentile(double p) const;
+
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    double mean() const;
+    double max() const;
+
+    /** Fraction of samples at or below @p sla_ms. */
+    double slaCompliance(double sla_ms) const;
+
+    const std::vector<double>& samples() const { return _samples; }
+
+  private:
+    std::vector<double> _samples;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_LATENCY_STATS_HPP

@@ -1,0 +1,37 @@
+#include "serve/loadgen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::serve
+{
+
+PoissonLoadGen::PoissonLoadGen(double mean_interarrival_ms,
+                               std::uint64_t seed)
+    : _meanMs(mean_interarrival_ms), _seed(seed)
+{
+    if (mean_interarrival_ms <= 0.0)
+        throw std::invalid_argument("mean inter-arrival must be positive");
+}
+
+std::vector<double>
+PoissonLoadGen::arrivals(std::size_t n) const
+{
+    std::vector<double> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Inverse-CDF exponential draw; clamp u away from 0 so
+        // -log(u) stays finite.
+        const double u = std::max(
+            toUnitInterval(mix64(_seed ^ (i * 0x9e3779b97f4a7c15ull))),
+            1e-12);
+        t += -std::log(u) * _meanMs;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Poisson request load generator (Sec. 6.5: "we model a load
+ * generator that generates requests with a Poisson distribution").
+ */
+
+#ifndef DLRMOPT_SERVE_LOADGEN_HPP
+#define DLRMOPT_SERVE_LOADGEN_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrmopt::serve
+{
+
+/**
+ * Deterministic Poisson-process arrival generator: exponential
+ * inter-arrival times with a given mean, from a counter-based PRNG so
+ * the same seed always yields the same request stream.
+ */
+class PoissonLoadGen
+{
+  public:
+    /**
+     * @param mean_interarrival_ms Average time between requests (the
+     *        x-axis of Fig. 17).
+     * @param seed PRNG seed.
+     */
+    PoissonLoadGen(double mean_interarrival_ms, std::uint64_t seed = 7);
+
+    double meanInterarrivalMs() const { return _meanMs; }
+
+    /** Arrival timestamps (ms) of the first @p n requests. */
+    std::vector<double> arrivals(std::size_t n) const;
+
+  private:
+    double _meanMs;
+    std::uint64_t _seed;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_LOADGEN_HPP

@@ -1,0 +1,56 @@
+#include "serve/queue_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace dlrmopt::serve
+{
+
+QueueSimResult
+simulateQueue(const std::vector<double>& arrivals, double service_ms,
+              std::size_t servers)
+{
+    return simulateQueue(
+        arrivals, std::vector<double>(arrivals.size(), service_ms),
+        servers);
+}
+
+QueueSimResult
+simulateQueue(const std::vector<double>& arrivals,
+              const std::vector<double>& service_ms, std::size_t servers)
+{
+    if (servers == 0)
+        throw std::invalid_argument("need at least one server");
+    if (service_ms.size() != arrivals.size())
+        throw std::invalid_argument("one service time per arrival");
+
+    // Min-heap of server-free timestamps.
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>>
+        free_at;
+    for (std::size_t s = 0; s < servers; ++s)
+        free_at.push(0.0);
+
+    QueueSimResult res;
+    double busy = 0.0;
+    double makespan = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const double earliest = free_at.top();
+        free_at.pop();
+        const double start = std::max(earliest, arrivals[i]);
+        const double end = start + service_ms[i];
+        free_at.push(end);
+        res.latency.add(end - arrivals[i]);
+        busy += service_ms[i];
+        makespan = std::max(makespan, end);
+    }
+    if (makespan > 0.0) {
+        res.serverUtilization =
+            busy / (makespan * static_cast<double>(servers));
+    }
+    return res;
+}
+
+} // namespace dlrmopt::serve

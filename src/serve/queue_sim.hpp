@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Discrete-event FCFS multi-server queueing simulator.
+ *
+ * Models the serving layer of Sec. 6.5: requests (batches) arrive
+ * from the Poisson load generator, each core is a server, and a
+ * request's latency is its queueing delay plus the per-batch
+ * inference time produced by the platform evaluator. Faster
+ * inference both shortens service and drains queues, which is why
+ * the paper's optimizations extend the SLA-compliant arrival-rate
+ * region (Fig. 17).
+ */
+
+#ifndef DLRMOPT_SERVE_QUEUE_SIM_HPP
+#define DLRMOPT_SERVE_QUEUE_SIM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/latency_stats.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Results of one queueing simulation. */
+struct QueueSimResult
+{
+    LatencyStats latency;      //!< end-to-end request latencies (ms)
+    double serverUtilization = 0.0; //!< busy time / total time
+};
+
+/**
+ * Simulates an FCFS queue with @p servers identical servers.
+ *
+ * @param arrivals Request arrival timestamps (ms), ascending.
+ * @param service_ms Deterministic per-request service time.
+ * @param servers Number of parallel servers (cores).
+ */
+QueueSimResult simulateQueue(const std::vector<double>& arrivals,
+                             double service_ms, std::size_t servers);
+
+/**
+ * Variant with per-request service times (e.g. drawn from measured
+ * batch-latency jitter).
+ */
+QueueSimResult simulateQueue(const std::vector<double>& arrivals,
+                             const std::vector<double>& service_ms,
+                             std::size_t servers);
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_QUEUE_SIM_HPP

@@ -1,0 +1,55 @@
+#include "serve/sla.hpp"
+
+#include <limits>
+
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+bool
+meetsSla(const SlaSearchConfig& cfg, double arrival_ms)
+{
+    PoissonLoadGen gen(arrival_ms, cfg.seed);
+    const auto res = simulateQueue(gen.arrivals(cfg.requests),
+                                   cfg.serviceMs, cfg.servers);
+    return res.latency.p95() <= cfg.slaMs;
+}
+
+} // namespace
+
+double
+minCompliantArrivalMs(const SlaSearchConfig& cfg)
+{
+    // Even an unloaded system pays the service time.
+    if (cfg.serviceMs > cfg.slaMs)
+        return std::numeric_limits<double>::infinity();
+
+    // The per-server saturation arrival rate: below
+    // service/servers, the queue grows without bound, so the
+    // boundary must be above it.
+    const double saturation =
+        cfg.serviceMs / static_cast<double>(cfg.servers);
+
+    double lo = saturation;             // non-compliant (or limit)
+    double hi = saturation * 64.0;      // hopefully compliant
+    for (int i = 0; i < 8 && !meetsSla(cfg, hi); ++i)
+        hi *= 4.0;
+    if (!meetsSla(cfg, hi))
+        return std::numeric_limits<double>::infinity();
+
+    for (int i = 0; i < cfg.iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (meetsSla(cfg, mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SLA-region analysis: the fastest Poisson arrival rate a
+ * configuration can sustain while keeping p95 latency within the SLA
+ * (the boundary between Fig. 17's "SLA-compliant" and "saturation"
+ * regions). The paper quantifies its schemes by how much faster an
+ * arrival rate they tolerate (1.4x for rm2_1, 2.3x for rm1).
+ */
+
+#ifndef DLRMOPT_SERVE_SLA_HPP
+#define DLRMOPT_SERVE_SLA_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlrmopt::serve
+{
+
+/** Parameters of an SLA-boundary search. */
+struct SlaSearchConfig
+{
+    double serviceMs = 1.0;   //!< per-request (batch) service time
+    std::size_t servers = 1;  //!< parallel serving cores
+    double slaMs = 100.0;     //!< p95 target
+    std::size_t requests = 8000; //!< simulated requests per probe
+    std::uint64_t seed = 17;
+    int iterations = 24;      //!< bisection steps
+};
+
+/**
+ * Finds the minimum mean inter-arrival time (ms) whose p95 latency
+ * still meets the SLA. Smaller is better: it means the system
+ * tolerates a faster request stream.
+ *
+ * @return The boundary inter-arrival time, or +infinity when even an
+ *         idle system cannot meet the SLA (service > SLA).
+ */
+double minCompliantArrivalMs(const SlaSearchConfig& cfg);
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_SLA_HPP

@@ -1,0 +1,135 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlrmopt::traces
+{
+
+namespace
+{
+
+constexpr std::uint64_t tableSalt = 0xa24baed4963ee407ull;
+constexpr std::uint64_t counterSalt = 0x9fb21c651e98df25ull;
+constexpr std::uint64_t mixSalt = 0xd6e8feb86659fd93ull;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const TraceConfig& cfg)
+    : _cfg(cfg)
+{
+    if (cfg.rows == 0 || cfg.tables == 0 || cfg.lookups == 0 ||
+        cfg.batchSize == 0) {
+        throw std::invalid_argument("TraceConfig has a zero dimension");
+    }
+
+    switch (cfg.hotness) {
+      case Hotness::OneItem:
+        _q = 0.0;
+        break;
+      case Hotness::Random:
+        _q = 1.0;
+        break;
+      default:
+        _q = calibrateUniformFraction(targetUniqueFraction(cfg.hotness),
+                                      cfg.drawsPerTable(), cfg.rows,
+                                      cfg.hotSetSize);
+        break;
+    }
+
+    if (cfg.hotness != Hotness::OneItem && cfg.hotness != Hotness::Random) {
+        // Zipf CDF over hot-set ranks: P(rank k) ~ 1 / (k+1)^alpha.
+        _zipfCdf.resize(cfg.hotSetSize);
+        double acc = 0.0;
+        for (std::size_t k = 0; k < cfg.hotSetSize; ++k) {
+            acc += 1.0 / std::pow(static_cast<double>(k + 1),
+                                  cfg.zipfAlpha);
+            _zipfCdf[k] = acc;
+        }
+        for (double& v : _zipfCdf)
+            v /= acc;
+    }
+}
+
+RowIndex
+TraceGenerator::hotRow(std::size_t table, std::size_t rank) const
+{
+    // Scatter hot rows over the table so hot lines are not spatially
+    // clustered (matches the production traces' behaviour).
+    const std::uint64_t h =
+        mix64(_cfg.seed ^ (table * tableSalt) ^ (rank * mixSalt) ^
+              0x5851f42d4c957f2dull);
+    return static_cast<RowIndex>(h % _cfg.rows);
+}
+
+RowIndex
+TraceGenerator::drawIndex(std::size_t table, std::uint64_t counter) const
+{
+    if (_cfg.hotness == Hotness::OneItem)
+        return hotRow(table, 0);
+
+    const std::uint64_t word =
+        mix64(_cfg.seed ^ (table * tableSalt) ^ (counter * counterSalt));
+
+    if (_cfg.hotness == Hotness::Random)
+        return static_cast<RowIndex>(word % _cfg.rows);
+
+    const double u = toUnitInterval(word);
+    if (u < _q) {
+        // Uniform component: re-mix so the selector and the row are
+        // independent.
+        const std::uint64_t w2 = mix64(word ^ mixSalt);
+        return static_cast<RowIndex>(w2 % _cfg.rows);
+    }
+
+    // Hot component: invert the Zipf CDF with a fresh uniform draw.
+    const double v = toUnitInterval(mix64(word + 1));
+    const auto it =
+        std::lower_bound(_zipfCdf.begin(), _zipfCdf.end(), v);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::distance(_zipfCdf.begin(), it));
+    return hotRow(table, std::min(rank, _cfg.hotSetSize - 1));
+}
+
+core::SparseBatch
+TraceGenerator::batch(std::size_t batch_id) const
+{
+    core::SparseBatch b;
+    b.batchSize = _cfg.batchSize;
+    b.indices.resize(_cfg.tables);
+    b.offsets.resize(_cfg.tables);
+
+    const std::size_t per_batch = _cfg.batchSize * _cfg.lookups;
+    for (std::size_t t = 0; t < _cfg.tables; ++t) {
+        auto& idx = b.indices[t];
+        auto& off = b.offsets[t];
+        idx.resize(per_batch);
+        off.resize(_cfg.batchSize + 1);
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(batch_id) * per_batch;
+        for (std::size_t i = 0; i < per_batch; ++i)
+            idx[i] = drawIndex(t, base + i);
+        for (std::size_t s = 0; s <= _cfg.batchSize; ++s)
+            off[s] = static_cast<RowIndex>(s * _cfg.lookups);
+    }
+    return b;
+}
+
+std::vector<RowIndex>
+TraceGenerator::tableStream(std::size_t table, std::size_t first_batch,
+                            std::size_t num_batches) const
+{
+    const std::size_t per_batch = _cfg.batchSize * _cfg.lookups;
+    std::vector<RowIndex> out;
+    out.reserve(per_batch * num_batches);
+    for (std::size_t b = first_batch; b < first_batch + num_batches; ++b) {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(b) * per_batch;
+        for (std::size_t i = 0; i < per_batch; ++i)
+            out.push_back(drawIndex(table, base + i));
+    }
+    return out;
+}
+
+} // namespace dlrmopt::traces

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic synthetic embedding-lookup trace generator.
+ *
+ * Produces the index access pattern of Algorithm 1 of the paper: for
+ * each batch, for each table, batch_size samples of lookups_per_sample
+ * indices each. Index draws follow the calibrated hotness mixture of
+ * trace/hotness.hpp. Generation is counter-based (stateless), so any
+ * batch can be produced independently and the whole trace never has
+ * to be materialized — essential for full-size models whose traces
+ * run to hundreds of MB.
+ */
+
+#ifndef DLRMOPT_TRACE_GENERATOR_HPP
+#define DLRMOPT_TRACE_GENERATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model_config.hpp"
+#include "core/sparse_input.hpp"
+#include "trace/hotness.hpp"
+
+namespace dlrmopt::traces
+{
+
+/** Parameters of a synthetic trace. */
+struct TraceConfig
+{
+    std::size_t rows = 0;       //!< rows per table
+    std::size_t tables = 0;     //!< number of embedding tables
+    std::size_t lookups = 0;    //!< lookups per sample per table
+    std::size_t batchSize = core::paperBatchSize;
+    std::size_t numBatches = core::paperNumBatches; //!< calibration window
+    Hotness hotness = Hotness::Medium;
+    std::uint64_t seed = 1;
+    std::size_t hotSetSize = 1024;  //!< rows in the Zipf hot set
+    double zipfAlpha = 1.05;        //!< hot-set skew exponent
+
+    /** Builds a TraceConfig for a Table 2 model. */
+    static TraceConfig
+    forModel(const core::ModelConfig& m, Hotness h, std::uint64_t seed = 1)
+    {
+        TraceConfig c;
+        c.rows = m.rows;
+        c.tables = m.tables;
+        c.lookups = m.lookups;
+        c.hotness = h;
+        c.seed = seed;
+        return c;
+    }
+
+    /** Index draws per table over the calibration window. */
+    std::size_t
+    drawsPerTable() const
+    {
+        return numBatches * batchSize * lookups;
+    }
+};
+
+/**
+ * Counter-based trace generator. Thread-safe after construction: all
+ * query methods are const and stateless.
+ */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceConfig& cfg);
+
+    const TraceConfig& config() const { return _cfg; }
+
+    /** Calibrated probability that a draw is uniform over all rows. */
+    double uniformFraction() const { return _q; }
+
+    /**
+     * The index drawn for lookup number @p counter of table @p table.
+     * Deterministic in (seed, table, counter).
+     */
+    RowIndex drawIndex(std::size_t table,
+                             std::uint64_t counter) const;
+
+    /**
+     * Materializes one batch of sparse inputs across all tables.
+     * Lookup counters continue across batches so reuse across batches
+     * (Sec. 3.1.2 "inter-batch") emerges naturally.
+     *
+     * @param batch_id Which batch to produce (any order, any subset).
+     */
+    core::SparseBatch batch(std::size_t batch_id) const;
+
+    /**
+     * Materializes the per-table flat index stream for a range of
+     * batches, in the order the embedding stage would issue them
+     * (used by the reuse-distance and cache-simulation substrates).
+     */
+    std::vector<RowIndex> tableStream(std::size_t table,
+                                            std::size_t first_batch,
+                                            std::size_t num_batches) const;
+
+  private:
+    /** Maps a hot-set rank to its scattered row id. */
+    RowIndex hotRow(std::size_t table, std::size_t rank) const;
+
+    TraceConfig _cfg;
+    double _q = 1.0;                //!< calibrated uniform fraction
+    std::vector<double> _zipfCdf;   //!< CDF over hot-set ranks
+};
+
+} // namespace dlrmopt::traces
+
+#endif // DLRMOPT_TRACE_GENERATOR_HPP

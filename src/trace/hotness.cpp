@@ -1,0 +1,63 @@
+#include "trace/hotness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrmopt::traces
+{
+
+std::string
+hotnessName(Hotness h)
+{
+    switch (h) {
+      case Hotness::OneItem:
+        return "one-item";
+      case Hotness::High:
+        return "High Hot";
+      case Hotness::Medium:
+        return "Medium Hot";
+      case Hotness::Low:
+        return "Low Hot";
+      case Hotness::Random:
+        return "random";
+    }
+    return "unknown";
+}
+
+double
+targetUniqueFraction(Hotness h)
+{
+    switch (h) {
+      case Hotness::OneItem:
+        return 0.0;
+      case Hotness::High:
+        return 0.03;
+      case Hotness::Medium:
+        return 0.24;
+      case Hotness::Low:
+        return 0.60;
+      case Hotness::Random:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+double
+calibrateUniformFraction(double target_unique, std::size_t draws,
+                         std::size_t rows, std::size_t hot_set)
+{
+    const double n = static_cast<double>(draws);
+    const double r = static_cast<double>(rows);
+    const double distinct_needed =
+        target_unique * n - static_cast<double>(hot_set);
+    if (distinct_needed <= 0.0)
+        return 0.0;
+    // u*n = R*(1 - exp(-q*n/R))  =>  q = -ln(1 - u*n/R) * R/n
+    const double x = distinct_needed / r;
+    if (x >= 1.0)
+        return 1.0;
+    const double q = -std::log(1.0 - x) * r / n;
+    return std::clamp(q, 0.0, 1.0);
+}
+
+} // namespace dlrmopt::traces

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dataset hotness classes and calibration.
+ *
+ * The paper (Sec. 5) reduces Meta's production embedding-lookup
+ * traces to three hotness classes characterized by their fraction of
+ * unique item ids: Low = 60%, Medium = 24%, High = 3% unique. Two
+ * synthetic extremes bound the spectrum (Sec. 3.1): "one-item" (every
+ * lookup hits the same row) and "random" (uniform over all rows).
+ *
+ * Our generator reproduces a target unique fraction with a mixture
+ * distribution: each draw is uniform over all rows with probability
+ * q, and Zipf-distributed over a small scattered hot set otherwise.
+ * calibrateUniformFraction() solves q analytically from the target.
+ */
+
+#ifndef DLRMOPT_TRACE_HOTNESS_HPP
+#define DLRMOPT_TRACE_HOTNESS_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace dlrmopt::traces
+{
+
+/** Input hotness classes used across the paper's evaluation. */
+enum class Hotness
+{
+    OneItem, //!< Best case: all lookups hit one row (synthetic).
+    High,    //!< Meta trace class, ~3% unique accesses.
+    Medium,  //!< Meta trace class, ~24% unique accesses.
+    Low,     //!< Meta trace class, ~60% unique accesses.
+    Random,  //!< Worst case: uniform over all rows (synthetic).
+};
+
+/** Display name matching the paper ("High Hot", "one-item", ...). */
+std::string hotnessName(Hotness h);
+
+/**
+ * Target unique-access fraction for a hotness class (Sec. 5).
+ * OneItem returns ~0 and Random returns 1.0 (the asymptotic extremes).
+ */
+double targetUniqueFraction(Hotness h);
+
+/**
+ * Solves for the mixture's uniform-draw probability q such that the
+ * expected unique fraction over a draw window matches the target.
+ *
+ * With n draws over R rows where each draw is uniform with
+ * probability q, the expected distinct count of the uniform component
+ * is R * (1 - exp(-q*n/R)); the hot component contributes at most
+ * hot_set distinct rows. Setting
+ *     u * n = R * (1 - exp(-q*n/R)) + hot_set
+ * and solving for q gives the calibrated mixture.
+ *
+ * @param target_unique Desired unique fraction u in (0, 1].
+ * @param draws Number of index draws n in the window.
+ * @param rows Table row count R.
+ * @param hot_set Hot-set size.
+ * @return q clamped to [0, 1].
+ */
+double calibrateUniformFraction(double target_unique, std::size_t draws,
+                                std::size_t rows, std::size_t hot_set);
+
+} // namespace dlrmopt::traces
+
+#endif // DLRMOPT_TRACE_HOTNESS_HPP

@@ -1,0 +1,107 @@
+#include "trace/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace dlrmopt::traces
+{
+
+namespace
+{
+
+constexpr std::uint64_t traceMagic = 0x444c524d54524331ull; // "DLRMTRC1"
+
+template <typename T>
+void
+writePod(std::ofstream& os, const T& v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::ifstream& is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+    return v;
+}
+
+template <typename T>
+void
+writeVec(std::ofstream& os, const std::vector<T>& v)
+{
+    writePod<std::uint64_t>(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::ifstream& is)
+{
+    const auto n = readPod<std::uint64_t>(is);
+    // Sanity bound: refuse absurd sizes rather than bad_alloc.
+    if (n > (1ull << 34))
+        throw std::runtime_error("trace vector size implausible");
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+    return v;
+}
+
+} // namespace
+
+void
+saveTrace(const std::string& path,
+          const std::vector<core::SparseBatch>& batches)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    writePod(os, traceMagic);
+    writePod<std::uint64_t>(os, batches.size());
+    for (const auto& b : batches) {
+        writePod<std::uint64_t>(os, b.batchSize);
+        writePod<std::uint64_t>(os, b.numTables());
+        for (std::size_t t = 0; t < b.numTables(); ++t) {
+            writeVec(os, b.offsets[t]);
+            writeVec(os, b.indices[t]);
+        }
+    }
+    if (!os)
+        throw std::runtime_error("write failed for " + path);
+}
+
+std::vector<core::SparseBatch>
+loadTrace(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    if (readPod<std::uint64_t>(is) != traceMagic)
+        throw std::runtime_error(path + " is not a dlrmopt trace");
+    const auto num_batches = readPod<std::uint64_t>(is);
+    std::vector<core::SparseBatch> batches;
+    batches.reserve(num_batches);
+    for (std::uint64_t i = 0; i < num_batches; ++i) {
+        core::SparseBatch b;
+        b.batchSize = readPod<std::uint64_t>(is);
+        const auto tables = readPod<std::uint64_t>(is);
+        b.offsets.resize(tables);
+        b.indices.resize(tables);
+        for (std::uint64_t t = 0; t < tables; ++t) {
+            b.offsets[t] = readVec<RowIndex>(is);
+            b.indices[t] = readVec<RowIndex>(is);
+        }
+        batches.push_back(std::move(b));
+    }
+    return batches;
+}
+
+} // namespace dlrmopt::traces

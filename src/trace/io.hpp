@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary serialization of sparse-input traces.
+ *
+ * Lets a materialized trace (e.g. a batch window exported from the
+ * generator, or an externally collected dataset in the same layout as
+ * Meta's dlrm_datasets offsets/indices tensors) be stored and reloaded
+ * without regeneration.
+ */
+
+#ifndef DLRMOPT_TRACE_IO_HPP
+#define DLRMOPT_TRACE_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/sparse_input.hpp"
+
+namespace dlrmopt::traces
+{
+
+/**
+ * Writes a batch sequence to @p path in the dlrmopt binary trace
+ * format (magic, version, counts, then per-table offset/index arrays).
+ *
+ * @throws std::runtime_error on I/O failure.
+ */
+void saveTrace(const std::string& path,
+               const std::vector<core::SparseBatch>& batches);
+
+/**
+ * Reads a batch sequence previously written by saveTrace().
+ *
+ * @throws std::runtime_error on I/O failure or malformed contents.
+ */
+std::vector<core::SparseBatch> loadTrace(const std::string& path);
+
+} // namespace dlrmopt::traces
+
+#endif // DLRMOPT_TRACE_IO_HPP

@@ -1,0 +1,39 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace dlrmopt::traces
+{
+
+double
+AccessStats::topKShare(std::size_t k) const
+{
+    if (totalAccesses == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    const std::size_t n = std::min(k, sortedCounts.size());
+    for (std::size_t i = 0; i < n; ++i)
+        acc += sortedCounts[i];
+    return static_cast<double>(acc) / static_cast<double>(totalAccesses);
+}
+
+AccessStats
+computeAccessStats(const std::vector<RowIndex>& stream)
+{
+    AccessStats st;
+    std::unordered_map<RowIndex, std::uint64_t> counts;
+    counts.reserve(stream.size());
+    for (RowIndex idx : stream)
+        ++counts[idx];
+    st.totalAccesses = stream.size();
+    st.sortedCounts.reserve(counts.size());
+    for (const auto& [idx, c] : counts)
+        st.sortedCounts.push_back(c);
+    std::sort(st.sortedCounts.begin(), st.sortedCounts.end(),
+              std::greater<>());
+    return st;
+}
+
+} // namespace dlrmopt::traces

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Access-count statistics over index traces (Sec. 3.1.1, Fig. 5).
+ */
+
+#ifndef DLRMOPT_TRACE_STATS_HPP
+#define DLRMOPT_TRACE_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::traces
+{
+
+/**
+ * Per-row access-count summary for one table's index stream.
+ */
+struct AccessStats
+{
+    /** Access count per touched row, sorted descending (Fig. 5). */
+    std::vector<std::uint64_t> sortedCounts;
+
+    std::uint64_t totalAccesses = 0;
+
+    std::size_t uniqueRows() const { return sortedCounts.size(); }
+
+    /** Fraction of accessed ids that are unique (Sec. 5's metric). */
+    double
+    uniqueFraction() const
+    {
+        return totalAccesses
+            ? static_cast<double>(uniqueRows()) /
+                  static_cast<double>(totalAccesses)
+            : 0.0;
+    }
+
+    /**
+     * Share of all accesses captured by the @p k hottest rows — the
+     * "hot rows dominate" metric prior NMP/caching work relies on.
+     */
+    double topKShare(std::size_t k) const;
+};
+
+/**
+ * Computes access statistics over an index stream.
+ */
+AccessStats computeAccessStats(const std::vector<RowIndex>& stream);
+
+} // namespace dlrmopt::traces
+
+#endif // DLRMOPT_TRACE_STATS_HPP

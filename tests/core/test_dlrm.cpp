@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit/integration tests for the full DlrmModel on a scaled-down
+ * configuration (construction allocates real tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/dlrm.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+using dlrmopt::RowIndex;
+
+/** A small but structurally faithful model for tests. */
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.cls = ModelClass::RMC2;
+    m.rows = 1024;
+    m.dim = 16;
+    m.tables = 4;
+    m.lookups = 5;
+    m.bottomMlp = {32, 24, 16};
+    m.topMlp = {8, 1};
+    return m;
+}
+
+SparseBatch
+makeBatch(const ModelConfig& m, std::size_t batch, std::uint64_t seed)
+{
+    SparseBatch b;
+    b.batchSize = batch;
+    b.indices.resize(m.tables);
+    b.offsets.resize(m.tables);
+    for (std::size_t t = 0; t < m.tables; ++t) {
+        for (std::size_t s = 0; s <= batch; ++s) {
+            b.offsets[t].push_back(
+                static_cast<RowIndex>(s * m.lookups));
+        }
+        for (std::size_t i = 0; i < batch * m.lookups; ++i) {
+            b.indices[t].push_back(static_cast<RowIndex>(
+                dlrmopt::mix64(seed + t * 1000 + i) % m.rows));
+        }
+    }
+    return b;
+}
+
+class DlrmModelTest : public ::testing::Test
+{
+  protected:
+    DlrmModelTest() : model(tinyModel(), 42) {}
+    DlrmModel model;
+};
+
+TEST_F(DlrmModelTest, ConstructionMatchesConfig)
+{
+    EXPECT_EQ(model.config().name, "tiny");
+    EXPECT_EQ(model.table(0).rows(), 1024u);
+    EXPECT_EQ(model.table(0).dim(), 16u);
+    EXPECT_EQ(model.embeddingBytes(), 4u * 1024u * 16u * 4u);
+    EXPECT_EQ(model.bottomMlp().outputDim(), 16u);
+    EXPECT_EQ(model.topMlp().inputDim(),
+              tinyModel().topInputDim());
+}
+
+TEST(DlrmModel, RejectsMismatchedBottomMlp)
+{
+    ModelConfig bad = tinyModel();
+    bad.bottomMlp = {32, 24, 8}; // != dim 16
+    EXPECT_THROW(DlrmModel m(bad, 1), std::invalid_argument);
+}
+
+TEST_F(DlrmModelTest, ForwardShapesAndRange)
+{
+    const std::size_t batch = 8;
+    Tensor dense(batch, model.config().denseDim());
+    dense.randomize(3);
+    const SparseBatch sparse = makeBatch(model.config(), batch, 7);
+    ASSERT_TRUE(sparse.valid(model.config().rows));
+
+    DlrmWorkspace ws;
+    model.forward(dense, sparse, ws);
+
+    EXPECT_EQ(ws.bottomOut.rows(), batch);
+    EXPECT_EQ(ws.bottomOut.cols(), 16u);
+    EXPECT_EQ(ws.embOut.rows(), 4u);
+    EXPECT_EQ(ws.embOut.cols(), batch * 16u);
+    EXPECT_EQ(ws.interOut.cols(), model.config().topInputDim());
+    EXPECT_EQ(ws.pred.rows(), batch);
+    EXPECT_EQ(ws.pred.cols(), 1u);
+    // CTR predictions go through a sigmoid.
+    for (std::size_t i = 0; i < batch; ++i) {
+        EXPECT_GT(ws.pred.at(i, 0), 0.0f);
+        EXPECT_LT(ws.pred.at(i, 0), 1.0f);
+    }
+}
+
+TEST_F(DlrmModelTest, ForwardIsDeterministic)
+{
+    const std::size_t batch = 4;
+    Tensor dense(batch, model.config().denseDim());
+    dense.randomize(5);
+    const SparseBatch sparse = makeBatch(model.config(), batch, 9);
+    DlrmWorkspace w1, w2;
+    model.forward(dense, sparse, w1);
+    model.forward(dense, sparse, w2);
+    for (std::size_t i = 0; i < w1.pred.size(); ++i)
+        EXPECT_EQ(w1.pred.data()[i], w2.pred.data()[i]);
+}
+
+TEST_F(DlrmModelTest, PrefetchSpecDoesNotChangePredictions)
+{
+    const std::size_t batch = 4;
+    Tensor dense(batch, model.config().denseDim());
+    dense.randomize(5);
+    const SparseBatch sparse = makeBatch(model.config(), batch, 9);
+    DlrmWorkspace w1, w2;
+    model.forward(dense, sparse, w1);
+    model.forward(dense, sparse, w2, PrefetchSpec::paperDefault());
+    for (std::size_t i = 0; i < w1.pred.size(); ++i)
+        EXPECT_EQ(w1.pred.data()[i], w2.pred.data()[i]);
+}
+
+TEST_F(DlrmModelTest, DifferentSparseInputsChangePredictions)
+{
+    const std::size_t batch = 4;
+    Tensor dense(batch, model.config().denseDim());
+    dense.randomize(5);
+    DlrmWorkspace w1, w2;
+    model.forward(dense, makeBatch(model.config(), batch, 1), w1);
+    model.forward(dense, makeBatch(model.config(), batch, 2), w2);
+    int diff = 0;
+    for (std::size_t i = 0; i < w1.pred.size(); ++i)
+        diff += w1.pred.data()[i] != w2.pred.data()[i];
+    EXPECT_GT(diff, 0);
+}
+
+TEST(SparseBatch, ValidationCatchesMalformedInputs)
+{
+    ModelConfig m = tinyModel();
+    SparseBatch b = makeBatch(m, 2, 1);
+    EXPECT_TRUE(b.valid(m.rows));
+
+    SparseBatch bad = b;
+    bad.indices[0][0] = static_cast<RowIndex>(m.rows); // out of range
+    EXPECT_FALSE(bad.valid(m.rows));
+
+    bad = b;
+    bad.offsets[1][0] = 1; // must start at 0
+    EXPECT_FALSE(bad.valid(m.rows));
+
+    bad = b;
+    bad.offsets[2].back() += 1; // must end at indices size
+    EXPECT_FALSE(bad.valid(m.rows));
+
+    bad = b;
+    bad.offsets.pop_back(); // table count mismatch
+    EXPECT_FALSE(bad.valid(m.rows));
+}
+
+TEST(SparseBatch, TotalLookupsSumsTables)
+{
+    ModelConfig m = tinyModel();
+    SparseBatch b = makeBatch(m, 3, 1);
+    EXPECT_EQ(b.totalLookups(), m.tables * 3 * m.lookups);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for EmbeddingTable and the embedding_bag kernel,
+ * including the software-prefetch variants (Algorithm 3): prefetching
+ * must never change results, only timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/embedding.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+using dlrmopt::RowIndex;
+
+TEST(PrefetchSpec, EnabledSemantics)
+{
+    EXPECT_FALSE(PrefetchSpec{}.enabled());
+    EXPECT_FALSE((PrefetchSpec{0, 8, 3}).enabled());
+    EXPECT_FALSE((PrefetchSpec{4, 0, 3}).enabled());
+    EXPECT_TRUE((PrefetchSpec{4, 8, 3}).enabled());
+    EXPECT_TRUE(PrefetchSpec::paperDefault().enabled());
+    EXPECT_EQ(PrefetchSpec::paperDefault().distance, 4);
+    EXPECT_EQ(PrefetchSpec::paperDefault().lines, 8);
+}
+
+TEST(EmbeddingTable, GeometryAndDeterminism)
+{
+    EmbeddingTable t(100, 16, 42);
+    EXPECT_EQ(t.rows(), 100u);
+    EXPECT_EQ(t.dim(), 16u);
+    EXPECT_EQ(t.bytes(), 100u * 16u * 4u);
+
+    EmbeddingTable t2(100, 16, 42);
+    for (std::size_t i = 0; i < 100 * 16; ++i)
+        EXPECT_EQ(t.data()[i], t2.data()[i]);
+}
+
+TEST(EmbeddingTable, RowPtrIndexesRows)
+{
+    EmbeddingTable t(10, 8, 1);
+    EXPECT_EQ(t.rowPtr(0), t.data());
+    EXPECT_EQ(t.rowPtr(3), t.data() + 3 * 8);
+}
+
+TEST(EmbeddingBag, SingleLookupCopiesRow)
+{
+    EmbeddingTable t(10, 8, 1);
+    const RowIndex indices[] = {7};
+    const RowIndex offsets[] = {0, 1};
+    std::vector<float> out(8);
+    t.bag(indices, offsets, 1, out.data());
+    for (std::size_t d = 0; d < 8; ++d)
+        EXPECT_EQ(out[d], t.rowPtr(7)[d]);
+}
+
+TEST(EmbeddingBag, SumsMultipleRows)
+{
+    EmbeddingTable t(10, 4, 1);
+    const RowIndex indices[] = {2, 5, 2};
+    const RowIndex offsets[] = {0, 3};
+    std::vector<float> out(4);
+    t.bag(indices, offsets, 1, out.data());
+    for (std::size_t d = 0; d < 4; ++d) {
+        EXPECT_FLOAT_EQ(out[d],
+                        2 * t.rowPtr(2)[d] + t.rowPtr(5)[d]);
+    }
+}
+
+TEST(EmbeddingBag, EmptyBagProducesZeros)
+{
+    EmbeddingTable t(10, 4, 1);
+    const RowIndex indices[] = {1};
+    const RowIndex offsets[] = {0, 0, 1}; // sample 0 empty, sample 1 has one
+    std::vector<float> out(8, -1.0f);
+    t.bag(indices, offsets, 2, out.data());
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_EQ(out[d], 0.0f);
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_EQ(out[4 + d], t.rowPtr(1)[d]);
+}
+
+TEST(EmbeddingBag, MatchesReferenceImplementation)
+{
+    EmbeddingTable t(64, 16, 3);
+    std::vector<RowIndex> indices;
+    std::vector<RowIndex> offsets = {0};
+    for (std::size_t s = 0; s < 8; ++s) {
+        for (std::size_t l = 0; l < 5; ++l)
+            indices.push_back(static_cast<RowIndex>((s * 7 + l * 13) % 64));
+        offsets.push_back(static_cast<RowIndex>(indices.size()));
+    }
+    std::vector<float> got(8 * 16), want(8 * 16);
+    t.bag(indices.data(), offsets.data(), 8, got.data());
+    embeddingBagRef(t.data(), 16, indices.data(), offsets.data(), 8,
+                    want.data());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_FLOAT_EQ(got[i], want[i]);
+}
+
+/**
+ * Property: software prefetching is purely a performance hint — the
+ * kernel's result must be bit-identical for every (distance, lines,
+ * locality) configuration, including distances past the end of the
+ * indices array.
+ */
+class EmbeddingBagPrefetch
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(EmbeddingBagPrefetch, PrefetchNeverChangesResults)
+{
+    const auto [dist, lines, locality] = GetParam();
+    EmbeddingTable t(256, 32, 5);
+    std::vector<RowIndex> indices;
+    std::vector<RowIndex> offsets = {0};
+    for (std::size_t s = 0; s < 16; ++s) {
+        for (std::size_t l = 0; l < 10; ++l) {
+            indices.push_back(static_cast<RowIndex>(
+                dlrmopt::mix64(s * 31 + l) % 256));
+        }
+        offsets.push_back(static_cast<RowIndex>(indices.size()));
+    }
+    std::vector<float> base(16 * 32), got(16 * 32);
+    t.bag(indices.data(), offsets.data(), 16, base.data());
+    PrefetchSpec pf{dist, lines, locality};
+    t.bag(indices.data(), offsets.data(), 16, got.data(), pf);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], base[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, EmbeddingBagPrefetch,
+    ::testing::Values(std::make_tuple(1, 1, 3),
+                      std::make_tuple(4, 8, 3),
+                      std::make_tuple(4, 2, 2),
+                      std::make_tuple(8, 4, 1),
+                      std::make_tuple(16, 8, 0),
+                      std::make_tuple(1000, 8, 3), // beyond array end
+                      std::make_tuple(4, 100, 3))); // more lines than row
+
+TEST(EmbeddingBag, LargeDimMatchesReference)
+{
+    // dim = 128 is the paper's RM2 configuration (8 cache lines).
+    EmbeddingTable t(128, 128, 9);
+    std::vector<RowIndex> indices = {0, 127, 64, 1, 2, 3};
+    std::vector<RowIndex> offsets = {0, 3, 6};
+    std::vector<float> got(2 * 128), want(2 * 128);
+    t.bag(indices.data(), offsets.data(), 2, got.data(),
+          PrefetchSpec::paperDefault());
+    embeddingBagRef(t.data(), 128, indices.data(), offsets.data(), 2,
+                    want.data());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_FLOAT_EQ(got[i], want[i]);
+}
+
+} // namespace

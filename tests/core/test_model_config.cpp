@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests that the model presets reproduce Table 2 of the paper and
+ * that the SLA targets match Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/model_config.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+
+TEST(ModelConfig, Rm2_1MatchesTable2)
+{
+    const ModelConfig m = rm2_1();
+    EXPECT_EQ(m.rows, 1'000'000u);
+    EXPECT_EQ(m.dim, 128u);
+    EXPECT_EQ(m.tables, 60u);
+    EXPECT_EQ(m.lookups, 120u);
+    EXPECT_EQ(m.bottomMlp, (std::vector<std::size_t>{256, 128, 128}));
+    EXPECT_EQ(m.topMlp, (std::vector<std::size_t>{128, 64, 1}));
+    EXPECT_EQ(m.cls, ModelClass::RMC2);
+    // Per-table capacity 488.3 MB (Table 2).
+    EXPECT_NEAR(m.tableBytes() / (1024.0 * 1024.0), 488.3, 0.1);
+    // Total 28.6 GB (Table 2).
+    EXPECT_NEAR(m.embeddingBytes() / (1024.0 * 1024.0 * 1024.0), 28.6,
+                0.1);
+}
+
+TEST(ModelConfig, Rm2_2MatchesTable2)
+{
+    const ModelConfig m = rm2_2();
+    EXPECT_EQ(m.tables, 120u);
+    EXPECT_EQ(m.lookups, 150u);
+    EXPECT_EQ(m.bottomMlp,
+              (std::vector<std::size_t>{1024, 512, 128, 128}));
+    EXPECT_NEAR(m.embeddingBytes() / (1024.0 * 1024.0 * 1024.0), 57.2,
+                0.1);
+}
+
+TEST(ModelConfig, Rm2_3MatchesTable2)
+{
+    const ModelConfig m = rm2_3();
+    EXPECT_EQ(m.tables, 170u);
+    EXPECT_EQ(m.lookups, 180u);
+    EXPECT_NEAR(m.embeddingBytes() / (1024.0 * 1024.0 * 1024.0), 81.1,
+                0.1);
+}
+
+TEST(ModelConfig, Rm1MatchesTable2)
+{
+    const ModelConfig m = rm1();
+    EXPECT_EQ(m.rows, 500'000u);
+    EXPECT_EQ(m.dim, 64u);
+    EXPECT_EQ(m.tables, 32u);
+    EXPECT_EQ(m.lookups, 80u);
+    EXPECT_EQ(m.cls, ModelClass::RMC1);
+    // Per-table capacity 122.0 MB (Table 2).
+    EXPECT_NEAR(m.tableBytes() / (1024.0 * 1024.0), 122.0, 0.1);
+    EXPECT_NEAR(m.embeddingBytes() / (1024.0 * 1024.0 * 1024.0), 3.8,
+                0.1);
+}
+
+TEST(ModelConfig, SlaTargetsMatchTable1)
+{
+    EXPECT_DOUBLE_EQ(slaTargetMs(ModelClass::RMC1), 100.0);
+    EXPECT_DOUBLE_EQ(slaTargetMs(ModelClass::RMC2), 400.0);
+    EXPECT_DOUBLE_EQ(slaTargetMs(ModelClass::RMC3), 100.0);
+    EXPECT_DOUBLE_EQ(rm2_3().slaMs(), 400.0);
+    EXPECT_DOUBLE_EQ(rm1().slaMs(), 100.0);
+}
+
+TEST(ModelConfig, BottomMlpEndsAtEmbeddingDim)
+{
+    for (const auto& m : allModels())
+        EXPECT_EQ(m.bottomMlp.back(), m.dim) << m.name;
+}
+
+TEST(ModelConfig, TopMlpDimsDerivedFromInteraction)
+{
+    const ModelConfig m = rm2_1();
+    const auto dims = m.topMlpDims();
+    EXPECT_EQ(dims.front(), 1958u); // 128 + 60*61/2
+    EXPECT_EQ(dims.back(), 1u);
+    EXPECT_EQ(dims.size(), m.topMlp.size() + 1);
+}
+
+TEST(ModelConfig, LookupByName)
+{
+    EXPECT_EQ(modelByName("rm2_2").tables, 120u);
+    EXPECT_THROW(modelByName("nope"), std::out_of_range);
+}
+
+TEST(ModelConfig, AllModelsInPaperOrder)
+{
+    const auto& ms = allModels();
+    ASSERT_EQ(ms.size(), 4u);
+    EXPECT_EQ(ms[0].name, "rm2_1");
+    EXPECT_EQ(ms[1].name, "rm2_2");
+    EXPECT_EQ(ms[2].name, "rm2_3");
+    EXPECT_EQ(ms[3].name, "rm1");
+}
+
+TEST(ModelConfig, ScaledToFitShrinksBelowBudget)
+{
+    const double budget = 512.0 * 1024 * 1024; // 512 MB
+    const ModelConfig m = rm2_1().scaledToFit(budget);
+    EXPECT_LE(m.embeddingBytes(), budget);
+    EXPECT_EQ(m.dim, rm2_1().dim);       // dim preserved
+    EXPECT_EQ(m.lookups, rm2_1().lookups); // lookup structure preserved
+    EXPECT_NE(m.name, rm2_1().name);
+}
+
+TEST(ModelConfig, ScaledToFitNoopWhenSmallEnough)
+{
+    const ModelConfig m = rm1().scaledToFit(1e12);
+    EXPECT_EQ(m.name, "rm1");
+    EXPECT_EQ(m.rows, rm1().rows);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the real-execution InferencePipeline: every scheme must
+ * process all batches and produce consistent stage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "trace/generator.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+using dlrmopt::traces::Hotness;
+using dlrmopt::traces::TraceConfig;
+using dlrmopt::traces::TraceGenerator;
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.cls = ModelClass::RMC2;
+    m.rows = 2048;
+    m.dim = 16;
+    m.tables = 3;
+    m.lookups = 4;
+    m.bottomMlp = {16, 16};
+    m.topMlp = {4, 1};
+    return m;
+}
+
+std::vector<SparseBatch>
+makeBatches(const ModelConfig& m, std::size_t n, std::size_t batch_size)
+{
+    TraceConfig tc;
+    tc.rows = m.rows;
+    tc.tables = m.tables;
+    tc.lookups = m.lookups;
+    tc.batchSize = batch_size;
+    tc.numBatches = n;
+    tc.hotness = Hotness::Medium;
+    TraceGenerator gen(tc);
+    std::vector<SparseBatch> out;
+    for (std::size_t b = 0; b < n; ++b)
+        out.push_back(gen.batch(b));
+    return out;
+}
+
+class PipelineTest : public ::testing::TestWithParam<Scheme>
+{
+  protected:
+    PipelineTest() : model(tinyModel(), 42) {}
+    DlrmModel model;
+};
+
+TEST_P(PipelineTest, RunsAllBatchesUnderEveryScheme)
+{
+    const std::size_t batch_size = 8;
+    Tensor dense(batch_size, model.config().denseDim());
+    dense.randomize(1);
+    const auto batches = makeBatches(model.config(), 6, batch_size);
+
+    InferencePipeline p(model, GetParam());
+    const PipelineStats st = p.run(dense, batches);
+
+    EXPECT_EQ(st.batches, 6u);
+    EXPECT_GT(st.totalMs, 0.0);
+    EXPECT_GT(st.embMs, 0.0);
+    EXPECT_GT(st.bottomMs, 0.0);
+    EXPECT_GT(st.interMs, 0.0);
+    EXPECT_GT(st.topMs, 0.0);
+    EXPECT_GT(st.avgBatchMs(), 0.0);
+    EXPECT_NEAR(st.avgBatchMs() * 6.0, st.totalMs, st.totalMs * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PipelineTest,
+                         ::testing::ValuesIn(allSchemes),
+                         [](const auto& info) {
+                             std::string n = schemeName(info.param);
+                             for (char& c : n) {
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(Pipeline, EmptyBatchListIsHarmless)
+{
+    DlrmModel model(tinyModel(), 1);
+    Tensor dense(4, model.config().denseDim());
+    InferencePipeline p(model, Scheme::Baseline);
+    const PipelineStats st = p.run(dense, {});
+    EXPECT_EQ(st.batches, 0u);
+    EXPECT_EQ(st.avgBatchMs(), 0.0);
+}
+
+TEST(Pipeline, MpHtMatchesSequentialResultsTimingAside)
+{
+    // MP-HT only reorders execution; stage totals must still all be
+    // populated and the batch count preserved.
+    DlrmModel model(tinyModel(), 7);
+    Tensor dense(4, model.config().denseDim());
+    dense.randomize(2);
+    const auto batches = makeBatches(model.config(), 4, 4);
+
+    InferencePipeline seq(model, Scheme::Baseline);
+    InferencePipeline mp(model, Scheme::MpHt);
+    EXPECT_EQ(seq.run(dense, batches).batches, 4u);
+    EXPECT_EQ(mp.run(dense, batches).batches, 4u);
+}
+
+TEST(Pipeline, DpHtSplitsBatchesAcrossInstances)
+{
+    DlrmModel model(tinyModel(), 7);
+    Tensor dense(4, model.config().denseDim());
+    const auto batches = makeBatches(model.config(), 5, 4);
+    InferencePipeline dp(model, Scheme::DpHt);
+    const PipelineStats st = dp.run(dense, batches);
+    EXPECT_EQ(st.batches, 5u); // both instances' batches counted
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the scheme enumeration helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+
+TEST(Scheme, NamesMatchPaperLegends)
+{
+    EXPECT_EQ(schemeName(Scheme::HwPfOff), "w/o HW-PF");
+    EXPECT_EQ(schemeName(Scheme::Baseline), "Baseline");
+    EXPECT_EQ(schemeName(Scheme::SwPf), "SW-PF");
+    EXPECT_EQ(schemeName(Scheme::DpHt), "DP-HT");
+    EXPECT_EQ(schemeName(Scheme::MpHt), "MP-HT");
+    EXPECT_EQ(schemeName(Scheme::Integrated), "Integrated");
+}
+
+TEST(Scheme, SwPrefetchPredicate)
+{
+    EXPECT_TRUE(usesSwPrefetch(Scheme::SwPf));
+    EXPECT_TRUE(usesSwPrefetch(Scheme::Integrated));
+    EXPECT_FALSE(usesSwPrefetch(Scheme::Baseline));
+    EXPECT_FALSE(usesSwPrefetch(Scheme::MpHt));
+    EXPECT_FALSE(usesSwPrefetch(Scheme::DpHt));
+    EXPECT_FALSE(usesSwPrefetch(Scheme::HwPfOff));
+}
+
+TEST(Scheme, MpHtPredicate)
+{
+    EXPECT_TRUE(usesMpHt(Scheme::MpHt));
+    EXPECT_TRUE(usesMpHt(Scheme::Integrated));
+    EXPECT_FALSE(usesMpHt(Scheme::DpHt));
+    EXPECT_FALSE(usesMpHt(Scheme::Baseline));
+}
+
+TEST(Scheme, HwPrefetchPredicate)
+{
+    EXPECT_FALSE(usesHwPrefetch(Scheme::HwPfOff));
+    for (Scheme s : {Scheme::Baseline, Scheme::SwPf, Scheme::DpHt,
+                     Scheme::MpHt, Scheme::Integrated})
+        EXPECT_TRUE(usesHwPrefetch(s));
+}
+
+TEST(Scheme, AllSchemesListsSixInOrder)
+{
+    ASSERT_EQ(allSchemes.size(), 6u);
+    EXPECT_EQ(allSchemes.front(), Scheme::HwPfOff);
+    EXPECT_EQ(allSchemes.back(), Scheme::Integrated);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the SIMD accumulate kernels: every implementation must
+ * agree bit-for-bit with the scalar loop (same addition order) at
+ * every alignment and tail length.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/simd.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+
+std::vector<float>
+pattern(std::size_t n, std::uint64_t seed)
+{
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<float>(
+            dlrmopt::toUnitInterval(dlrmopt::mix64(seed + i)) * 8.0 -
+            4.0);
+    }
+    return v;
+}
+
+class AccumulateLengths : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(AccumulateLengths, AllVariantsMatchScalar)
+{
+    const std::size_t n = GetParam();
+    const auto row = pattern(n, 1);
+    const auto base = pattern(n, 2);
+
+    auto scalar = base;
+    accumulateRowScalar(scalar.data(), row.data(), n);
+
+    auto avx2 = base;
+    accumulateRowAvx2(avx2.data(), row.data(), n);
+    EXPECT_EQ(avx2, scalar);
+
+    auto avx512 = base;
+    accumulateRowAvx512(avx512.data(), row.data(), n);
+    EXPECT_EQ(avx512, scalar);
+
+    auto dispatched = base;
+    accumulateRow(dispatched.data(), row.data(), n);
+    EXPECT_EQ(dispatched, scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AccumulateLengths,
+                         ::testing::Values(std::size_t(0), 1, 3, 7, 8,
+                                           15, 16, 17, 31, 64, 128,
+                                           129, 1000));
+
+TEST(Simd, DetectionIsStable)
+{
+    EXPECT_EQ(detectSimdLevel(), detectSimdLevel());
+    EXPECT_FALSE(simdLevelName(detectSimdLevel()).empty());
+}
+
+TEST(Simd, SetLevelClampsToCapability)
+{
+    const SimdLevel cap = detectSimdLevel();
+    const SimdLevel got = setSimdLevel(SimdLevel::Avx512);
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(cap));
+    EXPECT_EQ(currentSimdLevel(), got);
+    EXPECT_EQ(setSimdLevel(SimdLevel::Scalar), SimdLevel::Scalar);
+    setSimdLevel(cap); // restore
+}
+
+TEST(Simd, EmbeddingBagIdenticalAcrossLevels)
+{
+    EmbeddingTable t(512, 48, 5); // 48 = non-multiple of 16
+    std::vector<dlrmopt::RowIndex> idx = {1, 5, 7, 500, 3, 3};
+    std::vector<dlrmopt::RowIndex> off = {0, 2, 6};
+    std::vector<float> scalar_out(2 * 48), simd_out(2 * 48);
+
+    const SimdLevel cap = detectSimdLevel();
+    setSimdLevel(SimdLevel::Scalar);
+    t.bag(idx.data(), off.data(), 2, scalar_out.data());
+    setSimdLevel(cap);
+    t.bag(idx.data(), off.data(), 2, simd_out.data());
+    EXPECT_EQ(scalar_out, simd_out);
+}
+
+} // namespace

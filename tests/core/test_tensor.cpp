@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace
+{
+
+using dlrmopt::core::Tensor;
+
+TEST(Tensor, DefaultConstructedIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.rows(), 0u);
+    EXPECT_EQ(t.cols(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ConstructionZeroInitializes)
+{
+    Tensor t(3, 5);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 5u);
+    EXPECT_EQ(t.size(), 15u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(t.at(r, c), 0.0f);
+    }
+}
+
+TEST(Tensor, DataIsCachelineAligned)
+{
+    Tensor t(7, 9);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u);
+}
+
+TEST(Tensor, RowPointerArithmetic)
+{
+    Tensor t(4, 8);
+    t.at(2, 3) = 42.0f;
+    EXPECT_EQ(t.row(2)[3], 42.0f);
+    EXPECT_EQ(t.row(0), t.data());
+    EXPECT_EQ(t.row(3), t.data() + 3 * 8);
+}
+
+TEST(Tensor, FillAndZero)
+{
+    Tensor t(2, 2);
+    t.fill(3.5f);
+    EXPECT_EQ(t.at(1, 1), 3.5f);
+    t.zero();
+    EXPECT_EQ(t.at(0, 0), 0.0f);
+    EXPECT_EQ(t.at(1, 1), 0.0f);
+}
+
+TEST(Tensor, ReshapeChangesShapeAndClears)
+{
+    Tensor t(2, 3);
+    t.fill(1.0f);
+    t.reshape(4, 5);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.cols(), 5u);
+    EXPECT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(Tensor, ReshapeSameShapeKeepsContents)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 9.0f;
+    t.reshape(2, 3);
+    EXPECT_EQ(t.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, RandomizeIsDeterministic)
+{
+    Tensor a(5, 5), b(5, 5);
+    a.randomize(123);
+    b.randomize(123);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Tensor, RandomizeDiffersAcrossSeeds)
+{
+    Tensor a(5, 5), b(5, 5);
+    a.randomize(1);
+    b.randomize(2);
+    int diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff += a.data()[i] != b.data()[i];
+    EXPECT_GT(diff, 10);
+}
+
+TEST(Tensor, RandomizeRespectsScale)
+{
+    Tensor t(100, 10);
+    t.randomize(7, 0.25f);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_LE(t.data()[i], 0.25f);
+        EXPECT_GE(t.data()[i], -0.25f);
+    }
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-component validation: independent parts of the system must
+ * agree about the same workload — the trace generator, the reuse
+ * model, the contents simulator, and the real kernel all describe
+ * one embedding stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/embedding.hpp"
+#include "memsim/embedding_sim.hpp"
+#include "memsim/reuse_model.hpp"
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+
+namespace
+{
+
+using namespace dlrmopt;
+
+traces::TraceConfig
+sharedTrace(traces::Hotness h)
+{
+    traces::TraceConfig tc;
+    tc.rows = 60'000;
+    tc.tables = 3;
+    tc.lookups = 8;
+    tc.batchSize = 16;
+    tc.numBatches = 8;
+    tc.hotness = h;
+    tc.seed = 77;
+    // Small draw volumes need a small hot set or the unique-target
+    // calibration degenerates and all classes coincide.
+    tc.hotSetSize = 32;
+    return tc;
+}
+
+TEST(CrossValidation, SimAndReuseModelSeeTheSameVolume)
+{
+    const auto tc = sharedTrace(traces::Hotness::Medium);
+
+    memsim::EmbSimConfig sc;
+    sc.trace = tc;
+    sc.dim = 64;
+    sc.hier.cores = 2;
+    sc.numBatches = 6;
+    const auto sim = memsim::EmbeddingSim(sc).run();
+
+    memsim::ReuseModelConfig rc;
+    rc.trace = tc;
+    rc.dim = 64;
+    rc.cores = 2;
+    rc.numBatches = 6;
+    const auto reuse = memsim::runReuseModel(rc);
+
+    // One reuse-model access per simulated lookup.
+    EXPECT_EQ(sim.lookups, reuse.hist.totalAccesses);
+}
+
+TEST(CrossValidation, ColdRowsLowerBoundDramFills)
+{
+    // Every distinct row must be fetched from DRAM at least once in
+    // the contents sim (compulsory misses), so the sim's demand DRAM
+    // fills are at least the reuse model's distinct-row count (rows
+    // span dim/16 lines; compare in row units via first lines).
+    const auto tc = sharedTrace(traces::Hotness::Low);
+
+    memsim::EmbSimConfig sc;
+    sc.trace = tc;
+    sc.dim = 64;
+    sc.hier.cores = 1;
+    sc.hwPrefetch = false; // demand fills only
+    sc.numBatches = 4;
+    const auto sim = memsim::EmbeddingSim(sc).run();
+
+    memsim::ReuseModelConfig rc;
+    rc.trace = tc;
+    rc.dim = 64;
+    rc.cores = 1;
+    rc.numBatches = 4;
+    const auto reuse = memsim::runReuseModel(rc);
+
+    // 4 lines per 64-dim row: every distinct row's lines are all
+    // compulsory misses at least once.
+    EXPECT_GE(sim.dramDemandFills, reuse.distinctRows * 4);
+}
+
+TEST(CrossValidation, GeneratorStatsPredictSimHitOrdering)
+{
+    // Unique-fraction ordering from the trace stats must carry
+    // through to the simulator's L1 hit-rate ordering.
+    double unique[3], hit[3];
+    int i = 0;
+    for (auto h : {traces::Hotness::High, traces::Hotness::Medium,
+                   traces::Hotness::Low}) {
+        const auto tc = sharedTrace(h);
+        traces::TraceGenerator gen(tc);
+        unique[i] = traces::computeAccessStats(
+                        gen.tableStream(0, 0, tc.numBatches))
+                        .uniqueFraction();
+
+        memsim::EmbSimConfig sc;
+        sc.trace = tc;
+        sc.dim = 64;
+        sc.hier.cores = 1;
+        sc.numBatches = 4;
+        hit[i] = memsim::EmbeddingSim(sc).run().l1HitRate();
+        ++i;
+    }
+    EXPECT_LT(unique[0], unique[1]);
+    EXPECT_LT(unique[1], unique[2]);
+    EXPECT_GT(hit[0], hit[1]);
+    EXPECT_GT(hit[1], hit[2]);
+}
+
+TEST(CrossValidation, KernelTouchesExactlyTheSimulatedRows)
+{
+    // The real kernel and the simulator must agree on which rows a
+    // batch touches: sum the kernel's output and compare against a
+    // reference computed from the generator's indices directly.
+    const auto tc = sharedTrace(traces::Hotness::High);
+    traces::TraceGenerator gen(tc);
+    const auto batch = gen.batch(2);
+
+    core::EmbeddingTable table(tc.rows, 32, 5);
+    std::vector<float> out(tc.batchSize * 32);
+    table.bag(batch.indices[1].data(), batch.offsets[1].data(),
+              tc.batchSize, out.data(),
+              core::PrefetchSpec::paperDefault());
+
+    // Reference: accumulate the same rows by hand from drawIndex.
+    std::vector<float> want(tc.batchSize * 32, 0.0f);
+    const std::size_t per_batch = tc.batchSize * tc.lookups;
+    for (std::size_t s = 0; s < tc.batchSize; ++s) {
+        for (std::size_t l = 0; l < tc.lookups; ++l) {
+            const auto row = gen.drawIndex(
+                1, 2 * per_batch + s * tc.lookups + l);
+            const float *rp = table.rowPtr(row);
+            for (std::size_t d = 0; d < 32; ++d)
+                want[s * 32 + d] += rp[d];
+        }
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], want[i]) << i;
+}
+
+TEST(CrossValidation, SimDramBytesBoundedByFootprint)
+{
+    // Without prefetchers, demand DRAM traffic cannot exceed the
+    // total line volume nor fall below the distinct-line footprint.
+    const auto tc = sharedTrace(traces::Hotness::Medium);
+    memsim::EmbSimConfig sc;
+    sc.trace = tc;
+    sc.dim = 64;
+    sc.hier.cores = 1;
+    sc.hwPrefetch = false;
+    sc.numBatches = 4;
+    const auto sim = memsim::EmbeddingSim(sc).run();
+
+    // Distinct (table, row) pairs touched in the simulated window.
+    traces::TraceGenerator gen(tc);
+    std::unordered_set<std::uint64_t> rows;
+    const std::size_t per_batch = tc.batchSize * tc.lookups;
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (std::size_t t = 0; t < tc.tables; ++t) {
+            for (std::size_t i = 0; i < per_batch; ++i) {
+                rows.insert(t * tc.rows +
+                            gen.drawIndex(t, b * per_batch + i));
+            }
+        }
+    }
+    const std::uint64_t distinct_lines = rows.size() * 4; // 4 lines/row
+    EXPECT_GE(sim.dramDemandFills, distinct_lines);
+    EXPECT_LE(sim.dramDemandFills, sim.lines);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Integration tests exercising the whole real-execution stack
+ * together: trace generation -> DLRM forward -> pipeline schemes ->
+ * serving queue, plus trace IO in the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "sched/ht_thread_pool.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+
+namespace
+{
+
+using namespace dlrmopt;
+
+core::ModelConfig
+smallModel()
+{
+    core::ModelConfig m;
+    m.name = "it_small";
+    m.cls = core::ModelClass::RMC2;
+    m.rows = 20'000;
+    m.dim = 32;
+    m.tables = 6;
+    m.lookups = 8;
+    m.bottomMlp = {64, 32, 32};
+    m.topMlp = {16, 1};
+    return m;
+}
+
+TEST(EndToEnd, TraceToPredictionsAllSchemesAgree)
+{
+    const auto cfg = smallModel();
+    core::DlrmModel model(cfg, 11);
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg, traces::Hotness::Medium, 5);
+    tc.batchSize = 16;
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 4; ++b)
+        batches.push_back(gen.batch(b));
+
+    core::Tensor dense(16, cfg.denseDim());
+    dense.randomize(3);
+
+    // Predictions must be identical for every scheme (schemes change
+    // timing, never math).
+    core::DlrmWorkspace ref_ws;
+    model.forward(dense, batches[0], ref_ws);
+
+    core::DlrmWorkspace pf_ws;
+    model.forward(dense, batches[0], pf_ws,
+                  core::PrefetchSpec::paperDefault());
+    for (std::size_t i = 0; i < ref_ws.pred.size(); ++i)
+        EXPECT_EQ(ref_ws.pred.data()[i], pf_ws.pred.data()[i]);
+
+    for (auto s : core::allSchemes) {
+        core::InferencePipeline p(model, s);
+        const auto st = p.run(dense, batches);
+        EXPECT_EQ(st.batches, batches.size()) << core::schemeName(s);
+    }
+}
+
+TEST(EndToEnd, TraceSurvivesIoRoundTripIntoInference)
+{
+    const auto cfg = smallModel();
+    core::DlrmModel model(cfg, 1);
+
+    traces::TraceConfig tc =
+        traces::TraceConfig::forModel(cfg, traces::Hotness::High, 9);
+    tc.batchSize = 8;
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches = {gen.batch(0),
+                                              gen.batch(1)};
+
+    const auto path =
+        (std::filesystem::temp_directory_path() / "dlrmopt_e2e.trace")
+            .string();
+    traces::saveTrace(path, batches);
+    const auto loaded = traces::loadTrace(path);
+    std::filesystem::remove(path);
+
+    core::Tensor dense(8, cfg.denseDim());
+    dense.randomize(4);
+    core::DlrmWorkspace w1, w2;
+    model.forward(dense, batches[1], w1);
+    model.forward(dense, loaded[1], w2);
+    for (std::size_t i = 0; i < w1.pred.size(); ++i)
+        EXPECT_EQ(w1.pred.data()[i], w2.pred.data()[i]);
+}
+
+TEST(EndToEnd, BatchPerCoreOnHtPool)
+{
+    // The paper's serving layout: one inference per physical core,
+    // dispatched through the HT-aware pool.
+    const auto cfg = smallModel();
+    core::DlrmModel model(cfg, 2);
+    sched::HtThreadPool pool(sched::Topology::synthetic(2, 2), false);
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg, traces::Hotness::Medium, 3);
+    tc.batchSize = 8;
+    traces::TraceGenerator gen(tc);
+
+    core::Tensor dense(8, cfg.denseDim());
+    dense.randomize(6);
+
+    std::vector<std::vector<float>> preds(6);
+    std::vector<std::future<void>> futs;
+    for (std::size_t b = 0; b < 6; ++b) {
+        futs.push_back(pool.submit(b % 2, [&, b] {
+            core::DlrmWorkspace ws;
+            model.forward(dense, gen.batch(b), ws);
+            preds[b].assign(ws.pred.data(),
+                            ws.pred.data() + ws.pred.size());
+        }));
+    }
+    for (auto& f : futs)
+        f.get();
+
+    // Sequential reference.
+    for (std::size_t b = 0; b < 6; ++b) {
+        core::DlrmWorkspace ws;
+        model.forward(dense, gen.batch(b), ws);
+        ASSERT_EQ(preds[b].size(), ws.pred.size());
+        for (std::size_t i = 0; i < preds[b].size(); ++i)
+            EXPECT_EQ(preds[b][i], ws.pred.data()[i]) << b;
+    }
+}
+
+TEST(EndToEnd, MeasuredServiceTimesDriveQueueSim)
+{
+    // Close the serving loop: measure a real batch latency, feed it
+    // into the queueing model, check the SLA verdict is computable.
+    const auto cfg = smallModel();
+    core::DlrmModel model(cfg, 3);
+    traces::TraceConfig tc =
+        traces::TraceConfig::forModel(cfg, traces::Hotness::Low, 2);
+    tc.batchSize = 8;
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches = {gen.batch(0)};
+    core::Tensor dense(8, cfg.denseDim());
+
+    core::InferencePipeline p(model, core::Scheme::Baseline);
+    const auto stats = p.run(dense, batches);
+    ASSERT_GT(stats.avgBatchMs(), 0.0);
+
+    serve::PoissonLoadGen lg(stats.avgBatchMs() * 2.0, 4);
+    const auto res =
+        serve::simulateQueue(lg.arrivals(500), stats.avgBatchMs(), 2);
+    EXPECT_GT(res.latency.p95(), 0.0);
+    EXPECT_GE(res.latency.slaCompliance(cfg.slaMs()), 0.0);
+}
+
+} // namespace

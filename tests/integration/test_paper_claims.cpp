@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulator-level regression tests for the paper's headline claims,
+ * on reduced-size workloads so the suite stays fast. The full-size
+ * reproductions live in bench/ (see EXPERIMENTS.md); these tests pin
+ * the *directions* so refactoring can't silently break them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/evaluator.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using namespace dlrmopt::core;
+using dlrmopt::traces::Hotness;
+
+EvalConfig
+reducedRm2(Scheme s, Hotness h, std::size_t cores)
+{
+    EvalConfig c;
+    c.cpu = cascadeLake();
+    c.model = rm2_1();
+    // Reduce the workload (not the architecture-critical dims) so
+    // each sim runs in ~a second.
+    c.model.tables = 10;
+    c.model.lookups = 40;
+    c.hotness = h;
+    c.scheme = s;
+    c.cores = cores;
+    c.numBatches = std::max<std::size_t>(cores, 4);
+    return c;
+}
+
+double
+speedup(Hotness h, Scheme s, std::size_t cores)
+{
+    const auto base = evaluate(reducedRm2(Scheme::Baseline, h, cores));
+    const auto opt = evaluate(reducedRm2(s, h, cores));
+    return base.batchMs / opt.batchMs;
+}
+
+TEST(PaperClaims, SwPfSpeedsUpEverywhere)
+{
+    // Sec. 6.1: SW-PF outperforms the baseline on every dataset,
+    // single- and multi-core.
+    for (Hotness h : {Hotness::Low, Hotness::Medium, Hotness::High}) {
+        EXPECT_GT(speedup(h, Scheme::SwPf, 1), 1.02);
+        EXPECT_GT(speedup(h, Scheme::SwPf, 4), 1.02);
+    }
+}
+
+TEST(PaperClaims, SwPfBestOnLowHot)
+{
+    // Sec. 6.1: "software prefetching performs best in the Low Hot
+    // dataset as it offers more irregularity."
+    EXPECT_GT(speedup(Hotness::Low, Scheme::SwPf, 1),
+              speedup(Hotness::High, Scheme::SwPf, 1));
+}
+
+TEST(PaperClaims, DpHtIsDetrimental)
+{
+    // Sec. 6.2: DP-HT underperforms the baseline (as low as 0.5x).
+    for (Hotness h : {Hotness::Low, Hotness::High})
+        EXPECT_LT(speedup(h, Scheme::DpHt, 1), 0.95);
+}
+
+TEST(PaperClaims, MpHtHelpsAndPrefersHighHot)
+{
+    // Sec. 6.2: MP-HT yields speedups, best with fast (hot)
+    // embedding stages.
+    EXPECT_GT(speedup(Hotness::High, Scheme::MpHt, 1), 1.03);
+    EXPECT_GE(speedup(Hotness::High, Scheme::MpHt, 1),
+              speedup(Hotness::Low, Scheme::MpHt, 4) - 0.02);
+}
+
+TEST(PaperClaims, IntegratedBeatsBothParts)
+{
+    for (Hotness h : {Hotness::Low, Hotness::High}) {
+        const double s_int = speedup(h, Scheme::Integrated, 1);
+        EXPECT_GT(s_int, speedup(h, Scheme::SwPf, 1) * 0.999);
+        EXPECT_GT(s_int, speedup(h, Scheme::MpHt, 1));
+    }
+}
+
+TEST(PaperClaims, EmbeddingDominatesRmc2Models)
+{
+    // Fig. 1 / Table 2: RMC2 models spend ~95%+ in the embedding
+    // stage.
+    const auto r = evaluate(reducedRm2(Scheme::Baseline, Hotness::Low, 1));
+    EXPECT_GT(r.stages.emb / r.batchMs, 0.85);
+}
+
+TEST(PaperClaims, MixedModelHasSubstantialMlpShare)
+{
+    EvalConfig c;
+    c.cpu = cascadeLake();
+    c.model = rm1();
+    c.model.tables = 8;
+    c.model.lookups = 30;
+    c.hotness = Hotness::Low;
+    c.scheme = Scheme::Baseline;
+    c.cores = 1;
+    c.numBatches = 4;
+    const auto r = evaluate(c);
+    // RM1 (RMC1 class): embedding around 65%, the rest is MLP-heavy.
+    EXPECT_LT(r.stages.emb / r.batchMs, 0.85);
+    EXPECT_GT(r.stages.bottom, r.stages.top);
+}
+
+TEST(PaperClaims, MultiCoreUsesMoreBandwidth)
+{
+    // Fig. 8: bandwidth rises steeply with core count while per-batch
+    // latency rises mildly.
+    const auto one =
+        evaluate(reducedRm2(Scheme::Baseline, Hotness::Low, 1));
+    const auto eight =
+        evaluate(reducedRm2(Scheme::Baseline, Hotness::Low, 8));
+    EXPECT_GT(eight.embTiming.achievedGBs,
+              3.0 * one.embTiming.achievedGBs);
+    EXPECT_LT(eight.embMs, one.embMs * 1.8);
+}
+
+TEST(PaperClaims, PrefetchDistanceSweetSpot)
+{
+    // Fig. 10b: distance 1 is too late; the 4-to-8 region is near
+    // optimal.
+    auto time_at = [&](int d) {
+        auto c = reducedRm2(Scheme::SwPf, Hotness::Low, 1);
+        c.pfDistance = d;
+        return evaluate(c).embMs;
+    };
+    const double d1 = time_at(1);
+    const double d4 = time_at(4);
+    EXPECT_LT(d4, d1);
+}
+
+TEST(PaperClaims, SwPfLiftsL1HitRateToFig15Levels)
+{
+    const auto base =
+        evaluate(reducedRm2(Scheme::Baseline, Hotness::Low, 1));
+    const auto pf = evaluate(reducedRm2(Scheme::SwPf, Hotness::Low, 1));
+    // Fig. 15: baseline 72-84%, SW-PF 96.7-99.4% (profiler view).
+    EXPECT_GT(base.sim.vtuneL1HitRate(), 0.55);
+    EXPECT_LT(base.sim.vtuneL1HitRate(), 0.93);
+    EXPECT_GT(pf.sim.vtuneL1HitRate(), 0.95);
+    EXPECT_LT(pf.embTiming.avgLoadLatency,
+              base.embTiming.avgLoadLatency);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property-based tests for the cache model.
+ *
+ * The strongest check cross-validates two independent components: a
+ * fully-associative LRU cache's hit count on any trace must equal
+ * the number of accesses whose exact stack distance (from the
+ * reuse-distance analyzer) is below the cache's capacity — the very
+ * relationship the paper's Fig. 6 model relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/types.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/reuse.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+
+/** Deterministic pseudo-random line-address trace. */
+std::vector<std::uint64_t>
+makeTrace(std::size_t n, std::uint64_t space, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> t;
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        t.push_back((dlrmopt::mix64(seed + i) % space) * 64);
+    return t;
+}
+
+class FullyAssocVsStackDistance
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t /*lines*/, std::uint64_t /*space*/,
+                     std::uint64_t /*seed*/>>
+{
+};
+
+TEST_P(FullyAssocVsStackDistance, HitsMatchExactly)
+{
+    const auto [lines, space, seed] = GetParam();
+    const auto trace = makeTrace(4000, space, seed);
+
+    // Fully associative: one set, assoc == capacity in lines.
+    Cache cache(CacheConfig{static_cast<std::uint64_t>(lines) * 64,
+                            lines, 64});
+    std::uint64_t cache_hits = 0;
+    for (auto addr : trace)
+        cache_hits += cache.accessFill(addr).hit;
+
+    ReuseDistanceAnalyzer an(trace.size());
+    std::uint64_t predicted_hits = 0;
+    for (auto addr : trace) {
+        const std::int64_t d = an.access(addr / 64);
+        predicted_hits += d >= 0 && d < static_cast<std::int64_t>(lines);
+    }
+
+    EXPECT_EQ(cache_hits, predicted_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullyAssocVsStackDistance,
+    ::testing::Combine(::testing::Values(4u, 16u, 64u, 256u),
+                       ::testing::Values(32ull, 200ull, 5000ull),
+                       ::testing::Values(1ull, 99ull)));
+
+/** Associativity sweep: more ways at equal capacity never lose to
+ *  fewer ways on a uniformly random trace (conflict misses only
+ *  shrink), within noise. */
+class AssociativitySweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(AssociativitySweep, ValidBehaviourAtAnyGeometry)
+{
+    const std::uint32_t assoc = GetParam();
+    Cache c(CacheConfig{64 * 1024, assoc, 64});
+    const auto trace = makeTrace(20'000, 1500, 7);
+    std::uint64_t hits = 0;
+    for (auto addr : trace)
+        hits += c.accessFill(addr).hit;
+    EXPECT_EQ(c.accesses(), trace.size());
+    EXPECT_EQ(c.hits(), hits);
+    EXPECT_LE(c.hits(), c.accesses());
+    // Every line that was just accessed must be resident.
+    EXPECT_TRUE(c.contains(trace.back()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssociativitySweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(CacheProperties, HigherAssociativityHelpsConflictHeavyTraces)
+{
+    // Pathological same-set trace: k lines that all collide in a
+    // direct-mapped cache but fit in a k-way one.
+    const std::uint32_t k = 8;
+    CacheConfig direct{64ull * 64, 1, 64};   // 64 sets, 1 way
+    CacheConfig assoc{64ull * 64, k, 64};    // 8 sets, 8 ways... same size
+    Cache dm(direct), sa(assoc);
+
+    std::uint64_t dm_hits = 0, sa_hits = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (std::uint32_t i = 0; i < k; ++i) {
+            // Stride of 64 sets' worth of bytes: always set 0 in the
+            // direct-mapped cache.
+            const std::uint64_t addr =
+                static_cast<std::uint64_t>(i) * 64 * 64;
+            dm_hits += dm.accessFill(addr).hit;
+            sa_hits += sa.accessFill(addr).hit;
+        }
+    }
+    EXPECT_EQ(dm_hits, 0u);    // perpetual conflict thrash
+    EXPECT_GT(sa_hits, 300u);  // fits once warm
+}
+
+TEST(CacheProperties, LookupInsertAgreesWithAccessFill)
+{
+    // The fused accessFill must behave exactly like lookup followed
+    // by insert-on-miss.
+    const auto trace = makeTrace(5000, 700, 3);
+    Cache fused(CacheConfig{16 * 1024, 4, 64});
+    Cache split(CacheConfig{16 * 1024, 4, 64});
+    for (auto addr : trace) {
+        const auto a = fused.accessFill(addr);
+        const auto b = split.lookup(addr);
+        if (!b.hit)
+            split.insert(addr);
+        EXPECT_EQ(a.hit, b.hit);
+    }
+    EXPECT_EQ(fused.hits(), split.hits());
+    EXPECT_EQ(fused.evictions(), split.evictions());
+}
+
+TEST(CacheProperties, InsertProbeAgreesWithContainsInsert)
+{
+    const auto trace = makeTrace(3000, 500, 5);
+    Cache fused(CacheConfig{8 * 1024, 4, 64});
+    Cache split(CacheConfig{8 * 1024, 4, 64});
+    for (auto addr : trace) {
+        const bool was_present = fused.insertProbe(addr, 1);
+        const bool expect_present = split.contains(addr);
+        split.insert(addr, 1);
+        EXPECT_EQ(was_present, expect_present);
+    }
+}
+
+TEST(CacheProperties, TickRenormalizationPreservesLru)
+{
+    // Drive enough touches to trigger at least one 24-bit tick
+    // renormalization and verify LRU still evicts oldest-first.
+    Cache c(CacheConfig{2 * 64, 2, 64}); // 1 set, 2 ways
+    // ~17M touches: renormalization happens at 2^24 - 1.
+    for (std::uint64_t i = 0; i < (1ull << 24) + 10; ++i)
+        c.accessFill((i & 1) * 64);
+    // Lines 0 and 1 resident; 0 touched less recently than 1 when i
+    // ends even... make it deterministic:
+    c.accessFill(0 * 64);
+    c.accessFill(1 * 64);
+    c.accessFill(0 * 64); // order now: 1 is LRU
+    c.insert(2 * 64);
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(1 * 64));
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the DRAM latency/bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/dram.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+
+TEST(Dram, UnloadedLatencyIsBase)
+{
+    DramModel d(DramConfig{200.0, 140.0, 2.4, 4.0});
+    EXPECT_DOUBLE_EQ(d.latencyAt(0.0), 200.0);
+}
+
+TEST(Dram, LatencyMonotoneInUtilization)
+{
+    DramModel d(DramConfig{200.0, 140.0, 2.4, 4.0});
+    double prev = 0.0;
+    for (double rho : {0.0, 0.2, 0.5, 0.8, 0.95, 0.99}) {
+        const double l = d.latencyAt(rho);
+        EXPECT_GE(l, prev);
+        prev = l;
+    }
+}
+
+TEST(Dram, LatencyCappedAtQueueCap)
+{
+    DramModel d(DramConfig{100.0, 140.0, 2.4, 3.0});
+    EXPECT_LE(d.latencyAt(0.999), 300.0 + 1e-9);
+    EXPECT_LE(d.latencyAt(2.0), 300.0 + 1e-9); // clamped input
+}
+
+TEST(Dram, PeakBytesPerCycle)
+{
+    DramConfig c{200.0, 144.0, 2.4, 4.0};
+    EXPECT_DOUBLE_EQ(c.peakBytesPerCycle(), 60.0);
+}
+
+TEST(Dram, UtilizationComputation)
+{
+    DramModel d(DramConfig{200.0, 144.0, 2.4, 4.0});
+    // 60 bytes/cycle peak: moving 600 bytes in 20 cycles = 50%.
+    EXPECT_DOUBLE_EQ(d.utilization(600.0, 20.0), 0.5);
+    // Clamped to 1.
+    EXPECT_DOUBLE_EQ(d.utilization(1e12, 1.0), 1.0);
+    // Degenerate cycle count.
+    EXPECT_DOUBLE_EQ(d.utilization(100.0, 0.0), 1.0);
+}
+
+TEST(Dram, AchievedBandwidth)
+{
+    DramModel d(DramConfig{200.0, 144.0, 2.4, 4.0});
+    // 600 bytes over 20 cycles at 2.4 GHz = 30 bytes/cycle = 72 GB/s.
+    EXPECT_DOUBLE_EQ(d.achievedGBs(600.0, 20.0), 72.0);
+    EXPECT_DOUBLE_EQ(d.achievedGBs(100.0, 0.0), 0.0);
+}
+
+TEST(Dram, NegativeUtilizationClamped)
+{
+    DramModel d(DramConfig{200.0, 140.0, 2.4, 4.0});
+    EXPECT_DOUBLE_EQ(d.latencyAt(-1.0), 200.0);
+}
+
+} // namespace

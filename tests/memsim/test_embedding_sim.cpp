@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the embedding-stage contents simulator: conservation
+ * laws, prefetch accounting, and the qualitative behaviours the
+ * paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/embedding_sim.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+using namespace dlrmopt::traces;
+using dlrmopt::core::PrefetchSpec;
+
+EmbSimConfig
+smallSim(Hotness h, std::size_t cores = 1)
+{
+    EmbSimConfig c;
+    c.trace.rows = 200'000;
+    c.trace.tables = 4;
+    c.trace.lookups = 16;
+    c.trace.batchSize = 16;
+    c.trace.numBatches = 16;
+    // Small draw volumes need a small hot set, or the unique-target
+    // calibration degenerates (hot set alone exceeds the target) and
+    // all hotness classes collapse to the same mixture.
+    c.trace.hotSetSize = 64;
+    c.trace.hotness = h;
+    c.dim = 128;
+    c.hier.l1 = {32 * 1024, 8, 64};
+    c.hier.l2 = {256 * 1024, 8, 64};
+    c.hier.l3 = {2 * 1024 * 1024, 8, 64};
+    c.hier.cores = cores;
+    c.numBatches = cores * 2;
+    return c;
+}
+
+TEST(EmbeddingSim, CountsAreConserved)
+{
+    auto cfg = smallSim(Hotness::Medium, 2);
+    const auto st = EmbeddingSim(cfg).run();
+
+    const auto expected_lookups = cfg.numBatches * cfg.trace.tables *
+                                  cfg.trace.batchSize *
+                                  cfg.trace.lookups;
+    EXPECT_EQ(st.lookups, expected_lookups);
+    EXPECT_EQ(st.lines, st.lookups * cfg.rowLines());
+    EXPECT_EQ(st.lineL1 + st.lineL2 + st.lineL3 + st.lineDram,
+              st.lines);
+    EXPECT_EQ(st.cls.total(), st.lookups);
+    EXPECT_EQ(st.dramDemandFills, st.lineDram);
+    // Covered lines are a subset of L1 hits.
+    EXPECT_LE(st.swCoveredTotal() + st.hwCoveredTotal(), st.lineL1);
+}
+
+TEST(EmbeddingSim, RowLinesFollowDim)
+{
+    EmbSimConfig c;
+    c.dim = 128;
+    EXPECT_EQ(c.rowLines(), 8u);
+    c.dim = 64;
+    EXPECT_EQ(c.rowLines(), 4u);
+    c.dim = 17; // partial line rounds up
+    EXPECT_EQ(c.rowLines(), 2u);
+}
+
+TEST(EmbeddingSim, DeterministicAcrossRuns)
+{
+    auto cfg = smallSim(Hotness::Low, 2);
+    const auto a = EmbeddingSim(cfg).run();
+    const auto b = EmbeddingSim(cfg).run();
+    EXPECT_EQ(a.lineL1, b.lineL1);
+    EXPECT_EQ(a.lineDram, b.lineDram);
+    EXPECT_EQ(a.cls.dram, b.cls.dram);
+    EXPECT_EQ(a.swPfIssued, b.swPfIssued);
+}
+
+TEST(EmbeddingSim, SwPrefetchIssueAccounting)
+{
+    auto cfg = smallSim(Hotness::Medium);
+    cfg.swPf = PrefetchSpec{4, 8, 3};
+    const auto st = EmbeddingSim(cfg).run();
+
+    // One prefetch (8 lines) per lookup, minus the last `distance`
+    // lookups of every (table, batch) segment.
+    const auto segments = cfg.numBatches * cfg.trace.tables;
+    const auto per_segment = cfg.trace.batchSize * cfg.trace.lookups;
+    const auto expected =
+        segments * (per_segment - 4) * cfg.rowLines();
+    EXPECT_EQ(st.swPfIssued, expected);
+    EXPECT_GT(st.swCoveredTotal(), 0u);
+}
+
+TEST(EmbeddingSim, SwPrefetchRaisesL1HitRate)
+{
+    auto base_cfg = smallSim(Hotness::Low);
+    const auto base = EmbeddingSim(base_cfg).run();
+
+    auto pf_cfg = base_cfg;
+    pf_cfg.swPf = PrefetchSpec{4, 8, 3};
+    const auto pf = EmbeddingSim(pf_cfg).run();
+
+    // Fig. 15: SW-PF lifts the L1D hit rate dramatically.
+    EXPECT_GT(pf.l1HitRate(), base.l1HitRate() + 0.2);
+    EXPECT_GT(pf.vtuneL1HitRate(), 0.95);
+    // And converts demand DRAM fills into prefetch DRAM fills.
+    EXPECT_LT(pf.cls.dram, base.cls.dram / 10 + 10);
+}
+
+TEST(EmbeddingSim, VtuneHitRateAveragesInAccumulatorLoads)
+{
+    const auto st = EmbeddingSim(smallSim(Hotness::Low)).run();
+    EXPECT_NEAR(st.vtuneL1HitRate(), 0.5 + st.l1HitRate() / 2.0,
+                1e-12);
+}
+
+TEST(EmbeddingSim, PrefetchAmountSweepIsMonotone)
+{
+    // Fig. 10c: more prefetched lines => higher L1 hit rate.
+    double prev = -1.0;
+    for (int lines : {1, 2, 4, 8}) {
+        auto cfg = smallSim(Hotness::Low);
+        cfg.swPf = PrefetchSpec{4, lines, 3};
+        const auto st = EmbeddingSim(cfg).run();
+        EXPECT_GT(st.l1HitRate(), prev) << lines;
+        prev = st.l1HitRate();
+    }
+}
+
+TEST(EmbeddingSim, LocalityHintControlsFillLevel)
+{
+    // T2 (LLC-only) prefetching must produce L3 hits, not L1 hits.
+    auto t0 = smallSim(Hotness::Low);
+    t0.swPf = PrefetchSpec{4, 8, 3};
+    auto t2 = smallSim(Hotness::Low);
+    t2.swPf = PrefetchSpec{4, 8, 1};
+    const auto st0 = EmbeddingSim(t0).run();
+    const auto st2 = EmbeddingSim(t2).run();
+    EXPECT_GT(st0.l1HitRate(), st2.l1HitRate());
+    EXPECT_GT(st2.l3HitRate(), 0.5); // prefetched rows land in LLC
+    EXPECT_LT(st2.cls.dram, st2.lookups / 10);
+}
+
+TEST(EmbeddingSim, HotnessOrdersMissRates)
+{
+    const auto high = EmbeddingSim(smallSim(Hotness::High)).run();
+    const auto med = EmbeddingSim(smallSim(Hotness::Medium)).run();
+    const auto low = EmbeddingSim(smallSim(Hotness::Low)).run();
+    EXPECT_GT(high.l1HitRate(), med.l1HitRate());
+    EXPECT_GT(med.l1HitRate(), low.l1HitRate());
+    EXPECT_LT(high.dramBytes(), med.dramBytes());
+    EXPECT_LT(med.dramBytes(), low.dramBytes());
+}
+
+TEST(EmbeddingSim, OneItemIsNearlyAllL1)
+{
+    const auto st = EmbeddingSim(smallSim(Hotness::OneItem)).run();
+    // Fig. 4: the one-item input is the best case — hit rates are
+    // maximized (only compulsory misses and table switches remain).
+    EXPECT_GT(st.l1HitRate(), 0.99);
+    EXPECT_LT(st.dramBytes(), 16.0 * 1024);
+}
+
+TEST(EmbeddingSim, HwPrefetchCoversRowInteriors)
+{
+    auto on = smallSim(Hotness::Low);
+    auto off = smallSim(Hotness::Low);
+    off.hwPrefetch = false;
+    const auto st_on = EmbeddingSim(on).run();
+    const auto st_off = EmbeddingSim(off).run();
+    EXPECT_GT(st_on.hwPfIssued, 0u);
+    EXPECT_EQ(st_off.hwPfIssued, 0u);
+    // Next-line prefetching converts interior-line misses into
+    // covered L1 hits.
+    EXPECT_GT(st_on.l1HitRate(), st_off.l1HitRate());
+    EXPECT_GT(st_on.hwCoveredTotal(), 0u);
+}
+
+TEST(EmbeddingSim, MultiCoreSharesLlcConstructively)
+{
+    // Same batch count on 1 vs 4 cores, one-item input: cores share
+    // the same hot rows, so the LLC turns other cores' cold misses
+    // into hits (constructive sharing, Sec. 3.1.2).
+    auto c1 = smallSim(Hotness::OneItem, 1);
+    c1.numBatches = 8;
+    auto c4 = smallSim(Hotness::OneItem, 4);
+    c4.numBatches = 8;
+    const auto s1 = EmbeddingSim(c1).run();
+    const auto s4 = EmbeddingSim(c4).run();
+    // Cold DRAM fills should not scale with cores.
+    EXPECT_LE(s4.dramDemandFills, s1.dramDemandFills + 64);
+}
+
+TEST(EmbeddingSim, MultiCoreLowHotThrashesLlc)
+{
+    // Destructive sharing: with low-hot traces, more cores touching
+    // disjoint rows inflate total DRAM traffic per lookup.
+    auto c1 = smallSim(Hotness::Low, 1);
+    c1.numBatches = 8;
+    auto c8 = smallSim(Hotness::Low, 8);
+    c8.numBatches = 8;
+    const auto s1 = EmbeddingSim(c1).run();
+    const auto s8 = EmbeddingSim(c8).run();
+    EXPECT_GE(s8.dramBytes() * 1.05, s1.dramBytes());
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the three-level multi-core cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "memsim/hierarchy.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+
+HierarchyConfig
+tinyHierarchy(std::size_t cores)
+{
+    HierarchyConfig h;
+    h.l1 = {1024, 2, 64};      // 16 lines
+    h.l2 = {4096, 4, 64};      // 64 lines
+    h.l3 = {16 * 1024, 8, 64}; // 256 lines
+    h.cores = cores;
+    return h;
+}
+
+TEST(Hierarchy, RejectsZeroCores)
+{
+    EXPECT_THROW(CacheHierarchy h(tinyHierarchy(0)),
+                 std::invalid_argument);
+}
+
+TEST(Hierarchy, ColdAccessGoesToDramAndFillsAllLevels)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    EXPECT_EQ(h.access(0, 0x1000).level, HitLevel::Dram);
+    EXPECT_EQ(h.access(0, 0x1000).level, HitLevel::L1);
+    EXPECT_EQ(h.stats().dramFills, 1u);
+}
+
+TEST(Hierarchy, EvictedFromL1HitsInL2)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    h.access(0, 0); // fill line 0 everywhere
+    // Thrash L1 (16 lines, 8 sets x 2 ways): lines with the same set
+    // as line 0 are 0, 8, 16, ... Evict line 0 from L1 only.
+    h.access(0, 8 * 64);
+    h.access(0, 16 * 64);
+    EXPECT_EQ(h.access(0, 0).level, HitLevel::L2);
+}
+
+TEST(Hierarchy, SecondCoreHitsSharedL3)
+{
+    CacheHierarchy h(tinyHierarchy(2));
+    h.access(0, 0x2000);
+    // Core 1's private L1/L2 are cold, but the LLC is shared — the
+    // paper's constructive inter-core sharing (Sec. 3.1.2).
+    EXPECT_EQ(h.access(1, 0x2000).level, HitLevel::L3);
+    // And now core 1 has it in L1 too.
+    EXPECT_EQ(h.access(1, 0x2000).level, HitLevel::L1);
+}
+
+TEST(Hierarchy, CoresHavePrivateL1L2)
+{
+    CacheHierarchy h(tinyHierarchy(2));
+    h.access(0, 0x2000);
+    EXPECT_TRUE(h.inL1(0, 0x2000));
+    EXPECT_FALSE(h.inL1(1, 0x2000));
+}
+
+TEST(Hierarchy, StatsTrackPerLevelHits)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    h.access(0, 0);       // dram
+    h.access(0, 0);       // L1 hit
+    h.access(0, 64);      // dram
+    EXPECT_EQ(h.stats().accesses[0], 3u);
+    EXPECT_EQ(h.stats().hits[0], 1u);
+    EXPECT_EQ(h.stats().dramFills, 2u);
+    EXPECT_DOUBLE_EQ(h.stats().hitRate(HitLevel::L1), 1.0 / 3.0);
+    h.resetStats();
+    EXPECT_EQ(h.stats().accesses[0], 0u);
+}
+
+TEST(Hierarchy, PrefetchFillsSelectedLevels)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+
+    // T0-style prefetch: fills L1 (and below).
+    EXPECT_EQ(h.prefetch(0, 0x100, true, true, pfflag::sw),
+              HitLevel::Dram);
+    auto r = h.access(0, 0x100);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(pfflag::kindOf(r.flag), pfflag::sw);
+    EXPECT_EQ(pfflag::srcOf(r.flag), HitLevel::Dram);
+
+    // T2-style prefetch: LLC only.
+    EXPECT_EQ(h.prefetch(0, 0x2100, false, false, pfflag::sw),
+              HitLevel::Dram);
+    r = h.access(0, 0x2100);
+    EXPECT_EQ(r.level, HitLevel::L3);
+    EXPECT_EQ(pfflag::kindOf(r.flag), pfflag::sw);
+}
+
+TEST(Hierarchy, PrefetchOfResidentL1LineIsUseless)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    h.access(0, 0x300);
+    EXPECT_EQ(h.prefetch(0, 0x300, true, true, pfflag::sw),
+              HitLevel::L1);
+    // No annotation: the demand hit is a plain L1 hit.
+    EXPECT_EQ(h.access(0, 0x300).flag, 0);
+}
+
+TEST(Hierarchy, PrefetchSourceLevelReported)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    h.access(0, 0); // everywhere
+    // Evict from L1 (same-set lines), keeping it in L2.
+    h.access(0, 8 * 64);
+    h.access(0, 16 * 64);
+    EXPECT_EQ(h.prefetch(0, 0, true, true, pfflag::sw), HitLevel::L2);
+    auto r = h.access(0, 0);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(pfflag::srcOf(r.flag), HitLevel::L2);
+}
+
+TEST(Hierarchy, FlagConsumedOnce)
+{
+    CacheHierarchy h(tinyHierarchy(1));
+    h.prefetch(0, 0x400, true, true, pfflag::hw);
+    EXPECT_NE(h.access(0, 0x400).flag, 0);
+    EXPECT_EQ(h.access(0, 0x400).flag, 0);
+}
+
+TEST(PfFlag, EncodingRoundTrips)
+{
+    for (auto kind : {pfflag::sw, pfflag::hw}) {
+        for (auto lvl : {HitLevel::L2, HitLevel::L3, HitLevel::Dram}) {
+            const std::uint8_t f = pfflag::make(kind, lvl);
+            EXPECT_NE(f, 0);
+            EXPECT_EQ(pfflag::kindOf(f), kind);
+            EXPECT_EQ(pfflag::srcOf(f), lvl);
+        }
+    }
+}
+
+} // namespace

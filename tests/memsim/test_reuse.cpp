@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the stack-distance analyzer, validated against a
+ * brute-force reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/types.hpp"
+#include "memsim/reuse.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+
+/** O(n^2) reference: distinct elements between consecutive uses. */
+std::vector<std::int64_t>
+bruteForceDistances(const std::vector<std::uint64_t>& trace)
+{
+    std::vector<std::int64_t> out;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::int64_t dist = -1;
+        for (std::size_t j = i; j-- > 0;) {
+            if (trace[j] == trace[i]) {
+                std::set<std::uint64_t> between(trace.begin() + j + 1,
+                                                trace.begin() + i);
+                dist = static_cast<std::int64_t>(between.size());
+                break;
+            }
+        }
+        out.push_back(dist);
+    }
+    return out;
+}
+
+TEST(ReuseDistance, HandComputedSequence)
+{
+    // a b c a  -> a cold, b cold, c cold, a distance 2 (b, c).
+    const auto d = computeStackDistances({1, 2, 3, 1});
+    ASSERT_EQ(d.size(), 4u);
+    EXPECT_EQ(d[0], -1);
+    EXPECT_EQ(d[1], -1);
+    EXPECT_EQ(d[2], -1);
+    EXPECT_EQ(d[3], 2);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsZero)
+{
+    const auto d = computeStackDistances({5, 5, 5});
+    EXPECT_EQ(d[1], 0);
+    EXPECT_EQ(d[2], 0);
+}
+
+TEST(ReuseDistance, RepeatedElementsDontInflateDistance)
+{
+    // a b b b a: distance of final a is 1 (only b in between).
+    const auto d = computeStackDistances({1, 2, 2, 2, 1});
+    EXPECT_EQ(d[4], 1);
+}
+
+TEST(ReuseDistance, MatchesBruteForceOnRandomTraces)
+{
+    std::vector<std::uint64_t> trace;
+    for (std::size_t i = 0; i < 500; ++i)
+        trace.push_back(dlrmopt::mix64(i) % 40);
+    EXPECT_EQ(computeStackDistances(trace), bruteForceDistances(trace));
+}
+
+TEST(ReuseDistance, MatchesBruteForceOnSkewedTraces)
+{
+    // Zipf-ish skew: most accesses to a few keys.
+    std::vector<std::uint64_t> trace;
+    for (std::size_t i = 0; i < 400; ++i) {
+        const std::uint64_t r = dlrmopt::mix64(i * 7 + 1);
+        trace.push_back(r % 4 == 0 ? r % 100 : r % 5);
+    }
+    EXPECT_EQ(computeStackDistances(trace), bruteForceDistances(trace));
+}
+
+TEST(ReuseDistance, GrowsPastCapacityHint)
+{
+    // Force internal Fenwick/map growth: hint 16, trace 10'000.
+    ReuseDistanceAnalyzer a(16);
+    std::vector<std::uint64_t> trace;
+    for (std::size_t i = 0; i < 10'000; ++i)
+        trace.push_back(dlrmopt::mix64(i) % 128);
+    std::vector<std::int64_t> got;
+    for (auto k : trace)
+        got.push_back(a.access(k));
+    EXPECT_EQ(got, bruteForceDistances(trace));
+    EXPECT_EQ(a.distinctKeys(), 128u);
+}
+
+TEST(ReuseHistogram, BinningAndCounts)
+{
+    // Distances: -1, -1, -1, 2 from {1,2,3,1}.
+    const auto h = computeReuseHistogram({1, 2, 3, 1});
+    EXPECT_EQ(h.totalAccesses, 4u);
+    EXPECT_EQ(h.coldAccesses, 3u);
+    EXPECT_DOUBLE_EQ(h.coldFraction(), 0.75);
+    // Distance 2 lands in bin 1 ([2, 4)).
+    ASSERT_GE(h.bins.size(), 2u);
+    EXPECT_EQ(h.bins[1], 1u);
+}
+
+TEST(ReuseHistogram, HitRateAtCapacity)
+{
+    // Trace with distances 0, 0 (plus 1 cold access). Bin 0 spans
+    // [0, 2); capacity 1 counts half of it pro rata, capacity >= 2
+    // counts it fully.
+    const auto h = computeReuseHistogram({9, 9, 9});
+    EXPECT_DOUBLE_EQ(h.hitRateAtCapacity(0), 0.0);
+    EXPECT_NEAR(h.hitRateAtCapacity(1), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(h.hitRateAtCapacity(2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ReuseHistogram, HitRateMonotoneInCapacity)
+{
+    std::vector<std::uint64_t> trace;
+    for (std::size_t i = 0; i < 5'000; ++i)
+        trace.push_back(dlrmopt::mix64(i) % 512);
+    const auto h = computeReuseHistogram(trace);
+    double prev = -1.0;
+    for (std::uint64_t cap : {0u, 8u, 64u, 256u, 1024u, 4096u}) {
+        const double r = h.hitRateAtCapacity(cap);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+    // Infinite capacity captures everything but cold misses.
+    EXPECT_NEAR(h.hitRateAtCapacity(1u << 30), 1.0 - h.coldFraction(),
+                1e-9);
+}
+
+TEST(ReuseHistogram, MergeAddsCounts)
+{
+    auto a = computeReuseHistogram({1, 1});
+    const auto b = computeReuseHistogram({2, 3, 2});
+    a.merge(b);
+    EXPECT_EQ(a.totalAccesses, 5u);
+    EXPECT_EQ(a.coldAccesses, 3u);
+}
+
+TEST(ReuseDistance, CyclicScanHasDistanceEqualToSetSize)
+{
+    // Scanning 1..k cyclically gives every non-cold access distance
+    // k-1 — the classic LRU-worst-case pattern.
+    const std::size_t k = 33;
+    std::vector<std::uint64_t> trace;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = 0; i < k; ++i)
+            trace.push_back(i);
+    }
+    const auto d = computeStackDistances(trace);
+    for (std::size_t i = k; i < trace.size(); ++i)
+        EXPECT_EQ(d[i], static_cast<std::int64_t>(k - 1)) << i;
+
+    // Consequence: a cache of capacity k-1 gets zero hits; capacity k
+    // captures every reuse. (The paper's Fig. 7 insight that caches
+    // below the working set are "woefully inadequate".)
+    const auto h = computeReuseHistogram(trace);
+    EXPECT_DOUBLE_EQ(h.hitRateAtCapacity(k - 33 + 32), 0.0);
+    EXPECT_NEAR(h.hitRateAtCapacity(64), 1.0 - h.coldFraction(), 0.02);
+}
+
+} // namespace

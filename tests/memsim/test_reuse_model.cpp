@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the Fig. 6 reuse model pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/reuse_model.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+using namespace dlrmopt::traces;
+
+ReuseModelConfig
+smallModel(Hotness h, std::size_t cores)
+{
+    ReuseModelConfig c;
+    c.trace.rows = 100'000;
+    c.trace.tables = 4;
+    c.trace.lookups = 16;
+    c.trace.batchSize = 16;
+    c.trace.numBatches = 16;
+    c.trace.hotness = h;
+    c.dim = 128;
+    c.cores = cores;
+    c.numBatches = 8;
+    return c;
+}
+
+TEST(ReuseModel, DefaultsToCslCacheLevels)
+{
+    const auto r = runReuseModel(smallModel(Hotness::Medium, 1));
+    ASSERT_EQ(r.capacityVectors.size(), 3u);
+    ASSERT_EQ(r.hitRates.size(), 3u);
+    // 32 KiB / 512 B = 64 vectors in L1D (the paper's example).
+    EXPECT_EQ(r.capacityVectors[0], 64u);
+    EXPECT_EQ(r.capacityVectors[1], 2048u);   // 1 MiB L2
+    EXPECT_EQ(r.capacityVectors[2], 73'216u); // 35.75 MB LLC
+}
+
+TEST(ReuseModel, HitRatesMonotoneAcrossLevels)
+{
+    const auto r = runReuseModel(smallModel(Hotness::Medium, 2));
+    EXPECT_LE(r.hitRates[0], r.hitRates[1]);
+    EXPECT_LE(r.hitRates[1], r.hitRates[2]);
+    for (double h : r.hitRates) {
+        EXPECT_GE(h, 0.0);
+        EXPECT_LE(h, 1.0);
+    }
+}
+
+TEST(ReuseModel, ColdFractionTracksHotness)
+{
+    // Low hot = many unique rows = more cold misses (key takeaway 4).
+    const auto low = runReuseModel(smallModel(Hotness::Low, 1));
+    const auto high = runReuseModel(smallModel(Hotness::High, 1));
+    EXPECT_GT(low.coldFraction(), high.coldFraction());
+    EXPECT_GT(low.distinctRows, high.distinctRows);
+}
+
+TEST(ReuseModel, TotalAccessesMatchTraceVolume)
+{
+    const auto cfg = smallModel(Hotness::Medium, 2);
+    const auto r = runReuseModel(cfg);
+    EXPECT_EQ(r.hist.totalAccesses,
+              cfg.numBatches * cfg.trace.tables * cfg.trace.batchSize *
+                  cfg.trace.lookups);
+}
+
+TEST(ReuseModel, OneItemHasPerfectReuse)
+{
+    const auto r = runReuseModel(smallModel(Hotness::OneItem, 1));
+    // One row per table: exactly tables cold accesses.
+    EXPECT_EQ(r.distinctRows, 4u);
+    // Everything else hits even in L1-sized capacity... per table the
+    // reuse distance within a table pass is 0, but switching tables
+    // costs at most tables-1 distinct rows, far below 64 vectors.
+    EXPECT_GT(r.hitRates[0], 0.99);
+}
+
+TEST(ReuseModel, CustomCapacities)
+{
+    auto cfg = smallModel(Hotness::Medium, 1);
+    cfg.cacheBytes = {512, 512 * 1024};
+    const auto r = runReuseModel(cfg);
+    ASSERT_EQ(r.capacityVectors.size(), 2u);
+    EXPECT_EQ(r.capacityVectors[0], 1u); // 512 B / 512 B per vector
+}
+
+TEST(ReuseModel, CoreInterleavingPreservesWorkload)
+{
+    // Interleaving the same batches across more cores changes reuse
+    // distances (constructive/destructive sharing) but never the
+    // total access volume or the distinct-row footprint.
+    const auto one = runReuseModel(smallModel(Hotness::Medium, 1));
+    const auto eight = runReuseModel(smallModel(Hotness::Medium, 8));
+    EXPECT_EQ(eight.hist.totalAccesses, one.hist.totalAccesses);
+    EXPECT_EQ(eight.distinctRows, one.distinctRows);
+    // Cold misses are first touches: interleaving-invariant too.
+    EXPECT_EQ(eight.hist.coldAccesses, one.hist.coldAccesses);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for multi-socket hierarchies: per-socket LLCs are isolated,
+ * core-to-socket striping is contiguous, and single-socket behaviour
+ * is unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/hierarchy.hpp"
+#include "platform/cpu_config.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::memsim;
+
+HierarchyConfig
+twoSocket()
+{
+    HierarchyConfig h;
+    h.l1 = {1024, 2, 64};
+    h.l2 = {4096, 4, 64};
+    h.l3 = {16 * 1024, 8, 64};
+    h.cores = 4;
+    h.sockets = 2;
+    return h;
+}
+
+TEST(Sockets, RejectsBadSocketCounts)
+{
+    HierarchyConfig h = twoSocket();
+    h.sockets = 0;
+    EXPECT_THROW(CacheHierarchy a(h), std::invalid_argument);
+    h.sockets = 8; // more sockets than cores
+    EXPECT_THROW(CacheHierarchy b(h), std::invalid_argument);
+}
+
+TEST(Sockets, CoresStripeContiguously)
+{
+    CacheHierarchy h(twoSocket());
+    EXPECT_EQ(h.socketOf(0), 0u);
+    EXPECT_EQ(h.socketOf(1), 0u);
+    EXPECT_EQ(h.socketOf(2), 1u);
+    EXPECT_EQ(h.socketOf(3), 1u);
+}
+
+TEST(Sockets, LlcIsSharedWithinSocketOnly)
+{
+    CacheHierarchy h(twoSocket());
+    h.access(0, 0x5000); // core 0, socket 0: fills socket-0 LLC
+
+    // Core 1 (same socket): constructive sharing via the LLC.
+    EXPECT_EQ(h.access(1, 0x5000).level, HitLevel::L3);
+    // Core 2 (other socket): its LLC is cold — DRAM again.
+    EXPECT_EQ(h.access(2, 0x5000).level, HitLevel::Dram);
+    // And now core 3 hits socket 1's LLC.
+    EXPECT_EQ(h.access(3, 0x5000).level, HitLevel::L3);
+}
+
+TEST(Sockets, PrefetchFillsOwnSocketLlc)
+{
+    CacheHierarchy h(twoSocket());
+    h.prefetch(2, 0x900, false, false, pfflag::sw); // socket 1 LLC
+    EXPECT_EQ(h.access(3, 0x900).level, HitLevel::L3);
+    EXPECT_EQ(h.access(0, 0x900).level, HitLevel::Dram);
+}
+
+TEST(Sockets, SingleSocketMatchesLegacyBehaviour)
+{
+    HierarchyConfig one = twoSocket();
+    one.sockets = 1;
+    CacheHierarchy h(one);
+    h.access(0, 0x100);
+    EXPECT_EQ(h.access(3, 0x100).level, HitLevel::L3);
+}
+
+TEST(Sockets, CpuConfigActiveSockets)
+{
+    using dlrmopt::platform::cascadeLake;
+    const auto cpu = cascadeLake(); // 24 cores/socket, 2 sockets
+    EXPECT_EQ(cpu.totalCores(), 48u);
+    EXPECT_EQ(cpu.activeSockets(1), 1u);
+    EXPECT_EQ(cpu.activeSockets(24), 1u);
+    EXPECT_EQ(cpu.activeSockets(25), 2u);
+    EXPECT_EQ(cpu.activeSockets(48), 2u);
+    EXPECT_EQ(cpu.activeSockets(100), 2u); // clamped to the machine
+}
+
+TEST(Sockets, PaperPlatformTotals)
+{
+    using namespace dlrmopt::platform;
+    // Sec. 6.4's core counts: SKL 24, CSL 48, ICL 32, SPR 56,
+    // Zen3 128.
+    EXPECT_EQ(skylake().totalCores(), 24u);
+    EXPECT_EQ(cascadeLake().totalCores(), 48u);
+    EXPECT_EQ(icelake().totalCores(), 32u);
+    EXPECT_EQ(sapphireRapids().totalCores(), 56u);
+    EXPECT_EQ(zen3().totalCores(), 128u);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the CPU platform presets (Table 3 and Sec. 6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "platform/cpu_config.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+
+TEST(CpuConfig, CascadeLakeMatchesTable3)
+{
+    const CpuConfig c = cascadeLake();
+    EXPECT_EQ(c.name, "CSL");
+    EXPECT_DOUBLE_EQ(c.freqGHz, 2.4);
+    EXPECT_EQ(c.l1.sizeBytes, 32u * 1024u);
+    EXPECT_EQ(c.l2.sizeBytes, 1024u * 1024u);
+    // 35.75 MB LLC.
+    EXPECT_EQ(c.l3.sizeBytes, 35u * 1024u * 1024u + 768u * 1024u);
+    EXPECT_DOUBLE_EQ(c.l1LatencyCycles, 5.0); // Table 3
+    EXPECT_DOUBLE_EQ(c.dramBandwidthGBs, 140.0); // Table 3
+    EXPECT_EQ(c.cores, 24u);
+    EXPECT_EQ(c.smtWays, 2u);
+    EXPECT_EQ(c.bestPfAmount, 8);
+}
+
+TEST(CpuConfig, Section64PlatformList)
+{
+    const auto& cpus = allCpus();
+    ASSERT_EQ(cpus.size(), 5u);
+    EXPECT_EQ(cpus[0].name, "SKL");
+    EXPECT_EQ(cpus[1].name, "CSL");
+    EXPECT_EQ(cpus[2].name, "ICL");
+    EXPECT_EQ(cpus[3].name, "SPR");
+    EXPECT_EQ(cpus[4].name, "Zen3");
+}
+
+TEST(CpuConfig, WindowGrowthMatchesSection64)
+{
+    // ICL & SPR have instruction windows larger by 58% & 129%.
+    const double csl = static_cast<double>(cascadeLake().robSize);
+    EXPECT_NEAR(icelake().robSize / csl, 1.58, 0.02);
+    EXPECT_NEAR(sapphireRapids().robSize / csl, 2.29, 0.02);
+}
+
+TEST(CpuConfig, TunedPrefetchAmounts)
+{
+    // Sec. 6.4: optimal prefetch amount 2 on ICL/SPR, 4 on Zen3.
+    EXPECT_EQ(icelake().bestPfAmount, 2);
+    EXPECT_EQ(sapphireRapids().bestPfAmount, 2);
+    EXPECT_EQ(zen3().bestPfAmount, 4);
+    EXPECT_EQ(skylake().bestPfAmount, 8);
+}
+
+TEST(CpuConfig, Zen3UsesAvx2Width)
+{
+    EXPECT_DOUBLE_EQ(zen3().simdFlopsPerCycle, 32.0);
+    EXPECT_DOUBLE_EQ(cascadeLake().simdFlopsPerCycle, 64.0);
+}
+
+TEST(CpuConfig, HierarchyConversion)
+{
+    const auto h = cascadeLake().hierarchy(24);
+    EXPECT_EQ(h.cores, 24u);
+    EXPECT_EQ(h.l1.sizeBytes, 32u * 1024u);
+    EXPECT_EQ(h.l3.sizeBytes, cascadeLake().l3.sizeBytes);
+}
+
+TEST(CpuConfig, DramConversion)
+{
+    const auto d = cascadeLake().dram();
+    EXPECT_DOUBLE_EQ(d.peakBandwidthGBs, 140.0);
+    EXPECT_DOUBLE_EQ(d.freqGHz, 2.4);
+    EXPECT_DOUBLE_EQ(d.baseLatencyCycles,
+                     cascadeLake().dramLatencyCycles);
+}
+
+TEST(CpuConfig, LookupByName)
+{
+    EXPECT_EQ(cpuByName("SPR").cores, 56u);
+    EXPECT_THROW(cpuByName("M1"), std::out_of_range);
+}
+
+TEST(CpuConfig, LatenciesOrderedAcrossLevels)
+{
+    for (const auto& c : allCpus()) {
+        EXPECT_LT(c.l1LatencyCycles, c.l2LatencyCycles) << c.name;
+        EXPECT_LT(c.l2LatencyCycles, c.l3LatencyCycles) << c.name;
+        EXPECT_LT(c.l3LatencyCycles, c.dramLatencyCycles) << c.name;
+    }
+}
+
+} // namespace

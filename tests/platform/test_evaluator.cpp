@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the end-to-end evaluator: scheme composition rules on a
+ * small (fast) model, using reduced trace sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/evaluator.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using namespace dlrmopt::core;
+using dlrmopt::traces::Hotness;
+
+/** A fast evaluation config: small model, small caches' workload. */
+EvalConfig
+fastConfig(Scheme s, Hotness h = Hotness::Low, std::size_t cores = 1)
+{
+    EvalConfig c;
+    c.cpu = cascadeLake();
+    c.model.name = "test";
+    c.model.cls = ModelClass::RMC2;
+    c.model.rows = 300'000;
+    c.model.dim = 128;
+    c.model.tables = 8;
+    c.model.lookups = 24;
+    c.model.bottomMlp = {256, 128, 128};
+    c.model.topMlp = {64, 1};
+    c.hotness = h;
+    c.scheme = s;
+    c.cores = cores;
+    c.numBatches = std::max<std::size_t>(cores, 4);
+    return c;
+}
+
+TEST(Evaluator, FlopsHelpers)
+{
+    EXPECT_DOUBLE_EQ(mlpFlops({10, 20}, 3), 3.0 * 2 * 10 * 20);
+    ModelConfig m;
+    m.tables = 4;
+    m.dim = 8;
+    EXPECT_DOUBLE_EQ(interactionFlops(m, 2), 2.0 * 10 * 2 * 8);
+}
+
+TEST(Evaluator, ResolvePrefetchSpecUsesPlatformBest)
+{
+    EvalConfig c = fastConfig(Scheme::SwPf);
+    c.cpu.bestPfAmount = 2;
+    EXPECT_EQ(resolvePrefetchSpec(c).lines, 2);
+    c.pfAmount = 6;
+    EXPECT_EQ(resolvePrefetchSpec(c).lines, 6);
+    EXPECT_EQ(resolvePrefetchSpec(c).distance, 4);
+}
+
+TEST(Evaluator, StagesSumToTotalForSequentialSchemes)
+{
+    for (Scheme s : {Scheme::Baseline, Scheme::HwPfOff, Scheme::SwPf}) {
+        const auto r = evaluate(fastConfig(s));
+        EXPECT_NEAR(r.batchMs, r.stages.total(), 1e-9)
+            << schemeName(s);
+        EXPECT_GT(r.embMs, 0.0);
+        EXPECT_GT(r.stages.bottom, 0.0);
+    }
+}
+
+TEST(Evaluator, SwPfBeatsBaseline)
+{
+    const auto base = evaluate(fastConfig(Scheme::Baseline));
+    const auto pf = evaluate(fastConfig(Scheme::SwPf));
+    EXPECT_LT(pf.batchMs, base.batchMs);
+    EXPECT_LT(pf.embMs, base.embMs);
+    EXPECT_GT(pf.sim.l1HitRate(), base.sim.l1HitRate());
+}
+
+TEST(Evaluator, MpHtBeatsBaseline)
+{
+    const auto base = evaluate(fastConfig(Scheme::Baseline));
+    const auto mp = evaluate(fastConfig(Scheme::MpHt));
+    EXPECT_LT(mp.batchMs, base.batchMs);
+}
+
+TEST(Evaluator, DpHtIsWorseThanBaseline)
+{
+    const auto base = evaluate(fastConfig(Scheme::DpHt, Hotness::Low));
+    const auto seq = evaluate(fastConfig(Scheme::Baseline, Hotness::Low));
+    // The paper's key negative result (Figs. 13/14): naive
+    // hyperthreading hurts batch latency.
+    EXPECT_GT(base.batchMs, seq.batchMs);
+}
+
+TEST(Evaluator, IntegratedIsBestScheme)
+{
+    const auto base = evaluate(fastConfig(Scheme::Baseline));
+    const auto pf = evaluate(fastConfig(Scheme::SwPf));
+    const auto mp = evaluate(fastConfig(Scheme::MpHt));
+    const auto both = evaluate(fastConfig(Scheme::Integrated));
+    EXPECT_LT(both.batchMs, pf.batchMs);
+    EXPECT_LT(both.batchMs, mp.batchMs);
+    EXPECT_LT(both.batchMs, base.batchMs);
+}
+
+TEST(Evaluator, IntegratedIsSynergistic)
+{
+    // Sec. 4.4: the combination beats what multiplying the two
+    // individual gains of MP-HT alone would give on the embedding
+    // side; at minimum it must beat the better of the two.
+    const auto base = evaluate(fastConfig(Scheme::Baseline));
+    const auto pf = evaluate(fastConfig(Scheme::SwPf));
+    const auto both = evaluate(fastConfig(Scheme::Integrated));
+    const double spd_pf = base.batchMs / pf.batchMs;
+    const double spd_both = base.batchMs / both.batchMs;
+    EXPECT_GT(spd_both, spd_pf);
+}
+
+TEST(Evaluator, AutoBatchesCoverAllCores)
+{
+    EvalConfig c = fastConfig(Scheme::Baseline, Hotness::High, 4);
+    c.numBatches = 0; // auto
+    const auto r = evaluate(c);
+    // 4 cores get at least one batch each.
+    EXPECT_GE(r.sim.lookups,
+              4u * c.model.tables * 64u * c.model.lookups);
+}
+
+TEST(Evaluator, HotnessOrdersLatency)
+{
+    const auto low = evaluate(fastConfig(Scheme::Baseline, Hotness::Low));
+    const auto high =
+        evaluate(fastConfig(Scheme::Baseline, Hotness::High));
+    EXPECT_GT(low.batchMs, high.batchMs);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Consistency tests for the evaluator's split API: evaluate() must
+ * equal simulateEmbedding() + compose(), scheme contents-sharing must
+ * be sound (MP-HT over the Baseline run, Integrated over the SW-PF
+ * run), and table folding must stay within tolerance of exact runs
+ * at test scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/evaluator.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using namespace dlrmopt::core;
+using dlrmopt::traces::Hotness;
+
+EvalConfig
+baseCfg(Scheme s = Scheme::Baseline)
+{
+    EvalConfig c;
+    c.cpu = cascadeLake();
+    c.model.name = "consistency";
+    c.model.cls = ModelClass::RMC2;
+    c.model.rows = 200'000;
+    c.model.dim = 128;
+    c.model.tables = 6;
+    c.model.lookups = 16;
+    c.model.bottomMlp = {128, 128};
+    c.model.topMlp = {32, 1};
+    c.hotness = Hotness::Medium;
+    c.scheme = s;
+    c.cores = 2;
+    c.numBatches = 4;
+    return c;
+}
+
+TEST(EvaluatorConsistency, EvaluateEqualsSimulatePlusCompose)
+{
+    for (Scheme s : {Scheme::Baseline, Scheme::SwPf, Scheme::DpHt}) {
+        const auto cfg = baseCfg(s);
+        const auto direct = evaluate(cfg);
+        const auto split = compose(cfg, simulateEmbedding(cfg));
+        EXPECT_DOUBLE_EQ(direct.batchMs, split.batchMs)
+            << schemeName(s);
+        EXPECT_DOUBLE_EQ(direct.embMs, split.embMs);
+        EXPECT_EQ(direct.sim.lineL1, split.sim.lineL1);
+    }
+}
+
+TEST(EvaluatorConsistency, MpHtComposesOverBaselineContents)
+{
+    const auto base_cfg = baseCfg(Scheme::Baseline);
+    const auto run = simulateEmbedding(base_cfg);
+
+    auto mp_cfg = base_cfg;
+    mp_cfg.scheme = Scheme::MpHt;
+    const auto via_shared = compose(mp_cfg, run);
+    const auto direct = evaluate(mp_cfg);
+    EXPECT_DOUBLE_EQ(via_shared.batchMs, direct.batchMs);
+}
+
+TEST(EvaluatorConsistency, IntegratedComposesOverSwPfContents)
+{
+    auto pf_cfg = baseCfg(Scheme::SwPf);
+    const auto run = simulateEmbedding(pf_cfg);
+
+    auto int_cfg = pf_cfg;
+    int_cfg.scheme = Scheme::Integrated;
+    const auto via_shared = compose(int_cfg, run);
+    const auto direct = evaluate(int_cfg);
+    EXPECT_DOUBLE_EQ(via_shared.batchMs, direct.batchMs);
+}
+
+TEST(EvaluatorConsistency, SimulationIsDeterministic)
+{
+    const auto cfg = baseCfg(Scheme::SwPf);
+    const auto a = simulateEmbedding(cfg);
+    const auto b = simulateEmbedding(cfg);
+    EXPECT_EQ(a.stats.lineL1, b.stats.lineL1);
+    EXPECT_EQ(a.stats.swPfIssued, b.stats.swPfIssued);
+    EXPECT_EQ(a.stats.dramDemandFills, b.stats.dramDemandFills);
+    EXPECT_EQ(a.fold, b.fold);
+}
+
+TEST(EvaluatorConsistency, TableFoldingWithinTolerance)
+{
+    auto exact_cfg = baseCfg(Scheme::Baseline);
+    exact_cfg.model.tables = 8;
+    exact_cfg.maxSimTables = 0;
+    const auto exact = evaluate(exact_cfg);
+
+    auto folded_cfg = exact_cfg;
+    folded_cfg.maxSimTables = 4;
+    const auto folded = evaluate(folded_cfg);
+
+    EXPECT_NEAR(folded.embMs, exact.embMs, exact.embMs * 0.15);
+    // The simulated stats cover half the tables.
+    EXPECT_NEAR(static_cast<double>(folded.sim.lookups),
+                static_cast<double>(exact.sim.lookups) / 2.0,
+                1.0);
+}
+
+TEST(EvaluatorConsistency, SeedChangesTraceNotStructure)
+{
+    auto a_cfg = baseCfg(Scheme::Baseline);
+    auto b_cfg = a_cfg;
+    b_cfg.seed = 999;
+    const auto a = evaluate(a_cfg);
+    const auto b = evaluate(b_cfg);
+    EXPECT_EQ(a.sim.lookups, b.sim.lookups); // same volume
+    EXPECT_NE(a.sim.lineL1, b.sim.lineL1);   // different draws
+    // Same hotness: aggregate behaviour within a few percent.
+    EXPECT_NEAR(a.batchMs, b.batchMs, a.batchMs * 0.1);
+}
+
+TEST(EvaluatorConsistency, MoreSocketsNeverSlower)
+{
+    // Same per-socket core count: engaging the second socket doubles
+    // LLC and bandwidth, so per-batch latency cannot degrade much.
+    auto one = baseCfg(Scheme::Baseline);
+    one.cores = 24; // socket 0 only
+    one.numBatches = 24;
+    auto two = one;
+    two.cores = 48; // both sockets
+    two.numBatches = 48;
+    const auto r1 = evaluate(one);
+    const auto r2 = evaluate(two);
+    EXPECT_LT(r2.embMs, r1.embMs * 1.25);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the CSV/JSON result export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platform/report.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using namespace dlrmopt::core;
+
+EvalConfig
+tinyConfig()
+{
+    EvalConfig c;
+    c.cpu = cascadeLake();
+    c.model.name = "report_test";
+    c.model.cls = ModelClass::RMC2;
+    c.model.rows = 50'000;
+    c.model.dim = 128;
+    c.model.tables = 2;
+    c.model.lookups = 8;
+    c.model.bottomMlp = {64, 128};
+    c.model.topMlp = {8, 1};
+    c.hotness = dlrmopt::traces::Hotness::Medium;
+    c.scheme = Scheme::SwPf;
+    c.cores = 2;
+    c.numBatches = 2;
+    return c;
+}
+
+TEST(Report, CsvHeaderAndRowHaveMatchingArity)
+{
+    const auto cfg = tinyConfig();
+    const auto res = evaluate(cfg);
+
+    const std::string header = csvHeader();
+    std::ostringstream row;
+    writeCsvRow(row, cfg, res);
+
+    const auto count = [](const std::string& s) {
+        std::size_t n = 1;
+        for (char c : s)
+            n += c == ',';
+        return n;
+    };
+    EXPECT_EQ(count(header), count(row.str()));
+    EXPECT_EQ(header.back(), '\n');
+    EXPECT_EQ(row.str().back(), '\n');
+    EXPECT_NE(row.str().find("report_test"), std::string::npos);
+    EXPECT_NE(row.str().find("SW-PF"), std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedEnough)
+{
+    const auto cfg = tinyConfig();
+    const auto res = evaluate(cfg);
+    const std::string j = toJson(cfg, res);
+
+    // Balanced braces, quoted keys, no trailing newline.
+    int depth = 0, max_depth = 0;
+    for (char c : j) {
+        if (c == '{')
+            max_depth = std::max(max_depth, ++depth);
+        if (c == '}')
+            --depth;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_GE(max_depth, 2);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"batch_ms\":"), std::string::npos);
+    EXPECT_NE(j.find("\"l1_hit_vtune\":"), std::string::npos);
+    EXPECT_NE(j.find("\"scheme\":\"SW-PF\""), std::string::npos);
+}
+
+TEST(Report, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, NumbersAreParseable)
+{
+    const auto cfg = tinyConfig();
+    const auto res = evaluate(cfg);
+    std::ostringstream row;
+    writeCsvRow(row, cfg, res);
+
+    // Tokenize and confirm the numeric fields parse as doubles.
+    std::string line = row.str();
+    line.pop_back();
+    std::stringstream ss(line);
+    std::string tok;
+    int idx = 0;
+    while (std::getline(ss, tok, ',')) {
+        if (idx >= 5) { // numeric columns start after cores
+            EXPECT_FALSE(tok.empty()) << idx;
+            EXPECT_NO_THROW({ (void)std::stod(tok); }) << tok;
+        }
+        ++idx;
+    }
+    EXPECT_EQ(idx, 19);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the analytic timing model: limiting behaviours and
+ * monotonicity properties that must hold for any calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/timing.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using dlrmopt::core::PrefetchSpec;
+using dlrmopt::memsim::EmbSimStats;
+
+/** Builds synthetic stats with a given lookup-class mix. */
+EmbSimStats
+statsWith(std::uint64_t lookups, double f_l1, double f_l2, double f_l3,
+          double f_dram, double f_pf_dram = 0.0)
+{
+    EmbSimStats st;
+    st.lookups = lookups;
+    st.lines = lookups * 8;
+    st.cls.l1 = static_cast<std::uint64_t>(lookups * f_l1);
+    st.cls.l2 = static_cast<std::uint64_t>(lookups * f_l2);
+    st.cls.l3 = static_cast<std::uint64_t>(lookups * f_l3);
+    st.cls.dram = static_cast<std::uint64_t>(lookups * f_dram);
+    st.cls.pfDram = static_cast<std::uint64_t>(lookups * f_pf_dram);
+    st.lineL1 = static_cast<std::uint64_t>(st.lines * f_l1);
+    st.lineDram = static_cast<std::uint64_t>(
+        st.lines * (f_dram + f_pf_dram) * 0.8);
+    st.dramDemandFills = static_cast<std::uint64_t>(st.lines * f_dram);
+    st.swPfDramFills =
+        static_cast<std::uint64_t>(st.lines * f_pf_dram);
+    return st;
+}
+
+TEST(TimingModel, EmptyStatsYieldZero)
+{
+    TimingModel tm(cascadeLake());
+    const auto t = tm.embeddingTime({}, 1, 1, {});
+    EXPECT_DOUBLE_EQ(t.msPerBatch, 0.0);
+}
+
+TEST(TimingModel, AllL1IsComputeBound)
+{
+    TimingModel tm(cascadeLake());
+    const auto st = statsWith(100'000, 1.0, 0, 0, 0);
+    const auto t = tm.embeddingTime(st, 1, 1, {});
+    // No memory stall: per-lookup time equals the compute terms.
+    const auto& p = tm.params();
+    EXPECT_NEAR(t.cyclesPerLookup,
+                p.cyclesPerLookupBase + 8 * p.cyclesPerLine, 1.0);
+    EXPECT_DOUBLE_EQ(t.dramUtilization, 0.0);
+}
+
+TEST(TimingModel, MoreDramClassMeansSlower)
+{
+    TimingModel tm(cascadeLake());
+    const auto fast =
+        tm.embeddingTime(statsWith(100'000, 0.9, 0, 0, 0.1), 1, 1, {});
+    const auto slow =
+        tm.embeddingTime(statsWith(100'000, 0.4, 0, 0, 0.6), 1, 1, {});
+    EXPECT_GT(slow.msPerBatch, fast.msPerBatch);
+    EXPECT_GT(slow.avgLoadLatency, fast.avgLoadLatency);
+}
+
+TEST(TimingModel, PrefetchCoveredIsFasterThanExposed)
+{
+    TimingModel tm(cascadeLake());
+    const PrefetchSpec pf{4, 8, 3};
+    const auto exposed =
+        tm.embeddingTime(statsWith(100'000, 0.3, 0, 0, 0.7), 1, 1, {});
+    const auto covered = tm.embeddingTime(
+        statsWith(100'000, 0.3, 0, 0, 0.0, 0.7), 1, 1, pf);
+    EXPECT_LT(covered.msPerBatch, exposed.msPerBatch);
+}
+
+TEST(TimingModel, LargerPrefetchDistanceHidesMore)
+{
+    TimingModel tm(cascadeLake());
+    const auto st = statsWith(100'000, 0.3, 0, 0, 0.0, 0.7);
+    double prev = 1e18;
+    for (int d : {1, 2, 4}) {
+        const auto t =
+            tm.embeddingTime(st, 1, 1, PrefetchSpec{d, 8, 3});
+        EXPECT_LE(t.msPerBatch, prev) << d;
+        prev = t.msPerBatch;
+    }
+}
+
+TEST(TimingModel, ResidualFloorBoundsPrefetchGain)
+{
+    // Even an infinite distance leaves the floor fraction exposed.
+    TimingModel tm(cascadeLake());
+    const auto st = statsWith(100'000, 0.0, 0, 0, 0.0, 1.0);
+    const auto t =
+        tm.embeddingTime(st, 1, 1, PrefetchSpec{1000, 8, 3});
+    const auto& p = tm.params();
+    const double floor_cycles =
+        p.pfResidualFraction * cascadeLake().dramLatencyCycles /
+        tm.overlapFactor();
+    EXPECT_GE(t.cyclesPerLookup,
+              p.cyclesPerLookupBase + floor_cycles * 0.99);
+}
+
+TEST(TimingModel, MultiCoreSaturatesBandwidth)
+{
+    TimingModel tm(cascadeLake());
+    // Very DRAM-heavy mix at high core count must show utilization.
+    auto st = statsWith(24 * 500'000, 0.1, 0, 0, 0.9);
+    const auto t24 = tm.embeddingTime(st, 24, 24, {});
+    const auto t1 = tm.embeddingTime(statsWith(500'000, 0.1, 0, 0, 0.9),
+                                     1, 1, {});
+    EXPECT_GT(t24.dramUtilization, t1.dramUtilization);
+    // Per-batch latency grows under contention (Fig. 8 behaviour).
+    EXPECT_GE(t24.msPerBatch, t1.msPerBatch * 0.99);
+    EXPECT_LE(t24.achievedGBs, cascadeLake().dramBandwidthGBs + 1.0);
+}
+
+TEST(TimingModel, WindowShareBelowOneAmplifiesExposure)
+{
+    TimingModel tm(cascadeLake());
+    const auto st = statsWith(100'000, 0.3, 0.2, 0.2, 0.3);
+    const auto full = tm.embeddingTime(st, 1, 1, {}, 1.0);
+    const auto half = tm.embeddingTime(st, 1, 1, {}, 0.5);
+    EXPECT_GT(half.msPerBatch, full.msPerBatch);
+}
+
+TEST(TimingModel, ComputeInflationScalesComputeOnly)
+{
+    TimingModel tm(cascadeLake());
+    const auto st = statsWith(100'000, 1.0, 0, 0, 0);
+    const auto base = tm.embeddingTime(st, 1, 1, {}, 1.0, 1.0);
+    const auto infl = tm.embeddingTime(st, 1, 1, {}, 1.0, 2.0);
+    EXPECT_NEAR(infl.cyclesPerLookup, 2.0 * base.cyclesPerLookup,
+                1e-6);
+}
+
+TEST(TimingModel, BiggerWindowPlatformsExposeLess)
+{
+    // Sec. 6.4: ICL/SPR's larger windows implicitly improve MLP —
+    // both the factor itself and the resulting batch time.
+    const auto st = statsWith(100'000, 0.2, 0.2, 0.2, 0.4);
+    TimingModel csl(cascadeLake());
+    TimingModel spr(sapphireRapids());
+    EXPECT_GT(spr.overlapFactor(), csl.overlapFactor());
+    const auto t_csl = csl.embeddingTime(st, 1, 1, {});
+    const auto t_spr = spr.embeddingTime(st, 1, 1, {});
+    EXPECT_LT(t_spr.cyclesPerLookup, t_csl.cyclesPerLookup * 1.2);
+}
+
+TEST(TimingModel, MlpMsScalesWithFlops)
+{
+    TimingModel tm(cascadeLake());
+    EXPECT_NEAR(tm.mlpMs(2e9), 2.0 * tm.mlpMs(1e9), 1e-9);
+    EXPECT_GT(tm.mlpMs(1e9, 1.5), tm.mlpMs(1e9));
+    // Interaction runs at lower efficiency than GEMM.
+    EXPECT_GT(tm.interactionMs(1e9), tm.mlpMs(1e9));
+}
+
+TEST(TimingModel, StageTimesTotal)
+{
+    StageTimesMs st{1.0, 2.0, 0.5, 0.25};
+    EXPECT_DOUBLE_EQ(st.total(), 3.75);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property sweeps over the timing model: for any class mix and any
+ * platform the fixed point must converge to sane values, and the
+ * paper's qualitative orderings must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "platform/timing.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::platform;
+using dlrmopt::core::PrefetchSpec;
+using dlrmopt::memsim::EmbSimStats;
+
+EmbSimStats
+mixStats(std::uint64_t lookups, double f_l1, double f_l2, double f_l3,
+         double f_dram, double f_pf_dram)
+{
+    EmbSimStats st;
+    st.lookups = lookups;
+    st.lines = lookups * 8;
+    st.cls.l1 = static_cast<std::uint64_t>(lookups * f_l1);
+    st.cls.l2 = static_cast<std::uint64_t>(lookups * f_l2);
+    st.cls.l3 = static_cast<std::uint64_t>(lookups * f_l3);
+    st.cls.dram = static_cast<std::uint64_t>(lookups * f_dram);
+    st.cls.pfDram = static_cast<std::uint64_t>(lookups * f_pf_dram);
+    st.lineL1 = static_cast<std::uint64_t>(st.lines * f_l1);
+    st.lineDram = static_cast<std::uint64_t>(
+        st.lines * (f_dram + f_pf_dram));
+    st.dramDemandFills = static_cast<std::uint64_t>(st.lines * f_dram);
+    st.swPfDramFills =
+        static_cast<std::uint64_t>(st.lines * f_pf_dram);
+    return st;
+}
+
+/** (platform index, dram fraction, cores) sweep. */
+class TimingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, double, std::size_t>>
+{
+};
+
+TEST_P(TimingSweep, FixedPointConvergesToSaneValues)
+{
+    const auto [cpu_idx, f_dram, cores] = GetParam();
+    const CpuConfig cpu = allCpus()[static_cast<std::size_t>(cpu_idx)];
+    TimingModel tm(cpu);
+
+    const double f_l1 = 1.0 - f_dram;
+    const auto st =
+        mixStats(cores * 100'000, f_l1, 0.0, 0.0, f_dram, 0.0);
+    const auto t = tm.embeddingTime(st, cores, cores, {});
+
+    EXPECT_GT(t.msPerBatch, 0.0);
+    EXPECT_GE(t.dramUtilization, 0.0);
+    EXPECT_LE(t.dramUtilization, 1.0);
+    EXPECT_LE(t.achievedGBs, cpu.dramBandwidthGBs * 1.001);
+    EXPECT_GE(t.avgLoadLatency, cpu.l1LatencyCycles);
+    EXPECT_GE(t.cyclesPerLookup,
+              tm.params().cyclesPerLookupBase);
+    EXPECT_LE(t.effectiveDramLatency,
+              cpu.dramLatencyCycles * cpu.dramQueueCap + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimingSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0.0, 0.3, 0.9),
+                       ::testing::Values(std::size_t(1),
+                                         std::size_t(16))));
+
+TEST(TimingProperties, PrefetchGainShrinksWithRobAcrossPlatforms)
+{
+    // Sec. 6.4: larger windows => baseline overlaps more => smaller
+    // SW-PF speedup. Isolate the window effect on one platform.
+    const auto base_mix = mixStats(100'000, 0.3, 0.0, 0.0, 0.7, 0.0);
+    const auto pf_mix = mixStats(100'000, 0.3, 0.0, 0.0, 0.0, 0.7);
+    double prev = 1e9;
+    for (std::size_t rob : {160u, 224u, 352u, 512u, 800u}) {
+        CpuConfig cpu = cascadeLake();
+        cpu.robSize = rob;
+        TimingModel tm(cpu);
+        const double b = tm.embeddingTime(base_mix, 1, 1, {}).msPerBatch;
+        const double p =
+            tm.embeddingTime(pf_mix, 1, 1, PrefetchSpec{4, 8, 3})
+                .msPerBatch;
+        const double speedup = b / p;
+        EXPECT_LE(speedup, prev + 1e-9) << rob;
+        prev = speedup;
+    }
+}
+
+TEST(TimingProperties, BandwidthContentionRaisesMultiCoreLatency)
+{
+    TimingModel tm(cascadeLake());
+    // Same per-core mix; total lookups scale with cores.
+    double prev = 0.0;
+    for (std::size_t cores : {1u, 8u, 16u, 24u, 48u}) {
+        const auto st =
+            mixStats(cores * 200'000, 0.2, 0.0, 0.0, 0.8, 0.0);
+        const auto t = tm.embeddingTime(st, cores, cores, {});
+        EXPECT_GE(t.msPerBatch, prev * 0.999) << cores;
+        prev = t.msPerBatch;
+    }
+}
+
+TEST(TimingProperties, DistanceSweepHasInteriorOptimum)
+{
+    // Fig. 10b: distance 1 is late (pipelining bound), huge
+    // distances gain nothing more; 4-8 is the sweet region.
+    TimingModel tm(cascadeLake());
+    const auto st = mixStats(100'000, 0.2, 0.0, 0.0, 0.0, 0.8);
+    auto ms = [&](int d) {
+        return tm.embeddingTime(st, 1, 1, PrefetchSpec{d, 8, 3})
+            .msPerBatch;
+    };
+    EXPECT_GT(ms(1), ms(4));
+    EXPECT_NEAR(ms(16), ms(4), ms(4) * 0.25);
+}
+
+TEST(TimingProperties, HwPfOffPenalizesDenseStages)
+{
+    TimingModel tm(cascadeLake());
+    EXPECT_GT(tm.params().hwPfOffMlpPenalty, 1.0);
+    EXPECT_GT(tm.mlpMs(1e9, tm.params().hwPfOffMlpPenalty),
+              tm.mlpMs(1e9));
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the HT-aware thread pool: per-core queues, no task
+ * migration, exception propagation, and idle synchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "sched/ht_thread_pool.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::sched;
+
+TEST(HtThreadPool, SpawnsOneWorkerPerHyperthread)
+{
+    HtThreadPool pool(Topology::synthetic(3, 2), false);
+    EXPECT_EQ(pool.numCores(), 3u);
+    EXPECT_EQ(pool.numWorkers(), 6u);
+}
+
+TEST(HtThreadPool, ExecutesSubmittedTasks)
+{
+    HtThreadPool pool(Topology::synthetic(2, 2), false);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 50; ++i)
+        futs.push_back(pool.submit(i % 2, [&] { ++counter; }));
+    for (auto& f : futs)
+        f.get();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(HtThreadPool, TasksStayOnTheirCore)
+{
+    // The paper's thread-pool change: a task submitted to core c runs
+    // only on that core's sibling workers (no work stealing).
+    const Topology topo = Topology::synthetic(2, 2);
+    HtThreadPool pool(topo, false);
+
+    std::mutex mtx;
+    std::set<std::thread::id> core0_threads, core1_threads;
+
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 40; ++i) {
+        futs.push_back(pool.submit(0, [&] {
+            std::lock_guard<std::mutex> lk(mtx);
+            core0_threads.insert(std::this_thread::get_id());
+        }));
+        futs.push_back(pool.submit(1, [&] {
+            std::lock_guard<std::mutex> lk(mtx);
+            core1_threads.insert(std::this_thread::get_id());
+        }));
+    }
+    for (auto& f : futs)
+        f.get();
+
+    // At most 2 distinct worker threads per core, and the sets are
+    // disjoint (no migration across cores).
+    EXPECT_LE(core0_threads.size(), 2u);
+    EXPECT_LE(core1_threads.size(), 2u);
+    for (const auto& id : core0_threads)
+        EXPECT_EQ(core1_threads.count(id), 0u);
+}
+
+TEST(HtThreadPool, SubmitAnyDistributesAcrossCores)
+{
+    HtThreadPool pool(Topology::synthetic(4, 1), false);
+    std::mutex mtx;
+    std::set<std::thread::id> threads;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i) {
+        futs.push_back(pool.submitAny([&] {
+            std::lock_guard<std::mutex> lk(mtx);
+            threads.insert(std::this_thread::get_id());
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }));
+    }
+    for (auto& f : futs)
+        f.get();
+    // With 64 spread tasks, more than one core must have been used.
+    EXPECT_GE(threads.size(), 2u);
+}
+
+TEST(HtThreadPool, ExceptionsPropagateThroughFutures)
+{
+    HtThreadPool pool(Topology::synthetic(1, 2), false);
+    auto fut = pool.submit(0, [] {
+        throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(HtThreadPool, SubmitToUnknownCoreThrows)
+{
+    HtThreadPool pool(Topology::synthetic(2, 1), false);
+    EXPECT_THROW(pool.submit(5, [] {}), std::out_of_range);
+}
+
+TEST(HtThreadPool, WaitIdleBlocksUntilDrained)
+{
+    HtThreadPool pool(Topology::synthetic(2, 2), false);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit(i % 2, [&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++done;
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(HtThreadPool, ColocatedStageTasksRunConcurrently)
+{
+    // The MP-HT pattern: an embedding task and a bottom-MLP task on
+    // the same core's two hyperthreads must be able to overlap.
+    HtThreadPool pool(Topology::synthetic(1, 2), false);
+    std::atomic<bool> a_started{false}, b_observed_a{false};
+
+    auto fa = pool.submit(0, [&] {
+        a_started = true;
+        // Hold the "embedding" thread busy until the sibling sees us
+        // or a timeout passes.
+        for (int i = 0; i < 2000 && !b_observed_a; ++i)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    auto fb = pool.submit(0, [&] {
+        for (int i = 0; i < 2000 && !a_started; ++i)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        b_observed_a = a_started.load();
+    });
+    fa.get();
+    fb.get();
+    EXPECT_TRUE(b_observed_a.load());
+}
+
+TEST(HtThreadPool, DestructorDrainsCleanly)
+{
+    std::atomic<int> count{0};
+    {
+        HtThreadPool pool(Topology::synthetic(2, 2), false);
+        for (int i = 0; i < 8; ++i)
+            pool.submit(i % 2, [&] { ++count; });
+        pool.waitIdle();
+    } // destructor joins workers
+    EXPECT_EQ(count.load(), 8);
+}
+
+} // namespace

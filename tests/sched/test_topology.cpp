@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for CPU topology discovery and synthetic layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/topology.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::sched;
+
+TEST(Topology, SyntheticLayout)
+{
+    const Topology t = Topology::synthetic(4, 2);
+    EXPECT_EQ(t.numPhysicalCores(), 4u);
+    EXPECT_EQ(t.numLogicalCpus(), 8u);
+    EXPECT_TRUE(t.smtAvailable());
+    EXPECT_EQ(t.siblings(0), (std::vector<int>{0, 1}));
+    EXPECT_EQ(t.siblings(3), (std::vector<int>{6, 7}));
+}
+
+TEST(Topology, SyntheticWithoutSmt)
+{
+    const Topology t = Topology::synthetic(6, 1);
+    EXPECT_EQ(t.numPhysicalCores(), 6u);
+    EXPECT_EQ(t.numLogicalCpus(), 6u);
+    EXPECT_FALSE(t.smtAvailable());
+}
+
+TEST(Topology, DetectReturnsSomething)
+{
+    const Topology t = Topology::detect();
+    EXPECT_GE(t.numPhysicalCores(), 1u);
+    EXPECT_GE(t.numLogicalCpus(), t.numPhysicalCores());
+    // Every logical CPU id appears exactly once.
+    std::vector<int> all;
+    for (std::size_t c = 0; c < t.numPhysicalCores(); ++c) {
+        for (int cpu : t.siblings(c))
+            all.push_back(cpu);
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) ==
+                all.end());
+}
+
+TEST(Topology, PinToCurrentCpuSucceedsOrFailsGracefully)
+{
+    // Pinning to CPU 0 should normally work; a restricted sandbox may
+    // refuse, which must be reported as false, not crash.
+    const bool ok = pinThreadToCpu(0);
+    (void)ok;
+    // Invalid ids must fail cleanly.
+    EXPECT_FALSE(pinThreadToCpu(-1));
+    EXPECT_FALSE(pinThreadToCpu(1 << 20));
+}
+
+} // namespace

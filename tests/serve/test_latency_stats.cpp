@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for latency percentile statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/latency_stats.hpp"
+
+namespace
+{
+
+using dlrmopt::serve::LatencyStats;
+
+TEST(LatencyStats, EmptyIsZero)
+{
+    LatencyStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.p95(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.slaCompliance(100.0), 0.0);
+}
+
+TEST(LatencyStats, SingleSample)
+{
+    LatencyStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(LatencyStats, NearestRankPercentiles)
+{
+    LatencyStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(LatencyStats, OrderIndependent)
+{
+    LatencyStats a({3.0, 1.0, 2.0});
+    LatencyStats b({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(a.p95(), b.p95());
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(LatencyStats, PercentileClampsInput)
+{
+    LatencyStats s({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(200), 2.0);
+}
+
+TEST(LatencyStats, SlaCompliance)
+{
+    LatencyStats s({50.0, 90.0, 150.0, 390.0});
+    EXPECT_DOUBLE_EQ(s.slaCompliance(100.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.slaCompliance(400.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.slaCompliance(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.slaCompliance(90.0), 0.5); // inclusive
+}
+
+TEST(LatencyStats, P95DominatedByTail)
+{
+    LatencyStats s;
+    for (int i = 0; i < 95; ++i)
+        s.add(1.0);
+    for (int i = 0; i < 5; ++i)
+        s.add(1000.0);
+    EXPECT_DOUBLE_EQ(s.p95(), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(96), 1000.0);
+    EXPECT_GT(s.mean(), 1.0);
+}
+
+} // namespace

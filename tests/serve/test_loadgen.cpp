@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the Poisson load generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/loadgen.hpp"
+
+namespace
+{
+
+using dlrmopt::serve::PoissonLoadGen;
+
+TEST(PoissonLoadGen, RejectsNonPositiveMean)
+{
+    EXPECT_THROW(PoissonLoadGen(0.0), std::invalid_argument);
+    EXPECT_THROW(PoissonLoadGen(-3.0), std::invalid_argument);
+}
+
+TEST(PoissonLoadGen, ArrivalsAreStrictlyIncreasing)
+{
+    PoissonLoadGen g(5.0, 1);
+    const auto a = g.arrivals(1000);
+    ASSERT_EQ(a.size(), 1000u);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GT(a[i], a[i - 1]);
+    EXPECT_GT(a[0], 0.0);
+}
+
+TEST(PoissonLoadGen, Deterministic)
+{
+    PoissonLoadGen a(5.0, 7), b(5.0, 7);
+    EXPECT_EQ(a.arrivals(100), b.arrivals(100));
+}
+
+TEST(PoissonLoadGen, SeedsChangeTheStream)
+{
+    PoissonLoadGen a(5.0, 1), b(5.0, 2);
+    EXPECT_NE(a.arrivals(50), b.arrivals(50));
+}
+
+TEST(PoissonLoadGen, MeanInterarrivalConverges)
+{
+    const double mean = 12.5;
+    PoissonLoadGen g(mean, 3);
+    const std::size_t n = 20'000;
+    const auto a = g.arrivals(n);
+    const double measured = a.back() / static_cast<double>(n);
+    EXPECT_NEAR(measured, mean, mean * 0.05);
+}
+
+TEST(PoissonLoadGen, ExponentialTailsPresent)
+{
+    // A Poisson process has inter-arrival gaps both far below and far
+    // above the mean (unlike a uniform clock).
+    PoissonLoadGen g(10.0, 5);
+    const auto a = g.arrivals(5000);
+    int below_half = 0, above_double = 0;
+    double prev = 0.0;
+    for (double t : a) {
+        const double gap = t - prev;
+        prev = t;
+        below_half += gap < 5.0;
+        above_double += gap > 20.0;
+    }
+    EXPECT_GT(below_half, 1000); // P(gap < mean/2) = 39%
+    EXPECT_GT(above_double, 300); // P(gap > 2*mean) = 13.5%
+}
+
+} // namespace

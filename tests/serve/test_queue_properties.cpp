@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Property tests for the serving layer against queueing theory: an
+ * M/D/1 queue's mean waiting time is rho*S / (2*(1-rho)); the
+ * simulator must converge to it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+
+class MD1Theory : public ::testing::TestWithParam<double /*rho*/>
+{
+};
+
+TEST_P(MD1Theory, MeanLatencyMatchesPollaczekKhinchine)
+{
+    const double rho = GetParam();
+    const double service = 4.0;                 // deterministic S
+    const double arrival = service / rho;       // mean inter-arrival
+
+    PoissonLoadGen gen(arrival, 21);
+    const std::size_t n = 60'000;
+    const auto res = simulateQueue(gen.arrivals(n), service, 1);
+
+    // M/D/1: W_q = rho * S / (2 * (1 - rho)); latency = W_q + S.
+    const double expected = rho * service / (2.0 * (1.0 - rho)) +
+                            service;
+    EXPECT_NEAR(res.latency.mean(), expected, expected * 0.08)
+        << "rho=" << rho;
+    EXPECT_NEAR(res.serverUtilization, rho, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Load, MD1Theory,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+TEST(QueueProperties, LatencyDistributionIsMonotoneInLoad)
+{
+    const double service = 5.0;
+    double prev_p95 = 0.0;
+    for (double arrival : {25.0, 12.5, 8.0, 6.5}) {
+        PoissonLoadGen gen(arrival, 3);
+        const auto res =
+            simulateQueue(gen.arrivals(20'000), service, 1);
+        EXPECT_GE(res.latency.p95(), prev_p95 * 0.999);
+        prev_p95 = res.latency.p95();
+    }
+}
+
+TEST(QueueProperties, ScalingServersMatchesScalingArrivals)
+{
+    // c servers at arrival a behave like 1 server at arrival c*a for
+    // the utilization metric.
+    PoissonLoadGen g1(2.0, 5);
+    const auto one = simulateQueue(g1.arrivals(20'000), 5.0, 4);
+    PoissonLoadGen g2(8.0, 5);
+    const auto four = simulateQueue(g2.arrivals(20'000), 5.0, 1);
+    EXPECT_NEAR(one.serverUtilization, four.serverUtilization, 0.05);
+}
+
+TEST(QueueProperties, LatencyNeverBelowServiceTime)
+{
+    PoissonLoadGen gen(3.0, 9);
+    const auto res = simulateQueue(gen.arrivals(5'000), 2.5, 3);
+    for (double l : res.latency.samples())
+        EXPECT_GE(l, 2.5 - 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the FCFS multi-server queueing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+
+TEST(QueueSim, RejectsBadArguments)
+{
+    EXPECT_THROW(simulateQueue({1.0}, 5.0, 0), std::invalid_argument);
+    EXPECT_THROW(
+        simulateQueue({1.0, 2.0}, std::vector<double>{5.0}, 1),
+        std::invalid_argument);
+}
+
+TEST(QueueSim, UnloadedRequestsSeeServiceTimeOnly)
+{
+    // Arrivals far apart: latency == service time.
+    const auto r = simulateQueue({0.0, 100.0, 200.0}, 5.0, 1);
+    ASSERT_EQ(r.latency.count(), 3u);
+    for (double l : r.latency.samples())
+        EXPECT_DOUBLE_EQ(l, 5.0);
+}
+
+TEST(QueueSim, BackToBackArrivalsQueueUp)
+{
+    // Three simultaneous arrivals, one server, service 10:
+    // latencies 10, 20, 30.
+    const auto r = simulateQueue({0.0, 0.0, 0.0}, 10.0, 1);
+    auto s = r.latency.samples();
+    std::sort(s.begin(), s.end());
+    EXPECT_DOUBLE_EQ(s[0], 10.0);
+    EXPECT_DOUBLE_EQ(s[1], 20.0);
+    EXPECT_DOUBLE_EQ(s[2], 30.0);
+}
+
+TEST(QueueSim, MoreServersAbsorbBursts)
+{
+    const auto one = simulateQueue({0.0, 0.0, 0.0, 0.0}, 10.0, 1);
+    const auto four = simulateQueue({0.0, 0.0, 0.0, 0.0}, 10.0, 4);
+    EXPECT_DOUBLE_EQ(four.latency.max(), 10.0);
+    EXPECT_DOUBLE_EQ(one.latency.max(), 40.0);
+}
+
+TEST(QueueSim, PerRequestServiceTimes)
+{
+    const auto r =
+        simulateQueue({0.0, 0.0}, std::vector<double>{5.0, 1.0}, 1);
+    auto s = r.latency.samples();
+    // FCFS: first request served first (5), second waits 5 then
+    // takes 1.
+    EXPECT_DOUBLE_EQ(s[0], 5.0);
+    EXPECT_DOUBLE_EQ(s[1], 6.0);
+}
+
+TEST(QueueSim, UtilizationBounded)
+{
+    PoissonLoadGen g(10.0, 1);
+    const auto r = simulateQueue(g.arrivals(500), 5.0, 2);
+    EXPECT_GT(r.serverUtilization, 0.0);
+    EXPECT_LE(r.serverUtilization, 1.0);
+}
+
+TEST(QueueSim, FasterServiceShortensTail)
+{
+    // The Fig. 17 mechanism: a faster scheme (smaller service time)
+    // reduces p95 latency at the same arrival rate.
+    PoissonLoadGen g(6.0, 3);
+    const auto arrivals = g.arrivals(2000);
+    const auto slow = simulateQueue(arrivals, 5.5, 1);
+    const auto fast = simulateQueue(arrivals, 3.5, 1);
+    EXPECT_LT(fast.latency.p95(), slow.latency.p95());
+}
+
+TEST(QueueSim, SaturationBlowsUpTail)
+{
+    // Arrival rate above service capacity: queue grows without
+    // bound, p95 far exceeds service time (the "saturation region").
+    PoissonLoadGen g(4.0, 9);
+    const auto arrivals = g.arrivals(2000);
+    const auto sat = simulateQueue(arrivals, 5.0, 1); // rho = 1.25
+    EXPECT_GT(sat.latency.p95(), 100.0);
+    const auto ok = simulateQueue(arrivals, 2.0, 1); // rho = 0.5
+    EXPECT_LT(ok.latency.p95(), 50.0);
+}
+
+} // namespace

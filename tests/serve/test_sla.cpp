@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the SLA-boundary search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+#include "serve/sla.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+
+TEST(SlaSearch, ImpossibleSlaIsInfinite)
+{
+    SlaSearchConfig cfg;
+    cfg.serviceMs = 200.0;
+    cfg.slaMs = 100.0;
+    EXPECT_TRUE(std::isinf(minCompliantArrivalMs(cfg)));
+}
+
+TEST(SlaSearch, BoundaryIsAboveSaturation)
+{
+    SlaSearchConfig cfg;
+    cfg.serviceMs = 10.0;
+    cfg.servers = 4;
+    cfg.slaMs = 50.0;
+    cfg.requests = 4000;
+    const double b = minCompliantArrivalMs(cfg);
+    EXPECT_GT(b, cfg.serviceMs / 4.0); // above rho = 1
+    EXPECT_LT(b, 20.0);                // but not absurdly conservative
+}
+
+TEST(SlaSearch, BoundaryIsActuallyCompliant)
+{
+    SlaSearchConfig cfg;
+    cfg.serviceMs = 5.0;
+    cfg.servers = 2;
+    cfg.slaMs = 25.0;
+    cfg.requests = 4000;
+    const double b = minCompliantArrivalMs(cfg);
+
+    PoissonLoadGen gen(b, cfg.seed);
+    const auto at = simulateQueue(gen.arrivals(cfg.requests),
+                                  cfg.serviceMs, cfg.servers);
+    EXPECT_LE(at.latency.p95(), cfg.slaMs * 1.001);
+
+    // Slightly inside the saturation side must violate.
+    PoissonLoadGen gen2(b * 0.9, cfg.seed);
+    const auto inside = simulateQueue(gen2.arrivals(cfg.requests),
+                                      cfg.serviceMs, cfg.servers);
+    EXPECT_GT(inside.latency.p95(), at.latency.p95() * 0.99);
+}
+
+TEST(SlaSearch, FasterServiceToleratesFasterArrivals)
+{
+    // The Fig. 17 headline: a scheme with smaller service time has a
+    // smaller (better) compliant-arrival boundary.
+    SlaSearchConfig slow;
+    slow.serviceMs = 10.0;
+    slow.servers = 4;
+    slow.slaMs = 40.0;
+    slow.requests = 4000;
+    SlaSearchConfig fast = slow;
+    fast.serviceMs = 6.0;
+
+    const double b_slow = minCompliantArrivalMs(slow);
+    const double b_fast = minCompliantArrivalMs(fast);
+    EXPECT_LT(b_fast, b_slow);
+    // Roughly proportional to service time under fixed SLA headroom.
+    EXPECT_GT(b_slow / b_fast, 1.2);
+}
+
+TEST(SlaSearch, MoreServersToleratesFasterArrivals)
+{
+    SlaSearchConfig few;
+    few.serviceMs = 8.0;
+    few.servers = 2;
+    few.slaMs = 40.0;
+    few.requests = 4000;
+    SlaSearchConfig many = few;
+    many.servers = 8;
+    EXPECT_LT(minCompliantArrivalMs(many),
+              minCompliantArrivalMs(few));
+}
+
+} // namespace

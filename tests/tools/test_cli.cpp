@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the CLI: argument parsing, config construction, command
+ * dispatch, and output formats (run against small configurations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli.hpp"
+
+namespace
+{
+
+using namespace dlrmopt;
+using namespace dlrmopt::cli;
+
+ParsedArgs
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v = {"dlrmopt"};
+    v.insert(v.end(), argv.begin(), argv.end());
+    return parseArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliParse, CommandOptionsAndPositionals)
+{
+    const auto a = parse({"trace", "info", "file.bin", "--format",
+                          "json", "--flag"});
+    EXPECT_EQ(a.command, "trace");
+    ASSERT_EQ(a.positional.size(), 2u);
+    EXPECT_EQ(a.positional[0], "info");
+    EXPECT_EQ(a.positional[1], "file.bin");
+    EXPECT_EQ(a.get("format"), "json");
+    EXPECT_EQ(a.get("flag"), "1"); // bare flag
+    EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+}
+
+TEST(CliParse, IntAndDoubleValidation)
+{
+    const auto a = parse({"evaluate", "--cores", "8", "--x", "abc"});
+    EXPECT_EQ(a.getInt("cores", 1), 8);
+    EXPECT_EQ(a.getInt("absent", 7), 7);
+    EXPECT_THROW(a.getInt("x", 0), std::invalid_argument);
+    EXPECT_THROW(a.getDouble("x", 0.0), std::invalid_argument);
+}
+
+TEST(CliParse, HotnessAndSchemeWords)
+{
+    EXPECT_EQ(parseHotness("low"), traces::Hotness::Low);
+    EXPECT_EQ(parseHotness("one-item"), traces::Hotness::OneItem);
+    EXPECT_THROW(parseHotness("warm"), std::invalid_argument);
+    EXPECT_EQ(parseScheme("integrated"), core::Scheme::Integrated);
+    EXPECT_EQ(parseScheme("hwpf-off"), core::Scheme::HwPfOff);
+    EXPECT_THROW(parseScheme("turbo"), std::invalid_argument);
+}
+
+TEST(CliParse, BuildEvalConfig)
+{
+    const auto a = parse({"evaluate", "--cpu", "SPR", "--model",
+                          "rm1", "--hotness", "high", "--scheme",
+                          "swpf", "--cores", "4", "--pf-amount", "2",
+                          "--pf-hint", "T1"});
+    const auto cfg = buildEvalConfig(a);
+    EXPECT_EQ(cfg.cpu.name, "SPR");
+    EXPECT_EQ(cfg.model.name, "rm1");
+    EXPECT_EQ(cfg.hotness, traces::Hotness::High);
+    EXPECT_EQ(cfg.scheme, core::Scheme::SwPf);
+    EXPECT_EQ(cfg.cores, 4u);
+    EXPECT_EQ(cfg.pfAmount, 2);
+    EXPECT_EQ(cfg.pfLocality, 2);
+}
+
+TEST(CliParse, RejectsBadCoreCounts)
+{
+    EXPECT_THROW(
+        buildEvalConfig(parse({"evaluate", "--cores", "9999"})),
+        std::invalid_argument);
+}
+
+TEST(CliRun, ListsModelsAndPlatforms)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run(parse({"models"}), out, err), 0);
+    EXPECT_NE(out.str().find("rm2_3"), std::string::npos);
+    out.str("");
+    EXPECT_EQ(run(parse({"platforms"}), out, err), 0);
+    EXPECT_NE(out.str().find("Zen3"), std::string::npos);
+}
+
+TEST(CliRun, UnknownCommandPrintsUsage)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"frobnicate"}), out, err), 0);
+    EXPECT_NE(err.str().find("commands:"), std::string::npos);
+}
+
+TEST(CliRun, EvaluateJsonOnTinyModel)
+{
+    // rm1 with few sim batches stays fast enough for a unit test.
+    std::ostringstream out, err;
+    const int rc = run(parse({"evaluate", "--model", "rm1",
+                              "--hotness", "high", "--scheme",
+                              "baseline", "--cores", "1",
+                              "--batches", "1", "--sim-tables", "4",
+                              "--format", "json"}),
+                       out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("\"batch_ms\":"), std::string::npos);
+}
+
+TEST(CliRun, TraceGenAndInfoRoundTrip)
+{
+    const std::string path = "/tmp/dlrmopt_cli_trace_test.bin";
+    std::ostringstream out, err;
+    int rc = run(parse({"trace", "gen", "--rows", "5000", "--tables",
+                        "2", "--lookups", "4", "--batch-size", "8",
+                        "--batches", "3", "--out", path.c_str()}),
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+
+    out.str("");
+    rc = run(parse({"trace", "info", path.c_str()}), out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("3 batches"), std::string::npos);
+    EXPECT_NE(out.str().find("2 tables"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, SweepRejectsUnknownAxis)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"sweep", "--vary", "moonphase"}), out, err),
+              0);
+}
+
+} // namespace

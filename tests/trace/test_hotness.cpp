@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for hotness classes and the mixture calibration math.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/hotness.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::traces;
+
+TEST(Hotness, TargetsMatchPaperSection5)
+{
+    EXPECT_DOUBLE_EQ(targetUniqueFraction(Hotness::Low), 0.60);
+    EXPECT_DOUBLE_EQ(targetUniqueFraction(Hotness::Medium), 0.24);
+    EXPECT_DOUBLE_EQ(targetUniqueFraction(Hotness::High), 0.03);
+    EXPECT_DOUBLE_EQ(targetUniqueFraction(Hotness::OneItem), 0.0);
+    EXPECT_DOUBLE_EQ(targetUniqueFraction(Hotness::Random), 1.0);
+}
+
+TEST(Hotness, NamesMatchPaper)
+{
+    EXPECT_EQ(hotnessName(Hotness::Low), "Low Hot");
+    EXPECT_EQ(hotnessName(Hotness::Medium), "Medium Hot");
+    EXPECT_EQ(hotnessName(Hotness::High), "High Hot");
+    EXPECT_EQ(hotnessName(Hotness::OneItem), "one-item");
+    EXPECT_EQ(hotnessName(Hotness::Random), "random");
+}
+
+TEST(Calibration, ResultInUnitInterval)
+{
+    for (double u : {0.03, 0.24, 0.60, 0.99}) {
+        const double q = calibrateUniformFraction(u, 921'600, 1'000'000,
+                                                  1024);
+        EXPECT_GE(q, 0.0) << u;
+        EXPECT_LE(q, 1.0) << u;
+    }
+}
+
+TEST(Calibration, MonotoneInTarget)
+{
+    double prev = -1.0;
+    for (double u : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+        const double q = calibrateUniformFraction(u, 921'600, 1'000'000,
+                                                  1024);
+        EXPECT_GT(q, prev) << u;
+        prev = q;
+    }
+}
+
+TEST(Calibration, ZeroWhenHotSetAloneSuffices)
+{
+    // If the target unique count is below the hot-set size, no
+    // uniform draws are needed at all.
+    EXPECT_DOUBLE_EQ(
+        calibrateUniformFraction(0.0001, 1'000'000, 1'000'000, 1024),
+        0.0);
+}
+
+TEST(Calibration, SolvesExpectedDistinctEquation)
+{
+    // Verify q satisfies u*n = R*(1 - exp(-q*n/R)) + hot.
+    const std::size_t n = 500'000, r = 1'000'000, hot = 1024;
+    const double u = 0.4;
+    const double q = calibrateUniformFraction(u, n, r, hot);
+    const double expected_distinct =
+        static_cast<double>(r) *
+            (1.0 - std::exp(-q * static_cast<double>(n) / r)) +
+        static_cast<double>(hot);
+    EXPECT_NEAR(expected_distinct / n, u, 1e-9);
+}
+
+TEST(Calibration, SaturatesAtOne)
+{
+    // A target unique fraction near 1 with few draws needs all-uniform.
+    EXPECT_DOUBLE_EQ(calibrateUniformFraction(1.0, 100, 1'000'000, 0),
+                     1.0);
+}
+
+} // namespace

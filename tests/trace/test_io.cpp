@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Round-trip tests for the binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::traces;
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("dlrmopt_trace_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()))
+                   .string();
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything)
+{
+    TraceConfig c;
+    c.rows = 10'000;
+    c.tables = 3;
+    c.lookups = 7;
+    c.batchSize = 16;
+    c.numBatches = 5;
+    c.hotness = Hotness::Medium;
+    TraceGenerator g(c);
+    std::vector<dlrmopt::core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 5; ++b)
+        batches.push_back(g.batch(b));
+
+    saveTrace(path, batches);
+    const auto loaded = loadTrace(path);
+
+    ASSERT_EQ(loaded.size(), batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        EXPECT_EQ(loaded[b].batchSize, batches[b].batchSize);
+        ASSERT_EQ(loaded[b].numTables(), batches[b].numTables());
+        for (std::size_t t = 0; t < batches[b].numTables(); ++t) {
+            EXPECT_EQ(loaded[b].indices[t], batches[b].indices[t]);
+            EXPECT_EQ(loaded[b].offsets[t], batches[b].offsets[t]);
+        }
+        EXPECT_TRUE(loaded[b].valid(c.rows));
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    saveTrace(path, {});
+    EXPECT_TRUE(loadTrace(path).empty());
+}
+
+TEST_F(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadTrace(path + ".does_not_exist"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows)
+{
+    std::ofstream os(path, std::ios::binary);
+    const char junk[] = "this is not a trace file at all";
+    os.write(junk, sizeof(junk));
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedFileThrows)
+{
+    TraceConfig c;
+    c.rows = 100;
+    c.tables = 1;
+    c.lookups = 2;
+    c.batchSize = 4;
+    TraceGenerator g(c);
+    saveTrace(path, {g.batch(0)});
+
+    // Truncate to half its size.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full / 2);
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+} // namespace

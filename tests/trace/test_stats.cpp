@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for access-count statistics (the Fig. 5 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::traces;
+using dlrmopt::RowIndex;
+
+TEST(AccessStats, EmptyStream)
+{
+    const AccessStats st = computeAccessStats({});
+    EXPECT_EQ(st.totalAccesses, 0u);
+    EXPECT_EQ(st.uniqueRows(), 0u);
+    EXPECT_DOUBLE_EQ(st.uniqueFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(st.topKShare(5), 0.0);
+}
+
+TEST(AccessStats, CountsAndSorting)
+{
+    // 3 accesses to row 7, 2 to row 1, 1 to row 9.
+    const std::vector<RowIndex> stream = {7, 1, 7, 9, 1, 7};
+    const AccessStats st = computeAccessStats(stream);
+    EXPECT_EQ(st.totalAccesses, 6u);
+    EXPECT_EQ(st.uniqueRows(), 3u);
+    ASSERT_EQ(st.sortedCounts.size(), 3u);
+    EXPECT_EQ(st.sortedCounts[0], 3u);
+    EXPECT_EQ(st.sortedCounts[1], 2u);
+    EXPECT_EQ(st.sortedCounts[2], 1u);
+    EXPECT_DOUBLE_EQ(st.uniqueFraction(), 0.5);
+}
+
+TEST(AccessStats, TopKShare)
+{
+    const std::vector<RowIndex> stream = {7, 1, 7, 9, 1, 7};
+    const AccessStats st = computeAccessStats(stream);
+    EXPECT_DOUBLE_EQ(st.topKShare(1), 0.5);
+    EXPECT_DOUBLE_EQ(st.topKShare(2), 5.0 / 6.0);
+    EXPECT_DOUBLE_EQ(st.topKShare(3), 1.0);
+    EXPECT_DOUBLE_EQ(st.topKShare(100), 1.0); // k > unique rows
+}
+
+TEST(AccessStats, HighHotIsDominatedByFewRows)
+{
+    // In a High-hot trace a small hot set must capture most accesses
+    // (the power-law behaviour of Fig. 5).
+    TraceConfig c;
+    c.rows = 1'000'000;
+    c.tables = 1;
+    c.lookups = 120;
+    c.batchSize = 64;
+    c.numBatches = 20;
+    c.hotness = Hotness::High;
+    TraceGenerator g(c);
+    const auto st =
+        computeAccessStats(g.tableStream(0, 0, c.numBatches));
+    EXPECT_GT(st.topKShare(c.hotSetSize), 0.85);
+}
+
+TEST(AccessStats, LowHotHasFlatterDistribution)
+{
+    TraceConfig c;
+    c.rows = 1'000'000;
+    c.tables = 1;
+    c.lookups = 120;
+    c.batchSize = 64;
+    c.numBatches = 20;
+    c.hotness = Hotness::Low;
+    TraceGenerator g(c);
+    const auto low =
+        computeAccessStats(g.tableStream(0, 0, c.numBatches));
+    c.hotness = Hotness::High;
+    TraceGenerator g2(c);
+    const auto high =
+        computeAccessStats(g2.tableStream(0, 0, c.numBatches));
+    EXPECT_LT(low.topKShare(1024), high.topKShare(1024));
+}
+
+TEST(AccessStats, SortedCountsSumToTotal)
+{
+    TraceConfig c;
+    c.rows = 50'000;
+    c.tables = 1;
+    c.lookups = 10;
+    c.batchSize = 16;
+    c.numBatches = 10;
+    c.hotness = Hotness::Medium;
+    TraceGenerator g(c);
+    const auto stream = g.tableStream(0, 0, c.numBatches);
+    const auto st = computeAccessStats(stream);
+    std::uint64_t sum = 0;
+    for (auto v : st.sortedCounts)
+        sum += v;
+    EXPECT_EQ(sum, st.totalAccesses);
+    EXPECT_EQ(st.totalAccesses, stream.size());
+}
+
+} // namespace

@@ -1,0 +1,438 @@
+#include "cli.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/autotune.hpp"
+#include "platform/report.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "trace/stats.hpp"
+
+namespace dlrmopt::cli
+{
+
+std::string
+ParsedArgs::get(const std::string& key, const std::string& fallback) const
+{
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+long
+ParsedArgs::getInt(const std::string& key, long fallback) const
+{
+    const auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("--" + key +
+                                    " wants an integer, got '" +
+                                    it->second + "'");
+    return v;
+}
+
+double
+ParsedArgs::getDouble(const std::string& key, double fallback) const
+{
+    const auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("--" + key +
+                                    " wants a number, got '" +
+                                    it->second + "'");
+    return v;
+}
+
+ParsedArgs
+parseArgs(int argc, const char *const *argv)
+{
+    ParsedArgs out;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-')
+        out.command = argv[i++];
+    for (; i < argc; ++i) {
+        const std::string tok = argv[i];
+        if (tok.rfind("--", 0) == 0) {
+            const std::string key = tok.substr(2);
+            if (key.empty())
+                throw std::invalid_argument("empty option name");
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                out.options[key] = argv[++i];
+            } else {
+                out.options[key] = "1";
+            }
+        } else {
+            out.positional.push_back(tok);
+        }
+    }
+    return out;
+}
+
+traces::Hotness
+parseHotness(const std::string& v)
+{
+    if (v == "low")
+        return traces::Hotness::Low;
+    if (v == "medium")
+        return traces::Hotness::Medium;
+    if (v == "high")
+        return traces::Hotness::High;
+    if (v == "random")
+        return traces::Hotness::Random;
+    if (v == "one-item")
+        return traces::Hotness::OneItem;
+    throw std::invalid_argument("unknown hotness '" + v + "'");
+}
+
+core::Scheme
+parseScheme(const std::string& v)
+{
+    if (v == "baseline")
+        return core::Scheme::Baseline;
+    if (v == "hwpf-off")
+        return core::Scheme::HwPfOff;
+    if (v == "swpf")
+        return core::Scheme::SwPf;
+    if (v == "dpht")
+        return core::Scheme::DpHt;
+    if (v == "mpht")
+        return core::Scheme::MpHt;
+    if (v == "integrated")
+        return core::Scheme::Integrated;
+    throw std::invalid_argument("unknown scheme '" + v + "'");
+}
+
+platform::EvalConfig
+buildEvalConfig(const ParsedArgs& args)
+{
+    platform::EvalConfig cfg;
+    cfg.cpu = platform::cpuByName(args.get("cpu", "CSL"));
+    cfg.model = core::modelByName(args.get("model", "rm2_1"));
+    cfg.hotness = parseHotness(args.get("hotness", "low"));
+    cfg.scheme = parseScheme(args.get("scheme", "baseline"));
+    cfg.cores =
+        static_cast<std::size_t>(args.getInt("cores", 1));
+    cfg.numBatches =
+        static_cast<std::size_t>(args.getInt("batches", 0));
+    cfg.maxSimTables =
+        static_cast<std::size_t>(args.getInt("sim-tables", 24));
+    cfg.pfDistance = static_cast<int>(args.getInt("pf-distance", 4));
+    cfg.pfAmount = static_cast<int>(args.getInt("pf-amount", -1));
+    const std::string hint = args.get("pf-hint", "T0");
+    cfg.pfLocality = hint == "T0" ? 3 : hint == "T1" ? 2 : 1;
+    cfg.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    if (cfg.cores == 0 || cfg.cores > cfg.cpu.totalCores())
+        throw std::invalid_argument("--cores must be 1.." +
+                                    std::to_string(
+                                        cfg.cpu.totalCores()));
+    return cfg;
+}
+
+namespace
+{
+
+void
+printResultText(std::ostream& out, const platform::EvalConfig& cfg,
+                const platform::EvalResult& r)
+{
+    out << cfg.cpu.name << " / " << cfg.model.name << " / "
+        << traces::hotnessName(cfg.hotness) << " / "
+        << core::schemeName(cfg.scheme) << " / " << cfg.cores
+        << " core(s)\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "batch %.3f ms (bottom %.3f, emb %.3f, inter %.3f, "
+                  "top %.3f)\n",
+                  r.batchMs, r.stages.bottom, r.stages.emb,
+                  r.stages.inter, r.stages.top);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "L1D hit %.3f, load latency %.1f cy, DRAM util "
+                  "%.2f, %.1f GB/s\n",
+                  r.sim.vtuneL1HitRate(), r.embTiming.avgLoadLatency,
+                  r.embTiming.dramUtilization,
+                  r.embTiming.achievedGBs);
+    out << buf;
+}
+
+void
+emit(std::ostream& out, const std::string& format,
+     const platform::EvalConfig& cfg, const platform::EvalResult& r,
+     bool first_row)
+{
+    if (format == "json") {
+        out << platform::toJson(cfg, r) << "\n";
+    } else if (format == "csv") {
+        if (first_row)
+            out << platform::csvHeader();
+        platform::writeCsvRow(out, cfg, r);
+    } else {
+        printResultText(out, cfg, r);
+    }
+}
+
+int
+cmdModels(std::ostream& out)
+{
+    for (const auto& m : core::allModels()) {
+        char buf[200];
+        std::snprintf(buf, sizeof(buf),
+                      "%-7s %5zu tables x %8zu rows x dim %3zu, %3zu "
+                      "lookups, %.1f GB, SLA %.0f ms\n",
+                      m.name.c_str(), m.tables, m.rows, m.dim,
+                      m.lookups, m.embeddingBytes() / (1u << 30),
+                      m.slaMs());
+        out << buf;
+    }
+    return 0;
+}
+
+int
+cmdPlatforms(std::ostream& out)
+{
+    for (const auto& c : platform::allCpus()) {
+        char buf[220];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-5s %2zu cores x %zu sockets @ %.2f GHz, LLC %5.1f MB, "
+            "%3.0f GB/s/socket, ROB %3zu, pf amount %d\n",
+            c.name.c_str(), c.cores, c.sockets, c.freqGHz,
+            c.l3.sizeBytes / (1024.0 * 1024.0), c.dramBandwidthGBs,
+            c.robSize, c.bestPfAmount);
+        out << buf;
+    }
+    return 0;
+}
+
+int
+cmdEvaluate(const ParsedArgs& args, std::ostream& out)
+{
+    const auto cfg = buildEvalConfig(args);
+    const auto res = platform::evaluate(cfg);
+    emit(out, args.get("format", "text"), cfg, res, true);
+    return 0;
+}
+
+int
+cmdSweep(const ParsedArgs& args, std::ostream& out, std::ostream& err)
+{
+    const std::string axis = args.get("vary", "scheme");
+    auto cfg = buildEvalConfig(args);
+    const std::string format = args.get("format", "csv");
+
+    bool first = true;
+    auto point = [&](platform::EvalConfig c) {
+        emit(out, format, c, platform::evaluate(c), first);
+        first = false;
+    };
+
+    if (axis == "scheme") {
+        for (auto s : core::allSchemes) {
+            cfg.scheme = s;
+            point(cfg);
+        }
+    } else if (axis == "hotness") {
+        for (auto h : {traces::Hotness::High, traces::Hotness::Medium,
+                       traces::Hotness::Low}) {
+            cfg.hotness = h;
+            point(cfg);
+        }
+    } else if (axis == "cores") {
+        for (std::size_t c : {std::size_t(1), std::size_t(2),
+                              std::size_t(4), std::size_t(8),
+                              std::size_t(16), std::size_t(24)}) {
+            if (c > cfg.cpu.totalCores())
+                break;
+            cfg.cores = c;
+            cfg.numBatches = 0;
+            point(cfg);
+        }
+    } else if (axis == "distance") {
+        for (int d : {1, 2, 4, 8, 16}) {
+            cfg.pfDistance = d;
+            point(cfg);
+        }
+    } else if (axis == "amount") {
+        for (int a : {1, 2, 4, 8}) {
+            cfg.pfAmount = a;
+            point(cfg);
+        }
+    } else {
+        err << "unknown sweep axis '" << axis
+            << "' (scheme|hotness|cores|distance|amount)\n";
+        return 2;
+    }
+    return 0;
+}
+
+int
+cmdTrace(const ParsedArgs& args, std::ostream& out, std::ostream& err)
+{
+    const std::string sub =
+        args.positional.empty() ? "" : args.positional.front();
+    if (sub == "gen") {
+        traces::TraceConfig tc;
+        tc.rows = static_cast<std::size_t>(
+            args.getInt("rows", 100'000));
+        tc.tables =
+            static_cast<std::size_t>(args.getInt("tables", 8));
+        tc.lookups =
+            static_cast<std::size_t>(args.getInt("lookups", 32));
+        tc.batchSize = static_cast<std::size_t>(
+            args.getInt("batch-size", 64));
+        tc.numBatches = static_cast<std::size_t>(
+            args.getInt("batches", 16));
+        tc.hotness = parseHotness(args.get("hotness", "medium"));
+        tc.seed =
+            static_cast<std::uint64_t>(args.getInt("seed", 1));
+        const std::string path = args.get("out", "trace.bin");
+
+        traces::TraceGenerator gen(tc);
+        std::vector<core::SparseBatch> batches;
+        for (std::size_t b = 0; b < tc.numBatches; ++b)
+            batches.push_back(gen.batch(b));
+        traces::saveTrace(path, batches);
+        out << "wrote " << batches.size() << " batches ("
+            << tc.tables << " tables x " << tc.batchSize << " x "
+            << tc.lookups << " lookups) to " << path << "\n";
+        return 0;
+    }
+    if (sub == "info") {
+        if (args.positional.size() < 2) {
+            err << "trace info <file>\n";
+            return 2;
+        }
+        const auto batches = traces::loadTrace(args.positional[1]);
+        out << batches.size() << " batches\n";
+        if (batches.empty())
+            return 0;
+        out << batches.front().numTables() << " tables, batch size "
+            << batches.front().batchSize << "\n";
+        std::vector<RowIndex> stream;
+        for (const auto& b : batches) {
+            stream.insert(stream.end(), b.indices[0].begin(),
+                          b.indices[0].end());
+        }
+        const auto st = traces::computeAccessStats(stream);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "table 0: %llu accesses, %.1f%% unique, "
+                      "top-1024 rows carry %.1f%%\n",
+                      static_cast<unsigned long long>(
+                          st.totalAccesses),
+                      100.0 * st.uniqueFraction(),
+                      100.0 * st.topKShare(1024));
+        out << buf;
+        return 0;
+    }
+    err << "trace gen|info [options]\n";
+    return 2;
+}
+
+int
+cmdTune(const ParsedArgs& args, std::ostream& out)
+{
+    const std::size_t rows = static_cast<std::size_t>(
+        args.getInt("rows", 262'144));
+    const std::size_t dim =
+        static_cast<std::size_t>(args.getInt("dim", 128));
+    const std::size_t samples =
+        static_cast<std::size_t>(args.getInt("samples", 64));
+    const std::size_t lookups =
+        static_cast<std::size_t>(args.getInt("lookups", 64));
+
+    out << "building " << rows << " x " << dim
+        << " table and tuning on this host...\n";
+    core::EmbeddingTable table(rows, dim, 7);
+    std::vector<RowIndex> indices;
+    std::vector<RowIndex> offsets = {0};
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t l = 0; l < lookups; ++l) {
+            indices.push_back(static_cast<RowIndex>(
+                mix64(s * 7919 + l) % rows));
+        }
+        offsets.push_back(static_cast<RowIndex>(indices.size()));
+    }
+    const auto res = core::tunePrefetch(
+        table, indices.data(), offsets.data(), samples, {},
+        static_cast<int>(args.getInt("repeats", 3)));
+
+    char buf[160];
+    for (const auto& m : res.measurements) {
+        std::snprintf(buf, sizeof(buf),
+                      "  distance %2d, %d lines: %8.3f ms\n",
+                      m.spec.distance, m.spec.lines, m.millis);
+        out << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "baseline %.3f ms; best %s (distance %d, %d lines) "
+                  "%.3f ms -> %.2fx\n",
+                  res.baselineMs,
+                  res.best.enabled() ? "spec" : "baseline",
+                  res.best.distance, res.best.lines, res.bestMs,
+                  res.speedup());
+    out << buf;
+    return 0;
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    return "dlrmopt <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  models                      list Table-2 model presets\n"
+           "  platforms                   list CPU platform presets\n"
+           "  evaluate [options]          evaluate one configuration\n"
+           "  sweep --vary <axis>         sweep "
+           "scheme|hotness|cores|distance|amount\n"
+           "  trace gen|info [options]    generate / inspect traces\n"
+           "  tune [options]              auto-tune prefetching on "
+           "this host\n"
+           "\n"
+           "common options:\n"
+           "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
+           "  --model rm1|rm2_1|rm2_2|rm2_3 (default rm2_1)\n"
+           "  --hotness low|medium|high|random|one-item\n"
+           "  --scheme "
+           "baseline|hwpf-off|swpf|dpht|mpht|integrated\n"
+           "  --cores N --batches N --sim-tables N --seed N\n"
+           "  --pf-distance N --pf-amount N --pf-hint T0|T1|T2\n"
+           "  --format text|csv|json\n";
+}
+
+int
+run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
+{
+    try {
+        if (args.command == "models")
+            return cmdModels(out);
+        if (args.command == "platforms")
+            return cmdPlatforms(out);
+        if (args.command == "evaluate")
+            return cmdEvaluate(args, out);
+        if (args.command == "sweep")
+            return cmdSweep(args, out, err);
+        if (args.command == "trace")
+            return cmdTrace(args, out, err);
+        if (args.command == "tune")
+            return cmdTune(args, out);
+        err << usage();
+        return args.command.empty() ? 2 : 1;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace dlrmopt::cli

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Entry point of the dlrmopt CLI.
+ */
+
+#include <iostream>
+
+#include "cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const auto args = dlrmopt::cli::parseArgs(argc, argv);
+    return dlrmopt::cli::run(args, std::cout, std::cerr);
+}
