@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_breakdown"
+  "../bench/fig01_breakdown.pdb"
+  "CMakeFiles/fig01_breakdown.dir/fig01_breakdown.cpp.o"
+  "CMakeFiles/fig01_breakdown.dir/fig01_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_dataset_characterization"
+  "../bench/fig04_dataset_characterization.pdb"
+  "CMakeFiles/fig04_dataset_characterization.dir/fig04_dataset_characterization.cpp.o"
+  "CMakeFiles/fig04_dataset_characterization.dir/fig04_dataset_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dataset_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

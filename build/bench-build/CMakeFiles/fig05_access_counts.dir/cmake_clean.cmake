@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_access_counts"
+  "../bench/fig05_access_counts.pdb"
+  "CMakeFiles/fig05_access_counts.dir/fig05_access_counts.cpp.o"
+  "CMakeFiles/fig05_access_counts.dir/fig05_access_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_access_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

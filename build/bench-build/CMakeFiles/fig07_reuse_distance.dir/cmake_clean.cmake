@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_reuse_distance"
+  "../bench/fig07_reuse_distance.pdb"
+  "CMakeFiles/fig07_reuse_distance.dir/fig07_reuse_distance.cpp.o"
+  "CMakeFiles/fig07_reuse_distance.dir/fig07_reuse_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

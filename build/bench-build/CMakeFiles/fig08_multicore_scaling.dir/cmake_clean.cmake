@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_multicore_scaling"
+  "../bench/fig08_multicore_scaling.pdb"
+  "CMakeFiles/fig08_multicore_scaling.dir/fig08_multicore_scaling.cpp.o"
+  "CMakeFiles/fig08_multicore_scaling.dir/fig08_multicore_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multicore_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_prefetch_tuning"
+  "../bench/fig10_prefetch_tuning.pdb"
+  "CMakeFiles/fig10_prefetch_tuning.dir/fig10_prefetch_tuning.cpp.o"
+  "CMakeFiles/fig10_prefetch_tuning.dir/fig10_prefetch_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prefetch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

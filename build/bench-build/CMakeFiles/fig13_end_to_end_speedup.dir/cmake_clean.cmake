@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_end_to_end_speedup"
+  "../bench/fig13_end_to_end_speedup.pdb"
+  "CMakeFiles/fig13_end_to_end_speedup.dir/fig13_end_to_end_speedup.cpp.o"
+  "CMakeFiles/fig13_end_to_end_speedup.dir/fig13_end_to_end_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_end_to_end_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

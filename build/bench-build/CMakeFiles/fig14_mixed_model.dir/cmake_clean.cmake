@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_mixed_model"
+  "../bench/fig14_mixed_model.pdb"
+  "CMakeFiles/fig14_mixed_model.dir/fig14_mixed_model.cpp.o"
+  "CMakeFiles/fig14_mixed_model.dir/fig14_mixed_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mixed_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

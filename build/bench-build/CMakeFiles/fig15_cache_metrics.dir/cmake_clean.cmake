@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_cache_metrics"
+  "../bench/fig15_cache_metrics.pdb"
+  "CMakeFiles/fig15_cache_metrics.dir/fig15_cache_metrics.cpp.o"
+  "CMakeFiles/fig15_cache_metrics.dir/fig15_cache_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

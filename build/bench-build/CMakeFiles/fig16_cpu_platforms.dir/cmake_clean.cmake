@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cpu_platforms"
+  "../bench/fig16_cpu_platforms.pdb"
+  "CMakeFiles/fig16_cpu_platforms.dir/fig16_cpu_platforms.cpp.o"
+  "CMakeFiles/fig16_cpu_platforms.dir/fig16_cpu_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cpu_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

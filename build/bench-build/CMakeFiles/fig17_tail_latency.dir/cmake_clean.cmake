@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_tail_latency"
+  "../bench/fig17_tail_latency.pdb"
+  "CMakeFiles/fig17_tail_latency.dir/fig17_tail_latency.cpp.o"
+  "CMakeFiles/fig17_tail_latency.dir/fig17_tail_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

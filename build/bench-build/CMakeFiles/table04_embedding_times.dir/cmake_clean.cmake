@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_embedding_times"
+  "../bench/table04_embedding_times.pdb"
+  "CMakeFiles/table04_embedding_times.dir/table04_embedding_times.cpp.o"
+  "CMakeFiles/table04_embedding_times.dir/table04_embedding_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_embedding_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

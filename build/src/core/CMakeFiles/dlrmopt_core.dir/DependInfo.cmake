@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/dlrm.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/dlrm.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/dlrm.cpp.o.d"
+  "/root/repo/src/core/embedding.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/embedding.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/embedding.cpp.o.d"
+  "/root/repo/src/core/gemm.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/gemm.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/gemm.cpp.o.d"
+  "/root/repo/src/core/interaction.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/interaction.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/interaction.cpp.o.d"
+  "/root/repo/src/core/mlp.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/mlp.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/mlp.cpp.o.d"
+  "/root/repo/src/core/model_config.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/model_config.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/model_config.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/simd.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/simd.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/simd.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/dlrmopt_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/dlrmopt_core.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

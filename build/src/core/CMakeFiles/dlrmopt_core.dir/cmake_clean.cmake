@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_core.dir/autotune.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/dlrm.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/dlrm.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/embedding.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/embedding.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/gemm.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/gemm.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/interaction.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/interaction.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/mlp.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/mlp.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/model_config.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/model_config.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/scheme.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/simd.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/simd.cpp.o.d"
+  "CMakeFiles/dlrmopt_core.dir/tensor.cpp.o"
+  "CMakeFiles/dlrmopt_core.dir/tensor.cpp.o.d"
+  "libdlrmopt_core.a"
+  "libdlrmopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

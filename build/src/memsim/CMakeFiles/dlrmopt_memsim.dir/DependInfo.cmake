@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/embedding_sim.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/embedding_sim.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/embedding_sim.cpp.o.d"
+  "/root/repo/src/memsim/hierarchy.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/hierarchy.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/memsim/hw_prefetcher.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/hw_prefetcher.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/hw_prefetcher.cpp.o.d"
+  "/root/repo/src/memsim/reuse.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/reuse.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/reuse.cpp.o.d"
+  "/root/repo/src/memsim/reuse_model.cpp" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/reuse_model.cpp.o" "gcc" "src/memsim/CMakeFiles/dlrmopt_memsim.dir/reuse_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_memsim.dir/cache.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/dlrmopt_memsim.dir/embedding_sim.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/embedding_sim.cpp.o.d"
+  "CMakeFiles/dlrmopt_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dlrmopt_memsim.dir/hw_prefetcher.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/hw_prefetcher.cpp.o.d"
+  "CMakeFiles/dlrmopt_memsim.dir/reuse.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/reuse.cpp.o.d"
+  "CMakeFiles/dlrmopt_memsim.dir/reuse_model.cpp.o"
+  "CMakeFiles/dlrmopt_memsim.dir/reuse_model.cpp.o.d"
+  "libdlrmopt_memsim.a"
+  "libdlrmopt_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cpu_config.cpp" "src/platform/CMakeFiles/dlrmopt_platform.dir/cpu_config.cpp.o" "gcc" "src/platform/CMakeFiles/dlrmopt_platform.dir/cpu_config.cpp.o.d"
+  "/root/repo/src/platform/evaluator.cpp" "src/platform/CMakeFiles/dlrmopt_platform.dir/evaluator.cpp.o" "gcc" "src/platform/CMakeFiles/dlrmopt_platform.dir/evaluator.cpp.o.d"
+  "/root/repo/src/platform/report.cpp" "src/platform/CMakeFiles/dlrmopt_platform.dir/report.cpp.o" "gcc" "src/platform/CMakeFiles/dlrmopt_platform.dir/report.cpp.o.d"
+  "/root/repo/src/platform/timing.cpp" "src/platform/CMakeFiles/dlrmopt_platform.dir/timing.cpp.o" "gcc" "src/platform/CMakeFiles/dlrmopt_platform.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_platform.dir/cpu_config.cpp.o"
+  "CMakeFiles/dlrmopt_platform.dir/cpu_config.cpp.o.d"
+  "CMakeFiles/dlrmopt_platform.dir/evaluator.cpp.o"
+  "CMakeFiles/dlrmopt_platform.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dlrmopt_platform.dir/report.cpp.o"
+  "CMakeFiles/dlrmopt_platform.dir/report.cpp.o.d"
+  "CMakeFiles/dlrmopt_platform.dir/timing.cpp.o"
+  "CMakeFiles/dlrmopt_platform.dir/timing.cpp.o.d"
+  "libdlrmopt_platform.a"
+  "libdlrmopt_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ht_thread_pool.cpp" "src/sched/CMakeFiles/dlrmopt_sched.dir/ht_thread_pool.cpp.o" "gcc" "src/sched/CMakeFiles/dlrmopt_sched.dir/ht_thread_pool.cpp.o.d"
+  "/root/repo/src/sched/mp_ht_runner.cpp" "src/sched/CMakeFiles/dlrmopt_sched.dir/mp_ht_runner.cpp.o" "gcc" "src/sched/CMakeFiles/dlrmopt_sched.dir/mp_ht_runner.cpp.o.d"
+  "/root/repo/src/sched/topology.cpp" "src/sched/CMakeFiles/dlrmopt_sched.dir/topology.cpp.o" "gcc" "src/sched/CMakeFiles/dlrmopt_sched.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

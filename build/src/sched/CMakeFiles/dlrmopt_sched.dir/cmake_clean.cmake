@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_sched.dir/ht_thread_pool.cpp.o"
+  "CMakeFiles/dlrmopt_sched.dir/ht_thread_pool.cpp.o.d"
+  "CMakeFiles/dlrmopt_sched.dir/mp_ht_runner.cpp.o"
+  "CMakeFiles/dlrmopt_sched.dir/mp_ht_runner.cpp.o.d"
+  "CMakeFiles/dlrmopt_sched.dir/topology.cpp.o"
+  "CMakeFiles/dlrmopt_sched.dir/topology.cpp.o.d"
+  "libdlrmopt_sched.a"
+  "libdlrmopt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

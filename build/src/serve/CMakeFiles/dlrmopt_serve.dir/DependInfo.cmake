@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/latency_stats.cpp" "src/serve/CMakeFiles/dlrmopt_serve.dir/latency_stats.cpp.o" "gcc" "src/serve/CMakeFiles/dlrmopt_serve.dir/latency_stats.cpp.o.d"
+  "/root/repo/src/serve/loadgen.cpp" "src/serve/CMakeFiles/dlrmopt_serve.dir/loadgen.cpp.o" "gcc" "src/serve/CMakeFiles/dlrmopt_serve.dir/loadgen.cpp.o.d"
+  "/root/repo/src/serve/queue_sim.cpp" "src/serve/CMakeFiles/dlrmopt_serve.dir/queue_sim.cpp.o" "gcc" "src/serve/CMakeFiles/dlrmopt_serve.dir/queue_sim.cpp.o.d"
+  "/root/repo/src/serve/sla.cpp" "src/serve/CMakeFiles/dlrmopt_serve.dir/sla.cpp.o" "gcc" "src/serve/CMakeFiles/dlrmopt_serve.dir/sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

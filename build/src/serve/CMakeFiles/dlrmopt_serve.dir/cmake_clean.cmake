@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_serve.dir/latency_stats.cpp.o"
+  "CMakeFiles/dlrmopt_serve.dir/latency_stats.cpp.o.d"
+  "CMakeFiles/dlrmopt_serve.dir/loadgen.cpp.o"
+  "CMakeFiles/dlrmopt_serve.dir/loadgen.cpp.o.d"
+  "CMakeFiles/dlrmopt_serve.dir/queue_sim.cpp.o"
+  "CMakeFiles/dlrmopt_serve.dir/queue_sim.cpp.o.d"
+  "CMakeFiles/dlrmopt_serve.dir/sla.cpp.o"
+  "CMakeFiles/dlrmopt_serve.dir/sla.cpp.o.d"
+  "libdlrmopt_serve.a"
+  "libdlrmopt_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlrmopt_serve.a"
+)

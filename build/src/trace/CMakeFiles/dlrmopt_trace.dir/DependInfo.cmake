@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/dlrmopt_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/dlrmopt_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/hotness.cpp" "src/trace/CMakeFiles/dlrmopt_trace.dir/hotness.cpp.o" "gcc" "src/trace/CMakeFiles/dlrmopt_trace.dir/hotness.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/dlrmopt_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/dlrmopt_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/dlrmopt_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/dlrmopt_trace.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_trace.dir/generator.cpp.o"
+  "CMakeFiles/dlrmopt_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/dlrmopt_trace.dir/hotness.cpp.o"
+  "CMakeFiles/dlrmopt_trace.dir/hotness.cpp.o.d"
+  "CMakeFiles/dlrmopt_trace.dir/io.cpp.o"
+  "CMakeFiles/dlrmopt_trace.dir/io.cpp.o.d"
+  "CMakeFiles/dlrmopt_trace.dir/stats.cpp.o"
+  "CMakeFiles/dlrmopt_trace.dir/stats.cpp.o.d"
+  "libdlrmopt_trace.a"
+  "libdlrmopt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

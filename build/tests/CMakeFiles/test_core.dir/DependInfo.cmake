@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_autotune.cpp" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "/root/repo/tests/core/test_dlrm.cpp" "tests/CMakeFiles/test_core.dir/core/test_dlrm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dlrm.cpp.o.d"
+  "/root/repo/tests/core/test_embedding.cpp" "tests/CMakeFiles/test_core.dir/core/test_embedding.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_embedding.cpp.o.d"
+  "/root/repo/tests/core/test_gemm.cpp" "tests/CMakeFiles/test_core.dir/core/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_gemm.cpp.o.d"
+  "/root/repo/tests/core/test_interaction.cpp" "tests/CMakeFiles/test_core.dir/core/test_interaction.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_interaction.cpp.o.d"
+  "/root/repo/tests/core/test_mlp.cpp" "tests/CMakeFiles/test_core.dir/core/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mlp.cpp.o.d"
+  "/root/repo/tests/core/test_model_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_config.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_scheme.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheme.cpp.o.d"
+  "/root/repo/tests/core/test_simd.cpp" "tests/CMakeFiles/test_core.dir/core/test_simd.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_simd.cpp.o.d"
+  "/root/repo/tests/core/test_tensor.cpp" "tests/CMakeFiles/test_core.dir/core/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dlrmopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlrmopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dlrmopt_serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dlrm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dlrm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_embedding.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_embedding.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_gemm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_gemm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_interaction.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_interaction.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlp.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlp.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheme.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheme.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_simd.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_simd.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tensor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tensor.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/test_cache.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o.d"
+  "/root/repo/tests/memsim/test_cache_properties.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache_properties.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache_properties.cpp.o.d"
+  "/root/repo/tests/memsim/test_dram.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_dram.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_dram.cpp.o.d"
+  "/root/repo/tests/memsim/test_embedding_sim.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_embedding_sim.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_embedding_sim.cpp.o.d"
+  "/root/repo/tests/memsim/test_hierarchy.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/memsim/test_hw_prefetcher.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_hw_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_hw_prefetcher.cpp.o.d"
+  "/root/repo/tests/memsim/test_reuse.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_reuse.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_reuse.cpp.o.d"
+  "/root/repo/tests/memsim/test_reuse_model.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_reuse_model.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_reuse_model.cpp.o.d"
+  "/root/repo/tests/memsim/test_sockets.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_sockets.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_sockets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dlrmopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlrmopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dlrmopt_serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_cache_properties.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_cache_properties.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_dram.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_dram.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_embedding_sim.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_embedding_sim.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_hierarchy.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_hw_prefetcher.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_hw_prefetcher.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_reuse.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_reuse.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_reuse_model.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_reuse_model.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_sockets.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_sockets.cpp.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+  "test_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

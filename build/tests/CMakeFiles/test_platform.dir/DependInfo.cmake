@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/test_cpu_config.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_cpu_config.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_cpu_config.cpp.o.d"
+  "/root/repo/tests/platform/test_evaluator.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_evaluator.cpp.o.d"
+  "/root/repo/tests/platform/test_evaluator_consistency.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_evaluator_consistency.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_evaluator_consistency.cpp.o.d"
+  "/root/repo/tests/platform/test_report.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_report.cpp.o.d"
+  "/root/repo/tests/platform/test_timing.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_timing.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_timing.cpp.o.d"
+  "/root/repo/tests/platform/test_timing_properties.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_timing_properties.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_timing_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dlrmopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlrmopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dlrmopt_serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_cpu_config.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_cpu_config.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_evaluator.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_evaluator_consistency.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_evaluator_consistency.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_report.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_report.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_timing.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_timing.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_timing_properties.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_timing_properties.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_ht_thread_pool.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_ht_thread_pool.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_mp_ht_runner.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_mp_ht_runner.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_topology.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_topology.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

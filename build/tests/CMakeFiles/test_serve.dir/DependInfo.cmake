@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serve/test_latency_stats.cpp" "tests/CMakeFiles/test_serve.dir/serve/test_latency_stats.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/serve/test_latency_stats.cpp.o.d"
+  "/root/repo/tests/serve/test_loadgen.cpp" "tests/CMakeFiles/test_serve.dir/serve/test_loadgen.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/serve/test_loadgen.cpp.o.d"
+  "/root/repo/tests/serve/test_queue_properties.cpp" "tests/CMakeFiles/test_serve.dir/serve/test_queue_properties.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/serve/test_queue_properties.cpp.o.d"
+  "/root/repo/tests/serve/test_queue_sim.cpp" "tests/CMakeFiles/test_serve.dir/serve/test_queue_sim.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/serve/test_queue_sim.cpp.o.d"
+  "/root/repo/tests/serve/test_sla.cpp" "tests/CMakeFiles/test_serve.dir/serve/test_sla.cpp.o" "gcc" "tests/CMakeFiles/test_serve.dir/serve/test_sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dlrmopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlrmopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dlrmopt_serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

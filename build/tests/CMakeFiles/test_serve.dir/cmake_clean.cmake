@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve.dir/serve/test_latency_stats.cpp.o"
+  "CMakeFiles/test_serve.dir/serve/test_latency_stats.cpp.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_loadgen.cpp.o"
+  "CMakeFiles/test_serve.dir/serve/test_loadgen.cpp.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_queue_properties.cpp.o"
+  "CMakeFiles/test_serve.dir/serve/test_queue_properties.cpp.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_queue_sim.cpp.o"
+  "CMakeFiles/test_serve.dir/serve/test_queue_sim.cpp.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_sla.cpp.o"
+  "CMakeFiles/test_serve.dir/serve/test_sla.cpp.o.d"
+  "test_serve"
+  "test_serve.pdb"
+  "test_serve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

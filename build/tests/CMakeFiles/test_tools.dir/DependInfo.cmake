@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tools/test_cli.cpp" "tests/CMakeFiles/test_tools.dir/tools/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_tools.dir/tools/test_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/dlrmopt_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/dlrmopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dlrmopt_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrmopt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dlrmopt_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlrmopt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt.dir/main.cpp.o"
+  "CMakeFiles/dlrmopt.dir/main.cpp.o.d"
+  "dlrmopt"
+  "dlrmopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrmopt_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/dlrmopt_cli_lib.dir/cli.cpp.o.d"
+  "libdlrmopt_cli_lib.a"
+  "libdlrmopt_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrmopt_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
