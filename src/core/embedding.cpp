@@ -1,9 +1,11 @@
 #include "core/embedding.hpp"
 
+#include "core/errors.hpp"
 #include "core/simd.hpp"
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace dlrmopt::core
 {
@@ -77,6 +79,17 @@ EmbeddingTable::bag(const RowIndex *indices, const RowIndex *offsets,
         const std::size_t begin = static_cast<std::size_t>(offsets[i]);
         const std::size_t end = static_cast<std::size_t>(offsets[i + 1]);
         for (std::size_t s = begin; s < end; ++s) {
+            // One unsigned compare per lookup: a negative index wraps
+            // to a huge value, so this also rejects idx < 0. The
+            // branch is perfectly predicted on valid streams.
+            if (static_cast<std::uint64_t>(indices[s]) >=
+                static_cast<std::uint64_t>(_rows)) {
+                throw IndexError(
+                    "embedding_bag: index " +
+                    std::to_string(indices[s]) + " out of range [0, " +
+                    std::to_string(_rows) + ") at lookup " +
+                    std::to_string(s));
+            }
             const float *row_ptr = rowPtr(indices[s]);
             if (do_pf && s + pf_dist < total) {
                 // Look ahead in the indices array (the "what to

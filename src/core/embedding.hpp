@@ -97,6 +97,9 @@ class EmbeddingTable
      * @param samples Number of output samples (pooled bags).
      * @param out Output buffer [samples x dim].
      * @param pf Software-prefetch configuration.
+     *
+     * @throws IndexError when a lookup index falls outside
+     *         [0, rows()); the output buffer may be partially written.
      */
     void bag(const RowIndex *indices, const RowIndex *offsets,
              std::size_t samples, float *out,

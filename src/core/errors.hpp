@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Typed exception hierarchy for the dlrmopt core library.
+ *
+ * Kernels on the serving path report recoverable input problems (bad
+ * lookup indices, malformed batches) through these types so the
+ * serving layer can distinguish "this request is poisoned, fail it"
+ * from "the process is broken, crash loudly".
+ */
+
+#ifndef DLRMOPT_CORE_ERRORS_HPP
+#define DLRMOPT_CORE_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace dlrmopt::core
+{
+
+/**
+ * An embedding lookup index fell outside the table's row range.
+ *
+ * Raised by EmbeddingTable::bag instead of reading out of bounds;
+ * derives from std::out_of_range so existing catch sites keep working.
+ */
+class IndexError : public std::out_of_range
+{
+  public:
+    explicit IndexError(const std::string& what)
+        : std::out_of_range(what)
+    {
+    }
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_ERRORS_HPP

@@ -11,6 +11,7 @@
 #ifndef DLRMOPT_CORE_SPARSE_INPUT_HPP
 #define DLRMOPT_CORE_SPARSE_INPUT_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -42,6 +43,34 @@ struct SparseBatch
         for (const auto& v : indices)
             n += v.size();
         return n;
+    }
+
+    /**
+     * Copy of this batch keeping only the first @p new_batch samples
+     * per table (used by the serving layer's shrink-batch degradation
+     * tier). Clamped to the current batch size; keeps at least one
+     * sample.
+     */
+    SparseBatch
+    truncated(std::size_t new_batch) const
+    {
+        const std::size_t n =
+            std::min(std::max<std::size_t>(new_batch, 1), batchSize);
+        SparseBatch out;
+        out.batchSize = n;
+        out.indices.resize(numTables());
+        out.offsets.resize(numTables());
+        for (std::size_t t = 0; t < numTables(); ++t) {
+            const auto& off = offsets[t];
+            out.offsets[t].assign(off.begin(),
+                                  off.begin() +
+                                      static_cast<std::ptrdiff_t>(n + 1));
+            out.indices[t].assign(
+                indices[t].begin(),
+                indices[t].begin() +
+                    static_cast<std::ptrdiff_t>(out.offsets[t].back()));
+        }
+        return out;
     }
 
     /**

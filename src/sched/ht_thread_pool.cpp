@@ -1,6 +1,7 @@
 #include "sched/ht_thread_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace dlrmopt::sched
 {
@@ -30,8 +31,22 @@ HtThreadPool::~HtThreadPool()
         std::lock_guard<std::mutex> lk(q->mtx);
         q->cv.notify_all();
     }
-    for (auto& w : _workers)
-        w.join();
+    for (auto& w : _workers) {
+        if (w.joinable())
+            w.join();
+    }
+    // Workers drain their queues before exiting, so normally nothing
+    // is left. If anything does remain (a worker wedged mid-task),
+    // settle the futures so submitters blocked on get() are released
+    // rather than deadlocked on a broken promise.
+    for (auto& q : _queues) {
+        for (auto& e : q->tasks) {
+            e.prom.set_exception(std::make_exception_ptr(
+                std::runtime_error("HtThreadPool shut down before "
+                                   "task ran")));
+        }
+        q->tasks.clear();
+    }
 }
 
 std::future<void>
@@ -39,12 +54,13 @@ HtThreadPool::submit(std::size_t core, Task task)
 {
     if (core >= _queues.size())
         throw std::out_of_range("no such core in pool");
-    std::packaged_task<void()> pt(std::move(task));
-    auto fut = pt.get_future();
+    Entry e;
+    e.fn = std::move(task);
+    auto fut = e.prom.get_future();
     _pending.fetch_add(1);
     {
         std::lock_guard<std::mutex> lk(_queues[core]->mtx);
-        _queues[core]->tasks.push_back(std::move(pt));
+        _queues[core]->tasks.push_back(std::move(e));
     }
     _queues[core]->cv.notify_one();
     return fut;
@@ -80,6 +96,26 @@ HtThreadPool::waitIdle()
     _idleCv.wait(lk, [this] { return _pending.load() == 0; });
 }
 
+CoreHealth
+HtThreadPool::health(std::size_t core) const
+{
+    if (core >= _queues.size())
+        throw std::out_of_range("no such core in pool");
+    CoreHealth h;
+    h.completed = _queues[core]->completed.load();
+    h.failed = _queues[core]->failed.load();
+    return h;
+}
+
+std::uint64_t
+HtThreadPool::totalFailed() const
+{
+    std::uint64_t n = 0;
+    for (const auto& q : _queues)
+        n += q->failed.load();
+    return n;
+}
+
 void
 HtThreadPool::workerLoop(std::size_t core, int cpu)
 {
@@ -88,7 +124,7 @@ HtThreadPool::workerLoop(std::size_t core, int cpu)
 
     CoreQueue& q = *_queues[core];
     while (true) {
-        std::packaged_task<void()> task;
+        Entry e;
         {
             std::unique_lock<std::mutex> lk(q.mtx);
             q.cv.wait(lk, [&] {
@@ -99,18 +135,43 @@ HtThreadPool::workerLoop(std::size_t core, int cpu)
                     return;
                 continue;
             }
-            task = std::move(q.tasks.front());
+            e = std::move(q.tasks.front());
             q.tasks.pop_front();
             ++q.inflight;
         }
-        task();
+
+        // Bookkeeping must survive *any* exit path of the task —
+        // otherwise a throwing task leaves inflight/pending stuck and
+        // waitIdle()/the destructor deadlock on a poisoned queue.
+        struct Bookkeeper
         {
-            std::lock_guard<std::mutex> lk(q.mtx);
-            --q.inflight;
-        }
-        if (_pending.fetch_sub(1) == 1) {
-            std::lock_guard<std::mutex> lk(_idleMtx);
-            _idleCv.notify_all();
+            HtThreadPool *pool;
+            CoreQueue *q;
+
+            ~Bookkeeper()
+            {
+                {
+                    std::lock_guard<std::mutex> lk(q->mtx);
+                    --q->inflight;
+                }
+                if (pool->_pending.fetch_sub(1) == 1) {
+                    std::lock_guard<std::mutex> lk(pool->_idleMtx);
+                    pool->_idleCv.notify_all();
+                }
+            }
+        } book{this, &q};
+
+        try {
+            e.fn();
+            e.prom.set_value();
+            q.completed.fetch_add(1);
+        } catch (...) {
+            q.failed.fetch_add(1);
+            try {
+                e.prom.set_exception(std::current_exception());
+            } catch (...) {
+                // Future already abandoned; nothing to report to.
+            }
         }
     }
 }

@@ -9,6 +9,12 @@
  * instance submitted to core c therefore always runs on core c, and
  * the two colocated stage tasks (embedding + bottom-MLP) land on
  * sibling hyperthreads.
+ *
+ * The pool is exception-safe by design: a task that throws settles
+ * the submitter's future with the exception and bumps the core's
+ * failure counter — workers never die and the pool stays usable, which
+ * the fault-tolerant serving layer (src/serve/server.hpp) relies on to
+ * turn injected task faults into retries instead of crashes.
  */
 
 #ifndef DLRMOPT_SCHED_HT_THREAD_POOL_HPP
@@ -17,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -29,6 +36,15 @@
 
 namespace dlrmopt::sched
 {
+
+/** Task outcome counters for one physical core's queue. */
+struct CoreHealth
+{
+    std::uint64_t completed = 0; //!< tasks that ran to completion
+    std::uint64_t failed = 0;    //!< tasks that exited via exception
+
+    std::uint64_t total() const { return completed + failed; }
+};
 
 /**
  * Thread pool with one task queue per physical core and one worker
@@ -48,7 +64,12 @@ class HtThreadPool
      */
     explicit HtThreadPool(const Topology& topo, bool pin = true);
 
-    /** Drains queues and joins all workers. */
+    /**
+     * Drains queues and joins all workers. Safe even when tasks threw
+     * or a worker was wedged mid-task: queued-but-unexecuted tasks get
+     * their futures settled with a "pool shut down" error instead of
+     * being silently dropped.
+     */
     ~HtThreadPool();
 
     HtThreadPool(const HtThreadPool&) = delete;
@@ -60,8 +81,9 @@ class HtThreadPool
     /**
      * Enqueues @p task on physical core @p core's private queue.
      *
-     * @return Future completed when the task finishes (exceptions are
-     *         propagated through the future).
+     * @return Future completed when the task finishes. A task that
+     *         throws settles the future with that exception (the
+     *         worker survives and keeps serving its queue).
      */
     std::future<void> submit(std::size_t core, Task task);
 
@@ -74,13 +96,28 @@ class HtThreadPool
     /** Blocks until every queue is empty and every worker is idle. */
     void waitIdle();
 
+    /** Task outcome counters for core @p core (snapshot). */
+    CoreHealth health(std::size_t core) const;
+
+    /** Sum of failure counters across all cores. */
+    std::uint64_t totalFailed() const;
+
   private:
+    /** A queued task and the promise its submitter observes. */
+    struct Entry
+    {
+        Task fn;
+        std::promise<void> prom;
+    };
+
     struct CoreQueue
     {
         std::mutex mtx;
         std::condition_variable cv;
-        std::deque<std::packaged_task<void()>> tasks;
+        std::deque<Entry> tasks;
         std::size_t inflight = 0; //!< tasks popped but not finished
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> failed{0};
     };
 
     void workerLoop(std::size_t core, int cpu);

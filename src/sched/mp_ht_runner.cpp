@@ -31,20 +31,29 @@ MpHtRunner::run(const core::Tensor& dense,
 
     const auto t0 = Clock::now();
     std::vector<std::future<void>> done;
-    done.reserve(batches.size());
+    done.reserve(batches.size() * 2);
 
     for (std::size_t b = 0; b < batches.size(); ++b) {
         const std::size_t core_id = b % cores;
         const auto& sparse = batches[b];
         core::DlrmWorkspace& w = ws[b];
 
-        // Stage task 1: bottom MLP on one hyperthread of core_id.
+        // Stage task 1: bottom MLP on one hyperthread of core_id. On
+        // failure the promise must still be settled, or the sibling
+        // stage task below would wait on it forever.
         auto bottom_done = std::make_shared<std::promise<void>>();
         auto bottom_fut = bottom_done->get_future().share();
-        _pool.submit(core_id, [this, &dense, &w, bottom_done] {
-            _model.bottomForward(dense, w.bottomOut);
-            bottom_done->set_value();
-        });
+        done.push_back(
+            _pool.submit(core_id, [this, &dense, &w, bottom_done] {
+                try {
+                    _model.bottomForward(dense, w.bottomOut);
+                    bottom_done->set_value();
+                } catch (...) {
+                    bottom_done->set_exception(
+                        std::current_exception());
+                    throw;
+                }
+            }));
 
         // Stage task 2: embedding on the sibling, then the join +
         // interaction + top MLP on whichever thread gets here.
@@ -52,7 +61,7 @@ MpHtRunner::run(const core::Tensor& dense,
             core_id,
             [this, &sparse, &w, bottom_fut, predictions, b] {
                 _model.embeddingForward(sparse, w.embOut, _pf);
-                bottom_fut.wait(); // both stage outputs ready
+                bottom_fut.get(); // both stage outputs ready (or rethrow)
                 _model.interactionForward(w.bottomOut, w.embOut,
                                           sparse.batchSize,
                                           w.interOut);
@@ -64,6 +73,11 @@ MpHtRunner::run(const core::Tensor& dense,
                 }
             }));
     }
+    // Wait for every task before propagating any failure: the tasks
+    // reference the local workspaces, so unwinding early would free
+    // buffers still being written by in-flight siblings.
+    for (auto& f : done)
+        f.wait();
     for (auto& f : done)
         f.get();
 

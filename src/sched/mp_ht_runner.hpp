@@ -65,6 +65,11 @@ class MpHtRunner
      * @param batches Sparse inputs.
      * @param predictions Optional out-param: CTR predictions per
      *        batch (resized to match).
+     *
+     * @throws Rethrows the first stage-task failure (e.g.
+     *         core::IndexError from a poisoned batch) — but only
+     *         after every in-flight task has finished, so workspaces
+     *         are never freed under a running sibling.
      */
     MpHtRunStats run(const core::Tensor& dense,
                      const std::vector<core::SparseBatch>& batches,

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Graceful-degradation policy for the serving layer.
+ *
+ * Tracks a sliding-window p95 over served-request latencies and walks
+ * a ladder of degradation tiers when the tail approaches the SLA:
+ *
+ *   tier 0  full batch, software prefetching on, MP-HT stage overlap
+ *   tier 1  batch shrunk to half (sheds work per request first)
+ *   tier 2  + software-prefetch autotuning disabled (fixed kernel, no
+ *             tuning overhead or mistuned-prefetch cache pollution)
+ *   tier 3  + Sequential execution scheme (no cross-thread stage
+ *             handoff; the most predictable path)
+ *
+ * Escalation happens when the window p95 exceeds the high-water
+ * fraction of the SLA; de-escalation when it stays below the
+ * low-water fraction for a full cooldown window (hysteresis, so the
+ * policy cannot flap each sample).
+ */
+
+#ifndef DLRMOPT_SERVE_DEGRADE_HPP
+#define DLRMOPT_SERVE_DEGRADE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scheme.hpp"
+
+namespace dlrmopt::serve
+{
+
+/**
+ * Fixed-capacity sliding window answering p95 queries over the most
+ * recent samples. O(window) per query via nth_element on a scratch
+ * copy — windows are small (tens of samples), so this beats
+ * maintaining ordered structures.
+ */
+class WindowedP95
+{
+  public:
+    explicit WindowedP95(std::size_t window = 64);
+
+    void add(double latency_ms);
+
+    std::size_t count() const { return _buf.size(); }
+    bool full() const { return _buf.size() == _window; }
+
+    /** p95 (nearest-rank) of the window; 0 when empty. */
+    double p95() const;
+
+  private:
+    std::size_t _window;
+    std::size_t _next = 0; //!< ring cursor
+    std::vector<double> _buf;
+};
+
+/** What a degradation tier changes about request execution. */
+struct DegradeState
+{
+    int tier = 0;
+    double batchFraction = 1.0; //!< fraction of samples actually run
+    bool prefetchEnabled = true;
+    core::Scheme scheme = core::Scheme::MpHt;
+
+    /**
+     * Virtual-clock service-time multiplier relative to tier 0, used
+     * by the deterministic admission/latency accounting. Shrinking
+     * the batch roughly halves service; later tiers claw back a bit
+     * of speed while buying predictability.
+     */
+    double serviceFactor = 1.0;
+};
+
+/** Degradation thresholds. */
+struct DegradeConfig
+{
+    bool enabled = false;
+    std::size_t window = 64;    //!< sliding-window size (samples)
+    double highFraction = 0.9;  //!< escalate when p95 > high * SLA
+    double lowFraction = 0.5;   //!< de-escalate when p95 < low * SLA
+    std::size_t cooldown = 64;  //!< min samples between tier changes
+};
+
+/**
+ * Sliding-window-driven tier controller. Feed it each served
+ * request's latency; read state() before executing the next request.
+ */
+class DegradationPolicy
+{
+  public:
+    DegradationPolicy(const DegradeConfig& cfg, double sla_ms);
+
+    /** Records a served-request latency and updates the tier. */
+    void observe(double latency_ms);
+
+    int tier() const { return _tier; }
+
+    /** Execution knobs for the current tier. */
+    DegradeState state() const { return stateForTier(_tier); }
+
+    /** Knobs for an explicit tier in [0, maxTier()]. */
+    static DegradeState stateForTier(int tier);
+
+    static int maxTier() { return 3; }
+
+    std::size_t escalations() const { return _escalations; }
+
+  private:
+    DegradeConfig _cfg;
+    double _slaMs;
+    WindowedP95 _win;
+    int _tier = 0;
+    std::size_t _sinceChange = 0;
+    std::size_t _calmStreak = 0;
+    std::size_t _escalations = 0;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_DEGRADE_HPP

@@ -1,0 +1,115 @@
+#include "serve/fault.hpp"
+
+#include <new>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+// Domain-separation constants so the exception / alloc / corruption
+// draws for the same (req, attempt) are independent.
+constexpr std::uint64_t kindException = 0x45584350ull;  // "EXCP"
+constexpr std::uint64_t kindAlloc = 0x414c4c4full;      // "ALLO"
+constexpr std::uint64_t kindCorrupt = 0x434f5252ull;    // "CORR"
+constexpr std::uint64_t kindPosition = 0x504f5349ull;   // "POSI"
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& cfg) : _cfg(cfg)
+{
+    const auto rateOk = [](double r) { return r >= 0.0 && r <= 1.0; };
+    if (!rateOk(cfg.taskExceptionRate) ||
+        !rateOk(cfg.allocFailureRate) ||
+        !rateOk(cfg.corruptIndexRate)) {
+        throw std::invalid_argument(
+            "FaultConfig: rates must lie in [0, 1]");
+    }
+    if (!(cfg.stragglerFactor >= 1.0)) {
+        throw std::invalid_argument(
+            "FaultConfig: stragglerFactor must be >= 1");
+    }
+}
+
+double
+FaultInjector::draw(std::uint64_t kind, std::uint64_t req,
+                    std::uint64_t attempt) const
+{
+    return toUnitInterval(mix64(
+        _cfg.seed ^ mix64(kind ^ mix64(req * 2654435761ull + attempt))));
+}
+
+bool
+FaultInjector::taskExceptionHits(std::uint64_t req,
+                                 std::uint64_t attempt) const
+{
+    return draw(kindException, req, attempt) < _cfg.taskExceptionRate;
+}
+
+bool
+FaultInjector::allocFailureHits(std::uint64_t req,
+                                std::uint64_t attempt) const
+{
+    return draw(kindAlloc, req, attempt) < _cfg.allocFailureRate;
+}
+
+bool
+FaultInjector::corruptionHits(std::uint64_t req,
+                              std::uint64_t attempt) const
+{
+    return draw(kindCorrupt, req, attempt) < _cfg.corruptIndexRate;
+}
+
+void
+FaultInjector::maybeThrow(std::uint64_t req, std::uint64_t attempt) const
+{
+    if (taskExceptionHits(req, attempt)) {
+        _exceptions.fetch_add(1);
+        throw InjectedFault("injected task exception (request " +
+                            std::to_string(req) + ", attempt " +
+                            std::to_string(attempt) + ")");
+    }
+    if (allocFailureHits(req, attempt)) {
+        _allocs.fetch_add(1);
+        throw std::bad_alloc();
+    }
+}
+
+core::SparseBatch
+FaultInjector::maybeCorrupt(const core::SparseBatch& sparse,
+                            std::size_t rows, std::uint64_t req,
+                            std::uint64_t attempt) const
+{
+    core::SparseBatch copy = sparse;
+    if (!corruptionHits(req, attempt))
+        return copy;
+    _corruptions.fetch_add(1);
+
+    // Pick a deterministic (table, position) to poison.
+    const std::uint64_t r =
+        mix64(_cfg.seed ^ mix64(kindPosition ^
+                                mix64(req * 2654435761ull + attempt)));
+    const std::size_t t = r % copy.numTables();
+    if (copy.indices[t].empty())
+        return copy;
+    const std::size_t pos = (r >> 17) % copy.indices[t].size();
+    copy.indices[t][pos] =
+        static_cast<RowIndex>(rows + 1 + (r >> 43) % 1024);
+    return copy;
+}
+
+double
+FaultInjector::serviceFactor(std::size_t core) const
+{
+    if (_cfg.stragglerCore >= 0 &&
+        core == static_cast<std::size_t>(_cfg.stragglerCore)) {
+        return _cfg.stragglerFactor;
+    }
+    return 1.0;
+}
+
+} // namespace dlrmopt::serve

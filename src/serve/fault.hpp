@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the serving layer.
+ *
+ * Every injection decision is a pure function of (seed, kind,
+ * request id, attempt), so a serving session replayed with the same
+ * seed hits exactly the same faults — which is what makes the
+ * fault-tolerance tests reproducible instead of flaky.
+ *
+ * Supported fault classes:
+ *  - task exceptions: a stage task throws InjectedFault mid-request;
+ *  - allocation failures: a stage task throws std::bad_alloc;
+ *  - index corruption: one embedding lookup index of the request is
+ *    driven out of range (caught by embedding_bag's bounds check as
+ *    core::IndexError);
+ *  - straggler cores: one physical core serves every request slower
+ *    by a fixed factor (modeling a thermally-throttled or noisy
+ *    neighbor core).
+ */
+
+#ifndef DLRMOPT_SERVE_FAULT_HPP
+#define DLRMOPT_SERVE_FAULT_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/sparse_input.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Exception thrown by injected task faults. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Fault-injection knobs; all rates are per request *attempt*. */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+
+    double taskExceptionRate = 0.0; //!< P(stage task throws)
+    double allocFailureRate = 0.0;  //!< P(stage task bad_allocs)
+    double corruptIndexRate = 0.0;  //!< P(one lookup index poisoned)
+
+    int stragglerCore = -1;        //!< physical core id, -1 = none
+    double stragglerFactor = 1.0;  //!< service-time multiplier >= 1
+};
+
+/**
+ * Seeded fault injector. Decision methods are const and thread-safe;
+ * the hit counters are atomic.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig& cfg);
+
+    const FaultConfig& config() const { return _cfg; }
+
+    /** True when attempt (req, attempt) should throw InjectedFault. */
+    bool taskExceptionHits(std::uint64_t req,
+                           std::uint64_t attempt) const;
+
+    /** True when attempt (req, attempt) should throw bad_alloc. */
+    bool allocFailureHits(std::uint64_t req,
+                          std::uint64_t attempt) const;
+
+    /** True when attempt (req, attempt) gets a poisoned index. */
+    bool corruptionHits(std::uint64_t req, std::uint64_t attempt) const;
+
+    /**
+     * Throws the configured task fault for this attempt, if any.
+     * Call from inside a stage task; counts hits.
+     *
+     * @throws InjectedFault or std::bad_alloc on a hit.
+     */
+    void maybeThrow(std::uint64_t req, std::uint64_t attempt) const;
+
+    /**
+     * Returns a copy of @p sparse with one lookup index driven out of
+     * range when corruption hits this attempt; otherwise an untouched
+     * copy. The poisoned position is seed-derived.
+     */
+    core::SparseBatch maybeCorrupt(const core::SparseBatch& sparse,
+                                   std::size_t rows, std::uint64_t req,
+                                   std::uint64_t attempt) const;
+
+    /** Service-time multiplier for physical core @p core (>= 1). */
+    double serviceFactor(std::size_t core) const;
+
+    std::uint64_t injectedExceptions() const { return _exceptions; }
+    std::uint64_t injectedAllocFailures() const { return _allocs; }
+    std::uint64_t injectedCorruptions() const { return _corruptions; }
+
+  private:
+    /** Uniform [0,1) draw keyed by (kind, req, attempt). */
+    double draw(std::uint64_t kind, std::uint64_t req,
+                std::uint64_t attempt) const;
+
+    FaultConfig _cfg;
+    mutable std::atomic<std::uint64_t> _exceptions{0};
+    mutable std::atomic<std::uint64_t> _allocs{0};
+    mutable std::atomic<std::uint64_t> _corruptions{0};
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_FAULT_HPP

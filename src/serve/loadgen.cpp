@@ -12,8 +12,14 @@ PoissonLoadGen::PoissonLoadGen(double mean_interarrival_ms,
                                std::uint64_t seed)
     : _meanMs(mean_interarrival_ms), _seed(seed)
 {
-    if (mean_interarrival_ms <= 0.0)
-        throw std::invalid_argument("mean inter-arrival must be positive");
+    // Negated comparison so NaN (for which every comparison is false)
+    // is rejected too, not just zero and negative values.
+    if (!(mean_interarrival_ms > 0.0) ||
+        !std::isfinite(mean_interarrival_ms)) {
+        throw std::invalid_argument(
+            "PoissonLoadGen: mean inter-arrival must be a positive "
+            "finite number of milliseconds");
+    }
 }
 
 std::vector<double>

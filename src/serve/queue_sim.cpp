@@ -53,4 +53,50 @@ simulateQueue(const std::vector<double>& arrivals,
     return res;
 }
 
+ServeStats
+simulateQueueShedding(const std::vector<double>& arrivals,
+                      double service_ms, std::size_t servers,
+                      double sla_ms, bool admission)
+{
+    if (servers == 0)
+        throw std::invalid_argument("need at least one server");
+    if (!(service_ms > 0.0))
+        throw std::invalid_argument("service time must be positive");
+    if (!(sla_ms > 0.0))
+        throw std::invalid_argument("SLA must be positive");
+
+    // One slot per server; scanning a small vector keeps the
+    // earliest-free tie-break (lowest index) identical to the real
+    // server's, so both paths shed the same requests.
+    std::vector<double> free_at(servers, 0.0);
+
+    ServeStats st;
+    st.arrived = arrivals.size();
+    double busy = 0.0;
+    double makespan = 0.0;
+    for (const double t : arrivals) {
+        std::size_t s = 0;
+        for (std::size_t i = 1; i < servers; ++i) {
+            if (free_at[i] < free_at[s])
+                s = i;
+        }
+        const double start = std::max(free_at[s], t);
+        if (admission && (start - t) + service_ms > sla_ms) {
+            ++st.shed;
+            continue;
+        }
+        const double end = start + service_ms;
+        free_at[s] = end;
+        ++st.served;
+        st.latency.add(end - t);
+        busy += service_ms;
+        makespan = std::max(makespan, end);
+    }
+    if (makespan > 0.0) {
+        st.serverUtilization =
+            busy / (makespan * static_cast<double>(servers));
+    }
+    return st;
+}
+
 } // namespace dlrmopt::serve

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "serve/latency_stats.hpp"
+#include "serve/serve_stats.hpp"
 
 namespace dlrmopt::serve
 {
@@ -46,6 +47,28 @@ QueueSimResult simulateQueue(const std::vector<double>& arrivals,
 QueueSimResult simulateQueue(const std::vector<double>& arrivals,
                              const std::vector<double>& service_ms,
                              std::size_t servers);
+
+/**
+ * Shedding-aware FCFS queue: the simulated twin of the real server's
+ * admission control (serve/server.hpp). A request whose projected
+ * wait plus service already exceeds @p sla_ms is rejected on arrival
+ * and counted in ServeStats::shed; latency percentiles cover served
+ * requests only, so they are comparable with the real serving path.
+ *
+ * @param arrivals Request arrival timestamps (ms), ascending.
+ * @param service_ms Deterministic per-request service time.
+ * @param servers Number of parallel servers (cores).
+ * @param sla_ms Per-request deadline driving admission.
+ * @param admission Disable to get plain FCFS behaviour with
+ *        ServeStats-shaped reporting (shed stays 0).
+ *
+ * @throws std::invalid_argument on zero servers or a non-positive
+ *         SLA/service time.
+ */
+ServeStats simulateQueueShedding(const std::vector<double>& arrivals,
+                                 double service_ms,
+                                 std::size_t servers, double sla_ms,
+                                 bool admission = true);
 
 } // namespace dlrmopt::serve
 

@@ -1,0 +1,23 @@
+#include "serve/serve_stats.hpp"
+
+#include <cstdio>
+
+namespace dlrmopt::serve
+{
+
+std::string
+ServeStats::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "arrived %zu served %zu shed %zu failed %zu retried %zu "
+        "(shed %.1f%%) | p50 %.3f p95 %.3f p99 %.3f ms | tier %d "
+        "(%zu escalations)",
+        arrived, served, shed, failed, retried, 100.0 * shedRate(),
+        latency.percentile(50.0), latency.p95(), latency.p99(),
+        finalTier, degradeEscalations);
+    return buf;
+}
+
+} // namespace dlrmopt::serve

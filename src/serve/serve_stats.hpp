@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Common result record for serving sessions, shared by the real
+ * request server (serve/server.hpp) and the shedding-aware queueing
+ * simulator (serve/queue_sim.hpp) so simulated and real serving paths
+ * report comparable numbers.
+ */
+
+#ifndef DLRMOPT_SERVE_SERVE_STATS_HPP
+#define DLRMOPT_SERVE_SERVE_STATS_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "serve/latency_stats.hpp"
+
+namespace dlrmopt::serve
+{
+
+/**
+ * Outcome counters and latency distribution of one serving session.
+ *
+ * Latency samples cover *served* requests only; shed and failed
+ * requests never produce a latency.
+ */
+struct ServeStats
+{
+    std::size_t arrived = 0; //!< requests offered by the load gen
+    std::size_t served = 0;  //!< completed within the session
+    std::size_t shed = 0;    //!< rejected on arrival by admission ctl
+    std::size_t failed = 0;  //!< gave up after exhausting retries
+    std::size_t retried = 0; //!< individual retry attempts issued
+
+    LatencyStats latency; //!< end-to-end latency of served requests
+
+    double serverUtilization = 0.0; //!< busy time / total capacity
+
+    /** Real kernel wall-clock spent on inference (0 in pure sim). */
+    double execTotalMs = 0.0;
+
+    std::size_t degradeEscalations = 0; //!< tier upshifts observed
+    int finalTier = 0;                  //!< degradation tier at end
+
+    /** Fraction of arrived requests rejected on arrival. */
+    double
+    shedRate() const
+    {
+        return arrived
+            ? static_cast<double>(shed) / static_cast<double>(arrived)
+            : 0.0;
+    }
+
+    /** One-line human-readable summary (served/shed/.../percentiles). */
+    std::string summary() const;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_SERVE_STATS_HPP

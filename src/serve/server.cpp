@@ -1,0 +1,251 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+/** One scheduled attempt in the virtual-time event loop. */
+struct Attempt
+{
+    double readyMs;       //!< earliest virtual start (arrival/backoff)
+    std::uint64_t seq;    //!< tie-break for deterministic ordering
+    std::uint64_t req;    //!< request id
+    std::uint64_t tries;  //!< attempts already burned (0 = first)
+    double arrivalMs;     //!< original arrival (latency baseline)
+};
+
+struct AttemptLater
+{
+    bool
+    operator()(const Attempt& a, const Attempt& b) const
+    {
+        if (a.readyMs != b.readyMs)
+            return a.readyMs > b.readyMs;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+Server::Server(const core::DlrmModel& model,
+               const sched::Topology& topo, const ServerConfig& cfg,
+               const FaultInjector *fault)
+    : _model(model), _cfg(cfg), _fault(fault), _pool(topo, cfg.pin)
+{
+    if (!(cfg.slaMs > 0.0) || !std::isfinite(cfg.slaMs))
+        throw std::invalid_argument("Server: SLA must be positive");
+    if (!(cfg.serviceMs > 0.0) || !std::isfinite(cfg.serviceMs))
+        throw std::invalid_argument(
+            "Server: serviceMs must be positive");
+    if (cfg.backoffBaseMs < 0.0 ||
+        cfg.backoffCapMs < cfg.backoffBaseMs) {
+        throw std::invalid_argument(
+            "Server: backoff cap must be >= base >= 0");
+    }
+}
+
+double
+Server::execute(std::size_t core, const core::Tensor& dense,
+                const core::SparseBatch& sparse,
+                const DegradeState& tier,
+                const core::PrefetchSpec& pf, std::uint64_t req,
+                std::uint64_t attempt)
+{
+    using Clock = std::chrono::steady_clock;
+    const core::PrefetchSpec eff_pf =
+        tier.prefetchEnabled ? pf : core::PrefetchSpec{};
+    core::DlrmWorkspace ws;
+    const auto t0 = Clock::now();
+
+    if (core::usesMpHt(tier.scheme)) {
+        // MP-HT stage colocation, exception-safe: the bottom promise
+        // is settled on *every* exit path so the sibling can never
+        // wait on it forever.
+        auto bottom_done = std::make_shared<std::promise<void>>();
+        auto bottom_fut = bottom_done->get_future().share();
+        auto f1 = _pool.submit(core, [this, &dense, &ws, bottom_done] {
+            try {
+                _model.bottomForward(dense, ws.bottomOut);
+                bottom_done->set_value();
+            } catch (...) {
+                bottom_done->set_exception(std::current_exception());
+                throw;
+            }
+        });
+        auto f2 = _pool.submit(
+            core, [this, &sparse, &ws, bottom_fut, eff_pf, req,
+                   attempt] {
+                if (_fault)
+                    _fault->maybeThrow(req, attempt);
+                _model.embeddingForward(sparse, ws.embOut, eff_pf);
+                bottom_fut.get();
+                _model.interactionForward(ws.bottomOut, ws.embOut,
+                                          sparse.batchSize,
+                                          ws.interOut);
+                _model.topForward(ws.interOut, ws.pred);
+            });
+        // Both tasks reference this frame's workspace: wait for both
+        // before any exception can unwind it.
+        f1.wait();
+        f2.wait();
+        f1.get();
+        f2.get();
+    } else {
+        // Sequential degradation tier: one task, one thread.
+        auto f = _pool.submit(
+            core,
+            [this, &dense, &sparse, &ws, eff_pf, req, attempt] {
+                if (_fault)
+                    _fault->maybeThrow(req, attempt);
+                _model.forward(dense, sparse, ws, eff_pf);
+            });
+        f.wait();
+        f.get();
+    }
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+ServeStats
+Server::serve(const core::Tensor& dense,
+              const std::vector<core::SparseBatch>& batches,
+              const std::vector<double>& arrivals_ms,
+              const core::PrefetchSpec& pf)
+{
+    if (batches.empty())
+        throw std::invalid_argument("Server: need at least one batch");
+
+    const std::size_t cores = _pool.numCores();
+    const std::size_t rows = _model.config().rows;
+
+    DegradationPolicy policy(_cfg.degrade, _cfg.slaMs);
+
+    // Dense inputs per effective batch size (tiers shrink batches).
+    // std::map gives reference stability while tasks read entries.
+    std::map<std::size_t, core::Tensor> dense_by_rows;
+    const auto denseFor =
+        [&](std::size_t n) -> const core::Tensor& {
+        auto it = dense_by_rows.find(n);
+        if (it == dense_by_rows.end()) {
+            core::Tensor t(n, dense.cols());
+            std::memcpy(t.data(), dense.data(),
+                        n * dense.cols() * sizeof(float));
+            it = dense_by_rows.emplace(n, std::move(t)).first;
+        }
+        return it->second;
+    };
+
+    std::priority_queue<Attempt, std::vector<Attempt>, AttemptLater>
+        events;
+    std::uint64_t seq = 0;
+    for (std::size_t r = 0; r < arrivals_ms.size(); ++r) {
+        events.push(Attempt{arrivals_ms[r], seq++, r, 0,
+                            arrivals_ms[r]});
+    }
+
+    std::vector<double> free_at(cores, 0.0);
+    ServeStats st;
+    st.arrived = arrivals_ms.size();
+    double busy = 0.0;
+    double makespan = 0.0;
+
+    while (!events.empty()) {
+        const Attempt a = events.top();
+        events.pop();
+
+        // Earliest-free core, lowest index on ties (deterministic).
+        std::size_t core = 0;
+        for (std::size_t c = 1; c < cores; ++c) {
+            if (free_at[c] < free_at[core])
+                core = c;
+        }
+
+        const DegradeState tier = policy.state();
+        const double start = std::max(free_at[core], a.readyMs);
+        const double wait = start - a.readyMs;
+        const double straggle =
+            _fault ? _fault->serviceFactor(core) : 1.0;
+        const double service =
+            _cfg.serviceMs * tier.serviceFactor * straggle;
+
+        // Admission control: shed on arrival when the projected
+        // completion already misses the deadline. Retries are always
+        // admitted — the work is already paid for.
+        if (_cfg.admission && a.tries == 0 &&
+            wait + service > _cfg.slaMs) {
+            ++st.shed;
+            continue;
+        }
+
+        // Real execution. Any throw — injected fault, bad_alloc,
+        // IndexError from a poisoned index — lands here via the
+        // pool's futures instead of killing the process.
+        const core::SparseBatch& base =
+            batches[a.req % batches.size()];
+        const std::size_t eff_batch = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::floor(tier.batchFraction *
+                              static_cast<double>(base.batchSize))));
+        core::SparseBatch sparse = eff_batch < base.batchSize
+            ? base.truncated(eff_batch)
+            : base;
+        if (_fault)
+            sparse = _fault->maybeCorrupt(sparse, rows, a.req,
+                                          a.tries);
+
+        bool ok = true;
+        try {
+            st.execTotalMs += execute(core, denseFor(sparse.batchSize),
+                                      sparse, tier, pf, a.req,
+                                      a.tries);
+        } catch (...) {
+            ok = false;
+        }
+
+        // Failed or not, the attempt burned the core (virtually).
+        const double end = start + service;
+        free_at[core] = end;
+        busy += service;
+        makespan = std::max(makespan, end);
+
+        if (ok) {
+            ++st.served;
+            const double latency = end - a.arrivalMs;
+            st.latency.add(latency);
+            policy.observe(latency);
+        } else if (a.tries < _cfg.maxRetries) {
+            ++st.retried;
+            const double backoff = std::min(
+                _cfg.backoffBaseMs *
+                    static_cast<double>(1ull << a.tries),
+                _cfg.backoffCapMs);
+            events.push(Attempt{end + backoff, seq++, a.req,
+                                a.tries + 1, a.arrivalMs});
+        } else {
+            ++st.failed;
+        }
+    }
+
+    if (makespan > 0.0) {
+        st.serverUtilization =
+            busy / (makespan * static_cast<double>(cores));
+    }
+    st.degradeEscalations = policy.escalations();
+    st.finalTier = policy.tier();
+    return st;
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-tolerant request server: the real serving loop the paper's
+ * Sec. 6.5 evaluation implies but the queue simulator only models.
+ *
+ * Each request is one inference batch drawn from a Poisson arrival
+ * stream. The server:
+ *
+ *  - enforces per-request deadlines with admission control: a request
+ *    whose projected queue wait already blows the SLA is shed on
+ *    arrival (load shedding, counted in ServeStats::shed);
+ *  - executes admitted requests as *real* DLRM inference on an
+ *    exception-safe HtThreadPool using the paper's MP-HT stage
+ *    colocation (falling back to sequential execution in the deepest
+ *    degradation tier);
+ *  - retries transiently failed requests with capped exponential
+ *    backoff, giving up after maxRetries (counted in failed);
+ *  - degrades gracefully under tail-latency pressure via
+ *    DegradationPolicy (shrink batch -> disable prefetch -> go
+ *    sequential);
+ *  - tolerates injected faults (serve/fault.hpp): task exceptions,
+ *    allocation failures, poisoned embedding indices, and straggler
+ *    cores never crash the process — they surface as retries/failures
+ *    in the stats.
+ *
+ * Time accounting is *virtual*: queue waits, deadlines, and reported
+ * latencies advance on a deterministic simulated clock derived from
+ * the arrival stream and the configured per-batch service time, while
+ * the kernels themselves really execute (their measured wall time is
+ * reported separately as ServeStats::execTotalMs). This split is what
+ * makes serving sessions bit-reproducible under a fixed seed — the
+ * property the fault-tolerance tests and the shedding-aware queue
+ * simulator comparisons rely on — without giving up real execution.
+ */
+
+#ifndef DLRMOPT_SERVE_SERVER_HPP
+#define DLRMOPT_SERVE_SERVER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "sched/ht_thread_pool.hpp"
+#include "serve/degrade.hpp"
+#include "serve/fault.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Serving-session parameters. */
+struct ServerConfig
+{
+    double slaMs = 100.0;    //!< per-request deadline
+    double serviceMs = 1.0;  //!< estimated tier-0 per-batch service
+
+    bool admission = true;   //!< shed on projected deadline miss
+
+    std::size_t maxRetries = 2;   //!< retry budget per request
+    double backoffBaseMs = 1.0;   //!< first retry delay
+    double backoffCapMs = 8.0;    //!< exponential backoff ceiling
+
+    DegradeConfig degrade;   //!< graceful-degradation thresholds
+
+    bool pin = false;        //!< pin pool workers to CPUs
+};
+
+/**
+ * Fault-tolerant serving loop over a real model. The pool is built
+ * once per Server and reused across serve() sessions.
+ */
+class Server
+{
+  public:
+    /**
+     * @param model Model to serve (not owned; must outlive server).
+     * @param topo One serving instance per physical core.
+     * @param cfg Session parameters.
+     * @param fault Optional fault injector (not owned; may be null).
+     *
+     * @throws std::invalid_argument on non-positive SLA/service or a
+     *         backoff cap below the base.
+     */
+    Server(const core::DlrmModel& model, const sched::Topology& topo,
+           const ServerConfig& cfg,
+           const FaultInjector *fault = nullptr);
+
+    /**
+     * Serves one session: requests arrive at @p arrivals_ms and
+     * request r runs inference on batches[r % batches.size()].
+     *
+     * @param dense Dense features shared across requests.
+     * @param batches Sparse inputs cycled through by the stream.
+     * @param arrivals_ms Ascending arrival timestamps (one request
+     *        each), e.g. PoissonLoadGen::arrivals().
+     * @param pf Prefetch spec used while the degradation tier allows
+     *        software prefetching.
+     *
+     * @throws std::invalid_argument on an empty batch list.
+     */
+    ServeStats serve(const core::Tensor& dense,
+                     const std::vector<core::SparseBatch>& batches,
+                     const std::vector<double>& arrivals_ms,
+                     const core::PrefetchSpec& pf =
+                         core::PrefetchSpec::paperDefault());
+
+    /** Per-core task health of the underlying pool. */
+    sched::CoreHealth coreHealth(std::size_t core) const
+    {
+        return _pool.health(core);
+    }
+
+    std::size_t numCores() const { return _pool.numCores(); }
+
+  private:
+    /**
+     * Really executes one request attempt on @p core and returns the
+     * measured kernel wall time (ms). Throws whatever the stage tasks
+     * threw (injected faults, IndexError from poisoned indices, ...).
+     */
+    double execute(std::size_t core, const core::Tensor& dense,
+                   const core::SparseBatch& sparse,
+                   const DegradeState& tier,
+                   const core::PrefetchSpec& pf, std::uint64_t req,
+                   std::uint64_t attempt);
+
+    const core::DlrmModel& _model;
+    ServerConfig _cfg;
+    const FaultInjector *_fault;
+    sched::HtThreadPool _pool;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_SERVER_HPP

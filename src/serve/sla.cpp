@@ -1,12 +1,40 @@
 #include "serve/sla.hpp"
 
+#include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "serve/loadgen.hpp"
 #include "serve/queue_sim.hpp"
 
 namespace dlrmopt::serve
 {
+
+void
+validate(const SlaSearchConfig& cfg)
+{
+    // Negated comparisons so NaN inputs are rejected as well; a NaN
+    // service or SLA makes every bisection probe "non-compliant" and
+    // the search degenerates.
+    if (!(cfg.serviceMs > 0.0) || !std::isfinite(cfg.serviceMs)) {
+        throw std::invalid_argument(
+            "SlaSearchConfig: serviceMs must be positive and finite");
+    }
+    if (!(cfg.slaMs > 0.0) || !std::isfinite(cfg.slaMs)) {
+        throw std::invalid_argument(
+            "SlaSearchConfig: slaMs must be positive and finite");
+    }
+    if (cfg.servers == 0)
+        throw std::invalid_argument("SlaSearchConfig: need >= 1 server");
+    if (cfg.requests == 0) {
+        throw std::invalid_argument(
+            "SlaSearchConfig: need >= 1 simulated request");
+    }
+    if (cfg.iterations <= 0) {
+        throw std::invalid_argument(
+            "SlaSearchConfig: need >= 1 bisection iteration");
+    }
+}
 
 namespace
 {
@@ -25,6 +53,8 @@ meetsSla(const SlaSearchConfig& cfg, double arrival_ms)
 double
 minCompliantArrivalMs(const SlaSearchConfig& cfg)
 {
+    validate(cfg);
+
     // Even an unloaded system pays the service time.
     if (cfg.serviceMs > cfg.slaMs)
         return std::numeric_limits<double>::infinity();
@@ -45,6 +75,45 @@ minCompliantArrivalMs(const SlaSearchConfig& cfg)
     for (int i = 0; i < cfg.iterations; ++i) {
         const double mid = 0.5 * (lo + hi);
         if (meetsSla(cfg, mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+minCompliantArrivalShedding(const SlaSearchConfig& cfg,
+                            double max_shed_rate)
+{
+    validate(cfg);
+    if (!(max_shed_rate >= 0.0) || max_shed_rate >= 1.0) {
+        throw std::invalid_argument(
+            "max_shed_rate must lie in [0, 1)");
+    }
+    if (cfg.serviceMs > cfg.slaMs)
+        return std::numeric_limits<double>::infinity();
+
+    const auto shedOk = [&](double arrival_ms) {
+        PoissonLoadGen gen(arrival_ms, cfg.seed);
+        const auto st = simulateQueueShedding(
+            gen.arrivals(cfg.requests), cfg.serviceMs, cfg.servers,
+            cfg.slaMs, true);
+        return st.shedRate() <= max_shed_rate;
+    };
+
+    const double saturation =
+        cfg.serviceMs / static_cast<double>(cfg.servers);
+    double lo = saturation * 1e-3;
+    double hi = saturation * 64.0;
+    for (int i = 0; i < 8 && !shedOk(hi); ++i)
+        hi *= 4.0;
+    if (!shedOk(hi))
+        return std::numeric_limits<double>::infinity();
+
+    for (int i = 0; i < cfg.iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (shedOk(mid))
             hi = mid;
         else
             lo = mid;

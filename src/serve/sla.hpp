@@ -28,14 +28,41 @@ struct SlaSearchConfig
 };
 
 /**
+ * Checks an SLA search configuration for usable values.
+ *
+ * @throws std::invalid_argument on non-positive / NaN service, SLA,
+ *         or counts that would hang or NaN-poison the search.
+ */
+void validate(const SlaSearchConfig& cfg);
+
+/**
  * Finds the minimum mean inter-arrival time (ms) whose p95 latency
  * still meets the SLA. Smaller is better: it means the system
  * tolerates a faster request stream.
  *
  * @return The boundary inter-arrival time, or +infinity when even an
  *         idle system cannot meet the SLA (service > SLA).
+ *
+ * @throws std::invalid_argument when @p cfg fails validate().
  */
 double minCompliantArrivalMs(const SlaSearchConfig& cfg);
+
+/**
+ * Shedding-aware SLA boundary: with deadline-based admission control
+ * on, the p95 of *served* requests stays within the SLA by
+ * construction, so the saturation signal becomes the shed rate.
+ * Finds the minimum mean inter-arrival time whose shed fraction stays
+ * at or below @p max_shed_rate.
+ *
+ * @param max_shed_rate Tolerated fraction of rejected requests in
+ *        [0, 1).
+ * @return The boundary inter-arrival time, or +infinity when even a
+ *         slow stream sheds more than tolerated (service > SLA).
+ *
+ * @throws std::invalid_argument on a bad config or shed rate.
+ */
+double minCompliantArrivalShedding(const SlaSearchConfig& cfg,
+                                   double max_shed_rate);
 
 } // namespace dlrmopt::serve
 

@@ -55,6 +55,45 @@ readVec(std::ifstream& is)
     return v;
 }
 
+/**
+ * Structural validation of a freshly deserialized batch. The byte
+ * reads above only guarantee the right number of bytes arrived;
+ * malformed offset arrays would otherwise flow into embedding_bag as
+ * out-of-bounds reads.
+ */
+void
+validateBatch(const core::SparseBatch& b, std::uint64_t batch_id)
+{
+    const auto fail = [batch_id](const std::string& why) {
+        throw std::runtime_error("trace batch " +
+                                 std::to_string(batch_id) +
+                                 " malformed: " + why);
+    };
+    if (b.batchSize == 0)
+        fail("zero batch size");
+    if (b.batchSize > (1ull << 24))
+        fail("batch size implausible");
+    if (b.numTables() == 0)
+        fail("zero tables");
+    for (std::size_t t = 0; t < b.numTables(); ++t) {
+        const auto& off = b.offsets[t];
+        if (off.size() != b.batchSize + 1)
+            fail("offsets length != batch size + 1");
+        if (off.front() != 0)
+            fail("offsets do not start at 0");
+        for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+            if (off[i] > off[i + 1])
+                fail("offsets not monotone");
+        }
+        if (static_cast<std::size_t>(off.back()) != b.indices[t].size())
+            fail("offsets do not cover the index array");
+        for (const RowIndex idx : b.indices[t]) {
+            if (idx < 0)
+                fail("negative lookup index");
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -93,12 +132,15 @@ loadTrace(const std::string& path)
         core::SparseBatch b;
         b.batchSize = readPod<std::uint64_t>(is);
         const auto tables = readPod<std::uint64_t>(is);
+        if (tables > (1ull << 20))
+            throw std::runtime_error("trace table count implausible");
         b.offsets.resize(tables);
         b.indices.resize(tables);
         for (std::uint64_t t = 0; t < tables; ++t) {
             b.offsets[t] = readVec<RowIndex>(is);
             b.indices[t] = readVec<RowIndex>(is);
         }
+        validateBatch(b, i);
         batches.push_back(std::move(b));
     }
     return batches;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "core/errors.hpp"
 
 namespace
 {
@@ -157,6 +158,58 @@ TEST(EmbeddingBag, LargeDimMatchesReference)
                     want.data());
     for (std::size_t i = 0; i < got.size(); ++i)
         EXPECT_FLOAT_EQ(got[i], want[i]);
+}
+
+TEST(EmbeddingBag, OutOfRangeIndexThrowsIndexError)
+{
+    EmbeddingTable t(16, 8, 3);
+    std::vector<float> out(2 * 8, 0.0f);
+
+    // Row 16 is one past the end.
+    std::vector<RowIndex> indices = {1, 16, 2, 3};
+    std::vector<RowIndex> offsets = {0, 2, 4};
+    EXPECT_THROW(t.bag(indices.data(), offsets.data(), 2, out.data()),
+                 IndexError);
+
+    // IndexError derives from std::out_of_range for older catch sites.
+    EXPECT_THROW(t.bag(indices.data(), offsets.data(), 2, out.data()),
+                 std::out_of_range);
+
+    // A negative index must be rejected too, not scaled into a wild
+    // pointer.
+    indices = {1, -1, 2, 3};
+    EXPECT_THROW(t.bag(indices.data(), offsets.data(), 2, out.data()),
+                 IndexError);
+}
+
+TEST(EmbeddingBag, TableStillUsableAfterIndexError)
+{
+    EmbeddingTable t(16, 8, 3);
+    std::vector<float> out(8, 0.0f);
+    std::vector<RowIndex> bad = {99};
+    std::vector<RowIndex> good = {5};
+    std::vector<RowIndex> offsets = {0, 1};
+
+    EXPECT_THROW(t.bag(bad.data(), offsets.data(), 1, out.data()),
+                 dlrmopt::core::IndexError);
+
+    t.bag(good.data(), offsets.data(), 1, out.data());
+    for (std::size_t d = 0; d < 8; ++d)
+        EXPECT_EQ(out[d], t.rowPtr(5)[d]);
+}
+
+TEST(EmbeddingBag, PrefetchedLookupsAreBoundsCheckedToo)
+{
+    // The prefetch look-ahead reads indices[s + distance]; an
+    // out-of-range *current* index must still throw even with
+    // prefetching enabled.
+    EmbeddingTable t(16, 8, 3);
+    std::vector<float> out(8, 0.0f);
+    std::vector<RowIndex> indices = {2, 4, 1000, 3};
+    std::vector<RowIndex> offsets = {0, 4};
+    EXPECT_THROW(t.bag(indices.data(), offsets.data(), 1, out.data(),
+                       PrefetchSpec{2, 8, 3}),
+                 IndexError);
 }
 
 } // namespace

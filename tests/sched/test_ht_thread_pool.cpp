@@ -143,6 +143,86 @@ TEST(HtThreadPool, ColocatedStageTasksRunConcurrently)
     EXPECT_TRUE(b_observed_a.load());
 }
 
+TEST(HtThreadPool, PoolSurvivesThrowingTasksAndStaysUsable)
+{
+    // Regression: a throwing task used to be able to take the whole
+    // process down; now it must settle the future and leave the pool
+    // fully operational.
+    HtThreadPool pool(Topology::synthetic(2, 2), false);
+
+    std::vector<std::future<void>> bad;
+    for (int i = 0; i < 20; ++i) {
+        bad.push_back(pool.submit(i % 2, [] {
+            throw std::runtime_error("injected");
+        }));
+    }
+    for (auto& f : bad)
+        EXPECT_THROW(f.get(), std::runtime_error);
+
+    std::atomic<int> ok{0};
+    std::vector<std::future<void>> good;
+    for (int i = 0; i < 20; ++i)
+        good.push_back(pool.submit(i % 2, [&] { ++ok; }));
+    for (auto& f : good)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(ok.load(), 20);
+}
+
+TEST(HtThreadPool, HealthCountersTrackFailuresPerCore)
+{
+    HtThreadPool pool(Topology::synthetic(2, 1), false);
+
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 6; ++i)
+        futs.push_back(pool.submit(0, [] {}));
+    for (int i = 0; i < 4; ++i) {
+        futs.push_back(pool.submit(1, [] {
+            throw std::runtime_error("injected");
+        }));
+    }
+    for (auto& f : futs)
+        f.wait();
+    pool.waitIdle();
+
+    EXPECT_EQ(pool.health(0).completed, 6u);
+    EXPECT_EQ(pool.health(0).failed, 0u);
+    EXPECT_EQ(pool.health(1).completed, 0u);
+    EXPECT_EQ(pool.health(1).failed, 4u);
+    EXPECT_EQ(pool.totalFailed(), 4u);
+    EXPECT_THROW(pool.health(9), std::out_of_range);
+}
+
+TEST(HtThreadPool, WaitIdleNotPoisonedByThrowingTasks)
+{
+    // The inflight/pending bookkeeping must be exception-safe, or
+    // waitIdle() would hang forever after a failed task.
+    HtThreadPool pool(Topology::synthetic(2, 2), false);
+    for (int i = 0; i < 16; ++i) {
+        pool.submit(i % 2, [] {
+            throw std::runtime_error("injected");
+        });
+    }
+    pool.waitIdle(); // must return, not deadlock
+    EXPECT_EQ(pool.totalFailed(), 16u);
+}
+
+TEST(HtThreadPool, DestructorSafeAfterWorkerFailedMidTask)
+{
+    // Submit throwing tasks and destroy the pool immediately — the
+    // join must not deadlock on a queue whose worker just failed a
+    // task, and discarded futures must not crash anything.
+    for (int round = 0; round < 8; ++round) {
+        HtThreadPool pool(Topology::synthetic(2, 2), false);
+        for (int i = 0; i < 8; ++i) {
+            pool.submit(i % 2, [] {
+                throw std::runtime_error("injected");
+            });
+        }
+        // No waitIdle: destructor runs with tasks still in flight.
+    }
+    SUCCEED();
+}
+
 TEST(HtThreadPool, DestructorDrainsCleanly)
 {
     std::atomic<int> count{0};

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/errors.hpp"
 #include "sched/mp_ht_runner.hpp"
 #include "trace/generator.hpp"
 
@@ -124,6 +125,30 @@ TEST_F(MpHtRunnerTest, EmptyBatchStream)
     const auto st = runner.run(dense, {}, &got);
     EXPECT_EQ(st.batches, 0u);
     EXPECT_TRUE(got.empty());
+}
+
+TEST_F(MpHtRunnerTest, PoisonedBatchRaisesInsteadOfHanging)
+{
+    // An out-of-range index inside one batch must surface as an
+    // exception from run(), after all other in-flight batches have
+    // finished — not deadlock the bottom/embedding stage pair and not
+    // crash the process.
+    auto poisoned = batches;
+    poisoned[3].indices[1][0] =
+        static_cast<RowIndex>(smallModel().rows + 17);
+
+    sched::MpHtRunner runner(model, sched::Topology::synthetic(2, 2),
+                             {}, false);
+    std::vector<std::vector<float>> preds;
+    EXPECT_THROW(runner.run(dense, poisoned, &preds),
+                 core::IndexError);
+
+    // The runner (and its pool) must remain usable afterwards.
+    const auto st = runner.run(dense, batches, &preds);
+    EXPECT_EQ(st.batches, batches.size());
+    ASSERT_EQ(preds.size(), expected.size());
+    for (std::size_t b = 0; b < expected.size(); ++b)
+        EXPECT_EQ(preds[b], expected[b]);
 }
 
 } // namespace

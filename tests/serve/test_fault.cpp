@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection layer: same seed, same
+ * faults — plus rate calibration and index poisoning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+
+#include "serve/fault.hpp"
+
+namespace
+{
+
+using namespace dlrmopt;
+using namespace dlrmopt::serve;
+
+core::SparseBatch
+tinyBatch()
+{
+    core::SparseBatch b;
+    b.batchSize = 2;
+    b.indices = {{1, 2, 3, 4}, {5, 6}};
+    b.offsets = {{0, 2, 4}, {0, 1, 2}};
+    return b;
+}
+
+TEST(FaultInjector, RejectsBadConfig)
+{
+    FaultConfig bad;
+    bad.taskExceptionRate = 1.5;
+    EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+    bad = {};
+    bad.corruptIndexRate = -0.1;
+    EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+    bad = {};
+    bad.stragglerFactor = 0.5;
+    EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicInSeed)
+{
+    FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.taskExceptionRate = 0.2;
+    cfg.allocFailureRate = 0.1;
+    cfg.corruptIndexRate = 0.15;
+    const FaultInjector a(cfg), b(cfg);
+    for (std::uint64_t req = 0; req < 500; ++req) {
+        for (std::uint64_t att = 0; att < 3; ++att) {
+            EXPECT_EQ(a.taskExceptionHits(req, att),
+                      b.taskExceptionHits(req, att));
+            EXPECT_EQ(a.allocFailureHits(req, att),
+                      b.allocFailureHits(req, att));
+            EXPECT_EQ(a.corruptionHits(req, att),
+                      b.corruptionHits(req, att));
+        }
+    }
+
+    cfg.seed = 100;
+    const FaultInjector c(cfg);
+    int diff = 0;
+    for (std::uint64_t req = 0; req < 500; ++req) {
+        if (a.taskExceptionHits(req, 0) != c.taskExceptionHits(req, 0))
+            ++diff;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjector, HitRatesMatchConfiguredProbability)
+{
+    FaultConfig cfg;
+    cfg.taskExceptionRate = 0.05;
+    const FaultInjector inj(cfg);
+    int hits = 0;
+    for (std::uint64_t req = 0; req < 20'000; ++req) {
+        if (inj.taskExceptionHits(req, 0))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 20'000.0, 0.05, 0.01);
+}
+
+TEST(FaultInjector, MaybeThrowRaisesAndCounts)
+{
+    FaultConfig cfg;
+    cfg.taskExceptionRate = 1.0;
+    const FaultInjector inj(cfg);
+    EXPECT_THROW(inj.maybeThrow(0, 0), InjectedFault);
+    EXPECT_EQ(inj.injectedExceptions(), 1u);
+
+    FaultConfig alloc_cfg;
+    alloc_cfg.allocFailureRate = 1.0;
+    const FaultInjector alloc_inj(alloc_cfg);
+    EXPECT_THROW(alloc_inj.maybeThrow(0, 0), std::bad_alloc);
+    EXPECT_EQ(alloc_inj.injectedAllocFailures(), 1u);
+
+    const FaultInjector clean{FaultConfig{}};
+    EXPECT_NO_THROW(clean.maybeThrow(0, 0));
+}
+
+TEST(FaultInjector, CorruptionDrivesOneIndexOutOfRange)
+{
+    const std::size_t rows = 100;
+    FaultConfig cfg;
+    cfg.corruptIndexRate = 1.0;
+    const FaultInjector inj(cfg);
+
+    const auto batch = tinyBatch();
+    ASSERT_TRUE(batch.valid(rows));
+    const auto poisoned = inj.maybeCorrupt(batch, rows, 7, 0);
+    EXPECT_FALSE(poisoned.valid(rows));
+    EXPECT_EQ(inj.injectedCorruptions(), 1u);
+
+    // Exactly one index differs, and it is out of range.
+    int diffs = 0;
+    for (std::size_t t = 0; t < batch.numTables(); ++t) {
+        for (std::size_t i = 0; i < batch.indices[t].size(); ++i) {
+            if (batch.indices[t][i] != poisoned.indices[t][i]) {
+                ++diffs;
+                EXPECT_GE(poisoned.indices[t][i],
+                          static_cast<dlrmopt::RowIndex>(rows));
+            }
+        }
+    }
+    EXPECT_EQ(diffs, 1);
+
+    // No hit -> untouched copy.
+    FaultConfig off;
+    const FaultInjector none(off);
+    const auto same = none.maybeCorrupt(batch, rows, 7, 0);
+    EXPECT_TRUE(same.valid(rows));
+    EXPECT_EQ(same.indices, batch.indices);
+}
+
+TEST(FaultInjector, StragglerFactorAppliesToOneCore)
+{
+    FaultConfig cfg;
+    cfg.stragglerCore = 2;
+    cfg.stragglerFactor = 4.0;
+    const FaultInjector inj(cfg);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(0), 1.0);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(1), 1.0);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(2), 4.0);
+    EXPECT_DOUBLE_EQ(inj.serviceFactor(3), 1.0);
+}
+
+} // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "serve/loadgen.hpp"
@@ -18,6 +20,14 @@ TEST(PoissonLoadGen, RejectsNonPositiveMean)
 {
     EXPECT_THROW(PoissonLoadGen(0.0), std::invalid_argument);
     EXPECT_THROW(PoissonLoadGen(-3.0), std::invalid_argument);
+}
+
+TEST(PoissonLoadGen, RejectsNanAndInfiniteMean)
+{
+    EXPECT_THROW(PoissonLoadGen(std::nan("")), std::invalid_argument);
+    EXPECT_THROW(PoissonLoadGen(
+                     std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
 }
 
 TEST(PoissonLoadGen, ArrivalsAreStrictlyIncreasing)

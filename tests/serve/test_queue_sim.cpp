@@ -95,4 +95,54 @@ TEST(QueueSim, SaturationBlowsUpTail)
     EXPECT_LT(ok.latency.p95(), 50.0);
 }
 
+TEST(QueueSimShedding, LightLoadShedsNothingAndMatchesPlainSim)
+{
+    PoissonLoadGen g(10.0, 5);
+    const auto arrivals = g.arrivals(1000);
+    const auto plain = simulateQueue(arrivals, 5.0, 2);
+    const auto shed = simulateQueueShedding(arrivals, 5.0, 2, 500.0);
+    EXPECT_EQ(shed.arrived, 1000u);
+    EXPECT_EQ(shed.served, 1000u);
+    EXPECT_EQ(shed.shed, 0u);
+    EXPECT_EQ(shed.latency.samples(), plain.latency.samples());
+    EXPECT_DOUBLE_EQ(shed.serverUtilization, plain.serverUtilization);
+}
+
+TEST(QueueSimShedding, OverloadShedsButProtectsServedTail)
+{
+    // rho = 1.25: the unbounded queue blows through any SLA, while
+    // the shedding variant drops just enough load that every request
+    // it *does* serve finishes within the deadline.
+    PoissonLoadGen g(4.0, 9);
+    const auto arrivals = g.arrivals(2000);
+    const auto st = simulateQueueShedding(arrivals, 5.0, 1, 30.0);
+    EXPECT_GT(st.shed, 0u);
+    EXPECT_EQ(st.served + st.shed, 2000u);
+    EXPECT_LE(st.latency.p95(), 30.0);
+    EXPECT_GT(st.shedRate(), 0.0);
+    EXPECT_LT(st.shedRate(), 1.0);
+}
+
+TEST(QueueSimShedding, AdmissionOffReducesToPlainSimulation)
+{
+    PoissonLoadGen g(4.0, 9);
+    const auto arrivals = g.arrivals(500);
+    const auto plain = simulateQueue(arrivals, 5.0, 1);
+    const auto open =
+        simulateQueueShedding(arrivals, 5.0, 1, 30.0, false);
+    EXPECT_EQ(open.shed, 0u);
+    EXPECT_EQ(open.served, 500u);
+    EXPECT_EQ(open.latency.samples(), plain.latency.samples());
+}
+
+TEST(QueueSimShedding, RejectsBadArguments)
+{
+    EXPECT_THROW(simulateQueueShedding({1.0}, 5.0, 0, 10.0),
+                 std::invalid_argument);
+    EXPECT_THROW(simulateQueueShedding({1.0}, 0.0, 1, 10.0),
+                 std::invalid_argument);
+    EXPECT_THROW(simulateQueueShedding({1.0}, 5.0, 1, 0.0),
+                 std::invalid_argument);
+}
+
 } // namespace

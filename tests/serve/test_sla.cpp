@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "serve/loadgen.hpp"
 #include "serve/queue_sim.hpp"
@@ -74,6 +75,73 @@ TEST(SlaSearch, FasterServiceToleratesFasterArrivals)
     EXPECT_LT(b_fast, b_slow);
     // Roughly proportional to service time under fixed SLA headroom.
     EXPECT_GT(b_slow / b_fast, 1.2);
+}
+
+TEST(SlaSearch, RejectsDegenerateConfigs)
+{
+    SlaSearchConfig cfg; // defaults are valid
+    EXPECT_NO_THROW(validate(cfg));
+
+    SlaSearchConfig bad = cfg;
+    bad.serviceMs = 0.0;
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.serviceMs = std::nan("");
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.slaMs = -5.0;
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.slaMs = std::nan("");
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.servers = 0;
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.requests = 0;
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+    bad = cfg;
+    bad.iterations = 0;
+    EXPECT_THROW(minCompliantArrivalMs(bad), std::invalid_argument);
+}
+
+TEST(SlaSearchShedding, SheddingToleratesFasterArrivalsThanStrict)
+{
+    // With load shedding, the server can run closer to saturation:
+    // the compliant-arrival boundary at a 5% shed budget is at or
+    // below (faster than) the strict no-shed boundary.
+    SlaSearchConfig cfg;
+    cfg.serviceMs = 5.0;
+    cfg.servers = 2;
+    cfg.slaMs = 25.0;
+    cfg.requests = 4000;
+    const double strict = minCompliantArrivalMs(cfg);
+    const double shed = minCompliantArrivalShedding(cfg, 0.05);
+    EXPECT_LE(shed, strict * 1.001);
+
+    // And the boundary actually honors the shed budget.
+    PoissonLoadGen gen(shed, cfg.seed);
+    const auto st = simulateQueueShedding(gen.arrivals(cfg.requests),
+                                          cfg.serviceMs, cfg.servers,
+                                          cfg.slaMs);
+    EXPECT_LE(st.shedRate(), 0.05 * 1.001);
+    EXPECT_LE(st.latency.p95(), cfg.slaMs);
+}
+
+TEST(SlaSearchShedding, ImpossibleServiceAndBadBudgetRejected)
+{
+    SlaSearchConfig cfg;
+    cfg.serviceMs = 200.0;
+    cfg.slaMs = 100.0;
+    EXPECT_TRUE(std::isinf(minCompliantArrivalShedding(cfg, 0.1)));
+
+    SlaSearchConfig ok;
+    EXPECT_THROW(minCompliantArrivalShedding(ok, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(minCompliantArrivalShedding(ok, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(minCompliantArrivalShedding(ok, std::nan("")),
+                 std::invalid_argument);
 }
 
 TEST(SlaSearch, MoreServersToleratesFasterArrivals)

@@ -128,6 +128,37 @@ TEST(CliRun, TraceGenAndInfoRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(CliRun, ServeRunsBaselineAndDegradedSessions)
+{
+    // Tiny scaled model + short stream so the real-execution serving
+    // session stays unit-test fast. Faults are injected to prove the
+    // session survives them end to end.
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"serve", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "60",
+                   "--arrival-ms", "2.0", "--sla", "25", "--cores",
+                   "2", "--retries", "3", "--fault-exception-rate",
+                   "0.05", "--fault-straggler-core", "0",
+                   "--fault-straggler-factor", "2.0", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("baseline"), std::string::npos);
+    EXPECT_NE(s.find("degradation"), std::string::npos);
+    EXPECT_NE(s.find("arrived 60"), std::string::npos);
+    EXPECT_NE(s.find("p95"), std::string::npos);
+}
+
+TEST(CliRun, ServeRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"serve", "--requests", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"serve", "--fault-exception-rate", "2.0"}),
+                  out, err),
+              0);
+}
+
 TEST(CliRun, SweepRejectsUnknownAxis)
 {
     std::ostringstream out, err;

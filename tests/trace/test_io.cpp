@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
@@ -85,6 +87,103 @@ TEST_F(TraceIoTest, BadMagicThrows)
     std::ofstream os(path, std::ios::binary);
     const char junk[] = "this is not a trace file at all";
     os.write(junk, sizeof(junk));
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+namespace craft
+{
+
+void
+u64(std::ofstream& os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+vec(std::ofstream& os, const std::vector<dlrmopt::RowIndex>& v)
+{
+    u64(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(
+                 v.size() * sizeof(dlrmopt::RowIndex)));
+}
+
+constexpr std::uint64_t magic = 0x444c524d54524331ull;
+
+} // namespace craft
+
+TEST_F(TraceIoTest, NonMonotoneOffsetsThrow)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1); // one batch
+    craft::u64(os, 2); // batch size
+    craft::u64(os, 1); // one table
+    craft::vec(os, {0, 5, 3}); // offsets go backwards
+    craft::vec(os, {1, 2, 3});
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, OffsetsNotCoveringIndicesThrow)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1);
+    craft::u64(os, 2);
+    craft::u64(os, 1);
+    craft::vec(os, {0, 1, 7}); // claims 7 lookups...
+    craft::vec(os, {1, 2});    // ...but only 2 indices follow
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, WrongOffsetsLengthThrows)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1);
+    craft::u64(os, 4); // batch size 4 wants 5 offsets
+    craft::u64(os, 1);
+    craft::vec(os, {0, 2});
+    craft::vec(os, {1, 2});
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, NegativeIndexThrows)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1);
+    craft::u64(os, 2);
+    craft::u64(os, 1);
+    craft::vec(os, {0, 1, 2});
+    craft::vec(os, {1, -4});
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, ImplausibleVectorLengthThrows)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1);
+    craft::u64(os, 2);
+    craft::u64(os, 1);
+    craft::u64(os, 1ull << 60); // absurd offsets length
+    os.close();
+    EXPECT_THROW(loadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, ImplausibleTableCountThrows)
+{
+    std::ofstream os(path, std::ios::binary);
+    craft::u64(os, craft::magic);
+    craft::u64(os, 1);
+    craft::u64(os, 2);
+    craft::u64(os, 1ull << 40); // absurd table count
     os.close();
     EXPECT_THROW(loadTrace(path), std::runtime_error);
 }

@@ -4,7 +4,11 @@
 #include <stdexcept>
 
 #include "core/autotune.hpp"
+#include "core/dlrm.hpp"
 #include "platform/report.hpp"
+#include "sched/topology.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
 #include "trace/stats.hpp"
@@ -25,13 +29,17 @@ ParsedArgs::getInt(const std::string& key, long fallback) const
     const auto it = options.find(key);
     if (it == options.end())
         return fallback;
-    std::size_t pos = 0;
-    const long v = std::stol(it->second, &pos);
-    if (pos != it->second.size())
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing garbage");
+        return v;
+    } catch (const std::exception&) {
         throw std::invalid_argument("--" + key +
                                     " wants an integer, got '" +
                                     it->second + "'");
-    return v;
+    }
 }
 
 double
@@ -40,13 +48,17 @@ ParsedArgs::getDouble(const std::string& key, double fallback) const
     const auto it = options.find(key);
     if (it == options.end())
         return fallback;
-    std::size_t pos = 0;
-    const double v = std::stod(it->second, &pos);
-    if (pos != it->second.size())
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing garbage");
+        return v;
+    } catch (const std::exception&) {
         throw std::invalid_argument("--" + key +
                                     " wants a number, got '" +
                                     it->second + "'");
-    return v;
+    }
 }
 
 ParsedArgs
@@ -383,6 +395,83 @@ cmdTune(const ParsedArgs& args, std::ostream& out)
     return 0;
 }
 
+int
+cmdServe(const ParsedArgs& args, std::ostream& out)
+{
+    // A scaled-down Table 2 model that really executes on this host.
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 64.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    serve::ServerConfig scfg;
+    scfg.slaMs = args.getDouble("sla", 25.0);
+    scfg.serviceMs = args.getDouble("service-ms", 1.0);
+    scfg.admission = !args.has("no-admission");
+    scfg.maxRetries =
+        static_cast<std::size_t>(args.getInt("retries", 2));
+
+    serve::FaultConfig fc;
+    fc.seed = seed;
+    fc.taskExceptionRate =
+        args.getDouble("fault-exception-rate", 0.0);
+    fc.allocFailureRate = args.getDouble("fault-alloc-rate", 0.0);
+    fc.corruptIndexRate = args.getDouble("fault-corrupt-rate", 0.0);
+    fc.stragglerCore =
+        static_cast<int>(args.getInt("fault-straggler-core", -1));
+    fc.stragglerFactor =
+        args.getDouble("fault-straggler-factor", 1.0);
+    const serve::FaultInjector inj(fc);
+
+    const std::size_t cores =
+        static_cast<std::size_t>(args.getInt("cores", 2));
+    const std::size_t requests =
+        static_cast<std::size_t>(args.getInt("requests", 200));
+    const double arrival_ms = args.getDouble("arrival-ms", 2.0);
+    if (cores == 0)
+        throw std::invalid_argument("--cores must be >= 1");
+    if (requests == 0)
+        throw std::invalid_argument("--requests must be >= 1");
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg_model, parseHotness(args.get("hotness", "medium")), seed);
+    tc.batchSize = static_cast<std::size_t>(
+        args.getInt("batch-size", 16));
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 16; ++b)
+        batches.push_back(gen.batch(b));
+
+    core::DlrmModel model(cfg_model, seed);
+    core::Tensor dense(tc.batchSize, cfg_model.denseDim());
+    dense.randomize(seed + 1);
+
+    const auto arrivals =
+        serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
+
+    out << cfg_model.name << " scaled to "
+        << model.embeddingBytes() / (1u << 20) << " MB embeddings, "
+        << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
+        << "interarrival " << arrival_ms << " ms\n";
+
+    const auto topo = sched::Topology::synthetic(cores, 2);
+    {
+        serve::Server srv(model, topo, scfg, &inj);
+        const auto st = srv.serve(dense, batches, arrivals);
+        out << "baseline    " << st.summary() << "\n";
+    }
+    {
+        serve::ServerConfig dcfg = scfg;
+        dcfg.degrade.enabled = true;
+        serve::Server srv(model, topo, dcfg, &inj);
+        const auto st = srv.serve(dense, batches, arrivals);
+        out << "degradation " << st.summary() << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -399,6 +488,8 @@ usage()
            "  trace gen|info [options]    generate / inspect traces\n"
            "  tune [options]              auto-tune prefetching on "
            "this host\n"
+           "  serve [options]             fault-tolerant serving "
+           "session (real execution)\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -408,7 +499,15 @@ usage()
            "baseline|hwpf-off|swpf|dpht|mpht|integrated\n"
            "  --cores N --batches N --sim-tables N --seed N\n"
            "  --pf-distance N --pf-amount N --pf-hint T0|T1|T2\n"
-           "  --format text|csv|json\n";
+           "  --format text|csv|json\n"
+           "\n"
+           "serve options:\n"
+           "  --arrival-ms X --requests N --sla X --service-ms X\n"
+           "  --cores N --retries N --no-admission --batch-size N\n"
+           "  --max-bytes X (embedding scale-down budget)\n"
+           "  --fault-exception-rate P --fault-alloc-rate P\n"
+           "  --fault-corrupt-rate P --fault-straggler-core N\n"
+           "  --fault-straggler-factor X\n";
 }
 
 int
@@ -427,6 +526,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdTrace(args, out, err);
         if (args.command == "tune")
             return cmdTune(args, out);
+        if (args.command == "serve")
+            return cmdServe(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {

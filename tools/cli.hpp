@@ -11,6 +11,9 @@
  *   sweep --vary <axis> [...]   CSV sweep over one axis
  *   trace gen|info [...]        generate / inspect binary traces
  *   tune [options]              real-host prefetch auto-tune
+ *   serve [options]             fault-tolerant serving session with
+ *                               admission control, retries, optional
+ *                               fault injection and degradation
  */
 
 #ifndef DLRMOPT_TOOLS_CLI_HPP
