@@ -71,6 +71,10 @@ tunePrefetch(const EmbeddingTable& table, const RowIndex *indices,
             (table.dim() * sizeof(float) + 63) / 64;
         candidates = defaultTuneGrid(row_lines);
     }
+    // User-supplied candidates must fail loudly, not silently tune a
+    // disabled or hint-degraded spec.
+    for (const PrefetchSpec& spec : candidates)
+        spec.validate();
     repeats = std::max(repeats, 1);
 
     std::vector<float> out(samples * table.dim());

@@ -1,7 +1,9 @@
 #include "core/dlrm.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "core/gemm.hpp"
 #include "core/interaction.hpp"
@@ -9,20 +11,66 @@
 namespace dlrmopt::core
 {
 
-DlrmModel::DlrmModel(const ModelConfig& cfg, std::uint64_t seed)
-    : _cfg(cfg),
-      _bottom(cfg.bottomMlp, mix64(seed)),
-      _top(cfg.topMlpDims(), mix64(seed + 1))
+namespace
+{
+
+/** Shared constructor checks for every view kind. */
+void
+checkViewArgs(const ModelConfig& cfg, const EmbeddingStore *store,
+              std::size_t first_table, std::size_t num_tables)
 {
     if (cfg.bottomMlp.back() != cfg.dim) {
         throw std::invalid_argument(
             "bottom-MLP output width must equal the embedding dim");
     }
-    _tables.reserve(cfg.tables);
-    for (std::size_t t = 0; t < cfg.tables; ++t) {
-        _tables.push_back(std::make_unique<EmbeddingTable>(
-            cfg.rows, cfg.dim, mix64(seed + 100 + t)));
+    if (store == nullptr)
+        throw std::invalid_argument("DlrmModel: null embedding store");
+    if (store->numTables() != cfg.tables || store->rows() != cfg.rows ||
+        store->dim() != cfg.dim) {
+        throw std::invalid_argument(
+            "DlrmModel: store geometry does not match the model "
+            "config");
     }
+    if (num_tables == 0) {
+        throw std::invalid_argument(
+            "DlrmModel: a view needs at least one table");
+    }
+    if (first_table >= cfg.tables ||
+        num_tables > cfg.tables - first_table) {
+        throw std::invalid_argument(
+            "DlrmModel: table span [" + std::to_string(first_table) +
+            ", " + std::to_string(first_table + num_tables) +
+            ") exceeds the model's " + std::to_string(cfg.tables) +
+            " tables");
+    }
+}
+
+} // namespace
+
+DlrmModel::DlrmModel(const ModelConfig& cfg, std::uint64_t seed)
+    : DlrmModel(cfg, EmbeddingStore::create(cfg, seed), seed)
+{
+}
+
+DlrmModel::DlrmModel(const ModelConfig& cfg,
+                     std::shared_ptr<const EmbeddingStore> store,
+                     std::uint64_t seed)
+    : DlrmModel(cfg, std::move(store), 0, cfg.tables, seed)
+{
+}
+
+DlrmModel::DlrmModel(const ModelConfig& cfg,
+                     std::shared_ptr<const EmbeddingStore> store,
+                     std::size_t first_table, std::size_t num_tables,
+                     std::uint64_t seed)
+    : _cfg(cfg),
+      _bottom(cfg.bottomMlp, mix64(seed)),
+      _top(cfg.topMlpDims(), mix64(seed + 1)),
+      _store(std::move(store)),
+      _firstTable(first_table),
+      _numTables(num_tables)
+{
+    checkViewArgs(_cfg, _store.get(), first_table, num_tables);
 }
 
 void
@@ -37,10 +85,12 @@ DlrmModel::embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
 {
     assert(sparse.numTables() == _cfg.tables);
     const std::size_t batch = sparse.batchSize;
-    emb_out.reshape(_cfg.tables, batch * _cfg.dim);
-    for (std::size_t t = 0; t < _cfg.tables; ++t) {
-        _tables[t]->bag(sparse.indices[t].data(), sparse.offsets[t].data(),
-                        batch, emb_out.row(t), pf);
+    emb_out.reshape(_numTables, batch * _cfg.dim);
+    for (std::size_t t = 0; t < _numTables; ++t) {
+        const std::size_t g = _firstTable + t;
+        _store->table(g).bag(sparse.indices[g].data(),
+                             sparse.offsets[g].data(), batch,
+                             emb_out.row(t), pf);
     }
 }
 
@@ -68,11 +118,59 @@ void
 DlrmModel::forward(const Tensor& dense, const SparseBatch& sparse,
                    DlrmWorkspace& ws, const PrefetchSpec& pf) const
 {
+    if (!isFullView()) {
+        throw std::logic_error(
+            "DlrmModel::forward: shard views cannot run the full pass; "
+            "merge shard embedding blocks with mergeShardEmbeddings()");
+    }
     bottomForward(dense, ws.bottomOut);
     embeddingForward(sparse, ws.embOut, pf);
     interactionForward(ws.bottomOut, ws.embOut, sparse.batchSize,
                        ws.interOut);
     topForward(ws.interOut, ws.pred);
+}
+
+void
+mergeShardEmbeddings(const std::vector<const DlrmModel *>& shards,
+                     const std::vector<const Tensor *>& parts,
+                     std::size_t batch, Tensor& out)
+{
+    if (shards.empty() || shards.size() != parts.size()) {
+        throw std::invalid_argument(
+            "mergeShardEmbeddings: need one part per shard");
+    }
+    const ModelConfig& cfg = shards.front()->config();
+    const std::size_t block = batch * cfg.dim;
+    std::vector<bool> covered(cfg.tables, false);
+    out.reshape(cfg.tables, block);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const DlrmModel& shard = *shards[s];
+        const Tensor& part = *parts[s];
+        if (part.rows() != shard.numLocalTables() ||
+            part.cols() != block) {
+            throw std::invalid_argument(
+                "mergeShardEmbeddings: part " + std::to_string(s) +
+                " has the wrong shape");
+        }
+        for (std::size_t t = 0; t < shard.numLocalTables(); ++t) {
+            const std::size_t g = shard.firstTable() + t;
+            if (covered[g]) {
+                throw std::invalid_argument(
+                    "mergeShardEmbeddings: table " + std::to_string(g) +
+                    " covered twice");
+            }
+            covered[g] = true;
+            std::memcpy(out.row(g), part.row(t),
+                        block * sizeof(float));
+        }
+    }
+    for (std::size_t g = 0; g < cfg.tables; ++g) {
+        if (!covered[g]) {
+            throw std::invalid_argument(
+                "mergeShardEmbeddings: table " + std::to_string(g) +
+                " not covered by any shard");
+        }
+    }
 }
 
 } // namespace dlrmopt::core

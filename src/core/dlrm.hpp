@@ -2,6 +2,14 @@
  * @file
  * The full DLRM inference model: bottom MLP, embedding tables,
  * feature interaction, and top MLP (Fig. 2 of the paper).
+ *
+ * Model parameters are split by weight class: the capacity-dominant
+ * embedding tables live in a shared, immutable EmbeddingStore, and
+ * DlrmModel is a cheap *view* over it — either a full replica
+ * (referencing every table) or a table-subset shard. N serving
+ * instances over one store therefore cost N small MLPs and zero extra
+ * embedding bytes, which is what makes multi-instance serving fit on
+ * one host.
  */
 
 #ifndef DLRMOPT_CORE_DLRM_HPP
@@ -12,6 +20,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "core/embedding_store.hpp"
 #include "core/mlp.hpp"
 #include "core/model_config.hpp"
 #include "core/sparse_input.hpp"
@@ -33,41 +42,104 @@ struct DlrmWorkspace
 };
 
 /**
- * A materialized DLRM with real weights and embedding tables.
+ * A DLRM view: private MLP weights plus a shared reference to the
+ * embedding store.
  *
- * Construction allocates rows * dim * 4 bytes per table; use
- * ModelConfig::scaledToFit() before constructing on small hosts.
+ * A *full view* references every table and supports the complete
+ * forward pass. A *shard view* references a contiguous table subset
+ * [firstTable, firstTable + numLocalTables); its embeddingForward
+ * produces the partial [numLocalTables x (batch * dim)] block, and
+ * mergeShardEmbeddings() reassembles the full tensor before the
+ * interaction stage.
  */
 class DlrmModel
 {
   public:
     /**
-     * Builds the model with deterministic pseudo-random parameters.
+     * Builds a standalone model with deterministic pseudo-random
+     * parameters, allocating a private store (the pre-refactor
+     * behaviour; bitwise-identical contents).
      *
      * @param cfg Architecture description (see Table 2 presets).
      * @param seed Seed for reproducible weights/table contents.
      */
     explicit DlrmModel(const ModelConfig& cfg, std::uint64_t seed = 42);
 
+    /**
+     * Builds a full replica view over an existing store: fresh MLP
+     * weights (seed-derived, so equal seeds give bitwise-equal
+     * replicas), zero embedding bytes allocated.
+     *
+     * @throws std::invalid_argument when the store geometry does not
+     *         match cfg (tables/rows/dim).
+     */
+    DlrmModel(const ModelConfig& cfg,
+              std::shared_ptr<const EmbeddingStore> store,
+              std::uint64_t seed = 42);
+
+    /**
+     * Builds a shard view over tables
+     * [first_table, first_table + num_tables).
+     *
+     * @throws std::invalid_argument on an empty or out-of-range table
+     *         span, or on store/cfg geometry mismatch.
+     */
+    DlrmModel(const ModelConfig& cfg,
+              std::shared_ptr<const EmbeddingStore> store,
+              std::size_t first_table, std::size_t num_tables,
+              std::uint64_t seed = 42);
+
     const ModelConfig& config() const { return _cfg; }
 
-    const EmbeddingTable& table(std::size_t t) const { return *_tables[t]; }
+    /** The shared table storage backing this view. */
+    const std::shared_ptr<const EmbeddingStore>& store() const
+    {
+        return _store;
+    }
+
+    /** Table by *global* table id (same id space as the store). */
+    const EmbeddingTable& table(std::size_t t) const
+    {
+        return _store->table(t);
+    }
+
+    /** True when this view references every table of the model. */
+    bool
+    isFullView() const
+    {
+        return _firstTable == 0 && _numTables == _cfg.tables;
+    }
+
+    /** First global table id referenced by this view. */
+    std::size_t firstTable() const { return _firstTable; }
+
+    /** Number of tables this view references. */
+    std::size_t numLocalTables() const { return _numTables; }
 
     /** Runs the bottom MLP: dense [batch x denseDim] -> [batch x dim]. */
     void bottomForward(const Tensor& dense, Tensor& out) const;
 
     /**
-     * Runs the embedding lookup stage over all tables.
+     * Runs the embedding lookup stage over this view's tables.
      *
-     * @param sparse Lookup indices/offsets for the batch.
-     * @param emb_out Output reshaped to [tables x (batch * dim)];
-     *                row t holds table t's pooled [batch x dim] block.
+     * @param sparse Lookup indices/offsets for the *full* batch (all
+     *               cfg.tables tables); a shard view reads only its
+     *               own tables' streams.
+     * @param emb_out Output reshaped to
+     *                [numLocalTables() x (batch * dim)]; row i holds
+     *                the pooled block of global table firstTable()+i.
+     *                For a full view this is the usual
+     *                [tables x (batch * dim)] layout.
      * @param pf Software-prefetch configuration for embedding_bag.
      */
     void embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
                           const PrefetchSpec& pf = {}) const;
 
-    /** Runs feature interaction given both stage outputs. */
+    /**
+     * Runs feature interaction given both stage outputs. Requires the
+     * *full* [tables x (batch * dim)] embedding tensor (merge shard
+     * blocks first).
+     */
     void interactionForward(const Tensor& bottom_out, const Tensor& emb_out,
                             std::size_t batch, Tensor& out) const;
 
@@ -81,6 +153,10 @@ class DlrmModel
      * @param sparse Sparse lookups for the same batch.
      * @param ws Scratch workspace (reused across calls).
      * @param pf Software-prefetch configuration.
+     *
+     * @throws std::logic_error on a shard view — the interaction
+     *         stage needs every table's block; run embeddingForward
+     *         per shard and mergeShardEmbeddings() instead.
      */
     void forward(const Tensor& dense, const SparseBatch& sparse,
                  DlrmWorkspace& ws, const PrefetchSpec& pf = {}) const;
@@ -88,13 +164,17 @@ class DlrmModel
     const Mlp& bottomMlp() const { return _bottom; }
     const Mlp& topMlp() const { return _top; }
 
-    /** Total bytes held in embedding tables. */
+    /**
+     * Bytes of embedding storage *referenced* by this view (the full
+     * store for a replica, the subset for a shard). Views share the
+     * store: constructing more of them allocates nothing.
+     */
     std::size_t
     embeddingBytes() const
     {
         std::size_t n = 0;
-        for (const auto& t : _tables)
-            n += t->bytes();
+        for (std::size_t t = 0; t < _numTables; ++t)
+            n += _store->table(_firstTable + t).bytes();
         return n;
     }
 
@@ -102,8 +182,29 @@ class DlrmModel
     ModelConfig _cfg;
     Mlp _bottom;
     Mlp _top;
-    std::vector<std::unique_ptr<EmbeddingTable>> _tables;
+    std::shared_ptr<const EmbeddingStore> _store;
+    std::size_t _firstTable = 0;
+    std::size_t _numTables = 0;
 };
+
+/**
+ * Reassembles per-shard partial embedding outputs into the full
+ * [tables x (batch * dim)] tensor a full view's interactionForward
+ * expects.
+ *
+ * @param shards Shard views that together cover every table of the
+ *        model exactly once (any order).
+ * @param parts parts[i] is shards[i]'s embeddingForward output.
+ * @param batch Batch size the blocks were produced with.
+ * @param out Reshaped to [tables x (batch * dim)] and filled.
+ *
+ * @throws std::invalid_argument on size mismatch between shards and
+ *         parts, a part with the wrong shape, or a table covered
+ *         zero or multiple times.
+ */
+void mergeShardEmbeddings(const std::vector<const DlrmModel *>& shards,
+                          const std::vector<const Tensor *>& parts,
+                          std::size_t batch, Tensor& out);
 
 } // namespace dlrmopt::core
 

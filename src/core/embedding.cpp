@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
 
 namespace dlrmopt::core
@@ -12,6 +14,30 @@ namespace dlrmopt::core
 
 namespace
 {
+
+/**
+ * Validates the table geometry before any allocation happens and
+ * returns the element count. Kept as a helper so the constructor can
+ * run it inside the member-initializer list, ahead of the _data
+ * allocation.
+ */
+std::size_t
+checkedTableSize(std::size_t rows, std::size_t dim)
+{
+    if (rows == 0 || dim == 0) {
+        throw std::invalid_argument(
+            "EmbeddingTable: rows and dim must be positive, got " +
+            std::to_string(rows) + " x " + std::to_string(dim));
+    }
+    const std::size_t max_elems =
+        std::numeric_limits<std::size_t>::max() / sizeof(float);
+    if (rows > max_elems / dim) {
+        throw std::invalid_argument(
+            "EmbeddingTable: " + std::to_string(rows) + " x " +
+            std::to_string(dim) + " overflows the byte-size computation");
+    }
+    return rows * dim;
+}
 
 /**
  * Issues __builtin_prefetch for the first @p lines cache lines of the
@@ -46,9 +72,29 @@ prefetchRow(const float *row_ptr, int lines, std::size_t dim, int locality)
 
 } // namespace
 
+void
+PrefetchSpec::validate() const
+{
+    if (distance < 0) {
+        throw std::invalid_argument(
+            "PrefetchSpec: distance must be >= 0, got " +
+            std::to_string(distance));
+    }
+    if (lines < 0) {
+        throw std::invalid_argument(
+            "PrefetchSpec: lines must be >= 0, got " +
+            std::to_string(lines));
+    }
+    if (locality < 0 || locality > 3) {
+        throw std::invalid_argument(
+            "PrefetchSpec: locality must be in [0, 3] (NTA..T0), got " +
+            std::to_string(locality));
+    }
+}
+
 EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim,
                                std::uint64_t seed)
-    : _rows(rows), _dim(dim), _data(rows * dim)
+    : _rows(rows), _dim(dim), _data(checkedTableSize(rows, dim))
 {
     // Row contents only need to be deterministic and nonuniform enough
     // for checksum-style validation; a cheap counter hash suffices and

@@ -47,6 +47,18 @@ struct PrefetchSpec
 
     bool enabled() const { return distance > 0 && lines > 0; }
 
+    /**
+     * Rejects silently-misbehaving values. A negative distance or
+     * lines quietly disables prefetching (enabled() is false) and a
+     * locality outside 0..3 silently degrades to the NTA hint; entry
+     * points that accept user-supplied specs (autotuner, evaluator,
+     * CLI) call this so such mistakes are loud errors instead.
+     *
+     * @throws std::invalid_argument on a negative distance/lines or a
+     *         locality outside [0, 3].
+     */
+    void validate() const;
+
     /** The paper's tuned configuration for Cascade Lake. */
     static PrefetchSpec
     paperDefault()
@@ -68,6 +80,9 @@ class EmbeddingTable
      * @param rows Number of embedding rows (categorical values).
      * @param dim Embedding vector dimension.
      * @param seed Seed for reproducible contents.
+     *
+     * @throws std::invalid_argument when rows or dim is zero, or when
+     *         rows * dim * sizeof(float) would overflow std::size_t.
      */
     EmbeddingTable(std::size_t rows, std::size_t dim, std::uint64_t seed);
 

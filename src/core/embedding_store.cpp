@@ -1,0 +1,23 @@
+#include "core/embedding_store.hpp"
+
+#include <stdexcept>
+
+namespace dlrmopt::core
+{
+
+EmbeddingStore::EmbeddingStore(const ModelConfig& cfg,
+                               std::uint64_t seed)
+    : _rows(cfg.rows), _dim(cfg.dim)
+{
+    if (cfg.tables == 0) {
+        throw std::invalid_argument(
+            "EmbeddingStore: model needs at least one table");
+    }
+    _tables.reserve(cfg.tables);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        _tables.push_back(std::make_unique<EmbeddingTable>(
+            cfg.rows, cfg.dim, mix64(seed + 100 + t)));
+    }
+}
+
+} // namespace dlrmopt::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared, immutable embedding-table storage.
+ *
+ * Embedding tables dominate DLRM capacity (Table 2: up to ~100 GB),
+ * so multi-instance serving cannot afford one private copy per
+ * instance. An EmbeddingStore owns the full table set once; any
+ * number of DlrmModel views — full replicas or table-subset shards —
+ * reference it through a shared_ptr without copying a byte. The store
+ * is immutable after construction, which is what makes concurrent
+ * lock-free reads from every serving instance safe.
+ */
+
+#ifndef DLRMOPT_CORE_EMBEDDING_STORE_HPP
+#define DLRMOPT_CORE_EMBEDDING_STORE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/model_config.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * The single owned copy of a model's embedding tables.
+ *
+ * Construction allocates rows * dim * 4 bytes per table; everything
+ * downstream (DlrmModel replicas/shards, Server instances, the
+ * Router) only holds references.
+ */
+class EmbeddingStore
+{
+  public:
+    /**
+     * Builds all cfg.tables tables with deterministic pseudo-random
+     * contents. Table t is seeded with mix64(seed + 100 + t) — the
+     * exact derivation DlrmModel used when it owned its tables, so
+     * store-backed models are bitwise-identical to the old layout.
+     *
+     * @param cfg Architecture description (rows/dim/tables).
+     * @param seed Seed for reproducible table contents.
+     */
+    explicit EmbeddingStore(const ModelConfig& cfg,
+                            std::uint64_t seed = 42);
+
+    /** Convenience: heap-allocates a store ready for sharing. */
+    static std::shared_ptr<const EmbeddingStore>
+    create(const ModelConfig& cfg, std::uint64_t seed = 42)
+    {
+        return std::make_shared<const EmbeddingStore>(cfg, seed);
+    }
+
+    std::size_t numTables() const { return _tables.size(); }
+    std::size_t rows() const { return _rows; }
+    std::size_t dim() const { return _dim; }
+
+    const EmbeddingTable& table(std::size_t t) const
+    {
+        return *_tables[t];
+    }
+
+    /** Total bytes held across all tables (the one real copy). */
+    std::size_t
+    bytes() const
+    {
+        std::size_t n = 0;
+        for (const auto& t : _tables)
+            n += t->bytes();
+        return n;
+    }
+
+  private:
+    std::size_t _rows;
+    std::size_t _dim;
+    std::vector<std::unique_ptr<EmbeddingTable>> _tables;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_EMBEDDING_STORE_HPP

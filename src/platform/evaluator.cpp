@@ -31,6 +31,9 @@ resolvePrefetchSpec(const EvalConfig& cfg)
     pf.distance = cfg.pfDistance;
     pf.lines = cfg.pfAmount >= 0 ? cfg.pfAmount : cfg.cpu.bestPfAmount;
     pf.locality = cfg.pfLocality;
+    // EvalConfigs carry user input (CLI flags); a negative distance
+    // or out-of-range hint must not silently change the scheme.
+    pf.validate();
     return pf;
 }
 

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -80,6 +81,27 @@ Topology::detect()
     for (unsigned cpu = 0; cpu < n; ++cpu)
         t._cores.push_back({static_cast<int>(cpu)});
     return t;
+}
+
+std::vector<Topology>
+Topology::partition(std::size_t n) const
+{
+    if (n == 0 || n > _cores.size()) {
+        throw std::invalid_argument(
+            "Topology::partition: need 1.." +
+            std::to_string(_cores.size()) + " groups, got " +
+            std::to_string(n));
+    }
+    std::vector<Topology> groups(n);
+    const std::size_t base = _cores.size() / n;
+    const std::size_t extra = _cores.size() % n;
+    std::size_t next = 0;
+    for (std::size_t g = 0; g < n; ++g) {
+        const std::size_t take = base + (g < extra ? 1 : 0);
+        for (std::size_t c = 0; c < take; ++c)
+            groups[g]._cores.push_back(_cores[next++]);
+    }
+    return groups;
 }
 
 Topology

@@ -61,6 +61,18 @@ class Topology
     static Topology detect();
 
     /**
+     * Splits the physical cores into @p n disjoint contiguous groups
+     * of near-equal size (the first cores % n groups get one extra
+     * core). Each group is a standalone Topology suitable for one
+     * serving instance, so a Router over N instances can give every
+     * instance its own private core set with no sharing.
+     *
+     * @throws std::invalid_argument when n is zero or exceeds
+     *         numPhysicalCores().
+     */
+    std::vector<Topology> partition(std::size_t n) const;
+
+    /**
      * Builds a synthetic topology (used in tests and on hosts without
      * SMT to exercise the HT-aware code paths).
      *

@@ -1,0 +1,369 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/degrade.hpp"
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+/** One scheduled attempt in the cluster-level virtual-time loop. */
+struct RAttempt
+{
+    double readyMs;          //!< earliest virtual start
+    std::uint64_t seq;       //!< deterministic tie-break
+    std::uint64_t req;       //!< request id
+    std::uint64_t tries;     //!< attempts burned on current instance
+    std::uint64_t failovers; //!< instances already given up on
+    int instance;            //!< pinned instance (retries), -1 = route
+    int exclude;             //!< instance to avoid when routing, -1 = none
+    double arrivalMs;        //!< original arrival (latency baseline)
+};
+
+struct RAttemptLater
+{
+    bool
+    operator()(const RAttempt& a, const RAttempt& b) const
+    {
+        if (a.readyMs != b.readyMs)
+            return a.readyMs > b.readyMs;
+        return a.seq > b.seq;
+    }
+};
+
+/** Counter-based uniform [0,1) draw for power-of-two sampling. */
+double
+drawUnit(std::uint64_t seed, std::uint64_t kind, std::uint64_t req,
+         std::uint64_t failovers)
+{
+    using dlrmopt::mix64;
+    return dlrmopt::toUnitInterval(
+        mix64(seed ^ mix64(kind + mix64(req + mix64(failovers)))));
+}
+
+} // namespace
+
+const char *
+routePolicyName(RoutePolicy p)
+{
+    switch (p) {
+      case RoutePolicy::RoundRobin:
+        return "rr";
+      case RoutePolicy::PowerOfTwo:
+        return "po2";
+      case RoutePolicy::HealthAware:
+        return "health";
+    }
+    return "?";
+}
+
+RoutePolicy
+parseRoutePolicy(const std::string& name)
+{
+    if (name == "rr" || name == "round-robin")
+        return RoutePolicy::RoundRobin;
+    if (name == "po2" || name == "power-of-two")
+        return RoutePolicy::PowerOfTwo;
+    if (name == "health" || name == "health-aware")
+        return RoutePolicy::HealthAware;
+    throw std::invalid_argument("unknown routing policy '" + name +
+                                "' (rr|po2|health)");
+}
+
+std::string
+RouterStats::summary() const
+{
+    char buf[320];
+    const double pct = total.served
+        ? 100.0 * static_cast<double>(compliant) /
+            static_cast<double>(total.served)
+        : 0.0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "arrived %zu served %zu shed %zu (cluster %zu) failed %zu "
+        "retried %zu failovers %zu (shed %.1f%%) | p50 %.3f p95 %.3f "
+        "p99 %.3f ms | compliant %zu (%.1f%% of served)",
+        total.arrived, total.served, total.shed, clusterShed,
+        total.failed, total.retried, failovers,
+        100.0 * total.shedRate(), total.latency.percentile(50.0),
+        total.latency.p95(), total.latency.p99(), compliant, pct);
+    return buf;
+}
+
+Router::Router(const core::ModelConfig& model_cfg,
+               std::shared_ptr<const core::EmbeddingStore> store,
+               const sched::Topology& topo, const RouterConfig& cfg,
+               std::vector<const FaultInjector *> faults,
+               std::uint64_t model_seed)
+    : _cfg(cfg), _faults(std::move(faults)), _store(std::move(store))
+{
+    if (cfg.instances == 0) {
+        throw std::invalid_argument(
+            "Router: need at least one instance");
+    }
+    const auto groups = topo.partition(cfg.instances);
+    _faults.resize(cfg.instances, nullptr);
+    _models.reserve(cfg.instances);
+    _servers.reserve(cfg.instances);
+    for (std::size_t i = 0; i < cfg.instances; ++i) {
+        // Full-replica view: private MLP weights, shared tables.
+        _models.push_back(std::make_unique<core::DlrmModel>(
+            model_cfg, _store, model_seed));
+        _servers.push_back(std::make_unique<Server>(
+            *_models.back(), groups[i], cfg.server, _faults[i]));
+    }
+}
+
+RouterStats
+Router::serve(const core::Tensor& dense,
+              const std::vector<core::SparseBatch>& batches,
+              const std::vector<double>& arrivals_ms,
+              const core::PrefetchSpec& pf)
+{
+    if (batches.empty())
+        throw std::invalid_argument("Router: need at least one batch");
+
+    const std::size_t n = _servers.size();
+    const std::size_t rows = _models.front()->config().rows;
+    const double sla = _cfg.server.slaMs;
+    // Instances run at full capability; graceful degradation remains
+    // an instance-local feature of Server::serve sessions.
+    const DegradeState tier = DegradationPolicy::stateForTier(0);
+
+    RouterStats rs;
+    rs.total.arrived = arrivals_ms.size();
+    rs.perInstance.resize(n);
+
+    // Per-instance routing state, all advanced on the virtual clock.
+    std::vector<std::vector<double>> free_at(n);
+    std::vector<WindowedP95> wins;
+    std::vector<std::uint64_t> sheds(n, 0);
+    std::vector<double> busy(n, 0.0);
+    std::size_t total_cores = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        free_at[i].assign(_servers[i]->numCores(), 0.0);
+        wins.emplace_back(_cfg.healthWindow);
+        total_cores += _servers[i]->numCores();
+    }
+
+    // Earliest-free core of an instance (lowest index on ties).
+    const auto earliestCore = [&](std::size_t i) -> std::size_t {
+        std::size_t core = 0;
+        for (std::size_t c = 1; c < free_at[i].size(); ++c) {
+            if (free_at[i][c] < free_at[i][core])
+                core = c;
+        }
+        return core;
+    };
+    const auto projectedWait = [&](std::size_t i,
+                                   double ready) -> double {
+        return std::max(0.0, free_at[i][earliestCore(i)] - ready);
+    };
+    const auto serviceOn = [&](std::size_t i,
+                               std::size_t core) -> double {
+        const double straggle =
+            _faults[i] ? _faults[i]->serviceFactor(core) : 1.0;
+        return _cfg.server.serviceMs * tier.serviceFactor * straggle;
+    };
+    const auto healthScore = [&](std::size_t i, double ready) {
+        const double penalty =
+            _cfg.failurePenaltyMs *
+            static_cast<double>(_servers[i]->totalFailed() + sheds[i]);
+        return projectedWait(i, ready) + wins[i].p95() + penalty;
+    };
+
+    std::uint64_t rr = 0;
+    const auto route = [&](const RAttempt& a) -> std::size_t {
+        if (n == 1)
+            return 0;
+        switch (_cfg.policy) {
+          case RoutePolicy::RoundRobin: {
+            std::size_t i = rr++ % n;
+            if (static_cast<int>(i) == a.exclude)
+                i = rr++ % n;
+            return i;
+          }
+          case RoutePolicy::PowerOfTwo: {
+            // Two seed-derived candidates (skipping any excluded
+            // instance), least-queued wins, lower index on ties.
+            const auto pick = [&](std::uint64_t kind) -> std::size_t {
+                const std::size_t span =
+                    a.exclude >= 0 ? n - 1 : n;
+                std::size_t i = static_cast<std::size_t>(
+                    drawUnit(_cfg.seed, kind, a.req, a.failovers) *
+                    static_cast<double>(span));
+                i = std::min(i, span - 1);
+                if (a.exclude >= 0 &&
+                    i >= static_cast<std::size_t>(a.exclude))
+                    ++i;
+                return i;
+            };
+            const std::size_t c1 = pick(1);
+            const std::size_t c2 = pick(2);
+            const double w1 = projectedWait(c1, a.readyMs);
+            const double w2 = projectedWait(c2, a.readyMs);
+            if (w1 != w2)
+                return w1 < w2 ? c1 : c2;
+            return std::min(c1, c2);
+          }
+          case RoutePolicy::HealthAware: {
+            std::size_t best = n; // sentinel
+            double best_score = std::numeric_limits<double>::max();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (static_cast<int>(i) == a.exclude)
+                    continue;
+                const double s = healthScore(i, a.readyMs);
+                if (s < best_score) {
+                    best_score = s;
+                    best = i;
+                }
+            }
+            return best;
+          }
+        }
+        return 0;
+    };
+
+    // Dense inputs per batch size, reference-stable while tasks run.
+    std::map<std::size_t, core::Tensor> dense_by_rows;
+    const auto denseFor =
+        [&](std::size_t nrows) -> const core::Tensor& {
+        auto it = dense_by_rows.find(nrows);
+        if (it == dense_by_rows.end()) {
+            core::Tensor t(nrows, dense.cols());
+            std::memcpy(t.data(), dense.data(),
+                        nrows * dense.cols() * sizeof(float));
+            it = dense_by_rows.emplace(nrows, std::move(t)).first;
+        }
+        return it->second;
+    };
+
+    std::priority_queue<RAttempt, std::vector<RAttempt>, RAttemptLater>
+        events;
+    std::uint64_t seq = 0;
+    for (std::size_t r = 0; r < arrivals_ms.size(); ++r) {
+        events.push(RAttempt{arrivals_ms[r], seq++, r, 0, 0, -1, -1,
+                             arrivals_ms[r]});
+    }
+
+    double makespan = 0.0;
+
+    while (!events.empty()) {
+        const RAttempt a = events.top();
+        events.pop();
+
+        const std::size_t inst =
+            a.instance >= 0 ? static_cast<std::size_t>(a.instance)
+                            : route(a);
+        ServeStats& pis = rs.perInstance[inst];
+        if (a.tries == 0)
+            ++pis.arrived;
+
+        const std::size_t core = earliestCore(inst);
+        const double start = std::max(free_at[inst][core], a.readyMs);
+        const double wait = start - a.readyMs;
+        const double service = serviceOn(inst, core);
+
+        // Admission control at the routed instance. Retries and
+        // failovers are always admitted — their work is already paid
+        // for. A shed where no instance could have met the deadline
+        // is additionally a cluster-level shed.
+        if (_cfg.server.admission && a.tries == 0 &&
+            a.failovers == 0 && wait + service > sla) {
+            ++rs.total.shed;
+            ++pis.shed;
+            ++sheds[inst];
+            bool any_fits = false;
+            for (std::size_t j = 0; j < n && !any_fits; ++j) {
+                any_fits = projectedWait(j, a.readyMs) +
+                               serviceOn(j, earliestCore(j)) <=
+                           sla;
+            }
+            if (!any_fits)
+                ++rs.clusterShed;
+            continue;
+        }
+
+        // Real execution on the instance's private pool.
+        const core::SparseBatch& base =
+            batches[a.req % batches.size()];
+        core::SparseBatch sparse = _faults[inst]
+            ? _faults[inst]->maybeCorrupt(base, rows, a.req, a.tries)
+            : base;
+
+        bool ok = true;
+        try {
+            rs.total.execTotalMs += _servers[inst]->executeAttempt(
+                core, denseFor(sparse.batchSize), sparse, tier, pf,
+                a.req, a.tries);
+        } catch (...) {
+            ok = false;
+        }
+
+        const double end = start + service;
+        free_at[inst][core] = end;
+        busy[inst] += service;
+        makespan = std::max(makespan, end);
+
+        if (ok) {
+            ++rs.total.served;
+            ++pis.served;
+            const double latency = end - a.arrivalMs;
+            rs.total.latency.add(latency);
+            pis.latency.add(latency);
+            wins[inst].add(latency);
+            if (latency <= sla)
+                ++rs.compliant;
+        } else if (a.tries < _cfg.server.maxRetries) {
+            ++rs.total.retried;
+            ++pis.retried;
+            const double backoff = std::min(
+                _cfg.server.backoffBaseMs *
+                    static_cast<double>(1ull << a.tries),
+                _cfg.server.backoffCapMs);
+            events.push(RAttempt{end + backoff, seq++, a.req,
+                                 a.tries + 1, a.failovers,
+                                 static_cast<int>(inst), a.exclude,
+                                 a.arrivalMs});
+        } else if (a.failovers < _cfg.maxFailovers && n > 1) {
+            // Retry budget exhausted here: hand the request to a
+            // different replica with a fresh budget, once.
+            ++rs.failovers;
+            events.push(RAttempt{end + _cfg.server.backoffBaseMs,
+                                 seq++, a.req, 0, a.failovers + 1, -1,
+                                 static_cast<int>(inst), a.arrivalMs});
+        } else {
+            ++rs.total.failed;
+            ++pis.failed;
+        }
+    }
+
+    rs.makespanMs = makespan;
+    if (makespan > 0.0) {
+        double busy_total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            busy_total += busy[i];
+            rs.perInstance[i].serverUtilization =
+                busy[i] /
+                (makespan *
+                 static_cast<double>(free_at[i].size()));
+        }
+        rs.total.serverUtilization =
+            busy_total /
+            (makespan * static_cast<double>(total_cores));
+    }
+    return rs;
+}
+
+} // namespace dlrmopt::serve

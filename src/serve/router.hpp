@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Health-aware front-end router over N serving instances.
+ *
+ * The paper's at-scale configuration (Sec. 6.5) runs one independent
+ * serving instance per physical core. This router is the tier in
+ * front of them: it owns N Server instances — each a full-replica
+ * DlrmModel view over one shared EmbeddingStore, each with a private
+ * disjoint core group from Topology::partition() — and dispatches a
+ * Poisson request stream across them.
+ *
+ * Routing policies:
+ *  - round-robin: requests cycle through instances;
+ *  - power-of-two-choices: two seed-derived candidate instances,
+ *    the less-queued one (earliest projected start) wins;
+ *  - health-aware: every instance is scored by projected queue wait
+ *    plus penalties for its recent served-latency p95 (WindowedP95)
+ *    and its accumulated failure/shed history (CoreHealth::failed and
+ *    admission sheds) — the lowest score wins.
+ *
+ * Fault handling composes with the per-instance machinery: a request
+ * that exhausts its retry budget on one instance is re-dispatched
+ * once (maxFailovers) to a different instance chosen by the same
+ * policy; admission control sheds at the routed instance, and a shed
+ * where *no* instance could have met the deadline is counted
+ * separately as a cluster-level shed.
+ *
+ * Like Server::serve, the router advances a deterministic virtual
+ * clock while the kernels really execute, so a whole multi-instance
+ * session is bit-reproducible under fixed seeds.
+ */
+
+#ifndef DLRMOPT_SERVE_ROUTER_HPP
+#define DLRMOPT_SERVE_ROUTER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
+#include "sched/topology.hpp"
+#include "serve/server.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** How the router picks an instance for a fresh request. */
+enum class RoutePolicy
+{
+    RoundRobin,
+    PowerOfTwo,
+    HealthAware,
+};
+
+/** CLI/report name of a policy ("rr", "po2", "health"). */
+const char *routePolicyName(RoutePolicy p);
+
+/** Parses a policy name; throws std::invalid_argument on others. */
+RoutePolicy parseRoutePolicy(const std::string& name);
+
+/** Cluster-level serving parameters. */
+struct RouterConfig
+{
+    ServerConfig server;  //!< per-instance parameters (SLA, retries..)
+
+    std::size_t instances = 2;
+    RoutePolicy policy = RoutePolicy::PowerOfTwo;
+
+    std::uint64_t seed = 1; //!< power-of-two candidate sampling
+
+    /** Cross-instance re-dispatches after a request exhausts its
+     *  retry budget on one instance (0 disables failover). */
+    std::size_t maxFailovers = 1;
+
+    /** Sliding-window size for the per-instance served-latency p95
+     *  used by the health-aware policy. */
+    std::size_t healthWindow = 64;
+
+    /** Health-score penalty (virtual ms) per failed task and per
+     *  admission shed recorded against an instance. */
+    double failurePenaltyMs = 1.0;
+};
+
+/** Outcome of one routed serving session. */
+struct RouterStats
+{
+    ServeStats total; //!< cluster-wide aggregate
+
+    std::vector<ServeStats> perInstance;
+
+    std::size_t failovers = 0; //!< cross-instance re-dispatches
+
+    /** Sheds where every instance's projected completion missed the
+     *  SLA (subset of total.shed). */
+    std::size_t clusterShed = 0;
+
+    /** Served requests whose latency met the per-request SLA. */
+    std::size_t compliant = 0;
+
+    /** Virtual end time of the last completed attempt (for
+     *  throughput comparisons over the same arrival stream). */
+    double makespanMs = 0.0;
+
+    /** One-line cluster summary (aggregate + router counters). */
+    std::string summary() const;
+};
+
+/**
+ * Front-end router owning N replica Server instances over one shared
+ * EmbeddingStore.
+ */
+class Router
+{
+  public:
+    /**
+     * Builds cfg.instances Server instances. The topology is
+     * partitioned into disjoint per-instance core groups; each
+     * instance gets a full-replica DlrmModel view over @p store
+     * (zero embedding bytes beyond the store's single copy).
+     *
+     * @param model_cfg Architecture served by every instance.
+     * @param store Shared table storage (kept alive by the router).
+     * @param topo Cores to split across instances.
+     * @param cfg Cluster parameters.
+     * @param faults Optional per-instance fault injectors (indexed by
+     *        instance; shorter vectors / nullptr entries mean no
+     *        faults for that instance; not owned).
+     * @param model_seed Seed for the per-instance MLP weights.
+     *
+     * @throws std::invalid_argument when instances is zero or exceeds
+     *         the physical core count, or via Server/DlrmModel
+     *         validation.
+     */
+    Router(const core::ModelConfig& model_cfg,
+           std::shared_ptr<const core::EmbeddingStore> store,
+           const sched::Topology& topo, const RouterConfig& cfg,
+           std::vector<const FaultInjector *> faults = {},
+           std::uint64_t model_seed = 42);
+
+    std::size_t numInstances() const { return _servers.size(); }
+
+    const Server& instance(std::size_t i) const { return *_servers[i]; }
+
+    /** Instance @p i's replica model view (shares the store). */
+    const core::DlrmModel& model(std::size_t i) const
+    {
+        return *_models[i];
+    }
+
+    /** The shared table storage every instance reads from. */
+    const std::shared_ptr<const core::EmbeddingStore>& store() const
+    {
+        return _store;
+    }
+
+    /**
+     * Serves one session: the same contract as Server::serve, but
+     * requests are routed across instances by the configured policy.
+     *
+     * @throws std::invalid_argument on an empty batch list.
+     */
+    RouterStats serve(const core::Tensor& dense,
+                      const std::vector<core::SparseBatch>& batches,
+                      const std::vector<double>& arrivals_ms,
+                      const core::PrefetchSpec& pf =
+                          core::PrefetchSpec::paperDefault());
+
+  private:
+    RouterConfig _cfg;
+    std::vector<const FaultInjector *> _faults;
+    std::shared_ptr<const core::EmbeddingStore> _store;
+    std::vector<std::unique_ptr<core::DlrmModel>> _models;
+    std::vector<std::unique_ptr<Server>> _servers;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_ROUTER_HPP

@@ -58,7 +58,7 @@ Server::Server(const core::DlrmModel& model,
 }
 
 double
-Server::execute(std::size_t core, const core::Tensor& dense,
+Server::executeAttempt(std::size_t core, const core::Tensor& dense,
                 const core::SparseBatch& sparse,
                 const DegradeState& tier,
                 const core::PrefetchSpec& pf, std::uint64_t req,
@@ -208,9 +208,9 @@ Server::serve(const core::Tensor& dense,
 
         bool ok = true;
         try {
-            st.execTotalMs += execute(core, denseFor(sparse.batchSize),
-                                      sparse, tier, pf, a.req,
-                                      a.tries);
+            st.execTotalMs += executeAttempt(
+                core, denseFor(sparse.batchSize), sparse, tier, pf,
+                a.req, a.tries);
         } catch (...) {
             ok = false;
         }

@@ -111,20 +111,29 @@ class Server
         return _pool.health(core);
     }
 
+    /** Sum of failed-task counters across this instance's cores. */
+    std::uint64_t totalFailed() const { return _pool.totalFailed(); }
+
     std::size_t numCores() const { return _pool.numCores(); }
 
-  private:
+    const ServerConfig& config() const { return _cfg; }
+
     /**
      * Really executes one request attempt on @p core and returns the
      * measured kernel wall time (ms). Throws whatever the stage tasks
      * threw (injected faults, IndexError from poisoned indices, ...).
+     *
+     * serve() drives this internally; the multi-instance Router calls
+     * it directly, running its own cluster-level event loop while
+     * each instance keeps doing the real execution.
      */
-    double execute(std::size_t core, const core::Tensor& dense,
-                   const core::SparseBatch& sparse,
-                   const DegradeState& tier,
-                   const core::PrefetchSpec& pf, std::uint64_t req,
-                   std::uint64_t attempt);
+    double executeAttempt(std::size_t core, const core::Tensor& dense,
+                          const core::SparseBatch& sparse,
+                          const DegradeState& tier,
+                          const core::PrefetchSpec& pf,
+                          std::uint64_t req, std::uint64_t attempt);
 
+  private:
     const core::DlrmModel& _model;
     ServerConfig _cfg;
     const FaultInjector *_fault;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "core/embedding.hpp"
@@ -27,6 +29,41 @@ TEST(PrefetchSpec, EnabledSemantics)
     EXPECT_TRUE(PrefetchSpec::paperDefault().enabled());
     EXPECT_EQ(PrefetchSpec::paperDefault().distance, 4);
     EXPECT_EQ(PrefetchSpec::paperDefault().lines, 8);
+}
+
+TEST(PrefetchSpec, ValidateRejectsOutOfRangeFields)
+{
+    // Values the kernel silently tolerates (negative = disabled,
+    // locality clamped to NTA) are made loud at configuration entry
+    // points via validate().
+    EXPECT_NO_THROW(PrefetchSpec{}.validate());
+    EXPECT_NO_THROW(PrefetchSpec::paperDefault().validate());
+    EXPECT_NO_THROW((PrefetchSpec{0, 0, 0}).validate());
+    EXPECT_THROW((PrefetchSpec{-1, 8, 3}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((PrefetchSpec{4, -2, 3}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((PrefetchSpec{4, 8, 4}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((PrefetchSpec{4, 8, -1}).validate(),
+                 std::invalid_argument);
+}
+
+TEST(EmbeddingTable, RejectsEmptyGeometry)
+{
+    EXPECT_THROW(EmbeddingTable(0, 16, 1), std::invalid_argument);
+    EXPECT_THROW(EmbeddingTable(16, 0, 1), std::invalid_argument);
+    EXPECT_THROW(EmbeddingTable(0, 0, 1), std::invalid_argument);
+}
+
+TEST(EmbeddingTable, RejectsByteSizeOverflow)
+{
+    // rows * dim * sizeof(float) would wrap around; must throw
+    // instead of allocating a tiny buffer.
+    const std::size_t huge =
+        std::numeric_limits<std::size_t>::max() / 2;
+    EXPECT_THROW(EmbeddingTable(huge, 16, 1), std::invalid_argument);
+    EXPECT_THROW(EmbeddingTable(16, huge, 1), std::invalid_argument);
 }
 
 TEST(EmbeddingTable, GeometryAndDeterminism)
@@ -196,6 +233,50 @@ TEST(EmbeddingBag, TableStillUsableAfterIndexError)
     t.bag(good.data(), offsets.data(), 1, out.data());
     for (std::size_t d = 0; d < 8; ++d)
         EXPECT_EQ(out[d], t.rowPtr(5)[d]);
+}
+
+TEST(EmbeddingBag, AllBagsEmptyProducesAllZeros)
+{
+    // A batch where *no* sample has a lookup: offsets all zero, the
+    // indices array is never read, prefetching has nothing to do.
+    EmbeddingTable t(10, 4, 1);
+    const RowIndex offsets[] = {0, 0, 0, 0};
+    std::vector<float> out(3 * 4, -1.0f);
+    t.bag(nullptr, offsets, 3, out.data(),
+          PrefetchSpec::paperDefault());
+    for (float v : out)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EmbeddingBag, IndexErrorMidBatchLeavesEarlierSamplesComplete)
+{
+    // The kernel pools sample by sample; a poisoned index in sample 1
+    // must not corrupt sample 0's already-written block. Sample 1's
+    // own block is zero-initialized before the throw.
+    EmbeddingTable t(16, 8, 3);
+    const RowIndex indices[] = {5, 99};
+    const RowIndex offsets[] = {0, 1, 2};
+    std::vector<float> out(2 * 8, -1.0f);
+    EXPECT_THROW(t.bag(indices, offsets, 2, out.data()), IndexError);
+    for (std::size_t d = 0; d < 8; ++d) {
+        EXPECT_EQ(out[d], t.rowPtr(5)[d]);
+        EXPECT_EQ(out[8 + d], 0.0f);
+    }
+}
+
+TEST(EmbeddingBag, PrefetchDistancePastEndOfStreamIsHarmless)
+{
+    // distance > total lookups: the look-ahead guard must skip every
+    // prefetch rather than index past the array, and results must
+    // still match the unprefetched run.
+    EmbeddingTable t(32, 8, 7);
+    const RowIndex indices[] = {3, 30, 12};
+    const RowIndex offsets[] = {0, 2, 3};
+    std::vector<float> base(2 * 8), got(2 * 8);
+    t.bag(indices, offsets, 2, base.data());
+    t.bag(indices, offsets, 2, got.data(), PrefetchSpec{64, 8, 3});
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], base[i]);
 }
 
 TEST(EmbeddingBag, PrefetchedLookupsAreBoundsCheckedToo)

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the shared EmbeddingStore and the DlrmModel view layer:
+ * replicas must add zero embedding bytes, store-backed models must be
+ * bitwise-identical to the pre-refactor standalone layout, and a
+ * sharded forward (partial embeddingForward per shard + merge) must
+ * reproduce the single-model forward exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::core;
+using dlrmopt::RowIndex;
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "store_tiny";
+    m.cls = ModelClass::RMC2;
+    m.rows = 1024;
+    m.dim = 16;
+    m.tables = 4;
+    m.lookups = 5;
+    m.bottomMlp = {32, 24, 16};
+    m.topMlp = {8, 1};
+    return m;
+}
+
+SparseBatch
+makeBatch(const ModelConfig& m, std::size_t batch, std::uint64_t seed)
+{
+    SparseBatch b;
+    b.batchSize = batch;
+    b.indices.resize(m.tables);
+    b.offsets.resize(m.tables);
+    for (std::size_t t = 0; t < m.tables; ++t) {
+        for (std::size_t s = 0; s <= batch; ++s) {
+            b.offsets[t].push_back(
+                static_cast<RowIndex>(s * m.lookups));
+        }
+        for (std::size_t i = 0; i < batch * m.lookups; ++i) {
+            b.indices[t].push_back(static_cast<RowIndex>(
+                dlrmopt::mix64(seed + t * 1000 + i) % m.rows));
+        }
+    }
+    return b;
+}
+
+TEST(EmbeddingStore, GeometryAndDeterminism)
+{
+    const ModelConfig cfg = tinyModel();
+    const EmbeddingStore store(cfg, 42);
+    EXPECT_EQ(store.numTables(), 4u);
+    EXPECT_EQ(store.rows(), 1024u);
+    EXPECT_EQ(store.dim(), 16u);
+    EXPECT_EQ(store.bytes(), 4u * 1024u * 16u * 4u);
+
+    // Same seed -> bitwise-equal table contents.
+    const EmbeddingStore again(cfg, 42);
+    for (std::size_t t = 0; t < store.numTables(); ++t) {
+        for (std::size_t i = 0; i < 1024 * 16; ++i) {
+            ASSERT_EQ(store.table(t).data()[i],
+                      again.table(t).data()[i]);
+        }
+    }
+}
+
+TEST(EmbeddingStore, RejectsZeroTables)
+{
+    ModelConfig bad = tinyModel();
+    bad.tables = 0;
+    EXPECT_THROW(EmbeddingStore(bad, 1), std::invalid_argument);
+}
+
+TEST(EmbeddingStore, ReplicaViewsAddZeroEmbeddingBytes)
+{
+    // Acceptance criterion: N replica views over one store cost zero
+    // embedding bytes beyond the single copy. The store's use-count
+    // proves sharing; pointer identity proves no hidden copy.
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::create(cfg, 42);
+    ASSERT_EQ(store.use_count(), 1);
+
+    std::vector<DlrmModel> replicas;
+    const std::size_t kReplicas = 4;
+    for (std::size_t i = 0; i < kReplicas; ++i)
+        replicas.emplace_back(cfg, store, 42);
+
+    EXPECT_EQ(store.use_count(),
+              static_cast<long>(kReplicas) + 1);
+    for (const DlrmModel& r : replicas) {
+        EXPECT_TRUE(r.isFullView());
+        EXPECT_EQ(r.embeddingBytes(), store->bytes());
+        // Every view reads the exact same buffers.
+        for (std::size_t t = 0; t < cfg.tables; ++t)
+            EXPECT_EQ(r.table(t).data(), store->table(t).data());
+    }
+}
+
+TEST(EmbeddingStore, StandaloneModelMatchesStoreBackedReplica)
+{
+    // The standalone constructor delegates through a private store
+    // with the same seed derivation the old DlrmModel used, so a
+    // store-backed replica must predict bitwise-identically.
+    const ModelConfig cfg = tinyModel();
+    DlrmModel standalone(cfg, 7);
+    DlrmModel replica(cfg, EmbeddingStore::create(cfg, 7), 7);
+
+    const std::size_t batch = 8;
+    Tensor dense(batch, cfg.denseDim());
+    dense.randomize(3);
+    const SparseBatch sparse = makeBatch(cfg, batch, 5);
+
+    DlrmWorkspace w1, w2;
+    standalone.forward(dense, sparse, w1);
+    replica.forward(dense, sparse, w2);
+    ASSERT_EQ(w1.pred.size(), w2.pred.size());
+    for (std::size_t i = 0; i < w1.pred.size(); ++i)
+        EXPECT_EQ(w1.pred.data()[i], w2.pred.data()[i]);
+}
+
+TEST(EmbeddingStore, ShardedForwardIsBitwiseIdenticalToSingleModel)
+{
+    // Acceptance criterion: split the tables across two shard views,
+    // run each shard's partial embeddingForward, merge, and finish
+    // with the full view's interaction/top stages -- the predictions
+    // must match a single model's forward bit for bit.
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::create(cfg, 42);
+    DlrmModel full(cfg, store, 42);
+    DlrmModel shard_lo(cfg, store, 0, 1, 42);
+    DlrmModel shard_hi(cfg, store, 1, 3, 42);
+
+    EXPECT_FALSE(shard_lo.isFullView());
+    EXPECT_EQ(shard_lo.numLocalTables(), 1u);
+    EXPECT_EQ(shard_hi.firstTable(), 1u);
+    EXPECT_EQ(shard_lo.embeddingBytes() + shard_hi.embeddingBytes(),
+              store->bytes());
+
+    const std::size_t batch = 8;
+    Tensor dense(batch, cfg.denseDim());
+    dense.randomize(3);
+    const SparseBatch sparse = makeBatch(cfg, batch, 9);
+
+    DlrmWorkspace single;
+    full.forward(dense, sparse, single);
+
+    Tensor part_lo, part_hi;
+    shard_lo.embeddingForward(sparse, part_lo);
+    shard_hi.embeddingForward(sparse, part_hi);
+    EXPECT_EQ(part_lo.rows(), 1u);
+    EXPECT_EQ(part_hi.rows(), 3u);
+    EXPECT_EQ(part_hi.cols(), batch * cfg.dim);
+
+    // Shard order must not matter to the merge.
+    Tensor merged;
+    mergeShardEmbeddings({&shard_hi, &shard_lo}, {&part_hi, &part_lo},
+                         batch, merged);
+    ASSERT_EQ(merged.rows(), cfg.tables);
+    ASSERT_EQ(merged.cols(), batch * cfg.dim);
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        ASSERT_EQ(merged.data()[i], single.embOut.data()[i]);
+
+    Tensor bottom, inter, pred;
+    full.bottomForward(dense, bottom);
+    full.interactionForward(bottom, merged, batch, inter);
+    full.topForward(inter, pred);
+    ASSERT_EQ(pred.size(), single.pred.size());
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        EXPECT_EQ(pred.data()[i], single.pred.data()[i]);
+}
+
+TEST(EmbeddingStore, ShardViewRefusesFullForward)
+{
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::create(cfg, 42);
+    DlrmModel shard(cfg, store, 0, 2, 42);
+
+    Tensor dense(2, cfg.denseDim());
+    dense.randomize(1);
+    const SparseBatch sparse = makeBatch(cfg, 2, 1);
+    DlrmWorkspace ws;
+    EXPECT_THROW(shard.forward(dense, sparse, ws), std::logic_error);
+}
+
+TEST(EmbeddingStore, ViewConstructionValidatesGeometryAndSpan)
+{
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::create(cfg, 42);
+
+    // Store/config mismatch.
+    ModelConfig other = cfg;
+    other.tables = 3;
+    EXPECT_THROW(DlrmModel(other, store, 42), std::invalid_argument);
+    other = cfg;
+    other.rows = 512;
+    EXPECT_THROW(DlrmModel(other, store, 42), std::invalid_argument);
+
+    // Empty and out-of-range table spans.
+    EXPECT_THROW(DlrmModel(cfg, store, 0, 0, 42),
+                 std::invalid_argument);
+    EXPECT_THROW(DlrmModel(cfg, store, 2, 3, 42),
+                 std::invalid_argument);
+    EXPECT_THROW(DlrmModel(cfg, store, 4, 1, 42),
+                 std::invalid_argument);
+
+    EXPECT_THROW(DlrmModel(cfg, nullptr, 42), std::invalid_argument);
+}
+
+TEST(EmbeddingStore, MergeValidatesCoverageAndShapes)
+{
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::create(cfg, 42);
+    DlrmModel shard_lo(cfg, store, 0, 2, 42);
+    DlrmModel shard_hi(cfg, store, 2, 2, 42);
+
+    const std::size_t batch = 4;
+    const SparseBatch sparse = makeBatch(cfg, batch, 3);
+    Tensor part_lo, part_hi;
+    shard_lo.embeddingForward(sparse, part_lo);
+    shard_hi.embeddingForward(sparse, part_hi);
+
+    Tensor out;
+    // shards/parts length mismatch.
+    EXPECT_THROW(mergeShardEmbeddings({&shard_lo}, {&part_lo, &part_hi},
+                                      batch, out),
+                 std::invalid_argument);
+    // Missing coverage: tables [2, 4) never filled.
+    EXPECT_THROW(
+        mergeShardEmbeddings({&shard_lo}, {&part_lo}, batch, out),
+        std::invalid_argument);
+    // Double coverage of tables [0, 2).
+    EXPECT_THROW(mergeShardEmbeddings({&shard_lo, &shard_lo},
+                                      {&part_lo, &part_lo}, batch, out),
+                 std::invalid_argument);
+    // Part shape disagrees with the claimed batch size.
+    EXPECT_THROW(mergeShardEmbeddings({&shard_lo, &shard_hi},
+                                      {&part_lo, &part_hi}, 999, out),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <vector>
 
 #include "sched/topology.hpp"
 
@@ -46,6 +48,51 @@ TEST(Topology, DetectReturnsSomething)
     std::sort(all.begin(), all.end());
     EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) ==
                 all.end());
+}
+
+TEST(Topology, PartitionCoversAllCoresDisjointly)
+{
+    const Topology t = Topology::synthetic(6, 2);
+    const auto groups = t.partition(3);
+    ASSERT_EQ(groups.size(), 3u);
+
+    // Every logical CPU of the parent appears in exactly one group.
+    std::vector<int> all;
+    for (const Topology& g : groups) {
+        EXPECT_EQ(g.numPhysicalCores(), 2u);
+        EXPECT_TRUE(g.smtAvailable());
+        for (std::size_t c = 0; c < g.numPhysicalCores(); ++c) {
+            for (int cpu : g.siblings(c))
+                all.push_back(cpu);
+        }
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), t.numLogicalCpus());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], static_cast<int>(i));
+}
+
+TEST(Topology, PartitionSplitsUnevenCountsNearEvenly)
+{
+    // 7 cores over 3 groups: sizes 3, 2, 2 (leading groups take the
+    // remainder), never 5, 1, 1.
+    const Topology t = Topology::synthetic(7, 1);
+    const auto groups = t.partition(3);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].numPhysicalCores(), 3u);
+    EXPECT_EQ(groups[1].numPhysicalCores(), 2u);
+    EXPECT_EQ(groups[2].numPhysicalCores(), 2u);
+
+    // n == cores degenerates to one core per group.
+    for (const Topology& g : t.partition(7))
+        EXPECT_EQ(g.numPhysicalCores(), 1u);
+}
+
+TEST(Topology, PartitionRejectsImpossibleGroupCounts)
+{
+    const Topology t = Topology::synthetic(4, 2);
+    EXPECT_THROW(t.partition(0), std::invalid_argument);
+    EXPECT_THROW(t.partition(5), std::invalid_argument);
 }
 
 TEST(Topology, PinToCurrentCpuSucceedsOrFailsGracefully)

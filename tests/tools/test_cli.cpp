@@ -159,6 +159,38 @@ TEST(CliRun, ServeRejectsBadOptions)
               0);
 }
 
+TEST(CliRun, RouterComparesSingleInstanceAgainstEveryPolicy)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"router", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "60",
+                   "--arrival-ms", "2.0", "--sla", "25", "--cores",
+                   "2", "--instances", "2", "--straggler-instance",
+                   "1", "--straggler-factor", "4.0", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("one shared store"), std::string::npos);
+    EXPECT_NE(s.find("1 instance"), std::string::npos);
+    EXPECT_NE(s.find("2 instances rr"), std::string::npos);
+    EXPECT_NE(s.find("2 instances po2"), std::string::npos);
+    EXPECT_NE(s.find("2 instances health"), std::string::npos);
+    EXPECT_NE(s.find("straggler: instance 1"), std::string::npos);
+    EXPECT_NE(s.find("req/s"), std::string::npos);
+}
+
+TEST(CliRun, RouterRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"router", "--instances", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"router", "--cores", "2", "--instances",
+                         "4"}),
+                  out, err),
+              0);
+    EXPECT_NE(run(parse({"router", "--policy", "warp"}), out, err), 0);
+}
+
 TEST(CliRun, SweepRejectsUnknownAxis)
 {
     std::ostringstream out, err;

@@ -5,9 +5,11 @@
 
 #include "core/autotune.hpp"
 #include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
 #include "platform/report.hpp"
 #include "sched/topology.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
@@ -138,6 +140,9 @@ buildEvalConfig(const ParsedArgs& args)
     cfg.pfDistance = static_cast<int>(args.getInt("pf-distance", 4));
     cfg.pfAmount = static_cast<int>(args.getInt("pf-amount", -1));
     const std::string hint = args.get("pf-hint", "T0");
+    if (hint != "T0" && hint != "T1" && hint != "T2")
+        throw std::invalid_argument("--pf-hint wants T0|T1|T2, got '" +
+                                    hint + "'");
     cfg.pfLocality = hint == "T0" ? 3 : hint == "T1" ? 2 : 1;
     cfg.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
@@ -145,6 +150,15 @@ buildEvalConfig(const ParsedArgs& args)
         throw std::invalid_argument("--cores must be 1.." +
                                     std::to_string(
                                         cfg.cpu.totalCores()));
+    if (cfg.pfDistance < 0 || (cfg.pfAmount < 0 && cfg.pfAmount != -1)) {
+        throw std::invalid_argument(
+            "--pf-distance/--pf-amount must be >= 0 (-1 amount = "
+            "platform default)");
+    }
+    core::PrefetchSpec{cfg.pfDistance,
+                       cfg.pfAmount >= 0 ? cfg.pfAmount : 0,
+                       cfg.pfLocality}
+        .validate();
     return cfg;
 }
 
@@ -472,6 +486,123 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
     return 0;
 }
 
+int
+cmdRouter(const ParsedArgs& args, std::ostream& out)
+{
+    // Same scaled-down real-execution setup as `serve`, but fronted
+    // by a Router: one shared EmbeddingStore, N replica instances
+    // over disjoint core groups, the same Poisson stream for every
+    // configuration so the comparison is apples to apples.
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 64.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    serve::RouterConfig rcfg;
+    rcfg.server.slaMs = args.getDouble("sla", 25.0);
+    rcfg.server.serviceMs = args.getDouble("service-ms", 1.0);
+    rcfg.server.admission = !args.has("no-admission");
+    rcfg.server.maxRetries =
+        static_cast<std::size_t>(args.getInt("retries", 2));
+    rcfg.seed = seed;
+    rcfg.maxFailovers =
+        static_cast<std::size_t>(args.getInt("failovers", 1));
+
+    const std::size_t cores =
+        static_cast<std::size_t>(args.getInt("cores", 4));
+    const std::size_t instances =
+        static_cast<std::size_t>(args.getInt("instances", 2));
+    const std::size_t requests =
+        static_cast<std::size_t>(args.getInt("requests", 400));
+    const double arrival_ms = args.getDouble("arrival-ms", 1.0);
+    if (cores == 0)
+        throw std::invalid_argument("--cores must be >= 1");
+    if (instances == 0 || instances > cores) {
+        throw std::invalid_argument("--instances must be 1..cores");
+    }
+    if (requests == 0)
+        throw std::invalid_argument("--requests must be >= 1");
+    const std::string policy = args.get("policy", "all");
+    if (policy != "all")
+        serve::parseRoutePolicy(policy); // fail fast on typos
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg_model, parseHotness(args.get("hotness", "medium")), seed);
+    tc.batchSize = static_cast<std::size_t>(
+        args.getInt("batch-size", 16));
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 16; ++b)
+        batches.push_back(gen.batch(b));
+
+    const auto store = core::EmbeddingStore::create(cfg_model, seed);
+    core::Tensor dense(tc.batchSize, cfg_model.denseDim());
+    dense.randomize(seed + 1);
+    const auto arrivals =
+        serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
+    const auto topo = sched::Topology::synthetic(cores, 2);
+
+    out << cfg_model.name << " scaled to "
+        << store->bytes() / (1u << 20)
+        << " MB embeddings (one shared store), " << cores
+        << " core(s), SLA " << rcfg.server.slaMs << " ms, mean "
+        << "interarrival " << arrival_ms << " ms, " << requests
+        << " requests\n";
+
+    // Optional straggler instance for exercising health routing.
+    const int straggler_inst =
+        static_cast<int>(args.getInt("straggler-instance", -1));
+    serve::FaultConfig fc;
+    fc.seed = seed;
+    fc.stragglerCore = 0; // local core 0 of the afflicted instance
+    fc.stragglerFactor = args.getDouble("straggler-factor", 4.0);
+    const serve::FaultInjector straggler(fc);
+    std::vector<const serve::FaultInjector *> faults(instances,
+                                                     nullptr);
+    if (straggler_inst >= 0 &&
+        straggler_inst < static_cast<int>(instances)) {
+        faults[static_cast<std::size_t>(straggler_inst)] = &straggler;
+        out << "straggler: instance " << straggler_inst << " x"
+            << fc.stragglerFactor << "\n";
+    }
+
+    const auto report = [&](const std::string& label,
+                            const serve::RouterStats& st) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%8.1f req/s | ",
+                      st.makespanMs > 0.0
+                          ? 1000.0 * static_cast<double>(
+                                st.total.served) / st.makespanMs
+                          : 0.0);
+        out << label << buf << st.summary() << "\n";
+    };
+
+    {
+        serve::RouterConfig single = rcfg;
+        single.instances = 1;
+        serve::Router router(cfg_model, store, topo, single);
+        report("1 instance            ", router.serve(dense, batches,
+                                                      arrivals));
+    }
+    for (const auto p :
+         {serve::RoutePolicy::RoundRobin, serve::RoutePolicy::PowerOfTwo,
+          serve::RoutePolicy::HealthAware}) {
+        if (policy != "all" && serve::parseRoutePolicy(policy) != p)
+            continue;
+        serve::RouterConfig multi = rcfg;
+        multi.instances = instances;
+        multi.policy = p;
+        serve::Router router(cfg_model, store, topo, multi, faults);
+        char label[48];
+        std::snprintf(label, sizeof(label), "%zu instances %-7s ",
+                      instances, serve::routePolicyName(p));
+        report(label, router.serve(dense, batches, arrivals));
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -490,6 +621,8 @@ usage()
            "this host\n"
            "  serve [options]             fault-tolerant serving "
            "session (real execution)\n"
+           "  router [options]            multi-instance routed "
+           "serving over one shared store\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -507,7 +640,12 @@ usage()
            "  --max-bytes X (embedding scale-down budget)\n"
            "  --fault-exception-rate P --fault-alloc-rate P\n"
            "  --fault-corrupt-rate P --fault-straggler-core N\n"
-           "  --fault-straggler-factor X\n";
+           "  --fault-straggler-factor X\n"
+           "\n"
+           "router options (plus the serve options above):\n"
+           "  --instances N --policy all|rr|po2|health\n"
+           "  --failovers N --straggler-instance N "
+           "--straggler-factor X\n";
 }
 
 int
@@ -528,6 +666,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdTune(args, out);
         if (args.command == "serve")
             return cmdServe(args, out);
+        if (args.command == "router")
+            return cmdRouter(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {
