@@ -121,6 +121,76 @@ BENCHMARK(BM_DenseLayer)
     ->Unit(benchmark::kMicrosecond);
 
 void
+BM_DenseLayerBatchSweep(benchmark::State& state)
+{
+    // Fixed rm2-style layer, swept batch: small batches are dominated
+    // by per-call fixed costs, which is the inefficiency request
+    // coalescing amortizes. GFLOP/s rises with batch until the kernel
+    // saturates.
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    const std::size_t in_dim = 256, out_dim = 128;
+    std::vector<float> in(batch * in_dim, 0.5f);
+    std::vector<float> w(out_dim * in_dim, 0.25f);
+    std::vector<float> b(out_dim, 0.1f);
+    std::vector<float> out(batch * out_dim);
+    for (auto _ : state) {
+        core::denseLayerForward(in.data(), batch, in_dim, w.data(),
+                                b.data(), out_dim, out.data(), true);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const double flops =
+        2.0 * static_cast<double>(batch * in_dim * out_dim);
+    const double bytes = static_cast<double>(
+        (in.size() + w.size() + b.size() + out.size()) *
+        sizeof(float));
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+    state.counters["GB/s"] = benchmark::Counter(
+        bytes * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DenseLayerBatchSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_EmbeddingBagBatchSweep(benchmark::State& state)
+{
+    // Same table and per-sample lookup count as BM_EmbeddingBag, but
+    // swept over the number of pooled samples per call. The kernel is
+    // bandwidth-bound: GB/s is the figure of merit, and small batches
+    // under-utilize the memory system.
+    auto& s = BagSetup::instance();
+    const std::size_t samples = static_cast<std::size_t>(state.range(0));
+    const core::PrefetchSpec pf =
+        state.range(1) ? core::PrefetchSpec{4, 8, 3}
+                       : core::PrefetchSpec{};
+    for (auto _ : state) {
+        s.table.bag(s.indices.data(), s.offsets.data(), samples,
+                    s.out.data(), pf);
+        benchmark::DoNotOptimize(s.out.data());
+    }
+    const double lookups = static_cast<double>(
+        s.offsets[samples]); // lookups feeding these samples
+    const double bytes =
+        (lookups + static_cast<double>(samples)) *
+        static_cast<double>(BagSetup::dim) * sizeof(float);
+    state.counters["GB/s"] = benchmark::Counter(
+        bytes * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+    const double flops = lookups *
+                         static_cast<double>(BagSetup::dim);
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+    state.SetLabel(pf.enabled() ? "sw-prefetch" : "baseline");
+}
+BENCHMARK(BM_EmbeddingBagBatchSweep)
+    ->ArgsProduct({{1, 4, 16, 64}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_DotInteraction(benchmark::State& state)
 {
     const std::size_t tables = static_cast<std::size_t>(state.range(0));

@@ -99,12 +99,22 @@ DlrmModel::interactionForward(const Tensor& bottom_out,
                               const Tensor& emb_out, std::size_t batch,
                               Tensor& out) const
 {
-    std::vector<const float *> emb(_cfg.tables);
+    std::vector<const float *> emb;
+    interactionForward(bottom_out, emb_out, batch, out, emb);
+}
+
+void
+DlrmModel::interactionForward(const Tensor& bottom_out,
+                              const Tensor& emb_out, std::size_t batch,
+                              Tensor& out,
+                              std::vector<const float *>& emb_scratch) const
+{
+    emb_scratch.resize(_cfg.tables);
     for (std::size_t t = 0; t < _cfg.tables; ++t)
-        emb[t] = emb_out.row(t);
+        emb_scratch[t] = emb_out.row(t);
     out.reshape(batch, _cfg.topInputDim());
-    dotInteraction(bottom_out.data(), emb, _cfg.tables, batch, _cfg.dim,
-                   out.data());
+    dotInteraction(bottom_out.data(), emb_scratch, _cfg.tables, batch,
+                   _cfg.dim, out.data());
 }
 
 void

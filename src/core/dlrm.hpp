@@ -143,6 +143,15 @@ class DlrmModel
     void interactionForward(const Tensor& bottom_out, const Tensor& emb_out,
                             std::size_t batch, Tensor& out) const;
 
+    /**
+     * interactionForward() with a caller-owned pointer table:
+     * bitwise-identical, but allocation-free once @p emb_scratch has
+     * capacity for cfg.tables entries.
+     */
+    void interactionForward(const Tensor& bottom_out, const Tensor& emb_out,
+                            std::size_t batch, Tensor& out,
+                            std::vector<const float *>& emb_scratch) const;
+
     /** Runs the top MLP and sigmoid, producing CTR predictions. */
     void topForward(const Tensor& inter_out, Tensor& pred) const;
 

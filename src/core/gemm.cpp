@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.hpp"
+
 namespace dlrmopt::core
 {
 
@@ -75,8 +77,17 @@ denseLayerForwardRef(const float *in, std::size_t batch, std::size_t in_dim,
 void
 sigmoidInplace(float *data, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+    switch (currentSimdLevel()) {
+      case SimdLevel::Avx512:
+        sigmoidInplaceAvx512(data, n);
+        return;
+      case SimdLevel::Avx2:
+        sigmoidInplaceAvx2(data, n);
+        return;
+      default:
+        sigmoidInplaceScalar(data, n);
+        return;
+    }
 }
 
 } // namespace dlrmopt::core

@@ -61,4 +61,23 @@ Mlp::forward(const Tensor& in, Tensor& out) const
     }
 }
 
+void
+Mlp::forward(const Tensor& in, Tensor& out, Tensor& scratch_a,
+             Tensor& scratch_b) const
+{
+    assert(in.cols() == inputDim());
+    const std::size_t batch = in.rows();
+
+    const float *src = in.data();
+    for (std::size_t l = 0; l < _weights.size(); ++l) {
+        const bool last = (l + 1 == _weights.size());
+        const std::size_t od = _dims[l + 1];
+        Tensor& dst = last ? out : (l % 2 == 0 ? scratch_a : scratch_b);
+        dst.reshape(batch, od);
+        denseLayerForward(src, batch, _dims[l], _weights[l].data(),
+                          _biases[l].data(), od, dst.data(), !last);
+        src = dst.data();
+    }
+}
+
 } // namespace dlrmopt::core

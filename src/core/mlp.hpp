@@ -64,6 +64,16 @@ class Mlp
      */
     void forward(const Tensor& in, Tensor& out) const;
 
+    /**
+     * forward() with caller-owned ping-pong scratch: bitwise-identical
+     * outputs, but heap-allocation-free once the scratch tensors'
+     * capacities cover [batch x widest hidden layer] — the first layer
+     * reads @p in directly instead of copying it. @p in must not alias
+     * @p out or either scratch tensor.
+     */
+    void forward(const Tensor& in, Tensor& out, Tensor& scratch_a,
+                 Tensor& scratch_b) const;
+
   private:
     std::vector<std::size_t> _dims;
     std::vector<Tensor> _weights;          //!< per layer [out x in]

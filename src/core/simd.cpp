@@ -1,6 +1,9 @@
 #include "core/simd.hpp"
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -107,6 +110,168 @@ void
 accumulateRowAvx512(float *out, const float *row, std::size_t n)
 {
     accumulateRowAvx2(out, row, n);
+}
+#endif
+
+namespace
+{
+
+// Fast-exp sigmoid: 1 / (1 + e^t), t = -x clamped so 2^n stays
+// normal/finite, with e^t = 2^n * e^r, n = round(t * log2e), r the
+// two-step Cody-Waite remainder, e^r a degree-6 polynomial (Cephes
+// expf coefficients). All constants shared by the scalar-mirror lane
+// and both vector widths so every path is bitwise-identical per
+// element.
+constexpr float kSigTMin = -87.0f;
+constexpr float kSigTMax = 88.0f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+/**
+ * One sigmoid element exactly as a vector lane computes it: every
+ * operation below is the scalar twin of the corresponding vector
+ * intrinsic (fmaf <-> fmadd, nearbyintf <-> round-to-nearest-even,
+ * IEEE +, *, /), so using this for an AVX2 tail keeps results
+ * independent of where an element lands in the array.
+ */
+inline float
+sigmoidLane(float x)
+{
+    float t = std::fmax(std::fmin(0.0f - x, kSigTMax), kSigTMin);
+    const float n = std::nearbyintf(t * kLog2e);
+    float r = std::fmaf(-n, kLn2Hi, t);
+    r = std::fmaf(-n, kLn2Lo, r);
+    float p = kExpP0;
+    p = std::fmaf(p, r, kExpP1);
+    p = std::fmaf(p, r, kExpP2);
+    p = std::fmaf(p, r, kExpP3);
+    p = std::fmaf(p, r, kExpP4);
+    p = std::fmaf(p, r, kExpP5);
+    const float r2 = r * r;
+    const float er = std::fmaf(p, r2, r) + 1.0f;
+    const std::int32_t bits = (static_cast<std::int32_t>(n) + 127)
+                              << 23;
+    float scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    const float et = er * scale;
+    return 1.0f / (1.0f + et);
+}
+
+} // namespace
+
+void
+sigmoidInplaceScalar(float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+}
+
+#if DLRMOPT_X86 && defined(__AVX2__)
+void
+sigmoidInplaceAvx2(float *data, std::size_t n)
+{
+    const __m256 vmax = _mm256_set1_ps(kSigTMax);
+    const __m256 vmin = _mm256_set1_ps(kSigTMin);
+    const __m256 vlog2e = _mm256_set1_ps(kLog2e);
+    const __m256 vln2hi = _mm256_set1_ps(kLn2Hi);
+    const __m256 vln2lo = _mm256_set1_ps(kLn2Lo);
+    const __m256 vone = _mm256_set1_ps(1.0f);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(data + i);
+        const __m256 t = _mm256_max_ps(
+            _mm256_min_ps(_mm256_sub_ps(_mm256_setzero_ps(), x), vmax),
+            vmin);
+        const __m256 nv = _mm256_round_ps(
+            _mm256_mul_ps(t, vlog2e),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        __m256 r = _mm256_fnmadd_ps(nv, vln2hi, t);
+        r = _mm256_fnmadd_ps(nv, vln2lo, r);
+        __m256 p = _mm256_set1_ps(kExpP0);
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpP1));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpP2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpP3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpP4));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpP5));
+        const __m256 r2 = _mm256_mul_ps(r, r);
+        const __m256 er =
+            _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), vone);
+        const __m256i bits = _mm256_slli_epi32(
+            _mm256_add_epi32(_mm256_cvtps_epi32(nv),
+                             _mm256_set1_epi32(127)),
+            23);
+        const __m256 et =
+            _mm256_mul_ps(er, _mm256_castsi256_ps(bits));
+        _mm256_storeu_ps(data + i,
+                         _mm256_div_ps(vone, _mm256_add_ps(vone, et)));
+    }
+    for (; i < n; ++i)
+        data[i] = sigmoidLane(data[i]);
+}
+#else
+void
+sigmoidInplaceAvx2(float *data, std::size_t n)
+{
+    sigmoidInplaceScalar(data, n);
+}
+#endif
+
+#if DLRMOPT_X86 && defined(__AVX512F__)
+void
+sigmoidInplaceAvx512(float *data, std::size_t n)
+{
+    const __m512 vmax = _mm512_set1_ps(kSigTMax);
+    const __m512 vmin = _mm512_set1_ps(kSigTMin);
+    const __m512 vlog2e = _mm512_set1_ps(kLog2e);
+    const __m512 vln2hi = _mm512_set1_ps(kLn2Hi);
+    const __m512 vln2lo = _mm512_set1_ps(kLn2Lo);
+    const __m512 vone = _mm512_set1_ps(1.0f);
+    for (std::size_t i = 0; i < n; i += 16) {
+        const std::size_t rem = n - i;
+        const __mmask16 mask =
+            rem >= 16 ? static_cast<__mmask16>(0xffff)
+                      : static_cast<__mmask16>((1u << rem) - 1u);
+        const __m512 x = _mm512_maskz_loadu_ps(mask, data + i);
+        const __m512 t = _mm512_max_ps(
+            _mm512_min_ps(_mm512_sub_ps(_mm512_setzero_ps(), x), vmax),
+            vmin);
+        const __m512 nv = _mm512_roundscale_ps(
+            _mm512_mul_ps(t, vlog2e),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        __m512 r = _mm512_fnmadd_ps(nv, vln2hi, t);
+        r = _mm512_fnmadd_ps(nv, vln2lo, r);
+        __m512 p = _mm512_set1_ps(kExpP0);
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(kExpP1));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(kExpP2));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(kExpP3));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(kExpP4));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(kExpP5));
+        const __m512 r2 = _mm512_mul_ps(r, r);
+        const __m512 er =
+            _mm512_add_ps(_mm512_fmadd_ps(p, r2, r), vone);
+        const __m512i bits = _mm512_slli_epi32(
+            _mm512_add_epi32(_mm512_cvtps_epi32(nv),
+                             _mm512_set1_epi32(127)),
+            23);
+        const __m512 et =
+            _mm512_mul_ps(er, _mm512_castsi512_ps(bits));
+        _mm512_mask_storeu_ps(
+            data + i, mask,
+            _mm512_div_ps(vone, _mm512_add_ps(vone, et)));
+    }
+}
+#else
+void
+sigmoidInplaceAvx512(float *data, std::size_t n)
+{
+    sigmoidInplaceAvx2(data, n);
 }
 #endif
 

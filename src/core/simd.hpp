@@ -44,6 +44,25 @@ void accumulateRowAvx2(float *out, const float *row, std::size_t n);
 void accumulateRowAvx512(float *out, const float *row, std::size_t n);
 
 /**
+ * Logistic-sigmoid variants backing core::sigmoidInplace's dispatch.
+ *
+ * The scalar form is the exact-libm reference (1 / (1 + expf(-x)));
+ * the vector forms use a Cody-Waite range-reduced degree-6 polynomial
+ * exp (Cephes coefficients, relative error ~1e-7 vs libm — tolerance-
+ * tested against the scalar reference in tests/core/test_simd.cpp).
+ *
+ * Within one vector variant every element takes the identical
+ * arithmetic path regardless of its position or the array length: the
+ * AVX-512 tail is a masked vector op, and the AVX2 tail is a scalar
+ * mirror built from fmaf/nearbyintf matching the vector lanes
+ * bitwise. That position-independence is what keeps a coalesced
+ * batched forward bitwise-identical to per-request forwards.
+ */
+void sigmoidInplaceScalar(float *data, std::size_t n);
+void sigmoidInplaceAvx2(float *data, std::size_t n);
+void sigmoidInplaceAvx512(float *data, std::size_t n);
+
+/**
  * Overrides dispatch globally (e.g. to benchmark scalar vs vector).
  * Levels above the detected capability are clamped down.
  * @return The level actually selected.

@@ -1,0 +1,102 @@
+#include "serve/batch_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+/** Deadline of a member: retries are always admitted, so only a
+ *  first attempt constrains the group. */
+double
+deadlineOf(const PendingRequest& r, double sla_ms)
+{
+    return r.tries == 0 ? r.arrivalMs + sla_ms
+                        : std::numeric_limits<double>::infinity();
+}
+
+} // namespace
+
+void
+BatchConfig::validate() const
+{
+    if (maxRequests == 0) {
+        throw std::invalid_argument(
+            "BatchConfig: maxRequests must be >= 1");
+    }
+    if (!(maxLingerMs >= 0.0) || !std::isfinite(maxLingerMs)) {
+        throw std::invalid_argument(
+            "BatchConfig: maxLingerMs must be finite and >= 0");
+    }
+}
+
+BatchQueue::BatchQueue(const BatchConfig& cfg) : _cfg(cfg)
+{
+    _cfg.validate();
+}
+
+void
+BatchQueue::push(const PendingRequest& r)
+{
+    _pending.insert(r);
+}
+
+void
+BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
+                      double sla_ms, const ServiceModel& service,
+                      double straggle,
+                      std::vector<PendingRequest>& out)
+{
+    out.clear();
+    if (_pending.empty())
+        return;
+
+    const PendingRequest head = *_pending.begin();
+    _pending.erase(_pending.begin());
+    out.push_back(head);
+
+    double dispatch = std::max(core_free_ms, head.readyMs);
+    std::size_t total = head.samples;
+    double min_deadline = deadlineOf(head, sla_ms);
+
+    // A head that cannot meet its own deadline dispatches solo: the
+    // caller sheds it (first try) or runs it late (retry), and no
+    // follower gets dragged past its deadline with it.
+    if (dispatch + service.serviceMs(total) * straggle > min_deadline)
+        return;
+
+    // Followers must be ready within the linger window — or before
+    // the core frees up anyway, which costs the head nothing.
+    const double window =
+        std::max(dispatch, head.readyMs + _cfg.maxLingerMs);
+
+    auto it = _pending.begin();
+    while (it != _pending.end() && out.size() < cap) {
+        const PendingRequest& c = *it;
+        if (c.readyMs > window)
+            break; // queue is ready-ordered: nothing later fits
+        const double new_dispatch = std::max(dispatch, c.readyMs);
+        const std::size_t new_total = total + c.samples;
+        const double new_deadline =
+            std::min(min_deadline, deadlineOf(c, sla_ms));
+        if (new_dispatch + service.serviceMs(new_total) * straggle <=
+            new_deadline) {
+            out.push_back(c);
+            dispatch = new_dispatch;
+            total = new_total;
+            min_deadline = new_deadline;
+            it = _pending.erase(it);
+        } else {
+            // This member would blow a deadline; a later one with a
+            // looser deadline (or fewer samples) may still fit.
+            ++it;
+        }
+    }
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deadline-aware request coalescing queue for the serving loop.
+ *
+ * BatchQueue holds pending request attempts in deterministic
+ * (readyMs, seq) order and forms dispatch groups under three bounds:
+ *
+ *  - **capacity**: at most `cap` member requests per dispatch (the
+ *    caller shrinks the cap with the degradation tier — under tail
+ *    pressure the server coalesces less before it sheds at all);
+ *  - **linger**: a follower may join only if it is ready within
+ *    maxLingerMs of the head's ready time (or before the core frees
+ *    up anyway, which costs nothing to wait for);
+ *  - **deadline**: the whole group must finish by the *tightest*
+ *    member deadline under the batch-size-aware service estimate
+ *    serviceMs(total samples) — a request is never coalesced past its
+ *    deadline. Retries carry no deadline (they are always admitted,
+ *    matching the unbatched path), so a doomed retry simply cannot
+ *    accept followers with live deadlines it would push late.
+ *
+ * Formation is greedy in queue order and purely a function of the
+ * queue contents and the arguments, so batched sessions stay
+ * bit-reproducible on the virtual clock.
+ */
+
+#ifndef DLRMOPT_SERVE_BATCH_QUEUE_HPP
+#define DLRMOPT_SERVE_BATCH_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "serve/service_model.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Dynamic-batching knobs for the serving loop. */
+struct BatchConfig
+{
+    bool enabled = false;        //!< coalesce queued requests
+
+    std::size_t maxRequests = 8; //!< coalescing cap at tier 0
+
+    /** How long (virtual ms) the head may wait for followers beyond
+     *  its ready time. 0 still coalesces whatever is ready by the
+     *  time a core frees up. */
+    double maxLingerMs = 0.0;
+
+    /** @throws std::invalid_argument on a zero cap or negative /
+     *          non-finite linger. */
+    void validate() const;
+};
+
+/** One queued request attempt awaiting dispatch. */
+struct PendingRequest
+{
+    double readyMs = 0.0;     //!< earliest virtual start
+    std::uint64_t seq = 0;    //!< deterministic tie-break
+    std::uint64_t req = 0;    //!< request id
+    std::uint64_t tries = 0;  //!< attempts already burned
+    double arrivalMs = 0.0;   //!< original arrival (deadline anchor)
+    std::size_t samples = 0;  //!< batch size of this request
+};
+
+/**
+ * Deterministic coalescing queue. Not thread-safe; the serving loop
+ * owns it and advances it on the virtual clock.
+ */
+class BatchQueue
+{
+  public:
+    explicit BatchQueue(const BatchConfig& cfg);
+
+    void push(const PendingRequest& r);
+
+    bool empty() const { return _pending.empty(); }
+    std::size_t size() const { return _pending.size(); }
+
+    /** Ready time of the next head; queue must be non-empty. */
+    double headReadyMs() const { return _pending.begin()->readyMs; }
+
+    /**
+     * Pops the head and every compatible follower into @p out (head
+     * first, then queue order). The head is always dispatched — even
+     * when it alone cannot meet its deadline, in which case it is
+     * returned solo so the caller can shed it; followers only join
+     * when every member's deadline stays feasible.
+     *
+     * @param core_free_ms When the dispatching core frees up.
+     * @param cap Max member count this dispatch (tier-shrunk).
+     * @param sla_ms Per-request deadline offset from arrival.
+     * @param service Batch-size-aware service estimate.
+     * @param straggle Service multiplier of the dispatching core.
+     * @param out Reused output buffer (cleared first).
+     */
+    void nextBatch(double core_free_ms, std::size_t cap, double sla_ms,
+                   const ServiceModel& service, double straggle,
+                   std::vector<PendingRequest>& out);
+
+  private:
+    struct EarlierReady
+    {
+        bool
+        operator()(const PendingRequest& a,
+                   const PendingRequest& b) const
+        {
+            if (a.readyMs != b.readyMs)
+                return a.readyMs < b.readyMs;
+            return a.seq < b.seq;
+        }
+    };
+
+    BatchConfig _cfg;
+    std::set<PendingRequest, EarlierReady> _pending;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_BATCH_QUEUE_HPP

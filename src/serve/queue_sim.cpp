@@ -58,10 +58,25 @@ simulateQueueShedding(const std::vector<double>& arrivals,
                       double service_ms, std::size_t servers,
                       double sla_ms, bool admission)
 {
-    if (servers == 0)
-        throw std::invalid_argument("need at least one server");
     if (!(service_ms > 0.0))
         throw std::invalid_argument("service time must be positive");
+    return simulateQueueShedding(arrivals,
+                                 ServiceModel::constant(service_ms),
+                                 {1}, servers, sla_ms, admission);
+}
+
+ServeStats
+simulateQueueShedding(const std::vector<double>& arrivals,
+                      const ServiceModel& service,
+                      const std::vector<std::size_t>& batch_sizes,
+                      std::size_t servers, double sla_ms,
+                      bool admission)
+{
+    if (servers == 0)
+        throw std::invalid_argument("need at least one server");
+    if (batch_sizes.empty())
+        throw std::invalid_argument("need at least one batch size");
+    service.validate();
     if (!(sla_ms > 0.0))
         throw std::invalid_argument("SLA must be positive");
 
@@ -74,7 +89,10 @@ simulateQueueShedding(const std::vector<double>& arrivals,
     st.arrived = arrivals.size();
     double busy = 0.0;
     double makespan = 0.0;
-    for (const double t : arrivals) {
+    for (std::size_t r = 0; r < arrivals.size(); ++r) {
+        const double t = arrivals[r];
+        const double service_ms =
+            service.serviceMs(batch_sizes[r % batch_sizes.size()]);
         std::size_t s = 0;
         for (std::size_t i = 1; i < servers; ++i) {
             if (free_at[i] < free_at[s])
@@ -88,10 +106,12 @@ simulateQueueShedding(const std::vector<double>& arrivals,
         const double end = start + service_ms;
         free_at[s] = end;
         ++st.served;
+        ++st.dispatches;
         st.latency.add(end - t);
         busy += service_ms;
         makespan = std::max(makespan, end);
     }
+    st.makespanMs = makespan;
     if (makespan > 0.0) {
         st.serverUtilization =
             busy / (makespan * static_cast<double>(servers));

@@ -19,6 +19,7 @@
 
 #include "serve/latency_stats.hpp"
 #include "serve/serve_stats.hpp"
+#include "serve/service_model.hpp"
 
 namespace dlrmopt::serve
 {
@@ -67,6 +68,24 @@ QueueSimResult simulateQueue(const std::vector<double>& arrivals,
  */
 ServeStats simulateQueueShedding(const std::vector<double>& arrivals,
                                  double service_ms,
+                                 std::size_t servers, double sla_ms,
+                                 bool admission = true);
+
+/**
+ * Batch-size-aware variant: request i carries
+ * batch_sizes[i % batch_sizes.size()] samples and is serviced in
+ * service.serviceMs(samples) — the simulated twin of a Server
+ * configured with the same ServiceModel. With
+ * ServiceModel::constant(ms) and any batch sizes this reproduces the
+ * scalar overload exactly.
+ *
+ * @throws std::invalid_argument on zero servers, empty batch sizes,
+ *         a non-positive SLA, or an invalid service model.
+ */
+ServeStats simulateQueueShedding(const std::vector<double>& arrivals,
+                                 const ServiceModel& service,
+                                 const std::vector<std::size_t>&
+                                     batch_sizes,
                                  std::size_t servers, double sla_ms,
                                  bool admission = true);
 

@@ -170,17 +170,30 @@ Router::serve(const core::Tensor& dense,
                                    double ready) -> double {
         return std::max(0.0, free_at[i][earliestCore(i)] - ready);
     };
-    const auto serviceOn = [&](std::size_t i,
-                               std::size_t core) -> double {
+    const auto samplesOf = [&](std::uint64_t req) -> std::size_t {
+        return batches[req % batches.size()].batchSize;
+    };
+    const auto serviceOn = [&](std::size_t i, std::size_t core,
+                               std::size_t samples) -> double {
         const double straggle =
             _faults[i] ? _faults[i]->serviceFactor(core) : 1.0;
-        return _cfg.server.serviceMs * tier.serviceFactor * straggle;
+        return _cfg.server.service.serviceMs(samples) *
+               tier.serviceFactor * straggle;
     };
-    const auto healthScore = [&](std::size_t i, double ready) {
+    // Health score = projected *completion* on this instance: queue
+    // wait plus the batch-size-aware (and straggler-aware) service
+    // estimate for this request, plus tail-latency and failure/shed
+    // penalties. Using the per-request estimate instead of a constant
+    // lets the score separate instances whose queues look equal but
+    // whose effective service rates differ.
+    const auto healthScore = [&](std::size_t i, double ready,
+                                 std::size_t samples) {
         const double penalty =
             _cfg.failurePenaltyMs *
             static_cast<double>(_servers[i]->totalFailed() + sheds[i]);
-        return projectedWait(i, ready) + wins[i].p95() + penalty;
+        return projectedWait(i, ready) +
+               serviceOn(i, earliestCore(i), samples) + wins[i].p95() +
+               penalty;
     };
 
     std::uint64_t rr = 0;
@@ -223,7 +236,8 @@ Router::serve(const core::Tensor& dense,
             for (std::size_t i = 0; i < n; ++i) {
                 if (static_cast<int>(i) == a.exclude)
                     continue;
-                const double s = healthScore(i, a.readyMs);
+                const double s =
+                    healthScore(i, a.readyMs, samplesOf(a.req));
                 if (s < best_score) {
                     best_score = s;
                     best = i;
@@ -273,7 +287,7 @@ Router::serve(const core::Tensor& dense,
         const std::size_t core = earliestCore(inst);
         const double start = std::max(free_at[inst][core], a.readyMs);
         const double wait = start - a.readyMs;
-        const double service = serviceOn(inst, core);
+        const double service = serviceOn(inst, core, samplesOf(a.req));
 
         // Admission control at the routed instance. Retries and
         // failovers are always admitted — their work is already paid
@@ -287,7 +301,8 @@ Router::serve(const core::Tensor& dense,
             bool any_fits = false;
             for (std::size_t j = 0; j < n && !any_fits; ++j) {
                 any_fits = projectedWait(j, a.readyMs) +
-                               serviceOn(j, earliestCore(j)) <=
+                               serviceOn(j, earliestCore(j),
+                                         samplesOf(a.req)) <=
                            sla;
             }
             if (!any_fits)

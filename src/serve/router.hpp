@@ -13,10 +13,12 @@
  *  - round-robin: requests cycle through instances;
  *  - power-of-two-choices: two seed-derived candidate instances,
  *    the less-queued one (earliest projected start) wins;
- *  - health-aware: every instance is scored by projected queue wait
- *    plus penalties for its recent served-latency p95 (WindowedP95)
- *    and its accumulated failure/shed history (CoreHealth::failed and
- *    admission sheds) — the lowest score wins.
+ *  - health-aware: every instance is scored by its projected
+ *    completion for *this* request — queue wait plus the batch-size-
+ *    and straggler-aware ServiceModel estimate — plus penalties for
+ *    its recent served-latency p95 (WindowedP95) and its accumulated
+ *    failure/shed history (CoreHealth::failed and admission sheds);
+ *    the lowest score wins.
  *
  * Fault handling composes with the per-instance machinery: a request
  * that exhausts its retry budget on one instance is re-dispatched

@@ -8,15 +8,18 @@ namespace dlrmopt::serve
 std::string
 ServeStats::summary() const
 {
-    char buf[256];
+    char buf[320];
+    const double per_dispatch = dispatches
+        ? static_cast<double>(served) / static_cast<double>(dispatches)
+        : 0.0;
     std::snprintf(
         buf, sizeof(buf),
         "arrived %zu served %zu shed %zu failed %zu retried %zu "
-        "(shed %.1f%%) | p50 %.3f p95 %.3f p99 %.3f ms | tier %d "
-        "(%zu escalations)",
+        "(shed %.1f%%) | %zu dispatches (%.2f served/dispatch) | "
+        "p50 %.3f p95 %.3f p99 %.3f ms | tier %d (%zu escalations)",
         arrived, served, shed, failed, retried, 100.0 * shedRate(),
-        latency.percentile(50.0), latency.p95(), latency.p99(),
-        finalTier, degradeEscalations);
+        dispatches, per_dispatch, latency.percentile(50.0),
+        latency.p95(), latency.p99(), finalTier, degradeEscalations);
     return buf;
 }
 

@@ -33,6 +33,16 @@ struct ServeStats
 
     LatencyStats latency; //!< end-to-end latency of served requests
 
+    /** Dispatches executed on the virtual clock. Without batching
+     *  every attempt is one dispatch; with coalescing enabled,
+     *  served / dispatches is the mean coalesced batch size. */
+    std::size_t dispatches = 0;
+
+    /** Virtual end time of the last completed dispatch. served /
+     *  makespanMs compares sustained throughput across policies over
+     *  the same arrival stream. */
+    double makespanMs = 0.0;
+
     double serverUtilization = 0.0; //!< busy time / total capacity
 
     /** Real kernel wall-clock spent on inference (0 in pure sim). */

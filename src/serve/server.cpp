@@ -47,9 +47,8 @@ Server::Server(const core::DlrmModel& model,
 {
     if (!(cfg.slaMs > 0.0) || !std::isfinite(cfg.slaMs))
         throw std::invalid_argument("Server: SLA must be positive");
-    if (!(cfg.serviceMs > 0.0) || !std::isfinite(cfg.serviceMs))
-        throw std::invalid_argument(
-            "Server: serviceMs must be positive");
+    cfg.service.validate();
+    cfg.batching.validate();
     if (cfg.backoffBaseMs < 0.0 ||
         cfg.backoffCapMs < cfg.backoffBaseMs) {
         throw std::invalid_argument(
@@ -128,6 +127,9 @@ Server::serve(const core::Tensor& dense,
     if (batches.empty())
         throw std::invalid_argument("Server: need at least one batch");
 
+    if (_cfg.batching.enabled)
+        return serveBatched(dense, batches, arrivals_ms, pf);
+
     const std::size_t cores = _pool.numCores();
     const std::size_t rows = _model.config().rows;
 
@@ -178,8 +180,14 @@ Server::serve(const core::Tensor& dense,
         const double wait = start - a.readyMs;
         const double straggle =
             _fault ? _fault->serviceFactor(core) : 1.0;
-        const double service =
-            _cfg.serviceMs * tier.serviceFactor * straggle;
+        const core::SparseBatch& base =
+            batches[a.req % batches.size()];
+        const std::size_t eff_batch = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::floor(tier.batchFraction *
+                              static_cast<double>(base.batchSize))));
+        const double service = _cfg.service.serviceMs(eff_batch) *
+                               tier.serviceFactor * straggle;
 
         // Admission control: shed on arrival when the projected
         // completion already misses the deadline. Retries are always
@@ -193,12 +201,6 @@ Server::serve(const core::Tensor& dense,
         // Real execution. Any throw — injected fault, bad_alloc,
         // IndexError from a poisoned index — lands here via the
         // pool's futures instead of killing the process.
-        const core::SparseBatch& base =
-            batches[a.req % batches.size()];
-        const std::size_t eff_batch = std::max<std::size_t>(
-            1, static_cast<std::size_t>(
-                   std::floor(tier.batchFraction *
-                              static_cast<double>(base.batchSize))));
         core::SparseBatch sparse = eff_batch < base.batchSize
             ? base.truncated(eff_batch)
             : base;
@@ -216,6 +218,7 @@ Server::serve(const core::Tensor& dense,
         }
 
         // Failed or not, the attempt burned the core (virtually).
+        ++st.dispatches;
         const double end = start + service;
         free_at[core] = end;
         busy += service;
@@ -239,6 +242,233 @@ Server::serve(const core::Tensor& dense,
         }
     }
 
+    st.makespanMs = makespan;
+    if (makespan > 0.0) {
+        st.serverUtilization =
+            busy / (makespan * static_cast<double>(cores));
+    }
+    st.degradeEscalations = policy.escalations();
+    st.finalTier = policy.tier();
+    return st;
+}
+
+double
+Server::executeBatchedAttempt(
+    std::size_t core,
+    const std::vector<const core::SparseBatch *>& parts,
+    const std::vector<const core::Tensor *>& dense_parts,
+    const DegradeState& tier, const core::PrefetchSpec& pf)
+{
+    using Clock = std::chrono::steady_clock;
+    const core::PrefetchSpec eff_pf =
+        tier.prefetchEnabled ? pf : core::PrefetchSpec{};
+
+    // Coalesce on the serving thread (pure data movement into the
+    // persistent workspace), run the fused forward on the pool.
+    const core::SparseBatch& merged =
+        _batchWs.coalesce(parts, dense_parts);
+    const core::Tensor& dense = _batchWs.stagedDense();
+
+    const auto t0 = Clock::now();
+    auto f = _pool.submit(core, [this, &dense, &merged, eff_pf] {
+        _batchWs.forward(_model, dense, merged, eff_pf);
+    });
+    f.wait();
+    f.get();
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+ServeStats
+Server::serveBatched(const core::Tensor& dense,
+                     const std::vector<core::SparseBatch>& batches,
+                     const std::vector<double>& arrivals_ms,
+                     const core::PrefetchSpec& pf)
+{
+    const std::size_t cores = _pool.numCores();
+    const std::size_t rows = _model.config().rows;
+
+    DegradationPolicy policy(_cfg.degrade, _cfg.slaMs);
+
+    // Size the persistent workspace for the largest possible
+    // coalesced dispatch; every later reshape stays within capacity.
+    std::size_t max_req_batch = 1;
+    std::size_t max_lookups = 1;
+    for (const auto& b : batches) {
+        max_req_batch = std::max(max_req_batch, b.batchSize);
+        for (const auto& v : b.indices) {
+            max_lookups = std::max<std::size_t>(
+                max_lookups,
+                (v.size() + b.batchSize - 1) / b.batchSize);
+        }
+    }
+    const std::size_t max_coalesced =
+        max_req_batch * _cfg.batching.maxRequests;
+    if (_batchWs.maxBatch() < max_coalesced)
+        _batchWs.reserve(_model, max_coalesced, max_lookups);
+
+    // Dense inputs per request batch size, reference-stable.
+    std::map<std::size_t, core::Tensor> dense_by_rows;
+    const auto denseFor =
+        [&](std::size_t n) -> const core::Tensor& {
+        auto it = dense_by_rows.find(n);
+        if (it == dense_by_rows.end()) {
+            core::Tensor t(n, dense.cols());
+            std::memcpy(t.data(), dense.data(),
+                        n * dense.cols() * sizeof(float));
+            it = dense_by_rows.emplace(n, std::move(t)).first;
+        }
+        return it->second;
+    };
+
+    BatchQueue queue(_cfg.batching);
+    std::uint64_t seq = 0;
+    for (std::size_t r = 0; r < arrivals_ms.size(); ++r) {
+        const auto& b = batches[r % batches.size()];
+        queue.push(PendingRequest{arrivals_ms[r], seq++, r, 0,
+                                  arrivals_ms[r], b.batchSize});
+    }
+
+    std::vector<double> free_at(cores, 0.0);
+    ServeStats st;
+    st.arrived = arrivals_ms.size();
+    double busy = 0.0;
+    double makespan = 0.0;
+
+    // Reused per-dispatch scratch (cleared, never shrunk).
+    std::vector<PendingRequest> members;
+    std::vector<const core::SparseBatch *> parts;
+    std::vector<const core::Tensor *> dense_parts;
+    std::vector<std::size_t> member_sizes;
+    std::vector<char> member_ok;
+    std::vector<core::SparseBatch> corrupted;
+
+    while (!queue.empty()) {
+        // Earliest-free core, lowest index on ties (deterministic).
+        std::size_t core = 0;
+        for (std::size_t c = 1; c < cores; ++c) {
+            if (free_at[c] < free_at[core])
+                core = c;
+        }
+
+        const DegradeState tier = policy.state();
+        const double straggle =
+            _fault ? _fault->serviceFactor(core) : 1.0;
+
+        // Degradation shrinks how much we coalesce before anything
+        // is shed: less batching trims the service estimate, which
+        // keeps marginal requests admissible.
+        const std::size_t cap = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::floor(tier.batchFraction *
+                              static_cast<double>(
+                                  _cfg.batching.maxRequests))));
+
+        queue.nextBatch(free_at[core], cap, _cfg.slaMs, _cfg.service,
+                        straggle, members);
+
+        double latest_ready = members.front().readyMs;
+        std::size_t total_samples = 0;
+        for (const auto& m : members) {
+            latest_ready = std::max(latest_ready, m.readyMs);
+            total_samples += m.samples;
+        }
+        const double start = std::max(free_at[core], latest_ready);
+        const double service =
+            _cfg.service.serviceMs(total_samples) * straggle;
+
+        // Admission control: a solo head on its first try whose
+        // projected completion misses the deadline is shed (multi-
+        // member groups are deadline-feasible by construction, and
+        // retries are always admitted).
+        if (_cfg.admission && members.size() == 1 &&
+            members.front().tries == 0 &&
+            start + service >
+                members.front().arrivalMs + _cfg.slaMs) {
+            ++st.shed;
+            continue;
+        }
+
+        // Per-member fault resolution *before* the fused forward, so
+        // one poisoned request fails alone instead of taking its
+        // batch siblings down with it. Hits burn the member's attempt
+        // exactly like the unbatched path.
+        parts.clear();
+        dense_parts.clear();
+        member_sizes.clear();
+        member_ok.assign(members.size(), 1);
+        corrupted.clear();
+        if (_fault)
+            corrupted.reserve(members.size());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            const auto& m = members[i];
+            const core::SparseBatch *sparse =
+                &batches[m.req % batches.size()];
+            if (_fault) {
+                try {
+                    _fault->maybeThrow(m.req, m.tries);
+                } catch (...) {
+                    member_ok[i] = 0;
+                    continue;
+                }
+                corrupted.push_back(_fault->maybeCorrupt(
+                    *sparse, rows, m.req, m.tries));
+                sparse = &corrupted.back();
+                if (!sparse->valid(rows)) {
+                    // Poisoned index: the bounds-checked kernel would
+                    // raise IndexError; fail the member pre-dispatch.
+                    member_ok[i] = 0;
+                    continue;
+                }
+            }
+            parts.push_back(sparse);
+            dense_parts.push_back(&denseFor(m.samples));
+            member_sizes.push_back(m.samples);
+        }
+
+        bool exec_ok = true;
+        if (!parts.empty()) {
+            try {
+                st.execTotalMs += executeBatchedAttempt(
+                    core, parts, dense_parts, tier, pf);
+                core::splitPredictions(_batchWs.predictions(),
+                                       member_sizes, _splitScratch);
+            } catch (...) {
+                exec_ok = false;
+            }
+        }
+
+        // The dispatch burned the core whether or not members failed.
+        ++st.dispatches;
+        const double end = start + service;
+        free_at[core] = end;
+        busy += service;
+        makespan = std::max(makespan, end);
+
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            const auto& m = members[i];
+            const bool ok = member_ok[i] && exec_ok;
+            if (ok) {
+                ++st.served;
+                const double latency = end - m.arrivalMs;
+                st.latency.add(latency);
+                policy.observe(latency);
+            } else if (m.tries < _cfg.maxRetries) {
+                ++st.retried;
+                const double backoff = std::min(
+                    _cfg.backoffBaseMs *
+                        static_cast<double>(1ull << m.tries),
+                    _cfg.backoffCapMs);
+                queue.push(PendingRequest{end + backoff, seq++, m.req,
+                                          m.tries + 1, m.arrivalMs,
+                                          m.samples});
+            } else {
+                ++st.failed;
+            }
+        }
+    }
+
+    st.makespanMs = makespan;
     if (makespan > 0.0) {
         st.serverUtilization =
             busy / (makespan * static_cast<double>(cores));

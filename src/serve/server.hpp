@@ -9,6 +9,13 @@
  *  - enforces per-request deadlines with admission control: a request
  *    whose projected queue wait already blows the SLA is shed on
  *    arrival (load shedding, counted in ServeStats::shed);
+ *  - optionally coalesces queued requests into larger dispatches
+ *    (ServerConfig::batching + serve/batch_queue.hpp), bounded by the
+ *    tightest member deadline, amortizing the per-dispatch fixed cost
+ *    captured by the batch-size-aware ServiceModel — the coalesced
+ *    forward runs allocation-free through a persistent
+ *    core::ForwardWorkspace and is bitwise-identical to per-request
+ *    execution;
  *  - executes admitted requests as *real* DLRM inference on an
  *    exception-safe HtThreadPool using the paper's MP-HT stage
  *    colocation (falling back to sequential execution in the deepest
@@ -40,8 +47,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batching.hpp"
 #include "core/dlrm.hpp"
 #include "sched/ht_thread_pool.hpp"
+#include "serve/batch_queue.hpp"
 #include "serve/degrade.hpp"
 #include "serve/fault.hpp"
 #include "serve/serve_stats.hpp"
@@ -53,7 +62,15 @@ namespace dlrmopt::serve
 struct ServerConfig
 {
     double slaMs = 100.0;    //!< per-request deadline
-    double serviceMs = 1.0;  //!< estimated tier-0 per-batch service
+
+    /** Batch-size-aware tier-0 service estimate driving the virtual
+     *  clock; ServiceModel::constant() reproduces the legacy scalar
+     *  per-batch behaviour exactly. */
+    ServiceModel service = ServiceModel::constant(1.0);
+
+    /** Dynamic request coalescing (serve/batch_queue.hpp). Disabled
+     *  by default: every request dispatches alone. */
+    BatchConfig batching;
 
     bool admission = true;   //!< shed on projected deadline miss
 
@@ -134,10 +151,36 @@ class Server
                           std::uint64_t req, std::uint64_t attempt);
 
   private:
+    /**
+     * Event loop used when cfg.batching.enabled: a BatchQueue
+     * coalesces queued requests up to the tier-shrunk cap / linger /
+     * tightest member deadline, and each dispatch runs one coalesced
+     * forward through the persistent ForwardWorkspace (zero heap
+     * allocations in the steady state when no fault injector forces
+     * per-attempt batch copies).
+     */
+    ServeStats serveBatched(const core::Tensor& dense,
+                            const std::vector<core::SparseBatch>& batches,
+                            const std::vector<double>& arrivals_ms,
+                            const core::PrefetchSpec& pf);
+
+    /** Runs one coalesced dispatch on @p core; returns kernel wall
+     *  ms. Throws whatever the pool task threw. */
+    double executeBatchedAttempt(
+        std::size_t core,
+        const std::vector<const core::SparseBatch *>& parts,
+        const std::vector<const core::Tensor *>& dense_parts,
+        const DegradeState& tier, const core::PrefetchSpec& pf);
+
     const core::DlrmModel& _model;
     ServerConfig _cfg;
     const FaultInjector *_fault;
     sched::HtThreadPool _pool;
+
+    /** Preallocated batched-forward scratch, sized on first batched
+     *  session and reused for every dispatch thereafter. */
+    core::ForwardWorkspace _batchWs;
+    std::vector<core::PredictionSpan> _splitScratch;
 };
 
 } // namespace dlrmopt::serve

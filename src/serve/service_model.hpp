@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Batch-size-aware service-time model for the serving layer.
+ *
+ * The virtual-clock serving loops (Server, Router, the shedding queue
+ * simulator) need a deterministic estimate of how long one dispatch
+ * takes. A single scalar per-request number cannot price coalesced
+ * batches: real DLRM forwards have a fixed per-dispatch cost (kernel
+ * launch, small-batch GEMM inefficiency, stage setup) plus a marginal
+ * per-sample cost, which is exactly why coalescing k small requests
+ * into one dispatch beats k dispatches. ServiceModel is that affine
+ * model: serviceMs(n) = baseMs + perSampleMs * n, calibrated from
+ * measured forwards, with constant(ms) reproducing the legacy scalar
+ * behaviour bit-for-bit (serviceMs(n) == ms for every n).
+ */
+
+#ifndef DLRMOPT_SERVE_SERVICE_MODEL_HPP
+#define DLRMOPT_SERVE_SERVICE_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dlrm.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Affine batch-size -> service-time model (virtual milliseconds). */
+struct ServiceModel
+{
+    double baseMs = 0.0;      //!< fixed cost per dispatch
+    double perSampleMs = 1.0; //!< marginal cost per sample
+
+    /** Estimated service time for one dispatch of @p samples. */
+    double
+    serviceMs(std::size_t samples) const
+    {
+        return baseMs + perSampleMs * static_cast<double>(samples);
+    }
+
+    /**
+     * Batch-size-independent model: serviceMs(n) == ms for every n.
+     * Reproduces the legacy scalar `serviceMs` accounting exactly.
+     */
+    static ServiceModel
+    constant(double ms)
+    {
+        return ServiceModel{ms, 0.0};
+    }
+
+    /**
+     * Least-squares fit of (batch size, measured ms) pairs. Negative
+     * fitted coefficients are clamped to the physical model (a flat
+     * fit when the slope comes out negative, a through-origin fit
+     * when the intercept does).
+     *
+     * @throws std::invalid_argument on empty or mismatched inputs.
+     */
+    static ServiceModel fit(const std::vector<std::size_t>& batch_sizes,
+                            const std::vector<double>& measured_ms);
+
+    /** @throws std::invalid_argument unless 0 <= base, 0 <= per,
+     *          base + per > 0, and both are finite. */
+    void validate() const;
+};
+
+/**
+ * Calibrates a ServiceModel from real forwards: runs the model at
+ * each probe batch size (@p batch truncated per probe), takes the
+ * fastest of @p reps wall-clock repetitions per size, and fits.
+ *
+ * @param probe_sizes Batch sizes to measure (clamped to the batch).
+ * @param reps Repetitions per size (>= 1; the min is kept).
+ *
+ * @throws std::invalid_argument on empty probe sizes or zero reps.
+ */
+ServiceModel calibrateServiceModel(const core::DlrmModel& model,
+                                   const core::Tensor& dense,
+                                   const core::SparseBatch& batch,
+                                   const std::vector<std::size_t>&
+                                       probe_sizes,
+                                   std::size_t reps = 3);
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_SERVICE_MODEL_HPP

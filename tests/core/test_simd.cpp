@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "core/gemm.hpp"
 #include "core/simd.hpp"
 
 namespace
@@ -90,5 +91,87 @@ TEST(Simd, EmbeddingBagIdenticalAcrossLevels)
     t.bag(idx.data(), off.data(), 2, simd_out.data());
     EXPECT_EQ(scalar_out, simd_out);
 }
+
+class SigmoidLengths : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SigmoidLengths, VectorVariantsTrackTheExactScalar)
+{
+    // The vector kernels use a polynomial exp; they must stay within
+    // a tight relative tolerance of the libm-exact scalar everywhere,
+    // including the clamp region and both tails.
+    const std::size_t n = GetParam();
+    std::vector<float> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = static_cast<float>(
+            dlrmopt::toUnitInterval(dlrmopt::mix64(7 + i)) * 40.0 -
+            20.0);
+    }
+    if (n > 2) {
+        x[0] = 0.0f;
+        x[1] = -100.0f; // beyond the exp clamp
+        x[2] = 100.0f;
+    }
+
+    auto exact = x;
+    sigmoidInplaceScalar(exact.data(), n);
+    for (auto& variant : {&sigmoidInplaceAvx2, &sigmoidInplaceAvx512}) {
+        auto got = x;
+        variant(got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(got[i], exact[i], 2e-7f)
+                << "x = " << x[i] << " at " << i;
+            EXPECT_GE(got[i], 0.0f);
+            EXPECT_LE(got[i], 1.0f);
+        }
+    }
+}
+
+TEST_P(SigmoidLengths, ResultIsPositionIndependent)
+{
+    // Batching correctness hinges on every lane producing the same
+    // bits regardless of where the element sits in the array: a
+    // sample's prediction must not depend on its coalesced position.
+    const std::size_t n = GetParam();
+    if (n == 0)
+        return;
+    std::vector<float> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = static_cast<float>(
+            dlrmopt::toUnitInterval(dlrmopt::mix64(91 + i)) * 16.0 -
+            8.0);
+    }
+
+    const SimdLevel cap = detectSimdLevel();
+    for (const SimdLevel lvl :
+         {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512}) {
+        if (static_cast<int>(lvl) > static_cast<int>(cap))
+            continue;
+        setSimdLevel(lvl);
+        auto whole = x;
+        sigmoidInplace(whole.data(), n);
+        // Re-run each element alone at an arbitrary offset.
+        for (std::size_t i = 0; i < n; ++i) {
+            float solo[1] = {x[i]};
+            sigmoidInplace(solo, 1);
+            ASSERT_EQ(whole[i], solo[0])
+                << simdLevelName(lvl) << " lane " << i;
+        }
+        // And as a shifted subarray (different lane assignment).
+        if (n > 1) {
+            auto shifted = std::vector<float>(x.begin() + 1, x.end());
+            sigmoidInplace(shifted.data(), shifted.size());
+            for (std::size_t i = 0; i + 1 < n; ++i)
+                ASSERT_EQ(whole[i + 1], shifted[i]);
+        }
+    }
+    setSimdLevel(cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SigmoidLengths,
+                         ::testing::Values(std::size_t(0), 1, 3, 7, 8,
+                                           9, 15, 16, 17, 31, 33,
+                                           128, 1000));
 
 } // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the deadline-aware coalescing queue and the batch-size-
+ * aware service model: group-formation semantics (linger window,
+ * capacity cap, tightest-member deadline, solo infeasible heads,
+ * deadline-free retries), ServiceModel fitting/validation, and the
+ * batch-aware shedding queue simulator's equivalence with the scalar
+ * overload under a constant model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "serve/batch_queue.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/queue_sim.hpp"
+#include "serve/service_model.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+
+PendingRequest
+req(double ready, std::uint64_t seq, std::size_t samples = 1,
+    std::uint64_t tries = 0)
+{
+    PendingRequest r;
+    r.readyMs = ready;
+    r.seq = seq;
+    r.req = seq;
+    r.tries = tries;
+    r.arrivalMs = ready;
+    r.samples = samples;
+    return r;
+}
+
+TEST(ServiceModel, ConstantIsBatchSizeIndependent)
+{
+    const ServiceModel m = ServiceModel::constant(2.5);
+    EXPECT_DOUBLE_EQ(m.serviceMs(1), 2.5);
+    EXPECT_DOUBLE_EQ(m.serviceMs(64), 2.5);
+    m.validate();
+}
+
+TEST(ServiceModel, FitRecoversAnAffineLaw)
+{
+    // Exact data from 0.5 + 0.25n must be recovered exactly (the
+    // normal equations are solved in closed form).
+    const std::vector<std::size_t> n = {1, 2, 4, 8, 16};
+    std::vector<double> ms;
+    for (const auto s : n)
+        ms.push_back(0.5 + 0.25 * static_cast<double>(s));
+    const ServiceModel m = ServiceModel::fit(n, ms);
+    EXPECT_NEAR(m.baseMs, 0.5, 1e-9);
+    EXPECT_NEAR(m.perSampleMs, 0.25, 1e-9);
+}
+
+TEST(ServiceModel, FitClampsUnphysicalCoefficients)
+{
+    // Decreasing times would fit a negative slope: clamp to flat.
+    const ServiceModel flat =
+        ServiceModel::fit({1, 2, 4}, {4.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(flat.perSampleMs, 0.0);
+    EXPECT_DOUBLE_EQ(flat.baseMs, 3.0);
+    flat.validate();
+
+    // A steep through-origin law would fit a negative intercept:
+    // clamp to base 0 and keep a positive slope.
+    const ServiceModel origin =
+        ServiceModel::fit({1, 10}, {0.1, 10.0});
+    EXPECT_DOUBLE_EQ(origin.baseMs, 0.0);
+    EXPECT_GT(origin.perSampleMs, 0.0);
+    origin.validate();
+}
+
+TEST(ServiceModel, ValidateRejectsBadModels)
+{
+    EXPECT_THROW(ServiceModel::constant(-1.0).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((ServiceModel{0.0, 0.0}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW((ServiceModel{1.0, -0.5}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ServiceModel::fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(ServiceModel::fit({1, 2}, {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(BatchConfig, ValidateRejectsBadKnobs)
+{
+    BatchConfig c;
+    c.maxRequests = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.maxLingerMs = -1.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+class BatchQueueTest : public ::testing::Test
+{
+  protected:
+    BatchConfig cfg;
+    ServiceModel svc = ServiceModel{0.5, 0.1}; // 0.5 + 0.1n ms
+    std::vector<PendingRequest> out;
+};
+
+TEST_F(BatchQueueTest, CoalescesEverythingReadyByDispatchTime)
+{
+    // Three requests queued while the core was busy until t=10: all
+    // are ready by dispatch, so even with zero linger they coalesce.
+    cfg.maxLingerMs = 0.0;
+    BatchQueue q(cfg);
+    q.push(req(1.0, 0));
+    q.push(req(2.0, 1));
+    q.push(req(3.0, 2));
+
+    q.nextBatch(10.0, 8, 100.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(out[1].seq, 1u);
+    EXPECT_EQ(out[2].seq, 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_F(BatchQueueTest, LingerWindowBoundsHowLongTheHeadWaits)
+{
+    // Head ready at 0 on an idle core; follower ready at 5. With a
+    // 2ms linger the follower is outside the window; with 6ms it
+    // joins.
+    cfg.maxLingerMs = 2.0;
+    BatchQueue tight(cfg);
+    tight.push(req(0.0, 0));
+    tight.push(req(5.0, 1));
+    tight.nextBatch(0.0, 8, 100.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 1u);
+
+    cfg.maxLingerMs = 6.0;
+    BatchQueue loose(cfg);
+    loose.push(req(0.0, 0));
+    loose.push(req(5.0, 1));
+    loose.nextBatch(0.0, 8, 100.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(BatchQueueTest, CapacityCapLimitsTheGroup)
+{
+    BatchQueue q(cfg);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        q.push(req(0.0, i));
+    q.nextBatch(1.0, 4, 100.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(q.size(), 2u);
+    // The survivors are the latest two in queue order.
+    q.nextBatch(1.0, 4, 100.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].seq, 4u);
+    EXPECT_EQ(out[1].seq, 5u);
+}
+
+TEST_F(BatchQueueTest, NeverCoalescesAMemberPastItsDeadline)
+{
+    // Head (16 samples) alone: 0.5 + 1.6 = 2.1ms, fine under a 3ms
+    // SLA. Adding the follower's 16 samples doubles the group to
+    // 3.7ms, blowing both deadlines -> the follower must stay queued.
+    BatchQueue q(cfg);
+    q.push(req(0.0, 0, 16));
+    q.push(req(0.0, 1, 16));
+    q.nextBatch(0.0, 8, 3.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST_F(BatchQueueTest, SkipsAnInfeasibleMemberButKeepsScanning)
+{
+    // Follower seq=1 is huge (deadline-infeasible in a group);
+    // follower seq=2 is tiny and must still be picked up behind it.
+    BatchQueue q(cfg);
+    q.push(req(0.0, 0, 4));
+    q.push(req(0.0, 1, 64));
+    q.push(req(0.0, 2, 1));
+    q.nextBatch(0.0, 8, 2.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(out[1].seq, 2u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST_F(BatchQueueTest, InfeasibleHeadDispatchesSoloForShedding)
+{
+    // The head alone blows its deadline: it must come back solo (the
+    // serving loop sheds it) and must not drag the follower with it.
+    BatchQueue q(cfg);
+    q.push(req(0.0, 0, 64));
+    q.push(req(0.0, 1, 1));
+    q.nextBatch(0.0, 8, 1.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST_F(BatchQueueTest, RetriesCarryNoDeadline)
+{
+    // Same shape as the solo-shed case, but the head is a retry:
+    // retries are always admitted, and the follower's own deadline
+    // still vetoes joining the doomed group.
+    BatchQueue q(cfg);
+    q.push(req(0.0, 0, 64, /*tries=*/1));
+    q.push(req(0.0, 1, 1));
+    q.nextBatch(0.0, 8, 1.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].tries, 1u);
+
+    // Two retries together: no deadline constrains them at all.
+    BatchQueue q2(cfg);
+    q2.push(req(0.0, 0, 64, 1));
+    q2.push(req(0.0, 1, 64, 2));
+    q2.nextBatch(0.0, 8, 1.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(BatchQueueTest, StraggleScalesTheFeasibilityCheck)
+{
+    // On a 1x core two 8-sample requests fit a 3ms SLA
+    // (0.5 + 1.6 = 2.1ms); on a 2x straggler they do not (4.2ms).
+    BatchQueue q(cfg);
+    q.push(req(0.0, 0, 8));
+    q.push(req(0.0, 1, 8));
+    q.nextBatch(0.0, 8, 3.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 2u);
+
+    BatchQueue q2(cfg);
+    q2.push(req(0.0, 0, 8));
+    q2.push(req(0.0, 1, 8));
+    q2.nextBatch(0.0, 8, 3.0, svc, 2.0, out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(QueueSimBatchAware, ConstantModelReproducesScalarOverload)
+{
+    const auto arrivals = PoissonLoadGen(0.8, 11).arrivals(500);
+    const auto scalar =
+        simulateQueueShedding(arrivals, 1.5, 2, 10.0);
+    const auto batch = simulateQueueShedding(
+        arrivals, ServiceModel::constant(1.5), {4, 16, 64}, 2, 10.0);
+    EXPECT_EQ(scalar.served, batch.served);
+    EXPECT_EQ(scalar.shed, batch.shed);
+    EXPECT_EQ(scalar.dispatches, batch.dispatches);
+    EXPECT_DOUBLE_EQ(scalar.latency.p95(), batch.latency.p95());
+    EXPECT_DOUBLE_EQ(scalar.makespanMs, batch.makespanMs);
+}
+
+TEST(QueueSimBatchAware, BiggerRequestsTakeLongerAndShedMore)
+{
+    const auto arrivals = PoissonLoadGen(1.0, 3).arrivals(400);
+    const ServiceModel svc{0.5, 0.05};
+    const auto small =
+        simulateQueueShedding(arrivals, svc, {4}, 1, 8.0);
+    const auto big =
+        simulateQueueShedding(arrivals, svc, {64}, 1, 8.0);
+    EXPECT_GT(big.shed, small.shed);
+    EXPECT_THROW(simulateQueueShedding(arrivals, svc, {}, 1, 8.0),
+                 std::invalid_argument);
+}
+
+} // namespace

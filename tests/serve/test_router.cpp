@@ -97,7 +97,7 @@ TEST_F(RouterTest, ServesACleanStreamOnEveryPolicy)
         cfg.instances = 2;
         cfg.policy = p;
         cfg.server.slaMs = 50.0;
-        cfg.server.serviceMs = 1.0;
+        cfg.server.service = ServiceModel::constant(1.0);
         Router router(smallModel(), store,
                       sched::Topology::synthetic(4, 2), cfg);
         const auto rs = router.serve(dense, batches, arrivals);
@@ -135,7 +135,7 @@ TEST_F(RouterTest, Po2SessionIsDeterministicUnderFixedSeed)
     cfg.policy = RoutePolicy::PowerOfTwo;
     cfg.seed = 9;
     cfg.server.slaMs = 25.0;
-    cfg.server.serviceMs = 1.0;
+    cfg.server.service = ServiceModel::constant(1.0);
     cfg.server.maxRetries = 2;
 
     const auto arrivals = PoissonLoadGen(1.5, 9).arrivals(300);
@@ -188,7 +188,7 @@ TEST_F(RouterTest, HealthAwareBeatsRoundRobinAroundAStraggler)
     RouterConfig cfg;
     cfg.instances = 2;
     cfg.server.slaMs = 6.0;
-    cfg.server.serviceMs = 1.0;
+    cfg.server.service = ServiceModel::constant(1.0);
 
     const auto arrivals = PoissonLoadGen(1.2, 7).arrivals(300);
 
@@ -226,7 +226,7 @@ TEST_F(RouterTest, FailoverRedispatchesAfterRetryExhaustion)
     cfg.instances = 2;
     cfg.policy = RoutePolicy::RoundRobin;
     cfg.server.slaMs = 50.0;
-    cfg.server.serviceMs = 1.0;
+    cfg.server.service = ServiceModel::constant(1.0);
     cfg.server.maxRetries = 1;
     cfg.maxFailovers = 1;
 
@@ -264,7 +264,7 @@ TEST_F(RouterTest, ClusterShedsWhenNoInstanceCanMeetTheSla)
     RouterConfig cfg;
     cfg.instances = 2;
     cfg.server.slaMs = 0.5;
-    cfg.server.serviceMs = 1.0;
+    cfg.server.service = ServiceModel::constant(1.0);
 
     const auto arrivals = PoissonLoadGen(2.0, 3).arrivals(40);
     Router router(smallModel(), store,

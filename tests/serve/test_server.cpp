@@ -58,7 +58,7 @@ TEST_F(ServerTest, ServesACleanStreamCompletely)
 {
     ServerConfig cfg;
     cfg.slaMs = 50.0;
-    cfg.serviceMs = 1.0;
+    cfg.service = ServiceModel::constant(1.0);
     Server srv(model, sched::Topology::synthetic(2, 2), cfg);
 
     const auto arrivals = PoissonLoadGen(2.0, 3).arrivals(100);
@@ -82,7 +82,7 @@ TEST_F(ServerTest, AdmissionControlShedsOverloadAndProtectsTheTail)
     // what it *does* serve must stay within the SLA.
     ServerConfig cfg;
     cfg.slaMs = 10.0;
-    cfg.serviceMs = 1.0;
+    cfg.service = ServiceModel::constant(1.0);
     Server srv(model, sched::Topology::synthetic(2, 2), cfg);
 
     const auto arrivals = PoissonLoadGen(0.2, 3).arrivals(300);
@@ -114,7 +114,7 @@ TEST_F(ServerTest, InjectedFaultsAreRetriedNotFatal)
 
     ServerConfig cfg;
     cfg.slaMs = 50.0;
-    cfg.serviceMs = 1.0;
+    cfg.service = ServiceModel::constant(1.0);
     cfg.maxRetries = 4;
     Server srv(model, sched::Topology::synthetic(2, 2), cfg, &inj);
 
@@ -147,7 +147,7 @@ TEST_F(ServerTest, SeededFaultRunIsExactlyReproducible)
 
     ServerConfig cfg;
     cfg.slaMs = 25.0;
-    cfg.serviceMs = 1.0;
+    cfg.service = ServiceModel::constant(1.0);
     cfg.maxRetries = 3;
     cfg.backoffBaseMs = 1.0;
     cfg.backoffCapMs = 4.0;
@@ -182,7 +182,7 @@ TEST_F(ServerTest, DegradationEngagesUnderPressureAndHelps)
     // batches then let the queue drain.
     ServerConfig cfg;
     cfg.slaMs = 60.0;
-    cfg.serviceMs = 1.0;
+    cfg.service = ServiceModel::constant(1.0);
     cfg.admission = false;
     cfg.degrade.enabled = true;
     cfg.degrade.window = 32;
@@ -206,6 +206,162 @@ TEST_F(ServerTest, DegradationEngagesUnderPressureAndHelps)
     EXPECT_LT(st.latency.p95(), st2.latency.p95());
 }
 
+TEST_F(ServerTest, BatchingCoalescesWithoutChangingOutcomes)
+{
+    // Affine service model: coalescing amortizes the 0.5ms dispatch
+    // cost, so the batched session must serve everything the
+    // unbatched one does with strictly fewer dispatches.
+    ServerConfig cfg;
+    cfg.slaMs = 50.0;
+    cfg.service = ServiceModel{0.5, 0.05};
+    const auto arrivals = PoissonLoadGen(1.0, 3).arrivals(200);
+
+    Server flat(model, sched::Topology::synthetic(2, 2), cfg);
+    const auto base = flat.serve(dense, batches, arrivals);
+
+    ServerConfig bcfg = cfg;
+    bcfg.batching.enabled = true;
+    bcfg.batching.maxRequests = 8;
+    bcfg.batching.maxLingerMs = 1.0;
+    Server coalescing(model, sched::Topology::synthetic(2, 2), bcfg);
+    const auto st = coalescing.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(st.arrived, 200u);
+    EXPECT_EQ(st.served, 200u);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_LT(st.dispatches, base.dispatches);
+    EXPECT_GT(st.dispatches, 0u);
+    EXPECT_LE(st.latency.p95(), cfg.slaMs);
+    EXPECT_GT(st.execTotalMs, 0.0);
+}
+
+TEST_F(ServerTest, BatchingServesMoreUnderOverload)
+{
+    // Heavy overload with a large per-dispatch cost: the unbatched
+    // server sheds aggressively; coalescing amortizes the base cost
+    // and must push substantially more requests through within the
+    // same SLA.
+    ServerConfig cfg;
+    cfg.slaMs = 20.0;
+    cfg.service = ServiceModel{1.0, 0.02};
+    const auto arrivals = PoissonLoadGen(0.25, 5).arrivals(400);
+
+    Server flat(model, sched::Topology::synthetic(2, 2), cfg);
+    const auto base = flat.serve(dense, batches, arrivals);
+
+    ServerConfig bcfg = cfg;
+    bcfg.batching.enabled = true;
+    bcfg.batching.maxRequests = 8;
+    bcfg.batching.maxLingerMs = 2.0;
+    Server coalescing(model, sched::Topology::synthetic(2, 2), bcfg);
+    const auto st = coalescing.serve(dense, batches, arrivals);
+
+    EXPECT_GT(base.shed, 0u);
+    EXPECT_GT(st.served, base.served);
+    EXPECT_LE(st.latency.p95(), cfg.slaMs);
+    // The acceptance bar: >= 1.3x sustained throughput at an equal
+    // or better served tail.
+    const double base_rate =
+        static_cast<double>(base.served) / base.makespanMs;
+    const double batched_rate =
+        static_cast<double>(st.served) / st.makespanMs;
+    EXPECT_GE(batched_rate, 1.3 * base_rate);
+    EXPECT_LE(st.latency.p95(), base.latency.p95() + 1e-9);
+}
+
+TEST_F(ServerTest, BatchedFaultsAreIsolatedPerMember)
+{
+    // Faults hit individual members of a coalesced dispatch: the
+    // sibling requests in the same batch must still be served, and
+    // the afflicted members retried, exactly as in the unbatched
+    // path.
+    FaultConfig fc;
+    fc.seed = 33;
+    fc.taskExceptionRate = 0.10;
+    fc.corruptIndexRate = 0.05;
+    const FaultInjector inj(fc);
+
+    ServerConfig cfg;
+    cfg.slaMs = 50.0;
+    cfg.service = ServiceModel{0.5, 0.05};
+    cfg.maxRetries = 4;
+    cfg.batching.enabled = true;
+    cfg.batching.maxRequests = 6;
+    cfg.batching.maxLingerMs = 1.0;
+    Server srv(model, sched::Topology::synthetic(2, 2), cfg, &inj);
+
+    const auto arrivals = PoissonLoadGen(1.5, 3).arrivals(200);
+    const auto st = srv.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(st.arrived, 200u);
+    EXPECT_EQ(st.served + st.shed + st.failed, 200u);
+    EXPECT_GT(st.retried, 0u);
+    EXPECT_GT(st.served, 190u);
+    EXPECT_GT(inj.injectedExceptions(), 0u);
+}
+
+TEST_F(ServerTest, SeededBatchedRunIsExactlyReproducible)
+{
+    FaultConfig fc;
+    fc.seed = 55;
+    fc.taskExceptionRate = 0.05;
+    fc.stragglerCore = 0;
+    fc.stragglerFactor = 2.0;
+
+    ServerConfig cfg;
+    cfg.slaMs = 30.0;
+    cfg.service = ServiceModel{0.5, 0.05};
+    cfg.maxRetries = 3;
+    cfg.batching.enabled = true;
+    cfg.batching.maxRequests = 8;
+    cfg.batching.maxLingerMs = 1.0;
+
+    const auto arrivals = PoissonLoadGen(1.0, 9).arrivals(300);
+
+    const FaultInjector inj1(fc);
+    Server srv1(model, sched::Topology::synthetic(2, 2), cfg, &inj1);
+    const auto a = srv1.serve(dense, batches, arrivals);
+
+    const FaultInjector inj2(fc);
+    Server srv2(model, sched::Topology::synthetic(2, 2), cfg, &inj2);
+    const auto b = srv2.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.retried, b.retried);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_EQ(a.latency.samples(), b.latency.samples());
+    EXPECT_EQ(a.served + a.shed + a.failed, 300u);
+}
+
+TEST_F(ServerTest, DegradationShrinksTheCoalescingCap)
+{
+    // Under sustained overload the tiers engage; tiered runs shrink
+    // the coalescing cap (batchFraction), so the deepest tier's
+    // dispatches carry fewer members than tier 0 would allow. The
+    // end-to-end signal: the degraded batched run still completes and
+    // records escalations.
+    ServerConfig cfg;
+    cfg.slaMs = 40.0;
+    cfg.service = ServiceModel{1.0, 0.15};
+    cfg.admission = false;
+    cfg.degrade.enabled = true;
+    cfg.degrade.window = 32;
+    cfg.degrade.cooldown = 32;
+    cfg.batching.enabled = true;
+    cfg.batching.maxRequests = 8;
+    cfg.batching.maxLingerMs = 1.0;
+
+    const auto arrivals = PoissonLoadGen(0.2, 3).arrivals(400);
+    Server srv(model, sched::Topology::synthetic(2, 2), cfg);
+    const auto st = srv.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(st.served, 400u);
+    EXPECT_GT(st.degradeEscalations, 0u);
+    EXPECT_GT(st.finalTier, 0);
+}
+
 TEST_F(ServerTest, RejectsBadConfigsAndInputs)
 {
     ServerConfig cfg;
@@ -213,12 +369,16 @@ TEST_F(ServerTest, RejectsBadConfigsAndInputs)
     EXPECT_THROW(Server(model, sched::Topology::synthetic(1, 1), cfg),
                  std::invalid_argument);
     cfg = {};
-    cfg.serviceMs = -1.0;
+    cfg.service = ServiceModel::constant(-1.0);
     EXPECT_THROW(Server(model, sched::Topology::synthetic(1, 1), cfg),
                  std::invalid_argument);
     cfg = {};
     cfg.backoffBaseMs = 4.0;
     cfg.backoffCapMs = 1.0;
+    EXPECT_THROW(Server(model, sched::Topology::synthetic(1, 1), cfg),
+                 std::invalid_argument);
+    cfg = {};
+    cfg.batching.maxRequests = 0;
     EXPECT_THROW(Server(model, sched::Topology::synthetic(1, 1), cfg),
                  std::invalid_argument);
 

@@ -191,6 +191,33 @@ TEST(CliRun, RouterRejectsBadOptions)
     EXPECT_NE(run(parse({"router", "--policy", "warp"}), out, err), 0);
 }
 
+TEST(CliRun, BatchComparesUnbatchedAgainstCoalescing)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"batch", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "80",
+                   "--arrival-ms", "1.0", "--sla", "25", "--cores",
+                   "2", "--max-requests", "4", "--linger-ms", "1.0",
+                   "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("unbatched"), std::string::npos);
+    EXPECT_NE(s.find("batch 4 @ 0.0ms"), std::string::npos);
+    EXPECT_NE(s.find("batch 4 @ 1.0ms"), std::string::npos);
+    EXPECT_NE(s.find("served/dispatch"), std::string::npos);
+    EXPECT_NE(s.find("req/s"), std::string::npos);
+}
+
+TEST(CliRun, BatchRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"batch", "--requests", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"batch", "--max-requests", "0"}), out, err),
+              0);
+}
+
 TEST(CliRun, SweepRejectsUnknownAxis)
 {
     std::ostringstream out, err;

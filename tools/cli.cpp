@@ -422,7 +422,8 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
 
     serve::ServerConfig scfg;
     scfg.slaMs = args.getDouble("sla", 25.0);
-    scfg.serviceMs = args.getDouble("service-ms", 1.0);
+    scfg.service = serve::ServiceModel::constant(
+        args.getDouble("service-ms", 1.0));
     scfg.admission = !args.has("no-admission");
     scfg.maxRetries =
         static_cast<std::size_t>(args.getInt("retries", 2));
@@ -502,7 +503,8 @@ cmdRouter(const ParsedArgs& args, std::ostream& out)
 
     serve::RouterConfig rcfg;
     rcfg.server.slaMs = args.getDouble("sla", 25.0);
-    rcfg.server.serviceMs = args.getDouble("service-ms", 1.0);
+    rcfg.server.service = serve::ServiceModel::constant(
+        args.getDouble("service-ms", 1.0));
     rcfg.server.admission = !args.has("no-admission");
     rcfg.server.maxRetries =
         static_cast<std::size_t>(args.getInt("retries", 2));
@@ -603,6 +605,107 @@ cmdRouter(const ParsedArgs& args, std::ostream& out)
     return 0;
 }
 
+int
+cmdBatch(const ParsedArgs& args, std::ostream& out)
+{
+    // Unbatched vs. deadline-aware coalescing over the *same*
+    // arrival stream, service model, and virtual clock, so the only
+    // variable is the batching policy.
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 64.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    const std::size_t cores =
+        static_cast<std::size_t>(args.getInt("cores", 2));
+    const std::size_t requests =
+        static_cast<std::size_t>(args.getInt("requests", 400));
+    const double arrival_ms = args.getDouble("arrival-ms", 0.6);
+    if (cores == 0)
+        throw std::invalid_argument("--cores must be >= 1");
+    if (requests == 0)
+        throw std::invalid_argument("--requests must be >= 1");
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg_model, parseHotness(args.get("hotness", "medium")), seed);
+    tc.batchSize = static_cast<std::size_t>(
+        args.getInt("batch-size", 16));
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 16; ++b)
+        batches.push_back(gen.batch(b));
+
+    core::DlrmModel model(cfg_model, seed);
+    core::Tensor dense(tc.batchSize, cfg_model.denseDim());
+    dense.randomize(seed + 1);
+
+    serve::ServerConfig scfg;
+    scfg.slaMs = args.getDouble("sla", 25.0);
+    scfg.maxRetries =
+        static_cast<std::size_t>(args.getInt("retries", 2));
+    if (args.has("calibrate")) {
+        // Fit {base, per-sample} from real kernel timings on this
+        // host instead of assuming a flat per-request cost.
+        scfg.service = serve::calibrateServiceModel(
+            model, dense, batches.front(), {1, 4, 16, tc.batchSize});
+    } else {
+        scfg.service.baseMs = args.getDouble("service-base-ms", 0.5);
+        scfg.service.perSampleMs =
+            args.getDouble("service-per-sample-ms", 0.05);
+    }
+
+    const auto arrivals =
+        serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
+    const auto topo = sched::Topology::synthetic(cores, 2);
+
+    char mb[96];
+    std::snprintf(mb, sizeof(mb),
+                  "service = %.4f + %.4f*samples ms",
+                  scfg.service.baseMs, scfg.service.perSampleMs);
+    out << cfg_model.name << " scaled to "
+        << model.embeddingBytes() / (1u << 20) << " MB embeddings, "
+        << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
+        << "interarrival " << arrival_ms << " ms, " << mb << "\n";
+
+    const auto report = [&](const std::string& label,
+                            const serve::ServeStats& st) {
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%7.1f req/s | p50 %6.2f p95 %6.2f p99 %6.2f ms | ",
+            st.makespanMs > 0.0
+                ? 1000.0 * static_cast<double>(st.served) /
+                      st.makespanMs
+                : 0.0,
+            st.latency.percentile(50.0), st.latency.p95(),
+            st.latency.p99());
+        out << label << buf << st.summary() << "\n";
+    };
+
+    {
+        serve::Server srv(model, topo, scfg);
+        report("unbatched       ",
+               srv.serve(dense, batches, arrivals));
+    }
+    serve::ServerConfig bcfg = scfg;
+    bcfg.batching.enabled = true;
+    bcfg.batching.maxRequests = static_cast<std::size_t>(
+        args.getInt("max-requests", 8));
+    for (const double linger :
+         {0.0, args.getDouble("linger-ms", 1.0)}) {
+        bcfg.batching.maxLingerMs = linger;
+        serve::Server srv(model, topo, bcfg);
+        char label[48];
+        std::snprintf(label, sizeof(label),
+                      "batch %zu @ %.1fms ",
+                      bcfg.batching.maxRequests, linger);
+        report(label, srv.serve(dense, batches, arrivals));
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -623,6 +726,8 @@ usage()
            "session (real execution)\n"
            "  router [options]            multi-instance routed "
            "serving over one shared store\n"
+           "  batch [options]             unbatched vs deadline-aware "
+           "request coalescing\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -645,7 +750,11 @@ usage()
            "router options (plus the serve options above):\n"
            "  --instances N --policy all|rr|po2|health\n"
            "  --failovers N --straggler-instance N "
-           "--straggler-factor X\n";
+           "--straggler-factor X\n"
+           "\n"
+           "batch options (plus the serve options above):\n"
+           "  --max-requests N --linger-ms X --calibrate\n"
+           "  --service-base-ms X --service-per-sample-ms X\n";
 }
 
 int
@@ -668,6 +777,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdServe(args, out);
         if (args.command == "router")
             return cmdRouter(args, out);
+        if (args.command == "batch")
+            return cmdBatch(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {

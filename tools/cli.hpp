@@ -14,6 +14,11 @@
  *   serve [options]             fault-tolerant serving session with
  *                               admission control, retries, optional
  *                               fault injection and degradation
+ *   router [options]            multi-instance routed serving over
+ *                               one shared embedding store
+ *   batch [options]             unbatched vs deadline-aware request
+ *                               coalescing on the batched forward
+ *                               path (real execution)
  */
 
 #ifndef DLRMOPT_TOOLS_CLI_HPP
