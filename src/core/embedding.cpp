@@ -96,16 +96,51 @@ EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim,
                                std::uint64_t seed)
     : _rows(rows), _dim(dim), _data(checkedTableSize(rows, dim))
 {
+    regenerateRows(0, rows, seed);
+}
+
+void
+EmbeddingTable::regenerateRows(std::size_t first, std::size_t count,
+                               std::uint64_t seed)
+{
+    if (first > _rows || count > _rows - first) {
+        throw std::invalid_argument(
+            "EmbeddingTable::regenerateRows: range [" +
+            std::to_string(first) + ", " + std::to_string(first + count) +
+            ") exceeds " + std::to_string(_rows) + " rows");
+    }
     // Row contents only need to be deterministic and nonuniform enough
     // for checksum-style validation; a cheap counter hash suffices and
-    // keeps multi-GB table construction fast.
-    for (std::size_t r = 0; r < rows; ++r) {
+    // keeps multi-GB table construction fast. Each row is a pure
+    // function of (seed, r), so any subrange can be restored from the
+    // original seed without touching its neighbours.
+    for (std::size_t r = first; r < first + count; ++r) {
         const float base =
             static_cast<float>(toUnitInterval(mix64(seed ^ r)) - 0.5);
-        float *p = _data.data() + r * dim;
-        for (std::size_t d = 0; d < dim; ++d)
+        float *p = _data.data() + r * _dim;
+        for (std::size_t d = 0; d < _dim; ++d)
             p[d] = base + 0.001f * static_cast<float>(d % 16);
     }
+}
+
+void
+EmbeddingTable::flipBit(std::size_t row, std::size_t bit)
+{
+    if (row >= _rows) {
+        throw std::invalid_argument(
+            "EmbeddingTable::flipBit: row " + std::to_string(row) +
+            " out of range [0, " + std::to_string(_rows) + ")");
+    }
+    if (bit >= _dim * 32) {
+        throw std::invalid_argument(
+            "EmbeddingTable::flipBit: bit " + std::to_string(bit) +
+            " out of range [0, " + std::to_string(_dim * 32) + ")");
+    }
+    float *p = _data.data() + row * _dim + bit / 32;
+    std::uint32_t u;
+    std::memcpy(&u, p, sizeof(u));
+    u ^= std::uint32_t{1} << (bit % 32);
+    std::memcpy(p, &u, sizeof(u));
 }
 
 void

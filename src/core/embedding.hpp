@@ -100,6 +100,28 @@ class EmbeddingTable
     }
 
     /**
+     * Rewrites rows [first, first + count) with the deterministic
+     * pseudo-random contents the constructor would have produced for
+     * @p seed. The constructor itself fills through this, so
+     * regenerating any row range from the original seed restores the
+     * as-built bytes exactly — the primitive behind
+     * EmbeddingStore::repairBlock.
+     *
+     * @throws std::invalid_argument when the range exceeds rows().
+     */
+    void regenerateRows(std::size_t first, std::size_t count,
+                        std::uint64_t seed);
+
+    /**
+     * Flips one bit of the stored fp32 payload of row @p row —
+     * silently, exactly like a radiation/DRAM upset would. Bit
+     * @p bit indexes the row's dim * 32 payload bits little-endian.
+     *
+     * @throws std::invalid_argument when row or bit is out of range.
+     */
+    void flipBit(std::size_t row, std::size_t bit);
+
+    /**
      * embedding_bag with sum pooling (Algorithm 2/3 of the paper).
      *
      * For each sample i in [0, samples), sums the rows selected by

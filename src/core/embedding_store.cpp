@@ -1,23 +1,107 @@
 #include "core/embedding_store.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace dlrmopt::core
 {
 
-EmbeddingStore::EmbeddingStore(const ModelConfig& cfg,
-                               std::uint64_t seed)
-    : _rows(cfg.rows), _dim(cfg.dim)
+namespace
+{
+
+/**
+ * FNV-1a over a float span, folding four bytes at a time. Fast enough
+ * to sweep multi-GB stores and sensitive to any single flipped bit,
+ * which is all an integrity checksum needs (this is corruption
+ * *detection*, not an adversarial MAC).
+ */
+std::uint64_t
+fnv1a(const float *data, std::size_t count)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t u;
+        std::memcpy(&u, data + i, sizeof(u));
+        h = (h ^ u) * 1099511628211ull;
+        h = (h ^ (u >> 16)) * 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+EmbeddingStore::EmbeddingStore(const ModelConfig& cfg, std::uint64_t seed,
+                               std::size_t blockRows)
+    : _rows(cfg.rows), _dim(cfg.dim),
+      _blockRows(blockRows < cfg.rows ? blockRows : cfg.rows)
 {
     if (cfg.tables == 0) {
         throw std::invalid_argument(
             "EmbeddingStore: model needs at least one table");
     }
-    _tables.reserve(cfg.tables);
-    for (std::size_t t = 0; t < cfg.tables; ++t) {
-        _tables.push_back(std::make_unique<EmbeddingTable>(
-            cfg.rows, cfg.dim, mix64(seed + 100 + t)));
+    if (blockRows == 0) {
+        throw std::invalid_argument(
+            "EmbeddingStore: blockRows must be positive");
     }
+    _tables.reserve(cfg.tables);
+    _tableSeeds.reserve(cfg.tables);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        _tableSeeds.push_back(mix64(seed + 100 + t));
+        _tables.push_back(std::make_unique<EmbeddingTable>(
+            cfg.rows, cfg.dim, _tableSeeds.back()));
+    }
+    const std::size_t blocks = numBlocks();
+    _checksums.resize(cfg.tables * blocks);
+    for (std::size_t t = 0; t < cfg.tables; ++t)
+        for (std::size_t b = 0; b < blocks; ++b)
+            _checksums[t * blocks + b] = computeChecksum(t, b);
+}
+
+std::uint64_t
+EmbeddingStore::computeChecksum(std::size_t t, std::size_t b) const
+{
+    const std::size_t first = b * _blockRows;
+    const std::size_t count =
+        first + _blockRows <= _rows ? _blockRows : _rows - first;
+    return fnv1a(_tables[t]->rowPtr(static_cast<RowIndex>(first)),
+                 count * _dim);
+}
+
+std::vector<BlockRef>
+EmbeddingStore::findCorruptBlocks() const
+{
+    std::vector<BlockRef> bad;
+    for (std::size_t t = 0; t < _tables.size(); ++t)
+        for (std::size_t b = 0; b < numBlocks(); ++b)
+            if (!verifyBlock(t, b))
+                bad.push_back({t, b});
+    return bad;
+}
+
+void
+EmbeddingStore::flipBit(std::size_t t, std::size_t row, std::size_t bit)
+{
+    if (t >= _tables.size()) {
+        throw std::invalid_argument(
+            "EmbeddingStore::flipBit: table " + std::to_string(t) +
+            " out of range [0, " + std::to_string(_tables.size()) + ")");
+    }
+    _tables[t]->flipBit(row, bit);
+}
+
+void
+EmbeddingStore::repairBlock(std::size_t t, std::size_t b)
+{
+    if (t >= _tables.size() || b >= numBlocks()) {
+        throw std::invalid_argument(
+            "EmbeddingStore::repairBlock: block (" + std::to_string(t) +
+            ", " + std::to_string(b) + ") out of range");
+    }
+    const std::size_t first = b * _blockRows;
+    const std::size_t count =
+        first + _blockRows <= _rows ? _blockRows : _rows - first;
+    _tables[t]->regenerateRows(first, count, _tableSeeds[t]);
 }
 
 } // namespace dlrmopt::core

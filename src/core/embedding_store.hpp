@@ -1,14 +1,25 @@
 /**
  * @file
- * Shared, immutable embedding-table storage.
+ * Shared embedding-table storage with block-level integrity checksums.
  *
  * Embedding tables dominate DLRM capacity (Table 2: up to ~100 GB),
  * so multi-instance serving cannot afford one private copy per
  * instance. An EmbeddingStore owns the full table set once; any
  * number of DlrmModel views — full replicas or table-subset shards —
  * reference it through a shared_ptr without copying a byte. The store
- * is immutable after construction, which is what makes concurrent
- * lock-free reads from every serving instance safe.
+ * is immutable on the serving read path, which is what makes
+ * concurrent lock-free reads from every serving instance safe; the
+ * only mutations are the integrity operations (flipBit to model a
+ * silent bit upset, repairBlock to restore as-built bytes), which the
+ * resilience layer performs on the single virtual-clock thread,
+ * never concurrently with kernel execution.
+ *
+ * At that capacity a handful of flipped DRAM bits per day is the
+ * expected case, not a tail event, so each table is checksummed in
+ * blocks of blockRows() rows at build time. A block can be verified
+ * on demand and — because table contents are a pure counter hash of
+ * (table seed, row) — repaired in O(block) by regenerating exactly
+ * the as-built bytes.
  */
 
 #ifndef DLRMOPT_CORE_EMBEDDING_STORE_HPP
@@ -25,6 +36,20 @@
 namespace dlrmopt::core
 {
 
+/** Identifies one checksummed block: rows [block * blockRows, ...) of
+ *  table @c table. */
+struct BlockRef
+{
+    std::size_t table = 0;
+    std::size_t block = 0;
+
+    friend bool
+    operator==(const BlockRef& a, const BlockRef& b)
+    {
+        return a.table == b.table && a.block == b.block;
+    }
+};
+
 /**
  * The single owned copy of a model's embedding tables.
  *
@@ -40,18 +65,36 @@ class EmbeddingStore
      * contents. Table t is seeded with mix64(seed + 100 + t) — the
      * exact derivation DlrmModel used when it owned its tables, so
      * store-backed models are bitwise-identical to the old layout.
+     * Per-block checksums are computed over the freshly built bytes.
      *
      * @param cfg Architecture description (rows/dim/tables).
      * @param seed Seed for reproducible table contents.
+     * @param blockRows Rows per checksum block (clamped to cfg.rows).
+     *
+     * @throws std::invalid_argument when cfg.tables or blockRows is 0.
      */
     explicit EmbeddingStore(const ModelConfig& cfg,
-                            std::uint64_t seed = 42);
+                            std::uint64_t seed = 42,
+                            std::size_t blockRows = 256);
 
     /** Convenience: heap-allocates a store ready for sharing. */
     static std::shared_ptr<const EmbeddingStore>
-    create(const ModelConfig& cfg, std::uint64_t seed = 42)
+    create(const ModelConfig& cfg, std::uint64_t seed = 42,
+           std::size_t blockRows = 256)
     {
-        return std::make_shared<const EmbeddingStore>(cfg, seed);
+        return std::make_shared<const EmbeddingStore>(cfg, seed, blockRows);
+    }
+
+    /**
+     * Heap-allocates a store the caller may also mutate through the
+     * integrity API (flipBit / repairBlock). The chaos harness holds
+     * this handle; serving components still see it as const.
+     */
+    static std::shared_ptr<EmbeddingStore>
+    createMutable(const ModelConfig& cfg, std::uint64_t seed = 42,
+                  std::size_t blockRows = 256)
+    {
+        return std::make_shared<EmbeddingStore>(cfg, seed, blockRows);
     }
 
     std::size_t numTables() const { return _tables.size(); }
@@ -73,10 +116,74 @@ class EmbeddingStore
         return n;
     }
 
+    /// @name Block-level integrity
+    /// @{
+
+    /** Rows per checksum block (last block of a table may be short). */
+    std::size_t blockRows() const { return _blockRows; }
+
+    /** Number of checksum blocks per table. */
+    std::size_t
+    numBlocks() const
+    {
+        return (_rows + _blockRows - 1) / _blockRows;
+    }
+
+    /** Block index covering row @p row. */
+    std::size_t blockOfRow(std::size_t row) const
+    {
+        return row / _blockRows;
+    }
+
+    /** The checksum recorded at build time for (table, block). */
+    std::uint64_t
+    storedChecksum(std::size_t t, std::size_t b) const
+    {
+        return _checksums[t * numBlocks() + b];
+    }
+
+    /** Recomputes the checksum of (table, block) from current bytes. */
+    std::uint64_t computeChecksum(std::size_t t, std::size_t b) const;
+
+    /** True when the current bytes of (table, block) still match the
+     *  build-time checksum. */
+    bool
+    verifyBlock(std::size_t t, std::size_t b) const
+    {
+        return computeChecksum(t, b) == storedChecksum(t, b);
+    }
+
+    /** Full sweep: every block whose bytes no longer checksum. */
+    std::vector<BlockRef> findCorruptBlocks() const;
+
+    /**
+     * Silently flips one payload bit of (table t, row, bit) — the
+     * store-level corruption a FaultInjector bit-flip fault performs.
+     * Deliberately does NOT touch the stored checksum: detection is
+     * the serving layer's job.
+     *
+     * @throws std::invalid_argument on out-of-range table/row/bit.
+     */
+    void flipBit(std::size_t t, std::size_t row, std::size_t bit);
+
+    /**
+     * Regenerates every row of (table, block) from the table's build
+     * seed, restoring the exact as-built bytes (the stored checksum
+     * verifies again afterwards). O(blockRows * dim).
+     *
+     * @throws std::invalid_argument on out-of-range table/block.
+     */
+    void repairBlock(std::size_t t, std::size_t b);
+
+    /// @}
+
   private:
     std::size_t _rows;
     std::size_t _dim;
+    std::size_t _blockRows;
     std::vector<std::unique_ptr<EmbeddingTable>> _tables;
+    std::vector<std::uint64_t> _tableSeeds;
+    std::vector<std::uint64_t> _checksums; ///< [table][block], row-major.
 };
 
 } // namespace dlrmopt::core

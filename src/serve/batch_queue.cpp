@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
 namespace dlrmopt::serve
@@ -11,13 +10,16 @@ namespace dlrmopt::serve
 namespace
 {
 
-/** Deadline of a member: retries are always admitted, so only a
- *  first attempt constrains the group. */
+/** Deadline of a member. A first attempt must finish within the SLA
+ *  of its arrival. A retry is always *admitted*, but it still gets a
+ *  fresh SLA-derived deadline from its backoff-expiry (readyMs) —
+ *  otherwise retries would be deadline-free and exempt from the
+ *  tightest-member-deadline bound, letting one stale retry drag a
+ *  whole coalesced group past every member's SLA. */
 double
 deadlineOf(const PendingRequest& r, double sla_ms)
 {
-    return r.tries == 0 ? r.arrivalMs + sla_ms
-                        : std::numeric_limits<double>::infinity();
+    return (r.tries == 0 ? r.arrivalMs : r.readyMs) + sla_ms;
 }
 
 } // namespace

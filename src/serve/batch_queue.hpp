@@ -14,9 +14,10 @@
  *  - **deadline**: the whole group must finish by the *tightest*
  *    member deadline under the batch-size-aware service estimate
  *    serviceMs(total samples) — a request is never coalesced past its
- *    deadline. Retries carry no deadline (they are always admitted,
- *    matching the unbatched path), so a doomed retry simply cannot
- *    accept followers with live deadlines it would push late.
+ *    deadline. Retries are always *admitted* (matching the unbatched
+ *    path) but still carry a fresh SLA-derived deadline from their
+ *    backoff expiry, so a stale retry bounds its group like any other
+ *    member instead of being exempt from the deadline check.
  *
  * Formation is greedy in queue order and purely a function of the
  * queue contents and the arguments, so batched sessions stay

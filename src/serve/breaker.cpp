@@ -1,0 +1,118 @@
+#include "serve/breaker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dlrmopt::serve
+{
+
+void
+BreakerConfig::validate() const
+{
+    if (window == 0 || minSamples == 0 || minSamples > window) {
+        throw std::invalid_argument(
+            "BreakerConfig: need 0 < minSamples <= window, got " +
+            std::to_string(minSamples) + " / " + std::to_string(window));
+    }
+    if (!(failureThreshold > 0.0) || failureThreshold > 1.0) {
+        throw std::invalid_argument(
+            "BreakerConfig: failureThreshold must lie in (0, 1], got " +
+            std::to_string(failureThreshold));
+    }
+    if (!(cooldownMs >= 0.0) || !std::isfinite(cooldownMs)) {
+        throw std::invalid_argument(
+            "BreakerConfig: cooldownMs must be finite and >= 0");
+    }
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& cfg) : _cfg(cfg)
+{
+    cfg.validate();
+    _outcomes.assign(cfg.window, 0);
+}
+
+CircuitBreaker::State
+CircuitBreaker::state(double now_ms) const
+{
+    if (_state == State::Open && now_ms >= _openedAtMs + _cfg.cooldownMs)
+        return State::HalfOpen;
+    return _state;
+}
+
+bool
+CircuitBreaker::admits(double now_ms) const
+{
+    switch (state(now_ms)) {
+      case State::Closed:
+        return true;
+      case State::HalfOpen:
+        return !_probeInFlight;
+      case State::Open:
+      default:
+        return false;
+    }
+}
+
+void
+CircuitBreaker::beginProbe(double now_ms)
+{
+    if (state(now_ms) == State::HalfOpen) {
+        _state = State::HalfOpen;
+        _probeInFlight = true;
+    }
+}
+
+double
+CircuitBreaker::failureRate() const
+{
+    if (_count == 0)
+        return 0.0;
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < _count; ++i)
+        failures += static_cast<std::size_t>(_outcomes[i]);
+    return static_cast<double>(failures) / static_cast<double>(_count);
+}
+
+bool
+CircuitBreaker::record(bool ok, double end_ms)
+{
+    if (_state == State::HalfOpen) {
+        // Probe verdict: one attempt decides re-admission.
+        _probeInFlight = false;
+        if (ok) {
+            reset();
+            return false;
+        }
+        _state = State::Open;
+        _openedAtMs = end_ms;
+        ++_trips;
+        return true;
+    }
+
+    _outcomes[_head] = ok ? 0 : 1;
+    _head = (_head + 1) % _cfg.window;
+    if (_count < _cfg.window)
+        ++_count;
+
+    if (_state == State::Closed && _count >= _cfg.minSamples &&
+        failureRate() >= _cfg.failureThreshold) {
+        _state = State::Open;
+        _openedAtMs = end_ms;
+        ++_trips;
+        return true;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::reset()
+{
+    _outcomes.assign(_cfg.window, 0);
+    _head = 0;
+    _count = 0;
+    _state = State::Closed;
+    _probeInFlight = false;
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-instance circuit breaker for the multi-instance Router.
+ *
+ * The Router's health score *biases* traffic away from a sick
+ * instance; a breaker *removes* it. When the rolling failure rate of
+ * an instance's recent attempts crosses a threshold, the breaker
+ * opens and the instance leaves every candidate set — no more
+ * requests burn their retry budgets discovering what the last N
+ * already proved. After a cooldown the breaker goes half-open and
+ * admits exactly one probe attempt; a successful probe closes the
+ * breaker (full re-admission), a failed one re-opens it for another
+ * cooldown.
+ *
+ * All state advances on the Router's virtual clock, so breaker
+ * behaviour is as bit-reproducible as the rest of the session.
+ */
+
+#ifndef DLRMOPT_SERVE_BREAKER_HPP
+#define DLRMOPT_SERVE_BREAKER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlrmopt::serve
+{
+
+/** Circuit-breaker thresholds. */
+struct BreakerConfig
+{
+    bool enabled = false;  //!< off by default: PR 2/3 behaviour
+
+    std::size_t window = 16;     //!< rolling attempt-outcome window
+    std::size_t minSamples = 8;  //!< outcomes needed before tripping
+    double failureThreshold = 0.5; //!< trip when failure rate >= this
+    double cooldownMs = 20.0;    //!< open -> half-open delay
+
+    /**
+     * @throws std::invalid_argument when window or minSamples is 0,
+     *         minSamples exceeds window, failureThreshold is outside
+     *         (0, 1], or cooldownMs is negative/non-finite.
+     */
+    void validate() const;
+};
+
+/**
+ * One instance's breaker. Closed admits everything; Open admits
+ * nothing until cooldown expires; HalfOpen admits a single probe.
+ */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,
+        Open,
+        HalfOpen
+    };
+
+    explicit CircuitBreaker(const BreakerConfig& cfg);
+
+    State state(double now_ms) const;
+
+    /** True when an attempt may be routed here at @p now_ms. A
+     *  half-open breaker admits only until its probe is taken. */
+    bool admits(double now_ms) const;
+
+    /** Claims the half-open probe slot (call when routing an attempt
+     *  to a half-open instance, so only one probe flies). */
+    void beginProbe(double now_ms);
+
+    /**
+     * Records one attempt outcome ending at @p end_ms. Returns true
+     * when this outcome trips the breaker open (for trip counting).
+     * A successful half-open probe closes the breaker and clears the
+     * window; a failed probe re-opens it for another cooldown.
+     */
+    bool record(bool ok, double end_ms);
+
+    /** Forgets all rolled outcomes and closes the breaker (used on
+     *  warm restart: the rebuilt instance starts with a clean bill). */
+    void reset();
+
+    std::uint64_t trips() const { return _trips; }
+
+  private:
+    double failureRate() const;
+
+    BreakerConfig _cfg;
+    std::vector<char> _outcomes; //!< ring: 1 = failure, 0 = success
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+    State _state = State::Closed;
+    double _openedAtMs = 0.0;
+    bool _probeInFlight = false;
+    std::uint64_t _trips = 0;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_BREAKER_HPP

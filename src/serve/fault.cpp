@@ -17,22 +17,43 @@ constexpr std::uint64_t kindException = 0x45584350ull;  // "EXCP"
 constexpr std::uint64_t kindAlloc = 0x414c4c4full;      // "ALLO"
 constexpr std::uint64_t kindCorrupt = 0x434f5252ull;    // "CORR"
 constexpr std::uint64_t kindPosition = 0x504f5349ull;   // "POSI"
+constexpr std::uint64_t kindBitFlip = 0x464c4950ull;    // "FLIP"
+constexpr std::uint64_t kindBitSite = 0x53495445ull;    // "SITE"
 
 } // namespace
 
-FaultInjector::FaultInjector(const FaultConfig& cfg) : _cfg(cfg)
+void
+FaultConfig::validate(std::size_t numCores) const
 {
     const auto rateOk = [](double r) { return r >= 0.0 && r <= 1.0; };
-    if (!rateOk(cfg.taskExceptionRate) ||
-        !rateOk(cfg.allocFailureRate) ||
-        !rateOk(cfg.corruptIndexRate)) {
+    if (!rateOk(taskExceptionRate) || !rateOk(allocFailureRate) ||
+        !rateOk(corruptIndexRate) || !rateOk(bitFlipRate)) {
         throw std::invalid_argument(
             "FaultConfig: rates must lie in [0, 1]");
     }
-    if (!(cfg.stragglerFactor >= 1.0)) {
+    // The negated comparison also rejects NaN.
+    if (!(stragglerFactor >= 1.0) ||
+        stragglerFactor > 1e12) {
         throw std::invalid_argument(
-            "FaultConfig: stragglerFactor must be >= 1");
+            "FaultConfig: stragglerFactor must be finite and >= 1, got " +
+            std::to_string(stragglerFactor));
     }
+    if (stragglerCore < -1) {
+        throw std::invalid_argument(
+            "FaultConfig: stragglerCore must be -1 (disabled) or a core "
+            "id, got " + std::to_string(stragglerCore));
+    }
+    if (numCores > 0 && stragglerCore >= 0 &&
+        static_cast<std::size_t>(stragglerCore) >= numCores) {
+        throw std::invalid_argument(
+            "FaultConfig: stragglerCore " + std::to_string(stragglerCore) +
+            " out of range [0, " + std::to_string(numCores) + ")");
+    }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg) : _cfg(cfg)
+{
+    cfg.validate();
 }
 
 double
@@ -100,6 +121,32 @@ FaultInjector::maybeCorrupt(const core::SparseBatch& sparse,
     copy.indices[t][pos] =
         static_cast<RowIndex>(rows + 1 + (r >> 43) % 1024);
     return copy;
+}
+
+bool
+FaultInjector::bitFlipHits(std::uint64_t req, std::uint64_t attempt) const
+{
+    return draw(kindBitFlip, req, attempt) < _cfg.bitFlipRate;
+}
+
+bool
+FaultInjector::maybeFlipStoredBit(core::EmbeddingStore& store,
+                                  std::uint64_t req,
+                                  std::uint64_t attempt) const
+{
+    if (!bitFlipHits(req, attempt))
+        return false;
+    _bitFlips.fetch_add(1);
+
+    // Pick a deterministic (table, row, bit) upset site.
+    const std::uint64_t r =
+        mix64(_cfg.seed ^ mix64(kindBitSite ^
+                                mix64(req * 2654435761ull + attempt)));
+    const std::size_t t = r % store.numTables();
+    const std::size_t row = (r >> 13) % store.rows();
+    const std::size_t bit = (r >> 41) % (store.dim() * 32);
+    store.flipBit(t, row, bit);
+    return true;
 }
 
 double

@@ -15,7 +15,10 @@
  *    core::IndexError);
  *  - straggler cores: one physical core serves every request slower
  *    by a fixed factor (modeling a thermally-throttled or noisy
- *    neighbor core).
+ *    neighbor core);
+ *  - stored bit flips: one bit of one stored embedding row is
+ *    silently inverted (modeling a DRAM upset), detectable only by
+ *    the EmbeddingStore block checksums.
  */
 
 #ifndef DLRMOPT_SERVE_FAULT_HPP
@@ -26,6 +29,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/embedding_store.hpp"
 #include "core/sparse_input.hpp"
 
 namespace dlrmopt::serve
@@ -49,9 +53,21 @@ struct FaultConfig
     double taskExceptionRate = 0.0; //!< P(stage task throws)
     double allocFailureRate = 0.0;  //!< P(stage task bad_allocs)
     double corruptIndexRate = 0.0;  //!< P(one lookup index poisoned)
+    double bitFlipRate = 0.0;       //!< P(one stored row bit flipped)
 
     int stragglerCore = -1;        //!< physical core id, -1 = none
     double stragglerFactor = 1.0;  //!< service-time multiplier >= 1
+
+    /**
+     * Rejects out-of-domain knobs: every rate must lie in [0, 1],
+     * stragglerFactor must be finite and >= 1, and stragglerCore must
+     * be -1 (disabled) or a nonnegative core id. Callers that know
+     * the core count pass @p numCores to additionally range-check
+     * stragglerCore; the default skips that check.
+     *
+     * @throws std::invalid_argument on any violation.
+     */
+    void validate(std::size_t numCores = 0) const;
 };
 
 /**
@@ -61,6 +77,10 @@ struct FaultConfig
 class FaultInjector
 {
   public:
+    /**
+     * @throws std::invalid_argument when cfg fails
+     *         FaultConfig::validate().
+     */
     explicit FaultInjector(const FaultConfig& cfg);
 
     const FaultConfig& config() const { return _cfg; }
@@ -75,6 +95,9 @@ class FaultInjector
 
     /** True when attempt (req, attempt) gets a poisoned index. */
     bool corruptionHits(std::uint64_t req, std::uint64_t attempt) const;
+
+    /** True when attempt (req, attempt) flips a stored row bit. */
+    bool bitFlipHits(std::uint64_t req, std::uint64_t attempt) const;
 
     /**
      * Throws the configured task fault for this attempt, if any.
@@ -93,12 +116,23 @@ class FaultInjector
                                    std::size_t rows, std::uint64_t req,
                                    std::uint64_t attempt) const;
 
+    /**
+     * When a bit flip hits this attempt, silently inverts one
+     * seed-derived (table, row, bit) of @p store — exactly the silent
+     * corruption a DRAM upset produces: the store's checksum for the
+     * affected block stops verifying, nothing else changes. Returns
+     * true when a flip was injected.
+     */
+    bool maybeFlipStoredBit(core::EmbeddingStore& store, std::uint64_t req,
+                            std::uint64_t attempt) const;
+
     /** Service-time multiplier for physical core @p core (>= 1). */
     double serviceFactor(std::size_t core) const;
 
     std::uint64_t injectedExceptions() const { return _exceptions; }
     std::uint64_t injectedAllocFailures() const { return _allocs; }
     std::uint64_t injectedCorruptions() const { return _corruptions; }
+    std::uint64_t injectedBitFlips() const { return _bitFlips; }
 
   private:
     /** Uniform [0,1) draw keyed by (kind, req, attempt). */
@@ -109,6 +143,7 @@ class FaultInjector
     mutable std::atomic<std::uint64_t> _exceptions{0};
     mutable std::atomic<std::uint64_t> _allocs{0};
     mutable std::atomic<std::uint64_t> _corruptions{0};
+    mutable std::atomic<std::uint64_t> _bitFlips{0};
 };
 
 } // namespace dlrmopt::serve

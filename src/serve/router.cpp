@@ -84,12 +84,12 @@ parseRoutePolicy(const std::string& name)
 std::string
 RouterStats::summary() const
 {
-    char buf[320];
+    char buf[448];
     const double pct = total.served
         ? 100.0 * static_cast<double>(compliant) /
             static_cast<double>(total.served)
         : 0.0;
-    std::snprintf(
+    int len = std::snprintf(
         buf, sizeof(buf),
         "arrived %zu served %zu shed %zu (cluster %zu) failed %zu "
         "retried %zu failovers %zu (shed %.1f%%) | p50 %.3f p95 %.3f "
@@ -98,6 +98,16 @@ RouterStats::summary() const
         total.failed, total.retried, failovers,
         100.0 * total.shedRate(), total.latency.percentile(50.0),
         total.latency.p95(), total.latency.p99(), compliant, pct);
+    if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
+        (breakerTrips || hedges || crashes || restarts ||
+         corruptionsDetected || integrityDegraded)) {
+        std::snprintf(
+            buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+            " | trips %zu hedges %zu crashes %zu restarts %zu "
+            "corrupt %zu repaired %zu degraded %zu",
+            breakerTrips, hedges, crashes, restarts,
+            corruptionsDetected, blocksRepaired, integrityDegraded);
+    }
     return buf;
 }
 
@@ -108,10 +118,57 @@ Router::Router(const core::ModelConfig& model_cfg,
                std::uint64_t model_seed)
     : _cfg(cfg), _faults(std::move(faults)), _store(std::move(store))
 {
+    build(model_cfg, topo, model_seed);
+}
+
+Router::Router(const core::ModelConfig& model_cfg,
+               std::shared_ptr<core::EmbeddingStore> store,
+               const sched::Topology& topo, const RouterConfig& cfg,
+               std::vector<const FaultInjector *> faults,
+               std::uint64_t model_seed)
+    : _cfg(cfg), _faults(std::move(faults)), _store(store),
+      _mutableStore(std::move(store))
+{
+    build(model_cfg, topo, model_seed);
+}
+
+void
+Router::build(const core::ModelConfig& model_cfg,
+              const sched::Topology& topo, std::uint64_t model_seed)
+{
+    const RouterConfig& cfg = _cfg;
     if (cfg.instances == 0) {
         throw std::invalid_argument(
             "Router: need at least one instance");
     }
+    if (_faults.size() > cfg.instances) {
+        throw std::invalid_argument(
+            "Router: " + std::to_string(_faults.size()) +
+            " fault injectors for " + std::to_string(cfg.instances) +
+            " instances — extra entries would be silently ignored");
+    }
+    cfg.breaker.validate();
+    if (!(cfg.probationMs >= 0.0) || !std::isfinite(cfg.probationMs)) {
+        throw std::invalid_argument(
+            "Router: probationMs must be finite and >= 0");
+    }
+    for (const FaultInjector *f : _faults) {
+        if (f && f->config().bitFlipRate > 0.0 && !_mutableStore) {
+            throw std::invalid_argument(
+                "Router: an injector has bitFlipRate > 0 but the "
+                "router holds no mutable store handle");
+        }
+    }
+    if (_cfg.integrity.enabled && _cfg.integrity.repair &&
+        !_mutableStore) {
+        throw std::invalid_argument(
+            "Router: IntegrityConfig::repair needs a mutable store "
+            "handle (use the mutable-store constructor or disable "
+            "repair)");
+    }
+
+    _modelCfg = model_cfg;
+    _modelSeed = model_seed;
     const auto groups = topo.partition(cfg.instances);
     _faults.resize(cfg.instances, nullptr);
     _models.reserve(cfg.instances);
@@ -129,14 +186,25 @@ RouterStats
 Router::serve(const core::Tensor& dense,
               const std::vector<core::SparseBatch>& batches,
               const std::vector<double>& arrivals_ms,
-              const core::PrefetchSpec& pf)
+              const core::PrefetchSpec& pf,
+              const FaultSchedule *schedule)
 {
     if (batches.empty())
         throw std::invalid_argument("Router: need at least one batch");
 
     const std::size_t n = _servers.size();
+    if (schedule) {
+        schedule->validate(n);
+        if (schedule->corruptsStore() && !_mutableStore) {
+            throw std::invalid_argument(
+                "Router: the fault schedule corrupts stored rows but "
+                "the router holds no mutable store handle");
+        }
+    }
+
     const std::size_t rows = _models.front()->config().rows;
     const double sla = _cfg.server.slaMs;
+    const bool use_breakers = _cfg.breaker.enabled;
     // Instances run at full capability; graceful degradation remains
     // an instance-local feature of Server::serve sessions.
     const DegradeState tier = DegradationPolicy::stateForTier(0);
@@ -144,18 +212,133 @@ Router::serve(const core::Tensor& dense,
     RouterStats rs;
     rs.total.arrived = arrivals_ms.size();
     rs.perInstance.resize(n);
+    rs.availability.assign(n, 1.0);
+    if (_cfg.recordPredictions)
+        rs.predFingerprints.assign(arrivals_ms.size(), 0);
 
     // Per-instance routing state, all advanced on the virtual clock.
     std::vector<std::vector<double>> free_at(n);
     std::vector<WindowedP95> wins;
     std::vector<std::uint64_t> sheds(n, 0);
     std::vector<double> busy(n, 0.0);
+    std::vector<CircuitBreaker> breakers;
+    std::vector<double> drain_ready(n, 0.0);
+    std::vector<double> probation_end(n, 0.0);
+    std::vector<double> down_since(n, 0.0);
+    std::vector<double> down_total(n, 0.0);
     std::size_t total_cores = 0;
     for (std::size_t i = 0; i < n; ++i) {
         free_at[i].assign(_servers[i]->numCores(), 0.0);
         wins.emplace_back(_cfg.healthWindow);
+        breakers.emplace_back(_cfg.breaker);
         total_cores += _servers[i]->numCores();
     }
+
+    // ---- Lifecycle machinery ------------------------------------
+    //
+    // Scripted events apply lazily: the event loop pops attempts in
+    // nondecreasing readyMs order, so folding in every scripted event
+    // with atMs <= the current attempt's readyMs keeps the whole
+    // session a pure function of (script, seeds).
+    std::size_t lc_cursor = 0;
+    std::size_t flip_cursor = 0;
+
+    const auto maxFreeAt = [&](std::size_t i) -> double {
+        double m = 0.0;
+        for (double f : free_at[i])
+            m = std::max(m, f);
+        return m;
+    };
+
+    // Draining -> Down once in-flight work ends; WarmRestart -> Up
+    // once probation passes.
+    const auto tickLifecycle = [&](double now) {
+        for (std::size_t i = 0; i < n; ++i) {
+            Server& srv = *_servers[i];
+            if (srv.lifecycleState() == InstanceState::Draining &&
+                now >= drain_ready[i]) {
+                srv.markDown();
+            }
+            if (srv.lifecycleState() == InstanceState::WarmRestart &&
+                now >= probation_end[i]) {
+                srv.completeWarmRestart();
+                ++rs.restarts;
+                // The instance was conceptually Up from the end of
+                // probation, however late this lazy tick fires.
+                down_total[i] += probation_end[i] - down_since[i];
+                // The rebuilt instance starts with a clean bill of
+                // health: stale pre-crash failures say nothing about
+                // the fresh weights.
+                if (use_breakers)
+                    breakers[i].reset();
+            }
+        }
+    };
+
+    const auto applyEventsUpTo = [&](double now) {
+        tickLifecycle(now);
+        if (!schedule)
+            return;
+        const auto& lc = schedule->lifecycleEvents();
+        while (lc_cursor < lc.size() && lc[lc_cursor].atMs <= now) {
+            const LifecycleEvent& e = lc[lc_cursor++];
+            Server& srv = *_servers[e.instance];
+            tickLifecycle(e.atMs);
+            if (e.kind == LifecycleEvent::Kind::Crash) {
+                if (srv.lifecycleState() == InstanceState::Up) {
+                    srv.beginDrain();
+                    drain_ready[e.instance] =
+                        std::max(maxFreeAt(e.instance), e.atMs);
+                    down_since[e.instance] = e.atMs;
+                    ++rs.crashes;
+                }
+            } else { // Recover
+                if (srv.lifecycleState() == InstanceState::Draining)
+                    srv.markDown(); // outage outlived the drain
+                if (srv.lifecycleState() == InstanceState::Down) {
+                    srv.beginWarmRestart();
+                    // O(weights) rebuild: fresh MLP weights from the
+                    // same seed over the same shared store — the
+                    // restarted replica is bitwise-identical to its
+                    // pre-crash self, so predictions are unaffected.
+                    *_models[e.instance] = core::DlrmModel(
+                        _modelCfg, _store, _modelSeed);
+                    // The instance resumes with idle cores.
+                    std::fill(free_at[e.instance].begin(),
+                              free_at[e.instance].end(), e.atMs);
+                    probation_end[e.instance] =
+                        e.atMs + _cfg.probationMs;
+                }
+            }
+        }
+        tickLifecycle(now);
+        const auto& flips = schedule->bitFlipEvents();
+        while (flip_cursor < flips.size() &&
+               flips[flip_cursor].atMs <= now) {
+            const BitFlipEvent& e = flips[flip_cursor++];
+            _mutableStore->flipBit(e.table, e.row, e.bit);
+        }
+    };
+
+    /** The injector governing instance @p i at @p now: an active
+     *  schedule phase overrides the static per-instance injector. */
+    const auto injFor = [&](std::size_t i,
+                            double now) -> const FaultInjector * {
+        if (schedule) {
+            if (const FaultInjector *f = schedule->injectorAt(now, i))
+                return f;
+        }
+        return _faults[i];
+    };
+
+    /** Can new work be routed to instance @p i at @p now? */
+    const auto availableFor = [&](std::size_t i, double now) -> bool {
+        if (_servers[i]->lifecycleState() != InstanceState::Up)
+            return false;
+        if (use_breakers && !breakers[i].admits(now))
+            return false;
+        return true;
+    };
 
     // Earliest-free core of an instance (lowest index on ties).
     const auto earliestCore = [&](std::size_t i) -> std::size_t {
@@ -174,11 +357,19 @@ Router::serve(const core::Tensor& dense,
         return batches[req % batches.size()].batchSize;
     };
     const auto serviceOn = [&](std::size_t i, std::size_t core,
-                               std::size_t samples) -> double {
-        const double straggle =
-            _faults[i] ? _faults[i]->serviceFactor(core) : 1.0;
+                               std::size_t samples,
+                               double now) -> double {
+        const FaultInjector *f = injFor(i, now);
+        const double straggle = f ? f->serviceFactor(core) : 1.0;
         return _cfg.server.service.serviceMs(samples) *
                tier.serviceFactor * straggle;
+    };
+    /** Projected completion of @p req on instance @p i at @p now. */
+    const auto projectedEnd = [&](std::size_t i, double ready,
+                                  std::size_t samples) -> double {
+        const std::size_t core = earliestCore(i);
+        return std::max(free_at[i][core], ready) +
+               serviceOn(i, core, samples, ready);
     };
     // Health score = projected *completion* on this instance: queue
     // wait plus the batch-size-aware (and straggler-aware) service
@@ -192,35 +383,56 @@ Router::serve(const core::Tensor& dense,
             _cfg.failurePenaltyMs *
             static_cast<double>(_servers[i]->totalFailed() + sheds[i]);
         return projectedWait(i, ready) +
-               serviceOn(i, earliestCore(i), samples) + wins[i].p95() +
-               penalty;
+               serviceOn(i, earliestCore(i), samples, ready) +
+               wins[i].p95() + penalty;
     };
 
     std::uint64_t rr = 0;
+    std::vector<std::size_t> cand; // po2 candidate scratch
+    /** Routes an attempt over the available instances; returns n when
+     *  no instance can take new work. */
     const auto route = [&](const RAttempt& a) -> std::size_t {
-        if (n == 1)
-            return 0;
+        cand.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (static_cast<int>(i) != a.exclude &&
+                availableFor(i, a.readyMs))
+                cand.push_back(i);
+        }
+        if (cand.empty()) {
+            // The only remaining option may be the excluded instance
+            // itself (e.g. every other instance is down).
+            if (a.exclude >= 0 &&
+                availableFor(static_cast<std::size_t>(a.exclude),
+                             a.readyMs))
+                return static_cast<std::size_t>(a.exclude);
+            return n;
+        }
+        if (cand.size() == 1)
+            return cand.front();
         switch (_cfg.policy) {
           case RoutePolicy::RoundRobin: {
-            std::size_t i = rr++ % n;
-            if (static_cast<int>(i) == a.exclude)
-                i = rr++ % n;
-            return i;
+            // Cycle the global counter until it lands on a candidate;
+            // with every instance available this reduces to the
+            // classic exclude-skipping round robin.
+            for (std::size_t k = 0; k < 2 * n; ++k) {
+                const std::size_t i = rr++ % n;
+                if (std::find(cand.begin(), cand.end(), i) !=
+                    cand.end())
+                    return i;
+            }
+            return cand.front();
           }
           case RoutePolicy::PowerOfTwo: {
-            // Two seed-derived candidates (skipping any excluded
-            // instance), least-queued wins, lower index on ties.
+            // Two seed-derived candidates drawn over the available
+            // set (ascending order, so with every instance available
+            // the mapping matches the classic exclude-skip draw),
+            // least-queued wins, lower index on ties.
             const auto pick = [&](std::uint64_t kind) -> std::size_t {
-                const std::size_t span =
-                    a.exclude >= 0 ? n - 1 : n;
                 std::size_t i = static_cast<std::size_t>(
                     drawUnit(_cfg.seed, kind, a.req, a.failovers) *
-                    static_cast<double>(span));
-                i = std::min(i, span - 1);
-                if (a.exclude >= 0 &&
-                    i >= static_cast<std::size_t>(a.exclude))
-                    ++i;
-                return i;
+                    static_cast<double>(cand.size()));
+                i = std::min(i, cand.size() - 1);
+                return cand[i];
             };
             const std::size_t c1 = pick(1);
             const std::size_t c2 = pick(2);
@@ -233,9 +445,7 @@ Router::serve(const core::Tensor& dense,
           case RoutePolicy::HealthAware: {
             std::size_t best = n; // sentinel
             double best_score = std::numeric_limits<double>::max();
-            for (std::size_t i = 0; i < n; ++i) {
-                if (static_cast<int>(i) == a.exclude)
-                    continue;
+            for (const std::size_t i : cand) {
                 const double s =
                     healthScore(i, a.readyMs, samplesOf(a.req));
                 if (s < best_score) {
@@ -246,7 +456,7 @@ Router::serve(const core::Tensor& dense,
             return best;
           }
         }
-        return 0;
+        return cand.front();
     };
 
     // Dense inputs per batch size, reference-stable while tasks run.
@@ -263,6 +473,34 @@ Router::serve(const core::Tensor& dense,
         return it->second;
     };
 
+    // Distinct (table, block) pairs touched by a sparse batch;
+    // scratch reused across attempts. Out-of-range (poisoned)
+    // indices are skipped — they fail in the kernel's bounds check,
+    // not here.
+    std::vector<core::BlockRef> touched;
+    const auto touchedBlocks = [&](const core::SparseBatch& sparse) {
+        touched.clear();
+        const std::size_t tables = _store->numTables();
+        for (std::size_t t = 0;
+             t < std::min(tables, sparse.indices.size()); ++t) {
+            for (const auto idx : sparse.indices[t]) {
+                if (static_cast<std::uint64_t>(idx) <
+                    static_cast<std::uint64_t>(rows)) {
+                    touched.push_back(
+                        {t, _store->blockOfRow(
+                                static_cast<std::size_t>(idx))});
+                }
+            }
+        }
+        std::sort(touched.begin(), touched.end(),
+                  [](const core::BlockRef& a, const core::BlockRef& b) {
+                      return a.table != b.table ? a.table < b.table
+                                                : a.block < b.block;
+                  });
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+    };
+
     std::priority_queue<RAttempt, std::vector<RAttempt>, RAttemptLater>
         events;
     std::uint64_t seq = 0;
@@ -274,12 +512,66 @@ Router::serve(const core::Tensor& dense,
     double makespan = 0.0;
 
     while (!events.empty()) {
-        const RAttempt a = events.top();
+        RAttempt a = events.top();
         events.pop();
 
-        const std::size_t inst =
-            a.instance >= 0 ? static_cast<std::size_t>(a.instance)
-                            : route(a);
+        applyEventsUpTo(a.readyMs);
+
+        // Resolve the instance. A retry pinned to an instance that
+        // has since left rotation (crashed or draining) is re-bound
+        // by the routing policy — the request outlives its instance.
+        std::size_t inst;
+        if (a.instance >= 0) {
+            inst = static_cast<std::size_t>(a.instance);
+            if (_servers[inst]->lifecycleState() != InstanceState::Up) {
+                a.exclude = a.instance;
+                a.instance = -1;
+            }
+        }
+        if (a.instance < 0) {
+            inst = route(a);
+            if (inst >= n) {
+                // No instance can take new work right now.
+                if (a.tries == 0 && a.failovers == 0) {
+                    ++rs.total.shed;
+                    ++rs.lifecycleShed;
+                    ++rs.clusterShed;
+                } else {
+                    ++rs.total.failed;
+                }
+                continue;
+            }
+            // Hedge: if the chosen instance's projected completion
+            // already busts this request's deadline, redirect to the
+            // best available instance that still fits instead of
+            // queueing behind a dying one.
+            if (_cfg.hedging && a.tries == 0) {
+                const std::size_t samples = samplesOf(a.req);
+                const double deadline = a.arrivalMs + sla;
+                if (projectedEnd(inst, a.readyMs, samples) > deadline) {
+                    std::size_t best = n;
+                    double best_end =
+                        std::numeric_limits<double>::max();
+                    for (std::size_t j = 0; j < n; ++j) {
+                        if (j == inst || !availableFor(j, a.readyMs))
+                            continue;
+                        const double e =
+                            projectedEnd(j, a.readyMs, samples);
+                        if (e <= deadline && e < best_end) {
+                            best_end = e;
+                            best = j;
+                        }
+                    }
+                    if (best < n) {
+                        inst = best;
+                        ++rs.hedges;
+                    }
+                }
+            }
+        }
+        if (use_breakers)
+            breakers[inst].beginProbe(a.readyMs);
+
         ServeStats& pis = rs.perInstance[inst];
         if (a.tries == 0)
             ++pis.arrived;
@@ -287,12 +579,17 @@ Router::serve(const core::Tensor& dense,
         const std::size_t core = earliestCore(inst);
         const double start = std::max(free_at[inst][core], a.readyMs);
         const double wait = start - a.readyMs;
-        const double service = serviceOn(inst, core, samplesOf(a.req));
+        const FaultInjector *fault = injFor(inst, a.readyMs);
+        const double straggle =
+            fault ? fault->serviceFactor(core) : 1.0;
+        const double service = _cfg.server.service.serviceMs(
+                                   samplesOf(a.req)) *
+                               tier.serviceFactor * straggle;
 
         // Admission control at the routed instance. Retries and
         // failovers are always admitted — their work is already paid
-        // for. A shed where no instance could have met the deadline
-        // is additionally a cluster-level shed.
+        // for. A shed where no *available* instance could have met
+        // the deadline is additionally a cluster-level shed.
         if (_cfg.server.admission && a.tries == 0 &&
             a.failovers == 0 && wait + service > sla) {
             ++rs.total.shed;
@@ -300,9 +597,12 @@ Router::serve(const core::Tensor& dense,
             ++sheds[inst];
             bool any_fits = false;
             for (std::size_t j = 0; j < n && !any_fits; ++j) {
+                if (!availableFor(j, a.readyMs))
+                    continue;
                 any_fits = projectedWait(j, a.readyMs) +
                                serviceOn(j, earliestCore(j),
-                                         samplesOf(a.req)) <=
+                                         samplesOf(a.req),
+                                         a.readyMs) <=
                            sla;
             }
             if (!any_fits)
@@ -310,18 +610,57 @@ Router::serve(const core::Tensor& dense,
             continue;
         }
 
+        // Time-varying silent corruption: an active bit-flip fault
+        // upsets a stored row *before* this attempt reads the store.
+        if (fault && _mutableStore)
+            fault->maybeFlipStoredBit(*_mutableStore, a.req, a.tries);
+
         // Real execution on the instance's private pool.
         const core::SparseBatch& base =
             batches[a.req % batches.size()];
-        core::SparseBatch sparse = _faults[inst]
-            ? _faults[inst]->maybeCorrupt(base, rows, a.req, a.tries)
+        core::SparseBatch sparse = fault
+            ? fault->maybeCorrupt(base, rows, a.req, a.tries)
             : base;
+
+        // Embedding integrity: verify every store block this
+        // attempt's lookups touch before executing. A corrupt block
+        // is repaired in place (regenerated to the exact as-built
+        // bytes) or, with repair off, the request is degraded — a
+        // counted failure instead of a silent wrong answer.
+        bool degraded = false;
+        if (_cfg.integrity.enabled) {
+            touchedBlocks(sparse);
+            for (const auto& blk : touched) {
+                if (_store->verifyBlock(blk.table, blk.block))
+                    continue;
+                ++rs.corruptionsDetected;
+                if (_cfg.integrity.repair && _mutableStore) {
+                    _mutableStore->repairBlock(blk.table, blk.block);
+                    ++rs.blocksRepaired;
+                } else {
+                    degraded = true;
+                }
+            }
+        }
+        if (degraded) {
+            // Corruption is deterministic, not transient: without
+            // repair a retry anywhere re-reads the same corrupt
+            // block, so the request fails now, loudly.
+            ++rs.integrityDegraded;
+            ++rs.total.failed;
+            ++pis.failed;
+            continue;
+        }
 
         bool ok = true;
         try {
+            std::uint64_t fp = 0;
             rs.total.execTotalMs += _servers[inst]->executeAttempt(
                 core, denseFor(sparse.batchSize), sparse, tier, pf,
-                a.req, a.tries);
+                a.req, a.tries, fault,
+                _cfg.recordPredictions ? &fp : nullptr);
+            if (_cfg.recordPredictions)
+                rs.predFingerprints[a.req] = fp;
         } catch (...) {
             ok = false;
         }
@@ -330,6 +669,9 @@ Router::serve(const core::Tensor& dense,
         free_at[inst][core] = end;
         busy[inst] += service;
         makespan = std::max(makespan, end);
+
+        if (use_breakers && breakers[inst].record(ok, end))
+            ++rs.breakerTrips;
 
         if (ok) {
             ++rs.total.served;
@@ -364,6 +706,11 @@ Router::serve(const core::Tensor& dense,
         }
     }
 
+    // Fold any scripted events up to the end of the session, so
+    // availability accounts for outages no attempt happened to
+    // observe; instances still out of rotation stay unavailable
+    // through the end.
+    applyEventsUpTo(makespan);
     rs.makespanMs = makespan;
     if (makespan > 0.0) {
         double busy_total = 0.0;
@@ -373,6 +720,12 @@ Router::serve(const core::Tensor& dense,
                 busy[i] /
                 (makespan *
                  static_cast<double>(free_at[i].size()));
+            double down = down_total[i];
+            if (_servers[i]->lifecycleState() != InstanceState::Up &&
+                makespan > down_since[i])
+                down += makespan - down_since[i];
+            rs.availability[i] =
+                std::max(0.0, 1.0 - down / makespan);
         }
         rs.total.serverUtilization =
             busy_total /

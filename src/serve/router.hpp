@@ -1,6 +1,7 @@
 /**
  * @file
- * Health-aware front-end router over N serving instances.
+ * Health-aware, resilience-hardened front-end router over N serving
+ * instances.
  *
  * The paper's at-scale configuration (Sec. 6.5) runs one independent
  * serving instance per physical core. This router is the tier in
@@ -27,9 +28,34 @@
  * where *no* instance could have met the deadline is counted
  * separately as a cluster-level shed.
  *
+ * On top of that sits the cluster-resilience layer:
+ *
+ *  - **instance lifecycle**: a FaultSchedule can script whole-instance
+ *    crashes and recoveries; the router drives each Server through
+ *    Up -> Draining -> Down -> WarmRestart, rebuilding the replica
+ *    model view over the shared store in O(weights) and re-admitting
+ *    after a probation window. Down instances leave every candidate
+ *    set; their pinned retries are re-routed to survivors.
+ *  - **circuit breakers** (RouterConfig::breaker): a per-instance
+ *    rolling failure-rate window trips a sick instance out of
+ *    rotation entirely; after a cooldown a single half-open probe
+ *    decides re-admission.
+ *  - **hedged failover** (RouterConfig::hedging): a request whose
+ *    routed instance's projected completion would bust the deadline
+ *    is redirected to the best available instance that still fits,
+ *    instead of queueing behind a dying one.
+ *  - **embedding integrity** (RouterConfig::integrity): before an
+ *    attempt executes, every store block its lookups touch is
+ *    verified against the build-time checksums; a corrupt block is
+ *    either repaired in place (regenerated to the exact as-built
+ *    bytes — the "verified replica block") or, with repair disabled,
+ *    the request is degraded to a counted failure rather than served
+ *    from corrupt rows. Either way corruption is a survivable,
+ *    counted event, never a silent wrong answer.
+ *
  * Like Server::serve, the router advances a deterministic virtual
  * clock while the kernels really execute, so a whole multi-instance
- * session is bit-reproducible under fixed seeds.
+ * chaos session is bit-reproducible under fixed seeds.
  */
 
 #ifndef DLRMOPT_SERVE_ROUTER_HPP
@@ -44,6 +70,8 @@
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
 #include "sched/topology.hpp"
+#include "serve/breaker.hpp"
+#include "serve/fault_schedule.hpp"
 #include "serve/server.hpp"
 
 namespace dlrmopt::serve
@@ -62,6 +90,19 @@ const char *routePolicyName(RoutePolicy p);
 
 /** Parses a policy name; throws std::invalid_argument on others. */
 RoutePolicy parseRoutePolicy(const std::string& name);
+
+/** Embedding-integrity knobs for the serving path. */
+struct IntegrityConfig
+{
+    /** Verify the checksums of every store block an attempt's lookups
+     *  touch before executing it. */
+    bool enabled = false;
+
+    /** Repair a corrupt block in place (regenerate the as-built
+     *  bytes) and serve; false degrades the request instead. Repair
+     *  requires the router to hold a mutable store handle. */
+    bool repair = true;
+};
 
 /** Cluster-level serving parameters. */
 struct RouterConfig
@@ -84,6 +125,25 @@ struct RouterConfig
     /** Health-score penalty (virtual ms) per failed task and per
      *  admission shed recorded against an instance. */
     double failurePenaltyMs = 1.0;
+
+    /** Per-instance circuit breakers (disabled by default). */
+    BreakerConfig breaker;
+
+    /** Redirect a request to the next-best available instance when
+     *  its routed instance's projected completion busts the SLA. */
+    bool hedging = false;
+
+    /** Virtual ms a warm-restarted instance waits in WarmRestart
+     *  before re-admission. */
+    double probationMs = 5.0;
+
+    /** Embedding-integrity verification/quarantine. */
+    IntegrityConfig integrity;
+
+    /** Record a per-request prediction fingerprint for every served
+     *  request (RouterStats::predFingerprints), letting tests assert
+     *  bitwise-correct answers against a fault-free baseline. */
+    bool recordPredictions = false;
 };
 
 /** Outcome of one routed serving session. */
@@ -106,6 +166,37 @@ struct RouterStats
      *  throughput comparisons over the same arrival stream). */
     double makespanMs = 0.0;
 
+    /// @name Resilience counters
+    /// @{
+
+    std::size_t breakerTrips = 0; //!< breaker open transitions
+    std::size_t hedges = 0;       //!< deadline-hedged redirects
+    std::size_t crashes = 0;      //!< scripted instance crashes
+    std::size_t restarts = 0;     //!< completed warm restarts
+
+    /** Corrupt store blocks detected by pre-execution verification. */
+    std::size_t corruptionsDetected = 0;
+
+    /** Corrupt blocks repaired in place (regenerated). */
+    std::size_t blocksRepaired = 0;
+
+    /** Requests degraded (failed without serving) because their
+     *  lookups touched a corrupt block and repair was off. */
+    std::size_t integrityDegraded = 0;
+
+    /** Fresh requests shed because no instance was available
+     *  (subset of total.shed). */
+    std::size_t lifecycleShed = 0;
+
+    /** Per-instance fraction of the session spent lifecycle-Up. */
+    std::vector<double> availability;
+
+    /** Per-request prediction fingerprint (0 = not served); filled
+     *  only when RouterConfig::recordPredictions. */
+    std::vector<std::uint64_t> predFingerprints;
+
+    /// @}
+
     /** One-line cluster summary (aggregate + router counters). */
     std::string summary() const;
 };
@@ -127,17 +218,34 @@ class Router
      * @param store Shared table storage (kept alive by the router).
      * @param topo Cores to split across instances.
      * @param cfg Cluster parameters.
-     * @param faults Optional per-instance fault injectors (indexed by
-     *        instance; shorter vectors / nullptr entries mean no
-     *        faults for that instance; not owned).
+     * @param faults Optional per-instance fault injectors, indexed by
+     *        instance; a shorter vector or nullptr entries mean no
+     *        faults for those instances. **Not owned**: every
+     *        non-null injector must outlive the Router (and any
+     *        serve() session), exactly like the Server's injector
+     *        parameter.
      * @param model_seed Seed for the per-instance MLP weights.
      *
      * @throws std::invalid_argument when instances is zero or exceeds
-     *         the physical core count, or via Server/DlrmModel
-     *         validation.
+     *         the physical core count, when @p faults has more
+     *         entries than instances, when an injector's bitFlipRate
+     *         is positive without a mutable store, or via
+     *         Server/DlrmModel validation.
      */
     Router(const core::ModelConfig& model_cfg,
            std::shared_ptr<const core::EmbeddingStore> store,
+           const sched::Topology& topo, const RouterConfig& cfg,
+           std::vector<const FaultInjector *> faults = {},
+           std::uint64_t model_seed = 42);
+
+    /**
+     * Same, but over a *mutable* store handle. Required for any
+     * session that corrupts stored rows (FaultConfig::bitFlipRate or
+     * scripted BitFlipEvents) or repairs them
+     * (IntegrityConfig::repair).
+     */
+    Router(const core::ModelConfig& model_cfg,
+           std::shared_ptr<core::EmbeddingStore> store,
            const sched::Topology& topo, const RouterConfig& cfg,
            std::vector<const FaultInjector *> faults = {},
            std::uint64_t model_seed = 42);
@@ -161,19 +269,35 @@ class Router
     /**
      * Serves one session: the same contract as Server::serve, but
      * requests are routed across instances by the configured policy.
+     * An optional FaultSchedule scripts time-varying fault phases,
+     * instance crash/recover events, and stored-row bit flips over
+     * the session's virtual clock (not owned; must outlive the call).
      *
-     * @throws std::invalid_argument on an empty batch list.
+     * @throws std::invalid_argument on an empty batch list, a
+     *         schedule that fails validate(numInstances()), or a
+     *         schedule that corrupts stored rows when the router
+     *         holds no mutable store handle.
      */
     RouterStats serve(const core::Tensor& dense,
                       const std::vector<core::SparseBatch>& batches,
                       const std::vector<double>& arrivals_ms,
                       const core::PrefetchSpec& pf =
-                          core::PrefetchSpec::paperDefault());
+                          core::PrefetchSpec::paperDefault(),
+                      const FaultSchedule *schedule = nullptr);
 
   private:
+    void build(const core::ModelConfig& model_cfg,
+               const sched::Topology& topo,
+               std::uint64_t model_seed);
+
     RouterConfig _cfg;
     std::vector<const FaultInjector *> _faults;
     std::shared_ptr<const core::EmbeddingStore> _store;
+    /** Non-null only for the mutable-store constructor; aliases
+     *  _store. */
+    std::shared_ptr<core::EmbeddingStore> _mutableStore;
+    core::ModelConfig _modelCfg;   //!< kept for warm-restart rebuilds
+    std::uint64_t _modelSeed = 42; //!< ditto
     std::vector<std::unique_ptr<core::DlrmModel>> _models;
     std::vector<std::unique_ptr<Server>> _servers;
 };

@@ -38,7 +38,44 @@ struct AttemptLater
     }
 };
 
+/**
+ * Order-sensitive fingerprint of a prediction tensor: a mix64 chain
+ * over the raw fp32 bit patterns. Two attempts fingerprint equal iff
+ * their predictions are bitwise identical, which is how the
+ * resilience tests assert "zero wrong answers served" against a
+ * fault-free baseline.
+ */
+std::uint64_t
+fingerprintPredictions(const core::Tensor& pred)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    const float *p = pred.data();
+    const std::size_t n = pred.rows() * pred.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t u;
+        std::memcpy(&u, p + i, sizeof(u));
+        h = dlrmopt::mix64(h ^ u);
+    }
+    return h;
+}
+
 } // namespace
+
+const char *
+instanceStateName(InstanceState s)
+{
+    switch (s) {
+      case InstanceState::Up:
+        return "Up";
+      case InstanceState::Draining:
+        return "Draining";
+      case InstanceState::Down:
+        return "Down";
+      case InstanceState::WarmRestart:
+        return "WarmRestart";
+    }
+    return "?";
+}
 
 Server::Server(const core::DlrmModel& model,
                const sched::Topology& topo, const ServerConfig& cfg,
@@ -54,6 +91,55 @@ Server::Server(const core::DlrmModel& model,
         throw std::invalid_argument(
             "Server: backoff cap must be >= base >= 0");
     }
+    // The Server knows its core count, so it can range-check the one
+    // FaultConfig knob validate() alone cannot.
+    if (fault)
+        fault->config().validate(_pool.numCores());
+}
+
+void
+Server::beginDrain()
+{
+    if (_lifecycle != InstanceState::Up) {
+        throw std::logic_error(
+            std::string("Server::beginDrain: instance is ") +
+            instanceStateName(_lifecycle) + ", expected Up");
+    }
+    _lifecycle = InstanceState::Draining;
+}
+
+void
+Server::markDown()
+{
+    if (_lifecycle != InstanceState::Draining) {
+        throw std::logic_error(
+            std::string("Server::markDown: instance is ") +
+            instanceStateName(_lifecycle) + ", expected Draining");
+    }
+    _lifecycle = InstanceState::Down;
+}
+
+void
+Server::beginWarmRestart()
+{
+    if (_lifecycle != InstanceState::Down) {
+        throw std::logic_error(
+            std::string("Server::beginWarmRestart: instance is ") +
+            instanceStateName(_lifecycle) + ", expected Down");
+    }
+    _lifecycle = InstanceState::WarmRestart;
+}
+
+void
+Server::completeWarmRestart()
+{
+    if (_lifecycle != InstanceState::WarmRestart) {
+        throw std::logic_error(
+            std::string("Server::completeWarmRestart: instance is ") +
+            instanceStateName(_lifecycle) + ", expected WarmRestart");
+    }
+    _lifecycle = InstanceState::Up;
+    ++_restarts;
 }
 
 double
@@ -62,6 +148,18 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
                 const DegradeState& tier,
                 const core::PrefetchSpec& pf, std::uint64_t req,
                 std::uint64_t attempt)
+{
+    return executeAttempt(core, dense, sparse, tier, pf, req, attempt,
+                          _fault, nullptr);
+}
+
+double
+Server::executeAttempt(std::size_t core, const core::Tensor& dense,
+                const core::SparseBatch& sparse,
+                const DegradeState& tier,
+                const core::PrefetchSpec& pf, std::uint64_t req,
+                std::uint64_t attempt, const FaultInjector *fault,
+                std::uint64_t *pred_fp)
 {
     using Clock = std::chrono::steady_clock;
     const core::PrefetchSpec eff_pf =
@@ -86,9 +184,9 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
         });
         auto f2 = _pool.submit(
             core, [this, &sparse, &ws, bottom_fut, eff_pf, req,
-                   attempt] {
-                if (_fault)
-                    _fault->maybeThrow(req, attempt);
+                   attempt, fault] {
+                if (fault)
+                    fault->maybeThrow(req, attempt);
                 _model.embeddingForward(sparse, ws.embOut, eff_pf);
                 bottom_fut.get();
                 _model.interactionForward(ws.bottomOut, ws.embOut,
@@ -106,14 +204,16 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
         // Sequential degradation tier: one task, one thread.
         auto f = _pool.submit(
             core,
-            [this, &dense, &sparse, &ws, eff_pf, req, attempt] {
-                if (_fault)
-                    _fault->maybeThrow(req, attempt);
+            [this, &dense, &sparse, &ws, eff_pf, req, attempt, fault] {
+                if (fault)
+                    fault->maybeThrow(req, attempt);
                 _model.forward(dense, sparse, ws, eff_pf);
             });
         f.wait();
         f.get();
     }
+    if (pred_fp)
+        *pred_fp = fingerprintPredictions(ws.pred);
     return std::chrono::duration<double, std::milli>(Clock::now() - t0)
         .count();
 }
@@ -126,6 +226,11 @@ Server::serve(const core::Tensor& dense,
 {
     if (batches.empty())
         throw std::invalid_argument("Server: need at least one batch");
+    if (_lifecycle != InstanceState::Up) {
+        throw std::logic_error(
+            std::string("Server::serve: instance is ") +
+            instanceStateName(_lifecycle) + ", not Up");
+    }
 
     if (_cfg.batching.enabled)
         return serveBatched(dense, batches, arrivals_ms, pf);

@@ -58,6 +58,31 @@
 namespace dlrmopt::serve
 {
 
+/**
+ * Lifecycle of one serving instance, driven by the Router's event
+ * loop from a scripted FaultSchedule (serve/fault_schedule.hpp):
+ *
+ *   Up --crash--> Draining --in-flight done--> Down
+ *   Down --recover--> WarmRestart --probation--> Up
+ *
+ * Draining exists because a crash is *announced* on the virtual clock
+ * while a dispatch may still be executing: the instance takes no new
+ * work but its in-flight attempt finishes accounting. WarmRestart is
+ * the O(weights) rebuild of the replica DlrmModel view over the
+ * shared EmbeddingStore — tables are never copied, so restart cost is
+ * MLP-sized — followed by a probation window before re-admission.
+ */
+enum class InstanceState
+{
+    Up,
+    Draining,
+    Down,
+    WarmRestart
+};
+
+/** Human-readable state name ("Up", "Draining", ...). */
+const char *instanceStateName(InstanceState s);
+
 /** Serving-session parameters. */
 struct ServerConfig
 {
@@ -135,6 +160,48 @@ class Server
 
     const ServerConfig& config() const { return _cfg; }
 
+    /// @name Instance lifecycle
+    /// @{
+
+    InstanceState lifecycleState() const { return _lifecycle; }
+
+    /** Number of completed warm restarts. */
+    std::uint64_t restarts() const { return _restarts; }
+
+    /**
+     * Up -> Draining: the instance stops accepting new work; its
+     * in-flight dispatch finishes accounting first.
+     *
+     * @throws std::logic_error unless currently Up.
+     */
+    void beginDrain();
+
+    /**
+     * Draining -> Down: the last in-flight work has drained.
+     *
+     * @throws std::logic_error unless currently Draining.
+     */
+    void markDown();
+
+    /**
+     * Down -> WarmRestart: the instance starts rebuilding. The
+     * caller (Router) performs the actual O(weights) model-view
+     * rebuild; this transition only tracks lifecycle.
+     *
+     * @throws std::logic_error unless currently Down.
+     */
+    void beginWarmRestart();
+
+    /**
+     * WarmRestart -> Up: probation passed, instance re-admitted.
+     * Counts one restart.
+     *
+     * @throws std::logic_error unless currently WarmRestart.
+     */
+    void completeWarmRestart();
+
+    /// @}
+
     /**
      * Really executes one request attempt on @p core and returns the
      * measured kernel wall time (ms). Throws whatever the stage tasks
@@ -149,6 +216,23 @@ class Server
                           const DegradeState& tier,
                           const core::PrefetchSpec& pf,
                           std::uint64_t req, std::uint64_t attempt);
+
+    /**
+     * executeAttempt with an explicit fault injector (overriding the
+     * constructor-supplied one for this attempt; null = no faults)
+     * and an optional prediction fingerprint out-parameter. The
+     * Router uses the override to apply time-varying FaultSchedule
+     * phases, and the fingerprint (an order-sensitive mix64 chain
+     * over the prediction bit patterns) to assert that a resilient
+     * session serves bitwise-correct answers.
+     */
+    double executeAttempt(std::size_t core, const core::Tensor& dense,
+                          const core::SparseBatch& sparse,
+                          const DegradeState& tier,
+                          const core::PrefetchSpec& pf,
+                          std::uint64_t req, std::uint64_t attempt,
+                          const FaultInjector *fault,
+                          std::uint64_t *pred_fp);
 
   private:
     /**
@@ -176,6 +260,8 @@ class Server
     ServerConfig _cfg;
     const FaultInjector *_fault;
     sched::HtThreadPool _pool;
+    InstanceState _lifecycle = InstanceState::Up;
+    std::uint64_t _restarts = 0;
 
     /** Preallocated batched-forward scratch, sized on first batched
      *  session and reused for every dispatch thereafter. */

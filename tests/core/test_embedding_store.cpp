@@ -217,6 +217,92 @@ TEST(EmbeddingStore, ViewConstructionValidatesGeometryAndSpan)
     EXPECT_THROW(DlrmModel(cfg, nullptr, 42), std::invalid_argument);
 }
 
+TEST(EmbeddingStoreIntegrity, ChecksumsVerifyOnBuild)
+{
+    const ModelConfig cfg = tinyModel();
+    const EmbeddingStore store(cfg, 42, 256);
+    EXPECT_EQ(store.blockRows(), 256u);
+    EXPECT_EQ(store.numBlocks(), 4u); // 1024 rows / 256
+    EXPECT_EQ(store.blockOfRow(0), 0u);
+    EXPECT_EQ(store.blockOfRow(255), 0u);
+    EXPECT_EQ(store.blockOfRow(256), 1u);
+    for (std::size_t t = 0; t < store.numTables(); ++t) {
+        for (std::size_t b = 0; b < store.numBlocks(); ++b) {
+            EXPECT_TRUE(store.verifyBlock(t, b));
+            EXPECT_EQ(store.computeChecksum(t, b),
+                      store.storedChecksum(t, b));
+        }
+    }
+    EXPECT_TRUE(store.findCorruptBlocks().empty());
+}
+
+TEST(EmbeddingStoreIntegrity, FlipIsDetectedAndRepairedBitwise)
+{
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::createMutable(cfg, 42);
+    const EmbeddingStore pristine(cfg, 42);
+
+    // One silent single-bit upset in table 2, row 700 (block 2).
+    store->flipBit(2, 700, 5);
+    EXPECT_FALSE(store->verifyBlock(2, 2));
+    const auto corrupt = store->findCorruptBlocks();
+    ASSERT_EQ(corrupt.size(), 1u);
+    EXPECT_EQ(corrupt[0], (BlockRef{2, 2}));
+    // Other tables/blocks are untouched.
+    EXPECT_TRUE(store->verifyBlock(2, 1));
+    EXPECT_TRUE(store->verifyBlock(1, 2));
+
+    // Repair regenerates the exact as-built bytes, not approximations.
+    store->repairBlock(2, 2);
+    EXPECT_TRUE(store->verifyBlock(2, 2));
+    EXPECT_TRUE(store->findCorruptBlocks().empty());
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        for (std::size_t i = 0; i < cfg.rows * cfg.dim; ++i) {
+            ASSERT_EQ(store->table(t).data()[i],
+                      pristine.table(t).data()[i]);
+        }
+    }
+}
+
+TEST(EmbeddingStoreIntegrity, ShortLastBlockChecksAndRepairs)
+{
+    // blockRows that does not divide rows: the last block is short
+    // (1024 = 3 * 300 + 124) and must checksum/repair exactly its own
+    // rows, not read past the table.
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::createMutable(cfg, 42, 300);
+    EXPECT_EQ(store->numBlocks(), 4u);
+    EXPECT_EQ(store->blockOfRow(1023), 3u);
+
+    store->flipBit(0, 1023, 511); // last row, last payload bit
+    EXPECT_FALSE(store->verifyBlock(0, 3));
+    store->repairBlock(0, 3);
+    EXPECT_TRUE(store->verifyBlock(0, 3));
+}
+
+TEST(EmbeddingStoreIntegrity, BlockRowsClampAndValidation)
+{
+    const ModelConfig cfg = tinyModel();
+    EXPECT_THROW(EmbeddingStore(cfg, 42, 0), std::invalid_argument);
+
+    // Oversized blockRows clamps to the table height: one block.
+    const EmbeddingStore one(cfg, 42, 1u << 20);
+    EXPECT_EQ(one.blockRows(), cfg.rows);
+    EXPECT_EQ(one.numBlocks(), 1u);
+    EXPECT_TRUE(one.verifyBlock(0, 0));
+}
+
+TEST(EmbeddingStoreIntegrity, MutationApiRangeChecks)
+{
+    const ModelConfig cfg = tinyModel();
+    auto store = EmbeddingStore::createMutable(cfg, 42);
+    EXPECT_THROW(store->flipBit(4, 0, 0), std::invalid_argument);
+    EXPECT_THROW(store->flipBit(0, 1024, 0), std::invalid_argument);
+    EXPECT_THROW(store->flipBit(0, 0, 16 * 32), std::invalid_argument);
+    EXPECT_THROW(store->repairBlock(4, 0), std::invalid_argument);
+    EXPECT_THROW(store->repairBlock(0, 4), std::invalid_argument);
+}
+
 TEST(EmbeddingStore, MergeValidatesCoverageAndShapes)
 {
     const ModelConfig cfg = tinyModel();

@@ -3,7 +3,8 @@
  * Tests for the deadline-aware coalescing queue and the batch-size-
  * aware service model: group-formation semantics (linger window,
  * capacity cap, tightest-member deadline, solo infeasible heads,
- * deadline-free retries), ServiceModel fitting/validation, and the
+ * fresh SLA-derived retry deadlines), ServiceModel fitting/validation,
+ * and the
  * batch-aware shedding queue simulator's equivalence with the scalar
  * overload under a constant model.
  */
@@ -202,7 +203,7 @@ TEST_F(BatchQueueTest, InfeasibleHeadDispatchesSoloForShedding)
     EXPECT_EQ(q.size(), 1u);
 }
 
-TEST_F(BatchQueueTest, RetriesCarryNoDeadline)
+TEST_F(BatchQueueTest, RetriesGetAFreshDeadlineFromTheirReadyTime)
 {
     // Same shape as the solo-shed case, but the head is a retry:
     // retries are always admitted, and the follower's own deadline
@@ -214,11 +215,32 @@ TEST_F(BatchQueueTest, RetriesCarryNoDeadline)
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].tries, 1u);
 
-    // Two retries together: no deadline constrains them at all.
+    // Regression (the PR-3 behaviour gave retries *no* deadline):
+    // two infeasible retries no longer coalesce freely — the head's
+    // fresh readyMs + SLA deadline (1.0ms, vs 0.5 + 12.8ms service)
+    // is already blown, so it dispatches solo like any other doomed
+    // head instead of dragging the second retry along.
     BatchQueue q2(cfg);
     q2.push(req(0.0, 0, 64, 1));
     q2.push(req(0.0, 1, 64, 2));
     q2.nextBatch(0.0, 8, 1.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(q2.size(), 1u);
+
+    // A *feasible* retry pair coalesces exactly like first attempts:
+    // the fresh deadline is readyMs + SLA, not arrival + SLA. Anchor
+    // the retries' readyMs late (backoff expiry at t=50 with arrival
+    // at t=0 would long have blown an arrival-anchored deadline).
+    BatchQueue q3(cfg);
+    PendingRequest r0 = req(50.0, 0, 8, 1);
+    PendingRequest r1 = req(50.0, 1, 8, 1);
+    r0.arrivalMs = 0.0;
+    r1.arrivalMs = 0.0;
+    q3.push(r0);
+    q3.push(r1);
+    // Group service = 0.5 + 1.6 = 2.1ms <= 3ms SLA from readyMs.
+    q3.nextBatch(50.0, 8, 3.0, svc, 1.0, out);
     EXPECT_EQ(out.size(), 2u);
 }
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the per-instance circuit breaker: trip thresholds,
+ * cooldown to half-open, single-probe admission, probe verdicts, and
+ * warm-restart reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/breaker.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+using State = CircuitBreaker::State;
+
+BreakerConfig
+smallConfig()
+{
+    BreakerConfig cfg;
+    cfg.enabled = true;
+    cfg.window = 8;
+    cfg.minSamples = 4;
+    cfg.failureThreshold = 0.5;
+    cfg.cooldownMs = 10.0;
+    return cfg;
+}
+
+TEST(Breaker, ConfigValidation)
+{
+    BreakerConfig bad = smallConfig();
+    bad.window = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = smallConfig();
+    bad.minSamples = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = smallConfig();
+    bad.minSamples = 9; // > window
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = smallConfig();
+    bad.failureThreshold = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = smallConfig();
+    bad.failureThreshold = 1.5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = smallConfig();
+    bad.cooldownMs = -1.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    EXPECT_NO_THROW(smallConfig().validate());
+    EXPECT_THROW(CircuitBreaker{bad}, std::invalid_argument);
+}
+
+TEST(Breaker, StaysClosedBelowMinSamples)
+{
+    CircuitBreaker b(smallConfig());
+    // Three straight failures: 100% failure rate but < minSamples.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(b.record(false, static_cast<double>(i)));
+    EXPECT_EQ(b.state(3.0), State::Closed);
+    EXPECT_TRUE(b.admits(3.0));
+    EXPECT_EQ(b.trips(), 0u);
+}
+
+TEST(Breaker, TripsAtThresholdAndBlocksUntilCooldown)
+{
+    CircuitBreaker b(smallConfig());
+    b.record(true, 0.0);
+    b.record(true, 1.0);
+    b.record(false, 2.0);
+    // 4th sample makes the failure rate 2/4 = threshold: trips.
+    EXPECT_TRUE(b.record(false, 3.0));
+    EXPECT_EQ(b.trips(), 1u);
+    EXPECT_EQ(b.state(3.0), State::Open);
+    EXPECT_FALSE(b.admits(5.0));
+    // Cooldown (10 ms from the tripping outcome) lapses -> half-open.
+    EXPECT_EQ(b.state(13.0), State::HalfOpen);
+    EXPECT_TRUE(b.admits(13.0));
+}
+
+TEST(Breaker, HalfOpenAdmitsExactlyOneProbe)
+{
+    CircuitBreaker b(smallConfig());
+    for (int i = 0; i < 4; ++i)
+        b.record(false, static_cast<double>(i));
+    ASSERT_EQ(b.state(20.0), State::HalfOpen);
+    ASSERT_TRUE(b.admits(20.0));
+    b.beginProbe(20.0);
+    // Probe in flight: nothing else may be routed here.
+    EXPECT_FALSE(b.admits(20.0));
+    EXPECT_FALSE(b.admits(100.0));
+}
+
+TEST(Breaker, SuccessfulProbeClosesAndClearsHistory)
+{
+    CircuitBreaker b(smallConfig());
+    for (int i = 0; i < 4; ++i)
+        b.record(false, static_cast<double>(i));
+    b.beginProbe(20.0);
+    EXPECT_FALSE(b.record(true, 21.0));
+    EXPECT_EQ(b.state(21.0), State::Closed);
+    EXPECT_TRUE(b.admits(21.0));
+    // The pre-trip failures are forgotten: a single new failure must
+    // not re-trip against stale history.
+    EXPECT_FALSE(b.record(false, 22.0));
+    EXPECT_EQ(b.state(22.0), State::Closed);
+    EXPECT_EQ(b.trips(), 1u);
+}
+
+TEST(Breaker, FailedProbeReopensForAnotherCooldown)
+{
+    CircuitBreaker b(smallConfig());
+    for (int i = 0; i < 4; ++i)
+        b.record(false, static_cast<double>(i));
+    b.beginProbe(20.0);
+    EXPECT_TRUE(b.record(false, 21.0)); // counted as another trip
+    EXPECT_EQ(b.trips(), 2u);
+    EXPECT_EQ(b.state(21.0), State::Open);
+    EXPECT_FALSE(b.admits(25.0));
+    EXPECT_EQ(b.state(31.0), State::HalfOpen); // 21 + 10 cooldown
+}
+
+TEST(Breaker, ResetRestoresCleanClosedState)
+{
+    CircuitBreaker b(smallConfig());
+    for (int i = 0; i < 4; ++i)
+        b.record(false, static_cast<double>(i));
+    ASSERT_EQ(b.state(5.0), State::Open);
+    b.reset();
+    EXPECT_EQ(b.state(5.0), State::Closed);
+    EXPECT_TRUE(b.admits(5.0));
+    // Trip count survives reset: it is a session statistic.
+    EXPECT_EQ(b.trips(), 1u);
+    // And the cleared window needs minSamples fresh outcomes again.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(b.record(false, 10.0 + i));
+    EXPECT_EQ(b.state(13.0), State::Closed);
+}
+
+TEST(Breaker, RollingWindowForgetsOldOutcomes)
+{
+    // 8 successes fill the window; subsequent failures must displace
+    // them one by one, tripping only once failures dominate.
+    CircuitBreaker b(smallConfig());
+    for (int i = 0; i < 8; ++i)
+        b.record(true, static_cast<double>(i));
+    int trip_at = -1;
+    for (int i = 0; i < 8; ++i) {
+        if (b.record(false, 10.0 + i)) {
+            trip_at = i;
+            break;
+        }
+    }
+    // Trip exactly when 4 of the rolled 8 outcomes are failures.
+    EXPECT_EQ(trip_at, 3);
+}
+
+} // namespace

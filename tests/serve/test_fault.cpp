@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <new>
 #include <stdexcept>
 
+#include "core/embedding_store.hpp"
 #include "serve/fault.hpp"
 
 namespace
@@ -38,6 +41,31 @@ TEST(FaultInjector, RejectsBadConfig)
     bad = {};
     bad.stragglerFactor = 0.5;
     EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultInjector, ValidateCoversEveryKnob)
+{
+    // The injector's ctor defers to FaultConfig::validate(); these
+    // exercise validate() directly, including the numCores overload
+    // the ctor cannot check.
+    FaultConfig bad;
+    bad.bitFlipRate = 1.01;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = {};
+    bad.bitFlipRate = -0.5;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = {};
+    bad.stragglerFactor = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = {};
+    bad.stragglerCore = -2;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = {};
+    bad.stragglerCore = 4;
+    EXPECT_NO_THROW(bad.validate());    // core count unknown
+    EXPECT_NO_THROW(bad.validate(8));   // in range
+    EXPECT_THROW(bad.validate(4), std::invalid_argument);
+    EXPECT_NO_THROW(FaultConfig{}.validate());
 }
 
 TEST(FaultInjector, DecisionsAreDeterministicInSeed)
@@ -132,6 +160,66 @@ TEST(FaultInjector, CorruptionDrivesOneIndexOutOfRange)
     const auto same = none.maybeCorrupt(batch, rows, 7, 0);
     EXPECT_TRUE(same.valid(rows));
     EXPECT_EQ(same.indices, batch.indices);
+}
+
+TEST(FaultInjector, BitFlipCorruptsExactlyOneVerifiableBlock)
+{
+    core::ModelConfig m;
+    m.name = "flip_tiny";
+    m.cls = core::ModelClass::RMC2;
+    m.rows = 512;
+    m.dim = 8;
+    m.tables = 2;
+    m.lookups = 2;
+    m.bottomMlp = {8, 8};
+    m.topMlp = {4, 1};
+    auto store = core::EmbeddingStore::createMutable(m, 21);
+    ASSERT_TRUE(store->findCorruptBlocks().empty());
+
+    FaultConfig cfg;
+    cfg.bitFlipRate = 1.0;
+    cfg.seed = 5;
+    const FaultInjector inj(cfg);
+    ASSERT_TRUE(inj.bitFlipHits(0, 0));
+    EXPECT_TRUE(inj.maybeFlipStoredBit(*store, 0, 0));
+    EXPECT_EQ(inj.injectedBitFlips(), 1u);
+
+    // Checksums localize the damage to exactly one block; repair
+    // restores a clean store.
+    const auto corrupt = store->findCorruptBlocks();
+    ASSERT_EQ(corrupt.size(), 1u);
+    store->repairBlock(corrupt[0].table, corrupt[0].block);
+    EXPECT_TRUE(store->findCorruptBlocks().empty());
+
+    // Site choice is deterministic in (seed, req, attempt): replaying
+    // the hit flips the same bit back out of the same block.
+    EXPECT_TRUE(inj.maybeFlipStoredBit(*store, 0, 0));
+    const auto again = store->findCorruptBlocks();
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].table, corrupt[0].table);
+    EXPECT_EQ(again[0].block, corrupt[0].block);
+
+    // Rate 0 never touches the store.
+    const FaultInjector off{FaultConfig{}};
+    EXPECT_FALSE(off.bitFlipHits(0, 0));
+    EXPECT_FALSE(off.maybeFlipStoredBit(*store, 0, 0));
+    EXPECT_EQ(off.injectedBitFlips(), 0u);
+}
+
+TEST(FaultInjector, BitFlipRateCalibratesLikeOtherFaults)
+{
+    FaultConfig cfg;
+    cfg.bitFlipRate = 0.05;
+    cfg.seed = 77;
+    const FaultInjector inj(cfg), twin(cfg);
+    int hits = 0;
+    for (std::uint64_t req = 0; req < 20'000; ++req) {
+        const bool h = inj.bitFlipHits(req, 0);
+        EXPECT_EQ(h, twin.bitFlipHits(req, 0));
+        if (h)
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 20'000.0, 0.05, 0.01);
 }
 
 TEST(FaultInjector, StragglerFactorAppliesToOneCore)

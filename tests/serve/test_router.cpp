@@ -294,6 +294,41 @@ TEST_F(RouterTest, RejectsBadConfigsAndInputs)
                   sched::Topology::synthetic(4, 2), cfg);
     EXPECT_THROW(router.serve(dense, {}, {0.0}),
                  std::invalid_argument);
+
+    // More injectors than instances: the extras could never fire, so
+    // the config is almost certainly a mistake. (Injectors are NOT
+    // owned by the router; these outlive it on the stack.)
+    const FaultInjector a{FaultConfig{}}, b{FaultConfig{}},
+        c{FaultConfig{}};
+    EXPECT_THROW(Router(smallModel(), store,
+                        sched::Topology::synthetic(4, 2), cfg,
+                        {&a, &b, &c}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(Router(smallModel(), store,
+                           sched::Topology::synthetic(4, 2), cfg,
+                           {&a, &b}));
+    EXPECT_NO_THROW(Router(smallModel(), store,
+                           sched::Topology::synthetic(4, 2), cfg,
+                           {&a})); // shorter is fine: no faults on 1
+
+    // Store-mutating features demand the mutable-store constructor.
+    FaultConfig flip;
+    flip.bitFlipRate = 0.5;
+    const FaultInjector flipper(flip);
+    EXPECT_THROW(Router(smallModel(), store,
+                        sched::Topology::synthetic(4, 2), cfg,
+                        {&flipper}),
+                 std::invalid_argument);
+    RouterConfig repair = cfg;
+    repair.integrity.enabled = true;
+    repair.integrity.repair = true;
+    EXPECT_THROW(Router(smallModel(), store,
+                        sched::Topology::synthetic(4, 2), repair),
+                 std::invalid_argument);
+    auto mut = core::EmbeddingStore::createMutable(smallModel(), 11);
+    EXPECT_NO_THROW(Router(smallModel(), mut,
+                           sched::Topology::synthetic(4, 2), repair,
+                           {&flipper}));
 }
 
 } // namespace

@@ -225,4 +225,40 @@ TEST(CliRun, SweepRejectsUnknownAxis)
               0);
 }
 
+TEST(CliRun, ChaosReplaysBaselineAndResilientPerScenario)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"chaos", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "60",
+                   "--arrival-ms", "1.0", "--sla", "25", "--cores",
+                   "2", "--instances", "2", "--scenario",
+                   "crash-storm", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("chaos replay"), std::string::npos);
+    EXPECT_NE(s.find("crash-storm"), std::string::npos);
+    EXPECT_NE(s.find("baseline"), std::string::npos);
+    EXPECT_NE(s.find("resilient"), std::string::npos);
+    EXPECT_NE(s.find("compliant"), std::string::npos);
+}
+
+TEST(CliRun, ChaosRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"chaos", "--scenario", "meteor-strike"}),
+                  out, err),
+              0);
+    EXPECT_NE(run(parse({"chaos", "--cores", "2", "--instances",
+                         "3"}),
+                  out, err),
+              0);
+    EXPECT_NE(run(parse({"chaos", "--requests", "0"}), out, err), 0);
+    // Usage advertises the new subcommand.
+    std::ostringstream uout, uerr;
+    run(parse({"frobnicate"}), uout, uerr);
+    EXPECT_NE(uerr.str().find("chaos"), std::string::npos);
+}
+
 } // namespace

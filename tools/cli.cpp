@@ -8,6 +8,7 @@
 #include "core/embedding_store.hpp"
 #include "platform/report.hpp"
 #include "sched/topology.hpp"
+#include "serve/fault_schedule.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
@@ -706,6 +707,118 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
     return 0;
 }
 
+int
+cmdChaos(const ParsedArgs& args, std::ostream& out)
+{
+    // Replays scripted fault timelines (instance crashes, corruption
+    // bursts, flapping stragglers) against the routed cluster, twice
+    // per scenario over the same arrival stream: once with every
+    // resilience feature off (baseline) and once with circuit
+    // breakers, hedged failover, and integrity repair on. Each run
+    // gets a fresh store so corruption never leaks across runs.
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 64.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    serve::RouterConfig rcfg;
+    rcfg.server.slaMs = args.getDouble("sla", 25.0);
+    rcfg.server.service = serve::ServiceModel::constant(
+        args.getDouble("service-ms", 1.0));
+    rcfg.server.admission = !args.has("no-admission");
+    rcfg.server.maxRetries =
+        static_cast<std::size_t>(args.getInt("retries", 2));
+    rcfg.seed = seed;
+    rcfg.maxFailovers =
+        static_cast<std::size_t>(args.getInt("failovers", 1));
+    rcfg.policy = serve::parseRoutePolicy(args.get("policy", "rr"));
+    rcfg.probationMs = args.getDouble("probation-ms", 5.0);
+
+    const std::size_t cores =
+        static_cast<std::size_t>(args.getInt("cores", 4));
+    const std::size_t instances =
+        static_cast<std::size_t>(args.getInt("instances", 2));
+    const std::size_t requests =
+        static_cast<std::size_t>(args.getInt("requests", 400));
+    const double arrival_ms = args.getDouble("arrival-ms", 1.0);
+    if (cores == 0)
+        throw std::invalid_argument("--cores must be >= 1");
+    if (instances < 2 || instances > cores) {
+        throw std::invalid_argument("--instances must be 2..cores");
+    }
+    if (requests == 0)
+        throw std::invalid_argument("--requests must be >= 1");
+
+    std::vector<std::string> scenarios;
+    const std::string which = args.get("scenario", "all");
+    if (which == "all") {
+        scenarios = serve::FaultSchedule::scenarioNames();
+    } else {
+        scenarios.push_back(which);
+    }
+
+    traces::TraceConfig tc = traces::TraceConfig::forModel(
+        cfg_model, parseHotness(args.get("hotness", "medium")), seed);
+    tc.batchSize = static_cast<std::size_t>(
+        args.getInt("batch-size", 16));
+    traces::TraceGenerator gen(tc);
+    std::vector<core::SparseBatch> batches;
+    for (std::size_t b = 0; b < 16; ++b)
+        batches.push_back(gen.batch(b));
+
+    core::Tensor dense(tc.batchSize, cfg_model.denseDim());
+    dense.randomize(seed + 1);
+    const auto arrivals =
+        serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
+    const double session_ms = arrivals.back();
+    const auto topo = sched::Topology::synthetic(cores, 2);
+
+    out << cfg_model.name << " chaos replay: " << instances
+        << " instance(s) on " << cores << " core(s), SLA "
+        << rcfg.server.slaMs << " ms, " << requests
+        << " requests over " << static_cast<long>(session_ms)
+        << " virtual ms\n";
+
+    const auto report = [&](const std::string& label,
+                            const serve::RouterStats& st) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "%5.1f%% compliant | ",
+                      st.total.arrived > 0
+                          ? 100.0 * static_cast<double>(st.compliant) /
+                                static_cast<double>(st.total.arrived)
+                          : 0.0);
+        out << label << buf << st.summary() << "\n";
+    };
+
+    for (const auto& name : scenarios) {
+        out << "-- " << name << " --\n";
+        for (const bool resilient : {false, true}) {
+            // Fresh store per run: the schedule may flip stored bits.
+            auto store =
+                core::EmbeddingStore::createMutable(cfg_model, seed);
+            const auto schedule = serve::FaultSchedule::chaosScenario(
+                name, instances, session_ms, seed);
+            serve::RouterConfig run = rcfg;
+            run.instances = instances;
+            if (resilient) {
+                run.breaker.enabled = true;
+                run.hedging = true;
+                run.integrity.enabled = true;
+                run.integrity.repair = true;
+            }
+            serve::Router router(cfg_model, store, topo, run);
+            report(resilient ? "resilient " : "baseline  ",
+                   router.serve(dense, batches, arrivals,
+                                core::PrefetchSpec::paperDefault(),
+                                &schedule));
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -728,6 +841,8 @@ usage()
            "serving over one shared store\n"
            "  batch [options]             unbatched vs deadline-aware "
            "request coalescing\n"
+           "  chaos [options]             replay scripted fault "
+           "timelines with/without resilience\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -754,7 +869,12 @@ usage()
            "\n"
            "batch options (plus the serve options above):\n"
            "  --max-requests N --linger-ms X --calibrate\n"
-           "  --service-base-ms X --service-per-sample-ms X\n";
+           "  --service-base-ms X --service-per-sample-ms X\n"
+           "\n"
+           "chaos options (plus the router options above):\n"
+           "  --scenario all|crash-storm|rolling-corruption|"
+           "flapping-straggler\n"
+           "  --probation-ms X\n";
 }
 
 int
@@ -779,6 +899,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdRouter(args, out);
         if (args.command == "batch")
             return cmdBatch(args, out);
+        if (args.command == "chaos")
+            return cmdChaos(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {
