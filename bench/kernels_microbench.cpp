@@ -3,8 +3,10 @@
  * Real-hardware kernel microbenchmarks (google-benchmark): the
  * embedding_bag operator with and without the paper's software
  * prefetching (Algorithm 3) on a larger-than-LLC table, the dense
- * (MLP) layer kernel, the dot interaction, and the simulation
- * substrate's own throughput (cache model, reuse-distance analyzer).
+ * (MLP) layer kernel — blocked baseline and packed register-blocked
+ * microkernel, swept over coalesced batch size m and SimdLevel — the
+ * dot interaction, and the simulation substrate's own throughput
+ * (cache model, reuse-distance analyzer).
  *
  * Unlike the figure benches (which model the paper's server CPUs),
  * these numbers are measured on THIS host; the prefetch benefit's
@@ -20,6 +22,7 @@
 #include "core/embedding.hpp"
 #include "core/gemm.hpp"
 #include "core/interaction.hpp"
+#include "core/simd.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/reuse.hpp"
 #include "trace/generator.hpp"
@@ -154,6 +157,85 @@ BENCHMARK(BM_DenseLayerBatchSweep)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/** (in_dim, out_dim) layer shapes from the rm2_1 and rm1 MLPs. */
+constexpr std::size_t kGemmShapes[][2] = {
+    {256, 128},   // rm2_1 bottom
+    {128, 64},    // rm2_1 top
+    {2048, 256},  // rm1 bottom funnel
+    {768, 384},   // rm1 top
+};
+
+void
+BM_GemmPackedSweep(benchmark::State& state)
+{
+    // The GEMM sweep of the packed register-blocked engine:
+    // m in {1, 4, 16, 64, 128} x MLP layer shapes x SimdLevel.
+    // Compare against BM_GemmBlockedSweep (same args, old kernel) for
+    // the speedup; m = 1 is the GEMV-shaped per-request path, larger
+    // m the coalesced batched path.
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    const auto& shape = kGemmShapes[state.range(1)];
+    const std::size_t in_dim = shape[0], out_dim = shape[1];
+    const auto want = static_cast<core::SimdLevel>(state.range(2));
+
+    const core::SimdLevel prev = core::currentSimdLevel();
+    core::setSimdLevel(want); // clamped to what the host supports
+    const core::SimdLevel got = core::currentSimdLevel();
+
+    std::vector<float> in(batch * in_dim, 0.5f);
+    std::vector<float> w(out_dim * in_dim, 0.25f);
+    std::vector<float> b(out_dim, 0.1f);
+    std::vector<float> out(batch * out_dim);
+    const core::PackedWeights packed(w.data(), in_dim, out_dim);
+    for (auto _ : state) {
+        core::denseLayerForwardPacked(in.data(), batch, packed,
+                                      b.data(), out.data(), true);
+        benchmark::DoNotOptimize(out.data());
+    }
+    core::setSimdLevel(prev);
+
+    const double flops =
+        2.0 * static_cast<double>(batch * in_dim * out_dim);
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+    state.SetLabel("packed " + core::simdLevelName(got) +
+                   (got == want ? "" : " (clamped)"));
+}
+BENCHMARK(BM_GemmPackedSweep)
+    ->ArgsProduct({{1, 4, 16, 64, 128},
+                   {0, 1, 2, 3},
+                   {static_cast<long>(core::SimdLevel::Scalar),
+                    static_cast<long>(core::SimdLevel::Avx2),
+                    static_cast<long>(core::SimdLevel::Avx512)}})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_GemmBlockedSweep(benchmark::State& state)
+{
+    // The pre-packing blocked baseline over the same (m, shape) grid
+    // (it has no SIMD dispatch, so no level axis).
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    const auto& shape = kGemmShapes[state.range(1)];
+    const std::size_t in_dim = shape[0], out_dim = shape[1];
+    std::vector<float> in(batch * in_dim, 0.5f);
+    std::vector<float> w(out_dim * in_dim, 0.25f);
+    std::vector<float> b(out_dim, 0.1f);
+    std::vector<float> out(batch * out_dim);
+    for (auto _ : state) {
+        core::denseLayerForward(in.data(), batch, in_dim, w.data(),
+                                b.data(), out_dim, out.data(), true);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const double flops =
+        2.0 * static_cast<double>(batch * in_dim * out_dim);
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+    state.SetLabel("blocked baseline");
+}
+BENCHMARK(BM_GemmBlockedSweep)
+    ->ArgsProduct({{1, 4, 16, 64, 128}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMicrosecond);
 
 void

@@ -6,13 +6,20 @@
  * ForwardWorkspace whose steady-state batched forward performs zero
  * heap allocations.
  *
- * Every kernel on the forward path (blocked GEMM, embedding_bag, dot
- * interaction, sigmoid) processes samples independently, so a
- * coalesced forward is bitwise-identical to running each member
- * request alone — batching is purely a throughput lever: it amortizes
- * per-dispatch fixed costs (small-batch GEMM inefficiency, stage
- * setup) across requests, which is what the serving layer's
- * deadline-aware BatchQueue exploits.
+ * Every kernel on the forward path (packed register-blocked GEMM,
+ * embedding_bag, dot interaction, sigmoid) processes samples
+ * independently, so a coalesced forward is bitwise-identical to
+ * running each member request alone — batching is purely a throughput
+ * lever: it amortizes per-dispatch fixed costs (small-batch GEMM
+ * inefficiency, stage setup) across requests, which is what the
+ * serving layer's deadline-aware BatchQueue exploits. The packed GEMM
+ * keeps that guarantee by construction (each output element's fmaf
+ * chain is independent of the sample's position, the SimdLevel, and
+ * the blocking tile), and its batch-shape-aware tile dispatch
+ * (GemmTileCache keyed on the coalesced m) is what the coalesced
+ * shapes are tuned for; weights are prepacked at model construction,
+ * so the steady-state batched forward still performs zero heap
+ * allocations.
  */
 
 #ifndef DLRMOPT_CORE_BATCHING_HPP

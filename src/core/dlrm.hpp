@@ -187,6 +187,19 @@ class DlrmModel
         return n;
     }
 
+    /**
+     * Bytes of panel-packed MLP weights this view owns (built once at
+     * construction; the dense layers' forward always runs through the
+     * packed microkernel engine). Per-replica — unlike the embedding
+     * store, MLP weights are private to each view — but negligible
+     * next to embeddingBytes().
+     */
+    std::size_t
+    packedMlpBytes() const
+    {
+        return _bottom.packedBytes() + _top.packedBytes();
+    }
+
   private:
     ModelConfig _cfg;
     Mlp _bottom;

@@ -27,7 +27,18 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, std::uint64_t seed)
                    0.02f;
         }
         _biases.push_back(std::move(b));
+        _packed.emplace_back(_weights.back().data(), dims[l],
+                             dims[l + 1]);
     }
+}
+
+std::size_t
+Mlp::packedBytes() const
+{
+    std::size_t n = 0;
+    for (const auto& p : _packed)
+        n += p.bytes();
+    return n;
 }
 
 double
@@ -53,9 +64,8 @@ Mlp::forward(const Tensor& in, Tensor& out) const
         const std::size_t od = _dims[l + 1];
         Tensor& dst = last ? out : scratch_b;
         dst.reshape(batch, od);
-        denseLayerForward(scratch_a.data(), batch, _dims[l],
-                          _weights[l].data(), _biases[l].data(), od,
-                          dst.data(), !last);
+        denseLayerForwardPacked(scratch_a.data(), batch, _packed[l],
+                                _biases[l].data(), dst.data(), !last);
         if (!last)
             std::swap(scratch_a, scratch_b);
     }
@@ -74,8 +84,8 @@ Mlp::forward(const Tensor& in, Tensor& out, Tensor& scratch_a,
         const std::size_t od = _dims[l + 1];
         Tensor& dst = last ? out : (l % 2 == 0 ? scratch_a : scratch_b);
         dst.reshape(batch, od);
-        denseLayerForward(src, batch, _dims[l], _weights[l].data(),
-                          _biases[l].data(), od, dst.data(), !last);
+        denseLayerForwardPacked(src, batch, _packed[l],
+                                _biases[l].data(), dst.data(), !last);
         src = dst.data();
     }
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/gemm.hpp"
 #include "core/tensor.hpp"
 
 namespace dlrmopt::core
@@ -74,10 +75,25 @@ class Mlp
     void forward(const Tensor& in, Tensor& out, Tensor& scratch_a,
                  Tensor& scratch_b) const;
 
+    /**
+     * Panel-packed weights of layer @p l, built once at construction
+     * and shared read-only by every forward (both overloads run
+     * through the packed microkernel engine).
+     */
+    const PackedWeights& packedLayer(std::size_t l) const
+    {
+        return _packed[l];
+    }
+
+    /** Bytes of packed-weight storage across all layers (the one-time
+     *  prepack overhead on top of the nn.Linear weights). */
+    std::size_t packedBytes() const;
+
   private:
     std::vector<std::size_t> _dims;
     std::vector<Tensor> _weights;          //!< per layer [out x in]
     std::vector<std::vector<float>> _biases;
+    std::vector<PackedWeights> _packed;    //!< per layer panel pack
 };
 
 } // namespace dlrmopt::core

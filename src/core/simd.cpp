@@ -59,6 +59,19 @@ simdLevelName(SimdLevel level)
     return "unknown";
 }
 
+std::size_t
+simdVectorFloats(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Avx512:
+        return 16;
+      case SimdLevel::Avx2:
+        return 8;
+      default:
+        return 1;
+    }
+}
+
 void
 accumulateRowScalar(float *out, const float *row, std::size_t n)
 {

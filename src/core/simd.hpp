@@ -33,6 +33,13 @@ SimdLevel detectSimdLevel();
 std::string simdLevelName(SimdLevel level);
 
 /**
+ * fp32 lanes per vector register at @p level (1 / 8 / 16). Used for
+ * roofline math in the benches and the GEMM microkernel geometry
+ * reporting; independent of what the running CPU supports.
+ */
+std::size_t simdVectorFloats(SimdLevel level);
+
+/**
  * out[0..n) += row[0..n), dispatched to the best available ISA.
  * @param n Element count (any value; tails handled).
  */

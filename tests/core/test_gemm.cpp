@@ -1,16 +1,22 @@
 /**
  * @file
  * Unit tests for the dense-layer kernels: blocked kernel vs the naive
- * reference, bias/ReLU handling, and a parameterized shape sweep.
+ * reference, bias/ReLU handling, a parameterized shape sweep, the
+ * packed register-blocked microkernel engine (tolerance vs the
+ * reference, bitwise invariance across SimdLevels / tiles / batch
+ * position, degenerate shapes), the PackedWeights panel layout, and
+ * the GemmTileCache m-bucket table.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "core/simd.hpp"
 #include "core/tensor.hpp"
 
 namespace
@@ -96,6 +102,319 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(3, 300, 70, true),     // off-tile shapes
         std::make_tuple(7, 257, 65, false),
         std::make_tuple(2, 1000, 3, true)));
+
+TEST(DenseLayer, ZeroBatchNeverTouchesOutput)
+{
+    // Regression: the old kernel ran its bias-init pass over
+    // [batch x out_dim] even for batch == 0 reads/writes of size 0,
+    // but the contract is stronger — out must not be dereferenced at
+    // all (callers may pass a null or undersized pointer for an empty
+    // batch).
+    const float w[] = {1.0f, 2.0f};
+    const float b[] = {5.0f};
+    denseLayerForward(nullptr, 0, 2, w, b, 1, nullptr, true);
+
+    float sentinel = -7.0f;
+    denseLayerForward(nullptr, 0, 2, w, b, 1, &sentinel, true);
+    EXPECT_FLOAT_EQ(sentinel, -7.0f);
+}
+
+TEST(DenseLayer, ZeroOutDimIsANoOp)
+{
+    const float in[] = {1.0f, 2.0f};
+    denseLayerForward(in, 1, 2, nullptr, nullptr, 0, nullptr, true);
+}
+
+TEST(DenseLayer, ZeroInDimReducesToBiasEpilogue)
+{
+    const float b[] = {2.0f, -3.0f};
+    float out[4] = {9.0f, 9.0f, 9.0f, 9.0f};
+    denseLayerForward(nullptr, 2, 0, nullptr, b, 2, out, true);
+    EXPECT_FLOAT_EQ(out[0], 2.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f); // ReLU clamps the negative bias
+    EXPECT_FLOAT_EQ(out[2], 2.0f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+
+    denseLayerForward(nullptr, 1, 0, nullptr, b, 2, out, false);
+    EXPECT_FLOAT_EQ(out[1], -3.0f);
+}
+
+/** Restores the global dispatch level on scope exit. */
+struct SimdLevelGuard
+{
+    SimdLevel saved = currentSimdLevel();
+    ~SimdLevelGuard() { setSimdLevel(saved); }
+};
+
+constexpr SimdLevel kLevels[] = {SimdLevel::Scalar, SimdLevel::Avx2,
+                                 SimdLevel::Avx512};
+
+TEST(PackedWeights, PanelLayoutMatchesSpec)
+{
+    const std::size_t in_dim = 5, out_dim = 21; // 2 panels, 5-wide tail
+    const auto w = randomVec(out_dim * in_dim, 17);
+    const PackedWeights p(w.data(), in_dim, out_dim);
+
+    EXPECT_EQ(p.inDim(), in_dim);
+    EXPECT_EQ(p.outDim(), out_dim);
+    EXPECT_EQ(p.numPanels(), 2u);
+    EXPECT_EQ(p.bytes(),
+              2 * in_dim * PackedWeights::panelWidth * sizeof(float));
+    EXPECT_FALSE(p.empty());
+
+    constexpr std::size_t pw = PackedWeights::panelWidth;
+    for (std::size_t pi = 0; pi < p.numPanels(); ++pi) {
+        for (std::size_t k = 0; k < in_dim; ++k) {
+            for (std::size_t j = 0; j < pw; ++j) {
+                const std::size_t o = pi * pw + j;
+                const float want =
+                    o < out_dim ? w[o * in_dim + k] : 0.0f;
+                EXPECT_EQ(p.panel(pi)[k * pw + j], want)
+                    << "panel " << pi << " k " << k << " j " << j;
+            }
+        }
+    }
+}
+
+TEST(PackedWeights, EmptyAndThrowingConstruction)
+{
+    const PackedWeights empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.numPanels(), 0u);
+    EXPECT_EQ(empty.bytes(), 0u);
+
+    EXPECT_THROW(PackedWeights(nullptr, 4, 4), std::invalid_argument);
+    // Empty shapes accept a null source.
+    const PackedWeights zero_out(nullptr, 4, 0);
+    EXPECT_TRUE(zero_out.empty());
+}
+
+/** Packed engine vs reference across every dispatch level and odd
+ *  shapes: prime dims, tail-only panels, sub-tile out_dim, GEMV. */
+class PackedGemmShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, bool>>
+{
+};
+
+TEST_P(PackedGemmShapes, MatchesReferenceAtEveryLevel)
+{
+    const auto [batch, in_dim, out_dim, relu] = GetParam();
+    const auto in = randomVec(batch * in_dim, 21);
+    const auto w = randomVec(out_dim * in_dim, 22);
+    const auto b = randomVec(out_dim, 23);
+    const PackedWeights packed(w.data(), in_dim, out_dim);
+
+    std::vector<float> want(batch * out_dim);
+    denseLayerForwardRef(in.data(), batch, in_dim, w.data(), b.data(),
+                         out_dim, want.data(), relu);
+
+    for (const SimdLevel level : kLevels) {
+        std::vector<float> got(batch * out_dim, -99.0f);
+        denseLayerForwardPackedLevel(level, in.data(), batch, packed,
+                                     b.data(), got.data(), relu);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_NEAR(got[i], want[i], 1e-3f)
+                << "level " << static_cast<int>(level) << " at " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedGemmShapes,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1, false),
+        std::make_tuple(1, 256, 128, true),    // GEMV-shaped path
+        std::make_tuple(64, 256, 128, true),   // rm2_1 bottom layer 0
+        std::make_tuple(64, 64, 1, false),     // final CTR layer
+        std::make_tuple(7, 131, 17, true),     // prime dims
+        std::make_tuple(5, 33, 9, false),      // tail-only panel
+        std::make_tuple(3, 17, 16, true),      // exactly one panel
+        std::make_tuple(13, 57, 31, true),     // 16 + 15-wide tail
+        std::make_tuple(128, 512, 48, false))); // multi-tile m and n
+
+TEST(PackedGemm, BitwiseIdenticalAcrossLevels)
+{
+    const std::size_t batch = 23, in_dim = 147, out_dim = 37;
+    const auto in = randomVec(batch * in_dim, 31);
+    const auto w = randomVec(out_dim * in_dim, 32);
+    const auto b = randomVec(out_dim, 33);
+    const PackedWeights packed(w.data(), in_dim, out_dim);
+
+    std::vector<float> scalar(batch * out_dim);
+    denseLayerForwardPackedLevel(SimdLevel::Scalar, in.data(), batch,
+                                 packed, b.data(), scalar.data(), true);
+    for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+        std::vector<float> got(batch * out_dim);
+        denseLayerForwardPackedLevel(level, in.data(), batch, packed,
+                                     b.data(), got.data(), true);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(scalar[i], got[i])
+                << "level " << static_cast<int>(level) << " at " << i;
+        }
+    }
+}
+
+TEST(PackedGemm, BitwiseIndependentOfTileChoice)
+{
+    const std::size_t batch = 11, in_dim = 300, out_dim = 29;
+    const auto in = randomVec(batch * in_dim, 41);
+    const auto w = randomVec(out_dim * in_dim, 42);
+    const auto b = randomVec(out_dim, 43);
+    const PackedWeights packed(w.data(), in_dim, out_dim);
+
+    std::vector<float> want(batch * out_dim);
+    denseLayerForwardPackedLevel(currentSimdLevel(), in.data(), batch,
+                                 packed, b.data(), want.data(), true);
+    // k-chunking (kc) forces store/reload roundtrips between chunks,
+    // and mr changes which rows share a microtile — neither may change
+    // a single bit.
+    for (const GemmTile tile :
+         {GemmTile{1, 0}, GemmTile{2, 64}, GemmTile{4, 128},
+          GemmTile{6, 37}, GemmTile{3, 1}}) {
+        std::vector<float> got(batch * out_dim);
+        denseLayerForwardPackedLevel(currentSimdLevel(), in.data(),
+                                     batch, packed, b.data(),
+                                     got.data(), true, tile);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(want[i], got[i]) << "tile {" << tile.mr << ","
+                                       << tile.kc << "} at " << i;
+        }
+    }
+}
+
+TEST(PackedGemm, BitwiseIndependentOfBatchPosition)
+{
+    // Row r of a coalesced batch must equal the same sample run alone
+    // (the property the serving layer's request coalescing asserts).
+    const std::size_t batch = 9, in_dim = 123, out_dim = 21;
+    const auto in = randomVec(batch * in_dim, 51);
+    const auto w = randomVec(out_dim * in_dim, 52);
+    const auto b = randomVec(out_dim, 53);
+    const PackedWeights packed(w.data(), in_dim, out_dim);
+
+    std::vector<float> batched(batch * out_dim);
+    denseLayerForwardPacked(in.data(), batch, packed, b.data(),
+                            batched.data(), true);
+    std::vector<float> alone(out_dim);
+    for (std::size_t r = 0; r < batch; ++r) {
+        denseLayerForwardPacked(in.data() + r * in_dim, 1, packed,
+                                b.data(), alone.data(), true);
+        for (std::size_t j = 0; j < out_dim; ++j)
+            ASSERT_EQ(batched[r * out_dim + j], alone[j])
+                << "row " << r << " col " << j;
+    }
+}
+
+TEST(PackedGemm, RepeatedForwardIsBitReproducible)
+{
+    SimdLevelGuard guard;
+    const std::size_t batch = 6, in_dim = 77, out_dim = 19;
+    const auto in = randomVec(batch * in_dim, 61);
+    const auto w = randomVec(out_dim * in_dim, 62);
+    const auto b = randomVec(out_dim, 63);
+    const PackedWeights packed(w.data(), in_dim, out_dim);
+
+    std::vector<float> first(batch * out_dim);
+    denseLayerForwardPacked(in.data(), batch, packed, b.data(),
+                            first.data(), false);
+    for (int rep = 0; rep < 3; ++rep) {
+        setSimdLevel(kLevels[rep % 3]); // dispatch must not matter
+        std::vector<float> again(batch * out_dim);
+        denseLayerForwardPacked(in.data(), batch, packed, b.data(),
+                                again.data(), false);
+        for (std::size_t i = 0; i < again.size(); ++i)
+            ASSERT_EQ(first[i], again[i]) << "rep " << rep << " at " << i;
+    }
+}
+
+TEST(PackedGemm, DegenerateShapes)
+{
+    // batch == 0: out never touched.
+    const auto w = randomVec(8, 71);
+    const PackedWeights packed(w.data(), 4, 2);
+    float sentinel = -7.0f;
+    denseLayerForwardPacked(nullptr, 0, packed, nullptr, &sentinel,
+                            true);
+    EXPECT_FLOAT_EQ(sentinel, -7.0f);
+
+    // out_dim == 0: no-op.
+    const PackedWeights none(nullptr, 4, 0);
+    const float in4[] = {1.0f, 2.0f, 3.0f, 4.0f};
+    denseLayerForwardPacked(in4, 1, none, nullptr, nullptr, true);
+
+    // in_dim == 0: epilogue only (bias + ReLU), at every level.
+    const PackedWeights kless(nullptr, 0, 2);
+    const float b[] = {1.5f, -2.5f};
+    for (const SimdLevel level : kLevels) {
+        float out[2] = {9.0f, 9.0f};
+        denseLayerForwardPackedLevel(level, nullptr, 1, kless, b, out,
+                                     true);
+        EXPECT_FLOAT_EQ(out[0], 1.5f);
+        EXPECT_FLOAT_EQ(out[1], 0.0f);
+    }
+
+    // out_dim smaller than one tile with a null bias.
+    const std::size_t in_dim = 10, out_dim = 3;
+    const auto w2 = randomVec(out_dim * in_dim, 72);
+    const auto in2 = randomVec(2 * in_dim, 73);
+    const PackedWeights p2(w2.data(), in_dim, out_dim);
+    std::vector<float> got(2 * out_dim), want(2 * out_dim);
+    denseLayerForwardPacked(in2.data(), 2, p2, nullptr, got.data(),
+                            false);
+    denseLayerForwardRef(in2.data(), 2, in_dim, w2.data(), nullptr,
+                         out_dim, want.data(), false);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-3f);
+}
+
+TEST(GemmTileCache, BucketBoundaries)
+{
+    EXPECT_EQ(GemmTileCache::bucketOf(1), 0);
+    EXPECT_EQ(GemmTileCache::bucketOf(2), 1);
+    EXPECT_EQ(GemmTileCache::bucketOf(4), 1);
+    EXPECT_EQ(GemmTileCache::bucketOf(5), 2);
+    EXPECT_EQ(GemmTileCache::bucketOf(16), 2);
+    EXPECT_EQ(GemmTileCache::bucketOf(17), 3);
+    EXPECT_EQ(GemmTileCache::bucketOf(64), 3);
+    EXPECT_EQ(GemmTileCache::bucketOf(65), 4);
+    EXPECT_EQ(GemmTileCache::bucketOf(100000), 4);
+
+    for (int bkt = 0; bkt < GemmTileCache::numBuckets; ++bkt) {
+        EXPECT_EQ(
+            GemmTileCache::bucketOf(GemmTileCache::bucketRepresentative(bkt)),
+            bkt)
+            << "bucket " << bkt;
+    }
+}
+
+TEST(GemmTileCache, InstallLookupAndBucketSharing)
+{
+    auto& cache = GemmTileCache::instance();
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.contains(8, 256, 128, SimdLevel::Avx512));
+
+    // A miss falls back to the heuristic.
+    EXPECT_EQ(cache.lookup(8, 256, 128, SimdLevel::Avx512),
+              defaultGemmTile(8, 256, 128, SimdLevel::Avx512));
+
+    const GemmTile tuned{3, 96};
+    cache.install(8, 256, 128, SimdLevel::Avx512, tuned);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.contains(8, 256, 128, SimdLevel::Avx512));
+    EXPECT_EQ(cache.lookup(8, 256, 128, SimdLevel::Avx512), tuned);
+
+    // Every batch in the 5-16 bucket shares the entry; neighbors miss.
+    EXPECT_EQ(cache.lookup(5, 256, 128, SimdLevel::Avx512), tuned);
+    EXPECT_EQ(cache.lookup(16, 256, 128, SimdLevel::Avx512), tuned);
+    EXPECT_FALSE(cache.contains(17, 256, 128, SimdLevel::Avx512));
+    EXPECT_FALSE(cache.contains(8, 256, 64, SimdLevel::Avx512));
+    EXPECT_FALSE(cache.contains(8, 256, 128, SimdLevel::Scalar));
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
 
 TEST(Sigmoid, MapsToUnitInterval)
 {

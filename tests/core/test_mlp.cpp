@@ -9,6 +9,7 @@
 
 #include "core/gemm.hpp"
 #include "core/mlp.hpp"
+#include "core/simd.hpp"
 
 namespace
 {
@@ -99,6 +100,59 @@ TEST(Mlp, SingleLayerMatchesDenseKernel)
     for (std::size_t i = 0; i < out.size(); ++i)
         has_negative |= out.data()[i] < 0.0f;
     EXPECT_TRUE(has_negative);
+}
+
+TEST(Mlp, PackedLayersMatchConstructionShapes)
+{
+    Mlp m({256, 128, 17}, 6);
+    ASSERT_EQ(m.numLayers(), 2u);
+    EXPECT_EQ(m.packedLayer(0).inDim(), 256u);
+    EXPECT_EQ(m.packedLayer(0).outDim(), 128u);
+    EXPECT_EQ(m.packedLayer(1).inDim(), 128u);
+    EXPECT_EQ(m.packedLayer(1).outDim(), 17u); // tail panel, padded
+    EXPECT_EQ(m.packedLayer(1).numPanels(), 2u);
+    EXPECT_EQ(m.packedBytes(),
+              m.packedLayer(0).bytes() + m.packedLayer(1).bytes());
+}
+
+TEST(Mlp, PackedForwardBitwiseIdenticalAcrossSimdLevels)
+{
+    // The whole stack, not just one layer: every hidden activation is
+    // produced by the packed kernel and re-consumed by the next layer,
+    // so any cross-level divergence would compound and be caught here.
+    const SimdLevel saved = currentSimdLevel();
+    Mlp m({96, 64, 32, 1}, 15);
+    Tensor in(13, 96);
+    in.randomize(8);
+
+    setSimdLevel(SimdLevel::Scalar);
+    Tensor want;
+    m.forward(in, want);
+    for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+        setSimdLevel(level);
+        Tensor got;
+        m.forward(in, got);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(want.data()[i], got.data()[i])
+                << "level " << static_cast<int>(level) << " at " << i;
+    }
+    setSimdLevel(saved);
+}
+
+TEST(Mlp, ScratchForwardStillBitwiseIdentical)
+{
+    // The zero-alloc overload shares the packed engine; its ping-pong
+    // scratch must not change a bit vs. the allocating overload.
+    Mlp m({64, 48, 16}, 23);
+    Tensor in(9, 64);
+    in.randomize(31);
+    Tensor want, got, sa, sb;
+    m.forward(in, want);
+    m.forward(in, got, sa, sb);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(want.data()[i], got.data()[i]);
 }
 
 TEST(Mlp, HiddenLayersApplyRelu)

@@ -128,6 +128,35 @@ TEST(CliRun, TraceGenAndInfoRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(CliRun, GemmTunePrintsTileTableAndSpeedup)
+{
+    // One small coalesced batch size keeps the real-kernel sweep
+    // unit-test fast while still exercising grid construction, the
+    // baseline comparison, and cache installation for every layer of
+    // both MLPs.
+    std::ostringstream out, err;
+    const int rc = run(parse({"gemmtune", "--model", "rm2_1", "--m",
+                              "4", "--repeats", "1"}),
+                       out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("tile autotune"), std::string::npos);
+    EXPECT_NE(s.find("best tile"), std::string::npos);
+    EXPECT_NE(s.find("speedup"), std::string::npos);
+    EXPECT_NE(s.find("installed"), std::string::npos);
+    // rm2_1 layer shapes appear (bottom 256->128, top final ->1).
+    EXPECT_NE(s.find("256"), std::string::npos);
+}
+
+TEST(CliRun, GemmTuneRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"gemmtune", "--m", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"gemmtune", "--repeats", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"gemmtune", "--model", "nope"}), out, err),
+              0);
+}
+
 TEST(CliRun, ServeRunsBaselineAndDegradedSessions)
 {
     // Tiny scaled model + short stream so the real-execution serving

@@ -1,9 +1,12 @@
 #include "cli.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <stdexcept>
 
 #include "core/autotune.hpp"
+#include "core/simd.hpp"
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
 #include "platform/report.hpp"
@@ -407,6 +410,71 @@ cmdTune(const ParsedArgs& args, std::ostream& out)
                   res.best.distance, res.best.lines, res.bestMs,
                   res.speedup());
     out << buf;
+    return 0;
+}
+
+int
+cmdGemmTune(const ParsedArgs& args, std::ostream& out)
+{
+    // Sweeps register-blocking tiles for every MLP layer shape of the
+    // chosen model across the coalesced-batch buckets, installs the
+    // winners in the process-wide GemmTileCache, and reports each
+    // point's speedup over the scalar blocked baseline kernel.
+    const auto model = core::modelByName(args.get("model", "rm2_1"));
+    const int repeats =
+        static_cast<int>(args.getInt("repeats", 3));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    if (repeats < 1)
+        throw std::invalid_argument("--repeats must be >= 1");
+
+    std::vector<std::size_t> batches;
+    if (args.has("m")) {
+        const long m = args.getInt("m", 0);
+        if (m < 1)
+            throw std::invalid_argument("--m must be >= 1");
+        batches.push_back(static_cast<std::size_t>(m));
+    } else if (args.has("quick")) {
+        batches = {1, 16};
+    }
+
+    const auto level = core::currentSimdLevel();
+    out << model.name << " MLP tile autotune @ "
+        << core::simdLevelName(level) << " (panel width "
+        << core::PackedWeights::panelWidth << ", max microtile rows "
+        << core::gemmMaxRows(level) << ")\n";
+    out << "    m   layer shape        best tile      packed ms  "
+           "blocked ms  speedup\n";
+
+    double prod = 1.0;
+    std::size_t points = 0;
+    for (const bool bottom : {true, false}) {
+        const auto dims =
+            bottom ? model.bottomMlp : model.topMlpDims();
+        const auto results =
+            core::tuneMlpGemm(dims, batches, repeats, seed);
+        for (const auto& r : results) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "  %4zu  %6zu x %-6zu  mr %zu kc %-6zu "
+                          "%9.4f  %10.4f  %6.2fx\n",
+                          r.batch, r.inDim, r.outDim, r.best.mr,
+                          r.best.kc, r.bestMs, r.baselineMs,
+                          r.speedup());
+            out << buf;
+            prod *= r.speedup();
+            ++points;
+        }
+    }
+    if (points > 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "%zu tile(s) installed; geomean speedup over "
+                      "scalar blocked baseline %.2fx\n",
+                      core::GemmTileCache::instance().size(),
+                      std::pow(prod, 1.0 / static_cast<double>(points)));
+        out << buf;
+    }
     return 0;
 }
 
@@ -835,6 +903,8 @@ usage()
            "  trace gen|info [options]    generate / inspect traces\n"
            "  tune [options]              auto-tune prefetching on "
            "this host\n"
+           "  gemmtune [options]          auto-tune GEMM blocking "
+           "tiles on this host\n"
            "  serve [options]             fault-tolerant serving "
            "session (real execution)\n"
            "  router [options]            multi-instance routed "
@@ -853,6 +923,12 @@ usage()
            "  --cores N --batches N --sim-tables N --seed N\n"
            "  --pf-distance N --pf-amount N --pf-hint T0|T1|T2\n"
            "  --format text|csv|json\n"
+           "\n"
+           "gemmtune options:\n"
+           "  --model NAME --repeats N --seed N\n"
+           "  --m N (tune one coalesced batch size; default: one "
+           "per m-bucket)\n"
+           "  --quick (m in {1,16} only)\n"
            "\n"
            "serve options:\n"
            "  --arrival-ms X --requests N --sla X --service-ms X\n"
@@ -893,6 +969,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdTrace(args, out, err);
         if (args.command == "tune")
             return cmdTune(args, out);
+        if (args.command == "gemmtune")
+            return cmdGemmTune(args, out);
         if (args.command == "serve")
             return cmdServe(args, out);
         if (args.command == "router")
