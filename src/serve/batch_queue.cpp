@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace dlrmopt::serve
@@ -15,11 +16,14 @@ namespace
  *  fresh SLA-derived deadline from its backoff-expiry (readyMs) —
  *  otherwise retries would be deadline-free and exempt from the
  *  tightest-member-deadline bound, letting one stale retry drag a
- *  whole coalesced group past every member's SLA. */
+ *  whole coalesced group past every member's SLA. A request carrying
+ *  its own slaMs (multi-tenant fleet) uses that instead of the
+ *  session-wide offset. */
 double
 deadlineOf(const PendingRequest& r, double sla_ms)
 {
-    return (r.tries == 0 ? r.arrivalMs : r.readyMs) + sla_ms;
+    const double sla = r.slaMs > 0.0 ? r.slaMs : sla_ms;
+    return (r.tries == 0 ? r.arrivalMs : r.readyMs) + sla;
 }
 
 } // namespace
@@ -37,31 +41,97 @@ BatchConfig::validate() const
     }
 }
 
+void
+WfqConfig::validate() const
+{
+    for (const double w : weights) {
+        if (!(w > 0.0) || !std::isfinite(w)) {
+            throw std::invalid_argument(
+                "WfqConfig: tenant weights must be finite and > 0");
+        }
+    }
+    if (!(quantumSamples > 0.0) || !std::isfinite(quantumSamples)) {
+        throw std::invalid_argument(
+            "WfqConfig: quantumSamples must be finite and > 0");
+    }
+}
+
 BatchQueue::BatchQueue(const BatchConfig& cfg) : _cfg(cfg)
 {
     _cfg.validate();
+    _sub.resize(1);
+    _deficit.assign(1, 0.0);
+}
+
+BatchQueue::BatchQueue(const BatchConfig& cfg, const WfqConfig& wfq)
+    : _cfg(cfg), _wfq(wfq), _fair(!wfq.weights.empty())
+{
+    _cfg.validate();
+    _wfq.validate();
+    const std::size_t n = _fair ? _wfq.weights.size() : 1;
+    _sub.resize(n);
+    _deficit.assign(n, 0.0);
 }
 
 void
 BatchQueue::push(const PendingRequest& r)
 {
-    _pending.insert(r);
+    std::size_t idx = 0;
+    if (_fair) {
+        if (r.tenant >= _sub.size()) {
+            throw std::invalid_argument(
+                "BatchQueue: tenant " + std::to_string(r.tenant) +
+                " has no configured weight");
+        }
+        idx = r.tenant;
+    }
+    _sub[idx].insert(r);
+    ++_count;
 }
 
-void
-BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
-                      double sla_ms, const ServiceModel& service,
-                      double straggle,
+std::size_t
+BatchQueue::queuedOf(std::uint32_t tenant) const
+{
+    if (!_fair)
+        return tenant == 0 ? _count : 0;
+    return tenant < _sub.size() ? _sub[tenant].size() : 0;
+}
+
+std::size_t
+BatchQueue::queuedSamplesOf(std::uint32_t tenant) const
+{
+    std::size_t n = 0;
+    if (_fair) {
+        if (tenant < _sub.size()) {
+            for (const auto& r : _sub[tenant])
+                n += r.samples;
+        }
+    } else if (tenant == 0) {
+        for (const auto& r : _sub[0])
+            n += r.samples;
+    }
+    return n;
+}
+
+double
+BatchQueue::headReadyMs() const
+{
+    double m = std::numeric_limits<double>::max();
+    for (const auto& q : _sub) {
+        if (!q.empty())
+            m = std::min(m, q.begin()->readyMs);
+    }
+    return m;
+}
+
+std::size_t
+BatchQueue::formGroup(SubQueue& q, double core_free_ms,
+                      std::size_t cap, double sla_ms,
+                      const ServiceModel& service, double straggle,
+                      std::size_t max_samples,
                       std::vector<PendingRequest>& out)
 {
-    out.clear();
-    if (_pending.empty())
-        return;
-
-    const PendingRequest head = *_pending.begin();
-    _pending.erase(_pending.begin());
-    out.push_back(head);
-
+    const PendingRequest& head = out.front();
     double dispatch = std::max(core_free_ms, head.readyMs);
     std::size_t total = head.samples;
     double min_deadline = deadlineOf(head, sla_ms);
@@ -70,20 +140,25 @@ BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
     // caller sheds it (first try) or runs it late (retry), and no
     // follower gets dragged past its deadline with it.
     if (dispatch + service.serviceMs(total) * straggle > min_deadline)
-        return;
+        return total;
 
     // Followers must be ready within the linger window — or before
     // the core frees up anyway, which costs the head nothing.
     const double window =
         std::max(dispatch, head.readyMs + _cfg.maxLingerMs);
 
-    auto it = _pending.begin();
-    while (it != _pending.end() && out.size() < cap) {
+    auto it = q.begin();
+    while (it != q.end() && out.size() < cap) {
         const PendingRequest& c = *it;
         if (c.readyMs > window)
             break; // queue is ready-ordered: nothing later fits
-        const double new_dispatch = std::max(dispatch, c.readyMs);
         const std::size_t new_total = total + c.samples;
+        if (max_samples != 0 && new_total > max_samples) {
+            // Out of deficit: this follower is paid for next round.
+            ++it;
+            continue;
+        }
+        const double new_dispatch = std::max(dispatch, c.readyMs);
         const double new_deadline =
             std::min(min_deadline, deadlineOf(c, sla_ms));
         if (new_dispatch + service.serviceMs(new_total) * straggle <=
@@ -92,12 +167,93 @@ BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
             dispatch = new_dispatch;
             total = new_total;
             min_deadline = new_deadline;
-            it = _pending.erase(it);
+            it = q.erase(it);
+            --_count;
         } else {
             // This member would blow a deadline; a later one with a
             // looser deadline (or fewer samples) may still fit.
             ++it;
         }
+    }
+    return total;
+}
+
+void
+BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
+                      double sla_ms, const ServiceModel& service,
+                      double straggle,
+                      std::vector<PendingRequest>& out)
+{
+    nextBatchImpl(core_free_ms, cap, sla_ms, &service, false, straggle,
+                  out);
+}
+
+void
+BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
+                      double sla_ms,
+                      const std::vector<ServiceModel>& service_by_tenant,
+                      double straggle,
+                      std::vector<PendingRequest>& out)
+{
+    if (service_by_tenant.size() < _sub.size()) {
+        throw std::invalid_argument(
+            "BatchQueue: need one service model per tenant");
+    }
+    nextBatchImpl(core_free_ms, cap, sla_ms, service_by_tenant.data(),
+                  true, straggle, out);
+}
+
+void
+BatchQueue::nextBatchImpl(double core_free_ms, std::size_t cap,
+                          double sla_ms, const ServiceModel *service,
+                          bool per_tenant, double straggle,
+                          std::vector<PendingRequest>& out)
+{
+    out.clear();
+    if (_count == 0)
+        return;
+
+    std::size_t t = 0;
+    std::size_t budget = 0; // 0 = unbounded (single-tenant mode)
+    if (_fair) {
+        // Deficit round robin: every nonempty tenant accrues
+        // weight-proportional deficit per round; the first tenant
+        // (in cyclic order from the cursor) whose deficit covers its
+        // head wins the dispatch. An emptied tenant forfeits its
+        // deficit — credit never accumulates while idle, the classic
+        // DRR rule that keeps latent bursts from starving the rest.
+        for (;;) {
+            const std::size_t i = _cursor;
+            _cursor = (_cursor + 1) % _sub.size();
+            if (_sub[i].empty()) {
+                _deficit[i] = 0.0;
+                continue;
+            }
+            _deficit[i] += _wfq.quantumSamples * _wfq.weights[i];
+            if (_deficit[i] >=
+                static_cast<double>(_sub[i].begin()->samples)) {
+                t = i;
+                break;
+            }
+        }
+        budget = static_cast<std::size_t>(_deficit[t]);
+    }
+
+    SubQueue& q = _sub[t];
+    out.push_back(*q.begin());
+    q.erase(q.begin());
+    --_count;
+
+    const ServiceModel& model = per_tenant ? service[t] : *service;
+    const std::size_t total = formGroup(q, core_free_ms, cap, sla_ms,
+                                        model, straggle, budget,
+                                        out);
+    if (_fair) {
+        _deficit[t] -= static_cast<double>(total);
+        if (q.empty())
+            _deficit[t] = 0.0;
+        else
+            _deficit[t] = std::max(_deficit[t], 0.0);
     }
 }
 

@@ -86,6 +86,7 @@ CircuitBreaker::record(bool ok, double end_ms)
         }
         _state = State::Open;
         _openedAtMs = end_ms;
+        _lastTripMs = end_ms;
         ++_trips;
         return true;
     }
@@ -99,6 +100,7 @@ CircuitBreaker::record(bool ok, double end_ms)
         failureRate() >= _cfg.failureThreshold) {
         _state = State::Open;
         _openedAtMs = end_ms;
+        _lastTripMs = end_ms;
         ++_trips;
         return true;
     }
@@ -112,6 +114,7 @@ CircuitBreaker::reset()
     _head = 0;
     _count = 0;
     _state = State::Closed;
+    _lastTripMs = -1.0;
     _probeInFlight = false;
 }
 

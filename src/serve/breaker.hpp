@@ -84,6 +84,12 @@ class CircuitBreaker
 
     std::uint64_t trips() const { return _trips; }
 
+    /** Virtual time of the most recent trip, or a negative value when
+     *  the breaker has never tripped (or was reset since). Lets the
+     *  Router's health score hold a recently-tripped instance at
+     *  arm's length even after its probe succeeded. */
+    double lastTripMs() const { return _lastTripMs; }
+
   private:
     double failureRate() const;
 
@@ -93,6 +99,7 @@ class CircuitBreaker
     std::size_t _count = 0;
     State _state = State::Closed;
     double _openedAtMs = 0.0;
+    double _lastTripMs = -1.0;
     bool _probeInFlight = false;
     std::uint64_t _trips = 0;
 };

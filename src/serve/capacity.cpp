@@ -1,0 +1,206 @@
+#include "serve/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlrmopt::serve
+{
+
+void
+CapacityConfig::validate() const
+{
+    if (minInstances == 0) {
+        throw std::invalid_argument(
+            "CapacityConfig: minInstances must be >= 1");
+    }
+    if (!(windowMs > 0.0) || !std::isfinite(windowMs)) {
+        throw std::invalid_argument(
+            "CapacityConfig: windowMs must be positive and finite");
+    }
+    if (!(forecastDecay >= 0.0) || !(forecastDecay < 1.0)) {
+        throw std::invalid_argument(
+            "CapacityConfig: forecastDecay must be in [0, 1)");
+    }
+    if (!(targetUtilization > 0.0) || !(targetUtilization <= 1.0)) {
+        throw std::invalid_argument(
+            "CapacityConfig: targetUtilization must be in (0, 1]");
+    }
+    if (downLag == 0) {
+        throw std::invalid_argument(
+            "CapacityConfig: downLag must be >= 1");
+    }
+    if (!(drainGraceMs >= 0.0) || !std::isfinite(drainGraceMs)) {
+        throw std::invalid_argument(
+            "CapacityConfig: drainGraceMs must be >= 0 and finite");
+    }
+    if (!(probationMs >= 0.0) || !std::isfinite(probationMs)) {
+        throw std::invalid_argument(
+            "CapacityConfig: probationMs must be >= 0 and finite");
+    }
+}
+
+CapacityController::CapacityController(const CapacityConfig& cfg,
+                                       std::size_t max_instances,
+                                       std::size_t cores_per_instance)
+    : _cfg(cfg), _maxInstances(max_instances),
+      _coresPerInstance(cores_per_instance), _windowEnd(cfg.windowMs),
+      _desired(cfg.minInstances)
+{
+    _cfg.validate();
+    if (max_instances == 0 || cores_per_instance == 0) {
+        throw std::invalid_argument(
+            "CapacityController: need instances and cores >= 1");
+    }
+    if (_cfg.minInstances > max_instances) {
+        throw std::invalid_argument(
+            "CapacityController: minInstances exceeds maxInstances");
+    }
+    // Start at the floor: scale-ups are immediate at the first closed
+    // window, so the worst case is one window of under-capacity —
+    // while starting high would forfeit the elastic savings that
+    // justify the controller in the first place.
+}
+
+void
+CapacityController::observeArrival(double now_ms,
+                                   double service_cost_ms)
+{
+    closeWindowsUpTo(now_ms);
+    _windowLoadMs += service_cost_ms;
+}
+
+std::size_t
+CapacityController::desiredInstances(double now_ms)
+{
+    closeWindowsUpTo(now_ms);
+    return _desired;
+}
+
+void
+CapacityController::closeWindowsUpTo(double now_ms)
+{
+    while (now_ms >= _windowEnd) {
+        const double rate = _windowLoadMs / _cfg.windowMs;
+        _forecast = _windowsClosed == 0
+                        ? rate
+                        : _cfg.forecastDecay * _forecast +
+                              (1.0 - _cfg.forecastDecay) * rate;
+        _windowLoadMs = 0.0;
+        ++_windowsClosed;
+        _windowEnd += _cfg.windowMs;
+
+        // Instances needed so the forecast fits within the target
+        // utilization of their cores.
+        const double per_instance =
+            static_cast<double>(_coresPerInstance) *
+            _cfg.targetUtilization;
+        std::size_t need = static_cast<std::size_t>(
+            std::ceil(_forecast / per_instance));
+        need = std::clamp(need, _cfg.minInstances, _maxInstances);
+
+        if (need > _desired) {
+            // Under-capacity sheds traffic: react immediately.
+            _desired = need;
+            _lowStreak = 0;
+        } else if (need < _desired) {
+            // Over-capacity only wastes: require a sustained lull.
+            if (++_lowStreak >= _cfg.downLag) {
+                _desired = need;
+                _lowStreak = 0;
+            }
+        } else {
+            _lowStreak = 0;
+        }
+    }
+}
+
+void
+RecalibrationConfig::validate() const
+{
+    if (!(intervalMs > 0.0) || !std::isfinite(intervalMs)) {
+        throw std::invalid_argument(
+            "RecalibrationConfig: intervalMs must be positive");
+    }
+    if (window == 0) {
+        throw std::invalid_argument(
+            "RecalibrationConfig: window must be >= 1");
+    }
+    if (minObservations == 0 || minObservations > window) {
+        throw std::invalid_argument(
+            "RecalibrationConfig: need 1 <= minObservations <= "
+            "window");
+    }
+    if (!(staleThreshold > 0.0) || !std::isfinite(staleThreshold)) {
+        throw std::invalid_argument(
+            "RecalibrationConfig: staleThreshold must be positive");
+    }
+}
+
+ServiceModelRecalibrator::ServiceModelRecalibrator(
+    const ServiceModel& initial, const RecalibrationConfig& cfg)
+    : _cfg(cfg), _current(initial), _lastFitMs(0.0)
+{
+    _cfg.validate();
+    _current.validate();
+    _samples.resize(_cfg.window, 0);
+    _measured.resize(_cfg.window, 0.0);
+}
+
+void
+ServiceModelRecalibrator::observe(std::size_t samples,
+                                  double measured_ms)
+{
+    if (!_cfg.enabled)
+        return;
+    _samples[_head] = samples;
+    _measured[_head] = measured_ms;
+    _head = (_head + 1) % _cfg.window;
+    _filled = std::min(_filled + 1, _cfg.window);
+    ++_observations;
+}
+
+bool
+ServiceModelRecalibrator::maybeRecalibrate(double now_ms)
+{
+    if (!_cfg.enabled || _filled < _cfg.minObservations ||
+        now_ms - _lastFitMs < _cfg.intervalMs)
+        return false;
+    _lastFitMs = now_ms;
+
+    _fitSamples.assign(_samples.begin(),
+                       _samples.begin() +
+                           static_cast<std::ptrdiff_t>(_filled));
+    _fitMeasured.assign(_measured.begin(),
+                        _measured.begin() +
+                            static_cast<std::ptrdiff_t>(_filled));
+    _current = ServiceModel::fit(_fitSamples, _fitMeasured);
+    ++_recalibrations;
+    return true;
+}
+
+double
+ServiceModelRecalibrator::meanRelativeError() const
+{
+    if (_filled == 0)
+        return 0.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < _filled; ++i) {
+        if (!(_measured[i] > 0.0))
+            continue;
+        const double est = _current.serviceMs(_samples[i]);
+        sum += std::abs(est - _measured[i]) / _measured[i];
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+bool
+ServiceModelRecalibrator::stale() const
+{
+    return _filled >= _cfg.minObservations &&
+           meanRelativeError() > _cfg.staleThreshold;
+}
+
+} // namespace dlrmopt::serve

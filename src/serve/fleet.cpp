@@ -1,0 +1,757 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "serve/degrade.hpp"
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+/** One scheduled arrival in the fleet's virtual-time loop. */
+struct FArrival
+{
+    double tMs;
+    std::uint64_t seq; //!< deterministic tie-break
+    std::uint32_t tenant;
+    std::uint64_t req;
+};
+
+struct FArrivalLater
+{
+    bool
+    operator()(const FArrival& a, const FArrival& b) const
+    {
+        if (a.tMs != b.tMs)
+            return a.tMs > b.tMs;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+void
+FleetConfig::validate() const
+{
+    if (instances == 0) {
+        throw std::invalid_argument(
+            "FleetConfig: need at least one instance slot");
+    }
+    if (!(quantumSamples > 0.0) || !std::isfinite(quantumSamples)) {
+        throw std::invalid_argument(
+            "FleetConfig: quantumSamples must be positive and finite");
+    }
+    if (!(backoffBaseMs >= 0.0) || !(backoffCapMs >= backoffBaseMs)) {
+        throw std::invalid_argument(
+            "FleetConfig: need 0 <= backoffBaseMs <= backoffCapMs");
+    }
+    batching.validate();
+    capacity.validate();
+    recalibration.validate();
+    if (scrub.enabled)
+        scrub.validate();
+    if (capacity.minInstances > instances) {
+        throw std::invalid_argument(
+            "FleetConfig: capacity.minInstances exceeds the slot "
+            "count");
+    }
+}
+
+bool
+FleetStats::conserved() const
+{
+    if (total.arrived != total.served + total.shed + total.failed)
+        return false;
+    for (const TenantStats& t : perTenant) {
+        if (!t.conserved())
+            return false;
+    }
+    return true;
+}
+
+std::string
+FleetStats::summary() const
+{
+    char buf[512];
+    const double pct = total.served
+        ? 100.0 * static_cast<double>(compliant) /
+            static_cast<double>(total.served)
+        : 0.0;
+    int len = std::snprintf(
+        buf, sizeof(buf),
+        "tenants %zu | arrived %zu served %zu shed %zu (budget %zu "
+        "deadline %zu) failed %zu | compliant %zu (%.1f%%) | p95 %.3f "
+        "ms | up %zu down %zu crashes %zu restarts %zu | %.0f "
+        "instance-ms",
+        perTenant.size(), total.arrived, total.served, total.shed,
+        budgetShed, deadlineShed, total.failed, compliant, pct,
+        total.latency.p95(), scaleUps, scaleDowns, crashes, restarts,
+        instanceMsUp);
+    if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
+        (recalibrations || blocksScrubbed)) {
+        std::snprintf(
+            buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+            " | refits %zu scrubbed %llu repaired %llu",
+            recalibrations,
+            static_cast<unsigned long long>(blocksScrubbed),
+            static_cast<unsigned long long>(scrubRepairs));
+    }
+    return buf;
+}
+
+TenantFleet::TenantFleet(const TenantRegistry& reg,
+                         const sched::Topology& topo,
+                         const FleetConfig& cfg)
+    : _reg(reg), _cfg(cfg)
+{
+    _cfg.validate();
+    if (_reg.empty()) {
+        throw std::invalid_argument(
+            "TenantFleet: need at least one tenant");
+    }
+
+    const auto groups = topo.partition(_cfg.instances);
+    const std::size_t n_t = _reg.size();
+
+    _stores.reserve(n_t);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        _stores.push_back(core::EmbeddingStore::createMutable(
+            _reg.tenant(k).model, _cfg.seed + k));
+    }
+
+    _models.resize(_cfg.instances);
+    _servers.resize(_cfg.instances);
+    for (std::size_t i = 0; i < _cfg.instances; ++i) {
+        _models[i].reserve(n_t);
+        _servers[i].reserve(n_t);
+        for (std::size_t k = 0; k < n_t; ++k) {
+            const TenantConfig& tc = _reg.tenant(k);
+            _models[i].push_back(std::make_unique<core::DlrmModel>(
+                tc.model, _stores[k], _cfg.seed));
+            ServerConfig sc;
+            sc.slaMs = tc.effectiveSlaMs();
+            sc.service = tc.service;
+            sc.batching = _cfg.batching;
+            sc.admission = _cfg.admission;
+            sc.maxRetries = _cfg.maxRetries;
+            sc.backoffBaseMs = _cfg.backoffBaseMs;
+            sc.backoffCapMs = _cfg.backoffCapMs;
+            _servers[i].push_back(std::make_unique<Server>(
+                *_models[i].back(), groups[i], sc));
+        }
+    }
+    _coresPerInstance = _servers.front().front()->numCores();
+}
+
+FleetStats
+TenantFleet::serve(const std::vector<TenantWorkload>& work,
+                   const core::PrefetchSpec& pf,
+                   const FaultSchedule *schedule)
+{
+    const std::size_t n_t = _reg.size();
+    const std::size_t n_i = _servers.size();
+    if (work.size() != n_t) {
+        throw std::invalid_argument(
+            "TenantFleet: need exactly one workload per tenant");
+    }
+    for (std::size_t k = 0; k < n_t; ++k) {
+        if (!work[k].arrivalsMs.empty() && work[k].batches.empty()) {
+            throw std::invalid_argument(
+                "TenantFleet: tenant " + _reg.tenant(k).name +
+                " has arrivals but no batches");
+        }
+    }
+    if (schedule)
+        schedule->validate(n_i);
+
+    FleetStats fs;
+    fs.perTenant.resize(n_t);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        fs.perTenant[k].stats.arrived = work[k].arrivalsMs.size();
+        fs.total.arrived += work[k].arrivalsMs.size();
+    }
+
+    // ---- Per-tenant machinery -----------------------------------
+    std::vector<ServiceModelRecalibrator> recal;
+    recal.reserve(n_t);
+    for (std::size_t k = 0; k < n_t; ++k)
+        recal.emplace_back(_reg.tenant(k).service, _cfg.recalibration);
+    std::vector<ServiceModel> estimates(n_t);
+
+    std::vector<std::unique_ptr<EmbeddingScrubber>> scrubbers;
+    if (_cfg.scrub.enabled) {
+        scrubbers.reserve(n_t);
+        for (std::size_t k = 0; k < n_t; ++k) {
+            scrubbers.push_back(std::make_unique<EmbeddingScrubber>(
+                _stores[k], _cfg.scrub));
+        }
+    }
+
+    WfqConfig wfq;
+    wfq.weights = _reg.weights();
+    wfq.quantumSamples = _cfg.quantumSamples;
+    BatchQueue queue(_cfg.batching, wfq);
+
+    // ---- Elastic capacity / lifecycle ---------------------------
+    CapacityController ctrl(_cfg.capacity, n_i, _coresPerInstance);
+    const std::size_t init_up =
+        _cfg.capacity.elastic ? _cfg.capacity.minInstances : n_i;
+
+    std::vector<InstanceState> state(n_i, InstanceState::Down);
+    std::vector<std::size_t> active(n_i, 0);
+    std::vector<double> drain_ready(n_i, 0.0);
+    std::vector<double> probation_end(n_i, 0.0);
+    std::vector<double> up_since(n_i, 0.0);
+    std::vector<char> chaos_down(n_i, 0);
+    std::vector<std::vector<double>> free_at(n_i);
+    for (std::size_t i = 0; i < n_i; ++i) {
+        free_at[i].assign(_coresPerInstance, 0.0);
+        if (i < init_up) {
+            state[i] = InstanceState::Up;
+            active[i] = _coresPerInstance;
+        }
+    }
+
+    const auto maxFreeAt = [&](std::size_t i) -> double {
+        double m = 0.0;
+        for (double f : free_at[i])
+            m = std::max(m, f);
+        return m;
+    };
+    const auto leaveUp = [&](std::size_t i, double now) {
+        fs.instanceMsUp += std::max(0.0, now - up_since[i]);
+    };
+    const auto rebuild = [&](std::size_t i, double now) {
+        // O(weights) per tenant: fresh MLP views over the untouched
+        // shared stores — the restarted replicas are bitwise-
+        // identical to their pre-crash selves.
+        for (std::size_t k = 0; k < n_t; ++k) {
+            *_models[i][k] = core::DlrmModel(_reg.tenant(k).model,
+                                             _stores[k], _cfg.seed);
+        }
+        std::fill(free_at[i].begin(), free_at[i].end(), now);
+    };
+    const auto beginRestart = [&](std::size_t i, double now) {
+        state[i] = InstanceState::WarmRestart;
+        probation_end[i] = now + _cfg.capacity.probationMs;
+        rebuild(i, now);
+    };
+    const auto beginDrainAt = [&](std::size_t i, double now) {
+        state[i] = InstanceState::Draining;
+        active[i] = std::min(_cfg.capacity.partialDrainCores,
+                             _coresPerInstance);
+        drain_ready[i] =
+            std::max(maxFreeAt(i), now) +
+            (active[i] > 0 ? _cfg.capacity.drainGraceMs : 0.0);
+    };
+
+    const auto tickLifecycle = [&](double now) {
+        for (std::size_t i = 0; i < n_i; ++i) {
+            if (state[i] == InstanceState::Draining &&
+                now >= drain_ready[i]) {
+                state[i] = InstanceState::Down;
+                active[i] = 0;
+            }
+            if (state[i] == InstanceState::WarmRestart &&
+                now >= probation_end[i]) {
+                state[i] = InstanceState::Up;
+                active[i] = _coresPerInstance;
+                up_since[i] = probation_end[i];
+                ++fs.restarts;
+            }
+        }
+    };
+
+    const auto reconcile = [&](double now) {
+        if (!_cfg.capacity.elastic)
+            return;
+        const std::size_t desired = ctrl.desiredInstances(now);
+        fs.peakForecastLoad =
+            std::max(fs.peakForecastLoad, ctrl.forecastLoad());
+
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < n_i; ++i) {
+            if (state[i] == InstanceState::Up ||
+                state[i] == InstanceState::WarmRestart ||
+                (state[i] == InstanceState::Draining && !chaos_down[i]))
+                ++live;
+        }
+        // Scale up: cancel elastic drains first (cheapest — the
+        // instance never went down), then warm-restart Down slots.
+        while (live < desired) {
+            std::size_t pick = n_i;
+            for (std::size_t i = 0; i < n_i; ++i) {
+                if (state[i] == InstanceState::Down && !chaos_down[i]) {
+                    pick = i;
+                    break;
+                }
+            }
+            if (pick == n_i)
+                break;
+            beginRestart(pick, now);
+            ++fs.scaleUps;
+            ++live;
+        }
+        // Scale down: drain the highest-index Up instances.
+        std::size_t up = 0;
+        for (std::size_t i = 0; i < n_i; ++i) {
+            if (state[i] == InstanceState::Up)
+                ++up;
+        }
+        while (up > desired) {
+            std::size_t pick = n_i;
+            for (std::size_t i = n_i; i-- > 0;) {
+                if (state[i] == InstanceState::Up) {
+                    pick = i;
+                    break;
+                }
+            }
+            if (pick == n_i)
+                break;
+            leaveUp(pick, now);
+            beginDrainAt(pick, now);
+            ++fs.scaleDowns;
+            --up;
+        }
+    };
+
+    // ---- Scripted chaos -----------------------------------------
+    std::size_t lc_cursor = 0;
+    std::size_t flip_cursor = 0;
+    const auto advanceScrubbers = [&](double now) {
+        for (auto& s : scrubbers)
+            s->advanceTo(now);
+    };
+    const auto applyFlip = [&](const BitFlipEvent& e) {
+        // A host-level memory fault hits whichever colocated tenant
+        // stores the (table, row, bit) coordinate fits in.
+        for (std::size_t k = 0; k < n_t; ++k) {
+            core::EmbeddingStore& st = *_stores[k];
+            if (e.table < st.numTables() && e.row < st.rows() &&
+                e.bit < st.dim() * 32) {
+                st.flipBit(e.table, e.row, e.bit);
+            }
+        }
+    };
+    const auto applyUpTo = [&](double now) {
+        tickLifecycle(now);
+        if (schedule) {
+            const auto& lc = schedule->lifecycleEvents();
+            while (lc_cursor < lc.size() &&
+                   lc[lc_cursor].atMs <= now) {
+                const LifecycleEvent& e = lc[lc_cursor++];
+                const std::size_t j = e.instance;
+                tickLifecycle(e.atMs);
+                if (e.kind == LifecycleEvent::Kind::Crash) {
+                    if (state[j] == InstanceState::Up) {
+                        leaveUp(j, e.atMs);
+                        beginDrainAt(j, e.atMs);
+                        ++fs.crashes;
+                    } else if (state[j] == InstanceState::WarmRestart) {
+                        state[j] = InstanceState::Down;
+                        active[j] = 0;
+                        ++fs.crashes;
+                    }
+                    chaos_down[j] = 1;
+                } else { // Recover
+                    chaos_down[j] = 0;
+                    if (state[j] == InstanceState::Draining) {
+                        state[j] = InstanceState::Down; // outage won
+                        active[j] = 0;
+                    }
+                    if (state[j] == InstanceState::Down)
+                        beginRestart(j, e.atMs);
+                }
+            }
+            tickLifecycle(now);
+            const auto& flips = schedule->bitFlipEvents();
+            while (flip_cursor < flips.size() &&
+                   flips[flip_cursor].atMs <= now) {
+                const BitFlipEvent& e = flips[flip_cursor++];
+                advanceScrubbers(e.atMs);
+                applyFlip(e);
+            }
+        }
+        advanceScrubbers(now);
+        reconcile(now);
+    };
+
+    const auto injFor = [&](std::size_t i,
+                            double now) -> const FaultInjector * {
+        return schedule ? schedule->injectorAt(now, i) : nullptr;
+    };
+
+    // Dispatchable = Up, or Draining with a residual (partial-drain)
+    // core group still open.
+    const auto dispatchable = [&](std::size_t i) -> bool {
+        return state[i] == InstanceState::Up ||
+               (state[i] == InstanceState::Draining && active[i] > 0);
+    };
+    // Earliest-free (instance, core) over the dispatchable set;
+    // returns {n_i, 0} when none. Lowest indices win ties.
+    struct Slot
+    {
+        std::size_t inst;
+        std::size_t core;
+        double freeMs;
+    };
+    const auto bestSlot = [&]() -> Slot {
+        Slot s{n_i, 0, std::numeric_limits<double>::max()};
+        for (std::size_t i = 0; i < n_i; ++i) {
+            if (!dispatchable(i))
+                continue;
+            const std::size_t limit =
+                std::min(active[i], free_at[i].size());
+            for (std::size_t c = 0; c < limit; ++c) {
+                if (free_at[i][c] < s.freeMs) {
+                    s = Slot{i, c, free_at[i][c]};
+                }
+            }
+        }
+        return s;
+    };
+
+    // ---- Arrival stream -----------------------------------------
+    std::priority_queue<FArrival, std::vector<FArrival>, FArrivalLater>
+        arrivals;
+    {
+        std::uint64_t seq = 0;
+        for (std::size_t k = 0; k < n_t; ++k) {
+            for (std::size_t r = 0; r < work[k].arrivalsMs.size(); ++r) {
+                arrivals.push(FArrival{work[k].arrivalsMs[r], seq++,
+                                       static_cast<std::uint32_t>(k),
+                                       r});
+            }
+        }
+    }
+
+    std::uint64_t pseq = 0;
+    const auto admitArrival = [&](const FArrival& e) {
+        const TenantConfig& tc = _reg.tenant(e.tenant);
+        const std::size_t samples =
+            work[e.tenant]
+                .batches[e.req % work[e.tenant].batches.size()]
+                .batchSize;
+        ctrl.observeArrival(
+            e.tMs, recal[e.tenant].current().serviceMs(samples));
+        TenantStats& ts = fs.perTenant[e.tenant];
+        if (tc.admissionBudget != 0 &&
+            queue.queuedOf(e.tenant) >= tc.admissionBudget) {
+            ++ts.stats.shed;
+            ++ts.budgetShed;
+            ++fs.total.shed;
+            ++fs.budgetShed;
+            return;
+        }
+        queue.push(PendingRequest{e.tMs, pseq++, e.req, 0, e.tMs,
+                                  samples, e.tenant,
+                                  tc.effectiveSlaMs()});
+    };
+
+    // Per-tenant dense inputs per member size, reference-stable.
+    std::vector<std::map<std::size_t, core::Tensor>> dense_maps(n_t);
+    const auto denseFor = [&](std::size_t k,
+                              std::size_t nrows) -> const core::Tensor& {
+        auto& m = dense_maps[k];
+        auto it = m.find(nrows);
+        if (it == m.end()) {
+            const core::Tensor& src = work[k].dense;
+            core::Tensor t(nrows, src.cols());
+            std::memcpy(t.data(), src.data(),
+                        nrows * src.cols() * sizeof(float));
+            it = m.emplace(nrows, std::move(t)).first;
+        }
+        return it->second;
+    };
+
+    const DegradeState tier = DegradationPolicy::stateForTier(0);
+    const double linger = _cfg.batching.maxLingerMs;
+    const double inf = std::numeric_limits<double>::max();
+
+    // Reused per-dispatch scratch.
+    std::vector<PendingRequest> members;
+    std::vector<const core::SparseBatch *> parts;
+    std::vector<const core::Tensor *> dense_parts;
+    std::vector<std::size_t> member_sizes;
+    std::vector<char> member_ok;
+    std::vector<core::SparseBatch> corrupted;
+
+    double makespan = 0.0;
+    double busy_ms = 0.0;
+
+    while (!arrivals.empty() || !queue.empty()) {
+        const double next_evt =
+            arrivals.empty() ? inf : arrivals.top().tMs;
+
+        if (queue.empty()) {
+            const FArrival e = arrivals.top();
+            arrivals.pop();
+            applyUpTo(e.tMs);
+            admitArrival(e);
+            continue;
+        }
+
+        Slot slot = bestSlot();
+        if (slot.inst >= n_i) {
+            // Nothing can take work. Sleep until something will:
+            // a drain completing (frees the slot for a restart), a
+            // probation ending, or the next scripted lifecycle event.
+            double wake = inf;
+            for (std::size_t i = 0; i < n_i; ++i) {
+                if (state[i] == InstanceState::Draining)
+                    wake = std::min(wake, drain_ready[i]);
+                if (state[i] == InstanceState::WarmRestart)
+                    wake = std::min(wake, probation_end[i]);
+            }
+            if (schedule) {
+                const auto& lc = schedule->lifecycleEvents();
+                if (lc_cursor < lc.size())
+                    wake = std::min(wake, lc[lc_cursor].atMs);
+            }
+            if (_cfg.capacity.elastic) {
+                // Emergency scale-up: queued work with zero serving
+                // capacity is the strongest possible load signal —
+                // restart a healthy Down slot right now instead of
+                // waiting for the forecast to notice.
+                std::size_t pick = n_i;
+                for (std::size_t i = 0; i < n_i; ++i) {
+                    if (state[i] == InstanceState::Down &&
+                        !chaos_down[i]) {
+                        pick = i;
+                        break;
+                    }
+                }
+                if (pick < n_i) {
+                    const double now = queue.headReadyMs();
+                    beginRestart(pick, now);
+                    ++fs.scaleUps;
+                    continue;
+                }
+            }
+            if (wake == inf && arrivals.empty()) {
+                // Every instance is chaos-down for good: abandon the
+                // queue, loudly, conserving per-tenant accounting.
+                while (!queue.empty()) {
+                    queue.nextBatch(inf, 1, 0.0,
+                                    ServiceModel::constant(1.0), 1.0,
+                                    members);
+                    for (const PendingRequest& m : members) {
+                        TenantStats& ts = fs.perTenant[m.tenant];
+                        ++ts.stats.failed;
+                        ++fs.total.failed;
+                        ++fs.lifecycleShed;
+                    }
+                }
+                continue;
+            }
+            const double t = std::min(wake, next_evt);
+            applyUpTo(t);
+            if (next_evt <= wake) {
+                const FArrival e = arrivals.top();
+                arrivals.pop();
+                admitArrival(e);
+            }
+            continue;
+        }
+
+        const double head_ready = queue.headReadyMs();
+        const double td = std::max(slot.freeMs, head_ready);
+        const double hold = std::max(td, head_ready + linger);
+        if (next_evt <= hold) {
+            const FArrival e = arrivals.top();
+            arrivals.pop();
+            applyUpTo(e.tMs);
+            admitArrival(e);
+            continue;
+        }
+
+        // Commit to dispatching at td — but applying lazy events up
+        // to td may change the fleet (a crash, a scale move, a
+        // probation ending on an idler core). Re-resolve and retry
+        // the loop when the slot moved.
+        applyUpTo(td);
+        const Slot again = bestSlot();
+        if (again.inst != slot.inst || again.core != slot.core ||
+            again.freeMs != slot.freeMs)
+            continue;
+
+        const std::size_t inst = slot.inst;
+        const std::size_t core = slot.core;
+        const FaultInjector *finj = injFor(inst, td);
+        const double straggle =
+            finj ? finj->serviceFactor(core) : 1.0;
+
+        for (std::size_t k = 0; k < n_t; ++k)
+            estimates[k] = recal[k].current();
+        queue.nextBatch(free_at[inst][core],
+                        _cfg.batching.maxRequests, 0.0, estimates,
+                        straggle, members);
+        if (members.empty())
+            continue;
+
+        const std::uint32_t ten = members.front().tenant;
+        const TenantConfig& tc = _reg.tenant(ten);
+        TenantStats& ts = fs.perTenant[ten];
+        const double sla = tc.effectiveSlaMs();
+
+        double latest_ready = members.front().readyMs;
+        std::size_t total_samples = 0;
+        for (const PendingRequest& m : members) {
+            latest_ready = std::max(latest_ready, m.readyMs);
+            total_samples += m.samples;
+        }
+        const double start = std::max(free_at[inst][core], latest_ready);
+
+        // The *estimate* prices admission; the scripted *truth*
+        // advances the clock. Their gap is exactly what in-session
+        // recalibration exists to close.
+        const double est_service =
+            estimates[ten].serviceMs(total_samples) * straggle;
+        const ServiceModel& truth = tc.truth.at(start);
+        const double true_service =
+            truth.serviceMs(total_samples) * straggle;
+
+        if (_cfg.admission && members.size() == 1 &&
+            members.front().tries == 0 &&
+            start + est_service >
+                members.front().arrivalMs + sla) {
+            ++ts.stats.shed;
+            ++ts.deadlineShed;
+            ++fs.total.shed;
+            ++fs.deadlineShed;
+            continue;
+        }
+
+        // Per-member fault resolution before the fused forward (one
+        // poisoned member fails alone, exactly like Server's batched
+        // path).
+        const std::size_t rows_k = tc.model.rows;
+        const auto& batches_k = work[ten].batches;
+        parts.clear();
+        dense_parts.clear();
+        member_sizes.clear();
+        member_ok.assign(members.size(), 1);
+        corrupted.clear();
+        if (finj)
+            corrupted.reserve(members.size());
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            const PendingRequest& r = members[m];
+            const core::SparseBatch *sparse =
+                &batches_k[r.req % batches_k.size()];
+            if (finj) {
+                try {
+                    finj->maybeThrow(r.req, r.tries);
+                } catch (...) {
+                    member_ok[m] = 0;
+                    continue;
+                }
+                corrupted.push_back(finj->maybeCorrupt(
+                    *sparse, rows_k, r.req, r.tries));
+                sparse = &corrupted.back();
+                if (!sparse->valid(rows_k)) {
+                    member_ok[m] = 0;
+                    continue;
+                }
+            }
+            parts.push_back(sparse);
+            dense_parts.push_back(&denseFor(ten, r.samples));
+            member_sizes.push_back(r.samples);
+        }
+
+        bool exec_ok = true;
+        if (!parts.empty()) {
+            try {
+                fs.total.execTotalMs +=
+                    _servers[inst][ten]->executeBatchedAttempt(
+                        core, parts, dense_parts, tier, pf);
+            } catch (...) {
+                exec_ok = false;
+            }
+        }
+
+        ++fs.total.dispatches;
+        ++ts.stats.dispatches;
+        const double end = start + true_service;
+        free_at[inst][core] = end;
+        busy_ms += true_service;
+        makespan = std::max(makespan, end);
+        if (state[inst] == InstanceState::Draining)
+            drain_ready[inst] = std::max(drain_ready[inst], end);
+
+        // Feed recalibration the measured (un-straggled) dispatch
+        // time — the estimate chases the scripted truth.
+        recal[ten].observe(total_samples,
+                           truth.serviceMs(total_samples));
+        if (recal[ten].maybeRecalibrate(end))
+            ++fs.recalibrations;
+
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            const PendingRequest& r = members[m];
+            const bool ok = member_ok[m] && exec_ok;
+            if (ok) {
+                ++fs.total.served;
+                ++ts.stats.served;
+                const double latency = end - r.arrivalMs;
+                fs.total.latency.add(latency);
+                ts.stats.latency.add(latency);
+                if (latency <= sla) {
+                    ++fs.compliant;
+                    ++ts.compliant;
+                }
+            } else if (r.tries < _cfg.maxRetries) {
+                ++fs.total.retried;
+                ++ts.stats.retried;
+                const double backoff = std::min(
+                    _cfg.backoffBaseMs *
+                        static_cast<double>(1ull << r.tries),
+                    _cfg.backoffCapMs);
+                queue.push(PendingRequest{end + backoff, pseq++, r.req,
+                                          r.tries + 1, r.arrivalMs,
+                                          r.samples, ten, sla});
+            } else {
+                ++fs.total.failed;
+                ++ts.stats.failed;
+            }
+        }
+    }
+
+    // Fold remaining scripted events / ticks into the final state so
+    // availability-style accounting covers the whole session.
+    applyUpTo(makespan);
+    for (std::size_t i = 0; i < n_i; ++i) {
+        if (state[i] == InstanceState::Up && makespan > up_since[i])
+            fs.instanceMsUp += makespan - up_since[i];
+    }
+    for (const auto& s : scrubbers) {
+        fs.blocksScrubbed += s->blocksScrubbed();
+        fs.scrubCorruptions += s->corruptionsFound();
+        fs.scrubRepairs += s->blocksRepaired();
+        fs.scrubSweeps += s->sweepsCompleted();
+    }
+    fs.estimateError.resize(n_t);
+    fs.estimateStale.resize(n_t);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        fs.estimateError[k] = recal[k].meanRelativeError();
+        fs.estimateStale[k] = recal[k].stale() ? 1 : 0;
+        fs.perTenant[k].stats.makespanMs = makespan;
+    }
+    fs.makespanMs = makespan;
+    fs.total.makespanMs = makespan;
+    if (fs.instanceMsUp > 0.0) {
+        fs.total.serverUtilization =
+            busy_ms /
+            (fs.instanceMsUp * static_cast<double>(_coresPerInstance));
+    }
+    return fs;
+}
+
+} // namespace dlrmopt::serve

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Multi-tenant serving fleet: weighted-fair admission, per-tenant SLA
+ * isolation, and elastic adaptive capacity over real model execution.
+ *
+ * The single-model Router (serve/router.hpp) answers "how does one
+ * deployment survive faults". The TenantFleet answers the question a
+ * shared production cluster faces: several tenants — each a Tenant
+ * binding of model preset, SLA class, fair-share weight and admission
+ * budget (serve/tenant.hpp) — multiplexed onto the same instance
+ * slots, under diurnal traffic whose aggregate peak exceeds any
+ * static provisioning. Three mechanisms compose:
+ *
+ *  - **Weighted-fair admission.** All tenants share one BatchQueue in
+ *    deficit-round-robin mode: per-tenant sub-queues, weight-
+ *    proportional deficit per round, dispatched samples charged
+ *    against the winner's deficit, and never a mixed-tenant group
+ *    (tenants serve different models). A flooding tenant exhausts its
+ *    own deficit and its own admission budget — overflow is shed at
+ *    arrival and charged to it — while the other tenants' dispatch
+ *    bandwidth and SLA compliance are isolated by construction.
+ *
+ *  - **Per-tenant SLA isolation.** Every request carries its tenant's
+ *    deadline (PendingRequest::slaMs); batch formation, deadline
+ *    sheds and compliance accounting all use the owning tenant's SLA
+ *    and the owning tenant's service estimate.
+ *
+ *  - **Elastic adaptive capacity.** A CapacityController forecasts
+ *    offered load over fixed virtual-time windows and resizes the Up
+ *    set between minInstances and the slot count, driving the PR-4
+ *    lifecycle machinery (Up -> Draining -> Down -> WarmRestart ->
+ *    Up) with optional partial drains — a scale-down victim keeps a
+ *    residual core group until its grace expires. In parallel, a
+ *    per-tenant ServiceModelRecalibrator refits the service estimate
+ *    from observed dispatch times, so admission and forecasting track
+ *    the scripted ServiceTimeline truth even when it drifts
+ *    mid-session.
+ *
+ * Execution follows the established split: the virtual clock advances
+ * on arrivals and the scripted truth while every dispatch really runs
+ * as one coalesced forward through the owning (instance, tenant)
+ * Server's persistent workspace. A FaultSchedule can overlay the
+ * chaos scenarios (instance crashes, stored-row bit flips — applied
+ * to every tenant store they fit in, repaired by per-store background
+ * scrubbers — and fault-injection phases), and the whole session
+ * remains a pure function of (configs, seeds, schedule): per-tenant
+ * accounting satisfies arrived == served + shed + failed under every
+ * scenario.
+ */
+
+#ifndef DLRMOPT_SERVE_FLEET_HPP
+#define DLRMOPT_SERVE_FLEET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batching.hpp"
+#include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
+#include "sched/topology.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/capacity.hpp"
+#include "serve/fault_schedule.hpp"
+#include "serve/scrub.hpp"
+#include "serve/server.hpp"
+#include "serve/tenant.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Fleet-wide serving parameters (per-tenant ones live in
+ *  TenantConfig). */
+struct FleetConfig
+{
+    /** Instance slots. Static mode keeps all of them Up; elastic mode
+     *  moves the Up set within [capacity.minInstances, instances]. */
+    std::size_t instances = 2;
+
+    /** Request coalescing knobs shared by every tenant's dispatches
+     *  (enable it: single-request dispatches waste the fixed cost the
+     *  batch-size-aware model exists to amortize). */
+    BatchConfig batching;
+
+    /** Deficit-round-robin quantum (samples per unit weight per
+     *  round) of the shared queue. */
+    double quantumSamples = 8.0;
+
+    bool admission = true; //!< shed projected deadline misses
+
+    std::size_t maxRetries = 2;
+    double backoffBaseMs = 1.0;
+    double backoffCapMs = 8.0;
+
+    CapacityConfig capacity;           //!< elastic knobs
+    RecalibrationConfig recalibration; //!< per-tenant refits
+    ScrubConfig scrub;                 //!< per-store background scrub
+
+    std::uint64_t seed = 42; //!< model-weight seed
+
+    /** @throws std::invalid_argument on zero instances, a backoff cap
+     *          below the base, a non-positive quantum, or any nested
+     *          config failing its own validate(). */
+    void validate() const;
+};
+
+/** One tenant's request stream for a fleet session. */
+struct TenantWorkload
+{
+    core::Tensor dense; //!< dense features (tenant's denseDim cols)
+
+    /** Sparse inputs; request r uses batches[r % batches.size()]. */
+    std::vector<core::SparseBatch> batches;
+
+    /** Ascending arrival timestamps (ms), e.g. from DiurnalLoadGen. */
+    std::vector<double> arrivalsMs;
+};
+
+/** Outcome of one fleet session. */
+struct FleetStats
+{
+    ServeStats total; //!< aggregate over all tenants
+
+    std::vector<TenantStats> perTenant;
+
+    std::size_t compliant = 0;    //!< served within the owner's SLA
+    std::size_t budgetShed = 0;   //!< admission-budget sheds
+    std::size_t deadlineShed = 0; //!< projected-deadline sheds
+    /** Queued requests abandoned because every instance was down for
+     *  good (counted in total.failed). */
+    std::size_t lifecycleShed = 0;
+
+    /// @name Elastic capacity
+    /// @{
+    std::size_t scaleUps = 0;   //!< instances brought (back) up
+    std::size_t scaleDowns = 0; //!< drains started by the controller
+    std::size_t crashes = 0;    //!< scripted chaos crashes
+    std::size_t restarts = 0;   //!< completed warm restarts
+
+    /** Integral of Up-instance count over the session (instance-ms) —
+     *  the provisioning cost an elastic fleet is judged by. A static
+     *  N-instance fleet scores N * makespan. */
+    double instanceMsUp = 0.0;
+
+    double peakForecastLoad = 0.0; //!< max windowed forecast seen
+    /// @}
+
+    /// @name Recalibration
+    /// @{
+    std::size_t recalibrations = 0; //!< refits across all tenants
+
+    /** Per-tenant final estimate error vs the observation window
+     *  (ServiceModelRecalibrator::meanRelativeError). */
+    std::vector<double> estimateError;
+
+    /** Per-tenant staleness flag at session end. */
+    std::vector<char> estimateStale;
+    /// @}
+
+    /// @name Scrubbing (summed over per-tenant stores)
+    /// @{
+    std::uint64_t blocksScrubbed = 0;
+    std::uint64_t scrubCorruptions = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t scrubSweeps = 0;
+    /// @}
+
+    double makespanMs = 0.0;
+
+    /** arrived == served + shed + failed, in aggregate and for every
+     *  tenant. */
+    bool conserved() const;
+
+    /** One-line fleet summary. */
+    std::string summary() const;
+};
+
+/**
+ * Multi-tenant fleet over instance slots from Topology::partition().
+ * Each slot hosts one Server (execution engine: private core pool,
+ * persistent batched-forward workspace) per tenant over that tenant's
+ * own EmbeddingStore; the fleet drives lifecycle, fair queueing,
+ * capacity and recalibration from a single cluster-level event loop.
+ */
+class TenantFleet
+{
+  public:
+    /**
+     * Builds instances x tenants Servers. Embedding bytes are paid
+     * once per tenant (stores are shared across that tenant's
+     * replicas).
+     *
+     * @throws std::invalid_argument on an empty registry, a config
+     *         failing validate(), more min instances than slots, or
+     *         via Server/DlrmModel validation.
+     */
+    TenantFleet(const TenantRegistry& reg, const sched::Topology& topo,
+                const FleetConfig& cfg);
+
+    std::size_t numTenants() const { return _reg.size(); }
+    std::size_t numInstances() const { return _servers.size(); }
+    std::size_t coresPerInstance() const { return _coresPerInstance; }
+
+    const TenantRegistry& registry() const { return _reg; }
+
+    /** Tenant @p k's shared table storage. */
+    const core::EmbeddingStore& store(std::size_t k) const
+    {
+        return *_stores[k];
+    }
+
+    /**
+     * Serves one session over per-tenant request streams (one
+     * workload per registered tenant, same order). An optional
+     * FaultSchedule overlays chaos: instance crash/recover events,
+     * stored-row bit flips, and per-instance fault-injection phases.
+     *
+     * @throws std::invalid_argument when the workload count mismatches
+     *         the registry, a tenant with arrivals has no batches, or
+     *         the schedule fails validate(numInstances()).
+     */
+    FleetStats serve(const std::vector<TenantWorkload>& work,
+                     const core::PrefetchSpec& pf =
+                         core::PrefetchSpec::paperDefault(),
+                     const FaultSchedule *schedule = nullptr);
+
+  private:
+    TenantRegistry _reg;
+    FleetConfig _cfg;
+    std::size_t _coresPerInstance = 0;
+    std::vector<std::shared_ptr<core::EmbeddingStore>> _stores;
+    /** [instance][tenant] replica views / execution engines. */
+    std::vector<std::vector<std::unique_ptr<core::DlrmModel>>> _models;
+    std::vector<std::vector<std::unique_ptr<Server>>> _servers;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_FLEET_HPP

@@ -40,4 +40,90 @@ PoissonLoadGen::arrivals(std::size_t n) const
     return out;
 }
 
+DiurnalLoadGen::DiurnalLoadGen(double mean_interarrival_ms,
+                               double amplitude, double period_ms,
+                               double phase, std::uint64_t seed)
+    : _baseRate(1.0 / mean_interarrival_ms), _amplitude(amplitude),
+      _periodMs(period_ms), _phase(phase), _seed(seed)
+{
+    if (!(mean_interarrival_ms > 0.0) ||
+        !std::isfinite(mean_interarrival_ms)) {
+        throw std::invalid_argument(
+            "DiurnalLoadGen: mean inter-arrival must be a positive "
+            "finite number of milliseconds");
+    }
+    if (!(amplitude >= 0.0) || !(amplitude < 1.0)) {
+        throw std::invalid_argument(
+            "DiurnalLoadGen: amplitude must lie in [0, 1)");
+    }
+    if (!(period_ms > 0.0) || !std::isfinite(period_ms)) {
+        throw std::invalid_argument(
+            "DiurnalLoadGen: period must be positive and finite");
+    }
+    if (!std::isfinite(phase)) {
+        throw std::invalid_argument(
+            "DiurnalLoadGen: phase must be finite");
+    }
+}
+
+double
+DiurnalLoadGen::rateAt(double t_ms) const
+{
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return _baseRate *
+           (1.0 + _amplitude *
+                      std::sin(two_pi * (t_ms / _periodMs + _phase)));
+}
+
+std::vector<double>
+DiurnalLoadGen::arrivals(std::size_t n) const
+{
+    // Thinning: homogeneous candidates at the peak rate, each
+    // accepted with probability rate(t)/peakRate. Two independent
+    // counter-based draws per candidate keep the stream a pure
+    // function of (params, seed).
+    std::vector<double> out;
+    out.reserve(n);
+    const double peak = _baseRate * (1.0 + _amplitude);
+    double t = 0.0;
+    std::uint64_t i = 0;
+    while (out.size() < n) {
+        const double u1 = std::max(
+            toUnitInterval(
+                mix64(_seed ^ (i * 0x9e3779b97f4a7c15ull + 1))),
+            1e-12);
+        t += -std::log(u1) / peak;
+        const double u2 = toUnitInterval(
+            mix64(_seed ^ (i * 0x9e3779b97f4a7c15ull + 2)));
+        ++i;
+        if (u2 * peak <= rateAt(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<double>
+DiurnalLoadGen::arrivalsUntil(double horizon_ms) const
+{
+    std::vector<double> out;
+    const double peak = _baseRate * (1.0 + _amplitude);
+    double t = 0.0;
+    std::uint64_t i = 0;
+    for (;;) {
+        const double u1 = std::max(
+            toUnitInterval(
+                mix64(_seed ^ (i * 0x9e3779b97f4a7c15ull + 1))),
+            1e-12);
+        t += -std::log(u1) / peak;
+        if (t >= horizon_ms)
+            break;
+        const double u2 = toUnitInterval(
+            mix64(_seed ^ (i * 0x9e3779b97f4a7c15ull + 2)));
+        ++i;
+        if (u2 * peak <= rateAt(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
 } // namespace dlrmopt::serve

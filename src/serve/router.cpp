@@ -84,7 +84,7 @@ parseRoutePolicy(const std::string& name)
 std::string
 RouterStats::summary() const
 {
-    char buf[448];
+    char buf[560];
     const double pct = total.served
         ? 100.0 * static_cast<double>(compliant) /
             static_cast<double>(total.served)
@@ -101,12 +101,24 @@ RouterStats::summary() const
     if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
         (breakerTrips || hedges || crashes || restarts ||
          corruptionsDetected || integrityDegraded)) {
-        std::snprintf(
+        const int more = std::snprintf(
             buf + len, sizeof(buf) - static_cast<std::size_t>(len),
             " | trips %zu hedges %zu crashes %zu restarts %zu "
             "corrupt %zu repaired %zu degraded %zu",
             breakerTrips, hedges, crashes, restarts,
             corruptionsDetected, blocksRepaired, integrityDegraded);
+        if (more > 0)
+            len += more;
+    }
+    if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
+        blocksScrubbed) {
+        std::snprintf(
+            buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+            " | scrubbed %llu found %llu repaired %llu sweeps %llu",
+            static_cast<unsigned long long>(blocksScrubbed),
+            static_cast<unsigned long long>(scrubCorruptions),
+            static_cast<unsigned long long>(scrubRepairs),
+            static_cast<unsigned long long>(scrubSweeps));
     }
     return buf;
 }
@@ -151,6 +163,25 @@ Router::build(const core::ModelConfig& model_cfg,
     if (!(cfg.probationMs >= 0.0) || !std::isfinite(cfg.probationMs)) {
         throw std::invalid_argument(
             "Router: probationMs must be finite and >= 0");
+    }
+    if (!(cfg.halfOpenPenaltyMs >= 0.0) ||
+        !std::isfinite(cfg.halfOpenPenaltyMs) ||
+        !(cfg.tripRecencyPenaltyMs >= 0.0) ||
+        !std::isfinite(cfg.tripRecencyPenaltyMs) ||
+        !(cfg.tripRecencyWindowMs > 0.0) ||
+        !std::isfinite(cfg.tripRecencyWindowMs)) {
+        throw std::invalid_argument(
+            "Router: breaker score penalties must be finite and >= 0 "
+            "with a positive recency window");
+    }
+    if (cfg.scrub.enabled) {
+        cfg.scrub.validate();
+        if (cfg.scrub.repair && !_mutableStore) {
+            throw std::invalid_argument(
+                "Router: ScrubConfig::repair needs a mutable store "
+                "handle (use the mutable-store constructor or disable "
+                "repair)");
+        }
     }
     for (const FaultInjector *f : _faults) {
         if (f && f->config().bitFlipRate > 0.0 && !_mutableStore) {
@@ -234,6 +265,20 @@ Router::serve(const core::Tensor& dense,
         total_cores += _servers[i]->numCores();
     }
 
+    // Background checksum scrubbing: deterministic round-robin sweep
+    // on the virtual clock, interleaved with scripted bit flips in
+    // exact time order below.
+    std::unique_ptr<EmbeddingScrubber> scrubber;
+    if (_cfg.scrub.enabled) {
+        if (_mutableStore) {
+            scrubber = std::make_unique<EmbeddingScrubber>(
+                _mutableStore, _cfg.scrub);
+        } else {
+            scrubber = std::make_unique<EmbeddingScrubber>(
+                _store, _cfg.scrub);
+        }
+    }
+
     // ---- Lifecycle machinery ------------------------------------
     //
     // Scripted events apply lazily: the event loop pops attempts in
@@ -277,8 +322,11 @@ Router::serve(const core::Tensor& dense,
 
     const auto applyEventsUpTo = [&](double now) {
         tickLifecycle(now);
-        if (!schedule)
+        if (!schedule) {
+            if (scrubber)
+                scrubber->advanceTo(now);
             return;
+        }
         const auto& lc = schedule->lifecycleEvents();
         while (lc_cursor < lc.size() && lc[lc_cursor].atMs <= now) {
             const LifecycleEvent& e = lc[lc_cursor++];
@@ -287,6 +335,14 @@ Router::serve(const core::Tensor& dense,
             if (e.kind == LifecycleEvent::Kind::Crash) {
                 if (srv.lifecycleState() == InstanceState::Up) {
                     srv.beginDrain();
+                    // Partial drain: keep a residual core group open
+                    // for this instance's pinned retries instead of
+                    // orphaning them all at once.
+                    if (_cfg.partialDrainCores > 0) {
+                        srv.setActiveCores(
+                            std::min(_cfg.partialDrainCores,
+                                     srv.numCores()));
+                    }
                     drain_ready[e.instance] =
                         std::max(maxFreeAt(e.instance), e.atMs);
                     down_since[e.instance] = e.atMs;
@@ -316,8 +372,14 @@ Router::serve(const core::Tensor& dense,
         while (flip_cursor < flips.size() &&
                flips[flip_cursor].atMs <= now) {
             const BitFlipEvent& e = flips[flip_cursor++];
+            // Scrub ticks scheduled before this flip run first, so a
+            // sweep never "repairs" corruption from its own future.
+            if (scrubber)
+                scrubber->advanceTo(e.atMs);
             _mutableStore->flipBit(e.table, e.row, e.bit);
         }
+        if (scrubber)
+            scrubber->advanceTo(now);
     };
 
     /** The injector governing instance @p i at @p now: an active
@@ -340,10 +402,15 @@ Router::serve(const core::Tensor& dense,
         return true;
     };
 
-    // Earliest-free core of an instance (lowest index on ties).
+    // Earliest-free core of an instance (lowest index on ties),
+    // restricted to the active core group during a partial drain.
     const auto earliestCore = [&](std::size_t i) -> std::size_t {
+        const std::size_t active = _servers[i]->activeCores();
+        const std::size_t limit =
+            active > 0 ? std::min(active, free_at[i].size())
+                       : free_at[i].size();
         std::size_t core = 0;
-        for (std::size_t c = 1; c < free_at[i].size(); ++c) {
+        for (std::size_t c = 1; c < limit; ++c) {
             if (free_at[i][c] < free_at[i][core])
                 core = c;
         }
@@ -379,9 +446,25 @@ Router::serve(const core::Tensor& dense,
     // whose effective service rates differ.
     const auto healthScore = [&](std::size_t i, double ready,
                                  std::size_t samples) {
-        const double penalty =
+        double penalty =
             _cfg.failurePenaltyMs *
             static_cast<double>(_servers[i]->totalFailed() + sheds[i]);
+        // Breaker-aware scoring: admits() is a binary gate, but the
+        // score should also *bias* away from an instance on breaker
+        // probation (half-open) or one whose breaker tripped moments
+        // ago — recent proof of sickness outlasts the reclosing.
+        if (use_breakers) {
+            if (breakers[i].state(ready) ==
+                CircuitBreaker::State::HalfOpen)
+                penalty += _cfg.halfOpenPenaltyMs;
+            const double trip = breakers[i].lastTripMs();
+            if (trip >= 0.0 &&
+                ready - trip < _cfg.tripRecencyWindowMs) {
+                penalty += _cfg.tripRecencyPenaltyMs *
+                           (1.0 - (ready - trip) /
+                                      _cfg.tripRecencyWindowMs);
+            }
+        }
         return projectedWait(i, ready) +
                serviceOn(i, earliestCore(i), samples, ready) +
                wins[i].p95() + penalty;
@@ -519,11 +602,17 @@ Router::serve(const core::Tensor& dense,
 
         // Resolve the instance. A retry pinned to an instance that
         // has since left rotation (crashed or draining) is re-bound
-        // by the routing policy — the request outlives its instance.
+        // by the routing policy — the request outlives its instance —
+        // unless the instance is partially draining, in which case
+        // its residual core group keeps serving pinned work.
         std::size_t inst;
+        bool partial_drain = false;
         if (a.instance >= 0) {
             inst = static_cast<std::size_t>(a.instance);
-            if (_servers[inst]->lifecycleState() != InstanceState::Up) {
+            const InstanceState st = _servers[inst]->lifecycleState();
+            partial_drain = st == InstanceState::Draining &&
+                            _servers[inst]->activeCores() > 0;
+            if (st != InstanceState::Up && !partial_drain) {
                 a.exclude = a.instance;
                 a.instance = -1;
             }
@@ -669,6 +758,10 @@ Router::serve(const core::Tensor& dense,
         free_at[inst][core] = end;
         busy[inst] += service;
         makespan = std::max(makespan, end);
+        // A partial drain stays open while pinned work is still
+        // landing on the residual cores.
+        if (_servers[inst]->lifecycleState() == InstanceState::Draining)
+            drain_ready[inst] = std::max(drain_ready[inst], end);
 
         if (use_breakers && breakers[inst].record(ok, end))
             ++rs.breakerTrips;
@@ -676,6 +769,8 @@ Router::serve(const core::Tensor& dense,
         if (ok) {
             ++rs.total.served;
             ++pis.served;
+            if (partial_drain)
+                ++rs.partialDrainServed;
             const double latency = end - a.arrivalMs;
             rs.total.latency.add(latency);
             pis.latency.add(latency);
@@ -689,6 +784,14 @@ Router::serve(const core::Tensor& dense,
                 _cfg.server.backoffBaseMs *
                     static_cast<double>(1ull << a.tries),
                 _cfg.server.backoffCapMs);
+            // Keep a partially-draining instance open long enough for
+            // the retry it is about to receive.
+            if (_servers[inst]->lifecycleState() ==
+                    InstanceState::Draining &&
+                _servers[inst]->activeCores() > 0) {
+                drain_ready[inst] =
+                    std::max(drain_ready[inst], end + backoff);
+            }
             events.push(RAttempt{end + backoff, seq++, a.req,
                                  a.tries + 1, a.failovers,
                                  static_cast<int>(inst), a.exclude,
@@ -711,6 +814,12 @@ Router::serve(const core::Tensor& dense,
     // observe; instances still out of rotation stay unavailable
     // through the end.
     applyEventsUpTo(makespan);
+    if (scrubber) {
+        rs.blocksScrubbed = scrubber->blocksScrubbed();
+        rs.scrubCorruptions = scrubber->corruptionsFound();
+        rs.scrubRepairs = scrubber->blocksRepaired();
+        rs.scrubSweeps = scrubber->sweepsCompleted();
+    }
     rs.makespanMs = makespan;
     if (makespan > 0.0) {
         double busy_total = 0.0;

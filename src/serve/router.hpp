@@ -72,6 +72,7 @@
 #include "sched/topology.hpp"
 #include "serve/breaker.hpp"
 #include "serve/fault_schedule.hpp"
+#include "serve/scrub.hpp"
 #include "serve/server.hpp"
 
 namespace dlrmopt::serve
@@ -129,6 +130,31 @@ struct RouterConfig
     /** Per-instance circuit breakers (disabled by default). */
     BreakerConfig breaker;
 
+    /** Health-score penalty (virtual ms) while an instance's breaker
+     *  sits half-open: a probation instance should win routing only
+     *  when the healthy ones are meaningfully worse, not split
+     *  traffic evenly the moment its cooldown expires. Applied only
+     *  when breakers are enabled. */
+    double halfOpenPenaltyMs = 5.0;
+
+    /** Peak health-score penalty (virtual ms) right after a breaker
+     *  trip, decaying linearly to zero over tripRecencyWindowMs — a
+     *  just-reclosed breaker says the instance was proven sick
+     *  moments ago, and the score should remember that even though
+     *  admits() no longer objects. Applied only when breakers are
+     *  enabled. */
+    double tripRecencyPenaltyMs = 10.0;
+
+    /** Decay horizon (virtual ms) of the trip-recency penalty. */
+    double tripRecencyWindowMs = 50.0;
+
+    /** Partial drain: a crashed (Draining) instance keeps this many
+     *  cores serving its *pinned retries* until the drain completes,
+     *  instead of re-routing every in-flight request the moment the
+     *  crash is announced (0 = legacy all-or-nothing drain). Fresh
+     *  requests still avoid a Draining instance. */
+    std::size_t partialDrainCores = 0;
+
     /** Redirect a request to the next-best available instance when
      *  its routed instance's projected completion busts the SLA. */
     bool hedging = false;
@@ -139,6 +165,12 @@ struct RouterConfig
 
     /** Embedding-integrity verification/quarantine. */
     IntegrityConfig integrity;
+
+    /** Background checksum scrubbing over the shared store: a
+     *  round-robin block sweep on a periodic virtual-clock tick,
+     *  bounding the detection latency of silent bit flips by one
+     *  sweep period instead of by request luck (serve/scrub.hpp). */
+    ScrubConfig scrub;
 
     /** Record a per-request prediction fingerprint for every served
      *  request (RouterStats::predFingerprints), letting tests assert
@@ -183,6 +215,23 @@ struct RouterStats
     /** Requests degraded (failed without serving) because their
      *  lookups touched a corrupt block and repair was off. */
     std::size_t integrityDegraded = 0;
+
+    /** Blocks verified by the background scrubber. */
+    std::uint64_t blocksScrubbed = 0;
+
+    /** Corrupt blocks the scrubber found (before any request did). */
+    std::uint64_t scrubCorruptions = 0;
+
+    /** Corrupt blocks the scrubber repaired in place. */
+    std::uint64_t scrubRepairs = 0;
+
+    /** Full sweeps over every (table, block) pair the scrubber
+     *  completed within the session. */
+    std::uint64_t scrubSweeps = 0;
+
+    /** Pinned retries served on a Draining instance's residual core
+     *  group (partial drain) instead of being re-routed. */
+    std::size_t partialDrainServed = 0;
 
     /** Fresh requests shed because no instance was available
      *  (subset of total.shed). */

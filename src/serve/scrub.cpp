@@ -1,0 +1,99 @@
+#include "serve/scrub.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlrmopt::serve
+{
+
+void
+ScrubConfig::validate() const
+{
+    if (!(intervalMs > 0.0) || !std::isfinite(intervalMs)) {
+        throw std::invalid_argument(
+            "ScrubConfig: intervalMs must be positive and finite");
+    }
+    if (blocksPerTick == 0) {
+        throw std::invalid_argument(
+            "ScrubConfig: blocksPerTick must be >= 1");
+    }
+}
+
+EmbeddingScrubber::EmbeddingScrubber(
+    std::shared_ptr<const core::EmbeddingStore> store,
+    const ScrubConfig& cfg)
+    : _cfg(cfg), _store(std::move(store)),
+      _nextTickMs(cfg.intervalMs)
+{
+    _cfg.validate();
+    if (!_store) {
+        throw std::invalid_argument(
+            "EmbeddingScrubber: store must not be null");
+    }
+    if (_cfg.repair) {
+        throw std::invalid_argument(
+            "EmbeddingScrubber: repair requires a mutable store "
+            "handle");
+    }
+    _totalBlocks = _store->numTables() * _store->numBlocks();
+}
+
+EmbeddingScrubber::EmbeddingScrubber(
+    std::shared_ptr<core::EmbeddingStore> store,
+    const ScrubConfig& cfg)
+    : _cfg(cfg), _store(store), _mutableStore(std::move(store)),
+      _nextTickMs(cfg.intervalMs)
+{
+    _cfg.validate();
+    if (!_store) {
+        throw std::invalid_argument(
+            "EmbeddingScrubber: store must not be null");
+    }
+    _totalBlocks = _store->numTables() * _store->numBlocks();
+}
+
+std::size_t
+EmbeddingScrubber::advanceTo(double now_ms)
+{
+    if (!_cfg.enabled || _totalBlocks == 0)
+        return 0;
+    std::size_t scrubbed = 0;
+    while (now_ms >= _nextTickMs) {
+        for (std::size_t i = 0; i < _cfg.blocksPerTick; ++i)
+            scrubOne();
+        scrubbed += _cfg.blocksPerTick;
+        _nextTickMs += _cfg.intervalMs;
+    }
+    return scrubbed;
+}
+
+void
+EmbeddingScrubber::scrubOne()
+{
+    const std::size_t per_table = _store->numBlocks();
+    const std::size_t t = _cursor / per_table;
+    const std::size_t b = _cursor % per_table;
+    ++_blocksScrubbed;
+    if (!_store->verifyBlock(t, b)) {
+        ++_corruptions;
+        if (_cfg.repair && _mutableStore) {
+            _mutableStore->repairBlock(t, b);
+            ++_repaired;
+        }
+    }
+    if (++_cursor == _totalBlocks) {
+        _cursor = 0;
+        ++_sweeps;
+    }
+}
+
+double
+EmbeddingScrubber::sweepProgress() const
+{
+    return _totalBlocks == 0
+               ? 0.0
+               : static_cast<double>(_cursor) /
+                     static_cast<double>(_totalBlocks);
+}
+
+} // namespace dlrmopt::serve

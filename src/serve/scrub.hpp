@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Background checksum scrubbing over the shared EmbeddingStore.
+ *
+ * The on-demand integrity path (Router's IntegrityConfig) verifies
+ * only the blocks a request's lookups touch, so a bit flip in a cold
+ * block sits undetected until an unlucky request lands on it — by
+ * which time a long-tail of requests may already have raced past it.
+ * An EmbeddingScrubber closes that gap the way production memory
+ * scrubbers do: on a periodic idle tick of the virtual clock it
+ * verifies the next few blocks of a round-robin sweep over every
+ * (table, block) pair, repairing (regenerating the as-built bytes)
+ * what it finds. Detection latency for *any* flipped bit is bounded
+ * by one sweep period instead of by request luck.
+ *
+ * Like every resilience component here, the scrubber is deterministic
+ * on the virtual clock: scrub ticks land at scripted times, the sweep
+ * order is fixed, and the coverage counters are bit-reproducible.
+ */
+
+#ifndef DLRMOPT_SERVE_SCRUB_HPP
+#define DLRMOPT_SERVE_SCRUB_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/embedding_store.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Background-scrub knobs. */
+struct ScrubConfig
+{
+    bool enabled = false;
+
+    /** Virtual ms between scrub ticks. */
+    double intervalMs = 10.0;
+
+    /** Blocks verified per tick. With numBlocks() * numTables() total
+     *  blocks, one full sweep takes ceil(total / blocksPerTick) ticks
+     *  — the worst-case detection latency for a silent flip. */
+    std::size_t blocksPerTick = 4;
+
+    /** Regenerate a corrupt block's as-built bytes on detection;
+     *  false only counts (verify-only scrub over a const store). */
+    bool repair = true;
+
+    /** @throws std::invalid_argument on a non-positive interval or
+     *          zero blocksPerTick. */
+    void validate() const;
+};
+
+/**
+ * Round-robin block scrubber over one EmbeddingStore.
+ */
+class EmbeddingScrubber
+{
+  public:
+    /**
+     * Verify-only scrubber: detects and counts, never repairs.
+     *
+     * @throws std::invalid_argument when cfg fails validate(), the
+     *         store is null, or cfg.repair is set (a const store
+     *         cannot be repaired).
+     */
+    EmbeddingScrubber(std::shared_ptr<const core::EmbeddingStore> store,
+                      const ScrubConfig& cfg);
+
+    /**
+     * Repairing scrubber over a mutable store handle.
+     *
+     * @throws std::invalid_argument when cfg fails validate() or the
+     *         store is null.
+     */
+    EmbeddingScrubber(std::shared_ptr<core::EmbeddingStore> store,
+                      const ScrubConfig& cfg);
+
+    /**
+     * Advances the scrubber to @p now_ms, running every tick whose
+     * scheduled time has passed (ticks are never skipped: a long gap
+     * between calls runs the backlog, keeping coverage independent of
+     * caller cadence). Returns the number of blocks verified by this
+     * call. No-op when disabled.
+     */
+    std::size_t advanceTo(double now_ms);
+
+    /// @name Coverage counters
+    /// @{
+
+    std::uint64_t blocksScrubbed() const { return _blocksScrubbed; }
+    std::uint64_t corruptionsFound() const { return _corruptions; }
+    std::uint64_t blocksRepaired() const { return _repaired; }
+
+    /** Completed full sweeps over every (table, block) pair. */
+    std::uint64_t sweepsCompleted() const { return _sweeps; }
+
+    /** Fraction of the current sweep already verified, in [0, 1). */
+    double sweepProgress() const;
+
+    /// @}
+
+    /** Total (table, block) pairs in one sweep. */
+    std::size_t blocksPerSweep() const { return _totalBlocks; }
+
+  private:
+    void scrubOne();
+
+    ScrubConfig _cfg;
+    std::shared_ptr<const core::EmbeddingStore> _store;
+    std::shared_ptr<core::EmbeddingStore> _mutableStore; //!< aliases
+    std::size_t _totalBlocks;
+    std::size_t _cursor = 0;   //!< next block index in the sweep
+    double _nextTickMs;
+    std::uint64_t _blocksScrubbed = 0;
+    std::uint64_t _corruptions = 0;
+    std::uint64_t _repaired = 0;
+    std::uint64_t _sweeps = 0;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_SCRUB_HPP

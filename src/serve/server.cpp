@@ -95,6 +95,19 @@ Server::Server(const core::DlrmModel& model,
     // FaultConfig knob validate() alone cannot.
     if (fault)
         fault->config().validate(_pool.numCores());
+    _activeCores = _pool.numCores();
+}
+
+void
+Server::setActiveCores(std::size_t n)
+{
+    if (n > _pool.numCores()) {
+        throw std::invalid_argument(
+            "Server::setActiveCores: " + std::to_string(n) +
+            " exceeds the instance's " +
+            std::to_string(_pool.numCores()) + " cores");
+    }
+    _activeCores = n;
 }
 
 void
@@ -106,6 +119,22 @@ Server::beginDrain()
             instanceStateName(_lifecycle) + ", expected Up");
     }
     _lifecycle = InstanceState::Draining;
+    // All-or-nothing by default: no new work while draining. A
+    // partial drain re-opens a smaller core group via
+    // setActiveCores() right after.
+    _activeCores = 0;
+}
+
+void
+Server::cancelDrain()
+{
+    if (_lifecycle != InstanceState::Draining) {
+        throw std::logic_error(
+            std::string("Server::cancelDrain: instance is ") +
+            instanceStateName(_lifecycle) + ", expected Draining");
+    }
+    _lifecycle = InstanceState::Up;
+    _activeCores = _pool.numCores();
 }
 
 void
@@ -117,6 +146,7 @@ Server::markDown()
             instanceStateName(_lifecycle) + ", expected Draining");
     }
     _lifecycle = InstanceState::Down;
+    _activeCores = 0;
 }
 
 void
@@ -139,6 +169,7 @@ Server::completeWarmRestart()
             instanceStateName(_lifecycle) + ", expected WarmRestart");
     }
     _lifecycle = InstanceState::Up;
+    _activeCores = _pool.numCores();
     ++_restarts;
 }
 
@@ -367,6 +398,22 @@ Server::executeBatchedAttempt(
     using Clock = std::chrono::steady_clock;
     const core::PrefetchSpec eff_pf =
         tier.prefetchEnabled ? pf : core::PrefetchSpec{};
+
+    // Grow the persistent workspace when this group exceeds its
+    // current capacity (direct fleet callers skip serveBatched's
+    // upfront sizing); steady-state dispatches stay allocation-free.
+    std::size_t total = 0;
+    std::size_t max_lookups = 1;
+    for (const core::SparseBatch *p : parts) {
+        total += p->batchSize;
+        for (const auto& v : p->indices) {
+            max_lookups = std::max<std::size_t>(
+                max_lookups,
+                (v.size() + p->batchSize - 1) / p->batchSize);
+        }
+    }
+    if (_batchWs.maxBatch() < total)
+        _batchWs.reserve(_model, total, max_lookups);
 
     // Coalesce on the serving thread (pure data movement into the
     // persistent workspace), run the fused forward on the pool.

@@ -158,6 +158,23 @@ class Server
 
     std::size_t numCores() const { return _pool.numCores(); }
 
+    /**
+     * Cores currently accepting *new* dispatches: numCores() when
+     * fully up, fewer during a partial drain (cores [0, activeCores)
+     * serve residual traffic while the rest wind down), 0 while fully
+     * draining. In-flight work on a deactivated core still finishes.
+     */
+    std::size_t activeCores() const { return _activeCores; }
+
+    /**
+     * Shrinks (or restores) the active core group. The caller — the
+     * Router's partial-drain path or the fleet's elastic scale-down —
+     * drives this; the Server just bounds it.
+     *
+     * @throws std::invalid_argument when @p n exceeds numCores().
+     */
+    void setActiveCores(std::size_t n);
+
     const ServerConfig& config() const { return _cfg; }
 
     /// @name Instance lifecycle
@@ -177,7 +194,17 @@ class Server
     void beginDrain();
 
     /**
-     * Draining -> Down: the last in-flight work has drained.
+     * Draining -> Up: the drain was called off (elastic capacity
+     * wants the instance back before it ever went Down). Restores the
+     * full active core group.
+     *
+     * @throws std::logic_error unless currently Draining.
+     */
+    void cancelDrain();
+
+    /**
+     * Draining -> Down: the last in-flight work has drained. Clears
+     * the active core group.
      *
      * @throws std::logic_error unless currently Draining.
      */
@@ -234,6 +261,26 @@ class Server
                           const FaultInjector *fault,
                           std::uint64_t *pred_fp);
 
+    /**
+     * Runs one coalesced dispatch on @p core through the persistent
+     * ForwardWorkspace and returns the measured kernel wall ms; the
+     * workspace grows on demand when the group exceeds its current
+     * capacity. Throws whatever the pool task threw. serveBatched
+     * drives this internally; the multi-tenant fleet calls it
+     * directly from its own cluster-level event loop.
+     */
+    double executeBatchedAttempt(
+        std::size_t core,
+        const std::vector<const core::SparseBatch *>& parts,
+        const std::vector<const core::Tensor *>& dense_parts,
+        const DegradeState& tier, const core::PrefetchSpec& pf);
+
+    /** Predictions of the last executeBatchedAttempt dispatch. */
+    const core::Tensor& lastPredictions() const
+    {
+        return _batchWs.predictions();
+    }
+
   private:
     /**
      * Event loop used when cfg.batching.enabled: a BatchQueue
@@ -248,20 +295,13 @@ class Server
                             const std::vector<double>& arrivals_ms,
                             const core::PrefetchSpec& pf);
 
-    /** Runs one coalesced dispatch on @p core; returns kernel wall
-     *  ms. Throws whatever the pool task threw. */
-    double executeBatchedAttempt(
-        std::size_t core,
-        const std::vector<const core::SparseBatch *>& parts,
-        const std::vector<const core::Tensor *>& dense_parts,
-        const DegradeState& tier, const core::PrefetchSpec& pf);
-
     const core::DlrmModel& _model;
     ServerConfig _cfg;
     const FaultInjector *_fault;
     sched::HtThreadPool _pool;
     InstanceState _lifecycle = InstanceState::Up;
     std::uint64_t _restarts = 0;
+    std::size_t _activeCores = 0; //!< set from numCores() at build
 
     /** Preallocated batched-forward scratch, sized on first batched
      *  session and reused for every dispatch thereafter. */

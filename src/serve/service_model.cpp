@@ -64,6 +64,44 @@ ServiceModel::validate() const
     }
 }
 
+ServiceTimeline::ServiceTimeline(const ServiceModel& constant_model)
+{
+    constant_model.validate();
+    _segments.push_back({0.0, constant_model});
+}
+
+ServiceTimeline::ServiceTimeline(std::vector<Segment> segments)
+    : _segments(std::move(segments))
+{
+    if (_segments.empty()) {
+        throw std::invalid_argument(
+            "ServiceTimeline: need at least one segment");
+    }
+    for (const Segment& s : _segments) {
+        if (!(s.startMs >= 0.0) || !std::isfinite(s.startMs)) {
+            throw std::invalid_argument(
+                "ServiceTimeline: startMs must be finite and >= 0");
+        }
+        s.model.validate();
+    }
+    std::stable_sort(_segments.begin(), _segments.end(),
+                     [](const Segment& a, const Segment& b) {
+                         return a.startMs < b.startMs;
+                     });
+    // Truth must exist from t=0: the first regime covers the gap.
+    _segments.front().startMs = 0.0;
+}
+
+const ServiceModel&
+ServiceTimeline::at(double now_ms) const
+{
+    std::size_t i = 0;
+    while (i + 1 < _segments.size() &&
+           _segments[i + 1].startMs <= now_ms)
+        ++i;
+    return _segments[i].model;
+}
+
 ServiceModel
 calibrateServiceModel(const core::DlrmModel& model,
                       const core::Tensor& dense,

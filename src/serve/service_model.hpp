@@ -65,6 +65,51 @@ struct ServiceModel
 };
 
 /**
+ * Piecewise-constant service-time truth over the virtual clock.
+ *
+ * A single ServiceModel describes a *stationary* service process.
+ * Real fleets drift: caches cool overnight, co-located batch jobs
+ * steal bandwidth at peak, a microcode update changes per-sample
+ * cost. A ServiceTimeline scripts that drift as dated segments —
+ * from each segment's startMs onward its model is the *actual*
+ * service time — so sessions exercising in-flight ServiceModel
+ * recalibration (serve/capacity.hpp) stay bit-reproducible: the
+ * controller's stale estimate diverges from this scripted truth, and
+ * the recalibrator closes the gap from observed dispatch times.
+ */
+class ServiceTimeline
+{
+  public:
+    /** A stationary timeline: one model forever (no drift). */
+    explicit ServiceTimeline(const ServiceModel& constant_model);
+
+    /**
+     * @param segments (startMs, model) pairs; sorted internally. The
+     *        earliest segment is clamped to start at 0.
+     *
+     * @throws std::invalid_argument on an empty list, a negative /
+     *         non-finite startMs, or a model failing validate().
+     */
+    struct Segment
+    {
+        double startMs = 0.0;
+        ServiceModel model;
+    };
+    explicit ServiceTimeline(std::vector<Segment> segments);
+
+    /** The model in force at virtual time @p now_ms. */
+    const ServiceModel& at(double now_ms) const;
+
+    /** True when more than one distinct regime is scripted. */
+    bool drifts() const { return _segments.size() > 1; }
+
+    std::size_t numSegments() const { return _segments.size(); }
+
+  private:
+    std::vector<Segment> _segments; //!< ascending startMs
+};
+
+/**
  * Calibrates a ServiceModel from real forwards: runs the model at
  * each probe batch size (@p batch truncated per probe), takes the
  * fastest of @p reps wall-clock repetitions per size, and fits.

@@ -1,0 +1,69 @@
+#include "serve/tenant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlrmopt::serve
+{
+
+void
+TenantConfig::validate() const
+{
+    if (name.empty()) {
+        throw std::invalid_argument(
+            "TenantConfig: tenant needs a name");
+    }
+    if (!(weight > 0.0) || !std::isfinite(weight)) {
+        throw std::invalid_argument(
+            "TenantConfig: weight must be positive and finite");
+    }
+    if (!(slaMs >= 0.0) || !std::isfinite(slaMs)) {
+        throw std::invalid_argument(
+            "TenantConfig: slaMs must be >= 0 and finite (0 = model "
+            "class default)");
+    }
+    service.validate();
+    if (model.tables == 0 || model.rows == 0 || model.dim == 0) {
+        throw std::invalid_argument(
+            "TenantConfig: model must describe at least one table "
+            "with rows and dim");
+    }
+}
+
+std::size_t
+TenantRegistry::add(TenantConfig cfg)
+{
+    cfg.validate();
+    for (const TenantConfig& t : _tenants) {
+        if (t.name == cfg.name) {
+            throw std::invalid_argument(
+                "TenantRegistry: duplicate tenant name '" + cfg.name +
+                "'");
+        }
+    }
+    _tenants.push_back(std::move(cfg));
+    return _tenants.size() - 1;
+}
+
+std::size_t
+TenantRegistry::idOf(const std::string& name) const
+{
+    for (std::size_t i = 0; i < _tenants.size(); ++i) {
+        if (_tenants[i].name == name)
+            return i;
+    }
+    throw std::out_of_range("TenantRegistry: unknown tenant '" + name +
+                            "'");
+}
+
+std::vector<double>
+TenantRegistry::weights() const
+{
+    std::vector<double> w;
+    w.reserve(_tenants.size());
+    for (const TenantConfig& t : _tenants)
+        w.push_back(t.weight);
+    return w;
+}
+
+} // namespace dlrmopt::serve

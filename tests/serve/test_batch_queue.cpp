@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -286,6 +287,175 @@ TEST(QueueSimBatchAware, BiggerRequestsTakeLongerAndShedMore)
     EXPECT_GT(big.shed, small.shed);
     EXPECT_THROW(simulateQueueShedding(arrivals, svc, {}, 1, 8.0),
                  std::invalid_argument);
+}
+
+PendingRequest
+treq(std::uint32_t tenant, double ready, std::uint64_t seq,
+     std::size_t samples = 1)
+{
+    PendingRequest r = req(ready, seq, samples);
+    r.tenant = tenant;
+    return r;
+}
+
+TEST(WfqConfig, ValidateRejectsBadKnobs)
+{
+    WfqConfig c;
+    c.weights = {1.0, 0.0};
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.weights = {1.0, 2.0};
+    c.quantumSamples = 0.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.weights = {1.0, 2.0};
+    c.validate();
+}
+
+TEST(WfqQueue, PushRejectsATenantWithoutAWeight)
+{
+    WfqConfig wfq;
+    wfq.weights = {1.0, 1.0};
+    BatchQueue q(BatchConfig{}, wfq);
+    q.push(treq(1, 0.0, 0));
+    EXPECT_THROW(q.push(treq(2, 0.0, 1)), std::invalid_argument);
+    EXPECT_EQ(q.queuedOf(1), 1u);
+    EXPECT_EQ(q.queuedOf(0), 0u);
+    EXPECT_EQ(q.queuedSamplesOf(1), 1u);
+}
+
+TEST(WfqQueue, GroupsNeverMixTenants)
+{
+    // Different tenants serve different models: a dispatch group must
+    // stay single-tenant even when both tenants' requests are ready.
+    WfqConfig wfq;
+    wfq.weights = {1.0, 1.0};
+    BatchConfig cfg;
+    BatchQueue q(cfg, wfq);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        q.push(treq(0, 0.0, i));
+        q.push(treq(1, 0.0, 100 + i));
+    }
+    const ServiceModel svc{0.5, 0.1};
+    std::vector<PendingRequest> out;
+    while (!q.empty()) {
+        q.nextBatch(10.0, 8, 100.0, svc, 1.0, out);
+        ASSERT_FALSE(out.empty());
+        for (const PendingRequest& r : out)
+            EXPECT_EQ(r.tenant, out.front().tenant);
+    }
+}
+
+TEST(WfqQueue, DeficitRoundRobinSharesBandwidthByWeight)
+{
+    // 8-sample requests against quantum 2: tenant 0 (weight 1)
+    // accrues 2 samples/round, tenant 1 (weight 3) accrues 6 — so
+    // under a persistent backlog their dispatch shares converge to
+    // exactly 1:3.
+    WfqConfig wfq;
+    wfq.weights = {1.0, 3.0};
+    wfq.quantumSamples = 2.0;
+    BatchConfig cfg;
+    cfg.maxRequests = 1; // one request per dispatch: count shares
+    BatchQueue q(cfg, wfq);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        q.push(treq(0, 0.0, i, 8));
+        q.push(treq(1, 0.0, 100 + i, 8));
+    }
+    const ServiceModel svc = ServiceModel::constant(0.1);
+    std::vector<PendingRequest> out;
+    std::size_t served[2] = {0, 0};
+    for (int d = 0; d < 32; ++d) {
+        q.nextBatch(0.0, 8, 1e6, svc, 1.0, out);
+        ASSERT_EQ(out.size(), 1u);
+        ++served[out.front().tenant];
+    }
+    EXPECT_EQ(served[0], 8u);
+    EXPECT_EQ(served[1], 24u);
+}
+
+TEST(WfqQueue, AnEmptiedTenantForfeitsItsDeficit)
+{
+    // Tenant 1 goes idle with banked deficit; the DRR rule zeroes it,
+    // so its next burst starts from scratch and tenant 0 (which kept
+    // a backlog) wins the next dispatch.
+    WfqConfig wfq;
+    wfq.weights = {1.0, 1.0};
+    wfq.quantumSamples = 2.0;
+    BatchConfig cfg;
+    cfg.maxRequests = 1;
+    BatchQueue q(cfg, wfq);
+    const ServiceModel svc = ServiceModel::constant(0.1);
+    std::vector<PendingRequest> out;
+
+    q.push(treq(1, 0.0, 0, 2)); // drains tenant 1 entirely
+    for (std::uint64_t i = 0; i < 8; ++i)
+        q.push(treq(0, 0.0, 10 + i, 8));
+    q.nextBatch(0.0, 8, 1e6, svc, 1.0, out);
+    ASSERT_EQ(out.front().tenant, 1u);
+
+    // Burst returns: with its credit forfeited, tenant 1's 8-sample
+    // head needs 4 fresh rounds of quantum, and tenant 0 (accruing in
+    // the same rounds with an equal weight) dispatches first.
+    q.push(treq(1, 0.0, 1, 8));
+    q.nextBatch(0.0, 8, 1e6, svc, 1.0, out);
+    EXPECT_EQ(out.front().tenant, 0u);
+}
+
+TEST(WfqQueue, PerTenantModelsPriceTheGroupDeadline)
+{
+    // Same queue shape for both tenants; tenant 1's model is 20x
+    // slower, so its follower would blow the group deadline and must
+    // be left behind, while tenant 0 coalesces.
+    WfqConfig wfq;
+    wfq.weights = {1.0, 1.0};
+    wfq.quantumSamples = 64.0;
+    BatchQueue q(BatchConfig{}, wfq);
+    q.push(treq(0, 0.0, 0, 4));
+    q.push(treq(0, 0.0, 1, 4));
+    q.push(treq(1, 0.0, 2, 4));
+    q.push(treq(1, 0.0, 3, 4));
+
+    const std::vector<ServiceModel> models = {
+        ServiceModel{0.1, 0.01}, // 8 samples: 0.18 ms
+        ServiceModel{2.0, 1.0},  // 8 samples: 10 ms > 8 ms SLA
+    };
+    std::vector<PendingRequest> out;
+    std::size_t group_of[2] = {0, 0};
+    while (!q.empty()) {
+        q.nextBatch(0.0, 8, 8.0, models, 1.0, out);
+        ASSERT_FALSE(out.empty());
+        group_of[out.front().tenant] =
+            std::max(group_of[out.front().tenant], out.size());
+    }
+    EXPECT_EQ(group_of[0], 2u);
+    EXPECT_EQ(group_of[1], 1u);
+
+    q.push(treq(0, 0.0, 9));
+    const std::vector<ServiceModel> too_few = {models[0]};
+    EXPECT_THROW(q.nextBatch(0.0, 8, 8.0, too_few, 1.0, out),
+                 std::invalid_argument);
+}
+
+TEST_F(BatchQueueTest, RequestSlaOverridesTheSessionSla)
+{
+    // A request carrying its own 1 ms SLA is infeasible under the
+    // 0.5 + 0.1n model even though the session-wide 100 ms SLA would
+    // admit it — it must dispatch solo for shedding.
+    BatchQueue q(cfg);
+    PendingRequest tight = req(0.0, 0);
+    tight.slaMs = 0.4;
+    q.push(tight);
+    q.push(req(0.0, 1));
+
+    q.nextBatch(0.0, 8, 100.0, svc, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.front().seq, 0u);
+
+    // Without the override the same shape coalesces under the
+    // session-wide SLA.
+    q.push(req(0.0, 2));
+    q.nextBatch(0.0, 8, 100.0, svc, 1.0, out);
+    EXPECT_EQ(out.size(), 2u);
 }
 
 } // namespace

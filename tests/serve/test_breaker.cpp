@@ -139,6 +139,26 @@ TEST(Breaker, ResetRestoresCleanClosedState)
     EXPECT_EQ(b.state(13.0), State::Closed);
 }
 
+TEST(Breaker, LastTripTimestampTracksTripsAndReset)
+{
+    CircuitBreaker b(smallConfig());
+    EXPECT_LT(b.lastTripMs(), 0.0); // never tripped
+    for (int i = 0; i < 4; ++i)
+        b.record(false, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(b.lastTripMs(), 3.0);
+
+    // A failed half-open probe re-trips at the probe's end time (the
+    // recency the router's health score penalizes).
+    ASSERT_EQ(b.state(20.0), State::HalfOpen);
+    b.beginProbe(20.0);
+    b.record(false, 21.0);
+    EXPECT_DOUBLE_EQ(b.lastTripMs(), 21.0);
+
+    // Warm restart wipes the history including the trip recency.
+    b.reset();
+    EXPECT_LT(b.lastTripMs(), 0.0);
+}
+
 TEST(Breaker, RollingWindowForgetsOldOutcomes)
 {
     // 8 successes fill the window; subsequent failures must displace

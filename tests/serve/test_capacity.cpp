@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for elastic capacity forecasting and in-session service-model
+ * recalibration: windowed load forecasting with immediate scale-up
+ * and lagged scale-down, ServiceModel::fit() convergence when the
+ * scripted service truth drifts mid-session, stale-model detection,
+ * and bit-for-bit reproduction of the legacy constant() behaviour
+ * when recalibration is disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/capacity.hpp"
+#include "serve/service_model.hpp"
+
+namespace
+{
+
+using namespace dlrmopt::serve;
+
+TEST(CapacityConfig, ValidateRejectsBadKnobs)
+{
+    CapacityConfig c;
+    c.minInstances = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.windowMs = 0.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.forecastDecay = 1.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.targetUtilization = 0.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.downLag = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.drainGraceMs = -1.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.validate();
+}
+
+TEST(CapacityController, RejectsImpossibleShapes)
+{
+    CapacityConfig c;
+    EXPECT_THROW(CapacityController(c, 0, 4), std::invalid_argument);
+    EXPECT_THROW(CapacityController(c, 2, 0), std::invalid_argument);
+    c.minInstances = 3;
+    EXPECT_THROW(CapacityController(c, 2, 4), std::invalid_argument);
+}
+
+TEST(CapacityController, StartsAtTheFloor)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    CapacityController ctrl(c, 8, 4);
+    EXPECT_EQ(ctrl.desiredInstances(0.0), 1u);
+    EXPECT_EQ(ctrl.windowsClosed(), 0u);
+}
+
+TEST(CapacityController, ScalesUpImmediatelyUnderLoad)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    c.windowMs = 10.0;
+    c.forecastDecay = 0.0; // forecast = last window, no smoothing
+    c.targetUtilization = 0.5;
+    CapacityController ctrl(c, 8, 4);
+
+    // 60 ms of service demand in a 10 ms window = 6 core-equivalents;
+    // at 4 cores x 0.5 target that needs ceil(6 / 2) = 3 instances.
+    for (int i = 0; i < 6; ++i)
+        ctrl.observeArrival(static_cast<double>(i), 10.0);
+    EXPECT_EQ(ctrl.desiredInstances(10.0), 3u);
+    EXPECT_EQ(ctrl.windowsClosed(), 1u);
+    EXPECT_NEAR(ctrl.forecastLoad(), 6.0, 1e-12);
+}
+
+TEST(CapacityController, ScaleDownWaitsOutTheLag)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    c.windowMs = 10.0;
+    c.forecastDecay = 0.0;
+    c.targetUtilization = 0.5;
+    c.downLag = 3;
+    CapacityController ctrl(c, 8, 4);
+
+    for (int i = 0; i < 6; ++i)
+        ctrl.observeArrival(static_cast<double>(i), 10.0);
+    ASSERT_EQ(ctrl.desiredInstances(10.0), 3u);
+
+    // Quiet windows: the desired count must hold for downLag - 1
+    // closed windows and only then drop (over-capacity wastes, it
+    // does not shed — so the controller demands a sustained lull).
+    EXPECT_EQ(ctrl.desiredInstances(20.0), 3u);
+    EXPECT_EQ(ctrl.desiredInstances(30.0), 3u);
+    EXPECT_EQ(ctrl.desiredInstances(40.0), 1u);
+}
+
+TEST(CapacityController, BurstDuringTheLagResetsIt)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    c.windowMs = 10.0;
+    c.forecastDecay = 0.0;
+    c.targetUtilization = 0.5;
+    c.downLag = 2;
+    CapacityController ctrl(c, 8, 4);
+
+    for (int i = 0; i < 6; ++i)
+        ctrl.observeArrival(static_cast<double>(i), 10.0);
+    ASSERT_EQ(ctrl.desiredInstances(10.0), 3u);
+    ASSERT_EQ(ctrl.desiredInstances(20.0), 3u); // one quiet window
+
+    // The burst window re-arms the lag: the next quiet window is the
+    // first of a fresh streak, not the second of the old one.
+    for (int i = 0; i < 6; ++i)
+        ctrl.observeArrival(20.0 + static_cast<double>(i), 10.0);
+    ASSERT_EQ(ctrl.desiredInstances(30.0), 3u);
+    EXPECT_EQ(ctrl.desiredInstances(40.0), 3u);
+    EXPECT_EQ(ctrl.desiredInstances(50.0), 1u);
+}
+
+TEST(CapacityController, ClampsToTheSlotCount)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    c.windowMs = 10.0;
+    c.forecastDecay = 0.0;
+    c.targetUtilization = 0.5;
+    CapacityController ctrl(c, 2, 4);
+
+    for (int i = 0; i < 100; ++i)
+        ctrl.observeArrival(0.5, 10.0);
+    EXPECT_EQ(ctrl.desiredInstances(10.0), 2u);
+}
+
+TEST(RecalibrationConfig, ValidateRejectsBadKnobs)
+{
+    RecalibrationConfig c;
+    c.intervalMs = 0.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.window = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.minObservations = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.minObservations = c.window + 1;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.staleThreshold = 0.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = {};
+    c.validate();
+}
+
+TEST(Recalibrator, DisabledKeepsTheLegacyConstantBitForBit)
+{
+    // With recalibration off, the estimate must be the seed model
+    // unchanged — bit-for-bit, so a constant() fleet reproduces the
+    // legacy scalar accounting exactly no matter what it observes.
+    const ServiceModel seed = ServiceModel::constant(2.5);
+    RecalibrationConfig cfg; // enabled = false
+    ServiceModelRecalibrator r(seed, cfg);
+
+    for (int i = 0; i < 100; ++i)
+        r.observe(8, 123.456);
+    EXPECT_FALSE(r.maybeRecalibrate(1e9));
+    EXPECT_EQ(r.recalibrations(), 0u);
+    EXPECT_EQ(r.observations(), 0u); // disabled: not even recorded
+    EXPECT_EQ(r.current().baseMs, seed.baseMs);
+    EXPECT_EQ(r.current().perSampleMs, seed.perSampleMs);
+    for (std::size_t n = 1; n <= 64; n *= 2)
+        EXPECT_EQ(r.current().serviceMs(n), seed.serviceMs(n));
+}
+
+TEST(Recalibrator, RespectsIntervalAndMinObservations)
+{
+    RecalibrationConfig cfg;
+    cfg.enabled = true;
+    cfg.intervalMs = 50.0;
+    cfg.minObservations = 4;
+    ServiceModelRecalibrator r(ServiceModel::constant(1.0), cfg);
+
+    r.observe(8, 2.0);
+    EXPECT_FALSE(r.maybeRecalibrate(100.0)); // too few observations
+    r.observe(8, 2.0);
+    r.observe(4, 1.5);
+    r.observe(2, 1.25);
+    EXPECT_FALSE(r.maybeRecalibrate(40.0)); // interval not yet due
+    EXPECT_TRUE(r.maybeRecalibrate(60.0));
+    EXPECT_FALSE(r.maybeRecalibrate(80.0)); // refit re-arms the timer
+    EXPECT_EQ(r.recalibrations(), 1u);
+}
+
+TEST(Recalibrator, ConvergesOnDriftedServiceTruth)
+{
+    // The session starts calibrated to 1 + 0.05n. Mid-session the
+    // truth drifts to 3 + 0.2n; once the observation window has
+    // turned over, a refit must recover the new law (fit() solves the
+    // normal equations exactly on exact data) and the estimate error
+    // must collapse back to ~0.
+    RecalibrationConfig cfg;
+    cfg.enabled = true;
+    cfg.intervalMs = 10.0;
+    cfg.window = 64;
+    cfg.minObservations = 8;
+    const ServiceModel before{1.0, 0.05};
+    const ServiceModel after{3.0, 0.2};
+    ServiceModelRecalibrator r(before, cfg);
+
+    double now = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t n = 1 + static_cast<std::size_t>(i % 8);
+        r.observe(n, before.serviceMs(n));
+        now += 1.0;
+        r.maybeRecalibrate(now);
+    }
+    EXPECT_LT(r.meanRelativeError(), 1e-9);
+
+    // Drift. Fill the whole window with the new regime, then refit.
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t n = 1 + static_cast<std::size_t>(i % 8);
+        r.observe(n, after.serviceMs(n));
+        now += 1.0;
+        r.maybeRecalibrate(now);
+    }
+    // One more due refit now that the ring holds only the new regime.
+    ASSERT_TRUE(r.maybeRecalibrate(now + cfg.intervalMs));
+    EXPECT_GE(r.recalibrations(), 2u);
+    EXPECT_NEAR(r.current().baseMs, after.baseMs, 1e-6);
+    EXPECT_NEAR(r.current().perSampleMs, after.perSampleMs, 1e-6);
+    EXPECT_LT(r.meanRelativeError(), 1e-9);
+    EXPECT_FALSE(r.stale());
+}
+
+TEST(Recalibrator, FlagsAStaleModelBeforeTheRefitLands)
+{
+    // Between the drift and the next due refit the estimate is wrong
+    // by construction; stale() is the alarm that window exposes.
+    RecalibrationConfig cfg;
+    cfg.enabled = true;
+    cfg.intervalMs = 1e6; // never due within this test
+    cfg.window = 32;
+    cfg.minObservations = 8;
+    cfg.staleThreshold = 0.25;
+    const ServiceModel truth{4.0, 0.5};
+    ServiceModelRecalibrator r(ServiceModel::constant(1.0), cfg);
+
+    for (int i = 0; i < 32; ++i) {
+        const std::size_t n = 1 + static_cast<std::size_t>(i % 8);
+        r.observe(n, truth.serviceMs(n));
+    }
+    EXPECT_GT(r.meanRelativeError(), 0.25);
+    EXPECT_TRUE(r.stale());
+}
+
+} // namespace

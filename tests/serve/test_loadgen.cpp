@@ -80,4 +80,71 @@ TEST(PoissonLoadGen, ExponentialTailsPresent)
     EXPECT_GT(above_double, 300); // P(gap > 2*mean) = 13.5%
 }
 
+TEST(DiurnalLoadGen, RejectsBadKnobs)
+{
+    using dlrmopt::serve::DiurnalLoadGen;
+    EXPECT_THROW(DiurnalLoadGen(0.0, 0.5, 100.0),
+                 std::invalid_argument);
+    EXPECT_THROW(DiurnalLoadGen(5.0, 1.0, 100.0),
+                 std::invalid_argument); // amplitude must be < 1
+    EXPECT_THROW(DiurnalLoadGen(5.0, -0.1, 100.0),
+                 std::invalid_argument);
+    EXPECT_THROW(DiurnalLoadGen(5.0, 0.5, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(DiurnalLoadGen, RateOscillatesAroundTheBase)
+{
+    // rate(t) = base * (1 + A sin(2pi (t/T + phase))): the crest sits
+    // a quarter period in, the trough three quarters in.
+    dlrmopt::serve::DiurnalLoadGen g(10.0, 0.5, 100.0, 0.0, 3);
+    EXPECT_NEAR(g.rateAt(0.0), 0.1, 1e-12);
+    EXPECT_NEAR(g.rateAt(25.0), 0.15, 1e-12);
+    EXPECT_NEAR(g.rateAt(75.0), 0.05, 1e-12);
+    EXPECT_NEAR(g.rateAt(100.0), g.rateAt(0.0), 1e-12);
+}
+
+TEST(DiurnalLoadGen, PhaseShiftsTheCurve)
+{
+    // A half-period phase offset models the second tenant peaking
+    // while the first one troughs (diurnal skew).
+    dlrmopt::serve::DiurnalLoadGen a(10.0, 0.5, 100.0, 0.0, 3);
+    dlrmopt::serve::DiurnalLoadGen b(10.0, 0.5, 100.0, 0.5, 3);
+    EXPECT_NEAR(a.rateAt(25.0), b.rateAt(75.0), 1e-12);
+    EXPECT_NEAR(a.rateAt(75.0), b.rateAt(25.0), 1e-12);
+}
+
+TEST(DiurnalLoadGen, ArrivalsAreAscendingDeterministicAndPeakBiased)
+{
+    using dlrmopt::serve::DiurnalLoadGen;
+    DiurnalLoadGen g(2.0, 0.8, 200.0, 0.0, 11);
+    const auto a = g.arrivalsUntil(1000.0);
+    ASSERT_GT(a.size(), 100u);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GT(a[i], a[i - 1]);
+    EXPECT_LT(a.back(), 1000.0);
+    EXPECT_EQ(a, DiurnalLoadGen(2.0, 0.8, 200.0, 0.0, 11)
+                     .arrivalsUntil(1000.0));
+
+    // More arrivals land in peak half-periods than trough ones.
+    std::size_t peak = 0, trough = 0;
+    for (double t : a) {
+        const double frac =
+            t / 200.0 - std::floor(t / 200.0); // position in period
+        (frac < 0.5 ? peak : trough) += 1;
+    }
+    EXPECT_GT(peak, trough * 2);
+}
+
+TEST(DiurnalLoadGen, ZeroAmplitudeCountsMatchThePoissonRate)
+{
+    // With A = 0 thinning accepts everything: the stream is a plain
+    // exponential process at the base rate.
+    dlrmopt::serve::DiurnalLoadGen g(10.0, 0.0, 100.0, 0.0, 5);
+    const auto a = g.arrivalsUntil(50'000.0);
+    const double measured =
+        50'000.0 / static_cast<double>(a.size());
+    EXPECT_NEAR(measured, 10.0, 0.5);
+}
+
 } // namespace

@@ -422,4 +422,111 @@ TEST_F(ResilienceTest, LifecycleTransitionsAreGuarded)
                  "Draining");
 }
 
+TEST_F(ResilienceTest, TripRecencyPenaltySteersTrafficOffAFlapper)
+{
+    // Instance 0 throws everything for its first 25 ms, then heals.
+    // The breaker trips on it either way; the trip-recency and
+    // half-open penalties decide how eagerly health-aware routing
+    // sends traffic back once it closes again.
+    const auto arrivals = PoissonLoadGen(0.4, 13).arrivals(300);
+    const auto run = [&](double penalty_ms) {
+        RouterConfig cfg = baseConfig();
+        cfg.recordPredictions = false;
+        cfg.policy = RoutePolicy::HealthAware;
+        cfg.breaker.enabled = true;
+        cfg.halfOpenPenaltyMs = penalty_ms;
+        cfg.tripRecencyPenaltyMs = penalty_ms;
+        cfg.tripRecencyWindowMs = 1e6; // no decay within the session
+        auto store =
+            core::EmbeddingStore::createMutable(smallModel(), 11);
+        Router router(smallModel(), store,
+                      sched::Topology::synthetic(4, 2), cfg);
+        FaultConfig throwing;
+        throwing.taskExceptionRate = 1.0;
+        throwing.seed = 3;
+        const FaultSchedule script(
+            {{0.0, 0, throwing}, {25.0, 0, FaultConfig{}}}, {}, {});
+        return router.serve(dense, batches, arrivals,
+                            core::PrefetchSpec::paperDefault(),
+                            &script);
+    };
+
+    const auto shy = run(500.0);
+    const auto eager = run(0.0);
+    EXPECT_LT(shy.perInstance[0].served,
+              eager.perInstance[0].served);
+    EXPECT_GT(eager.perInstance[0].served, 0u);
+    for (const auto *rs : {&shy, &eager}) {
+        EXPECT_EQ(rs->total.arrived,
+                  rs->total.served + rs->total.shed +
+                      rs->total.failed);
+    }
+}
+
+TEST_F(ResilienceTest, PartialDrainServesPinnedRetriesInPlace)
+{
+    // A global fault phase keeps a steady stream of pinned retries in
+    // flight when instance 0 crashes. With a residual core configured
+    // the drain serves them in place instead of re-routing; without
+    // one, the partial-drain counter must stay zero.
+    const auto arrivals = PoissonLoadGen(0.5, 13).arrivals(300);
+    const auto run = [&](std::size_t residual) {
+        RouterConfig cfg = baseConfig();
+        cfg.recordPredictions = false;
+        cfg.partialDrainCores = residual;
+        auto store =
+            core::EmbeddingStore::createMutable(smallModel(), 11);
+        Router router(smallModel(), store,
+                      sched::Topology::synthetic(4, 2), cfg);
+        FaultConfig flaky;
+        flaky.taskExceptionRate = 0.4;
+        flaky.seed = 5;
+        const FaultSchedule script(
+            {{0.0, -1, flaky}},
+            {{40.0, 0, Kind::Crash}, {90.0, 0, Kind::Recover}}, {});
+        return router.serve(dense, batches, arrivals,
+                            core::PrefetchSpec::paperDefault(),
+                            &script);
+    };
+
+    const auto full = run(0);
+    const auto partial = run(1);
+    EXPECT_EQ(full.partialDrainServed, 0u);
+    EXPECT_GT(partial.partialDrainServed, 0u);
+    for (const auto *rs : {&full, &partial}) {
+        EXPECT_EQ(rs->crashes, 1u);
+        EXPECT_EQ(rs->total.arrived,
+                  rs->total.served + rs->total.shed +
+                      rs->total.failed);
+    }
+}
+
+TEST_F(ResilienceTest, RejectsBadRoutingAndScrubKnobs)
+{
+    auto store = core::EmbeddingStore::createMutable(smallModel(), 11);
+    RouterConfig cfg = baseConfig();
+    cfg.halfOpenPenaltyMs = -1.0;
+    EXPECT_THROW(Router(smallModel(), store,
+                        sched::Topology::synthetic(4, 2), cfg),
+                 std::invalid_argument);
+    cfg = baseConfig();
+    cfg.tripRecencyWindowMs = 0.0;
+    EXPECT_THROW(Router(smallModel(), store,
+                        sched::Topology::synthetic(4, 2), cfg),
+                 std::invalid_argument);
+
+    // A repairing scrubber needs a mutable store handle.
+    std::shared_ptr<const core::EmbeddingStore> ro =
+        core::EmbeddingStore::create(smallModel(), 11);
+    cfg = baseConfig();
+    cfg.scrub.enabled = true;
+    cfg.scrub.repair = true;
+    EXPECT_THROW(Router(smallModel(), ro,
+                        sched::Topology::synthetic(4, 2), cfg),
+                 std::invalid_argument);
+    cfg.scrub.repair = false;
+    EXPECT_NO_THROW(Router(smallModel(), ro,
+                           sched::Topology::synthetic(4, 2), cfg));
+}
+
 } // namespace

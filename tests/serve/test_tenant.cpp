@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the tenant registry: config validation, SLA-class
+ * defaulting from the model class (Table 1), dense id assignment,
+ * duplicate-name rejection, and the DRR weight vector handed to the
+ * shared queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/tenant.hpp"
+
+namespace
+{
+
+using namespace dlrmopt;
+using namespace dlrmopt::serve;
+
+core::ModelConfig
+tinyModel(const char *name)
+{
+    core::ModelConfig m;
+    m.name = name;
+    m.cls = core::ModelClass::RMC2;
+    m.rows = 512;
+    m.dim = 8;
+    m.tables = 2;
+    m.lookups = 2;
+    m.bottomMlp = {8, 8};
+    m.topMlp = {4, 1};
+    return m;
+}
+
+TenantConfig
+tenant(const char *name)
+{
+    TenantConfig t;
+    t.name = name;
+    t.model = tinyModel(name);
+    return t;
+}
+
+TEST(TenantConfig, ValidateRejectsBadBindings)
+{
+    TenantConfig t = tenant("ok");
+    t.validate();
+
+    t = tenant("x");
+    t.name = "";
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+
+    t = tenant("x");
+    t.weight = 0.0;
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+
+    t = tenant("x");
+    t.slaMs = -1.0;
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+
+    t = tenant("x");
+    t.model.tables = 0;
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+
+    t = tenant("x");
+    t.service = ServiceModel{-1.0, 0.0};
+    EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(TenantConfig, SlaDefaultsToTheModelClassTarget)
+{
+    TenantConfig t = tenant("sla");
+    EXPECT_DOUBLE_EQ(t.effectiveSlaMs(), t.model.slaMs());
+    t.slaMs = 7.5;
+    EXPECT_DOUBLE_EQ(t.effectiveSlaMs(), 7.5);
+}
+
+TEST(TenantRegistry, AssignsDenseIdsAndRejectsDuplicates)
+{
+    TenantRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.add(tenant("ranking")), 0u);
+    EXPECT_EQ(reg.add(tenant("retrieval")), 1u);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.idOf("retrieval"), 1u);
+    EXPECT_EQ(reg.tenant(0).name, "ranking");
+    EXPECT_THROW(reg.add(tenant("ranking")), std::invalid_argument);
+    EXPECT_THROW(reg.idOf("ads"), std::out_of_range);
+}
+
+TEST(TenantRegistry, WeightsComeOutInIdOrder)
+{
+    TenantRegistry reg;
+    TenantConfig a = tenant("a");
+    a.weight = 1.0;
+    TenantConfig b = tenant("b");
+    b.weight = 3.0;
+    reg.add(a);
+    reg.add(b);
+    const std::vector<double> w = reg.weights();
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+    EXPECT_DOUBLE_EQ(w[1], 3.0);
+}
+
+TEST(TenantStats, ConservationAndGoodput)
+{
+    TenantStats t;
+    t.stats.arrived = 10;
+    t.stats.served = 6;
+    t.stats.shed = 3;
+    t.stats.failed = 1;
+    t.compliant = 5;
+    EXPECT_TRUE(t.conserved());
+    EXPECT_DOUBLE_EQ(t.goodput(), 0.5);
+    EXPECT_DOUBLE_EQ(t.complianceOfServed(), 5.0 / 6.0);
+    t.stats.failed = 0;
+    EXPECT_FALSE(t.conserved());
+}
+
+} // namespace

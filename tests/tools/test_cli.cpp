@@ -290,4 +290,58 @@ TEST(CliRun, ChaosRejectsBadOptions)
     EXPECT_NE(uerr.str().find("chaos"), std::string::npos);
 }
 
+TEST(CliRun, TenantsRunsAWeightedElasticFleetSession)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"tenants", "--tenants", "2", "--max-bytes",
+                   "1000000", "--day-ms", "30", "--arrival-ms", "0.5",
+                   "--cores", "4", "--instances", "2", "--weights",
+                   "2,1", "--elastic", "--min-instances", "1",
+                   "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("2 tenant(s)"), std::string::npos);
+    EXPECT_NE(s.find("elastic"), std::string::npos);
+    EXPECT_NE(s.find("w2.0"), std::string::npos);
+    EXPECT_NE(s.find("accounting conserved"), std::string::npos);
+}
+
+TEST(CliRun, TenantsReplaysAChaosScenarioConserved)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"tenants", "--tenants", "2", "--max-bytes",
+                   "1000000", "--day-ms", "30", "--arrival-ms", "0.5",
+                   "--cores", "4", "--instances", "2", "--scenario",
+                   "crash-storm", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("accounting conserved"),
+              std::string::npos);
+}
+
+TEST(CliRun, TenantsRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"tenants", "--tenants", "9"}), out, err), 0);
+    EXPECT_NE(run(parse({"tenants", "--cores", "2", "--instances",
+                         "4"}),
+                  out, err),
+              0);
+    EXPECT_NE(run(parse({"tenants", "--tenants", "3", "--weights",
+                         "1,2"}),
+                  out, err),
+              0);
+    EXPECT_NE(run(parse({"tenants", "--day-ms", "0"}), out, err), 0);
+    EXPECT_NE(run(parse({"tenants", "--scenario", "meteor-strike"}),
+                  out, err),
+              0);
+    // Usage advertises the new subcommand.
+    std::ostringstream uout, uerr;
+    run(parse({"frobnicate"}), uout, uerr);
+    EXPECT_NE(uerr.str().find("tenants"), std::string::npos);
+}
+
 } // namespace

@@ -12,6 +12,7 @@
 #include "platform/report.hpp"
 #include "sched/topology.hpp"
 #include "serve/fault_schedule.hpp"
+#include "serve/fleet.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/router.hpp"
 #include "serve/server.hpp"
@@ -887,6 +888,157 @@ cmdChaos(const ParsedArgs& args, std::ostream& out)
     return 0;
 }
 
+int
+cmdTenants(const ParsedArgs& args, std::ostream& out)
+{
+    // One multi-tenant fleet session: each tenant binds a Table-2
+    // preset to its own SLA, fair-share weight and admission budget,
+    // with diurnal phase-skewed arrivals so the tenants peak at
+    // different times of the simulated day. Optionally elastic
+    // (windowed load forecast moves the Up set) and/or overlaid with
+    // a scripted chaos scenario.
+    const std::size_t n_tenants =
+        static_cast<std::size_t>(args.getInt("tenants", 3));
+    if (n_tenants < 2 || n_tenants > 4)
+        throw std::invalid_argument("--tenants must be 2..4");
+    const double max_bytes =
+        args.getDouble("max-bytes", 4.0 * (1u << 20));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const double day_ms = args.getDouble("day-ms", 60.0);
+    const double arrival_ms = args.getDouble("arrival-ms", 0.3);
+    const double amplitude = args.getDouble("amplitude", 0.8);
+    const double sla_ms = args.getDouble("sla", 12.0);
+    const std::size_t budget =
+        static_cast<std::size_t>(args.getInt("budget", 16));
+    const std::size_t cores =
+        static_cast<std::size_t>(args.getInt("cores", 8));
+    const std::size_t instances =
+        static_cast<std::size_t>(args.getInt("instances", 4));
+    if (instances == 0 || cores < instances)
+        throw std::invalid_argument("--instances must be 1..cores");
+    if (day_ms <= 0.0)
+        throw std::invalid_argument("--day-ms must be > 0");
+
+    const serve::ServiceModel law{
+        args.getDouble("service-base-ms", 0.5),
+        args.getDouble("service-per-sample-ms", 0.1)};
+    const char *presets[] = {"rm1", "rm2_1", "rm2_3", "rm2_2"};
+
+    // Optional comma-separated per-tenant weights, e.g. 2,1,1.
+    std::vector<double> weights(n_tenants, 1.0);
+    if (args.has("weights")) {
+        const std::string w = args.get("weights");
+        std::size_t pos = 0, k = 0;
+        while (k < n_tenants && pos <= w.size()) {
+            const std::size_t comma = std::min(w.find(',', pos),
+                                               w.size());
+            weights[k++] = std::stod(w.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+        if (k != n_tenants)
+            throw std::invalid_argument(
+                "--weights wants one value per tenant");
+    }
+
+    serve::TenantRegistry reg;
+    std::vector<serve::TenantWorkload> work;
+    for (std::size_t k = 0; k < n_tenants; ++k) {
+        serve::TenantConfig tc;
+        tc.name = presets[k];
+        tc.model = core::modelByName(presets[k]).scaledToFit(max_bytes);
+        tc.slaMs = sla_ms;
+        tc.weight = weights[k];
+        tc.admissionBudget = budget;
+        tc.service = law;
+        tc.truth = serve::ServiceTimeline(law);
+        reg.add(tc);
+
+        traces::TraceConfig gen_cfg = traces::TraceConfig::forModel(
+            tc.model, parseHotness(args.get("hotness", "medium")),
+            seed + k);
+        gen_cfg.batchSize = static_cast<std::size_t>(
+            args.getInt("batch-size", 4));
+        traces::TraceGenerator gen(gen_cfg);
+        serve::TenantWorkload w;
+        for (std::size_t b = 0; b < 8; ++b)
+            w.batches.push_back(gen.batch(b));
+        w.dense.reshape(gen_cfg.batchSize, tc.model.denseDim());
+        w.dense.randomize(seed + 10 * k);
+        w.arrivalsMs =
+            serve::DiurnalLoadGen(
+                arrival_ms, amplitude, day_ms,
+                static_cast<double>(k) /
+                    static_cast<double>(n_tenants),
+                seed + k)
+                .arrivalsUntil(day_ms);
+        work.push_back(std::move(w));
+    }
+
+    serve::FleetConfig fcfg;
+    fcfg.instances = instances;
+    fcfg.batching.maxRequests = static_cast<std::size_t>(
+        args.getInt("max-requests", 4));
+    fcfg.batching.maxLingerMs = args.getDouble("linger-ms", 0.2);
+    fcfg.admission = !args.has("no-admission");
+    fcfg.seed = seed;
+    fcfg.recalibration.enabled = true;
+    fcfg.recalibration.intervalMs = 10.0;
+    fcfg.scrub.enabled = true;
+    if (args.has("elastic")) {
+        fcfg.capacity.elastic = true;
+        fcfg.capacity.minInstances = static_cast<std::size_t>(
+            args.getInt("min-instances", 1));
+        fcfg.capacity.windowMs = day_ms / 24.0;
+        fcfg.capacity.downLag = 2;
+        fcfg.capacity.probationMs = 2.0;
+        fcfg.capacity.partialDrainCores = 1;
+        fcfg.capacity.drainGraceMs = 4.0;
+    }
+
+    const auto topo = sched::Topology::synthetic(cores, 2);
+    serve::TenantFleet fleet(reg, topo, fcfg);
+
+    std::size_t total = 0;
+    for (const auto& w : work)
+        total += w.arrivalsMs.size();
+    out << n_tenants << " tenant(s) on " << instances
+        << " instance(s) x " << cores / instances << " core(s)"
+        << (fcfg.capacity.elastic ? ", elastic" : "") << ", " << total
+        << " requests over " << static_cast<long>(day_ms)
+        << " virtual ms\n";
+
+    serve::FleetStats fs;
+    const std::string scenario = args.get("scenario");
+    if (scenario.empty()) {
+        fs = fleet.serve(work);
+    } else {
+        const auto schedule = serve::FaultSchedule::chaosScenario(
+            scenario, instances, day_ms, seed);
+        fs = fleet.serve(work, core::PrefetchSpec::paperDefault(),
+                         &schedule);
+    }
+
+    out << fs.summary() << "\n";
+    for (std::size_t k = 0; k < n_tenants; ++k) {
+        const serve::TenantStats& t = fs.perTenant[k];
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-8s w%.1f | arrived %5zu served %5zu shed %4zu "
+            "(budget %zu deadline %zu) failed %zu | goodput %5.1f%%",
+            reg.tenant(k).name.c_str(), reg.tenant(k).weight,
+            t.stats.arrived, t.stats.served, t.stats.shed,
+            t.budgetShed, t.deadlineShed, t.stats.failed,
+            100.0 * t.goodput());
+        out << buf << "\n";
+    }
+    out << (fs.conserved() ? "accounting conserved"
+                           : "ACCOUNTING VIOLATION")
+        << " (arrived == served + shed + failed per tenant)\n";
+    return fs.conserved() ? 0 : 1;
+}
+
 } // namespace
 
 std::string
@@ -913,6 +1065,8 @@ usage()
            "request coalescing\n"
            "  chaos [options]             replay scripted fault "
            "timelines with/without resilience\n"
+           "  tenants [options]           multi-tenant fleet with "
+           "weighted-fair queueing\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -950,7 +1104,15 @@ usage()
            "chaos options (plus the router options above):\n"
            "  --scenario all|crash-storm|rolling-corruption|"
            "flapping-straggler\n"
-           "  --probation-ms X\n";
+           "  --probation-ms X\n"
+           "\n"
+           "tenants options:\n"
+           "  --tenants N --instances N --weights A,B,...\n"
+           "  --day-ms X --arrival-ms X --amplitude A --sla X\n"
+           "  --budget N (per-tenant admission budget)\n"
+           "  --elastic --min-instances N\n"
+           "  --scenario crash-storm|rolling-corruption|"
+           "flapping-straggler\n";
 }
 
 int
@@ -979,6 +1141,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdBatch(args, out);
         if (args.command == "chaos")
             return cmdChaos(args, out);
+        if (args.command == "tenants")
+            return cmdTenants(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {

@@ -21,6 +21,11 @@
  *   batch [options]             unbatched vs deadline-aware request
  *                               coalescing on the batched forward
  *                               path (real execution)
+ *   chaos [options]             scripted fault timelines replayed
+ *                               with and without the resilience layer
+ *   tenants [options]           multi-tenant fleet session: weighted-
+ *                               fair queueing, per-tenant SLAs and
+ *                               budgets, optional elastic capacity
  */
 
 #ifndef DLRMOPT_TOOLS_CLI_HPP
