@@ -110,13 +110,18 @@ namespace
 double
 timePackedMs(const float *in, std::size_t batch, const PackedWeights& w,
              const float *bias, float *out, const GemmTile& tile,
-             SimdLevel level, int repeats)
+             SimdLevel level, int repeats, bool trans)
 {
     double best = 1e300;
     for (int r = 0; r < repeats; ++r) {
         const auto t0 = Clock::now();
-        denseLayerForwardPackedLevel(level, in, batch, w, bias, out,
-                                     true, tile);
+        if (trans) {
+            denseLayerForwardPackedTransLevel(level, in, batch, w,
+                                              bias, out, true, tile);
+        } else {
+            denseLayerForwardPackedLevel(level, in, batch, w, bias,
+                                         out, true, tile);
+        }
         const double ms =
             std::chrono::duration<double, std::milli>(Clock::now() -
                                                       t0)
@@ -168,7 +173,7 @@ defaultGemmTileGrid(std::size_t batch, std::size_t in_dim,
 GemmTuneResult
 tuneGemmTile(std::size_t batch, std::size_t in_dim, std::size_t out_dim,
              std::vector<GemmTile> candidates, int repeats,
-             std::uint64_t seed)
+             std::uint64_t seed, bool trans)
 {
     if (batch == 0 || out_dim == 0) {
         throw std::invalid_argument(
@@ -179,7 +184,11 @@ tuneGemmTile(std::size_t batch, std::size_t in_dim, std::size_t out_dim,
         candidates = defaultGemmTileGrid(batch, in_dim, level);
     repeats = std::max(repeats, 1);
 
-    Tensor in(batch, std::max<std::size_t>(in_dim, 1));
+    // Trans activations are feature-major [in_dim x batch]; same
+    // element count, so the blocked-baseline timing below (which is
+    // layout-agnostic for measurement purposes) reads it untransposed.
+    Tensor in(trans ? std::max<std::size_t>(in_dim, 1) : batch,
+              trans ? batch : std::max<std::size_t>(in_dim, 1));
     in.randomize(mix64(seed), 0.5f);
     Tensor weights(out_dim, std::max<std::size_t>(in_dim, 1));
     weights.randomize(mix64(seed + 1), 0.1f);
@@ -192,6 +201,7 @@ tuneGemmTile(std::size_t batch, std::size_t in_dim, std::size_t out_dim,
     res.inDim = in_dim;
     res.outDim = out_dim;
     res.level = level;
+    res.trans = trans;
 
     // Warm caches once, then time the scalar blocked baseline the
     // packed engine replaced.
@@ -215,7 +225,7 @@ tuneGemmTile(std::size_t batch, std::size_t in_dim, std::size_t out_dim,
     for (const GemmTile& tile : candidates) {
         const double ms =
             timePackedMs(in.data(), batch, packed, bias.data(),
-                         out.data(), tile, level, repeats);
+                         out.data(), tile, level, repeats, trans);
         res.measurements.push_back({tile, ms});
         if (ms < res.bestMs) {
             res.bestMs = ms;
@@ -224,7 +234,7 @@ tuneGemmTile(std::size_t batch, std::size_t in_dim, std::size_t out_dim,
     }
 
     GemmTileCache::instance().install(batch, in_dim, out_dim, level,
-                                      res.best);
+                                      res.best, trans);
     return res;
 }
 
@@ -247,6 +257,12 @@ tuneMlpGemm(const std::vector<std::size_t>& dims,
             results.push_back(tuneGemmTile(m, dims[l], dims[l + 1], {},
                                            repeats, seed + l));
         }
+        // The first layer is the one the streaming pipeline feeds
+        // feature-major (interaction output without a repack), so
+        // also tune its n-major engine slot.
+        results.push_back(tuneGemmTile(m, dims[0], dims[1], {},
+                                       repeats, seed + dims.size(),
+                                       /*trans=*/true));
     }
     return results;
 }

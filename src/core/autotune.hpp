@@ -95,6 +95,7 @@ struct GemmTuneResult
     std::size_t inDim = 0;
     std::size_t outDim = 0;
     SimdLevel level = SimdLevel::Scalar; //!< dispatch level tuned at
+    bool trans = false;     //!< n-major (transposed-activation) engine
     GemmTile best;          //!< fastest tile (installed in the cache)
     double bestMs = 0.0;
     double baselineMs = 0.0; //!< scalar blocked denseLayerForward
@@ -130,18 +131,27 @@ std::vector<GemmTile> defaultGemmTileGrid(std::size_t batch,
  *
  * @param candidates Tiles to try; empty = defaultGemmTileGrid().
  * @param repeats Timed repetitions per candidate (best is kept).
+ * @param trans Tune the n-major (transposed-activation) engine
+ *        variant instead: activations are laid out feature-major
+ *        [in_dim x batch] and the winner installs under the
+ *        trans-keyed cache slot the streaming pipeline's first
+ *        top-MLP layer consults.
  */
 GemmTuneResult tuneGemmTile(std::size_t batch, std::size_t in_dim,
                             std::size_t out_dim,
                             std::vector<GemmTile> candidates = {},
-                            int repeats = 3, std::uint64_t seed = 1);
+                            int repeats = 3, std::uint64_t seed = 1,
+                            bool trans = false);
 
 /**
  * Tunes every layer shape of an MLP size list (e.g.
  * ModelConfig::bottomMlp or topMlpDims()) at each coalesced batch
  * size in @p batches (default: one representative per m-bucket),
- * installing all winners. Returns one GemmTuneResult per
- * (batch, layer) point, layers innermost.
+ * installing all winners. The first layer is additionally tuned
+ * through the n-major (transposed-activation) engine — the variant
+ * the streaming pipeline feeds with the feature-major interaction
+ * output — so both cache slots are warm. Returns one GemmTuneResult
+ * per (batch, layer[, trans]) point, layers innermost.
  */
 std::vector<GemmTuneResult> tuneMlpGemm(
     const std::vector<std::size_t>& dims,

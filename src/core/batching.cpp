@@ -108,12 +108,8 @@ ForwardWorkspace::reserve(const DlrmModel& model, std::size_t max_batch,
     }
     const ModelConfig& cfg = model.config();
     _maxBatch = max_batch;
-
-    _ws.bottomOut.reshape(max_batch, cfg.dim);
-    _ws.embOut.reshape(cfg.tables, max_batch * cfg.dim);
-    _ws.interOut.reshape(max_batch, cfg.topInputDim());
-    _ws.pred.reshape(max_batch, 1);
-    _dense.reshape(max_batch, cfg.denseDim());
+    _gatherNext = 0;
+    _lastCompute = 0;
 
     // Widest activation either MLP ever stages through the ping-pong
     // scratch (hidden layers only; the final layer writes the output
@@ -124,16 +120,24 @@ ForwardWorkspace::reserve(const DlrmModel& model, std::size_t max_batch,
         for (std::size_t l = 1; l + 1 < dims.size(); ++l)
             widest = std::max(widest, dims[l]);
     }
-    _mlpA.reshape(max_batch, widest);
-    _mlpB.reshape(max_batch, widest);
 
-    _embPtrs.reserve(cfg.tables);
-
-    _concat.indices.resize(cfg.tables);
-    _concat.offsets.resize(cfg.tables);
-    for (std::size_t t = 0; t < cfg.tables; ++t) {
-        _concat.indices[t].reserve(max_batch * max_lookups);
-        _concat.offsets[t].reserve(max_batch + 1);
+    for (StageBuffers& s : _sets) {
+        s.batch = 0;
+        s.dense.reshape(max_batch, cfg.denseDim());
+        s.embOut.reshape(cfg.tables, max_batch * cfg.dim);
+        s.bottomOut.reshape(max_batch, cfg.dim);
+        s.interOut.reshape(max_batch, cfg.topInputDim());
+        s.interOutT.reshape(cfg.topInputDim(), max_batch);
+        s.pred.reshape(max_batch, 1);
+        s.mlpA.reshape(max_batch, widest);
+        s.mlpB.reshape(max_batch, widest);
+        s.embPtrs.reserve(cfg.tables);
+        s.concat.indices.resize(cfg.tables);
+        s.concat.offsets.resize(cfg.tables);
+        for (std::size_t t = 0; t < cfg.tables; ++t) {
+            s.concat.indices[t].reserve(max_batch * max_lookups);
+            s.concat.offsets[t].reserve(max_batch + 1);
+        }
     }
 }
 
@@ -143,54 +147,98 @@ ForwardWorkspace::forward(const DlrmModel& model, const Tensor& dense,
                           const PrefetchSpec& pf)
 {
     assert(sparse.batchSize <= _maxBatch);
-    model.bottomMlp().forward(dense, _ws.bottomOut, _mlpA, _mlpB);
-    model.embeddingForward(sparse, _ws.embOut, pf);
-    model.interactionForward(_ws.bottomOut, _ws.embOut, sparse.batchSize,
-                             _ws.interOut, _embPtrs);
-    model.topMlp().forward(_ws.interOut, _ws.pred, _mlpA, _mlpB);
-    sigmoidInplace(_ws.pred.data(), _ws.pred.size());
-    return _ws.pred;
+    StageBuffers& s = _sets[0];
+    model.bottomMlp().forward(dense, s.bottomOut, s.mlpA, s.mlpB);
+    model.embeddingForward(sparse, s.embOut, pf);
+    model.interactionForward(s.bottomOut, s.embOut, sparse.batchSize,
+                             s.interOut, s.embPtrs);
+    model.topMlp().forward(s.interOut, s.pred, s.mlpA, s.mlpB);
+    sigmoidInplace(s.pred.data(), s.pred.size());
+    _lastCompute = 0;
+    return s.pred;
 }
 
 const SparseBatch&
-ForwardWorkspace::coalesce(const std::vector<const SparseBatch *>& parts,
-                           const std::vector<const Tensor *>& dense_parts)
+ForwardWorkspace::coalesceInto(
+    std::size_t set, const std::vector<const SparseBatch *>& parts,
+    const std::vector<const Tensor *>& dense_parts)
 {
     if (parts.size() != dense_parts.size()) {
         throw IndexError(
             "ForwardWorkspace::coalesce: need one dense block per "
             "sparse part");
     }
-    const SparseBatch& merged = concatSparseBatches(parts, _concat);
+    StageBuffers& s = _sets[set];
+    const SparseBatch& merged = concatSparseBatches(parts, s.concat);
 
     const std::size_t dense_dim =
         dense_parts.empty() ? 0 : dense_parts.front()->cols();
-    _dense.reshape(merged.batchSize, dense_dim);
+    s.dense.reshape(merged.batchSize, dense_dim);
     std::size_t row = 0;
     for (const Tensor *d : dense_parts) {
-        std::memcpy(_dense.row(row), d->data(),
+        std::memcpy(s.dense.row(row), d->data(),
                     d->size() * sizeof(float));
         row += d->rows();
     }
     return merged;
 }
 
+const SparseBatch&
+ForwardWorkspace::coalesce(const std::vector<const SparseBatch *>& parts,
+                           const std::vector<const Tensor *>& dense_parts)
+{
+    return coalesceInto(0, parts, dense_parts);
+}
+
+std::size_t
+ForwardWorkspace::stageGather(
+    const DlrmModel& model, const std::vector<const SparseBatch *>& parts,
+    const std::vector<const Tensor *>& dense_parts,
+    const PrefetchSpec& pf)
+{
+    const std::size_t set = _gatherNext;
+    StageBuffers& s = _sets[set];
+    const SparseBatch& merged = coalesceInto(set, parts, dense_parts);
+    assert(merged.batchSize <= _maxBatch);
+    model.embeddingForward(merged, s.embOut, pf);
+    s.batch = merged.batchSize;
+    _gatherNext = (_gatherNext + 1) % numSets;
+    return set;
+}
+
+const Tensor&
+ForwardWorkspace::stageCompute(const DlrmModel& model, std::size_t set)
+{
+    StageBuffers& s = _sets[set];
+    model.bottomMlp().forward(s.dense, s.bottomOut, s.mlpA, s.mlpB);
+    model.interactionForwardTransposed(s.bottomOut, s.embOut, s.batch,
+                                       s.interOutT, s.embPtrs);
+    model.topMlp().forwardFromTransposed(s.interOutT, s.pred, s.mlpA,
+                                         s.mlpB);
+    sigmoidInplace(s.pred.data(), s.pred.size());
+    _lastCompute = set;
+    return s.pred;
+}
+
 std::size_t
 ForwardWorkspace::bufferFingerprint() const
 {
     std::size_t h = 0;
-    hashPtr(h, _ws.bottomOut.data());
-    hashPtr(h, _ws.embOut.data());
-    hashPtr(h, _ws.interOut.data());
-    hashPtr(h, _ws.pred.data());
-    hashPtr(h, _mlpA.data());
-    hashPtr(h, _mlpB.data());
-    hashPtr(h, _dense.data());
-    hashPtr(h, _embPtrs.data());
-    for (const auto& v : _concat.indices)
-        hashPtr(h, v.data());
-    for (const auto& v : _concat.offsets)
-        hashPtr(h, v.data());
+    for (const StageBuffers& s : _sets) {
+        hashPtr(h, s.bottomOut.data());
+        hashPtr(h, s.embOut.data());
+        hashPtr(h, s.interOut.data());
+        hashPtr(h, s.interOutT.data());
+        hashPtr(h, s.pred.data());
+        hashPtr(h, s.mlpA.data());
+        hashPtr(h, s.mlpB.data());
+        hashPtr(h, s.dense.data());
+        hashPtr(h, s.embPtrs.data());
+        for (const auto& v : s.concat.indices)
+            hashPtr(h, v.data());
+        for (const auto& v : s.concat.offsets)
+            hashPtr(h, v.data());
+    }
     return h;
 }
 

@@ -55,20 +55,29 @@ using MicroFn = void (*)(const float *a, std::size_t lda,
  * branchless "acc > 0 ? acc : 0" ReLU — the same per-lane arithmetic
  * the masked AVX-512/AVX2 paths perform, so all levels are bitwise
  * equal.
+ *
+ * TA selects the activation layout: m-major (element (m,k) at
+ * a[m*lda + k], lda = in_dim) or n-major/transposed (element (m,k) at
+ * a[k*lda + m], lda = batch). Only the load address changes — the fmaf
+ * chain itself is identical, so both layouts produce bitwise-equal
+ * outputs for equal activation values.
  */
-template <int MR>
+template <int MR, bool TA>
 void
 microScalar(const float *a, std::size_t lda, const float *pb,
             std::size_t kk, float *c, std::size_t ldc, std::size_t nv,
             const float *bias, bool relu, bool first, bool last)
 {
     for (int m = 0; m < MR; ++m) {
-        const float *am = a + static_cast<std::size_t>(m) * lda;
-        float *cm = c + static_cast<std::size_t>(m) * ldc;
+        const std::size_t mu = static_cast<std::size_t>(m);
+        float *cm = c + mu * ldc;
         for (std::size_t j = 0; j < nv; ++j) {
             float acc = first ? 0.0f : cm[j];
-            for (std::size_t k = 0; k < kk; ++k)
-                acc = std::fmaf(am[k], pb[k * NR + j], acc);
+            for (std::size_t k = 0; k < kk; ++k) {
+                const float av =
+                    TA ? a[k * lda + mu] : a[mu * lda + k];
+                acc = std::fmaf(av, pb[k * NR + j], acc);
+            }
             if (last) {
                 if (bias)
                     acc += bias[j];
@@ -81,7 +90,11 @@ microScalar(const float *a, std::size_t lda, const float *pb,
 }
 
 constexpr std::array<MicroFn, 4> kScalarFns = {
-    microScalar<1>, microScalar<2>, microScalar<3>, microScalar<4>};
+    microScalar<1, false>, microScalar<2, false>,
+    microScalar<3, false>, microScalar<4, false>};
+constexpr std::array<MicroFn, 4> kScalarTFns = {
+    microScalar<1, true>, microScalar<2, true>,
+    microScalar<3, true>, microScalar<4, true>};
 
 #if DLRMOPT_GEMM_X86 && defined(__AVX2__)
 
@@ -96,8 +109,10 @@ avx2Mask(std::size_t valid)
         reinterpret_cast<const __m256i *>(table + (8 - valid)));
 }
 
-/** 4x16 AVX2 microkernel: two ymm accumulators per sample row. */
-template <int MR>
+/** 4x16 AVX2 microkernel: two ymm accumulators per sample row.
+ *  TA flips the activation broadcast address to the n-major layout
+ *  (same FMA order, so bitwise-equal outputs). */
+template <int MR, bool TA>
 void
 microAvx2(const float *a, std::size_t lda, const float *pb,
           std::size_t kk, float *c, std::size_t ldc, std::size_t nv,
@@ -120,8 +135,9 @@ microAvx2(const float *a, std::size_t lda, const float *pb,
         const __m256 w0 = _mm256_loadu_ps(pb + k * NR);
         const __m256 w1 = _mm256_loadu_ps(pb + k * NR + 8);
         for (int m = 0; m < MR; ++m) {
+            const std::size_t mu = static_cast<std::size_t>(m);
             const __m256 av = _mm256_broadcast_ss(
-                a + static_cast<std::size_t>(m) * lda + k);
+                TA ? a + k * lda + mu : a + mu * lda + k);
             acc[m][0] = _mm256_fmadd_ps(av, w0, acc[m][0]);
             acc[m][1] = _mm256_fmadd_ps(av, w1, acc[m][1]);
         }
@@ -150,8 +166,12 @@ microAvx2(const float *a, std::size_t lda, const float *pb,
     }
 }
 
-constexpr std::array<MicroFn, 4> kAvx2Fns = {microAvx2<1>, microAvx2<2>,
-                                             microAvx2<3>, microAvx2<4>};
+constexpr std::array<MicroFn, 4> kAvx2Fns = {
+    microAvx2<1, false>, microAvx2<2, false>, microAvx2<3, false>,
+    microAvx2<4, false>};
+constexpr std::array<MicroFn, 4> kAvx2TFns = {
+    microAvx2<1, true>, microAvx2<2, true>, microAvx2<3, true>,
+    microAvx2<4, true>};
 #define DLRMOPT_GEMM_HAVE_AVX2 1
 #else
 #define DLRMOPT_GEMM_HAVE_AVX2 0
@@ -159,8 +179,10 @@ constexpr std::array<MicroFn, 4> kAvx2Fns = {microAvx2<1>, microAvx2<2>,
 
 #if DLRMOPT_GEMM_X86 && defined(__AVX512F__)
 
-/** 6x16 AVX-512 microkernel: one zmm accumulator per sample row. */
-template <int MR>
+/** 6x16 AVX-512 microkernel: one zmm accumulator per sample row.
+ *  TA flips the activation broadcast address to the n-major layout
+ *  (same FMA order, so bitwise-equal outputs). */
+template <int MR, bool TA>
 void
 microAvx512(const float *a, std::size_t lda, const float *pb,
             std::size_t kk, float *c, std::size_t ldc, std::size_t nv,
@@ -180,8 +202,9 @@ microAvx512(const float *a, std::size_t lda, const float *pb,
     for (std::size_t k = 0; k < kk; ++k) {
         const __m512 wv = _mm512_loadu_ps(pb + k * NR);
         for (int m = 0; m < MR; ++m) {
+            const std::size_t mu = static_cast<std::size_t>(m);
             const __m512 av = _mm512_set1_ps(
-                a[static_cast<std::size_t>(m) * lda + k]);
+                TA ? a[k * lda + mu] : a[mu * lda + k]);
             acc[m] = _mm512_fmadd_ps(av, wv, acc[m]);
         }
     }
@@ -204,8 +227,11 @@ microAvx512(const float *a, std::size_t lda, const float *pb,
 }
 
 constexpr std::array<MicroFn, 6> kAvx512Fns = {
-    microAvx512<1>, microAvx512<2>, microAvx512<3>,
-    microAvx512<4>, microAvx512<5>, microAvx512<6>};
+    microAvx512<1, false>, microAvx512<2, false>, microAvx512<3, false>,
+    microAvx512<4, false>, microAvx512<5, false>, microAvx512<6, false>};
+constexpr std::array<MicroFn, 6> kAvx512TFns = {
+    microAvx512<1, true>, microAvx512<2, true>, microAvx512<3, true>,
+    microAvx512<4, true>, microAvx512<5, true>, microAvx512<6, true>};
 #define DLRMOPT_GEMM_HAVE_AVX512 1
 #else
 #define DLRMOPT_GEMM_HAVE_AVX512 0
@@ -219,18 +245,23 @@ struct MicroSet
 };
 
 MicroSet
-microSetFor(SimdLevel level)
+microSetFor(SimdLevel level, bool trans = false)
 {
 #if DLRMOPT_GEMM_HAVE_AVX512
-    if (level == SimdLevel::Avx512)
-        return {kAvx512Fns.data(), kAvx512Fns.size()};
+    if (level == SimdLevel::Avx512) {
+        return trans ? MicroSet{kAvx512TFns.data(), kAvx512TFns.size()}
+                     : MicroSet{kAvx512Fns.data(), kAvx512Fns.size()};
+    }
 #endif
 #if DLRMOPT_GEMM_HAVE_AVX2
-    if (level != SimdLevel::Scalar)
-        return {kAvx2Fns.data(), kAvx2Fns.size()};
+    if (level != SimdLevel::Scalar) {
+        return trans ? MicroSet{kAvx2TFns.data(), kAvx2TFns.size()}
+                     : MicroSet{kAvx2Fns.data(), kAvx2Fns.size()};
+    }
 #endif
     (void)level;
-    return {kScalarFns.data(), kScalarFns.size()};
+    return trans ? MicroSet{kScalarTFns.data(), kScalarTFns.size()}
+                 : MicroSet{kScalarFns.data(), kScalarFns.size()};
 }
 
 /**
@@ -244,7 +275,7 @@ microSetFor(SimdLevel level)
 void
 runPacked(const float *in, std::size_t batch, const PackedWeights& w,
           const float *bias, float *out, bool relu, GemmTile tile,
-          const MicroSet& ms)
+          const MicroSet& ms, bool trans = false)
 {
     const std::size_t K = w.inDim();
     const std::size_t N = w.outDim();
@@ -253,6 +284,10 @@ runPacked(const float *in, std::size_t batch, const PackedWeights& w,
     std::size_t mr = tile.mr == 0 ? ms.maxMr : tile.mr;
     mr = std::min({mr, ms.maxMr, batch});
     const std::size_t kc = (tile.kc == 0 || tile.kc > K) ? K : tile.kc;
+    // m-major: activation rows stride by the depth. n-major
+    // (transposed): feature rows stride by the batch, so the
+    // (m0, k0) block starts at column m0 of feature row k0.
+    const std::size_t lda = trans ? batch : K;
 
     for (std::size_t p = 0; p < w.numPanels(); ++p) {
         const std::size_t n0 = p * NR;
@@ -263,8 +298,8 @@ runPacked(const float *in, std::size_t batch, const PackedWeights& w,
             // Degenerate depth: epilogue only (bias + optional ReLU).
             for (std::size_t m0 = 0; m0 < batch; m0 += mr) {
                 const std::size_t mm = std::min(mr, batch - m0);
-                ms.fns[mm - 1](in, K, pb, 0, out + m0 * N + n0, N, nv,
-                               pbias, relu, true, true);
+                ms.fns[mm - 1](in, lda, pb, 0, out + m0 * N + n0, N,
+                               nv, pbias, relu, true, true);
             }
             continue;
         }
@@ -274,7 +309,9 @@ runPacked(const float *in, std::size_t batch, const PackedWeights& w,
             const bool last = k0 + kk == K;
             for (std::size_t m0 = 0; m0 < batch; m0 += mr) {
                 const std::size_t mm = std::min(mr, batch - m0);
-                ms.fns[mm - 1](in + m0 * K + k0, K, pb + k0 * NR, kk,
+                const float *ablk = trans ? in + k0 * batch + m0
+                                          : in + m0 * K + k0;
+                ms.fns[mm - 1](ablk, lda, pb + k0 * NR, kk,
                                out + m0 * N + n0, N, nv, pbias, relu,
                                first, last);
             }
@@ -361,10 +398,11 @@ GemmTileCache::bucketRepresentative(int bucket)
 
 GemmTile
 GemmTileCache::lookup(std::size_t batch, std::size_t in_dim,
-                      std::size_t out_dim, SimdLevel level) const
+                      std::size_t out_dim, SimdLevel level,
+                      bool trans) const
 {
     const Key key{bucketOf(batch), in_dim, out_dim,
-                  static_cast<int>(level)};
+                  static_cast<int>(level), trans ? 1 : 0};
     {
         std::lock_guard<std::mutex> lock(_mu);
         const auto it = _tiles.find(key);
@@ -376,10 +414,11 @@ GemmTileCache::lookup(std::size_t batch, std::size_t in_dim,
 
 bool
 GemmTileCache::contains(std::size_t batch, std::size_t in_dim,
-                        std::size_t out_dim, SimdLevel level) const
+                        std::size_t out_dim, SimdLevel level,
+                        bool trans) const
 {
     const Key key{bucketOf(batch), in_dim, out_dim,
-                  static_cast<int>(level)};
+                  static_cast<int>(level), trans ? 1 : 0};
     std::lock_guard<std::mutex> lock(_mu);
     return _tiles.count(key) != 0;
 }
@@ -387,10 +426,10 @@ GemmTileCache::contains(std::size_t batch, std::size_t in_dim,
 void
 GemmTileCache::install(std::size_t batch, std::size_t in_dim,
                        std::size_t out_dim, SimdLevel level,
-                       GemmTile tile)
+                       GemmTile tile, bool trans)
 {
     const Key key{bucketOf(batch), in_dim, out_dim,
-                  static_cast<int>(level)};
+                  static_cast<int>(level), trans ? 1 : 0};
     std::lock_guard<std::mutex> lock(_mu);
     _tiles[key] = tile;
 }
@@ -428,6 +467,30 @@ denseLayerForwardPackedLevel(SimdLevel level, const float *in,
                              const GemmTile& tile)
 {
     runPacked(in, batch, w, bias, out, relu, tile, microSetFor(level));
+}
+
+void
+denseLayerForwardPackedTrans(const float *in_t, std::size_t batch,
+                             const PackedWeights& w, const float *bias,
+                             float *out, bool relu)
+{
+    const SimdLevel level = currentSimdLevel();
+    runPacked(in_t, batch, w, bias, out, relu,
+              GemmTileCache::instance().lookup(batch, w.inDim(),
+                                               w.outDim(), level,
+                                               /*trans=*/true),
+              microSetFor(level, /*trans=*/true), /*trans=*/true);
+}
+
+void
+denseLayerForwardPackedTransLevel(SimdLevel level, const float *in_t,
+                                  std::size_t batch,
+                                  const PackedWeights& w,
+                                  const float *bias, float *out,
+                                  bool relu, const GemmTile& tile)
+{
+    runPacked(in_t, batch, w, bias, out, relu, tile,
+              microSetFor(level, /*trans=*/true), /*trans=*/true);
 }
 
 void

@@ -189,17 +189,25 @@ class GemmTileCache
     /** Number of m-buckets. */
     static constexpr int numBuckets = 5;
 
-    /** Cached tile for this point, or defaultGemmTile on a miss. */
+    /**
+     * Cached tile for this point, or defaultGemmTile on a miss.
+     * @p trans keys the n-major (transposed-activation) engine
+     * variant separately — its streaming pattern over the activations
+     * differs, so the best blocking can too.
+     */
     GemmTile lookup(std::size_t batch, std::size_t in_dim,
-                    std::size_t out_dim, SimdLevel level) const;
+                    std::size_t out_dim, SimdLevel level,
+                    bool trans = false) const;
 
     /** True when this exact point has an autotuned entry. */
     bool contains(std::size_t batch, std::size_t in_dim,
-                  std::size_t out_dim, SimdLevel level) const;
+                  std::size_t out_dim, SimdLevel level,
+                  bool trans = false) const;
 
-    /** Installs @p tile for (bucketOf(batch), shape, level). */
+    /** Installs @p tile for (bucketOf(batch), shape, level, trans). */
     void install(std::size_t batch, std::size_t in_dim,
-                 std::size_t out_dim, SimdLevel level, GemmTile tile);
+                 std::size_t out_dim, SimdLevel level, GemmTile tile,
+                 bool trans = false);
 
     /** Number of installed entries. */
     std::size_t size() const;
@@ -208,7 +216,7 @@ class GemmTileCache
     void clear();
 
   private:
-    using Key = std::tuple<int, std::size_t, std::size_t, int>;
+    using Key = std::tuple<int, std::size_t, std::size_t, int, int>;
 
     mutable std::mutex _mu;
     std::map<Key, GemmTile> _tiles;
@@ -243,6 +251,36 @@ void denseLayerForwardPackedLevel(SimdLevel level, const float *in,
                                   const PackedWeights& w,
                                   const float *bias, float *out,
                                   bool relu, const GemmTile& tile = {});
+
+/**
+ * n-major (transposed-activation) packed dense layer:
+ * out = act(A^T * W^T + b) where @p in_t holds the activations
+ * feature-major, [w.inDim() x batch] row-major (element (m, k) at
+ * in_t[k*batch + m]). The output stays row-major [batch x w.outDim()],
+ * so one trans call converts a feature-major producer (the streaming
+ * pipeline's interaction stage) back into the standard layout without
+ * a separate repack pass.
+ *
+ * Only the activation load addresses differ from the m-major engine —
+ * each output element runs the identical fmaf chain over ascending k
+ * with the same fused epilogue — so results are bitwise-identical to
+ * denseLayerForwardPacked on the same (untransposed) activations,
+ * across SimdLevels and tiles alike.
+ */
+void denseLayerForwardPackedTrans(const float *in_t, std::size_t batch,
+                                  const PackedWeights& w,
+                                  const float *bias, float *out,
+                                  bool relu);
+
+/** denseLayerForwardPackedTrans with a forced ISA level and explicit
+ *  tile (testing / ablation / autotuning). */
+void denseLayerForwardPackedTransLevel(SimdLevel level,
+                                       const float *in_t,
+                                       std::size_t batch,
+                                       const PackedWeights& w,
+                                       const float *bias, float *out,
+                                       bool relu,
+                                       const GemmTile& tile = {});
 
 /** Logistic sigmoid applied elementwise in place. */
 void sigmoidInplace(float *data, std::size_t n);

@@ -76,6 +76,19 @@ class Mlp
                  Tensor& scratch_b) const;
 
     /**
+     * forward() from a feature-major (transposed) input: @p in_t is
+     * [inputDim() x batch] with sample m's feature k at
+     * in_t[k*batch + m]. The first layer runs through the n-major
+     * packed engine (no repack pass); later layers and the output are
+     * row-major as usual. Bitwise-identical to forward() on the
+     * untransposed activations — the n-major microkernels run the
+     * same per-element fmaf chain, only the load addresses differ.
+     */
+    void forwardFromTransposed(const Tensor& in_t, Tensor& out,
+                               Tensor& scratch_a,
+                               Tensor& scratch_b) const;
+
+    /**
      * Panel-packed weights of layer @p l, built once at construction
      * and shared read-only by every forward (both overloads run
      * through the packed microkernel engine).

@@ -18,6 +18,8 @@
 namespace dlrmopt::sched
 {
 
+struct PipelineSplit;
+
 /**
  * Grouping of logical CPUs by physical core.
  */
@@ -82,8 +84,29 @@ class Topology
     static Topology synthetic(std::size_t cores,
                               std::size_t threads_per_core);
 
+    /**
+     * Gather/compute core-group split for the stage-pipelined serving
+     * dispatch: the memory-bound embedding-gather stage and the
+     * compute-bound interaction+MLP stage run on disjoint core groups
+     * so dispatch k+1's gather overlaps dispatch k's compute. The
+     * gather group comes first (and takes the extra core when the
+     * count is odd — the gather stage is the bandwidth-bound one the
+     * paper shows dominating at-scale serving).
+     *
+     * @throws std::invalid_argument when fewer than two physical
+     *         cores are available (no disjoint groups to overlap on).
+     */
+    PipelineSplit pipelineSplit() const;
+
   private:
     std::vector<std::vector<int>> _cores;
+};
+
+/** Disjoint core groups for the stage-pipelined serving dispatch. */
+struct PipelineSplit
+{
+    Topology gather;  //!< cores for the embedding-gather stage
+    Topology compute; //!< cores for the interaction+MLP stage
 };
 
 /**

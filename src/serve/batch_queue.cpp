@@ -184,8 +184,8 @@ BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
                       double straggle,
                       std::vector<PendingRequest>& out)
 {
-    nextBatchImpl(core_free_ms, cap, sla_ms, &service, false, straggle,
-                  out);
+    nextBatchImpl(core_free_ms, cap, nullptr, sla_ms, &service, false,
+                  straggle, out);
 }
 
 void
@@ -199,12 +199,39 @@ BatchQueue::nextBatch(double core_free_ms, std::size_t cap,
         throw std::invalid_argument(
             "BatchQueue: need one service model per tenant");
     }
-    nextBatchImpl(core_free_ms, cap, sla_ms, service_by_tenant.data(),
-                  true, straggle, out);
+    nextBatchImpl(core_free_ms, cap, nullptr, sla_ms,
+                  service_by_tenant.data(), true, straggle, out);
+}
+
+void
+BatchQueue::nextBatch(double core_free_ms,
+                      const std::vector<std::size_t>& cap_by_tenant,
+                      double sla_ms,
+                      const std::vector<ServiceModel>& service_by_tenant,
+                      double straggle,
+                      std::vector<PendingRequest>& out)
+{
+    if (cap_by_tenant.size() < _sub.size()) {
+        throw std::invalid_argument(
+            "BatchQueue: need one coalescing cap per tenant");
+    }
+    for (const std::size_t c : cap_by_tenant) {
+        if (c == 0) {
+            throw std::invalid_argument(
+                "BatchQueue: per-tenant caps must be >= 1");
+        }
+    }
+    if (service_by_tenant.size() < _sub.size()) {
+        throw std::invalid_argument(
+            "BatchQueue: need one service model per tenant");
+    }
+    nextBatchImpl(core_free_ms, 1, cap_by_tenant.data(), sla_ms,
+                  service_by_tenant.data(), true, straggle, out);
 }
 
 void
 BatchQueue::nextBatchImpl(double core_free_ms, std::size_t cap,
+                          const std::size_t *cap_by_tenant,
                           double sla_ms, const ServiceModel *service,
                           bool per_tenant, double straggle,
                           std::vector<PendingRequest>& out)
@@ -245,9 +272,10 @@ BatchQueue::nextBatchImpl(double core_free_ms, std::size_t cap,
     --_count;
 
     const ServiceModel& model = per_tenant ? service[t] : *service;
-    const std::size_t total = formGroup(q, core_free_ms, cap, sla_ms,
-                                        model, straggle, budget,
-                                        out);
+    const std::size_t eff_cap = cap_by_tenant ? cap_by_tenant[t] : cap;
+    const std::size_t total = formGroup(q, core_free_ms, eff_cap,
+                                        sla_ms, model, straggle,
+                                        budget, out);
     if (_fair) {
         _deficit[t] -= static_cast<double>(total);
         if (q.empty())

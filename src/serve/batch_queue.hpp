@@ -167,6 +167,22 @@ class BatchQueue
                    const std::vector<ServiceModel>& service_by_tenant,
                    double straggle, std::vector<PendingRequest>& out);
 
+    /**
+     * Same, with one coalescing cap per tenant id: per-tenant
+     * degradation tiers shrink how much the *pressured* tenant
+     * coalesces without touching its neighbours' caps. The cap of
+     * the DRR-selected head tenant bounds the group (groups never
+     * mix tenants).
+     *
+     * @throws std::invalid_argument when fewer caps or models than
+     *         tenants are supplied, or a cap is zero.
+     */
+    void nextBatch(double core_free_ms,
+                   const std::vector<std::size_t>& cap_by_tenant,
+                   double sla_ms,
+                   const std::vector<ServiceModel>& service_by_tenant,
+                   double straggle, std::vector<PendingRequest>& out);
+
   private:
     struct EarlierReady
     {
@@ -192,10 +208,13 @@ class BatchQueue
                           std::vector<PendingRequest>& out);
 
     /** Shared selection + formation; @p service points at one model
-     *  (per_tenant false) or one per tenant id (per_tenant true). */
+     *  (per_tenant false) or one per tenant id (per_tenant true), and
+     *  @p cap_by_tenant (nullable) overrides @p cap with the head
+     *  tenant's own coalescing cap. */
     void nextBatchImpl(double core_free_ms, std::size_t cap,
-                       double sla_ms, const ServiceModel *service,
-                       bool per_tenant, double straggle,
+                       const std::size_t *cap_by_tenant, double sla_ms,
+                       const ServiceModel *service, bool per_tenant,
+                       double straggle,
                        std::vector<PendingRequest>& out);
 
     BatchConfig _cfg;

@@ -473,7 +473,18 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         return it->second;
     };
 
-    const DegradeState tier = DegradationPolicy::stateForTier(0);
+    // Per-tenant degradation: each tenant walks its own tier ladder
+    // against its own SLA, so one tenant's tail blow-up shrinks only
+    // that tenant's coalescing cap and execution scheme. Tenants with
+    // degrade disabled (the default) stay pinned at tier 0.
+    std::vector<DegradationPolicy> degrade;
+    degrade.reserve(n_t);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        degrade.emplace_back(_reg.tenant(k).degrade,
+                             _reg.tenant(k).effectiveSlaMs());
+    }
+    std::vector<std::size_t> caps(n_t, _cfg.batching.maxRequests);
+
     const double linger = _cfg.batching.maxLingerMs;
     const double inf = std::numeric_limits<double>::max();
 
@@ -590,15 +601,21 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         const double straggle =
             finj ? finj->serviceFactor(core) : 1.0;
 
-        for (std::size_t k = 0; k < n_t; ++k)
+        for (std::size_t k = 0; k < n_t; ++k) {
             estimates[k] = recal[k].current();
-        queue.nextBatch(free_at[inst][core],
-                        _cfg.batching.maxRequests, 0.0, estimates,
+            caps[k] = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::floor(
+                       degrade[k].state().batchFraction *
+                       static_cast<double>(
+                           _cfg.batching.maxRequests))));
+        }
+        queue.nextBatch(free_at[inst][core], caps, 0.0, estimates,
                         straggle, members);
         if (members.empty())
             continue;
 
         const std::uint32_t ten = members.front().tenant;
+        const DegradeState tier = degrade[ten].state();
         const TenantConfig& tc = _reg.tenant(ten);
         TenantStats& ts = fs.perTenant[ten];
         const double sla = tc.effectiveSlaMs();
@@ -703,6 +720,7 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
                 const double latency = end - r.arrivalMs;
                 fs.total.latency.add(latency);
                 ts.stats.latency.add(latency);
+                degrade[ten].observe(latency);
                 if (latency <= sla) {
                     ++fs.compliant;
                     ++ts.compliant;
@@ -743,6 +761,9 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         fs.estimateError[k] = recal[k].meanRelativeError();
         fs.estimateStale[k] = recal[k].stale() ? 1 : 0;
         fs.perTenant[k].stats.makespanMs = makespan;
+        fs.perTenant[k].stats.degradeEscalations =
+            degrade[k].escalations();
+        fs.perTenant[k].stats.finalTier = degrade[k].tier();
     }
     fs.makespanMs = makespan;
     fs.total.makespanMs = makespan;

@@ -51,6 +51,13 @@ struct ServeStats
     std::size_t degradeEscalations = 0; //!< tier upshifts observed
     int finalTier = 0;                  //!< degradation tier at end
 
+    /** Virtual busy time of the gather / compute pipeline lanes
+     *  (streamed dispatch only; both 0 for unpipelined sessions).
+     *  Their overlap is what the streamed mode's makespan win comes
+     *  from: gatherBusyMs + computeBusyMs can exceed makespanMs. */
+    double gatherBusyMs = 0.0;
+    double computeBusyMs = 0.0;
+
     /** Fraction of arrived requests rejected on arrival. */
     double
     shedRate() const

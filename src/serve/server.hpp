@@ -97,6 +97,25 @@ struct ServerConfig
      *  by default: every request dispatches alone. */
     BatchConfig batching;
 
+    /**
+     * Stage-pipelined streaming dispatch: coalesced dispatches flow
+     * through two lanes on disjoint core groups — dispatch k+1's
+     * memory-bound embedding gather overlaps dispatch k's
+     * compute-bound interaction+MLP via the workspace's rotating
+     * StageBuffers. Steady-state per-dispatch cost drops from
+     * gather+compute to max(gather, compute); predictions stay
+     * bitwise-identical to serveBatched. Requires batching.enabled
+     * (the streamed loop is a batched event loop) and degrades to
+     * sequential dispatch whenever the degradation tier disables
+     * stage overlap or the instance has a single core.
+     */
+    bool streamed = false;
+
+    /** Fraction of the whole-forward service estimate attributed to
+     *  the gather stage when pricing the streamed pipeline
+     *  (StageServiceModel::split). */
+    double gatherFraction = 0.5;
+
     bool admission = true;   //!< shed on projected deadline miss
 
     std::size_t maxRetries = 2;   //!< retry budget per request
@@ -281,6 +300,18 @@ class Server
         return _batchWs.predictions();
     }
 
+    /**
+     * Backing-store fingerprint of the persistent batched workspace
+     * (core::ForwardWorkspace::bufferFingerprint). Unchanged across
+     * sessions means no dispatch reallocated or moved a buffer — the
+     * probe the streamed fault tests use to show a poisoned in-flight
+     * stage never disturbed the sibling rotation set's storage.
+     */
+    std::size_t workspaceFingerprint() const
+    {
+        return _batchWs.bufferFingerprint();
+    }
+
   private:
     /**
      * Event loop used when cfg.batching.enabled: a BatchQueue
@@ -294,6 +325,22 @@ class Server
                             const std::vector<core::SparseBatch>& batches,
                             const std::vector<double>& arrivals_ms,
                             const core::PrefetchSpec& pf);
+
+    /**
+     * Event loop used when cfg.streamed: like serveBatched, but the
+     * dispatch is split across a gather lane and a compute lane on
+     * disjoint cores. While dispatch k's compute stage runs, dispatch
+     * k+1's gather stage fills the sibling StageBuffers set — really
+     * overlapped on the pool *and* priced as overlapped on the
+     * virtual clock (gather_start >= the compute end two dispatches
+     * back enforces the two-set ring). A faulted in-flight stage
+     * fails only its own dispatch's members; the sibling set is
+     * untouched.
+     */
+    ServeStats serveStreamed(const core::Tensor& dense,
+                             const std::vector<core::SparseBatch>& batches,
+                             const std::vector<double>& arrivals_ms,
+                             const core::PrefetchSpec& pf);
 
     const core::DlrmModel& _model;
     ServerConfig _cfg;

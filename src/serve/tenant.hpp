@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/model_config.hpp"
+#include "serve/degrade.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/service_model.hpp"
 
@@ -66,6 +67,14 @@ struct TenantConfig
     /** Scripted truth of this tenant's actual service times over the
      *  virtual clock (stationary by default). */
     ServiceTimeline truth{ServiceModel::constant(1.0)};
+
+    /** Per-tenant graceful-degradation thresholds: each tenant walks
+     *  its own tier ladder against its own SLA, so one tenant's tail
+     *  blow-up shrinks only that tenant's coalescing and execution
+     *  scheme instead of degrading its neighbours. Disabled by
+     *  default (every dispatch runs at tier 0, the pre-existing
+     *  fleet behaviour). */
+    DegradeConfig degrade;
 
     double
     effectiveSlaMs() const

@@ -436,6 +436,48 @@ TEST(WfqQueue, PerTenantModelsPriceTheGroupDeadline)
                  std::invalid_argument);
 }
 
+TEST(WfqQueue, PerTenantCapsShrinkOnlyTheirOwnTenant)
+{
+    // Tenant 0 is degraded to a cap of 1 while tenant 1 keeps its
+    // full cap of 4: every tenant-0 dispatch must go out solo while
+    // tenant-1 groups still coalesce to 4, from the same queue.
+    WfqConfig wfq;
+    wfq.weights = {1.0, 1.0};
+    wfq.quantumSamples = 64.0;
+    BatchQueue q(BatchConfig{}, wfq);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        q.push(treq(0, 0.0, i));
+        q.push(treq(1, 0.0, 100 + i));
+    }
+
+    const std::vector<std::size_t> caps = {1, 4};
+    const std::vector<ServiceModel> models = {
+        ServiceModel{0.1, 0.01}, ServiceModel{0.1, 0.01}};
+    std::vector<PendingRequest> out;
+    std::size_t biggest[2] = {0, 0};
+    std::size_t dispatches[2] = {0, 0};
+    while (!q.empty()) {
+        q.nextBatch(0.0, caps, 100.0, models, 1.0, out);
+        ASSERT_FALSE(out.empty());
+        const std::uint32_t t = out.front().tenant;
+        biggest[t] = std::max(biggest[t], out.size());
+        ++dispatches[t];
+    }
+    EXPECT_EQ(biggest[0], 1u);   // degraded cap binds
+    EXPECT_EQ(dispatches[0], 4u);
+    EXPECT_EQ(biggest[1], 4u);   // neighbour keeps full coalescing
+    EXPECT_EQ(dispatches[1], 1u);
+
+    // Contract checks: a zero cap and a short cap vector are bugs.
+    q.push(treq(0, 0.0, 9));
+    const std::vector<std::size_t> zero = {0, 4};
+    EXPECT_THROW(q.nextBatch(0.0, zero, 100.0, models, 1.0, out),
+                 std::invalid_argument);
+    const std::vector<std::size_t> too_few_caps = {1};
+    EXPECT_THROW(q.nextBatch(0.0, too_few_caps, 100.0, models, 1.0, out),
+                 std::invalid_argument);
+}
+
 TEST_F(BatchQueueTest, RequestSlaOverridesTheSessionSla)
 {
     // A request carrying its own 1 ms SLA is infeasible under the

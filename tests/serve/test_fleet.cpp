@@ -289,6 +289,43 @@ TEST_F(FleetTest, ElasticSpendsFewerInstanceMsThanStaticOnABurst)
               sstat.perTenant[0].goodput() - 0.15);
 }
 
+TEST_F(FleetTest, DegradationTiersAreScopedPerTenant)
+{
+    // Both tenants run the *same* degradation knobs, but only the
+    // flooding tenant builds latency pressure against its tight SLA.
+    // Its policy must escalate — shrinking its own coalescing cap —
+    // while the calm neighbour's policy, fed only its own latencies,
+    // stays at tier 0 on the very same instances.
+    TenantRegistry reg;
+    TenantConfig pressured = makeTenant("pressured", 4096, 8.0, 1.0);
+    pressured.degrade.enabled = true;
+    pressured.degrade.window = 16;
+    pressured.degrade.cooldown = 16;
+    TenantConfig calm = makeTenant("calm", 2048, 60.0, 1.0);
+    calm.degrade = pressured.degrade;
+    reg.add(pressured);
+    reg.add(calm);
+
+    FleetConfig cfg = baseConfig();
+    cfg.admission = false; // let the backlog produce real latencies
+
+    std::vector<TenantWorkload> work;
+    work.push_back(makeWork(reg.tenant(0).model, 5,
+                            evenArrivals(200, 0.05)));
+    work.push_back(makeWork(reg.tenant(1).model, 6,
+                            evenArrivals(20, 3.0)));
+
+    TenantFleet fleet(reg, topo, cfg);
+    const FleetStats fs = fleet.serve(work);
+
+    EXPECT_TRUE(fs.conserved());
+    ASSERT_EQ(fs.perTenant.size(), 2u);
+    EXPECT_GT(fs.perTenant[0].stats.degradeEscalations, 0u);
+    EXPECT_GT(fs.perTenant[0].stats.finalTier, 0);
+    EXPECT_EQ(fs.perTenant[1].stats.degradeEscalations, 0u);
+    EXPECT_EQ(fs.perTenant[1].stats.finalTier, 0);
+}
+
 TEST_F(FleetTest, ChaosSessionConservesAndRecovers)
 {
     TenantRegistry reg;

@@ -247,6 +247,30 @@ TEST(CliRun, BatchRejectsBadOptions)
               0);
 }
 
+TEST(CliRun, BatchStreamedAddsThePipelinedRow)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"batch", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "80",
+                   "--arrival-ms", "1.0", "--sla", "25", "--cores",
+                   "2", "--max-requests", "4", "--linger-ms", "1.0",
+                   "--streamed", "--gather-fraction", "0.4", "--seed",
+                   "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("batch 4 @ 1.0ms"), std::string::npos);
+    EXPECT_NE(s.find("streamed 4 g=0.40"), std::string::npos);
+
+    // A malformed stage split is rejected up front.
+    std::ostringstream o2, e2;
+    EXPECT_NE(run(parse({"batch", "--streamed", "--gather-fraction",
+                         "1.5"}),
+                  o2, e2),
+              0);
+}
+
 TEST(CliRun, SweepRejectsUnknownAxis)
 {
     std::ostringstream out, err;

@@ -773,6 +773,22 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
                       bcfg.batching.maxRequests, linger);
         report(label, srv.serve(dense, batches, arrivals));
     }
+    if (args.has("streamed")) {
+        // Stage-pipelined dispatch over the same stream: gather of
+        // dispatch k+1 overlaps compute of dispatch k on split core
+        // groups (needs >= 2 cores for real overlap).
+        serve::ServerConfig pcfg = bcfg;
+        pcfg.batching.maxLingerMs = args.getDouble("linger-ms", 1.0);
+        pcfg.streamed = true;
+        pcfg.gatherFraction =
+            args.getDouble("gather-fraction", 0.5);
+        serve::Server srv(model, topo, pcfg);
+        char label[48];
+        std::snprintf(label, sizeof(label),
+                      "streamed %zu g=%.2f ",
+                      pcfg.batching.maxRequests, pcfg.gatherFraction);
+        report(label, srv.serve(dense, batches, arrivals));
+    }
     return 0;
 }
 
@@ -1100,6 +1116,8 @@ usage()
            "batch options (plus the serve options above):\n"
            "  --max-requests N --linger-ms X --calibrate\n"
            "  --service-base-ms X --service-per-sample-ms X\n"
+           "  --streamed (add the stage-pipelined dispatch row)\n"
+           "  --gather-fraction F (stage split for --streamed)\n"
            "\n"
            "chaos options (plus the router options above):\n"
            "  --scenario all|crash-storm|rolling-corruption|"
