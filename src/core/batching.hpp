@@ -111,6 +111,7 @@ struct StageBuffers
     Tensor mlpA;             //!< MLP ping-pong scratch
     Tensor mlpB;
     std::vector<const float *> embPtrs; //!< interaction pointer table
+    std::vector<std::uint8_t> qact;     //!< int8 activation staging
 };
 
 /**
@@ -167,10 +168,17 @@ class ForwardWorkspace
      * a fresh DlrmWorkspace.
      *
      * @param dense Dense features [sparse.batchSize x denseDim].
+     * @param dtype Inference precision (see DlrmModel::forward):
+     *        Bf16 swaps in the bf16 fused-dequant bags, Int8 the int8
+     *        bags plus the u8·s8 MLP engine staged through the set's
+     *        qact buffer. (The streamed pipeline quantizes only its
+     *        gather stage — see stageGather — its compute stages run
+     *        fp32.)
      */
     const Tensor& forward(const DlrmModel& model, const Tensor& dense,
                           const SparseBatch& sparse,
-                          const PrefetchSpec& pf = {});
+                          const PrefetchSpec& pf = {},
+                          EmbDtype dtype = EmbDtype::Fp32);
 
     /**
      * Coalesces member requests (sparse inputs plus their dense
@@ -208,11 +216,18 @@ class ForwardWorkspace
      * Returns the set index staged (pass it to stageCompute). Safe to
      * run concurrently with a stageCompute on the other set; the
      * caller serializes successive gathers.
+     *
+     * @param dtype Precision of the embedding bags (the stage this
+     *        lane exists to overlap is exactly the bandwidth-bound
+     *        one quantization accelerates). The compute stages stay
+     *        fp32 regardless — pooled bag outputs are fp32 at every
+     *        precision, so the handoff is unchanged.
      */
     std::size_t stageGather(const DlrmModel& model,
                             const std::vector<const SparseBatch *>& parts,
                             const std::vector<const Tensor *>& dense_parts,
-                            const PrefetchSpec& pf = {});
+                            const PrefetchSpec& pf = {},
+                            EmbDtype dtype = EmbDtype::Fp32);
 
     /**
      * Pipeline compute stage over rotation set @p set: bottom MLP,

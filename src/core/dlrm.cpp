@@ -74,23 +74,54 @@ DlrmModel::DlrmModel(const ModelConfig& cfg,
 }
 
 void
-DlrmModel::bottomForward(const Tensor& dense, Tensor& out) const
+DlrmModel::attachQuantizedStore(
+    std::shared_ptr<const EmbeddingStore> store)
 {
-    _bottom.forward(dense, out);
+    if (store == nullptr) {
+        throw std::invalid_argument(
+            "attachQuantizedStore: null store");
+    }
+    if (store->dtype() == EmbDtype::Fp32) {
+        throw std::invalid_argument(
+            "attachQuantizedStore: the primary store already serves "
+            "fp32; attach only bf16/int8 copies");
+    }
+    if (store->numTables() != _cfg.tables ||
+        store->rows() != _cfg.rows || store->dim() != _cfg.dim) {
+        throw std::invalid_argument(
+            "attachQuantizedStore: store geometry does not match the "
+            "model config");
+    }
+    if (store->dtype() == EmbDtype::Bf16)
+        _bf16Store = std::move(store);
+    else
+        _int8Store = std::move(store);
+}
+
+void
+DlrmModel::bottomForward(const Tensor& dense, Tensor& out,
+                         EmbDtype dtype) const
+{
+    if (dtype == EmbDtype::Int8)
+        _bottom.forwardInt8(dense, out);
+    else
+        _bottom.forward(dense, out);
 }
 
 void
 DlrmModel::embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
-                            const PrefetchSpec& pf) const
+                            const PrefetchSpec& pf,
+                            EmbDtype dtype) const
 {
     assert(sparse.numTables() == _cfg.tables);
+    const EmbeddingStore& store = storeFor(dtype);
     const std::size_t batch = sparse.batchSize;
     emb_out.reshape(_numTables, batch * _cfg.dim);
     for (std::size_t t = 0; t < _numTables; ++t) {
         const std::size_t g = _firstTable + t;
-        _store->table(g).bag(sparse.indices[g].data(),
-                             sparse.offsets[g].data(), batch,
-                             emb_out.row(t), pf);
+        store.table(g).bag(sparse.indices[g].data(),
+                           sparse.offsets[g].data(), batch,
+                           emb_out.row(t), pf);
     }
 }
 
@@ -132,26 +163,31 @@ DlrmModel::interactionForwardTransposed(
 }
 
 void
-DlrmModel::topForward(const Tensor& inter_out, Tensor& pred) const
+DlrmModel::topForward(const Tensor& inter_out, Tensor& pred,
+                      EmbDtype dtype) const
 {
-    _top.forward(inter_out, pred);
+    if (dtype == EmbDtype::Int8)
+        _top.forwardInt8(inter_out, pred);
+    else
+        _top.forward(inter_out, pred);
     sigmoidInplace(pred.data(), pred.size());
 }
 
 void
 DlrmModel::forward(const Tensor& dense, const SparseBatch& sparse,
-                   DlrmWorkspace& ws, const PrefetchSpec& pf) const
+                   DlrmWorkspace& ws, const PrefetchSpec& pf,
+                   EmbDtype dtype) const
 {
     if (!isFullView()) {
         throw std::logic_error(
             "DlrmModel::forward: shard views cannot run the full pass; "
             "merge shard embedding blocks with mergeShardEmbeddings()");
     }
-    bottomForward(dense, ws.bottomOut);
-    embeddingForward(sparse, ws.embOut, pf);
+    bottomForward(dense, ws.bottomOut, dtype);
+    embeddingForward(sparse, ws.embOut, pf, dtype);
     interactionForward(ws.bottomOut, ws.embOut, sparse.batchSize,
                        ws.interOut);
-    topForward(ws.interOut, ws.pred);
+    topForward(ws.interOut, ws.pred, dtype);
 }
 
 void

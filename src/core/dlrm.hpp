@@ -97,6 +97,46 @@ class DlrmModel
         return _store;
     }
 
+    /**
+     * Attaches a reduced-precision copy of the embedding store for
+     * quantized forwards: a bf16 or int8 store with the same
+     * rows/dim/tables geometry as the primary. Once attached,
+     * forward(..., dtype) and embeddingForward(..., dtype) route the
+     * lookup stage through it (serving's degradation tiers switch
+     * dtype per request without touching the model otherwise). Must
+     * be called before the model is shared across threads — stores
+     * are immutable on the read path, attachment is not.
+     *
+     * @throws std::invalid_argument when the store is null, is fp32
+     *         (attach only quantized copies; the primary already
+     *         serves fp32), or its geometry mismatches the primary.
+     */
+    void attachQuantizedStore(
+        std::shared_ptr<const EmbeddingStore> store);
+
+    /**
+     * Store serving @p dtype: the attached quantized copy when one
+     * matches, else the primary store (graceful fallback — a
+     * degradation tier asking for a precision that was never
+     * provisioned runs at the primary's precision instead).
+     */
+    const EmbeddingStore& storeFor(EmbDtype dtype) const
+    {
+        if (dtype == EmbDtype::Bf16 && _bf16Store)
+            return *_bf16Store;
+        if (dtype == EmbDtype::Int8 && _int8Store)
+            return *_int8Store;
+        return *_store;
+    }
+
+    /** True when a quantized store is attached for @p dtype. */
+    bool
+    hasQuantizedStore(EmbDtype dtype) const
+    {
+        return (dtype == EmbDtype::Bf16 && _bf16Store != nullptr) ||
+               (dtype == EmbDtype::Int8 && _int8Store != nullptr);
+    }
+
     /** Table by *global* table id (same id space as the store). */
     const EmbeddingTable& table(std::size_t t) const
     {
@@ -116,8 +156,15 @@ class DlrmModel
     /** Number of tables this view references. */
     std::size_t numLocalTables() const { return _numTables; }
 
-    /** Runs the bottom MLP: dense [batch x denseDim] -> [batch x dim]. */
-    void bottomForward(const Tensor& dense, Tensor& out) const;
+    /**
+     * Runs the bottom MLP: dense [batch x denseDim] -> [batch x dim].
+     * @p dtype Int8 routes through the u8·s8 packed engine; Fp32 and
+     * Bf16 run the fp32 engine (bf16 is an embedding-storage format —
+     * the MLPs have no bf16 kernel, so a bf16 tier pairs bf16 bags
+     * with fp32 GEMMs).
+     */
+    void bottomForward(const Tensor& dense, Tensor& out,
+                       EmbDtype dtype = EmbDtype::Fp32) const;
 
     /**
      * Runs the embedding lookup stage over this view's tables.
@@ -131,9 +178,12 @@ class DlrmModel
      *                For a full view this is the usual
      *                [tables x (batch * dim)] layout.
      * @param pf Software-prefetch configuration for embedding_bag.
+     * @param dtype Selects the store (storeFor(dtype)) the bags run
+     *        over; the fused-dequant kernels match its precision.
      */
     void embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
-                          const PrefetchSpec& pf = {}) const;
+                          const PrefetchSpec& pf = {},
+                          EmbDtype dtype = EmbDtype::Fp32) const;
 
     /**
      * Runs feature interaction given both stage outputs. Requires the
@@ -165,8 +215,10 @@ class DlrmModel
         std::size_t batch, Tensor& out_t,
         std::vector<const float *>& emb_scratch) const;
 
-    /** Runs the top MLP and sigmoid, producing CTR predictions. */
-    void topForward(const Tensor& inter_out, Tensor& pred) const;
+    /** Runs the top MLP and sigmoid, producing CTR predictions.
+     *  @p dtype routes the MLP like bottomForward. */
+    void topForward(const Tensor& inter_out, Tensor& pred,
+                    EmbDtype dtype = EmbDtype::Fp32) const;
 
     /**
      * Full end-to-end forward pass (sequential stage order).
@@ -175,13 +227,19 @@ class DlrmModel
      * @param sparse Sparse lookups for the same batch.
      * @param ws Scratch workspace (reused across calls).
      * @param pf Software-prefetch configuration.
+     * @param dtype Inference precision: Fp32 is the exact baseline;
+     *        Bf16 runs bf16 fused-dequant bags (fp32 MLPs); Int8 runs
+     *        int8 bags plus the u8·s8 MLP path. Quantized dtypes are
+     *        accuracy-budget approximations of fp32, each bitwise
+     *        deterministic in its own right.
      *
      * @throws std::logic_error on a shard view — the interaction
      *         stage needs every table's block; run embeddingForward
      *         per shard and mergeShardEmbeddings() instead.
      */
     void forward(const Tensor& dense, const SparseBatch& sparse,
-                 DlrmWorkspace& ws, const PrefetchSpec& pf = {}) const;
+                 DlrmWorkspace& ws, const PrefetchSpec& pf = {},
+                 EmbDtype dtype = EmbDtype::Fp32) const;
 
     const Mlp& bottomMlp() const { return _bottom; }
     const Mlp& topMlp() const { return _top; }
@@ -218,6 +276,8 @@ class DlrmModel
     Mlp _bottom;
     Mlp _top;
     std::shared_ptr<const EmbeddingStore> _store;
+    std::shared_ptr<const EmbeddingStore> _bf16Store;
+    std::shared_ptr<const EmbeddingStore> _int8Store;
     std::size_t _firstTable = 0;
     std::size_t _numTables = 0;
 };

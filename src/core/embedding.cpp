@@ -41,31 +41,36 @@ checkedTableSize(std::size_t rows, std::size_t dim)
 
 /**
  * Issues __builtin_prefetch for the first @p lines cache lines of the
- * embedding row at @p row_ptr. GCC requires the locality argument to
- * be a compile-time constant, hence the switch.
+ * @p row_bytes-byte embedding row at @p row_ptr. Quantized rows span
+ * fewer lines, so the same PrefetchSpec naturally pulls less data —
+ * that shrinkage is the bandwidth win. GCC requires the locality
+ * argument to be a compile-time constant, hence the switch.
  */
 inline void
-prefetchRow(const float *row_ptr, int lines, std::size_t dim, int locality)
+prefetchRow(const void *row_ptr, int lines, std::size_t row_bytes,
+            int locality)
 {
-    const std::size_t max_lines = (dim + floatsPerLine - 1) / floatsPerLine;
+    const std::size_t max_lines =
+        (row_bytes + cachelineBytes - 1) / cachelineBytes;
     const std::size_t n =
         std::min<std::size_t>(static_cast<std::size_t>(lines), max_lines);
+    const char *p = static_cast<const char *>(row_ptr);
     switch (locality) {
       case 3:
         for (std::size_t cb = 0; cb < n; ++cb)
-            __builtin_prefetch(row_ptr + cb * floatsPerLine, 0, 3);
+            __builtin_prefetch(p + cb * cachelineBytes, 0, 3);
         break;
       case 2:
         for (std::size_t cb = 0; cb < n; ++cb)
-            __builtin_prefetch(row_ptr + cb * floatsPerLine, 0, 2);
+            __builtin_prefetch(p + cb * cachelineBytes, 0, 2);
         break;
       case 1:
         for (std::size_t cb = 0; cb < n; ++cb)
-            __builtin_prefetch(row_ptr + cb * floatsPerLine, 0, 1);
+            __builtin_prefetch(p + cb * cachelineBytes, 0, 1);
         break;
       default:
         for (std::size_t cb = 0; cb < n; ++cb)
-            __builtin_prefetch(row_ptr + cb * floatsPerLine, 0, 0);
+            __builtin_prefetch(p + cb * cachelineBytes, 0, 0);
         break;
     }
 }
@@ -93,9 +98,22 @@ PrefetchSpec::validate() const
 }
 
 EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim,
-                               std::uint64_t seed)
-    : _rows(rows), _dim(dim), _data(checkedTableSize(rows, dim))
+                               std::uint64_t seed, EmbDtype dtype)
+    : _rows(rows), _dim(dim), _dtype(dtype)
 {
+    const std::size_t elems = checkedTableSize(rows, dim);
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        _bf16.resize(elems);
+        break;
+      case EmbDtype::Int8:
+        // Fused rows: dim codes + fp32 scale + fp32 bias, contiguous.
+        _q8.resize(rows * int8Stride());
+        break;
+      default:
+        _data.resize(elems);
+        break;
+    }
     regenerateRows(0, rows, seed);
 }
 
@@ -112,14 +130,31 @@ EmbeddingTable::regenerateRows(std::size_t first, std::size_t count,
     // Row contents only need to be deterministic and nonuniform enough
     // for checksum-style validation; a cheap counter hash suffices and
     // keeps multi-GB table construction fast. Each row is a pure
-    // function of (seed, r), so any subrange can be restored from the
-    // original seed without touching its neighbours.
+    // function of (seed, r) — the fp32 pattern is generated and then
+    // quantized to the storage dtype — so any subrange can be restored
+    // from the original seed without touching its neighbours, at every
+    // precision.
+    std::vector<float> tmp;
+    if (_dtype != EmbDtype::Fp32)
+        tmp.resize(_dim);
     for (std::size_t r = first; r < first + count; ++r) {
         const float base =
             static_cast<float>(toUnitInterval(mix64(seed ^ r)) - 0.5);
-        float *p = _data.data() + r * _dim;
+        float *p = _dtype == EmbDtype::Fp32 ? _data.data() + r * _dim
+                                            : tmp.data();
         for (std::size_t d = 0; d < _dim; ++d)
             p[d] = base + 0.001f * static_cast<float>(d % 16);
+        if (_dtype == EmbDtype::Bf16) {
+            std::uint16_t *q = _bf16.data() + r * _dim;
+            for (std::size_t d = 0; d < _dim; ++d)
+                q[d] = fp32ToBf16(p[d]);
+        } else if (_dtype == EmbDtype::Int8) {
+            std::uint8_t *row = _q8.data() + r * int8Stride();
+            const QuantParams qp = quantizeBlockInt8(p, _dim, row);
+            std::memcpy(row + _dim, &qp.scale, sizeof(float));
+            std::memcpy(row + _dim + sizeof(float), &qp.bias,
+                        sizeof(float));
+        }
     }
 }
 
@@ -131,16 +166,74 @@ EmbeddingTable::flipBit(std::size_t row, std::size_t bit)
             "EmbeddingTable::flipBit: row " + std::to_string(row) +
             " out of range [0, " + std::to_string(_rows) + ")");
     }
-    if (bit >= _dim * 32) {
+    if (bit >= payloadBits()) {
         throw std::invalid_argument(
             "EmbeddingTable::flipBit: bit " + std::to_string(bit) +
-            " out of range [0, " + std::to_string(_dim * 32) + ")");
+            " out of range [0, " + std::to_string(payloadBits()) + ")");
     }
-    float *p = _data.data() + row * _dim + bit / 32;
-    std::uint32_t u;
-    std::memcpy(&u, p, sizeof(u));
-    u ^= std::uint32_t{1} << (bit % 32);
-    std::memcpy(p, &u, sizeof(u));
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        _bf16[row * _dim + bit / 16] ^=
+            static_cast<std::uint16_t>(1u << (bit % 16));
+        return;
+      case EmbDtype::Int8:
+        // The fused row is little-endian flat bytes: dim codes, then
+        // the scale word, then the bias word — bit / 8 indexes
+        // straight into it for payload and metadata alike.
+        _q8[row * int8Stride() + bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        return;
+      default: {
+        float *p = _data.data() + row * _dim + bit / 32;
+        std::uint32_t u;
+        std::memcpy(&u, p, sizeof(u));
+        u ^= std::uint32_t{1} << (bit % 32);
+        std::memcpy(p, &u, sizeof(u));
+        return;
+      }
+    }
+}
+
+const void *
+EmbeddingTable::rowBytesPtr(std::size_t idx) const
+{
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        return _bf16.data() + idx * _dim;
+      case EmbDtype::Int8:
+        return _q8.data() + idx * int8Stride();
+      default:
+        return _data.data() + idx * _dim;
+    }
+}
+
+void
+EmbeddingTable::dequantRow(std::size_t row, float *dst) const
+{
+    if (row >= _rows) {
+        throw std::invalid_argument(
+            "EmbeddingTable::dequantRow: row " + std::to_string(row) +
+            " out of range [0, " + std::to_string(_rows) + ")");
+    }
+    switch (_dtype) {
+      case EmbDtype::Bf16: {
+        const std::uint16_t *q = _bf16.data() + row * _dim;
+        for (std::size_t d = 0; d < _dim; ++d)
+            dst[d] = bf16ToFp32(q[d]);
+        return;
+      }
+      case EmbDtype::Int8: {
+        const std::uint8_t *q = int8Row(static_cast<RowIndex>(row));
+        const QuantParams qp = int8Params(row);
+        for (std::size_t d = 0; d < _dim; ++d)
+            dst[d] = static_cast<float>(q[d]) * qp.scale + qp.bias;
+        return;
+      }
+      default:
+        std::memcpy(dst, _data.data() + row * _dim,
+                    _dim * sizeof(float));
+        return;
+    }
 }
 
 void
@@ -151,14 +244,59 @@ EmbeddingTable::bag(const RowIndex *indices, const RowIndex *offsets,
     const std::size_t total =
         static_cast<std::size_t>(offsets[samples]);
     const bool do_pf = pf.enabled();
+    // The look-ahead distance is tuned in fp32-row units (Fig. 10b).
+    // Quantized rows are 2-4x shorter, so each one occupies the
+    // memory system for a fraction of the time; keeping the same
+    // *byte* look-ahead (scaling the distance by the storage ratio)
+    // keeps the prefetch far enough ahead of the demand stream to
+    // cover DRAM latency. fp32 is unchanged (ratio 1).
     const std::size_t pf_dist = do_pf
-        ? static_cast<std::size_t>(pf.distance) : 0;
+        ? static_cast<std::size_t>(pf.distance) *
+              (32 / embDtypeBits(_dtype))
+        : 0;
+    // The whole-sample register-blocked kernels only issue T0
+    // prefetches (the paper's choice and the default); other
+    // localities fall back to the per-row path, which supports all
+    // four hints.
+    const bool sample_kernel_ok =
+        _dtype != EmbDtype::Fp32 && (!do_pf || pf.locality == 3);
+    const std::size_t max_pf_lines =
+        (storedRowBytes() + cachelineBytes - 1) / cachelineBytes;
+    const int pf_lines = do_pf
+        ? static_cast<int>(std::min<std::size_t>(
+              static_cast<std::size_t>(pf.lines), max_pf_lines))
+        : 0;
 
     for (std::size_t i = 0; i < samples; ++i) {
         float *out_ptr = out + i * _dim;
-        std::memset(out_ptr, 0, _dim * sizeof(float));
         const std::size_t begin = static_cast<std::size_t>(offsets[i]);
         const std::size_t end = static_cast<std::size_t>(offsets[i + 1]);
+        if (sample_kernel_ok) {
+            // The fused kernels need pre-validated indices (they have
+            // no per-lookup bounds branch); the validation pass is
+            // cheap — the indices span is about to be re-read anyway.
+            for (std::size_t s = begin; s < end; ++s) {
+                if (static_cast<std::uint64_t>(indices[s]) >=
+                    static_cast<std::uint64_t>(_rows)) {
+                    throw IndexError(
+                        "embedding_bag: index " +
+                        std::to_string(indices[s]) +
+                        " out of range [0, " + std::to_string(_rows) +
+                        ") at lookup " + std::to_string(s));
+                }
+            }
+            const bool done =
+                _dtype == EmbDtype::Bf16
+                    ? bagSampleBf16(out_ptr, _bf16.data(), _dim,
+                                    indices, begin, end, total, pf_dist,
+                                    pf_lines)
+                    : bagSampleInt8(out_ptr, _q8.data(), int8Stride(),
+                                    _dim, indices, begin, end, total,
+                                    pf_dist, pf_lines);
+            if (done)
+                continue;
+        }
+        std::memset(out_ptr, 0, _dim * sizeof(float));
         for (std::size_t s = begin; s < end; ++s) {
             // One unsigned compare per lookup: a negative index wraps
             // to a huge value, so this also rejects idx < 0. The
@@ -171,15 +309,77 @@ EmbeddingTable::bag(const RowIndex *indices, const RowIndex *offsets,
                     std::to_string(_rows) + ") at lookup " +
                     std::to_string(s));
             }
-            const float *row_ptr = rowPtr(indices[s]);
+            const std::size_t idx =
+                static_cast<std::size_t>(indices[s]);
             if (do_pf && s + pf_dist < total) {
                 // Look ahead in the indices array (the "what to
                 // prefetch" insight of Sec. 4.2) and pull the future
                 // row's lines toward the core before the demand load.
-                prefetchRow(rowPtr(indices[s + pf_dist]), pf.lines, _dim,
-                            pf.locality);
+                // Quantized rows are shorter, so the clamp inside
+                // prefetchRow issues proportionally fewer prefetches.
+                const std::size_t nidx =
+                    static_cast<std::size_t>(indices[s + pf_dist]);
+                prefetchRow(rowBytesPtr(nidx), pf.lines,
+                            storedRowBytes(), pf.locality);
             }
-            accumulateRow(out_ptr, row_ptr, _dim);
+            // Fused-dequant accumulate: one pass over the stored
+            // bytes whatever the precision.
+            switch (_dtype) {
+              case EmbDtype::Bf16:
+                accumulateRowBf16(out_ptr, _bf16.data() + idx * _dim,
+                                  _dim);
+                break;
+              case EmbDtype::Int8: {
+                const std::uint8_t *row =
+                    _q8.data() + idx * int8Stride();
+                float scale, bias;
+                std::memcpy(&scale, row + _dim, sizeof(float));
+                std::memcpy(&bias, row + _dim + sizeof(float),
+                            sizeof(float));
+                accumulateRowInt8(out_ptr, row, scale, bias, _dim);
+                break;
+              }
+              default:
+                accumulateRow(out_ptr, _data.data() + idx * _dim, _dim);
+                break;
+            }
+        }
+    }
+}
+
+void
+EmbeddingTable::bagRef(const RowIndex *indices, const RowIndex *offsets,
+                       std::size_t samples, float *out) const
+{
+    for (std::size_t i = 0; i < samples; ++i) {
+        float *out_ptr = out + i * _dim;
+        std::memset(out_ptr, 0, _dim * sizeof(float));
+        const std::size_t begin = static_cast<std::size_t>(offsets[i]);
+        const std::size_t end = static_cast<std::size_t>(offsets[i + 1]);
+        for (std::size_t s = begin; s < end; ++s) {
+            const std::size_t idx =
+                static_cast<std::size_t>(indices[s]);
+            switch (_dtype) {
+              case EmbDtype::Bf16:
+                accumulateRowBf16Scalar(
+                    out_ptr, _bf16.data() + idx * _dim, _dim);
+                break;
+              case EmbDtype::Int8: {
+                const std::uint8_t *row =
+                    _q8.data() + idx * int8Stride();
+                float scale, bias;
+                std::memcpy(&scale, row + _dim, sizeof(float));
+                std::memcpy(&bias, row + _dim + sizeof(float),
+                            sizeof(float));
+                accumulateRowInt8Scalar(out_ptr, row, scale, bias,
+                                        _dim);
+                break;
+              }
+              default:
+                accumulateRowScalar(
+                    out_ptr, _data.data() + idx * _dim, _dim);
+                break;
+            }
         }
     }
 }

@@ -10,8 +10,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "core/quant.hpp"
 #include "core/types.hpp"
 
 namespace dlrmopt::core
@@ -68,7 +70,12 @@ struct PrefetchSpec
 };
 
 /**
- * One embedding table: rows x dim fp32 matrix accessed by row index.
+ * One embedding table: rows x dim matrix accessed by row index, stored
+ * at a configurable precision. fp32 tables hold plain floats; bf16
+ * tables hold truncated 16-bit patterns; int8 tables hold uint8 codes
+ * with per-row (scale, bias) affine metadata (the "per-block"
+ * granularity — one block is one row, so a bag lookup touches exactly
+ * one parameter pair and the dequant folds into the accumulate).
  */
 class EmbeddingTable
 {
@@ -80,24 +87,96 @@ class EmbeddingTable
      * @param rows Number of embedding rows (categorical values).
      * @param dim Embedding vector dimension.
      * @param seed Seed for reproducible contents.
+     * @param dtype Storage precision of the rows.
      *
      * @throws std::invalid_argument when rows or dim is zero, or when
      *         rows * dim * sizeof(float) would overflow std::size_t.
      */
-    EmbeddingTable(std::size_t rows, std::size_t dim, std::uint64_t seed);
+    EmbeddingTable(std::size_t rows, std::size_t dim, std::uint64_t seed,
+                   EmbDtype dtype = EmbDtype::Fp32);
 
     std::size_t rows() const { return _rows; }
     std::size_t dim() const { return _dim; }
-    std::size_t bytes() const { return _rows * _dim * sizeof(float); }
+    EmbDtype dtype() const { return _dtype; }
 
+    /**
+     * Bytes the table actually stores (what the bag kernel streams):
+     * payload plus, for int8, the per-row scale/bias metadata.
+     */
+    std::size_t
+    bytes() const
+    {
+        switch (_dtype) {
+          case EmbDtype::Bf16:
+            return _rows * _dim * sizeof(std::uint16_t);
+          case EmbDtype::Int8:
+            return _rows * int8Stride();
+          default:
+            return _rows * _dim * sizeof(float);
+        }
+    }
+
+    /** fp32 payload (valid only when dtype() == Fp32). */
     const float *data() const { return _data.data(); }
 
-    /** Pointer to embedding row @p idx. */
+    /** Pointer to embedding row @p idx (fp32 tables only). */
     const float *
     rowPtr(RowIndex idx) const
     {
         return _data.data() + static_cast<std::size_t>(idx) * _dim;
     }
+
+    /** Stored bf16 row (valid only when dtype() == Bf16). */
+    const std::uint16_t *
+    bf16Row(RowIndex idx) const
+    {
+        return _bf16.data() + static_cast<std::size_t>(idx) * _dim;
+    }
+
+    /**
+     * Stored bytes of int8 row @p idx (valid only when dtype() ==
+     * Int8): dim codes followed by the row's fp32 scale and bias —
+     * the FBGEMM-style fused layout, so one lookup touches one
+     * contiguous dim + 8 byte span instead of three scattered arrays.
+     */
+    const std::uint8_t *
+    int8Row(RowIndex idx) const
+    {
+        return _q8.data() + static_cast<std::size_t>(idx) * int8Stride();
+    }
+
+    /** Affine parameters of an int8 row (valid only for Int8). */
+    QuantParams
+    int8Params(std::size_t row) const
+    {
+        QuantParams qp;
+        const std::uint8_t *tail = int8Row(
+            static_cast<RowIndex>(row)) + _dim;
+        std::memcpy(&qp.scale, tail, sizeof(float));
+        std::memcpy(&qp.bias, tail + sizeof(float), sizeof(float));
+        return qp;
+    }
+
+    /**
+     * Bytes one stored row occupies: bytes() / rows(). For int8 this
+     * includes the fused scale/bias tail.
+     */
+    std::size_t
+    storedRowBytes() const
+    {
+        return _dtype == EmbDtype::Int8 ? int8Stride()
+                                        : _dim * embDtypeBits(_dtype) / 8;
+    }
+
+    /**
+     * Writes the dequantized fp32 values of row @p row into
+     * @p dst[0..dim): the exact addend the bag kernel contributes per
+     * lookup of this row (bf16: widened pattern; int8:
+     * code * scale + bias). For fp32 tables this is a copy.
+     *
+     * @throws std::invalid_argument when row is out of range.
+     */
+    void dequantRow(std::size_t row, float *dst) const;
 
     /**
      * Rewrites rows [first, first + count) with the deterministic
@@ -113,13 +192,24 @@ class EmbeddingTable
                         std::uint64_t seed);
 
     /**
-     * Flips one bit of the stored fp32 payload of row @p row —
-     * silently, exactly like a radiation/DRAM upset would. Bit
-     * @p bit indexes the row's dim * 32 payload bits little-endian.
+     * Flips one bit of the stored payload of row @p row — silently,
+     * exactly like a radiation/DRAM upset would. Bit @p bit indexes
+     * the row's payloadBits() little-endian: the stored element bytes
+     * first (dim * element bits), then — for int8 tables — 32 bits of
+     * the row's scale followed by 32 bits of its bias, so flips in the
+     * quantization metadata are injectable too.
      *
      * @throws std::invalid_argument when row or bit is out of range.
      */
     void flipBit(std::size_t row, std::size_t bit);
+
+    /** Number of flippable payload bits per row (see flipBit). */
+    std::size_t
+    payloadBits() const
+    {
+        const std::size_t elem = _dim * embDtypeBits(_dtype);
+        return _dtype == EmbDtype::Int8 ? elem + 64 : elem;
+    }
 
     /**
      * embedding_bag with sum pooling (Algorithm 2/3 of the paper).
@@ -142,10 +232,34 @@ class EmbeddingTable
              std::size_t samples, float *out,
              const PrefetchSpec& pf = {}) const;
 
+    /**
+     * Reference embedding_bag over this table's stored precision:
+     * replays the optimized kernel's per-element arithmetic chain
+     * through the forced-scalar mirrors, so its output is
+     * bitwise-identical to bag() at every SimdLevel. Used by the
+     * quantized kernel tests (the fp32 free function embeddingBagRef
+     * below cannot see quantized storage).
+     */
+    void bagRef(const RowIndex *indices, const RowIndex *offsets,
+                std::size_t samples, float *out) const;
+
   private:
+    /** Start of row @p idx in the stored representation. */
+    const void *rowBytesPtr(std::size_t idx) const;
+
+    /** Fused int8 row stride: dim codes + fp32 scale + fp32 bias. */
+    std::size_t
+    int8Stride() const
+    {
+        return _dim + 2 * sizeof(float);
+    }
+
     std::size_t _rows;
     std::size_t _dim;
+    EmbDtype _dtype;
     std::vector<float, AlignedAllocator<float>> _data;
+    std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> _bf16;
+    std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>> _q8;
 };
 
 /**

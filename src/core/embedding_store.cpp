@@ -10,6 +10,9 @@ namespace dlrmopt::core
 namespace
 {
 
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
 /**
  * FNV-1a over a float span, folding four bytes at a time. Fast enough
  * to sweep multi-GB stores and sensitive to any single flipped bit,
@@ -17,23 +20,43 @@ namespace
  * *detection*, not an adversarial MAC).
  */
 std::uint64_t
-fnv1a(const float *data, std::size_t count)
+fnv1a(const float *data, std::size_t count,
+      std::uint64_t h = kFnvOffset)
 {
-    std::uint64_t h = 1469598103934665603ull;
     for (std::size_t i = 0; i < count; ++i) {
         std::uint32_t u;
         std::memcpy(&u, data + i, sizeof(u));
-        h = (h ^ u) * 1099511628211ull;
-        h = (h ^ (u >> 16)) * 1099511628211ull;
+        h = (h ^ u) * kFnvPrime;
+        h = (h ^ (u >> 16)) * kFnvPrime;
     }
+    return h;
+}
+
+/** FNV-1a over stored bf16 patterns, one 16-bit fold per element. */
+std::uint64_t
+fnv1aU16(const std::uint16_t *data, std::size_t count,
+         std::uint64_t h = kFnvOffset)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        h = (h ^ data[i]) * kFnvPrime;
+    return h;
+}
+
+/** FNV-1a over stored int8 codes, one byte fold per element. */
+std::uint64_t
+fnv1aU8(const std::uint8_t *data, std::size_t count,
+        std::uint64_t h = kFnvOffset)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        h = (h ^ data[i]) * kFnvPrime;
     return h;
 }
 
 } // namespace
 
 EmbeddingStore::EmbeddingStore(const ModelConfig& cfg, std::uint64_t seed,
-                               std::size_t blockRows)
-    : _rows(cfg.rows), _dim(cfg.dim),
+                               std::size_t blockRows, EmbDtype dtype)
+    : _rows(cfg.rows), _dim(cfg.dim), _dtype(dtype),
       _blockRows(blockRows < cfg.rows ? blockRows : cfg.rows)
 {
     if (cfg.tables == 0) {
@@ -49,7 +72,7 @@ EmbeddingStore::EmbeddingStore(const ModelConfig& cfg, std::uint64_t seed,
     for (std::size_t t = 0; t < cfg.tables; ++t) {
         _tableSeeds.push_back(mix64(seed + 100 + t));
         _tables.push_back(std::make_unique<EmbeddingTable>(
-            cfg.rows, cfg.dim, _tableSeeds.back()));
+            cfg.rows, cfg.dim, _tableSeeds.back(), _dtype));
     }
     const std::size_t blocks = numBlocks();
     _checksums.resize(cfg.tables * blocks);
@@ -64,8 +87,22 @@ EmbeddingStore::computeChecksum(std::size_t t, std::size_t b) const
     const std::size_t first = b * _blockRows;
     const std::size_t count =
         first + _blockRows <= _rows ? _blockRows : _rows - first;
-    return fnv1a(_tables[t]->rowPtr(static_cast<RowIndex>(first)),
-                 count * _dim);
+    const EmbeddingTable& tab = *_tables[t];
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        return fnv1aU16(tab.bf16Row(static_cast<RowIndex>(first)),
+                        count * _dim);
+      case EmbDtype::Int8:
+        // The fused rows carry codes AND the per-row scale/bias
+        // words in one contiguous span, so one pass covers both: a
+        // metadata upset corrupts every dequantized value of its
+        // row and must trip verifyBlock exactly like a payload bit.
+        return fnv1aU8(tab.int8Row(static_cast<RowIndex>(first)),
+                       count * tab.storedRowBytes());
+      default:
+        return fnv1a(tab.rowPtr(static_cast<RowIndex>(first)),
+                     count * _dim);
+    }
 }
 
 std::vector<BlockRef>

@@ -70,19 +70,22 @@ class EmbeddingStore
      * @param cfg Architecture description (rows/dim/tables).
      * @param seed Seed for reproducible table contents.
      * @param blockRows Rows per checksum block (clamped to cfg.rows).
+     * @param dtype Storage precision of every table in this store.
      *
      * @throws std::invalid_argument when cfg.tables or blockRows is 0.
      */
     explicit EmbeddingStore(const ModelConfig& cfg,
                             std::uint64_t seed = 42,
-                            std::size_t blockRows = 256);
+                            std::size_t blockRows = 256,
+                            EmbDtype dtype = EmbDtype::Fp32);
 
     /** Convenience: heap-allocates a store ready for sharing. */
     static std::shared_ptr<const EmbeddingStore>
     create(const ModelConfig& cfg, std::uint64_t seed = 42,
-           std::size_t blockRows = 256)
+           std::size_t blockRows = 256, EmbDtype dtype = EmbDtype::Fp32)
     {
-        return std::make_shared<const EmbeddingStore>(cfg, seed, blockRows);
+        return std::make_shared<const EmbeddingStore>(cfg, seed, blockRows,
+                                                      dtype);
     }
 
     /**
@@ -92,14 +95,17 @@ class EmbeddingStore
      */
     static std::shared_ptr<EmbeddingStore>
     createMutable(const ModelConfig& cfg, std::uint64_t seed = 42,
-                  std::size_t blockRows = 256)
+                  std::size_t blockRows = 256,
+                  EmbDtype dtype = EmbDtype::Fp32)
     {
-        return std::make_shared<EmbeddingStore>(cfg, seed, blockRows);
+        return std::make_shared<EmbeddingStore>(cfg, seed, blockRows,
+                                                dtype);
     }
 
     std::size_t numTables() const { return _tables.size(); }
     std::size_t rows() const { return _rows; }
     std::size_t dim() const { return _dim; }
+    EmbDtype dtype() const { return _dtype; }
 
     const EmbeddingTable& table(std::size_t t) const
     {
@@ -180,6 +186,7 @@ class EmbeddingStore
   private:
     std::size_t _rows;
     std::size_t _dim;
+    EmbDtype _dtype;
     std::size_t _blockRows;
     std::vector<std::unique_ptr<EmbeddingTable>> _tables;
     std::vector<std::uint64_t> _tableSeeds;

@@ -89,6 +89,27 @@ class Mlp
                                Tensor& scratch_b) const;
 
     /**
+     * forward() through the u8·s8 packed engine: each layer quantizes
+     * its input activations to uint8 (per-tensor, qmax 127) and runs
+     * the int8 microkernels against the layer's s8-quantized weights
+     * with the fused dequant+bias+ReLU epilogue. An approximation of
+     * the fp32 forward (weights carry ~7 bits, activations re-quantize
+     * per layer) — accuracy-budget-tested, not bitwise-comparable to
+     * fp32; but bitwise deterministic and SimdLevel/tile/batch-position
+     * invariant in its own right.
+     */
+    void forwardInt8(const Tensor& in, Tensor& out) const;
+
+    /**
+     * forwardInt8() with caller-owned scratch: @p qscratch stages each
+     * layer's quantized activation codes. Heap-allocation-free once
+     * the scratch capacities have warmed up.
+     */
+    void forwardInt8(const Tensor& in, Tensor& out, Tensor& scratch_a,
+                     Tensor& scratch_b,
+                     std::vector<std::uint8_t>& qscratch) const;
+
+    /**
      * Panel-packed weights of layer @p l, built once at construction
      * and shared read-only by every forward (both overloads run
      * through the packed microkernel engine).
@@ -98,15 +119,27 @@ class Mlp
         return _packed[l];
     }
 
+    /** Int8-quantized panel pack of layer @p l (the forwardInt8 path),
+     *  also built once at construction. */
+    const PackedWeightsInt8& packedInt8Layer(std::size_t l) const
+    {
+        return _packedInt8[l];
+    }
+
     /** Bytes of packed-weight storage across all layers (the one-time
      *  prepack overhead on top of the nn.Linear weights). */
     std::size_t packedBytes() const;
+
+    /** Largest paddedK across layers (sizing for int8 activation
+     *  staging buffers: batch * maxPaddedK bytes cover every layer). */
+    std::size_t maxPaddedK() const;
 
   private:
     std::vector<std::size_t> _dims;
     std::vector<Tensor> _weights;          //!< per layer [out x in]
     std::vector<std::vector<float>> _biases;
     std::vector<PackedWeights> _packed;    //!< per layer panel pack
+    std::vector<PackedWeightsInt8> _packedInt8; //!< u8·s8 path pack
 };
 
 } // namespace dlrmopt::core

@@ -129,6 +129,522 @@ accumulateRowAvx512(float *out, const float *row, std::size_t n)
 namespace
 {
 
+/** One bf16 accumulate element exactly as the vector lanes compute it
+ *  (exact widen, IEEE fp32 add) — the tail mirror for both widths. */
+inline void
+bf16Lane(float *out, const std::uint16_t *row, std::size_t i)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(row[i]) << 16;
+    float v;
+    std::memcpy(&v, &u, sizeof(v));
+    out[i] += v;
+}
+
+/** One int8 fused-dequant element exactly as the vector lanes compute
+ *  it (exact u8 widen, fmadd with scale, add bias). */
+inline void
+int8Lane(float *out, const std::uint8_t *row, float scale, float bias,
+         std::size_t i)
+{
+    const float q = static_cast<float>(row[i]);
+    out[i] = std::fmaf(q, scale, out[i]) + bias;
+}
+
+} // namespace
+
+void
+accumulateRowBf16Scalar(float *out, const std::uint16_t *row,
+                        std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        bf16Lane(out, row, i);
+}
+
+void
+accumulateRowInt8Scalar(float *out, const std::uint8_t *row, float scale,
+                        float bias, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        int8Lane(out, row, scale, bias, i);
+}
+
+#if DLRMOPT_X86 && defined(__AVX2__)
+void
+accumulateRowBf16Avx2(float *out, const std::uint16_t *row, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Zero-extend 8 stored u16 patterns and shift them back into
+        // the upper halves: the exact fp32 bit patterns, no rounding.
+        const __m128i h = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + i));
+        const __m256i w =
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+        const __m256 a = _mm256_loadu_ps(out + i);
+        _mm256_storeu_ps(out + i,
+                         _mm256_add_ps(a, _mm256_castsi256_ps(w)));
+    }
+    for (; i < n; ++i)
+        bf16Lane(out, row, i);
+}
+
+void
+accumulateRowInt8Avx2(float *out, const std::uint8_t *row, float scale,
+                      float bias, std::size_t n)
+{
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vbias = _mm256_set1_ps(bias);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // u8 codes widen exactly to fp32 (all values <= 255).
+        const __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(row + i));
+        const __m256 q =
+            _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(b));
+        const __m256 acc = _mm256_loadu_ps(out + i);
+        const __m256 t = _mm256_fmadd_ps(q, vscale, acc);
+        _mm256_storeu_ps(out + i, _mm256_add_ps(t, vbias));
+    }
+    for (; i < n; ++i)
+        int8Lane(out, row, scale, bias, i);
+}
+#else
+void
+accumulateRowBf16Avx2(float *out, const std::uint16_t *row, std::size_t n)
+{
+    accumulateRowBf16Scalar(out, row, n);
+}
+
+void
+accumulateRowInt8Avx2(float *out, const std::uint8_t *row, float scale,
+                      float bias, std::size_t n)
+{
+    accumulateRowInt8Scalar(out, row, scale, bias, n);
+}
+#endif
+
+#if DLRMOPT_X86 && defined(__AVX512F__)
+void
+accumulateRowBf16Avx512(float *out, const std::uint16_t *row,
+                        std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i h = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + i));
+        const __m512i w =
+            _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+        const __m512 a = _mm512_loadu_ps(out + i);
+        _mm512_storeu_ps(out + i,
+                         _mm512_add_ps(a, _mm512_castsi512_ps(w)));
+    }
+    for (; i < n; ++i)
+        bf16Lane(out, row, i);
+}
+
+void
+accumulateRowInt8Avx512(float *out, const std::uint8_t *row, float scale,
+                        float bias, std::size_t n)
+{
+    const __m512 vscale = _mm512_set1_ps(scale);
+    const __m512 vbias = _mm512_set1_ps(bias);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + i));
+        const __m512 q =
+            _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(b));
+        const __m512 acc = _mm512_loadu_ps(out + i);
+        const __m512 t = _mm512_fmadd_ps(q, vscale, acc);
+        _mm512_storeu_ps(out + i, _mm512_add_ps(t, vbias));
+    }
+    for (; i < n; ++i)
+        int8Lane(out, row, scale, bias, i);
+}
+#else
+void
+accumulateRowBf16Avx512(float *out, const std::uint16_t *row,
+                        std::size_t n)
+{
+    accumulateRowBf16Avx2(out, row, n);
+}
+
+void
+accumulateRowInt8Avx512(float *out, const std::uint8_t *row, float scale,
+                        float bias, std::size_t n)
+{
+    accumulateRowInt8Avx2(out, row, scale, bias, n);
+}
+#endif
+
+void
+accumulateRowBf16(float *out, const std::uint16_t *row, std::size_t n)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+        accumulateRowBf16Avx512(out, row, n);
+        return;
+      case SimdLevel::Avx2:
+        accumulateRowBf16Avx2(out, row, n);
+        return;
+      default:
+        accumulateRowBf16Scalar(out, row, n);
+        return;
+    }
+}
+
+void
+accumulateRowInt8(float *out, const std::uint8_t *row, float scale,
+                  float bias, std::size_t n)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+        accumulateRowInt8Avx512(out, row, scale, bias, n);
+        return;
+      case SimdLevel::Avx2:
+        accumulateRowInt8Avx2(out, row, scale, bias, n);
+        return;
+      default:
+        accumulateRowInt8Scalar(out, row, scale, bias, n);
+        return;
+    }
+}
+
+namespace
+{
+
+/**
+ * Prefetch @p lines cache lines of the row @p pfDist lookups ahead at
+ * T0. Caller restricts the whole-sample path to locality == 3, so the
+ * compile-time-constant hint requirement is satisfied here.
+ */
+inline void
+bagSamplePrefetch(const void *base, std::size_t strideBytes,
+                  const RowIndex *indices, std::size_t s,
+                  std::size_t total, std::size_t pfDist, int pfLines)
+{
+    if (pfDist == 0 || s + pfDist >= total)
+        return;
+    const char *next =
+        static_cast<const char *>(base) +
+        static_cast<std::size_t>(indices[s + pfDist]) * strideBytes;
+    for (int l = 0; l < pfLines; ++l)
+        __builtin_prefetch(next + l * 64, 0, 3);
+}
+
+#if DLRMOPT_X86 && defined(__AVX512F__)
+
+/**
+ * Whole-sample bf16 bag at AVX-512: NB zmm accumulators hold the full
+ * dim-wide partial sum across every row of the sample, then store
+ * once. Per lane this is exactly accumulateRowBf16Avx512's chain
+ * (zero-extend, shift, add in the same order), so the result is
+ * bitwise-identical to the per-row path — the accumulator just lives
+ * in registers instead of round-tripping through the output buffer.
+ */
+template <int NB>
+void
+bagSampleBf16Avx512Body(float *out, const std::uint16_t *base,
+                        std::size_t dim, const RowIndex *indices,
+                        std::size_t begin, std::size_t end,
+                        std::size_t total, std::size_t pfDist,
+                        int pfLines)
+{
+    __m512 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm512_setzero_ps();
+    for (std::size_t s = begin; s < end; ++s) {
+        bagSamplePrefetch(base, dim * sizeof(std::uint16_t), indices, s,
+                          total, pfDist, pfLines);
+        const std::uint16_t *row =
+            base + static_cast<std::size_t>(indices[s]) * dim;
+        for (int b = 0; b < NB; ++b) {
+            const __m256i h = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(row + b * 16));
+            const __m512i w =
+                _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+            acc[b] = _mm512_add_ps(acc[b], _mm512_castsi512_ps(w));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm512_storeu_ps(out + b * 16, acc[b]);
+}
+
+/** Whole-sample int8 bag at AVX-512 (see bf16 variant for the idea). */
+template <int NB>
+void
+bagSampleInt8Avx512Body(float *out, const std::uint8_t *base,
+                        std::size_t strideBytes, std::size_t dim,
+                        const RowIndex *indices, std::size_t begin,
+                        std::size_t end, std::size_t total,
+                        std::size_t pfDist, int pfLines)
+{
+    __m512 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm512_setzero_ps();
+    for (std::size_t s = begin; s < end; ++s) {
+        bagSamplePrefetch(base, strideBytes, indices, s, total, pfDist,
+                          pfLines);
+        const std::uint8_t *row =
+            base + static_cast<std::size_t>(indices[s]) * strideBytes;
+        float scale, bias;
+        std::memcpy(&scale, row + dim, sizeof(float));
+        std::memcpy(&bias, row + dim + sizeof(float), sizeof(float));
+        const __m512 vscale = _mm512_set1_ps(scale);
+        const __m512 vbias = _mm512_set1_ps(bias);
+        for (int b = 0; b < NB; ++b) {
+            const __m128i q8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + b * 16));
+            const __m512 q =
+                _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(q8));
+            const __m512 t = _mm512_fmadd_ps(q, vscale, acc[b]);
+            acc[b] = _mm512_add_ps(t, vbias);
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm512_storeu_ps(out + b * 16, acc[b]);
+}
+
+bool
+bagSampleBf16Avx512(float *out, const std::uint16_t *base,
+                    std::size_t dim, const RowIndex *indices,
+                    std::size_t begin, std::size_t end,
+                    std::size_t total, std::size_t pfDist, int pfLines)
+{
+    if (dim == 0 || dim % 16 != 0 || dim > 128)
+        return false;
+    switch (dim / 16) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSampleBf16Avx512Body<NB>(out, base, dim, indices, begin,    \
+                                    end, total, pfDist, pfLines);      \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSampleInt8Avx512(float *out, const std::uint8_t *base,
+                    std::size_t strideBytes, std::size_t dim,
+                    const RowIndex *indices, std::size_t begin,
+                    std::size_t end, std::size_t total,
+                    std::size_t pfDist, int pfLines)
+{
+    if (dim == 0 || dim % 16 != 0 || dim > 128)
+        return false;
+    switch (dim / 16) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSampleInt8Avx512Body<NB>(out, base, strideBytes, dim,       \
+                                    indices, begin, end, total,        \
+                                    pfDist, pfLines);                  \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+#endif // AVX512F
+
+#if DLRMOPT_X86 && defined(__AVX2__)
+
+/** Whole-sample bf16 bag at AVX2: 8-lane mirror of the zmm variant. */
+template <int NB>
+void
+bagSampleBf16Avx2Body(float *out, const std::uint16_t *base,
+                      std::size_t dim, const RowIndex *indices,
+                      std::size_t begin, std::size_t end,
+                      std::size_t total, std::size_t pfDist,
+                      int pfLines)
+{
+    __m256 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm256_setzero_ps();
+    for (std::size_t s = begin; s < end; ++s) {
+        bagSamplePrefetch(base, dim * sizeof(std::uint16_t), indices, s,
+                          total, pfDist, pfLines);
+        const std::uint16_t *row =
+            base + static_cast<std::size_t>(indices[s]) * dim;
+        for (int b = 0; b < NB; ++b) {
+            const __m128i h = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + b * 8));
+            const __m256i w =
+                _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+            acc[b] = _mm256_add_ps(acc[b], _mm256_castsi256_ps(w));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm256_storeu_ps(out + b * 8, acc[b]);
+}
+
+/** Whole-sample int8 bag at AVX2: 8-lane mirror of the zmm variant. */
+template <int NB>
+void
+bagSampleInt8Avx2Body(float *out, const std::uint8_t *base,
+                      std::size_t strideBytes, std::size_t dim,
+                      const RowIndex *indices, std::size_t begin,
+                      std::size_t end, std::size_t total,
+                      std::size_t pfDist, int pfLines)
+{
+    __m256 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm256_setzero_ps();
+    for (std::size_t s = begin; s < end; ++s) {
+        bagSamplePrefetch(base, strideBytes, indices, s, total, pfDist,
+                          pfLines);
+        const std::uint8_t *row =
+            base + static_cast<std::size_t>(indices[s]) * strideBytes;
+        float scale, bias;
+        std::memcpy(&scale, row + dim, sizeof(float));
+        std::memcpy(&bias, row + dim + sizeof(float), sizeof(float));
+        const __m256 vscale = _mm256_set1_ps(scale);
+        const __m256 vbias = _mm256_set1_ps(bias);
+        for (int b = 0; b < NB; ++b) {
+            const __m128i q8 = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(row + b * 8));
+            const __m256 q =
+                _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(q8));
+            const __m256 t = _mm256_fmadd_ps(q, vscale, acc[b]);
+            acc[b] = _mm256_add_ps(t, vbias);
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm256_storeu_ps(out + b * 8, acc[b]);
+}
+
+bool
+bagSampleBf16Avx2(float *out, const std::uint16_t *base,
+                  std::size_t dim, const RowIndex *indices,
+                  std::size_t begin, std::size_t end, std::size_t total,
+                  std::size_t pfDist, int pfLines)
+{
+    if (dim == 0 || dim % 8 != 0 || dim > 64)
+        return false;
+    switch (dim / 8) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSampleBf16Avx2Body<NB>(out, base, dim, indices, begin, end, \
+                                  total, pfDist, pfLines);             \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSampleInt8Avx2(float *out, const std::uint8_t *base,
+                  std::size_t strideBytes, std::size_t dim,
+                  const RowIndex *indices, std::size_t begin,
+                  std::size_t end, std::size_t total,
+                  std::size_t pfDist, int pfLines)
+{
+    if (dim == 0 || dim % 8 != 0 || dim > 64)
+        return false;
+    switch (dim / 8) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSampleInt8Avx2Body<NB>(out, base, strideBytes, dim,         \
+                                  indices, begin, end, total, pfDist,  \
+                                  pfLines);                            \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+#endif // AVX2
+
+} // namespace
+
+bool
+bagSampleBf16(float *out, const std::uint16_t *base, std::size_t dim,
+              const RowIndex *indices, std::size_t begin,
+              std::size_t end, std::size_t total, std::size_t pfDist,
+              int pfLines)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+#if DLRMOPT_X86 && defined(__AVX512F__)
+        return bagSampleBf16Avx512(out, base, dim, indices, begin, end,
+                                   total, pfDist, pfLines);
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if DLRMOPT_X86 && defined(__AVX2__)
+        return bagSampleBf16Avx2(out, base, dim, indices, begin, end,
+                                 total, pfDist, pfLines);
+#else
+        return false;
+#endif
+      default:
+        return false;
+    }
+}
+
+bool
+bagSampleInt8(float *out, const std::uint8_t *base,
+              std::size_t strideBytes, std::size_t dim,
+              const RowIndex *indices, std::size_t begin,
+              std::size_t end, std::size_t total, std::size_t pfDist,
+              int pfLines)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+#if DLRMOPT_X86 && defined(__AVX512F__)
+        return bagSampleInt8Avx512(out, base, strideBytes, dim, indices,
+                                   begin, end, total, pfDist, pfLines);
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if DLRMOPT_X86 && defined(__AVX2__)
+        return bagSampleInt8Avx2(out, base, strideBytes, dim, indices,
+                                 begin, end, total, pfDist, pfLines);
+#else
+        return false;
+#endif
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
 // Fast-exp sigmoid: 1 / (1 + e^t), t = -x clamped so 2^n stays
 // normal/finite, with e^t = 2^n * e^r, n = round(t * log2e), r the
 // two-step Cody-Waite remainder, e^r a degree-6 polynomial (Cephes

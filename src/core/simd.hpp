@@ -13,7 +13,10 @@
 #define DLRMOPT_CORE_SIMD_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+
+#include "core/types.hpp"
 
 namespace dlrmopt::core
 {
@@ -49,6 +52,80 @@ void accumulateRow(float *out, const float *row, std::size_t n);
 void accumulateRowScalar(float *out, const float *row, std::size_t n);
 void accumulateRowAvx2(float *out, const float *row, std::size_t n);
 void accumulateRowAvx512(float *out, const float *row, std::size_t n);
+
+/**
+ * Fused-dequant accumulate over a bf16-stored row:
+ * out[i] += widen(row[i]), where widen is the exact bit-shift
+ * conversion (core/quant.hpp) — one pass over the stored bytes, half
+ * the memory traffic of the fp32 kernel. The vector forms widen in
+ * registers (zero-extend + shift-left 16 + fp32 add); the widened
+ * addend is bit-exact in every variant, and the tails run the scalar
+ * mirror of the same chain, so all levels are bitwise-identical.
+ */
+void accumulateRowBf16(float *out, const std::uint16_t *row,
+                       std::size_t n);
+void accumulateRowBf16Scalar(float *out, const std::uint16_t *row,
+                             std::size_t n);
+void accumulateRowBf16Avx2(float *out, const std::uint16_t *row,
+                           std::size_t n);
+void accumulateRowBf16Avx512(float *out, const std::uint16_t *row,
+                             std::size_t n);
+
+/**
+ * Fused-dequant accumulate over an int8-stored row with per-block
+ * affine parameters (value = code * scale + bias):
+ *
+ *   out[i] = fmaf((float)row[i], scale, out[i]) + bias
+ *
+ * — a quarter of the fp32 kernel's memory traffic, with the
+ * dequantization folded into the accumulate (widen u8 in registers,
+ * one fma, one add). The per-element chain is the same in all three
+ * variants (vector fmadd <-> scalar fmaf, exact u8->fp32 widening),
+ * and tails run the scalar mirror, so all levels are
+ * bitwise-identical.
+ */
+void accumulateRowInt8(float *out, const std::uint8_t *row, float scale,
+                       float bias, std::size_t n);
+void accumulateRowInt8Scalar(float *out, const std::uint8_t *row,
+                             float scale, float bias, std::size_t n);
+void accumulateRowInt8Avx2(float *out, const std::uint8_t *row,
+                           float scale, float bias, std::size_t n);
+void accumulateRowInt8Avx512(float *out, const std::uint8_t *row,
+                             float scale, float bias, std::size_t n);
+
+/**
+ * Register-blocked whole-sample quantized bags: pool every row of one
+ * sample into vector-register accumulators and store the output once,
+ * instead of a load-accumulate-store round trip of the output buffer
+ * per row. The per-lane arithmetic chain is exactly the per-row
+ * kernel's (same widen/fma/add order — a register-held partial equals
+ * the stored-and-reloaded one bitwise), so bag() output is unchanged;
+ * only the memory traffic shrinks.
+ *
+ * @param out Output row [dim], stored once at the end.
+ * @param base Table payload base (fused rows for int8).
+ * @param strideBytes Stored bytes per row (int8: dim + 8).
+ * @param dim Embedding dimension.
+ * @param indices Flat lookup-index array (pre-validated by caller).
+ * @param begin,end This sample's span within @p indices.
+ * @param total Total lookups in @p indices (prefetch look-ahead cap).
+ * @param pfDist Look-ahead distance in lookups; 0 disables.
+ * @param pfLines Cache lines of the future row to prefetch (T0 hint).
+ *
+ * @return false when the active level or shape has no specialized
+ *         kernel (scalar level, dim not a lane multiple, or dim too
+ *         large to hold in registers) — the caller falls back to the
+ *         per-row path.
+ */
+bool bagSampleBf16(float *out, const std::uint16_t *base,
+                   std::size_t dim, const RowIndex *indices,
+                   std::size_t begin, std::size_t end,
+                   std::size_t total, std::size_t pfDist, int pfLines);
+bool bagSampleInt8(float *out, const std::uint8_t *base,
+                   std::size_t strideBytes, std::size_t dim,
+                   const RowIndex *indices, std::size_t begin,
+                   std::size_t end, std::size_t total,
+                   std::size_t pfDist, int pfLines);
 
 /**
  * Logistic-sigmoid variants backing core::sigmoidInplace's dispatch.

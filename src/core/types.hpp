@@ -13,11 +13,24 @@
 #include <limits>
 #include <new>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace dlrmopt
 {
 
 /** Size of one cache line on all modeled platforms, in bytes. */
 constexpr std::size_t cachelineBytes = 64;
+
+/**
+ * x86 huge-page size. Allocations at least this large are worth
+ * backing with huge pages: a multi-hundred-MB embedding table under
+ * 4 KiB pages turns every random lookup into a DTLB miss whose page
+ * walk (~tens of ns) rivals the row fetch itself, flattening the
+ * bandwidth advantage of reduced-precision rows.
+ */
+constexpr std::size_t hugePageBytes = std::size_t{2} << 20;
 
 /** Number of 32-bit floats that fit in one cache line. */
 constexpr std::size_t floatsPerLine = cachelineBytes / sizeof(float);
@@ -47,14 +60,31 @@ struct AlignedAllocator
     {
         if (n == 0)
             return nullptr;
-        void *p = ::operator new[](n * sizeof(T),
+        const std::size_t bytes = n * sizeof(T);
+        if (bytes >= hugePageBytes) {
+            // Huge-page-aligned plus MADV_HUGEPAGE: with THP in
+            // madvise mode the kernel backs the region with 2 MiB
+            // pages on first touch, so random embedding lookups stay
+            // DTLB-resident. Harmless no-op where THP is disabled.
+            void *p = ::operator new[](bytes,
+                                       std::align_val_t(hugePageBytes));
+#if defined(__linux__)
+            ::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+            return static_cast<T *>(p);
+        }
+        void *p = ::operator new[](bytes,
                                    std::align_val_t(cachelineBytes));
         return static_cast<T *>(p);
     }
 
     void
-    deallocate(T *p, std::size_t) noexcept
+    deallocate(T *p, std::size_t n) noexcept
     {
+        if (n * sizeof(T) >= hugePageBytes) {
+            ::operator delete[](p, std::align_val_t(hugePageBytes));
+            return;
+        }
         ::operator delete[](p, std::align_val_t(cachelineBytes));
     }
 

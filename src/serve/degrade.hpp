@@ -3,13 +3,18 @@
  * Graceful-degradation policy for the serving layer.
  *
  * Tracks a sliding-window p95 over served-request latencies and walks
- * a ladder of degradation tiers when the tail approaches the SLA:
+ * a ladder of degradation tiers when the tail approaches the SLA.
+ * Precision drops before work does: quantized tiers serve *every*
+ * admitted sample at reduced precision (bounded accuracy loss) before
+ * any tier starts shrinking batches or shedding requests outright:
  *
- *   tier 0  full batch, software prefetching on, MP-HT stage overlap
- *   tier 1  batch shrunk to half (sheds work per request first)
- *   tier 2  + software-prefetch autotuning disabled (fixed kernel, no
+ *   tier 0  fp32, full batch, prefetching on, MP-HT stage overlap
+ *   tier 1  bf16 embedding bags (half the bag bandwidth; MLPs fp32)
+ *   tier 2  int8 embedding bags + u8·s8 MLP engine
+ *   tier 3  + batch shrunk to half (sheds work per request)
+ *   tier 4  + software-prefetch autotuning disabled (fixed kernel, no
  *             tuning overhead or mistuned-prefetch cache pollution)
- *   tier 3  + Sequential execution scheme (no cross-thread stage
+ *   tier 5  + Sequential execution scheme (no cross-thread stage
  *             handoff; the most predictable path)
  *
  * Escalation happens when the window p95 exceeds the high-water
@@ -24,6 +29,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/quant.hpp"
 #include "core/scheme.hpp"
 
 namespace dlrmopt::serve
@@ -63,12 +69,29 @@ struct DegradeState
     core::Scheme scheme = core::Scheme::MpHt;
 
     /**
+     * Inference precision the tier executes at. Quantized tiers run
+     * the fused-dequant bags over the model's attached quantized
+     * store (graceful fp32 fallback when none is attached) and, for
+     * Int8, the u8·s8 packed MLP engine.
+     */
+    core::EmbDtype dtype = core::EmbDtype::Fp32;
+
+    /**
      * Virtual-clock service-time multiplier relative to tier 0, used
-     * by the deterministic admission/latency accounting. Shrinking
-     * the batch roughly halves service; later tiers claw back a bit
-     * of speed while buying predictability.
+     * by the deterministic admission/latency accounting when pricing
+     * runs off the single base ServiceModel. All-in: it folds the
+     * precision speedup *and* the batch/knob claw-backs together.
      */
     double serviceFactor = 1.0;
+
+    /**
+     * The non-precision residual of serviceFactor (batch shrink,
+     * prefetch, scheme). serviceFactor == knobFactor * the dtype
+     * speedup, so pricing that swaps in a measured per-dtype
+     * ServiceModel (ServerConfig::dtypeServiceEnabled) multiplies by
+     * knobFactor alone and never double-counts the precision win.
+     */
+    double knobFactor = 1.0;
 };
 
 /** Degradation thresholds. */
@@ -101,7 +124,7 @@ class DegradationPolicy
     /** Knobs for an explicit tier in [0, maxTier()]. */
     static DegradeState stateForTier(int tier);
 
-    static int maxTier() { return 3; }
+    static int maxTier() { return 5; }
 
     std::size_t escalations() const { return _escalations; }
 

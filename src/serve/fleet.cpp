@@ -697,6 +697,10 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
 
         ++fs.total.dispatches;
         ++ts.stats.dispatches;
+        if (tier.dtype != core::EmbDtype::Fp32) {
+            ++fs.total.quantDispatches;
+            ++ts.stats.quantDispatches;
+        }
         const double end = start + true_service;
         free_at[inst][core] = end;
         busy_ms += true_service;

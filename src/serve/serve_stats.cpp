@@ -15,10 +15,12 @@ ServeStats::summary() const
     std::snprintf(
         buf, sizeof(buf),
         "arrived %zu served %zu shed %zu failed %zu retried %zu "
-        "(shed %.1f%%) | %zu dispatches (%.2f served/dispatch) | "
+        "(shed %.1f%%) | %zu dispatches (%.2f served/dispatch, "
+        "%zu quantized) | "
         "p50 %.3f p95 %.3f p99 %.3f ms | tier %d (%zu escalations)",
         arrived, served, shed, failed, retried, 100.0 * shedRate(),
-        dispatches, per_dispatch, latency.percentile(50.0),
+        dispatches, per_dispatch, quantDispatches,
+        latency.percentile(50.0),
         latency.p95(), latency.p99(), finalTier, degradeEscalations);
     return buf;
 }

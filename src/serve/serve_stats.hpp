@@ -51,6 +51,11 @@ struct ServeStats
     std::size_t degradeEscalations = 0; //!< tier upshifts observed
     int finalTier = 0;                  //!< degradation tier at end
 
+    /** Dispatches executed at reduced precision (bf16/int8 tiers).
+     *  quantDispatches > 0 with shed == 0 is the signature of the
+     *  quantize-before-shed ladder doing its job. */
+    std::size_t quantDispatches = 0;
+
     /** Virtual busy time of the gather / compute pipeline lanes
      *  (streamed dispatch only; both 0 for unpipelined sessions).
      *  Their overlap is what the streamed mode's makespan win comes

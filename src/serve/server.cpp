@@ -86,6 +86,10 @@ Server::Server(const core::DlrmModel& model,
     if (!(cfg.slaMs > 0.0) || !std::isfinite(cfg.slaMs))
         throw std::invalid_argument("Server: SLA must be positive");
     cfg.service.validate();
+    if (cfg.dtypeServiceEnabled) {
+        cfg.serviceBf16.validate();
+        cfg.serviceInt8.validate();
+    }
     cfg.batching.validate();
     if (cfg.backoffBaseMs < 0.0 ||
         cfg.backoffCapMs < cfg.backoffBaseMs) {
@@ -205,6 +209,7 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
     using Clock = std::chrono::steady_clock;
     const core::PrefetchSpec eff_pf =
         tier.prefetchEnabled ? pf : core::PrefetchSpec{};
+    const core::EmbDtype dtype = _cfg.effectiveDtype(tier);
     core::DlrmWorkspace ws;
     const auto t0 = Clock::now();
 
@@ -214,26 +219,29 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
         // wait on it forever.
         auto bottom_done = std::make_shared<std::promise<void>>();
         auto bottom_fut = bottom_done->get_future().share();
-        auto f1 = _pool.submit(core, [this, &dense, &ws, bottom_done] {
-            try {
-                _model.bottomForward(dense, ws.bottomOut);
-                bottom_done->set_value();
-            } catch (...) {
-                bottom_done->set_exception(std::current_exception());
-                throw;
-            }
-        });
+        auto f1 = _pool.submit(
+            core, [this, &dense, &ws, bottom_done, dtype] {
+                try {
+                    _model.bottomForward(dense, ws.bottomOut, dtype);
+                    bottom_done->set_value();
+                } catch (...) {
+                    bottom_done->set_exception(
+                        std::current_exception());
+                    throw;
+                }
+            });
         auto f2 = _pool.submit(
             core, [this, &sparse, &ws, bottom_fut, eff_pf, req,
-                   attempt, fault] {
+                   attempt, fault, dtype] {
                 if (fault)
                     fault->maybeThrow(req, attempt);
-                _model.embeddingForward(sparse, ws.embOut, eff_pf);
+                _model.embeddingForward(sparse, ws.embOut, eff_pf,
+                                        dtype);
                 bottom_fut.get();
                 _model.interactionForward(ws.bottomOut, ws.embOut,
                                           sparse.batchSize,
                                           ws.interOut);
-                _model.topForward(ws.interOut, ws.pred);
+                _model.topForward(ws.interOut, ws.pred, dtype);
             });
         // Both tasks reference this frame's workspace: wait for both
         // before any exception can unwind it.
@@ -244,11 +252,11 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
     } else {
         // Sequential degradation tier: one task, one thread.
         auto f = _pool.submit(
-            core,
-            [this, &dense, &sparse, &ws, eff_pf, req, attempt, fault] {
+            core, [this, &dense, &sparse, &ws, eff_pf, req, attempt,
+                   fault, dtype] {
                 if (fault)
                     fault->maybeThrow(req, attempt);
-                _model.forward(dense, sparse, ws, eff_pf);
+                _model.forward(dense, sparse, ws, eff_pf, dtype);
             });
         f.wait();
         f.get();
@@ -325,6 +333,7 @@ Server::serve(const core::Tensor& dense,
         }
 
         const DegradeState tier = policy.state();
+        const core::EmbDtype dtype = _cfg.effectiveDtype(tier);
         const double start = std::max(free_at[core], a.readyMs);
         const double wait = start - a.readyMs;
         const double straggle =
@@ -335,8 +344,9 @@ Server::serve(const core::Tensor& dense,
             1, static_cast<std::size_t>(
                    std::floor(tier.batchFraction *
                               static_cast<double>(base.batchSize))));
-        const double service = _cfg.service.serviceMs(eff_batch) *
-                               tier.serviceFactor * straggle;
+        const double service =
+            _cfg.serviceModelFor(dtype).serviceMs(eff_batch) *
+            _cfg.tierServiceFactor(tier) * straggle;
 
         // Admission control: shed on arrival when the projected
         // completion already misses the deadline. Retries are always
@@ -368,6 +378,8 @@ Server::serve(const core::Tensor& dense,
 
         // Failed or not, the attempt burned the core (virtually).
         ++st.dispatches;
+        if (dtype != core::EmbDtype::Fp32)
+            ++st.quantDispatches;
         const double end = start + service;
         free_at[core] = end;
         busy += service;
@@ -411,6 +423,7 @@ Server::executeBatchedAttempt(
     using Clock = std::chrono::steady_clock;
     const core::PrefetchSpec eff_pf =
         tier.prefetchEnabled ? pf : core::PrefetchSpec{};
+    const core::EmbDtype dtype = _cfg.effectiveDtype(tier);
 
     // Grow the persistent workspace when this group exceeds its
     // current capacity (direct fleet callers skip serveBatched's
@@ -435,8 +448,9 @@ Server::executeBatchedAttempt(
     const core::Tensor& dense = _batchWs.stagedDense();
 
     const auto t0 = Clock::now();
-    auto f = _pool.submit(core, [this, &dense, &merged, eff_pf] {
-        _batchWs.forward(_model, dense, merged, eff_pf);
+    auto f = _pool.submit(core, [this, &dense, &merged, eff_pf,
+                                 dtype] {
+        _batchWs.forward(_model, dense, merged, eff_pf, dtype);
     });
     f.wait();
     f.get();
@@ -517,6 +531,7 @@ Server::serveBatched(const core::Tensor& dense,
         }
 
         const DegradeState tier = policy.state();
+        const core::EmbDtype dtype = _cfg.effectiveDtype(tier);
         const double straggle =
             _fault ? _fault->serviceFactor(core) : 1.0;
 
@@ -529,7 +544,13 @@ Server::serveBatched(const core::Tensor& dense,
                               static_cast<double>(
                                   _cfg.batching.maxRequests))));
 
-        queue.nextBatch(free_at[core], cap, _cfg.slaMs, _cfg.service,
+        // Quantized tiers price with their own service model when
+        // dtype pricing is enabled (cheaper per sample, so marginal
+        // requests stay admissible — precision drops before work is
+        // shed).
+        const ServiceModel& tier_service =
+            _cfg.serviceModelFor(dtype);
+        queue.nextBatch(free_at[core], cap, _cfg.slaMs, tier_service,
                         straggle, members);
 
         double latest_ready = members.front().readyMs;
@@ -540,7 +561,7 @@ Server::serveBatched(const core::Tensor& dense,
         }
         const double start = std::max(free_at[core], latest_ready);
         const double service =
-            _cfg.service.serviceMs(total_samples) * straggle;
+            tier_service.serviceMs(total_samples) * straggle;
 
         // Admission control: a solo head on its first try whose
         // projected completion misses the deadline is shed (multi-
@@ -605,6 +626,8 @@ Server::serveBatched(const core::Tensor& dense,
 
         // The dispatch burned the core whether or not members failed.
         ++st.dispatches;
+        if (dtype != core::EmbDtype::Fp32)
+            ++st.quantDispatches;
         const double end = start + service;
         free_at[core] = end;
         busy += service;
@@ -811,6 +834,7 @@ Server::serveStreamed(const core::Tensor& dense,
         }
 
         const DegradeState tier = policy.state();
+        const core::EmbDtype dtype = _cfg.effectiveDtype(tier);
         const bool overlap = core::usesMpHt(tier.scheme) && cores > 1;
         // Tier collapse: finish the in-flight stage before running
         // sequential dispatches (the pipeline empties).
@@ -912,6 +936,8 @@ Server::serveStreamed(const core::Tensor& dense,
         // The dispatch burns both lanes whether or not members
         // failed (matching serveBatched's accounting).
         ++st.dispatches;
+        if (dtype != core::EmbDtype::Fp32)
+            ++st.quantDispatches;
         gather_free = gather_end;
         compute_free = compute_end;
         gather_busy += g_ms;
@@ -936,7 +962,8 @@ Server::serveStreamed(const core::Tensor& dense,
                         tier.prefetchEnabled ? pf
                                              : core::PrefetchSpec{};
                     staged = _batchWs.stageGather(_model, parts,
-                                                  dense_parts, eff_pf);
+                                                  dense_parts, eff_pf,
+                                                  dtype);
                 });
             }
             const bool run_compute = pending.active &&
@@ -997,7 +1024,7 @@ Server::serveStreamed(const core::Tensor& dense,
                         tier.prefetchEnabled ? pf
                                              : core::PrefetchSpec{};
                     const std::size_t s = _batchWs.stageGather(
-                        _model, parts, dense_parts, eff_pf);
+                        _model, parts, dense_parts, eff_pf, dtype);
                     _batchWs.stageCompute(_model, s);
                     staged = s;
                 });

@@ -23,8 +23,10 @@
  *  - retries transiently failed requests with capped exponential
  *    backoff, giving up after maxRetries (counted in failed);
  *  - degrades gracefully under tail-latency pressure via
- *    DegradationPolicy (shrink batch -> disable prefetch -> go
- *    sequential);
+ *    DegradationPolicy (drop precision fp32 -> bf16 -> int8, then
+ *    shrink batch -> disable prefetch -> go sequential): quantized
+ *    tiers run the fused-dequant bags and u8·s8 MLP engine, trading
+ *    bounded accuracy for bandwidth before any request is shed;
  *  - tolerates injected faults (serve/fault.hpp): task exceptions,
  *    allocation failures, poisoned embedding indices, and straggler
  *    cores never crash the process — they surface as retries/failures
@@ -92,6 +94,66 @@ struct ServerConfig
      *  clock; ServiceModel::constant() reproduces the legacy scalar
      *  per-batch behaviour exactly. */
     ServiceModel service = ServiceModel::constant(1.0);
+
+    /**
+     * Per-precision service estimates for the quantized degradation
+     * tiers. Off by default (dtypeServiceEnabled = false): pricing
+     * then uses `service` scaled by the tier's all-in serviceFactor,
+     * which already folds in the ladder's assumed precision speedups.
+     * When enabled, a quantized tier prices with its own measured
+     * model (serviceBf16 / serviceInt8) times only the tier's
+     * knobFactor — the precision win comes from the model, so it is
+     * never double-counted.
+     */
+    bool dtypeServiceEnabled = false;
+    ServiceModel serviceBf16 = ServiceModel::constant(1.0);
+    ServiceModel serviceInt8 = ServiceModel::constant(1.0);
+
+    /** Service model pricing a tier's precision (see above). */
+    const ServiceModel&
+    serviceModelFor(core::EmbDtype dtype) const
+    {
+        if (!dtypeServiceEnabled)
+            return service;
+        switch (dtype) {
+          case core::EmbDtype::Bf16:
+            return serviceBf16;
+          case core::EmbDtype::Int8:
+            return serviceInt8;
+          default:
+            return service;
+        }
+    }
+
+    /** Virtual-clock multiplier applied on top of the tier's service
+     *  model: all-in when dtype pricing is off, knobs-only when the
+     *  per-dtype model already carries the precision win. */
+    double
+    tierServiceFactor(const DegradeState& tier) const
+    {
+        return dtypeServiceEnabled ? tier.knobFactor
+                                   : tier.serviceFactor;
+    }
+
+    /**
+     * Base serving precision: every dispatch runs at least this
+     * reduced a format, and the degradation ladder can only deepen it
+     * (fp32 -> bf16 -> int8). Quantized sessions want the matching
+     * store attached to the served model
+     * (core::DlrmModel::attachQuantizedStore) so the bags really read
+     * reduced-precision bytes; without one the forward falls back to
+     * fp32 storage gracefully.
+     */
+    core::EmbDtype dtype = core::EmbDtype::Fp32;
+
+    /** The deeper of the configured precision floor and the tier's. */
+    core::EmbDtype
+    effectiveDtype(const DegradeState& tier) const
+    {
+        return static_cast<int>(tier.dtype) > static_cast<int>(dtype)
+                   ? tier.dtype
+                   : dtype;
+    }
 
     /** Dynamic request coalescing (serve/batch_queue.hpp). Disabled
      *  by default: every request dispatches alone. */

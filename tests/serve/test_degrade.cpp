@@ -116,25 +116,60 @@ TEST(DegradationPolicy, HysteresisPreventsFlapping)
 
 TEST(DegradationPolicy, TierStatesFormTheDocumentedLadder)
 {
+    using dlrmopt::core::EmbDtype;
+
     const auto t0 = DegradationPolicy::stateForTier(0);
+    EXPECT_EQ(t0.dtype, EmbDtype::Fp32);
     EXPECT_DOUBLE_EQ(t0.batchFraction, 1.0);
     EXPECT_TRUE(t0.prefetchEnabled);
     EXPECT_TRUE(dlrmopt::core::usesMpHt(t0.scheme));
+    EXPECT_DOUBLE_EQ(t0.serviceFactor, 1.0);
+    EXPECT_DOUBLE_EQ(t0.knobFactor, 1.0);
 
+    // Precision drops before any work is shed: tiers 1-2 serve every
+    // admitted sample, just cheaper.
     const auto t1 = DegradationPolicy::stateForTier(1);
-    EXPECT_LT(t1.batchFraction, 1.0);
+    EXPECT_EQ(t1.dtype, EmbDtype::Bf16);
+    EXPECT_DOUBLE_EQ(t1.batchFraction, 1.0);
     EXPECT_TRUE(t1.prefetchEnabled);
+    EXPECT_DOUBLE_EQ(t1.knobFactor, 1.0);
+    EXPECT_LT(t1.serviceFactor, 1.0);
 
     const auto t2 = DegradationPolicy::stateForTier(2);
-    EXPECT_FALSE(t2.prefetchEnabled);
-    EXPECT_TRUE(dlrmopt::core::usesMpHt(t2.scheme));
+    EXPECT_EQ(t2.dtype, EmbDtype::Int8);
+    EXPECT_DOUBLE_EQ(t2.batchFraction, 1.0);
+    EXPECT_LT(t2.serviceFactor, t1.serviceFactor);
 
+    // Only after precision is exhausted does work shrink.
     const auto t3 = DegradationPolicy::stateForTier(3);
-    EXPECT_FALSE(t3.prefetchEnabled);
-    EXPECT_FALSE(dlrmopt::core::usesMpHt(t3.scheme));
+    EXPECT_EQ(t3.dtype, EmbDtype::Int8);
+    EXPECT_LT(t3.batchFraction, 1.0);
+    EXPECT_TRUE(t3.prefetchEnabled);
+
+    const auto t4 = DegradationPolicy::stateForTier(4);
+    EXPECT_FALSE(t4.prefetchEnabled);
+    EXPECT_TRUE(dlrmopt::core::usesMpHt(t4.scheme));
+
+    const auto t5 = DegradationPolicy::stateForTier(5);
+    EXPECT_FALSE(t5.prefetchEnabled);
+    EXPECT_FALSE(dlrmopt::core::usesMpHt(t5.scheme));
+
+    // serviceFactor = knobFactor * dtype speedup at every tier (the
+    // invariant that keeps dtype-aware pricing from double-counting).
+    for (int t = 0; t <= DegradationPolicy::maxTier(); ++t) {
+        const auto s = DegradationPolicy::stateForTier(t);
+        EXPECT_LE(s.serviceFactor, s.knobFactor) << "tier " << t;
+        EXPECT_GT(s.serviceFactor, 0.0) << "tier " << t;
+    }
+    // The ladder only ever gets cheaper going down.
+    for (int t = 1; t <= DegradationPolicy::maxTier(); ++t) {
+        EXPECT_LT(DegradationPolicy::stateForTier(t).serviceFactor,
+                  DegradationPolicy::stateForTier(t - 1).serviceFactor)
+            << "tier " << t;
+    }
 
     // Beyond the ladder clamps to the deepest tier.
-    EXPECT_EQ(DegradationPolicy::stateForTier(7).tier, 3);
+    EXPECT_EQ(DegradationPolicy::stateForTier(7).tier, 5);
 
     EXPECT_THROW(DegradationPolicy(fastConfig(), 0.0),
                  std::invalid_argument);

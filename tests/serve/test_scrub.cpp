@@ -99,6 +99,44 @@ TEST(Scrubber, OneSweepFindsAndRepairsAColdFlip)
     EXPECT_TRUE(store->findCorruptBlocks().empty());
 }
 
+TEST(Scrubber, QuantizedStoresScrubJustLikeFp32)
+{
+    // The checksum sweep covers reduced-precision stores too: a
+    // payload flip in a bf16 store and a *metadata* flip (a scale
+    // bit past the code payload) in an int8 store are both found and
+    // repaired within one sweep.
+    for (const core::EmbDtype dtype :
+         {core::EmbDtype::Bf16, core::EmbDtype::Int8}) {
+        auto store = core::EmbeddingStore::createMutable(
+            smallModel(), 7, 128, dtype);
+        ASSERT_EQ(store->dtype(), dtype);
+        const std::size_t dim = store->table(0).dim();
+        const std::size_t bit = dtype == core::EmbDtype::Int8
+                                    ? dim * 8 + 5 // scale mantissa
+                                    : 3;
+        store->flipBit(1, store->blockRows() + 7, bit);
+        ASSERT_FALSE(store->verifyBlock(1, 1));
+
+        ScrubConfig cfg;
+        cfg.enabled = true;
+        cfg.intervalMs = 1.0;
+        cfg.blocksPerTick = 2;
+        EmbeddingScrubber s(store, cfg);
+        const double sweep_ms =
+            cfg.intervalMs *
+            static_cast<double>(
+                (s.blocksPerSweep() + cfg.blocksPerTick - 1) /
+                cfg.blocksPerTick);
+        s.advanceTo(sweep_ms + 1.0);
+        EXPECT_EQ(s.corruptionsFound(), 1u)
+            << core::embDtypeName(dtype);
+        EXPECT_EQ(s.blocksRepaired(), 1u)
+            << core::embDtypeName(dtype);
+        EXPECT_TRUE(store->findCorruptBlocks().empty())
+            << core::embDtypeName(dtype);
+    }
+}
+
 TEST(Scrubber, VerifyOnlyCountsButNeverRepairs)
 {
     auto store = core::EmbeddingStore::createMutable(smallModel(), 7,

@@ -362,6 +362,75 @@ TEST_F(ServerTest, DegradationShrinksTheCoalescingCap)
     EXPECT_GT(st.finalTier, 0);
 }
 
+TEST_F(ServerTest, QuantizedTiersEngageBeforeShedding)
+{
+    // Overload a server whose quantized tiers are genuinely cheaper
+    // (dtype-aware pricing): the ladder must drop precision first —
+    // serving every admitted sample at bf16/int8 — and only shed what
+    // even int8 capacity cannot absorb. The rigid control run (no
+    // degradation) at the same load sheds strictly more.
+    core::DlrmModel m(smallModel(), 11);
+    m.attachQuantizedStore(core::EmbeddingStore::create(
+        smallModel(), 11, 256, core::EmbDtype::Bf16));
+    m.attachQuantizedStore(core::EmbeddingStore::create(
+        smallModel(), 11, 256, core::EmbDtype::Int8));
+
+    ServerConfig cfg;
+    cfg.slaMs = 12.0;
+    cfg.service = ServiceModel::constant(1.0);
+    cfg.dtypeServiceEnabled = true;
+    cfg.serviceBf16 = ServiceModel::constant(0.8);
+    cfg.serviceInt8 = ServiceModel::constant(0.5);
+    cfg.degrade.enabled = true;
+    cfg.degrade.window = 16;
+    cfg.degrade.cooldown = 16;
+
+    // rho ~ 1.25 at fp32 on 2 cores: overloaded at full precision,
+    // comfortably under capacity at int8 (rho ~ 0.63).
+    const auto arrivals = PoissonLoadGen(0.4, 3).arrivals(400);
+    Server degraded(m, sched::Topology::synthetic(2, 2), cfg);
+    const auto st = degraded.serve(dense, batches, arrivals);
+
+    EXPECT_GT(st.degradeEscalations, 0u);
+    EXPECT_GT(st.quantDispatches, 0u);
+    EXPECT_GT(st.finalTier, 0);
+    // Quantized dispatches serve full batches: degradation reached
+    // the precision tiers, not just the old shrink-work knobs.
+    EXPECT_EQ(st.served + st.shed + st.failed, 400u);
+
+    ServerConfig rigid = cfg;
+    rigid.degrade.enabled = false;
+    Server fixed(m, sched::Topology::synthetic(2, 2), rigid);
+    const auto rst = fixed.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(rst.quantDispatches, 0u);
+    // Dropping precision buys real admission headroom.
+    EXPECT_LT(st.shed, rst.shed);
+    EXPECT_GT(st.served, rst.served);
+}
+
+TEST_F(ServerTest, QuantizedTierFallsBackGracefullyWithoutStores)
+{
+    // A degradation tier asking for a precision that was never
+    // provisioned must still serve (embedding bags fall back to the
+    // fp32 store; the int8 MLP engine is always available).
+    ServerConfig cfg;
+    cfg.slaMs = 12.0;
+    cfg.service = ServiceModel::constant(1.0);
+    cfg.admission = false;
+    cfg.degrade.enabled = true;
+    cfg.degrade.window = 16;
+    cfg.degrade.cooldown = 16;
+
+    const auto arrivals = PoissonLoadGen(0.4, 3).arrivals(200);
+    Server srv(model, sched::Topology::synthetic(2, 2), cfg);
+    const auto st = srv.serve(dense, batches, arrivals);
+
+    EXPECT_EQ(st.served, 200u);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_GT(st.quantDispatches, 0u);
+}
+
 TEST_F(ServerTest, RejectsBadConfigsAndInputs)
 {
     ServerConfig cfg;

@@ -157,6 +157,32 @@ TEST(CliRun, GemmTuneRejectsBadOptions)
               0);
 }
 
+TEST(CliRun, GemmTuneInt8DtypeTunesTheQuantizedEngine)
+{
+    std::ostringstream out, err;
+    const int rc = run(parse({"gemmtune", "--model", "rm2_1", "--m",
+                              "4", "--repeats", "1", "--dtype",
+                              "int8"}),
+                       out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("tile autotune (int8)"), std::string::npos);
+    EXPECT_NE(s.find("speedup"), std::string::npos);
+    EXPECT_NE(s.find("installed"), std::string::npos);
+}
+
+TEST(CliRun, GemmTuneRejectsNonGemmDtypes)
+{
+    // bf16 is storage-only (the MLPs run fp32 for it); unknown words
+    // are rejected by the shared dtype parser.
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"gemmtune", "--dtype", "bf16"}), out, err),
+              0);
+    EXPECT_NE(err.str().find("bf16"), std::string::npos);
+    std::ostringstream o2, e2;
+    EXPECT_NE(run(parse({"gemmtune", "--dtype", "fp64"}), o2, e2), 0);
+}
+
 TEST(CliRun, ServeRunsBaselineAndDegradedSessions)
 {
     // Tiny scaled model + short stream so the real-execution serving
@@ -186,6 +212,26 @@ TEST(CliRun, ServeRejectsBadOptions)
     EXPECT_NE(run(parse({"serve", "--fault-exception-rate", "2.0"}),
                   out, err),
               0);
+    EXPECT_NE(run(parse({"serve", "--dtype", "fp64"}), out, err), 0);
+}
+
+TEST(CliRun, ServeQuantizedPrecisionFloorCountsEveryDispatch)
+{
+    // --dtype int8 attaches a quantized store and floors every
+    // dispatch at int8, so no row may report zero quantized
+    // dispatches.
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"serve", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "40",
+                   "--arrival-ms", "2.0", "--sla", "25", "--cores",
+                   "2", "--dtype", "int8", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("precision int8"), std::string::npos);
+    EXPECT_NE(s.find("quantized"), std::string::npos);
+    EXPECT_EQ(s.find(" 0 quantized"), std::string::npos);
 }
 
 TEST(CliRun, RouterComparesSingleInstanceAgainstEveryPolicy)
@@ -245,6 +291,28 @@ TEST(CliRun, BatchRejectsBadOptions)
     EXPECT_NE(run(parse({"batch", "--requests", "0"}), out, err), 0);
     EXPECT_NE(run(parse({"batch", "--max-requests", "0"}), out, err),
               0);
+    EXPECT_NE(run(parse({"batch", "--dtype", "int4"}), out, err), 0);
+}
+
+TEST(CliRun, BatchQuantizedPrecisionFloorRunsEveryRow)
+{
+    // --dtype bf16 floors the unbatched, coalesced, and streamed
+    // rows alike: every dispatch in every row counts as quantized.
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"batch", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "60",
+                   "--arrival-ms", "1.0", "--sla", "25", "--cores",
+                   "2", "--max-requests", "4", "--linger-ms", "1.0",
+                   "--streamed", "--dtype", "bf16", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("precision bf16"), std::string::npos);
+    EXPECT_NE(s.find("unbatched"), std::string::npos);
+    EXPECT_NE(s.find("streamed"), std::string::npos);
+    EXPECT_NE(s.find("quantized"), std::string::npos);
+    EXPECT_EQ(s.find(" 0 quantized"), std::string::npos);
 }
 
 TEST(CliRun, BatchStreamedAddsThePipelinedRow)

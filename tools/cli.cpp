@@ -9,6 +9,7 @@
 #include "core/simd.hpp"
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
+#include "core/quant.hpp"
 #include "platform/report.hpp"
 #include "sched/topology.hpp"
 #include "serve/fault_schedule.hpp"
@@ -169,6 +170,32 @@ buildEvalConfig(const ParsedArgs& args)
 
 namespace
 {
+
+/**
+ * Parses the shared --dtype option (default fp32). parseEmbDtype
+ * rejects unknown words; quantized serving sessions additionally
+ * attach the matching reduced-precision store via attachQuantized.
+ */
+core::EmbDtype
+parseDtypeOption(const ParsedArgs& args)
+{
+    return core::parseEmbDtype(args.get("dtype", "fp32"));
+}
+
+/**
+ * Attaches a freshly quantized store of @p dtype to @p model so the
+ * session's fused-dequant bags read real reduced-precision bytes
+ * instead of falling back to fp32 storage. No-op for fp32.
+ */
+void
+attachQuantized(core::DlrmModel& model, const core::ModelConfig& cfg,
+                std::uint64_t seed, core::EmbDtype dtype)
+{
+    if (dtype == core::EmbDtype::Fp32)
+        return;
+    model.attachQuantizedStore(
+        core::EmbeddingStore::create(cfg, seed, 256, dtype));
+}
 
 void
 printResultText(std::ostream& out, const platform::EvalConfig& cfg,
@@ -428,6 +455,13 @@ cmdGemmTune(const ParsedArgs& args, std::ostream& out)
         static_cast<std::uint64_t>(args.getInt("seed", 1));
     if (repeats < 1)
         throw std::invalid_argument("--repeats must be >= 1");
+    const core::EmbDtype dtype = parseDtypeOption(args);
+    if (dtype == core::EmbDtype::Bf16) {
+        throw std::invalid_argument(
+            "--dtype bf16: bf16 is an embedding-storage format; the "
+            "MLPs run the fp32 GEMM engine for it — tune fp32 or "
+            "int8");
+    }
 
     std::vector<std::size_t> batches;
     if (args.has("m")) {
@@ -440,7 +474,8 @@ cmdGemmTune(const ParsedArgs& args, std::ostream& out)
     }
 
     const auto level = core::currentSimdLevel();
-    out << model.name << " MLP tile autotune @ "
+    out << model.name << " MLP tile autotune ("
+        << core::embDtypeName(dtype) << ") @ "
         << core::simdLevelName(level) << " (panel width "
         << core::PackedWeights::panelWidth << ", max microtile rows "
         << core::gemmMaxRows(level) << ")\n";
@@ -453,7 +488,7 @@ cmdGemmTune(const ParsedArgs& args, std::ostream& out)
         const auto dims =
             bottom ? model.bottomMlp : model.topMlpDims();
         const auto results =
-            core::tuneMlpGemm(dims, batches, repeats, seed);
+            core::tuneMlpGemm(dims, batches, repeats, seed, dtype);
         for (const auto& r : results) {
             char buf[160];
             std::snprintf(buf, sizeof(buf),
@@ -497,6 +532,7 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
     scfg.admission = !args.has("no-admission");
     scfg.maxRetries =
         static_cast<std::size_t>(args.getInt("retries", 2));
+    scfg.dtype = parseDtypeOption(args);
 
     serve::FaultConfig fc;
     fc.seed = seed;
@@ -530,6 +566,7 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
         batches.push_back(gen.batch(b));
 
     core::DlrmModel model(cfg_model, seed);
+    attachQuantized(model, cfg_model, seed, scfg.dtype);
     core::Tensor dense(tc.batchSize, cfg_model.denseDim());
     dense.randomize(seed + 1);
 
@@ -539,7 +576,8 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
     out << cfg_model.name << " scaled to "
         << model.embeddingBytes() / (1u << 20) << " MB embeddings, "
         << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
-        << "interarrival " << arrival_ms << " ms\n";
+        << "interarrival " << arrival_ms << " ms, precision "
+        << core::embDtypeName(scfg.dtype) << "\n";
 
     const auto topo = sched::Topology::synthetic(cores, 2);
     {
@@ -715,6 +753,8 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
     scfg.slaMs = args.getDouble("sla", 25.0);
     scfg.maxRetries =
         static_cast<std::size_t>(args.getInt("retries", 2));
+    scfg.dtype = parseDtypeOption(args);
+    attachQuantized(model, cfg_model, seed, scfg.dtype);
     if (args.has("calibrate")) {
         // Fit {base, per-sample} from real kernel timings on this
         // host instead of assuming a flat per-request cost.
@@ -737,7 +777,8 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
     out << cfg_model.name << " scaled to "
         << model.embeddingBytes() / (1u << 20) << " MB embeddings, "
         << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
-        << "interarrival " << arrival_ms << " ms, " << mb << "\n";
+        << "interarrival " << arrival_ms << " ms, precision "
+        << core::embDtypeName(scfg.dtype) << ", " << mb << "\n";
 
     const auto report = [&](const std::string& label,
                             const serve::ServeStats& st) {
@@ -1099,11 +1140,15 @@ usage()
            "  --m N (tune one coalesced batch size; default: one "
            "per m-bucket)\n"
            "  --quick (m in {1,16} only)\n"
+           "  --dtype fp32|int8 (fp32 packed engine or the u8·s8 "
+           "quantized engine)\n"
            "\n"
            "serve options:\n"
            "  --arrival-ms X --requests N --sla X --service-ms X\n"
            "  --cores N --retries N --no-admission --batch-size N\n"
            "  --max-bytes X (embedding scale-down budget)\n"
+           "  --dtype fp32|bf16|int8 (serving precision floor; "
+           "quantized store attached)\n"
            "  --fault-exception-rate P --fault-alloc-rate P\n"
            "  --fault-corrupt-rate P --fault-straggler-core N\n"
            "  --fault-straggler-factor X\n"

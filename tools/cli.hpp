@@ -13,14 +13,17 @@
  *   tune [options]              real-host prefetch auto-tune
  *   gemmtune [options]          real-host GEMM blocking-tile
  *                               auto-tune over a model's MLP shapes
+ *                               (--dtype fp32|int8 picks the engine)
  *   serve [options]             fault-tolerant serving session with
  *                               admission control, retries, optional
  *                               fault injection and degradation
+ *                               (--dtype sets the precision floor)
  *   router [options]            multi-instance routed serving over
  *                               one shared embedding store
  *   batch [options]             unbatched vs deadline-aware request
  *                               coalescing on the batched forward
- *                               path (real execution)
+ *                               path (real execution; --dtype sets
+ *                               the precision floor)
  *   chaos [options]             scripted fault timelines replayed
  *                               with and without the resilience layer
  *   tenants [options]           multi-tenant fleet session: weighted-
