@@ -73,6 +73,21 @@ DlrmModel::DlrmModel(const ModelConfig& cfg,
     checkViewArgs(_cfg, _store.get(), first_table, num_tables);
 }
 
+DlrmModel::DlrmModel(const ModelConfig& cfg,
+                     std::shared_ptr<const EmbeddingStore> store,
+                     Mlp bottom, Mlp top)
+    : _cfg(cfg), _bottom(std::move(bottom)), _top(std::move(top)),
+      _store(std::move(store)), _firstTable(0), _numTables(cfg.tables)
+{
+    checkViewArgs(_cfg, _store.get(), 0, cfg.tables);
+    if (_bottom.dims() != cfg.bottomMlp ||
+        _top.dims() != cfg.topMlpDims()) {
+        throw std::invalid_argument(
+            "DlrmModel: adopted MLP size lists do not match the model "
+            "config");
+    }
+}
+
 void
 DlrmModel::attachQuantizedStore(
     std::shared_ptr<const EmbeddingStore> store)

@@ -89,6 +89,19 @@ class DlrmModel
               std::size_t first_table, std::size_t num_tables,
               std::uint64_t seed = 42);
 
+    /**
+     * Rebuilds a full view from explicit MLPs (a snapshot's weights)
+     * over an already-loaded store: no seed-derived initialization
+     * runs, so the model is bitwise-identical to the one the MLPs
+     * were saved from.
+     *
+     * @throws std::invalid_argument on store/cfg geometry mismatch or
+     *         MLPs whose size lists mismatch cfg.
+     */
+    DlrmModel(const ModelConfig& cfg,
+              std::shared_ptr<const EmbeddingStore> store, Mlp bottom,
+              Mlp top);
+
     const ModelConfig& config() const { return _cfg; }
 
     /** The shared table storage backing this view. */

@@ -117,6 +117,47 @@ EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim,
     regenerateRows(0, rows, seed);
 }
 
+EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim,
+                               EmbDtype dtype, const void *bytes,
+                               std::size_t nbytes)
+    : _rows(rows), _dim(dim), _dtype(dtype)
+{
+    const std::size_t elems = checkedTableSize(rows, dim);
+    if (bytes == nullptr) {
+        throw std::invalid_argument(
+            "EmbeddingTable: null payload for a loading construction");
+    }
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        _bf16.resize(elems);
+        break;
+      case EmbDtype::Int8:
+        _q8.resize(rows * int8Stride());
+        break;
+      default:
+        _data.resize(elems);
+        break;
+    }
+    if (nbytes != this->bytes()) {
+        throw std::invalid_argument(
+            "EmbeddingTable: payload is " + std::to_string(nbytes) +
+            " bytes but a " + std::to_string(rows) + " x " +
+            std::to_string(dim) + " " + embDtypeName(dtype) +
+            " table stores " + std::to_string(this->bytes()));
+    }
+    switch (_dtype) {
+      case EmbDtype::Bf16:
+        std::memcpy(_bf16.data(), bytes, nbytes);
+        break;
+      case EmbDtype::Int8:
+        std::memcpy(_q8.data(), bytes, nbytes);
+        break;
+      default:
+        std::memcpy(_data.data(), bytes, nbytes);
+        break;
+    }
+}
+
 void
 EmbeddingTable::regenerateRows(std::size_t first, std::size_t count,
                                std::uint64_t seed)

@@ -95,6 +95,19 @@ class EmbeddingTable
     EmbeddingTable(std::size_t rows, std::size_t dim, std::uint64_t seed,
                    EmbDtype dtype = EmbDtype::Fp32);
 
+    /**
+     * Adopts previously stored payload bytes (a snapshot section)
+     * instead of generating contents: @p bytes must hold exactly
+     * bytes() stored bytes in this table's layout (fp32 floats, bf16
+     * patterns, or fused int8 rows). The loaded table is
+     * bitwise-identical to the one the bytes were saved from.
+     *
+     * @throws std::invalid_argument on zero geometry, a null pointer,
+     *         or a byte count that mismatches the geometry/dtype.
+     */
+    EmbeddingTable(std::size_t rows, std::size_t dim, EmbDtype dtype,
+                   const void *bytes, std::size_t nbytes);
+
     std::size_t rows() const { return _rows; }
     std::size_t dim() const { return _dim; }
     EmbDtype dtype() const { return _dtype; }
@@ -118,6 +131,17 @@ class EmbeddingTable
 
     /** fp32 payload (valid only when dtype() == Fp32). */
     const float *data() const { return _data.data(); }
+
+    /**
+     * Start of the stored payload at this table's dtype — bytes()
+     * contiguous bytes (fused rows for int8). What a snapshot writes
+     * and the loading constructor reads back.
+     */
+    const void *
+    rawBytes() const
+    {
+        return rowBytesPtr(0);
+    }
 
     /** Pointer to embedding row @p idx (fp32 tables only). */
     const float *

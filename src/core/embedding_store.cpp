@@ -74,9 +74,49 @@ EmbeddingStore::EmbeddingStore(const ModelConfig& cfg, std::uint64_t seed,
         _tables.push_back(std::make_unique<EmbeddingTable>(
             cfg.rows, cfg.dim, _tableSeeds.back(), _dtype));
     }
+    rebuildChecksums();
+}
+
+EmbeddingStore::EmbeddingStore(
+    const ModelConfig& cfg, EmbDtype dtype, std::size_t blockRows,
+    std::vector<std::unique_ptr<EmbeddingTable>> tables,
+    std::vector<std::uint64_t> tableSeeds)
+    : _rows(cfg.rows), _dim(cfg.dim), _dtype(dtype),
+      _blockRows(blockRows < cfg.rows ? blockRows : cfg.rows),
+      _tables(std::move(tables)), _tableSeeds(std::move(tableSeeds))
+{
+    if (_tables.empty() || _tables.size() != cfg.tables) {
+        throw std::invalid_argument(
+            "EmbeddingStore: adopted " + std::to_string(_tables.size()) +
+            " tables for a " + std::to_string(cfg.tables) +
+            "-table config");
+    }
+    if (_tableSeeds.size() != _tables.size()) {
+        throw std::invalid_argument(
+            "EmbeddingStore: need one build seed per adopted table");
+    }
+    if (blockRows == 0) {
+        throw std::invalid_argument(
+            "EmbeddingStore: blockRows must be positive");
+    }
+    for (std::size_t t = 0; t < _tables.size(); ++t) {
+        const EmbeddingTable *tab = _tables[t].get();
+        if (tab == nullptr || tab->rows() != cfg.rows ||
+            tab->dim() != cfg.dim || tab->dtype() != dtype) {
+            throw std::invalid_argument(
+                "EmbeddingStore: adopted table " + std::to_string(t) +
+                " does not match the config geometry/dtype");
+        }
+    }
+    rebuildChecksums();
+}
+
+void
+EmbeddingStore::rebuildChecksums()
+{
     const std::size_t blocks = numBlocks();
-    _checksums.resize(cfg.tables * blocks);
-    for (std::size_t t = 0; t < cfg.tables; ++t)
+    _checksums.resize(_tables.size() * blocks);
+    for (std::size_t t = 0; t < _tables.size(); ++t)
         for (std::size_t b = 0; b < blocks; ++b)
             _checksums[t * blocks + b] = computeChecksum(t, b);
 }
@@ -90,18 +130,36 @@ EmbeddingStore::computeChecksum(std::size_t t, std::size_t b) const
     const EmbeddingTable& tab = *_tables[t];
     switch (_dtype) {
       case EmbDtype::Bf16:
-        return fnv1aU16(tab.bf16Row(static_cast<RowIndex>(first)),
-                        count * _dim);
+        return payloadChecksum(
+            _dtype, tab.bf16Row(static_cast<RowIndex>(first)),
+            count * _dim);
       case EmbDtype::Int8:
         // The fused rows carry codes AND the per-row scale/bias
         // words in one contiguous span, so one pass covers both: a
         // metadata upset corrupts every dequantized value of its
         // row and must trip verifyBlock exactly like a payload bit.
-        return fnv1aU8(tab.int8Row(static_cast<RowIndex>(first)),
-                       count * tab.storedRowBytes());
+        return payloadChecksum(
+            _dtype, tab.int8Row(static_cast<RowIndex>(first)),
+            count * tab.storedRowBytes());
       default:
-        return fnv1a(tab.rowPtr(static_cast<RowIndex>(first)),
-                     count * _dim);
+        return payloadChecksum(
+            _dtype, tab.rowPtr(static_cast<RowIndex>(first)),
+            count * _dim);
+    }
+}
+
+std::uint64_t
+EmbeddingStore::payloadChecksum(EmbDtype dtype, const void *data,
+                                std::size_t count)
+{
+    switch (dtype) {
+      case EmbDtype::Bf16:
+        return fnv1aU16(static_cast<const std::uint16_t *>(data),
+                        count);
+      case EmbDtype::Int8:
+        return fnv1aU8(static_cast<const std::uint8_t *>(data), count);
+      default:
+        return fnv1a(static_cast<const float *>(data), count);
     }
 }
 

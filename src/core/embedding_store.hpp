@@ -79,6 +79,23 @@ class EmbeddingStore
                             std::size_t blockRows = 256,
                             EmbDtype dtype = EmbDtype::Fp32);
 
+    /**
+     * Adopts snapshot-loaded tables instead of generating contents.
+     * Every per-block checksum is rebuilt from the adopted bytes (a
+     * snapshot loader cross-checks them against the file's recorded
+     * checksums separately). @p tableSeeds must carry each table's
+     * original build seed so repairBlock() can still regenerate
+     * as-built bytes after corruption.
+     *
+     * @throws std::invalid_argument on an empty table set, a seed
+     *         count mismatching the table count, a zero blockRows, or
+     *         a table whose geometry/dtype differs from cfg/@p dtype.
+     */
+    EmbeddingStore(const ModelConfig& cfg, EmbDtype dtype,
+                   std::size_t blockRows,
+                   std::vector<std::unique_ptr<EmbeddingTable>> tables,
+                   std::vector<std::uint64_t> tableSeeds);
+
     /** Convenience: heap-allocates a store ready for sharing. */
     static std::shared_ptr<const EmbeddingStore>
     create(const ModelConfig& cfg, std::uint64_t seed = 42,
@@ -110,6 +127,13 @@ class EmbeddingStore
     const EmbeddingTable& table(std::size_t t) const
     {
         return *_tables[t];
+    }
+
+    /** Build seed of table @p t (what repairBlock regenerates from;
+     *  recorded in snapshots so loaded stores stay repairable). */
+    std::uint64_t tableSeed(std::size_t t) const
+    {
+        return _tableSeeds[t];
     }
 
     /** Total bytes held across all tables (the one real copy). */
@@ -151,6 +175,17 @@ class EmbeddingStore
     /** Recomputes the checksum of (table, block) from current bytes. */
     std::uint64_t computeChecksum(std::size_t t, std::size_t b) const;
 
+    /**
+     * The FNV-1a fold computeChecksum() runs, exposed over a raw
+     * stored-payload span so snapshot verification can checksum file
+     * bytes without materializing tables. @p count is the element
+     * count at @p dtype: floats for fp32, 16-bit patterns for bf16,
+     * stored bytes (codes + fused scale/bias) for int8.
+     */
+    static std::uint64_t payloadChecksum(EmbDtype dtype,
+                                         const void *data,
+                                         std::size_t count);
+
     /** True when the current bytes of (table, block) still match the
      *  build-time checksum. */
     bool
@@ -184,6 +219,10 @@ class EmbeddingStore
     /// @}
 
   private:
+    /** Recomputes every stored per-block checksum from current bytes
+     *  (construction, and adoption of snapshot-loaded tables). */
+    void rebuildChecksums();
+
     std::size_t _rows;
     std::size_t _dim;
     EmbDtype _dtype;

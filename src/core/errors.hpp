@@ -32,6 +32,23 @@ class IndexError : public std::out_of_range
     }
 };
 
+/**
+ * A model-snapshot file operation failed: the file is missing,
+ * truncated, bit-flipped (a header/block/footer checksum mismatched),
+ * describes a different model than the caller expected, or an OS-level
+ * read/write/fsync/rename failed. The message names the offending
+ * section and offset so operators can tell a torn write from a config
+ * mismatch. Recoverable by construction: a loader that catches IoError
+ * keeps serving its current version.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string& what) : std::runtime_error(what)
+    {
+    }
+};
+
 } // namespace dlrmopt::core
 
 #endif // DLRMOPT_CORE_ERRORS_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/simd.hpp"
@@ -470,16 +471,91 @@ constexpr std::array<MicroFnInt8, 6> kAvx512Int8Fns = {
     microAvx512Int8<4>, microAvx512Int8<5>, microAvx512Int8<6>};
 #endif
 
-/** Per-level u8·s8 kernel family. */
+#if DLRMOPT_GEMM_HAVE_AVX512 && defined(__AVX512VNNI__)
+#define DLRMOPT_GEMM_HAVE_VNNI 1
+/**
+ * 6x16 AVX512-VNNI u8·s8 microkernel: one vpdpbusd per (sample row,
+ * k quad) fuses the widening chain of the maddubs path — 4 u8·s8
+ * products summed into the s32 accumulator directly, with no
+ * saturation possible (each product fits s16, the quad-sum fits s32).
+ * The integer dot is therefore the *exact* same value the widening
+ * path accumulates, and the shared float epilogue makes the output
+ * bitwise-identical. @p pb must be the quad-interleaved panelVnni
+ * layout; @p kp stays the driver's pair count (quads = kp / 2).
+ */
+template <int MR>
+void
+microAvx512VnniInt8(const std::uint8_t *a, std::size_t lda,
+                    const std::int8_t *pb, std::size_t kp, float *c,
+                    std::size_t ldc, std::size_t nv, const float *bias,
+                    const float *cscale, const float *cwsum,
+                    float ascale, float amin, bool relu)
+{
+    const __mmask16 mask =
+        nv >= NR ? static_cast<__mmask16>(0xffff)
+                 : static_cast<__mmask16>((1u << nv) - 1u);
+
+    __m512i acc[MR];
+    for (int m = 0; m < MR; ++m)
+        acc[m] = _mm512_setzero_si512();
+    const std::size_t kq = kp / 2; // paddedK is a multiple of 4
+    for (std::size_t q = 0; q < kq; ++q) {
+        const __m512i wv = _mm512_loadu_si512(pb + q * 4 * NR);
+        for (int m = 0; m < MR; ++m) {
+            const std::uint8_t *am =
+                a + static_cast<std::size_t>(m) * lda + 4 * q;
+            std::uint32_t quad;
+            std::memcpy(&quad, am, sizeof(quad));
+            const __m512i av =
+                _mm512_set1_epi32(static_cast<int>(quad));
+            acc[m] = _mm512_dpbusd_epi32(acc[m], av, wv);
+        }
+    }
+    const __m512 comb = _mm512_mul_ps(_mm512_set1_ps(ascale),
+                                      _mm512_loadu_ps(cscale));
+    const __m512 bv =
+        bias ? _mm512_maskz_loadu_ps(mask, bias) : _mm512_setzero_ps();
+    const __m512 off = _mm512_fmadd_ps(_mm512_set1_ps(amin),
+                                       _mm512_loadu_ps(cwsum), bv);
+    const __m512 z = _mm512_setzero_ps();
+    for (int m = 0; m < MR; ++m) {
+        __m512 r = _mm512_fmadd_ps(_mm512_cvtepi32_ps(acc[m]), comb,
+                                   off);
+        if (relu)
+            r = _mm512_max_ps(r, z);
+        _mm512_mask_storeu_ps(c + static_cast<std::size_t>(m) * ldc,
+                              mask, r);
+    }
+}
+
+constexpr std::array<MicroFnInt8, 6> kAvx512VnniInt8Fns = {
+    microAvx512VnniInt8<1>, microAvx512VnniInt8<2>,
+    microAvx512VnniInt8<3>, microAvx512VnniInt8<4>,
+    microAvx512VnniInt8<5>, microAvx512VnniInt8<6>};
+#else
+#define DLRMOPT_GEMM_HAVE_VNNI 0
+#endif
+
+/** Per-level u8·s8 kernel family. @c vnni selects the
+ *  quad-interleaved panel layout in the driver. */
 struct MicroSetInt8
 {
     const MicroFnInt8 *fns;
     std::size_t maxMr;
+    bool vnni = false;
 };
 
 MicroSetInt8
 microSetForInt8(SimdLevel level)
 {
+#if DLRMOPT_GEMM_HAVE_VNNI
+    // Runtime-gated: compiled in whenever the build targets VNNI, but
+    // dispatched only when the host exposes it (and tests haven't
+    // forced the widening path via setVnniEnabled(false)).
+    if (level == SimdLevel::Avx512 && vnniEnabled())
+        return {kAvx512VnniInt8Fns.data(), kAvx512VnniInt8Fns.size(),
+                true};
+#endif
 #if DLRMOPT_GEMM_HAVE_AVX512 && DLRMOPT_GEMM_HAVE_AVX2
     if (level == SimdLevel::Avx512)
         return {kAvx512Int8Fns.data(), kAvx512Int8Fns.size()};
@@ -513,7 +589,8 @@ runPackedInt8(const std::uint8_t *qa, std::size_t batch,
     for (std::size_t p = 0; p < w.numPanels(); ++p) {
         const std::size_t n0 = p * NR;
         const std::size_t nv = std::min(NR, N - n0);
-        const std::int8_t *pb = w.panel(p);
+        const std::int8_t *pb =
+            ms.vnni ? w.panelVnni(p) : w.panel(p);
         const float *pbias = bias ? bias + n0 : nullptr;
         const float *cs = w.colScale() + n0;
         const float *cw = w.colWsum() + n0;
@@ -608,19 +685,21 @@ PackedWeightsInt8::PackedWeightsInt8(const float *weights,
                                      std::size_t in_dim,
                                      std::size_t out_dim)
     : _inDim(in_dim), _outDim(out_dim),
-      _paddedK((in_dim + 1) & ~std::size_t{1})
+      _paddedK((in_dim + 3) & ~std::size_t{3})
 {
     if (weights == nullptr && in_dim * out_dim != 0) {
         throw std::invalid_argument(
             "PackedWeightsInt8: null weights for a non-empty shape");
     }
     _data.assign(numPanels() * _paddedK * panelWidth, 0);
+    _vnni.assign(numPanels() * _paddedK * panelWidth, 0);
     _colScale.assign(numPanels() * panelWidth, 0.0f);
     _colWsum.assign(numPanels() * panelWidth, 0.0f);
     for (std::size_t p = 0; p < numPanels(); ++p) {
         const std::size_t n0 = p * panelWidth;
         const std::size_t nv = std::min(panelWidth, out_dim - n0);
         std::int8_t *dst = _data.data() + p * _paddedK * panelWidth;
+        std::int8_t *dstV = _vnni.data() + p * _paddedK * panelWidth;
         for (std::size_t j = 0; j < nv; ++j) {
             const float *src = weights + (n0 + j) * in_dim;
             float maxabs = 0.0f;
@@ -636,6 +715,7 @@ PackedWeightsInt8::PackedWeightsInt8(const float *weights,
                 const std::int8_t code =
                     static_cast<std::int8_t>(cl);
                 dst[(k / 2) * 2 * panelWidth + j * 2 + (k & 1)] = code;
+                dstV[(k / 4) * 4 * panelWidth + j * 4 + (k & 3)] = code;
                 colsum += code;
             }
             _colScale[n0 + j] = sw;

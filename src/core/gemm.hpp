@@ -154,8 +154,20 @@ class PackedWeights
  *
  *   panel(p)[kp * 32 + j * 2 + (k & 1)] == qw[p*16 + j][k],  kp = k/2
  *
- * with the depth zero-padded to even (paddedK()) and the tail panel
- * zero-padded to panelWidth — zero codes contribute exact zeros.
+ * with the depth zero-padded to a multiple of 4 (paddedK()) and the
+ * tail panel zero-padded to panelWidth — zero codes contribute exact
+ * zeros.
+ *
+ * A second, k-quad-interleaved copy of the same codes is kept for the
+ * AVX512-VNNI kernel, whose vpdpbusd step consumes 4 consecutive k
+ * codes per column (one 64-byte panel row = 16 columns x 4 codes):
+ *
+ *   panelVnni(p)[kq * 64 + j * 4 + (k & 3)] == qw[p*16 + j][k],  kq = k/4
+ *
+ * Both layouts hold identical codes, and both kernels accumulate the
+ * exact integer dot (maddubs pair-products cap at 127*127*2 < 2^15,
+ * vpdpbusd's quad-sum never saturates for u8·s8), so the two paths
+ * produce bitwise-identical output.
  *
  * The epilogue constants are precomputed per column:
  *  - colScale()[j] = scaleW[j] (dequant factor for the s32 dot), and
@@ -189,7 +201,8 @@ class PackedWeightsInt8
     std::size_t outDim() const { return _outDim; }
     bool empty() const { return _outDim == 0; }
 
-    /** Depth rounded up to even (k-pair granularity of maddubs). */
+    /** Depth rounded up to a multiple of 4 (k-pair granularity of
+     *  maddubs, k-quad granularity of vpdpbusd). */
     std::size_t paddedK() const { return _paddedK; }
 
     /** Number of panels: ceil(outDim / panelWidth). */
@@ -206,20 +219,28 @@ class PackedWeightsInt8
         return _data.data() + p * _paddedK * panelWidth;
     }
 
+    /** Same codes in the VNNI quad layout: [paddedK/4 x 64] s8. */
+    const std::int8_t *
+    panelVnni(std::size_t p) const
+    {
+        return _vnni.data() + p * _paddedK * panelWidth;
+    }
+
     /** Per-column weight scale, zero-padded to numPanels * 16. */
     const float *colScale() const { return _colScale.data(); }
 
     /** Per-column scaleW[j] * sum_k qw[j][k], same padding. */
     const float *colWsum() const { return _colWsum.data(); }
 
-    /** Bytes of packed code storage (includes padding). */
-    std::size_t bytes() const { return _data.size(); }
+    /** Bytes of packed code storage (both layouts, incl. padding). */
+    std::size_t bytes() const { return _data.size() + _vnni.size(); }
 
   private:
     std::size_t _inDim = 0;
     std::size_t _outDim = 0;
     std::size_t _paddedK = 0;
     std::vector<std::int8_t, AlignedAllocator<std::int8_t>> _data;
+    std::vector<std::int8_t, AlignedAllocator<std::int8_t>> _vnni;
     std::vector<float> _colScale;
     std::vector<float> _colWsum;
 };

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "core/gemm.hpp"
 
@@ -30,6 +31,34 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, std::uint64_t seed)
         _packed.emplace_back(_weights.back().data(), dims[l],
                              dims[l + 1]);
         _packedInt8.emplace_back(_weights.back().data(), dims[l],
+                                 dims[l + 1]);
+    }
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims,
+         std::vector<Tensor> weights,
+         std::vector<std::vector<float>> biases)
+    : _dims(dims), _weights(std::move(weights)),
+      _biases(std::move(biases))
+{
+    if (dims.size() < 2)
+        throw std::invalid_argument("Mlp needs at least input+one layer");
+    const std::size_t layers = dims.size() - 1;
+    if (_weights.size() != layers || _biases.size() != layers) {
+        throw std::invalid_argument(
+            "Mlp: adopted parameter count does not match the size "
+            "list");
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+        if (_weights[l].rows() != dims[l + 1] ||
+            _weights[l].cols() != dims[l] ||
+            _biases[l].size() != dims[l + 1]) {
+            throw std::invalid_argument(
+                "Mlp: adopted layer " + std::to_string(l) +
+                " has the wrong shape");
+        }
+        _packed.emplace_back(_weights[l].data(), dims[l], dims[l + 1]);
+        _packedInt8.emplace_back(_weights[l].data(), dims[l],
                                  dims[l + 1]);
     }
 }

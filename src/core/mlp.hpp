@@ -39,6 +39,19 @@ class Mlp
      */
     Mlp(const std::vector<std::size_t>& dims, std::uint64_t seed);
 
+    /**
+     * Rebuilds an MLP from explicit layer parameters (a snapshot's
+     * MLP section): weights[l] is [dims[l+1] x dims[l]], biases[l]
+     * has dims[l+1] entries. Both packed-weight engines are rebuilt
+     * from the adopted fp32 weights, so forwards through a loaded MLP
+     * are bitwise-identical to the saved one's.
+     *
+     * @throws std::invalid_argument on a size list shorter than 2 or
+     *         any layer whose weight/bias shape mismatches @p dims.
+     */
+    Mlp(const std::vector<std::size_t>& dims, std::vector<Tensor> weights,
+        std::vector<std::vector<float>> biases);
+
     /** Input feature dimension. */
     std::size_t inputDim() const { return _dims.empty() ? 0 : _dims.front(); }
 
@@ -124,6 +137,19 @@ class Mlp
     const PackedWeightsInt8& packedInt8Layer(std::size_t l) const
     {
         return _packedInt8[l];
+    }
+
+    /** fp32 weight matrix of layer @p l ([dims[l+1] x dims[l]]) — the
+     *  serialization source for snapshots. */
+    const Tensor& layerWeights(std::size_t l) const
+    {
+        return _weights[l];
+    }
+
+    /** Bias vector of layer @p l (dims[l+1] entries). */
+    const std::vector<float>& layerBias(std::size_t l) const
+    {
+        return _biases[l];
     }
 
     /** Bytes of packed-weight storage across all layers (the one-time

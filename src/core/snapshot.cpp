@@ -1,0 +1,721 @@
+#include "core/snapshot.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/errors.hpp"
+#include "core/types.hpp"
+
+namespace dlrmopt::core
+{
+
+namespace
+{
+
+// "DLRMSNP1" / "DLRMEND1" as little-endian u64s.
+constexpr std::uint64_t kMagic = 0x31504E534D524C44ull;
+constexpr std::uint64_t kEndMagic = 0x31444E454D524C44ull;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/** Byte-granular FNV-1a for the file-structure checksums (header /
+ *  MLP / whole-file). Payload blocks use the store's per-element fold
+ *  (EmbeddingStore::payloadChecksum) so the recorded values equal
+ *  what a loaded store rebuilds. */
+std::uint64_t
+fnv1aBytes(const std::uint8_t *data, std::size_t n,
+           std::uint64_t h = kFnvOffset)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        h = (h ^ data[i]) * kFnvPrime;
+    return h;
+}
+
+/** Serialization buffer with POD appends. */
+struct Writer
+{
+    std::vector<std::uint8_t> buf;
+
+    template <typename T>
+    void
+    pod(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::size_t at = buf.size();
+        buf.resize(at + sizeof(T));
+        std::memcpy(buf.data() + at, &v, sizeof(T));
+    }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const std::size_t at = buf.size();
+        buf.resize(at + n);
+        std::memcpy(buf.data() + at, p, n);
+    }
+
+    void
+    str(const std::string& s)
+    {
+        pod(static_cast<std::uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    void
+    dimList(const std::vector<std::size_t>& d)
+    {
+        pod(static_cast<std::uint32_t>(d.size()));
+        for (std::size_t v : d)
+            pod(static_cast<std::uint64_t>(v));
+    }
+};
+
+/** Bounds-checked cursor over the file bytes; every overrun names the
+ *  section being parsed. */
+struct Reader
+{
+    const std::uint8_t *p;
+    std::size_t size;
+    std::size_t off = 0;
+    const char *section = "header";
+
+    void
+    need(std::size_t n) const
+    {
+        if (size - off < n) {
+            throw IoError("snapshot truncated in " +
+                          std::string(section) + " section at byte " +
+                          std::to_string(off) + " (need " +
+                          std::to_string(n) + " more of " +
+                          std::to_string(size) + ")");
+        }
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        need(sizeof(T));
+        T v;
+        std::memcpy(&v, p + off, sizeof(T));
+        off += sizeof(T);
+        return v;
+    }
+
+    const std::uint8_t *
+    bytes(std::size_t n)
+    {
+        need(n);
+        const std::uint8_t *at = p + off;
+        off += n;
+        return at;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = pod<std::uint32_t>();
+        if (n > size) {
+            throw IoError("snapshot " + std::string(section) +
+                          " section carries an absurd string length");
+        }
+        const std::uint8_t *at = bytes(n);
+        return std::string(reinterpret_cast<const char *>(at), n);
+    }
+
+    std::vector<std::size_t>
+    dimList()
+    {
+        const std::uint32_t n = pod<std::uint32_t>();
+        if (n > 1024) {
+            throw IoError("snapshot " + std::string(section) +
+                          " section carries an absurd size-list "
+                          "length");
+        }
+        std::vector<std::size_t> d(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            d[i] = static_cast<std::size_t>(pod<std::uint64_t>());
+        return d;
+    }
+};
+
+void
+writeConfig(Writer& w, const ModelConfig& cfg)
+{
+    w.str(cfg.name);
+    w.pod(static_cast<std::uint32_t>(cfg.cls));
+    w.pod(static_cast<std::uint64_t>(cfg.rows));
+    w.pod(static_cast<std::uint64_t>(cfg.dim));
+    w.pod(static_cast<std::uint64_t>(cfg.tables));
+    w.pod(static_cast<std::uint64_t>(cfg.lookups));
+    w.pod(cfg.embTimePercent);
+    w.dimList(cfg.bottomMlp);
+    w.dimList(cfg.topMlp);
+}
+
+ModelConfig
+readConfig(Reader& r)
+{
+    ModelConfig cfg;
+    cfg.name = r.str();
+    const std::uint32_t cls = r.pod<std::uint32_t>();
+    if (cls > static_cast<std::uint32_t>(ModelClass::RMC3))
+        throw IoError("snapshot header carries an unknown model class");
+    cfg.cls = static_cast<ModelClass>(cls);
+    cfg.rows = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cfg.dim = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cfg.tables = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cfg.lookups = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    cfg.embTimePercent = r.pod<double>();
+    cfg.bottomMlp = r.dimList();
+    cfg.topMlp = r.dimList();
+    if (cfg.rows == 0 || cfg.dim == 0 || cfg.tables == 0 ||
+        cfg.bottomMlp.size() < 2 || cfg.topMlp.empty()) {
+        throw IoError(
+            "snapshot header describes a degenerate model config");
+    }
+    return cfg;
+}
+
+bool
+sameConfig(const ModelConfig& a, const ModelConfig& b)
+{
+    return a.name == b.name && a.cls == b.cls && a.rows == b.rows &&
+           a.dim == b.dim && a.tables == b.tables &&
+           a.lookups == b.lookups && a.bottomMlp == b.bottomMlp &&
+           a.topMlp == b.topMlp;
+}
+
+std::string
+errnoText()
+{
+    return std::string(std::strerror(errno));
+}
+
+/**
+ * Publishes @p buf at @p path crash-consistently: temp file, fsync,
+ * atomic rename, directory fsync. Returns false when a scripted torn
+ * write "crashed" before the rename (target untouched, torn temp
+ * left behind like a real crash would).
+ */
+bool
+writeAtomic(const std::string& path,
+            const std::vector<std::uint8_t>& buf,
+            const SnapshotFaults *faults)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY,
+                          0644);
+    if (fd < 0) {
+        throw IoError("snapshot save: cannot create temp file " + tmp +
+                      ": " + errnoText());
+    }
+    const bool torn = faults != nullptr && faults->tornWrite;
+    const std::size_t limit =
+        torn ? std::min(faults->tornBytes, buf.size()) : buf.size();
+    std::size_t done = 0;
+    while (done < limit) {
+        const ssize_t n = ::write(fd, buf.data() + done, limit - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string what = errnoText();
+            ::close(fd);
+            throw IoError("snapshot save: write to " + tmp +
+                          " failed: " + what);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const std::string what = errnoText();
+        ::close(fd);
+        throw IoError("snapshot save: fsync of " + tmp +
+                      " failed: " + what);
+    }
+    ::close(fd);
+    if (torn)
+        return false;
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        throw IoError("snapshot save: rename " + tmp + " -> " + path +
+                      " failed: " + errnoText());
+    }
+    // Make the rename itself durable. Best-effort: some filesystems
+    // refuse directory fsync; the rename is still atomic.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    if (faults != nullptr && faults->flipBit) {
+        // Storage-level corruption of the *published* file.
+        const int cfd = ::open(path.c_str(), O_RDWR);
+        if (cfd < 0) {
+            throw IoError("snapshot fault: cannot reopen " + path +
+                          ": " + errnoText());
+        }
+        const off_t at = static_cast<off_t>(
+            faults->flipByteOffset % buf.size());
+        std::uint8_t b = 0;
+        if (::pread(cfd, &b, 1, at) != 1) {
+            ::close(cfd);
+            throw IoError("snapshot fault: pread of " + path +
+                          " failed");
+        }
+        b ^= faults->flipMask ? faults->flipMask : std::uint8_t{1};
+        if (::pwrite(cfd, &b, 1, at) != 1) {
+            ::close(cfd);
+            throw IoError("snapshot fault: pwrite of " + path +
+                          " failed");
+        }
+        ::close(cfd);
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        throw IoError("snapshot load: cannot open " + path + ": " +
+                      errnoText());
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw IoError("snapshot load: cannot stat " + path);
+    }
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(st.st_size));
+    std::size_t done = 0;
+    while (done < buf.size()) {
+        const ssize_t n =
+            ::read(fd, buf.data() + done, buf.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string what = errnoText();
+            ::close(fd);
+            throw IoError("snapshot load: read of " + path +
+                          " failed: " + what);
+        }
+        if (n == 0)
+            break;
+        done += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (done != buf.size())
+        throw IoError("snapshot load: short read of " + path);
+    return buf;
+}
+
+std::size_t
+blocksPerTableOf(std::size_t rows, std::size_t blockRows)
+{
+    return (rows + blockRows - 1) / blockRows;
+}
+
+/** Everything the section parse yields besides the raw payloads. */
+struct ParsedFile
+{
+    SnapshotInfo info;
+    std::vector<std::uint64_t> tableSeeds;
+    /** Byte offsets of each table's payload within the file. */
+    std::vector<std::size_t> payloadOffsets;
+    std::size_t payloadBytesPerTable = 0;
+    std::vector<std::size_t> mlpDimsBottom;
+    std::vector<std::size_t> mlpDimsTop;
+    /** Byte offset of the MLP weight data (layer-major, weights then
+     *  bias per layer, bottom then top). */
+    std::size_t mlpDataOffset = 0;
+    std::vector<float> probe;
+};
+
+/**
+ * Parses and verifies the whole file: magic, end marker, whole-file
+ * checksum, header checksum, section structure, per-block payload
+ * checksums (recorded vs recomputed from the stored bytes), MLP
+ * section checksum. Throws IoError naming the failing section.
+ */
+ParsedFile
+parseAndVerify(const std::vector<std::uint8_t>& buf,
+               const std::string& path)
+{
+    if (buf.size() < sizeof(std::uint64_t))
+        throw IoError("snapshot " + path + " is too small to be one");
+    Reader r{buf.data(), buf.size()};
+    if (r.pod<std::uint64_t>() != kMagic) {
+        throw IoError("snapshot " + path +
+                      " does not start with the snapshot magic");
+    }
+
+    // Footer first: one whole-file pass catches truncation and bit
+    // flips anywhere before section parsing trips over the debris.
+    if (buf.size() < 3 * sizeof(std::uint64_t)) {
+        throw IoError("snapshot " + path +
+                      " is truncated before the footer");
+    }
+    std::uint64_t endMagic, fileCrc;
+    std::memcpy(&endMagic, buf.data() + buf.size() - 8, 8);
+    std::memcpy(&fileCrc, buf.data() + buf.size() - 16, 8);
+    if (endMagic != kEndMagic) {
+        throw IoError("snapshot " + path +
+                      " is missing its end marker — torn or truncated "
+                      "write");
+    }
+    if (fnv1aBytes(buf.data(), buf.size() - 16) != fileCrc) {
+        throw IoError("snapshot " + path +
+                      " fails its whole-file checksum — the stored "
+                      "bytes were corrupted after the write");
+    }
+
+    ParsedFile f;
+    f.info.fileBytes = buf.size();
+
+    // ---- Header -------------------------------------------------
+    f.info.formatVersion = r.pod<std::uint32_t>();
+    if (f.info.formatVersion != ModelSnapshot::kFormatVersion) {
+        throw IoError("snapshot " + path + " has format version " +
+                      std::to_string(f.info.formatVersion) +
+                      "; this build reads version " +
+                      std::to_string(ModelSnapshot::kFormatVersion));
+    }
+    const std::uint32_t dt = r.pod<std::uint32_t>();
+    if (dt > static_cast<std::uint32_t>(EmbDtype::Int8))
+        throw IoError("snapshot header carries an unknown dtype");
+    f.info.dtype = static_cast<EmbDtype>(dt);
+    f.info.modelVersion = r.pod<std::uint64_t>();
+    f.info.weightSeed = r.pod<std::uint64_t>();
+    f.info.blockRows =
+        static_cast<std::size_t>(r.pod<std::uint64_t>());
+    f.info.cfg = readConfig(r);
+    f.info.probeCount =
+        static_cast<std::size_t>(r.pod<std::uint32_t>());
+    if (f.info.blockRows == 0 || f.info.blockRows > f.info.cfg.rows)
+        throw IoError("snapshot header blockRows is out of range");
+    const std::uint64_t headerCrc = r.pod<std::uint64_t>();
+    if (fnv1aBytes(buf.data(), r.off - sizeof(std::uint64_t)) !=
+        headerCrc) {
+        throw IoError("snapshot " + path +
+                      " fails its header checksum");
+    }
+
+    const ModelConfig& cfg = f.info.cfg;
+    f.info.blocksPerTable =
+        blocksPerTableOf(cfg.rows, f.info.blockRows);
+
+    // ---- Tables -------------------------------------------------
+    r.section = "tables";
+    EmbeddingTable probeGeom(1, cfg.dim, 0, f.info.dtype);
+    const std::size_t expectBytes = cfg.rows * probeGeom.storedRowBytes();
+    f.payloadBytesPerTable = expectBytes;
+    f.info.blockChecksums.resize(cfg.tables * f.info.blocksPerTable);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        f.tableSeeds.push_back(r.pod<std::uint64_t>());
+        const std::size_t nbytes =
+            static_cast<std::size_t>(r.pod<std::uint64_t>());
+        if (nbytes != expectBytes) {
+            throw IoError("snapshot table " + std::to_string(t) +
+                          " stores " + std::to_string(nbytes) +
+                          " bytes; the header geometry requires " +
+                          std::to_string(expectBytes));
+        }
+        f.payloadOffsets.push_back(r.off);
+        const std::uint8_t *payload = r.bytes(nbytes);
+        const std::size_t rowBytes = probeGeom.storedRowBytes();
+        for (std::size_t b = 0; b < f.info.blocksPerTable; ++b) {
+            const std::uint64_t recorded = r.pod<std::uint64_t>();
+            const std::size_t first = b * f.info.blockRows;
+            const std::size_t count =
+                first + f.info.blockRows <= cfg.rows
+                    ? f.info.blockRows
+                    : cfg.rows - first;
+            // Element count matches EmbeddingStore::computeChecksum:
+            // values for fp32/bf16, stored bytes for fused int8 rows.
+            const std::size_t elems =
+                f.info.dtype == EmbDtype::Int8 ? count * rowBytes
+                                               : count * cfg.dim;
+            const std::uint64_t computed =
+                EmbeddingStore::payloadChecksum(
+                    f.info.dtype, payload + first * rowBytes, elems);
+            if (computed != recorded) {
+                throw IoError(
+                    "snapshot " + path + " table " +
+                    std::to_string(t) + " block " + std::to_string(b) +
+                    " fails its payload checksum — stored rows were "
+                    "corrupted");
+            }
+            f.info.blockChecksums[t * f.info.blocksPerTable + b] =
+                recorded;
+        }
+    }
+
+    // ---- MLPs ---------------------------------------------------
+    r.section = "mlps";
+    const std::size_t mlpStart = r.off;
+    f.mlpDimsBottom = r.dimList();
+    if (f.mlpDimsBottom != cfg.bottomMlp) {
+        throw IoError("snapshot bottom-MLP size list mismatches the "
+                      "header config");
+    }
+    std::size_t weightFloats = 0;
+    for (std::size_t l = 0; l + 1 < f.mlpDimsBottom.size(); ++l)
+        weightFloats += f.mlpDimsBottom[l] * f.mlpDimsBottom[l + 1] +
+                        f.mlpDimsBottom[l + 1];
+    f.mlpDataOffset = r.off;
+    r.bytes(weightFloats * sizeof(float));
+    f.mlpDimsTop = r.dimList();
+    if (f.mlpDimsTop != cfg.topMlpDims()) {
+        throw IoError("snapshot top-MLP size list mismatches the "
+                      "header config");
+    }
+    weightFloats = 0;
+    for (std::size_t l = 0; l + 1 < f.mlpDimsTop.size(); ++l)
+        weightFloats += f.mlpDimsTop[l] * f.mlpDimsTop[l + 1] +
+                        f.mlpDimsTop[l + 1];
+    r.bytes(weightFloats * sizeof(float));
+    const std::uint64_t mlpCrc = r.pod<std::uint64_t>();
+    if (fnv1aBytes(buf.data() + mlpStart,
+                   r.off - sizeof(std::uint64_t) - mlpStart) != mlpCrc) {
+        throw IoError("snapshot " + path +
+                      " fails its MLP section checksum");
+    }
+
+    // ---- Probe --------------------------------------------------
+    r.section = "probe";
+    if (f.info.probeCount > 65536) {
+        throw IoError(
+            "snapshot header carries an absurd probe count");
+    }
+    f.probe.resize(f.info.probeCount);
+    if (f.info.probeCount > 0) {
+        std::memcpy(f.probe.data(),
+                    r.bytes(f.info.probeCount * sizeof(float)),
+                    f.info.probeCount * sizeof(float));
+    }
+
+    // ---- Footer -------------------------------------------------
+    r.section = "footer";
+    r.pod<std::uint64_t>(); // fileCrc, verified above
+    r.pod<std::uint64_t>(); // endMagic, verified above
+    if (r.off != buf.size()) {
+        throw IoError("snapshot " + path + " carries " +
+                      std::to_string(buf.size() - r.off) +
+                      " trailing bytes past its footer");
+    }
+    return f;
+}
+
+} // namespace
+
+bool
+ModelSnapshot::save(const std::string& path, const DlrmModel& model,
+                    std::uint64_t modelVersion,
+                    std::uint64_t weightSeed,
+                    const SnapshotFaults *faults)
+{
+    if (!model.isFullView()) {
+        throw std::invalid_argument(
+            "ModelSnapshot: snapshots hold whole models, not shard "
+            "views");
+    }
+    const EmbeddingStore& store = *model.store();
+    const ModelConfig& cfg = model.config();
+
+    Writer w;
+    w.pod(kMagic);
+    w.pod(kFormatVersion);
+    w.pod(static_cast<std::uint32_t>(store.dtype()));
+    w.pod(modelVersion);
+    w.pod(weightSeed);
+    w.pod(static_cast<std::uint64_t>(store.blockRows()));
+    writeConfig(w, cfg);
+    w.pod(static_cast<std::uint32_t>(kProbeBatch));
+    w.pod(fnv1aBytes(w.buf.data(), w.buf.size()));
+
+    for (std::size_t t = 0; t < store.numTables(); ++t) {
+        const EmbeddingTable& tab = store.table(t);
+        w.pod(store.tableSeed(t));
+        w.pod(static_cast<std::uint64_t>(tab.bytes()));
+        w.bytes(tab.rawBytes(), tab.bytes());
+        // Checksums of the bytes actually being written (not the
+        // build-time values: a store corrupted since build snapshots
+        // consistently, and verification still passes end to end).
+        for (std::size_t b = 0; b < store.numBlocks(); ++b)
+            w.pod(store.computeChecksum(t, b));
+    }
+
+    const std::size_t mlpStart = w.buf.size();
+    const auto writeMlp = [&](const Mlp& mlp) {
+        w.dimList(mlp.dims());
+        for (std::size_t l = 0; l < mlp.numLayers(); ++l) {
+            const Tensor& lw = mlp.layerWeights(l);
+            w.bytes(lw.data(), lw.rows() * lw.cols() * sizeof(float));
+            const std::vector<float>& lb = mlp.layerBias(l);
+            w.bytes(lb.data(), lb.size() * sizeof(float));
+        }
+    };
+    writeMlp(model.bottomMlp());
+    writeMlp(model.topMlp());
+    w.pod(fnv1aBytes(w.buf.data() + mlpStart, w.buf.size() - mlpStart));
+
+    const std::vector<float> probe = probePredictions(model);
+    w.bytes(probe.data(), probe.size() * sizeof(float));
+
+    w.pod(fnv1aBytes(w.buf.data(), w.buf.size()));
+    w.pod(kEndMagic);
+
+    return writeAtomic(path, w.buf, faults);
+}
+
+SnapshotInfo
+ModelSnapshot::verifyFile(const std::string& path)
+{
+    const std::vector<std::uint8_t> buf = slurp(path);
+    return parseAndVerify(buf, path).info;
+}
+
+LoadedSnapshot
+ModelSnapshot::load(const std::string& path, const ModelConfig *expect,
+                    const SnapshotFaults *faults)
+{
+    const std::vector<std::uint8_t> buf = slurp(path);
+    ParsedFile f = parseAndVerify(buf, path);
+    const ModelConfig& cfg = f.info.cfg;
+
+    if (expect != nullptr && !sameConfig(*expect, cfg)) {
+        throw IoError("snapshot " + path + " describes model '" +
+                      cfg.name + "' (" + std::to_string(cfg.tables) +
+                      "x" + std::to_string(cfg.rows) + "x" +
+                      std::to_string(cfg.dim) +
+                      "), not the expected '" + expect->name + "'");
+    }
+    if (faults != nullptr && faults->loadBadAlloc) {
+        // An allocation failure while materializing multi-GB tables.
+        throw std::bad_alloc();
+    }
+
+    // Materialize tables from the verified payload spans.
+    std::vector<std::unique_ptr<EmbeddingTable>> tables;
+    tables.reserve(cfg.tables);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        tables.push_back(std::make_unique<EmbeddingTable>(
+            cfg.rows, cfg.dim, f.info.dtype,
+            buf.data() + f.payloadOffsets[t], f.payloadBytesPerTable));
+    }
+    auto store = std::make_shared<EmbeddingStore>(
+        cfg, f.info.dtype, f.info.blockRows, std::move(tables),
+        std::move(f.tableSeeds));
+
+    // The adopted store rebuilt its block checksums from the loaded
+    // bytes; cross-check them against the file's recorded values so
+    // a divergence between the two integrity domains is loud.
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        for (std::size_t b = 0; b < store->numBlocks(); ++b) {
+            if (store->storedChecksum(t, b) !=
+                f.info.blockChecksums[t * f.info.blocksPerTable + b]) {
+                throw IoError(
+                    "snapshot " + path + " table " +
+                    std::to_string(t) + " block " + std::to_string(b) +
+                    ": rebuilt checksum diverges from the recorded "
+                    "one");
+            }
+        }
+    }
+
+    // Rebuild the MLPs from the saved fp32 parameters.
+    Reader mr{buf.data(), buf.size(), f.mlpDataOffset, "mlps"};
+    const auto readMlp = [&](const std::vector<std::size_t>& dims) {
+        std::vector<Tensor> weights;
+        std::vector<std::vector<float>> biases;
+        for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+            Tensor lw(dims[l + 1], dims[l]);
+            std::memcpy(
+                lw.data(),
+                mr.bytes(dims[l + 1] * dims[l] * sizeof(float)),
+                dims[l + 1] * dims[l] * sizeof(float));
+            std::vector<float> lb(dims[l + 1]);
+            std::memcpy(lb.data(),
+                        mr.bytes(dims[l + 1] * sizeof(float)),
+                        dims[l + 1] * sizeof(float));
+            weights.push_back(std::move(lw));
+            biases.push_back(std::move(lb));
+        }
+        return Mlp(dims, std::move(weights), std::move(biases));
+    };
+    Mlp bottom = readMlp(f.mlpDimsBottom);
+    mr.dimList(); // top size list (already validated)
+    Mlp top = readMlp(f.mlpDimsTop);
+
+    LoadedSnapshot out;
+    out.model = std::make_shared<const DlrmModel>(
+        cfg, store, std::move(bottom), std::move(top));
+    out.store = std::move(store);
+    out.probePredictions = std::move(f.probe);
+    out.info = std::move(f.info);
+
+    // End-to-end: the materialized model must reproduce the golden
+    // probe bitwise (the forward is SimdLevel-invariant, so this
+    // holds across hosts too).
+    const std::vector<float> replay = probePredictions(*out.model);
+    if (replay.size() != out.probePredictions.size() ||
+        std::memcmp(replay.data(), out.probePredictions.data(),
+                    replay.size() * sizeof(float)) != 0) {
+        throw IoError("snapshot " + path +
+                      " loaded, but the rebuilt model does not "
+                      "reproduce the golden probe predictions");
+    }
+    return out;
+}
+
+void
+ModelSnapshot::makeProbeBatch(const ModelConfig& cfg, Tensor& dense,
+                              SparseBatch& sparse)
+{
+    // Pure function of the architecture, NOT of the version: any two
+    // versions of the same config are comparable on this batch.
+    dense.reshape(kProbeBatch, cfg.denseDim());
+    dense.randomize(mix64(0x70726F6265ull), 0.25f);
+    const std::size_t lookups = std::max<std::size_t>(1, cfg.lookups);
+    sparse.batchSize = kProbeBatch;
+    sparse.indices.assign(cfg.tables, {});
+    sparse.offsets.assign(cfg.tables, {});
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+        auto& off = sparse.offsets[t];
+        auto& idx = sparse.indices[t];
+        off.push_back(0);
+        for (std::size_t s = 0; s < kProbeBatch; ++s) {
+            for (std::size_t j = 0; j < lookups; ++j) {
+                const std::uint64_t h = mix64(
+                    0x6C6F6F6Bull ^ (t * 1000003ull + s * 131ull + j));
+                idx.push_back(static_cast<RowIndex>(h % cfg.rows));
+            }
+            off.push_back(static_cast<RowIndex>(idx.size()));
+        }
+    }
+}
+
+std::vector<float>
+ModelSnapshot::probePredictions(const DlrmModel& model)
+{
+    Tensor dense;
+    SparseBatch sparse;
+    makeProbeBatch(model.config(), dense, sparse);
+    DlrmWorkspace ws;
+    model.forward(dense, sparse, ws, PrefetchSpec{},
+                  model.store()->dtype());
+    return std::vector<float>(ws.pred.data(),
+                              ws.pred.data() + kProbeBatch);
+}
+
+} // namespace dlrmopt::core

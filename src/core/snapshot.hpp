@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Crash-consistent model snapshots: durable save/load of a full DLRM
+ * version (config + dtype-aware embedding payloads + MLP weights +
+ * integrity checksums).
+ *
+ * Production recommendation models are retrained and re-pushed
+ * continuously; the serving fleet must be able to persist a version,
+ * reload it after a crash, and hot-swap it under traffic. The file
+ * format is defensively versioned and checksummed at three levels:
+ *
+ *   HEADER   magic, format version, model version, weight seed,
+ *            dtype, blockRows, serialized ModelConfig, probe count,
+ *            header FNV-1a
+ *   TABLES   per table: build seed, payload byte count, the stored
+ *            payload at the table's dtype (fp32 floats / bf16
+ *            patterns / fused int8 rows incl. scale+bias tails), and
+ *            the per-block FNV-1a checksums of the saved bytes
+ *   MLPS     bottom+top size lists, fp32 layer weights and biases,
+ *            section FNV-1a
+ *   PROBE    golden predictions of the canonical probe batch at the
+ *            snapshot's dtype (shadow validation replays these)
+ *   FOOTER   whole-file FNV-1a + end magic
+ *
+ * Writes go through a temp file + fsync + atomic rename (+ directory
+ * fsync), so a torn write never becomes visible under the target
+ * path: readers see either the complete old file or the complete new
+ * one. Loads reject truncated, bit-flipped, or config-mismatched
+ * files with actionable core::IoErrors, and rebuild the store's
+ * in-memory block checksums from the loaded bytes (cross-checked
+ * against the file's recorded checksums).
+ */
+
+#ifndef DLRMOPT_CORE_SNAPSHOT_HPP
+#define DLRMOPT_CORE_SNAPSHOT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
+#include "core/model_config.hpp"
+#include "core/quant.hpp"
+#include "core/sparse_input.hpp"
+#include "core/tensor.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * Scripted persistence faults for the chaos harness. All fields
+ * default to "no fault"; a FaultInjector derives deterministic
+ * instances from its seed.
+ */
+struct SnapshotFaults
+{
+    /** Crash after @p tornBytes bytes of the temp file are written,
+     *  before the atomic rename: the target path is never touched
+     *  (the torn temp file is left behind, exactly like a real
+     *  crash). save() returns false. */
+    bool tornWrite = false;
+    std::size_t tornBytes = 0;
+
+    /** Post-publish storage corruption: XOR @p flipMask into the byte
+     *  at @p flipByteOffset (taken modulo the file size) of the
+     *  published file. */
+    bool flipBit = false;
+    std::size_t flipByteOffset = 0;
+    std::uint8_t flipMask = 1;
+
+    /** Throw std::bad_alloc mid-load, after the header parses —
+     *  models an allocation failure while materializing multi-GB
+     *  tables. */
+    bool loadBadAlloc = false;
+};
+
+/** Parsed + verified snapshot metadata (no payloads materialized). */
+struct SnapshotInfo
+{
+    std::uint32_t formatVersion = 0;
+    std::uint64_t modelVersion = 0; //!< caller-assigned version id
+    std::uint64_t weightSeed = 0;   //!< metadata recorded at save
+    EmbDtype dtype = EmbDtype::Fp32;
+    std::size_t blockRows = 0;
+    ModelConfig cfg;
+    std::size_t fileBytes = 0;
+    std::size_t blocksPerTable = 0;
+    /** Recorded per-block checksums, [table][block] row-major. */
+    std::vector<std::uint64_t> blockChecksums;
+    std::size_t probeCount = 0;
+};
+
+/** A fully materialized snapshot: store, model view, golden probe. */
+struct LoadedSnapshot
+{
+    SnapshotInfo info;
+
+    /** Mutable handle (scrub/repair keep working on a loaded store;
+     *  table build seeds are restored from the file). */
+    std::shared_ptr<EmbeddingStore> store;
+
+    /** Full view over @p store with the snapshot's exact MLP weights. */
+    std::shared_ptr<const DlrmModel> model;
+
+    /** Golden predictions of the canonical probe batch, computed at
+     *  save time at the snapshot's dtype. A loaded model must
+     *  reproduce them bitwise. */
+    std::vector<float> probePredictions;
+};
+
+/**
+ * Versioned binary model snapshots. All functions are stateless;
+ * everything is keyed off the file contents.
+ */
+class ModelSnapshot
+{
+  public:
+    /** Current file format version. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /** Samples in the canonical probe batch. */
+    static constexpr std::size_t kProbeBatch = 8;
+
+    /**
+     * Serializes @p model (config, primary store payloads at their
+     * stored dtype, MLP weights, golden probe predictions) and
+     * publishes it at @p path via temp file + fsync + atomic rename.
+     *
+     * @param modelVersion Caller-assigned version id (monotonic in a
+     *        reload pipeline).
+     * @param weightSeed Seed metadata recorded for bookkeeping.
+     * @param faults Optional scripted persistence faults.
+     * @return true when the file was published; false when a scripted
+     *         torn write "crashed" before the rename (the target path
+     *         is untouched).
+     *
+     * @throws IoError on a real filesystem failure.
+     * @throws std::invalid_argument on a shard view (snapshots hold
+     *         whole models).
+     */
+    static bool save(const std::string& path, const DlrmModel& model,
+                     std::uint64_t modelVersion,
+                     std::uint64_t weightSeed = 0,
+                     const SnapshotFaults *faults = nullptr);
+
+    /**
+     * Parses and fully verifies the file (magic, format version,
+     * whole-file checksum, section structure, per-block checksums
+     * against the stored payload bytes, MLP section checksum) without
+     * materializing a store or model.
+     *
+     * @throws IoError naming the failing section/offset.
+     */
+    static SnapshotInfo verifyFile(const std::string& path);
+
+    /**
+     * Loads and materializes a snapshot: adopts the table payloads
+     * into a mutable EmbeddingStore (block checksums rebuilt from the
+     * loaded bytes and cross-checked against the file's recorded
+     * values), rebuilds both MLPs from the saved fp32 weights, and
+     * returns the golden probe predictions.
+     *
+     * @param expect When non-null, the loaded config must match
+     *        (name, class, geometry, MLP size lists) or the load is
+     *        rejected — the "config-mismatched file" guard for a
+     *        fleet that knows which tenant it is reloading.
+     * @param faults Optional scripted load faults (bad_alloc).
+     *
+     * @throws IoError on any integrity/config violation; the caller's
+     *         current version keeps serving.
+     * @throws std::bad_alloc when scripted (or real).
+     */
+    static LoadedSnapshot load(const std::string& path,
+                               const ModelConfig *expect = nullptr,
+                               const SnapshotFaults *faults = nullptr);
+
+    /**
+     * The canonical probe batch for @p cfg: a fixed-seed dense block
+     * and sparse lookups, a pure function of the config (NOT of the
+     * version), so any two versions of the same architecture are
+     * comparable on it.
+     */
+    static void makeProbeBatch(const ModelConfig& cfg, Tensor& dense,
+                               SparseBatch& sparse);
+
+    /**
+     * Predictions of @p model on the canonical probe batch, computed
+     * at the primary store's dtype (the precision this snapshot
+     * serves). Bitwise deterministic.
+     */
+    static std::vector<float> probePredictions(const DlrmModel& model);
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_SNAPSHOT_HPP

@@ -1,0 +1,135 @@
+#include "core/versioned.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/snapshot.hpp"
+#include "core/types.hpp"
+
+namespace dlrmopt::core
+{
+
+namespace
+{
+
+/** Identity fold: version id, seed, dtype, and every golden probe
+ *  bit. Two versions serving different bytes cannot collide short of
+ *  a mix64 collision. */
+std::uint64_t
+versionFingerprint(std::uint64_t version, std::uint64_t seed,
+                   EmbDtype dtype, const std::vector<float>& probe)
+{
+    std::uint64_t h = mix64(version ^ mix64(seed + 1));
+    h = mix64(h ^ (static_cast<std::uint64_t>(dtype) + 0x9E37ull));
+    for (float p : probe) {
+        std::uint32_t u;
+        std::memcpy(&u, &p, sizeof(u));
+        h = mix64(h ^ u);
+    }
+    return h;
+}
+
+} // namespace
+
+std::shared_ptr<const ModelVersion>
+ModelVersion::build(const ModelConfig& cfg, std::uint64_t version,
+                    std::uint64_t seed, EmbDtype dtype,
+                    std::size_t blockRows)
+{
+    auto store = std::make_shared<EmbeddingStore>(cfg, seed, blockRows,
+                                                  dtype);
+    auto model = std::make_shared<const DlrmModel>(cfg, store, seed);
+    return adopt(cfg, version, seed, std::move(store),
+                 std::move(model));
+}
+
+std::shared_ptr<const ModelVersion>
+ModelVersion::adopt(const ModelConfig& cfg, std::uint64_t version,
+                    std::uint64_t seed,
+                    std::shared_ptr<EmbeddingStore> store,
+                    std::shared_ptr<const DlrmModel> model)
+{
+    if (store == nullptr || model == nullptr) {
+        throw std::invalid_argument(
+            "ModelVersion: null store or model");
+    }
+    auto v = std::make_shared<ModelVersion>();
+    v->version = version;
+    v->weightSeed = seed;
+    v->cfg = cfg;
+    v->store = std::move(store);
+    v->model = std::move(model);
+    v->fingerprint = versionFingerprint(
+        version, seed, v->store->dtype(),
+        ModelSnapshot::probePredictions(*v->model));
+    return v;
+}
+
+VersionedModel::VersionedModel(
+    std::shared_ptr<const ModelVersion> initial)
+    : _current(std::move(initial))
+{
+    if (_current == nullptr) {
+        throw std::invalid_argument(
+            "VersionedModel: null initial version");
+    }
+}
+
+std::shared_ptr<const ModelVersion>
+VersionedModel::current() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _current;
+}
+
+std::uint64_t
+VersionedModel::currentVersion() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _current->version;
+}
+
+void
+VersionedModel::publish(std::shared_ptr<const ModelVersion> next)
+{
+    if (next == nullptr)
+        throw std::invalid_argument("VersionedModel: null publish");
+    std::lock_guard<std::mutex> lk(_mu);
+    if (next->version <= _current->version) {
+        throw std::invalid_argument(
+            "VersionedModel: version " + std::to_string(next->version) +
+            " does not advance past " +
+            std::to_string(_current->version) +
+            " (ids are monotonic; re-publish rollbacks under a fresh "
+            "id)");
+    }
+    _retiring.push_back(std::move(_current));
+    _current = std::move(next);
+    ++_published;
+}
+
+std::size_t
+VersionedModel::retireDrained()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    std::size_t n = 0;
+    for (std::size_t i = _retiring.size(); i-- > 0;) {
+        if (_retiring[i].use_count() == 1) {
+            _retiring.erase(_retiring.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            ++n;
+        }
+    }
+    _retired += n;
+    return n;
+}
+
+std::size_t
+VersionedModel::retiringCount() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _retiring.size();
+}
+
+} // namespace dlrmopt::core

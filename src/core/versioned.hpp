@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Epoch'd model versioning for zero-downtime live reload.
+ *
+ * A serving instance never serves "the model"; it serves *a pinned
+ * version*. VersionedModel holds the current ModelVersion behind a
+ * shared_ptr: a dispatch pins the version it starts on (one atomic
+ * refcount bump) and completes entirely on it even if the fleet swaps
+ * mid-flight — no batch ever mixes versions. Publishing a new version
+ * moves the old one to a retiring list; a retired version's memory is
+ * reclaimed only when its last pin drains (use_count falls to the
+ * list's own reference), so a swap is wait-free for readers and
+ * allocation-free on the serving path.
+ *
+ * Each ModelVersion carries a fingerprint folded from its version id,
+ * weight seed, dtype, and the golden probe predictions; dispatch
+ * paths assert it so "two instances silently serving different bytes
+ * under one version id" is a loud failure, not a drift.
+ */
+
+#ifndef DLRMOPT_CORE_VERSIONED_HPP
+#define DLRMOPT_CORE_VERSIONED_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/dlrm.hpp"
+#include "core/embedding_store.hpp"
+#include "core/model_config.hpp"
+
+namespace dlrmopt::core
+{
+
+/**
+ * One immutable published model version: the store, a full-view model
+ * over it, and identity metadata. Instances share one ModelVersion
+ * per (tenant, version id); replicas of the same seed are
+ * bitwise-equal, so sharing the model view changes no prediction.
+ */
+struct ModelVersion
+{
+    /** Monotonic caller-assigned version id (1 = the boot version). */
+    std::uint64_t version = 0;
+
+    /** Seed the weights were built from (0 for snapshot loads whose
+     *  seed metadata was 0). */
+    std::uint64_t weightSeed = 0;
+
+    ModelConfig cfg;
+
+    /** Mutable handle for scrub/repair; serving reads are const. */
+    std::shared_ptr<EmbeddingStore> store;
+
+    /** Full view with this version's exact MLP weights. */
+    std::shared_ptr<const DlrmModel> model;
+
+    /** Identity fold over (version, seed, dtype, golden probe). */
+    std::uint64_t fingerprint = 0;
+
+    /**
+     * Builds a version in-memory from a seed (the boot path and the
+     * "push a retrained model" simulation): store + replica model +
+     * fingerprint, all deterministic in (cfg, seed, dtype).
+     */
+    static std::shared_ptr<const ModelVersion>
+    build(const ModelConfig& cfg, std::uint64_t version,
+          std::uint64_t seed, EmbDtype dtype = EmbDtype::Fp32,
+          std::size_t blockRows = 256);
+
+    /**
+     * Wraps already-materialized parts (a snapshot load) into a
+     * published version.
+     */
+    static std::shared_ptr<const ModelVersion>
+    adopt(const ModelConfig& cfg, std::uint64_t version,
+          std::uint64_t seed, std::shared_ptr<EmbeddingStore> store,
+          std::shared_ptr<const DlrmModel> model);
+};
+
+/**
+ * The per-tenant version holder: one current version plus the
+ * retiring tail. Thread-safe; current() is the only operation on the
+ * serving path and costs one mutex acquire + one shared_ptr copy.
+ */
+class VersionedModel
+{
+  public:
+    explicit VersionedModel(
+        std::shared_ptr<const ModelVersion> initial);
+
+    /** Pins and returns the current version. */
+    std::shared_ptr<const ModelVersion> current() const;
+
+    /** The current version id without pinning. */
+    std::uint64_t currentVersion() const;
+
+    /**
+     * Atomically swaps @p next in as current; the previous version
+     * joins the retiring list until its pins drain.
+     *
+     * @throws std::invalid_argument on a null version or a version id
+     *         not strictly greater than the current one (ids are
+     *         monotonic; a rollback *re-publishes* the old bytes
+     *         under a fresh id rather than reusing a stale one).
+     */
+    void publish(std::shared_ptr<const ModelVersion> next);
+
+    /**
+     * Drops every retiring version whose last external pin has
+     * drained (use_count() == 1: only the list itself). Called from
+     * the fleet's virtual-clock loop after completed dispatches
+     * release their pins. Returns how many versions were reclaimed.
+     */
+    std::size_t retireDrained();
+
+    /** Retiring versions still pinned by in-flight work. */
+    std::size_t retiringCount() const;
+
+    /** Total publishes (excluding the initial version). */
+    std::size_t published() const { return _published; }
+
+    /** Total retiring versions fully reclaimed. */
+    std::size_t retired() const { return _retired; }
+
+  private:
+    mutable std::mutex _mu;
+    std::shared_ptr<const ModelVersion> _current;
+    std::vector<std::shared_ptr<const ModelVersion>> _retiring;
+    std::size_t _published = 0;
+    std::size_t _retired = 0;
+};
+
+} // namespace dlrmopt::core
+
+#endif // DLRMOPT_CORE_VERSIONED_HPP

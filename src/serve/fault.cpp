@@ -19,6 +19,9 @@ constexpr std::uint64_t kindCorrupt = 0x434f5252ull;    // "CORR"
 constexpr std::uint64_t kindPosition = 0x504f5349ull;   // "POSI"
 constexpr std::uint64_t kindBitFlip = 0x464c4950ull;    // "FLIP"
 constexpr std::uint64_t kindBitSite = 0x53495445ull;    // "SITE"
+constexpr std::uint64_t kindSnapTorn = 0x544f524eull;   // "TORN"
+constexpr std::uint64_t kindSnapFlip = 0x53464c50ull;   // "SFLP"
+constexpr std::uint64_t kindSnapAlloc = 0x534e414cull;  // "SNAL"
 
 } // namespace
 
@@ -27,7 +30,9 @@ FaultConfig::validate(std::size_t numCores) const
 {
     const auto rateOk = [](double r) { return r >= 0.0 && r <= 1.0; };
     if (!rateOk(taskExceptionRate) || !rateOk(allocFailureRate) ||
-        !rateOk(corruptIndexRate) || !rateOk(bitFlipRate)) {
+        !rateOk(corruptIndexRate) || !rateOk(bitFlipRate) ||
+        !rateOk(snapshotTornWriteRate) || !rateOk(snapshotFlipRate) ||
+        !rateOk(snapshotBadAllocRate)) {
         throw std::invalid_argument(
             "FaultConfig: rates must lie in [0, 1]");
     }
@@ -147,6 +152,34 @@ FaultInjector::maybeFlipStoredBit(core::EmbeddingStore& store,
     const std::size_t bit = (r >> 41) % (store.dim() * 32);
     store.flipBit(t, row, bit);
     return true;
+}
+
+core::SnapshotFaults
+FaultInjector::snapshotFaults(std::uint64_t op) const
+{
+    core::SnapshotFaults f;
+    if (draw(kindSnapTorn, op, 0) < _cfg.snapshotTornWriteRate) {
+        f.tornWrite = true;
+        // Crash point: a seed-derived prefix length; save() clamps it
+        // to the file size, so any draw models a real partial write.
+        f.tornBytes = static_cast<std::size_t>(
+            mix64(_cfg.seed ^ mix64(kindSnapTorn ^ mix64(op + 1))) %
+            65536u);
+        _snapshot.fetch_add(1);
+    }
+    if (draw(kindSnapFlip, op, 0) < _cfg.snapshotFlipRate) {
+        const std::uint64_t r =
+            mix64(_cfg.seed ^ mix64(kindSnapFlip ^ mix64(op + 1)));
+        f.flipBit = true;
+        f.flipByteOffset = static_cast<std::size_t>(r >> 8);
+        f.flipMask = static_cast<std::uint8_t>(1u << (r % 8));
+        _snapshot.fetch_add(1);
+    }
+    if (draw(kindSnapAlloc, op, 0) < _cfg.snapshotBadAllocRate) {
+        f.loadBadAlloc = true;
+        _snapshot.fetch_add(1);
+    }
+    return f;
 }
 
 double

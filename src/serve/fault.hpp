@@ -18,7 +18,12 @@
  *    neighbor core);
  *  - stored bit flips: one bit of one stored embedding row is
  *    silently inverted (modeling a DRAM upset), detectable only by
- *    the EmbeddingStore block checksums.
+ *    the EmbeddingStore block checksums;
+ *  - snapshot persistence faults: a reload operation's snapshot save
+ *    crashes mid-write (torn temp file, target untouched), its
+ *    published file takes a storage bit flip, or its load bad_allocs
+ *    while materializing tables — all derived deterministically per
+ *    reload operation id (core::SnapshotFaults).
  */
 
 #ifndef DLRMOPT_SERVE_FAULT_HPP
@@ -30,6 +35,7 @@
 #include <stdexcept>
 
 #include "core/embedding_store.hpp"
+#include "core/snapshot.hpp"
 #include "core/sparse_input.hpp"
 
 namespace dlrmopt::serve
@@ -57,6 +63,13 @@ struct FaultConfig
 
     int stragglerCore = -1;        //!< physical core id, -1 = none
     double stragglerFactor = 1.0;  //!< service-time multiplier >= 1
+
+    /// @name Snapshot persistence faults (per reload *operation*)
+    /// @{
+    double snapshotTornWriteRate = 0.0; //!< P(save crashes pre-rename)
+    double snapshotFlipRate = 0.0;      //!< P(published file bit flip)
+    double snapshotBadAllocRate = 0.0;  //!< P(load bad_allocs)
+    /// @}
 
     /**
      * Rejects out-of-domain knobs: every rate must lie in [0, 1],
@@ -129,10 +142,20 @@ class FaultInjector
     /** Service-time multiplier for physical core @p core (>= 1). */
     double serviceFactor(std::size_t core) const;
 
+    /**
+     * The scripted persistence faults for reload operation @p op: a
+     * deterministic SnapshotFaults instance whose torn-byte count,
+     * flip site, and flip mask are seed-derived. Counts one snapshot
+     * fault per armed field. The same (seed, op) always yields the
+     * same faults, so reload chaos sessions replay bit-identically.
+     */
+    core::SnapshotFaults snapshotFaults(std::uint64_t op) const;
+
     std::uint64_t injectedExceptions() const { return _exceptions; }
     std::uint64_t injectedAllocFailures() const { return _allocs; }
     std::uint64_t injectedCorruptions() const { return _corruptions; }
     std::uint64_t injectedBitFlips() const { return _bitFlips; }
+    std::uint64_t injectedSnapshotFaults() const { return _snapshot; }
 
   private:
     /** Uniform [0,1) draw keyed by (kind, req, attempt). */
@@ -144,6 +167,7 @@ class FaultInjector
     mutable std::atomic<std::uint64_t> _allocs{0};
     mutable std::atomic<std::uint64_t> _corruptions{0};
     mutable std::atomic<std::uint64_t> _bitFlips{0};
+    mutable std::atomic<std::uint64_t> _snapshot{0};
 };
 
 } // namespace dlrmopt::serve

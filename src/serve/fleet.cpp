@@ -57,6 +57,7 @@ FleetConfig::validate() const
     batching.validate();
     capacity.validate();
     recalibration.validate();
+    reload.validate();
     if (scrub.enabled)
         scrub.validate();
     if (capacity.minInstances > instances) {
@@ -98,12 +99,23 @@ FleetStats::summary() const
         instanceMsUp);
     if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
         (recalibrations || blocksScrubbed)) {
-        std::snprintf(
+        const int n = std::snprintf(
             buf + len, sizeof(buf) - static_cast<std::size_t>(len),
             " | refits %zu scrubbed %llu repaired %llu",
             recalibrations,
             static_cast<unsigned long long>(blocksScrubbed),
             static_cast<unsigned long long>(scrubRepairs));
+        if (n > 0)
+            len += n;
+    }
+    if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
+        reloadsStarted) {
+        std::snprintf(
+            buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+            " | reloads %zu (committed %zu rolled-back %zu failed "
+            "%zu) swaps %zu retired %zu",
+            reloadsStarted, reloadsCommitted, reloadsRolledBack,
+            reloadsFailed, versionSwaps, versionsRetired);
     }
     return buf;
 }
@@ -150,12 +162,27 @@ TenantFleet::TenantFleet(const TenantRegistry& reg,
         }
     }
     _coresPerInstance = _servers.front().front()->numCores();
+
+    // Boot version 1 per tenant: one shared full view over the
+    // tenant's store, bitwise-equal to every replica's private view
+    // (same cfg, store, seed), wrapped in the version holder the
+    // dispatch path pins from.
+    _versioned.reserve(n_t);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        const TenantConfig& tc = _reg.tenant(k);
+        auto view = std::make_shared<const core::DlrmModel>(
+            tc.model, _stores[k], _cfg.seed);
+        _versioned.push_back(std::make_unique<core::VersionedModel>(
+            core::ModelVersion::adopt(tc.model, 1, _cfg.seed,
+                                      _stores[k], std::move(view))));
+    }
 }
 
 FleetStats
 TenantFleet::serve(const std::vector<TenantWorkload>& work,
                    const core::PrefetchSpec& pf,
-                   const FaultSchedule *schedule)
+                   const FaultSchedule *schedule,
+                   const std::vector<ReloadEvent>& reloads)
 {
     const std::size_t n_t = _reg.size();
     const std::size_t n_i = _servers.size();
@@ -192,9 +219,35 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         scrubbers.reserve(n_t);
         for (std::size_t k = 0; k < n_t; ++k) {
             scrubbers.push_back(std::make_unique<EmbeddingScrubber>(
-                _stores[k], _cfg.scrub));
+                _versioned[k]->current()->store, _cfg.scrub));
         }
     }
+
+    // ---- Versioned live reload ----------------------------------
+    std::vector<core::VersionedModel *> holders;
+    holders.reserve(n_t);
+    for (std::size_t k = 0; k < n_t; ++k)
+        holders.push_back(_versioned[k].get());
+    ReloadManager reload(_cfg.reload, reloads, holders, n_i);
+    for (std::size_t k = 0; k < n_t; ++k) {
+        if (_cfg.scrub.enabled)
+            reload.attachScrubber(k, scrubbers[k].get());
+        if (!work[k].batches.empty())
+            reload.attachShadow(k, &work[k].dense, &work[k].batches);
+    }
+    if (schedule)
+        reload.attachFaults(schedule);
+
+    // In-flight version pins, keyed by virtual completion time: a
+    // dispatch's pin is released only when the clock passes its end,
+    // so retiring versions outlive every batch that started on them.
+    using Pin =
+        std::pair<double, std::shared_ptr<const core::ModelVersion>>;
+    const auto pinLater = [](const Pin& a, const Pin& b) {
+        return a.first > b.first;
+    };
+    std::priority_queue<Pin, std::vector<Pin>, decltype(pinLater)>
+        inflight(pinLater);
 
     WfqConfig wfq;
     wfq.weights = _reg.weights();
@@ -244,6 +297,9 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         state[i] = InstanceState::WarmRestart;
         probation_end[i] = now + _cfg.capacity.probationMs;
         rebuild(i, now);
+        // The replica comes back on the committed version of record;
+        // an active rollout re-reconciles it at commit/rollback.
+        reload.notifyRestart(i);
     };
     const auto beginDrainAt = [&](std::size_t i, double now) {
         state[i] = InstanceState::Draining;
@@ -333,15 +389,33 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
     };
     const auto applyFlip = [&](const BitFlipEvent& e) {
         // A host-level memory fault hits whichever colocated tenant
-        // stores the (table, row, bit) coordinate fits in.
+        // stores the (table, row, bit) coordinate fits in — the
+        // *currently serving* version's bytes, plus any incoming
+        // version still mid-rollout (whose integrity gates must be
+        // able to catch it).
         for (std::size_t k = 0; k < n_t; ++k) {
-            core::EmbeddingStore& st = *_stores[k];
+            core::EmbeddingStore& st =
+                *_versioned[k]->current()->store;
             if (e.table < st.numTables() && e.row < st.rows() &&
                 e.bit < st.dim() * 32) {
                 st.flipBit(e.table, e.row, e.bit);
             }
         }
+        reload.applyBitFlip(e.table, e.row, e.bit);
     };
+    std::vector<char> up_flags(n_i, 0);
+    const auto advanceReload = [&](double now) {
+        for (std::size_t i = 0; i < n_i; ++i)
+            up_flags[i] = state[i] == InstanceState::Up ? 1 : 0;
+        reload.advanceTo(now, up_flags);
+        // Release the pins of every dispatch the clock has passed,
+        // then reclaim any retiring version whose pins have drained.
+        while (!inflight.empty() && inflight.top().first <= now)
+            inflight.pop();
+        for (std::size_t k = 0; k < n_t; ++k)
+            fs.versionsRetired += _versioned[k]->retireDrained();
+    };
+
     const auto applyUpTo = [&](double now) {
         tickLifecycle(now);
         if (schedule) {
@@ -383,6 +457,7 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         }
         advanceScrubbers(now);
         reconcile(now);
+        advanceReload(now);
     };
 
     const auto injFor = [&](std::size_t i,
@@ -684,15 +759,29 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             member_sizes.push_back(r.samples);
         }
 
+        // Pin the version this dispatch executes on. The pin is
+        // copied once, the whole coalesced batch runs on its model,
+        // and the pin is released only when the virtual clock passes
+        // the dispatch's end — a reload swapping this slot mid-flight
+        // never mixes versions inside the batch.
+        std::shared_ptr<const core::ModelVersion> pin =
+            reload.pinned(inst, ten);
+        const std::uint64_t pin_fp = pin->fingerprint;
         bool exec_ok = true;
         if (!parts.empty()) {
             try {
                 fs.total.execTotalMs +=
                     _servers[inst][ten]->executeBatchedAttempt(
-                        core, parts, dense_parts, tier, pf);
+                        core, parts, dense_parts, tier, pf,
+                        *pin->model);
             } catch (...) {
                 exec_ok = false;
             }
+        }
+        if (pin->fingerprint != pin_fp) {
+            throw std::logic_error(
+                "TenantFleet: version identity changed under an "
+                "in-flight batch");
         }
 
         ++fs.total.dispatches;
@@ -702,6 +791,7 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             ++ts.stats.quantDispatches;
         }
         const double end = start + true_service;
+        inflight.emplace(end, std::move(pin));
         free_at[inst][core] = end;
         busy_ms += true_service;
         makespan = std::max(makespan, end);
@@ -725,6 +815,7 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
                 fs.total.latency.add(latency);
                 ts.stats.latency.add(latency);
                 degrade[ten].observe(latency);
+                reload.observeLatency(inst, ten, latency);
                 if (latency <= sla) {
                     ++fs.compliant;
                     ++ts.compliant;
@@ -749,6 +840,21 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
     // Fold remaining scripted events / ticks into the final state so
     // availability-style accounting covers the whole session.
     applyUpTo(makespan);
+
+    // Let a rollout whose canary window or stage holds extend past
+    // the last dispatch run to completion — the fleet stays up after
+    // the request stream ends, so time keeps passing for the reload
+    // machinery (bounded: each pass crosses at least one stage).
+    {
+        const double grace = std::max(
+            {_cfg.reload.loadMs, _cfg.reload.canaryWindowMs,
+             _cfg.reload.stageHoldMs, 1.0});
+        double t = makespan;
+        for (int g = 0; g < 10000 && reload.active(); ++g) {
+            t += grace;
+            applyUpTo(t);
+        }
+    }
     for (std::size_t i = 0; i < n_i; ++i) {
         if (state[i] == InstanceState::Up && makespan > up_since[i])
             fs.instanceMsUp += makespan - up_since[i];
@@ -769,6 +875,16 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             degrade[k].escalations();
         fs.perTenant[k].stats.finalTier = degrade[k].tier();
     }
+    fs.reloadsStarted = reload.started();
+    fs.reloadsCommitted = reload.committed();
+    fs.reloadsRolledBack = reload.rolledBack();
+    fs.reloadsFailed = reload.failed();
+    fs.shadowedRequests = reload.shadowedRequests();
+    fs.versionSwaps = reload.instanceSwaps();
+    fs.reloadOutcomes = reload.outcomes();
+    fs.finalVersions.resize(n_t);
+    for (std::size_t k = 0; k < n_t; ++k)
+        fs.finalVersions[k] = _versioned[k]->currentVersion();
     fs.makespanMs = makespan;
     fs.total.makespanMs = makespan;
     if (fs.instanceMsUp > 0.0) {

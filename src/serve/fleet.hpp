@@ -46,6 +46,18 @@
  * remains a pure function of (configs, seeds, schedule): per-tenant
  * accounting satisfies arrived == served + shed + failed under every
  * scenario.
+ *
+ * **Versioned serving and live reload.** Every tenant's model is held
+ * in a core::VersionedModel; a dispatch pins the version it starts on
+ * and executes entirely on that pin (the explicit-model Server path),
+ * so a mid-flight swap never mixes versions inside a batch. A session
+ * may script ReloadEvents: the embedded ReloadManager loads each new
+ * version off the serving threads, shadow-validates it, canaries one
+ * instance, rolls the rest out in stages, and commits (publishing the
+ * version and retargeting the background scrubber) or rolls back /
+ * fails with the old version still serving. Retiring versions are
+ * reclaimed only after their last in-flight pin drains on the virtual
+ * clock.
  */
 
 #ifndef DLRMOPT_SERVE_FLEET_HPP
@@ -60,10 +72,12 @@
 #include "core/batching.hpp"
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
+#include "core/versioned.hpp"
 #include "sched/topology.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/capacity.hpp"
 #include "serve/fault_schedule.hpp"
+#include "serve/reload.hpp"
 #include "serve/scrub.hpp"
 #include "serve/server.hpp"
 #include "serve/tenant.hpp"
@@ -97,6 +111,7 @@ struct FleetConfig
     CapacityConfig capacity;           //!< elastic knobs
     RecalibrationConfig recalibration; //!< per-tenant refits
     ScrubConfig scrub;                 //!< per-store background scrub
+    ReloadConfig reload;               //!< staged-rollout knobs
 
     std::uint64_t seed = 42; //!< model-weight seed
 
@@ -167,6 +182,23 @@ struct FleetStats
     std::uint64_t scrubSweeps = 0;
     /// @}
 
+    /// @name Live reload
+    /// @{
+    std::size_t reloadsStarted = 0;
+    std::size_t reloadsCommitted = 0;
+    std::size_t reloadsRolledBack = 0;
+    std::size_t reloadsFailed = 0;
+    std::size_t shadowedRequests = 0; //!< shadow-validation replays
+    std::size_t versionSwaps = 0;     //!< instance pin swaps performed
+    std::size_t versionsRetired = 0;  //!< drained versions reclaimed
+
+    /** Per-tenant version id serving at session end. */
+    std::vector<std::uint64_t> finalVersions;
+
+    /** Audit trail of every finished reload. */
+    std::vector<ReloadOutcome> reloadOutcomes;
+    /// @}
+
     double makespanMs = 0.0;
 
     /** arrived == served + shed + failed, in aggregate and for every
@@ -205,10 +237,24 @@ class TenantFleet
 
     const TenantRegistry& registry() const { return _reg; }
 
-    /** Tenant @p k's shared table storage. */
+    /** Tenant @p k's *boot* table storage (version 1; kept for
+     *  construction-time tooling — the serving path reads
+     *  currentStore()). */
     const core::EmbeddingStore& store(std::size_t k) const
     {
         return *_stores[k];
+    }
+
+    /** Tenant @p k's currently committed version's storage. */
+    const core::EmbeddingStore& currentStore(std::size_t k) const
+    {
+        return *_versioned[k]->current()->store;
+    }
+
+    /** Tenant @p k's version holder (current + retiring versions). */
+    const core::VersionedModel& versioned(std::size_t k) const
+    {
+        return *_versioned[k];
     }
 
     /**
@@ -216,15 +262,19 @@ class TenantFleet
      * workload per registered tenant, same order). An optional
      * FaultSchedule overlays chaos: instance crash/recover events,
      * stored-row bit flips, and per-instance fault-injection phases.
+     * Optional ReloadEvents script staged live reloads (see the
+     * header comment); committed versions persist across sessions.
      *
      * @throws std::invalid_argument when the workload count mismatches
-     *         the registry, a tenant with arrivals has no batches, or
-     *         the schedule fails validate(numInstances()).
+     *         the registry, a tenant with arrivals has no batches, the
+     *         schedule fails validate(numInstances()), or a reload
+     *         event fails ReloadManager validation.
      */
     FleetStats serve(const std::vector<TenantWorkload>& work,
                      const core::PrefetchSpec& pf =
                          core::PrefetchSpec::paperDefault(),
-                     const FaultSchedule *schedule = nullptr);
+                     const FaultSchedule *schedule = nullptr,
+                     const std::vector<ReloadEvent>& reloads = {});
 
   private:
     TenantRegistry _reg;
@@ -234,6 +284,8 @@ class TenantFleet
     /** [instance][tenant] replica views / execution engines. */
     std::vector<std::vector<std::unique_ptr<core::DlrmModel>>> _models;
     std::vector<std::vector<std::unique_ptr<Server>>> _servers;
+    /** Per-tenant version holders; boot version is 1 over _stores. */
+    std::vector<std::unique_ptr<core::VersionedModel>> _versioned;
 };
 
 } // namespace dlrmopt::serve

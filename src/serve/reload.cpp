@@ -1,0 +1,539 @@
+#include "serve/reload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <new>
+#include <stdexcept>
+
+#include "core/dlrm.hpp"
+#include "core/errors.hpp"
+#include "core/snapshot.hpp"
+
+namespace dlrmopt::serve
+{
+
+namespace
+{
+
+double
+dtypeDriftExtra(const ReloadConfig& cfg, core::EmbDtype d)
+{
+    switch (d) {
+    case core::EmbDtype::Bf16:
+        return cfg.shadowDriftExtraBf16;
+    case core::EmbDtype::Int8:
+        return cfg.shadowDriftExtraInt8;
+    default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+void
+ReloadConfig::validate() const
+{
+    const auto nonneg = [](double v) {
+        return v >= 0.0 && std::isfinite(v);
+    };
+    if (!nonneg(loadMs) || !nonneg(canaryWindowMs) ||
+        !nonneg(stageHoldMs)) {
+        throw std::invalid_argument(
+            "ReloadConfig: durations must be >= 0 and finite");
+    }
+    if (shadowRequests == 0) {
+        throw std::invalid_argument(
+            "ReloadConfig: shadowRequests must be >= 1");
+    }
+    if (!nonneg(shadowDriftBudget) || !nonneg(shadowDriftExtraBf16) ||
+        !nonneg(shadowDriftExtraInt8)) {
+        throw std::invalid_argument(
+            "ReloadConfig: drift budgets must be >= 0 and finite");
+    }
+    if (canaryMinSamples == 0) {
+        throw std::invalid_argument(
+            "ReloadConfig: canaryMinSamples must be >= 1");
+    }
+    if (!(maxP95RegressionFactor >= 1.0) ||
+        !std::isfinite(maxP95RegressionFactor)) {
+        throw std::invalid_argument(
+            "ReloadConfig: maxP95RegressionFactor must be >= 1 and "
+            "finite");
+    }
+    if (rolloutConcurrency == 0) {
+        throw std::invalid_argument(
+            "ReloadConfig: rolloutConcurrency must be >= 1");
+    }
+}
+
+const char *
+reloadStateName(ReloadState s)
+{
+    switch (s) {
+    case ReloadState::Idle:
+        return "idle";
+    case ReloadState::Loading:
+        return "loading";
+    case ReloadState::Canary:
+        return "canary";
+    case ReloadState::RollingOut:
+        return "rolling-out";
+    case ReloadState::Committed:
+        return "committed";
+    case ReloadState::RolledBack:
+        return "rolled-back";
+    case ReloadState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+ReloadManager::ReloadManager(const ReloadConfig& cfg,
+                             std::vector<ReloadEvent> events,
+                             std::vector<core::VersionedModel *> holders,
+                             std::size_t instances)
+    : _cfg(cfg), _events(std::move(events)),
+      _holders(std::move(holders)), _instances(instances)
+{
+    _cfg.validate();
+    if (_holders.empty() || instances == 0) {
+        throw std::invalid_argument(
+            "ReloadManager: need holders and instance slots");
+    }
+    for (core::VersionedModel *h : _holders) {
+        if (h == nullptr) {
+            throw std::invalid_argument(
+                "ReloadManager: null version holder");
+        }
+    }
+    for (const ReloadEvent& e : _events) {
+        if (e.tenant >= _holders.size()) {
+            throw std::invalid_argument(
+                "ReloadManager: event tenant out of range");
+        }
+        if (!(e.atMs >= 0.0) || !std::isfinite(e.atMs)) {
+            throw std::invalid_argument(
+                "ReloadManager: event atMs must be >= 0 and finite");
+        }
+        if (e.newVersion == 0) {
+            throw std::invalid_argument(
+                "ReloadManager: version ids start at 1");
+        }
+    }
+    std::stable_sort(_events.begin(), _events.end(),
+                     [](const ReloadEvent& a, const ReloadEvent& b) {
+                         return a.atMs < b.atMs;
+                     });
+
+    const std::size_t n_t = _holders.size();
+    _pins.resize(_instances);
+    for (std::size_t i = 0; i < _instances; ++i) {
+        _pins[i].reserve(n_t);
+        for (std::size_t k = 0; k < n_t; ++k)
+            _pins[i].push_back(_holders[k]->current());
+    }
+    _pending.resize(n_t);
+    for (std::size_t e = 0; e < _events.size(); ++e)
+        _pending[_events[e].tenant].push_back(e);
+    _cursor.assign(n_t, 0);
+    _active.resize(n_t);
+    _lastDoneMs.assign(n_t, 0.0);
+    _scrubbers.assign(n_t, nullptr);
+    _shadowDense.assign(n_t, nullptr);
+    _shadowBatches.assign(n_t, nullptr);
+}
+
+void
+ReloadManager::attachScrubber(std::size_t tenant,
+                              EmbeddingScrubber *scrub)
+{
+    _scrubbers.at(tenant) = scrub;
+}
+
+void
+ReloadManager::attachShadow(std::size_t tenant,
+                            const core::Tensor *dense,
+                            const std::vector<core::SparseBatch> *batches)
+{
+    _shadowDense.at(tenant) = dense;
+    _shadowBatches.at(tenant) = batches;
+}
+
+void
+ReloadManager::attachFaults(const FaultSchedule *schedule)
+{
+    _faults = schedule;
+}
+
+bool
+ReloadManager::active() const
+{
+    for (std::size_t k = 0; k < _active.size(); ++k) {
+        if (_active[k].state != ReloadState::Idle ||
+            _cursor[k] < _pending[k].size())
+            return true;
+    }
+    return false;
+}
+
+void
+ReloadManager::advanceTo(double now,
+                         const std::vector<char>& instanceUp)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t k = 0; k < _active.size(); ++k) {
+            if (_active[k].state == ReloadState::Idle)
+                progress |= maybeStart(k, now);
+            if (_active[k].state != ReloadState::Idle)
+                progress |= step(k, now, instanceUp);
+        }
+    }
+}
+
+bool
+ReloadManager::maybeStart(std::size_t k, double now)
+{
+    if (_cursor[k] >= _pending[k].size())
+        return false;
+    const ReloadEvent& ev = _events[_pending[k][_cursor[k]]];
+    const double start = std::max(ev.atMs, _lastDoneMs[k]);
+    if (start > now)
+        return false;
+    ++_cursor[k];
+    ++_started;
+
+    Active& a = _active[k];
+    a = Active{};
+    a.ev = ev;
+    a.startMs = start;
+    a.readyMs = start + _cfg.loadMs;
+    a.prev = _holders[k]->current();
+    a.swapped.assign(_instances, 0);
+    a.state = ReloadState::Loading;
+
+    if (ev.expectedVersion != 0 &&
+        a.prev->version != ev.expectedVersion) {
+        finish(k, ReloadState::Failed, start,
+               "expected version " +
+                   std::to_string(ev.expectedVersion) + " but " +
+                   std::to_string(a.prev->version) + " is current");
+        return true;
+    }
+
+    // The load/build itself: real work now, virtual readiness at
+    // startMs + loadMs. Any failure leaves the old version serving.
+    const FaultInjector *inj =
+        _faults ? _faults->injectorAt(start, 0) : nullptr;
+    const core::SnapshotFaults faults =
+        inj ? inj->snapshotFaults(ev.newVersion)
+            : core::SnapshotFaults{};
+    try {
+        if (!ev.snapshotPath.empty()) {
+            core::LoadedSnapshot ls = core::ModelSnapshot::load(
+                ev.snapshotPath, &a.prev->cfg, &faults);
+            a.next = core::ModelVersion::adopt(
+                ls.info.cfg, ev.newVersion, ls.info.weightSeed,
+                std::move(ls.store), std::move(ls.model));
+        } else {
+            if (faults.loadBadAlloc)
+                throw std::bad_alloc();
+            a.next = core::ModelVersion::build(a.prev->cfg,
+                                               ev.newVersion,
+                                               ev.weightSeed, ev.dtype,
+                                               ev.blockRows);
+        }
+    } catch (const core::IoError& e) {
+        finish(k, ReloadState::Failed, a.readyMs,
+               std::string("load rejected: ") + e.what());
+        return true;
+    } catch (const std::bad_alloc&) {
+        finish(k, ReloadState::Failed, a.readyMs,
+               "bad_alloc while materializing the new version");
+        return true;
+    } catch (const std::invalid_argument& e) {
+        finish(k, ReloadState::Failed, a.readyMs,
+               std::string("load rejected: ") + e.what());
+        return true;
+    }
+    if (a.next->version <= a.prev->version) {
+        finish(k, ReloadState::Failed, a.readyMs,
+               "version " + std::to_string(a.next->version) +
+                   " does not advance past " +
+                   std::to_string(a.prev->version));
+        return true;
+    }
+    return true;
+}
+
+bool
+ReloadManager::step(std::size_t k, double now,
+                    const std::vector<char>& instanceUp)
+{
+    Active& a = _active[k];
+    switch (a.state) {
+    case ReloadState::Loading: {
+        if (now < a.readyMs)
+            return false;
+        if (a.shadowed == 0) {
+            const std::string verdict = shadowValidate(k, a);
+            if (!verdict.empty()) {
+                finish(k, ReloadState::Failed, a.readyMs, verdict);
+                return true;
+            }
+        }
+        // Canary on the first Up instance; wait for one if the whole
+        // fleet is momentarily down (the old version keeps serving
+        // nothing either way).
+        std::size_t pick = _instances;
+        for (std::size_t i = 0; i < _instances; ++i) {
+            if (i < instanceUp.size() && instanceUp[i]) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == _instances)
+            return false;
+        a.canaryInst = pick;
+        _pins[pick][k] = a.next;
+        a.swapped[pick] = 1;
+        ++a.swaps;
+        ++_swaps;
+        a.canaryEndMs = std::max(a.readyMs, now) + _cfg.canaryWindowMs;
+        a.state = ReloadState::Canary;
+        return true;
+    }
+    case ReloadState::Canary: {
+        if (now < a.canaryEndMs)
+            return false;
+        if (!a.next->store->findCorruptBlocks().empty()) {
+            setAllPins(k, a.prev);
+            finish(k, ReloadState::RolledBack, a.canaryEndMs,
+                   "corrupt block detected in the canary window");
+            return true;
+        }
+        if (a.canaryWin.count() >= _cfg.canaryMinSamples &&
+            a.fleetWin.count() >= _cfg.canaryMinSamples &&
+            a.fleetWin.p95() > 0.0 &&
+            a.canaryWin.p95() >
+                _cfg.maxP95RegressionFactor * a.fleetWin.p95()) {
+            setAllPins(k, a.prev);
+            finish(k, ReloadState::RolledBack, a.canaryEndMs,
+                   "canary p95 regression");
+            return true;
+        }
+        a.state = ReloadState::RollingOut;
+        a.nextStageMs = a.canaryEndMs;
+        return true;
+    }
+    case ReloadState::RollingOut: {
+        if (now < a.nextStageMs)
+            return false;
+        if (!a.next->store->findCorruptBlocks().empty()) {
+            setAllPins(k, a.prev);
+            finish(k, ReloadState::RolledBack, a.nextStageMs,
+                   "corrupt block detected during rollout");
+            return true;
+        }
+        std::size_t moved = 0;
+        for (std::size_t i = 0;
+             i < _instances && moved < _cfg.rolloutConcurrency; ++i) {
+            if (a.swapped[i])
+                continue;
+            _pins[i][k] = a.next;
+            a.swapped[i] = 1;
+            ++a.swaps;
+            ++_swaps;
+            ++moved;
+        }
+        bool all = true;
+        for (char s : a.swapped)
+            all = all && s;
+        if (all) {
+            // Commit: publish (the old version joins the retiring
+            // list until its in-flight pins drain), re-reconcile
+            // every pin (an instance that restarted mid-rollout was
+            // re-pinned to the committed version), and retarget the
+            // background scrubber at the new store.
+            _holders[k]->publish(a.next);
+            setAllPins(k, a.next);
+            if (_scrubbers[k] != nullptr)
+                _scrubbers[k]->retarget(a.next->store);
+            finish(k, ReloadState::Committed, a.nextStageMs, "");
+            return true;
+        }
+        a.nextStageMs += _cfg.stageHoldMs;
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+std::string
+ReloadManager::shadowValidate(std::size_t k, Active& a)
+{
+    if (!a.next->store->findCorruptBlocks().empty())
+        return "corrupt block in the loaded version";
+
+    const core::EmbDtype prevD = a.prev->store->dtype();
+    const core::EmbDtype nextD = a.next->store->dtype();
+    const double budget = _cfg.shadowDriftBudget +
+                          dtypeDriftExtra(_cfg, prevD) +
+                          dtypeDriftExtra(_cfg, nextD);
+
+    // Replay source: the tenant's workload when attached, else the
+    // canonical probe batch.
+    core::Tensor probeDense;
+    core::SparseBatch probeSparse;
+    const core::Tensor *dense = _shadowDense[k];
+    const std::vector<core::SparseBatch> *batches = _shadowBatches[k];
+    std::vector<core::SparseBatch> probeVec;
+    if (dense == nullptr || batches == nullptr || batches->empty()) {
+        core::ModelSnapshot::makeProbeBatch(a.prev->cfg, probeDense,
+                                            probeSparse);
+        probeVec.push_back(std::move(probeSparse));
+        dense = &probeDense;
+        batches = &probeVec;
+    }
+
+    core::DlrmWorkspace wsOld;
+    core::DlrmWorkspace wsNew;
+    const core::PrefetchSpec pf = core::PrefetchSpec::paperDefault();
+    std::map<std::size_t, core::Tensor> denseBySize;
+    double driftSum = 0.0;
+    std::size_t samples = 0;
+    const std::size_t n =
+        std::min(_cfg.shadowRequests,
+                 std::max<std::size_t>(batches->size(), 1));
+    for (std::size_t r = 0; r < n; ++r) {
+        const core::SparseBatch& sparse = (*batches)[r % batches->size()];
+        const std::size_t b = sparse.batchSize;
+        auto it = denseBySize.find(b);
+        if (it == denseBySize.end()) {
+            core::Tensor t(b, dense->cols());
+            std::memcpy(t.data(), dense->data(),
+                        b * dense->cols() * sizeof(float));
+            it = denseBySize.emplace(b, std::move(t)).first;
+        }
+        a.prev->model->forward(it->second, sparse, wsOld, pf, prevD);
+        a.next->model->forward(it->second, sparse, wsNew, pf, nextD);
+        for (std::size_t s = 0; s < b; ++s) {
+            const float po = wsOld.pred.data()[s];
+            const float pn = wsNew.pred.data()[s];
+            if (!std::isfinite(pn) || pn < 0.0f || pn > 1.0f) {
+                return "shadow prediction out of [0, 1]";
+            }
+            driftSum += std::abs(static_cast<double>(pn) -
+                                 static_cast<double>(po));
+            ++samples;
+        }
+        ++a.shadowed;
+        ++_shadowed;
+    }
+    const double drift =
+        samples ? driftSum / static_cast<double>(samples) : 0.0;
+    if (drift > budget) {
+        return "shadow drift " + std::to_string(drift) +
+               " exceeds budget " + std::to_string(budget);
+    }
+    return "";
+}
+
+void
+ReloadManager::observeLatency(std::size_t instance, std::size_t tenant,
+                              double latency_ms)
+{
+    Active& a = _active.at(tenant);
+    if (a.state != ReloadState::Canary)
+        return;
+    if (instance == a.canaryInst)
+        a.canaryWin.add(latency_ms);
+    else
+        a.fleetWin.add(latency_ms);
+}
+
+void
+ReloadManager::notifyRestart(std::size_t instance)
+{
+    if (instance >= _instances)
+        return;
+    for (std::size_t k = 0; k < _holders.size(); ++k) {
+        _pins[instance][k] = _holders[k]->current();
+        if (_active[k].state == ReloadState::Canary ||
+            _active[k].state == ReloadState::RollingOut) {
+            // The replica lost its in-memory copy of the incoming
+            // version; the commit/rollback step re-reconciles it.
+            _active[k].swapped[instance] = 0;
+            if (_active[k].state == ReloadState::Canary &&
+                _active[k].canaryInst == instance) {
+                // The canary died mid-window: treat the window as
+                // unjudgeable, reset both latency windows, and
+                // re-canary on the next step.
+                _active[k].state = ReloadState::Loading;
+                _active[k].shadowed =
+                    std::max<std::size_t>(_active[k].shadowed, 1);
+                _active[k].canaryWin = WindowedP95{64};
+                _active[k].fleetWin = WindowedP95{64};
+            }
+        }
+    }
+}
+
+void
+ReloadManager::applyBitFlip(std::size_t table, std::size_t row,
+                            std::size_t bit)
+{
+    for (Active& a : _active) {
+        if (a.state == ReloadState::Idle || a.next == nullptr)
+            continue;
+        core::EmbeddingStore& st = *a.next->store;
+        if (table < st.numTables() && row < st.rows() &&
+            bit < st.dim() * 32) {
+            st.flipBit(table, row, bit);
+        }
+    }
+}
+
+void
+ReloadManager::setAllPins(
+    std::size_t k, const std::shared_ptr<const core::ModelVersion>& v)
+{
+    for (std::size_t i = 0; i < _instances; ++i)
+        _pins[i][k] = v;
+}
+
+void
+ReloadManager::finish(std::size_t k, ReloadState state, double at,
+                      const std::string& detail)
+{
+    Active& a = _active[k];
+    ReloadOutcome out;
+    out.tenant = k;
+    out.version = a.ev.newVersion;
+    out.finalState = state;
+    out.detail = detail;
+    out.startedMs = a.startMs;
+    out.finishedMs = at;
+    out.shadowed = a.shadowed;
+    out.instanceSwaps = a.swaps;
+    _outcomes.push_back(std::move(out));
+    switch (state) {
+    case ReloadState::Committed:
+        ++_committed;
+        break;
+    case ReloadState::RolledBack:
+        ++_rolledBack;
+        break;
+    default:
+        ++_failed;
+        break;
+    }
+    _lastDoneMs[k] = at;
+    a = Active{};
+}
+
+} // namespace dlrmopt::serve

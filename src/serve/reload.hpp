@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Zero-downtime versioned live reload: staged canary rollout with
+ * shadow validation and automatic rollback.
+ *
+ * A retrained model version arrives either as an in-memory build (a
+ * fresh weight seed) or as a crash-consistent snapshot file
+ * (core::ModelSnapshot). The ReloadManager moves a tenant's fleet
+ * from its current version to the new one without dropping a request
+ * and without ever mixing versions inside a batch:
+ *
+ *   Loading            load/build off the serving threads (the
+ *                      virtual clock charges loadMs; dispatches keep
+ *                      flowing on the old version). IoError, a
+ *                      config mismatch, or a scripted bad_alloc ends
+ *                      the reload as Failed — the old version never
+ *                      stopped serving.
+ *   shadow validation  at load-ready time the new version must pass:
+ *                      clean block checksums, N replayed requests
+ *                      whose predictions stay finite in [0, 1] and
+ *                      drift from the old version's by no more than
+ *                      the dtype-aware budget.
+ *   Canary             exactly one Up instance is pinned to the new
+ *                      version for canaryWindowMs while the manager
+ *                      compares its served p95 against the rest of
+ *                      the fleet's.
+ *   RollingOut         the remaining instances swap in batches of
+ *                      rolloutConcurrency, stageHoldMs apart, with an
+ *                      integrity re-check between stages.
+ *   Committed          the version is published to the tenant's
+ *                      VersionedModel (the old one retires when its
+ *                      in-flight pins drain) and the background
+ *                      scrubber is retargeted at the new store.
+ *   RolledBack         any canary/rollout trigger (corrupt block,
+ *                      p95 regression) restores every pin to the old
+ *                      version.
+ *
+ * The manager is driven from the fleet's single-threaded virtual-
+ * clock loop (advanceTo / observeLatency / notifyRestart); it is not
+ * itself thread-safe. Everything is deterministic in (events, config,
+ * fault seed), so reload chaos sessions replay bit-identically.
+ */
+
+#ifndef DLRMOPT_SERVE_RELOAD_HPP
+#define DLRMOPT_SERVE_RELOAD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quant.hpp"
+#include "core/sparse_input.hpp"
+#include "core/tensor.hpp"
+#include "core/versioned.hpp"
+#include "serve/degrade.hpp"
+#include "serve/fault_schedule.hpp"
+#include "serve/scrub.hpp"
+
+namespace dlrmopt::serve
+{
+
+/** Staged-rollout knobs. */
+struct ReloadConfig
+{
+    /** Virtual ms the load/build of a new version occupies before the
+     *  canary can start (charged off the serving threads). */
+    double loadMs = 5.0;
+
+    /** Requests replayed through old and new versions during shadow
+     *  validation. */
+    std::size_t shadowRequests = 16;
+
+    /** Mean |new - old| prediction drift allowed for a same-precision
+     *  reload. Generous by default: a genuine retrain moves
+     *  predictions; the budget guards against a *broken* model, with
+     *  the finite-range and checksum gates doing the sharp work. */
+    double shadowDriftBudget = 0.25;
+
+    /** Extra drift allowed per bf16 side of the comparison. */
+    double shadowDriftExtraBf16 = 0.03;
+
+    /** Extra drift allowed per int8 side of the comparison. */
+    double shadowDriftExtraInt8 = 0.08;
+
+    /** Virtual ms the canary serves alone before evaluation. */
+    double canaryWindowMs = 50.0;
+
+    /** Minimum served samples on BOTH sides (canary and rest-of-
+     *  fleet) before the p95 comparison is trusted; with fewer, the
+     *  latency gate abstains (integrity gates still apply). */
+    std::size_t canaryMinSamples = 8;
+
+    /** Canary p95 above this multiple of the rest-of-fleet p95 rolls
+     *  the reload back. */
+    double maxP95RegressionFactor = 1.5;
+
+    /** Instances swapped per rollout stage after the canary. */
+    std::size_t rolloutConcurrency = 1;
+
+    /** Virtual ms between rollout stages. */
+    double stageHoldMs = 10.0;
+
+    /** @throws std::invalid_argument on a non-positive/non-finite
+     *          duration or budget, zero rollout concurrency, or a
+     *          regression factor below 1. */
+    void validate() const;
+};
+
+/** One scripted "push this version" order. */
+struct ReloadEvent
+{
+    double atMs = 0.0;       //!< virtual time the push arrives
+    std::size_t tenant = 0;  //!< target tenant index
+
+    /** Version id to publish; must advance past the tenant's current
+     *  version or the reload fails. */
+    std::uint64_t newVersion = 2;
+
+    /** When set, the version is loaded from this snapshot file
+     *  (ModelSnapshot::load, config-checked against the tenant).
+     *  When empty, the version is built in-memory from weightSeed. */
+    std::string snapshotPath;
+
+    /// @name In-memory build parameters (snapshotPath empty)
+    /// @{
+    std::uint64_t weightSeed = 0;
+    core::EmbDtype dtype = core::EmbDtype::Fp32;
+    std::size_t blockRows = 256;
+    /// @}
+
+    /** When nonzero, the reload only proceeds if the tenant's current
+     *  version id equals this (compare-and-swap semantics for
+     *  pipelines that race pushes). */
+    std::uint64_t expectedVersion = 0;
+};
+
+/** Where a finished reload ended up. */
+enum class ReloadState
+{
+    Idle,
+    Loading,
+    Canary,
+    RollingOut,
+    Committed,
+    RolledBack,
+    Failed
+};
+
+/** The name of a ReloadState ("canary", "committed", ...). */
+const char *reloadStateName(ReloadState s);
+
+/** Audit record of one finished reload. */
+struct ReloadOutcome
+{
+    std::size_t tenant = 0;
+    std::uint64_t version = 0;
+    ReloadState finalState = ReloadState::Failed;
+    std::string detail;      //!< failure/rollback reason, empty on commit
+    double startedMs = 0.0;
+    double finishedMs = 0.0;
+    std::size_t shadowed = 0;      //!< requests replayed in validation
+    std::size_t instanceSwaps = 0; //!< pin swaps performed (incl. undone)
+};
+
+/**
+ * Drives every scripted reload of one fleet session and owns the
+ * per-(instance, tenant) version pins the dispatch path reads.
+ * Constructed per session over the fleet's per-tenant VersionedModel
+ * holders; pins start at each holder's current version.
+ */
+class ReloadManager
+{
+  public:
+    /**
+     * @param holders One VersionedModel per tenant (borrowed; must
+     *        outlive the manager).
+     * @param instances Fleet instance-slot count.
+     *
+     * @throws std::invalid_argument when cfg fails validate(), an
+     *         event targets an out-of-range tenant, a timestamp is
+     *         negative or non-finite, or a version id is zero.
+     */
+    ReloadManager(const ReloadConfig& cfg,
+                  std::vector<ReloadEvent> events,
+                  std::vector<core::VersionedModel *> holders,
+                  std::size_t instances);
+
+    /** Wires tenant @p k's background scrubber for commit-time
+     *  retargeting (optional; borrowed). */
+    void attachScrubber(std::size_t tenant, EmbeddingScrubber *scrub);
+
+    /**
+     * Wires tenant @p k's workload as the shadow-validation replay
+     * source: request r replays (*batches)[r % batches->size()]
+     * against the first batchSize rows of @p dense. Without a source
+     * the canonical probe batch is replayed instead. Both borrowed.
+     */
+    void attachShadow(std::size_t tenant, const core::Tensor *dense,
+                      const std::vector<core::SparseBatch> *batches);
+
+    /** Wires the fault schedule whose phase injector (instance 0's,
+     *  at each reload's start time) scripts persistence faults per
+     *  reload operation (optional; borrowed). */
+    void attachFaults(const FaultSchedule *schedule);
+
+    /**
+     * Advances every pending/active reload to virtual time @p now.
+     * @p instanceUp flags which instance slots can take a canary.
+     * Cascading transitions (a long jump past load-ready, canary end,
+     * and every rollout stage) all run in one call.
+     */
+    void advanceTo(double now, const std::vector<char>& instanceUp);
+
+    /** Feeds one served-request latency into the active canary
+     *  comparison (no-op outside a canary window). */
+    void observeLatency(std::size_t instance, std::size_t tenant,
+                        double latency_ms);
+
+    /** Re-pins a restarted instance to every tenant's *committed*
+     *  version — a replica that crashed mid-rollout comes back on the
+     *  version of record, and the commit/rollback step re-reconciles
+     *  it with the fleet. */
+    void notifyRestart(std::size_t instance);
+
+    /** Mirrors a host-level stored-bit upset into any *incoming*
+     *  (not-yet-committed) version's store the coordinates fit in —
+     *  scripted corruption must be able to hit a version mid-rollout,
+     *  which is exactly what the integrity gates exist to catch. */
+    void applyBitFlip(std::size_t table, std::size_t row,
+                      std::size_t bit);
+
+    /** The version instance @p i currently serves for tenant @p k.
+     *  Dispatches copy this pin once and execute entirely on it. */
+    std::shared_ptr<const core::ModelVersion>
+    pinned(std::size_t instance, std::size_t tenant) const
+    {
+        return _pins[instance][tenant];
+    }
+
+    /** True while any tenant's reload is in flight. */
+    bool active() const;
+
+    /// @name Session accounting
+    /// @{
+    const std::vector<ReloadOutcome>& outcomes() const
+    {
+        return _outcomes;
+    }
+
+    std::size_t started() const { return _started; }
+    std::size_t committed() const { return _committed; }
+    std::size_t rolledBack() const { return _rolledBack; }
+    std::size_t failed() const { return _failed; }
+    std::size_t shadowedRequests() const { return _shadowed; }
+    std::size_t instanceSwaps() const { return _swaps; }
+    /// @}
+
+  private:
+    struct Active
+    {
+        ReloadState state = ReloadState::Idle;
+        ReloadEvent ev;
+        std::shared_ptr<const core::ModelVersion> prev;
+        std::shared_ptr<const core::ModelVersion> next;
+        double startMs = 0.0;
+        double readyMs = 0.0;
+        double canaryEndMs = 0.0;
+        double nextStageMs = 0.0;
+        std::size_t canaryInst = 0;
+        std::vector<char> swapped;
+        WindowedP95 canaryWin{64};
+        WindowedP95 fleetWin{64};
+        std::size_t shadowed = 0;
+        std::size_t swaps = 0;
+    };
+
+    /** Starts tenant @p k's next pending event when due. */
+    bool maybeStart(std::size_t k, double now);
+
+    /** Runs one state transition for tenant @p k when due. */
+    bool step(std::size_t k, double now,
+              const std::vector<char>& instanceUp);
+
+    /** Shadow validation verdict; empty string = pass. */
+    std::string shadowValidate(std::size_t k, Active& a);
+
+    void setAllPins(std::size_t k,
+                    const std::shared_ptr<const core::ModelVersion>& v);
+
+    void finish(std::size_t k, ReloadState state, double at,
+                const std::string& detail);
+
+    ReloadConfig _cfg;
+    std::vector<ReloadEvent> _events; //!< sorted by (atMs, tenant)
+    std::vector<core::VersionedModel *> _holders;
+    std::size_t _instances;
+
+    /** [instance][tenant] serving pins. */
+    std::vector<std::vector<std::shared_ptr<const core::ModelVersion>>>
+        _pins;
+
+    std::vector<std::vector<std::size_t>> _pending; //!< event idx per tenant
+    std::vector<std::size_t> _cursor;               //!< per tenant
+    std::vector<Active> _active;                    //!< per tenant
+    std::vector<double> _lastDoneMs;                //!< per tenant
+
+    std::vector<EmbeddingScrubber *> _scrubbers;
+    std::vector<const core::Tensor *> _shadowDense;
+    std::vector<const std::vector<core::SparseBatch> *> _shadowBatches;
+    const FaultSchedule *_faults = nullptr;
+
+    std::vector<ReloadOutcome> _outcomes;
+    std::size_t _started = 0;
+    std::size_t _committed = 0;
+    std::size_t _rolledBack = 0;
+    std::size_t _failed = 0;
+    std::size_t _shadowed = 0;
+    std::size_t _swaps = 0;
+};
+
+} // namespace dlrmopt::serve
+
+#endif // DLRMOPT_SERVE_RELOAD_HPP

@@ -55,6 +55,7 @@ EmbeddingScrubber::EmbeddingScrubber(
 std::size_t
 EmbeddingScrubber::advanceTo(double now_ms)
 {
+    std::lock_guard<std::mutex> lk(_mu);
     if (!_cfg.enabled || _totalBlocks == 0)
         return 0;
     std::size_t scrubbed = 0;
@@ -65,6 +66,21 @@ EmbeddingScrubber::advanceTo(double now_ms)
         _nextTickMs += _cfg.intervalMs;
     }
     return scrubbed;
+}
+
+void
+EmbeddingScrubber::retarget(
+    std::shared_ptr<core::EmbeddingStore> store)
+{
+    if (!store) {
+        throw std::invalid_argument(
+            "EmbeddingScrubber::retarget: store must not be null");
+    }
+    std::lock_guard<std::mutex> lk(_mu);
+    _totalBlocks = store->numTables() * store->numBlocks();
+    _store = store;
+    _mutableStore = std::move(store);
+    _cursor = 0;
 }
 
 void
@@ -87,9 +103,45 @@ EmbeddingScrubber::scrubOne()
     }
 }
 
+std::uint64_t
+EmbeddingScrubber::blocksScrubbed() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _blocksScrubbed;
+}
+
+std::uint64_t
+EmbeddingScrubber::corruptionsFound() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _corruptions;
+}
+
+std::uint64_t
+EmbeddingScrubber::blocksRepaired() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _repaired;
+}
+
+std::uint64_t
+EmbeddingScrubber::sweepsCompleted() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _sweeps;
+}
+
+std::size_t
+EmbeddingScrubber::blocksPerSweep() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _totalBlocks;
+}
+
 double
 EmbeddingScrubber::sweepProgress() const
 {
+    std::lock_guard<std::mutex> lk(_mu);
     return _totalBlocks == 0
                ? 0.0
                : static_cast<double>(_cursor) /

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "core/embedding_store.hpp"
 
@@ -86,15 +87,29 @@ class EmbeddingScrubber
      */
     std::size_t advanceTo(double now_ms);
 
+    /**
+     * Repoints the sweep at a different store — the live-reload
+     * commit path: after a version swap, scrub ticks must verify the
+     * instance's *current* version's blocks, not keep sweeping a
+     * retiring store whose refcount is only waiting on in-flight
+     * work. The sweep cursor restarts (block geometry may differ);
+     * tick schedule and counters carry over (coverage counters span
+     * versions, like a machine-lifetime scrubber's do). Thread-safe
+     * against a concurrent advanceTo.
+     *
+     * @throws std::invalid_argument on a null store.
+     */
+    void retarget(std::shared_ptr<core::EmbeddingStore> store);
+
     /// @name Coverage counters
     /// @{
 
-    std::uint64_t blocksScrubbed() const { return _blocksScrubbed; }
-    std::uint64_t corruptionsFound() const { return _corruptions; }
-    std::uint64_t blocksRepaired() const { return _repaired; }
+    std::uint64_t blocksScrubbed() const;
+    std::uint64_t corruptionsFound() const;
+    std::uint64_t blocksRepaired() const;
 
     /** Completed full sweeps over every (table, block) pair. */
-    std::uint64_t sweepsCompleted() const { return _sweeps; }
+    std::uint64_t sweepsCompleted() const;
 
     /** Fraction of the current sweep already verified, in [0, 1). */
     double sweepProgress() const;
@@ -102,11 +117,12 @@ class EmbeddingScrubber
     /// @}
 
     /** Total (table, block) pairs in one sweep. */
-    std::size_t blocksPerSweep() const { return _totalBlocks; }
+    std::size_t blocksPerSweep() const;
 
   private:
     void scrubOne();
 
+    mutable std::mutex _mu;
     ScrubConfig _cfg;
     std::shared_ptr<const core::EmbeddingStore> _store;
     std::shared_ptr<core::EmbeddingStore> _mutableStore; //!< aliases

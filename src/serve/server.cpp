@@ -420,6 +420,18 @@ Server::executeBatchedAttempt(
     const std::vector<const core::Tensor *>& dense_parts,
     const DegradeState& tier, const core::PrefetchSpec& pf)
 {
+    return executeBatchedAttempt(core, parts, dense_parts, tier, pf,
+                                 _model);
+}
+
+double
+Server::executeBatchedAttempt(
+    std::size_t core,
+    const std::vector<const core::SparseBatch *>& parts,
+    const std::vector<const core::Tensor *>& dense_parts,
+    const DegradeState& tier, const core::PrefetchSpec& pf,
+    const core::DlrmModel& model)
+{
     using Clock = std::chrono::steady_clock;
     const core::PrefetchSpec eff_pf =
         tier.prefetchEnabled ? pf : core::PrefetchSpec{};
@@ -439,7 +451,7 @@ Server::executeBatchedAttempt(
         }
     }
     if (_batchWs.maxBatch() < total)
-        _batchWs.reserve(_model, total, max_lookups);
+        _batchWs.reserve(model, total, max_lookups);
 
     // Coalesce on the serving thread (pure data movement into the
     // persistent workspace), run the fused forward on the pool.
@@ -448,9 +460,9 @@ Server::executeBatchedAttempt(
     const core::Tensor& dense = _batchWs.stagedDense();
 
     const auto t0 = Clock::now();
-    auto f = _pool.submit(core, [this, &dense, &merged, eff_pf,
+    auto f = _pool.submit(core, [this, &model, &dense, &merged, eff_pf,
                                  dtype] {
-        _batchWs.forward(_model, dense, merged, eff_pf, dtype);
+        _batchWs.forward(model, dense, merged, eff_pf, dtype);
     });
     f.wait();
     f.get();

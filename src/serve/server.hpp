@@ -356,6 +356,21 @@ class Server
         const std::vector<const core::Tensor *>& dense_parts,
         const DegradeState& tier, const core::PrefetchSpec& pf);
 
+    /**
+     * executeBatchedAttempt against an explicit model instead of the
+     * constructor-bound one. The live-reload fleet passes each
+     * dispatch's *pinned* version here, so a version swap mid-flight
+     * never mixes versions within a batch: the whole dispatch runs on
+     * whichever model it started with. @p model must share the bound
+     * model's architecture (workspace geometry is config-derived).
+     */
+    double executeBatchedAttempt(
+        std::size_t core,
+        const std::vector<const core::SparseBatch *>& parts,
+        const std::vector<const core::Tensor *>& dense_parts,
+        const DegradeState& tier, const core::PrefetchSpec& pf,
+        const core::DlrmModel& model);
+
     /** Predictions of the last executeBatchedAttempt dispatch. */
     const core::Tensor& lastPredictions() const
     {

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * ModelSnapshot: crash-consistent save/load round trips at every
+ * dtype, plus the corruption matrix — truncation at every section
+ * boundary, single-bit flips in each section, dtype/config mismatch —
+ * each of which must fail load cleanly with the serving model
+ * untouched.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dlrm.hpp"
+#include "core/errors.hpp"
+#include "core/snapshot.hpp"
+
+namespace core = dlrmopt::core;
+
+namespace
+{
+
+core::ModelConfig
+tinyConfig()
+{
+    core::ModelConfig cfg = core::rm1();
+    cfg = cfg.scaledToFit(1u << 20);
+    return cfg;
+}
+
+/** Self-cleaning path in the build dir's scratch space. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string& name)
+        : _path("snapshot_test_" + name + ".dlrmsnap")
+    {
+        std::remove(_path.c_str());
+        std::remove((_path + ".tmp").c_str());
+    }
+
+    ~TempPath()
+    {
+        std::remove(_path.c_str());
+        std::remove((_path + ".tmp").c_str());
+    }
+
+    const std::string& str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+std::vector<std::uint8_t>
+readAll(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string& path, const std::vector<std::uint8_t>& buf)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+}
+
+core::DlrmModel
+buildModel(const core::ModelConfig& cfg, core::EmbDtype dtype,
+           std::uint64_t seed = 7)
+{
+    auto store = std::make_shared<const core::EmbeddingStore>(
+        cfg, seed, 64, dtype);
+    return core::DlrmModel(cfg, store, seed);
+}
+
+} // namespace
+
+TEST(SnapshotTest, RoundTripIsBitwiseIdenticalPerDtype)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    for (core::EmbDtype dtype :
+         {core::EmbDtype::Fp32, core::EmbDtype::Bf16,
+          core::EmbDtype::Int8}) {
+        SCOPED_TRACE(core::embDtypeName(dtype));
+        TempPath path(std::string("roundtrip_") +
+                      core::embDtypeName(dtype));
+        const core::DlrmModel model = buildModel(cfg, dtype);
+
+        ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 3, 7));
+        const core::LoadedSnapshot snap =
+            core::ModelSnapshot::load(path.str(), &cfg);
+
+        EXPECT_EQ(snap.info.modelVersion, 3u);
+        EXPECT_EQ(snap.info.weightSeed, 7u);
+        EXPECT_EQ(snap.info.dtype, dtype);
+        ASSERT_EQ(snap.store->numTables(), cfg.tables);
+
+        // Payload bytes identical, table by table.
+        for (std::size_t t = 0; t < cfg.tables; ++t) {
+            const core::EmbeddingTable& a = model.store()->table(t);
+            const core::EmbeddingTable& b = snap.store->table(t);
+            ASSERT_EQ(a.bytes(), b.bytes());
+            EXPECT_EQ(
+                0, std::memcmp(a.rawBytes(), b.rawBytes(), a.bytes()))
+                << "table " << t;
+            EXPECT_EQ(snap.store->tableSeed(t),
+                      model.store()->tableSeed(t));
+        }
+
+        // MLP weights identical, layer by layer.
+        for (std::size_t l = 0; l < model.bottomMlp().numLayers(); ++l) {
+            const core::Tensor& a = model.bottomMlp().layerWeights(l);
+            const core::Tensor& b = snap.model->bottomMlp().layerWeights(l);
+            EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                     a.rows() * a.cols() * sizeof(float)));
+            EXPECT_EQ(model.bottomMlp().layerBias(l),
+                      snap.model->bottomMlp().layerBias(l));
+        }
+
+        // The loaded model reproduces the golden probe bitwise.
+        const std::vector<float> orig =
+            core::ModelSnapshot::probePredictions(model);
+        const std::vector<float> loaded =
+            core::ModelSnapshot::probePredictions(*snap.model);
+        ASSERT_EQ(orig.size(), loaded.size());
+        EXPECT_EQ(0, std::memcmp(orig.data(), loaded.data(),
+                                 orig.size() * sizeof(float)));
+        EXPECT_EQ(orig, snap.probePredictions);
+
+        // Save the loaded model again: the files must be bitwise
+        // identical (full round-trip closure).
+        TempPath again(std::string("again_") + core::embDtypeName(dtype));
+        ASSERT_TRUE(
+            core::ModelSnapshot::save(again.str(), *snap.model, 3, 7));
+        EXPECT_EQ(readAll(path.str()), readAll(again.str()));
+    }
+}
+
+TEST(SnapshotTest, VerifyFileReportsMetadata)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("verify");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Int8);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 9, 42));
+
+    const core::SnapshotInfo info =
+        core::ModelSnapshot::verifyFile(path.str());
+    EXPECT_EQ(info.formatVersion, core::ModelSnapshot::kFormatVersion);
+    EXPECT_EQ(info.modelVersion, 9u);
+    EXPECT_EQ(info.weightSeed, 42u);
+    EXPECT_EQ(info.dtype, core::EmbDtype::Int8);
+    EXPECT_EQ(info.cfg.rows, cfg.rows);
+    EXPECT_EQ(info.cfg.tables, cfg.tables);
+    EXPECT_EQ(info.blocksPerTable,
+              (cfg.rows + info.blockRows - 1) / info.blockRows);
+    EXPECT_EQ(info.blockChecksums.size(),
+              cfg.tables * info.blocksPerTable);
+    EXPECT_EQ(info.probeCount, core::ModelSnapshot::kProbeBatch);
+    EXPECT_EQ(info.fileBytes, readAll(path.str()).size());
+}
+
+TEST(SnapshotTest, ShardViewRefusesToSave)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    auto store = core::EmbeddingStore::create(cfg, 7);
+    const core::DlrmModel shard(cfg, store, 0, 1, 7);
+    TempPath path("shard");
+    EXPECT_THROW(core::ModelSnapshot::save(path.str(), shard, 1),
+                 std::invalid_argument);
+}
+
+TEST(SnapshotTest, MissingFileFailsWithIoError)
+{
+    EXPECT_THROW(
+        core::ModelSnapshot::load("definitely_not_a_snapshot.bin"),
+        core::IoError);
+    EXPECT_THROW(
+        core::ModelSnapshot::verifyFile("definitely_not_a_snapshot.bin"),
+        core::IoError);
+}
+
+TEST(SnapshotTest, TruncationAtEveryBoundaryFailsCleanly)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("truncate");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Fp32);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 1));
+    const std::vector<std::uint8_t> full = readAll(path.str());
+
+    // A representative cut inside every section, plus the exact
+    // section boundaries: header start, header/tables boundary area,
+    // mid-payload, MLP section, probe floats, inside the footer.
+    const std::size_t cuts[] = {
+        0,               // empty file
+        4,               // inside the magic
+        8,               // magic only
+        40,              // inside the header
+        200,             // early table payload
+        full.size() / 2, // mid payload
+        full.size() - 200, // inside MLPs/probe
+        full.size() - 17,  // one byte into the file CRC
+        full.size() - 16,  // footer boundary (no CRC/end magic)
+        full.size() - 8,   // CRC present, end magic missing
+        full.size() - 1,   // one byte short
+    };
+    for (std::size_t cut : cuts) {
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        writeAll(path.str(), std::vector<std::uint8_t>(
+                                 full.begin(), full.begin() + cut));
+        EXPECT_THROW(core::ModelSnapshot::load(path.str()),
+                     core::IoError);
+        EXPECT_THROW(core::ModelSnapshot::verifyFile(path.str()),
+                     core::IoError);
+    }
+
+    // Restore the intact bytes: the file must load again (the matrix
+    // didn't poison anything).
+    writeAll(path.str(), full);
+    EXPECT_NO_THROW(core::ModelSnapshot::verifyFile(path.str()));
+}
+
+TEST(SnapshotTest, SingleBitFlipAnywhereFailsCleanly)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("bitflip");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Bf16);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 1));
+    const std::vector<std::uint8_t> full = readAll(path.str());
+
+    // One flip per section: magic, header field, header CRC, table
+    // payload, recorded block checksum area, MLP weights, probe
+    // floats, file CRC, end magic.
+    const std::size_t offsets[] = {
+        0, 13, 60, 300, full.size() / 3, full.size() / 2,
+        full.size() - 100, full.size() - 40, full.size() - 12,
+        full.size() - 3,
+    };
+    for (std::size_t off : offsets) {
+        SCOPED_TRACE("offset=" + std::to_string(off));
+        std::vector<std::uint8_t> bad = full;
+        bad[off] ^= 0x10;
+        writeAll(path.str(), bad);
+        EXPECT_THROW(core::ModelSnapshot::load(path.str()),
+                     core::IoError);
+        EXPECT_THROW(core::ModelSnapshot::verifyFile(path.str()),
+                     core::IoError);
+    }
+    writeAll(path.str(), full);
+    EXPECT_NO_THROW(core::ModelSnapshot::load(path.str()));
+}
+
+TEST(SnapshotTest, ConfigMismatchIsRejected)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("mismatch");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Fp32);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 1));
+
+    // Same file, different expectation: geometry, name, MLP widths.
+    core::ModelConfig other = cfg;
+    other.rows += 1;
+    EXPECT_THROW(core::ModelSnapshot::load(path.str(), &other),
+                 core::IoError);
+    other = cfg;
+    other.name = "someone-else";
+    EXPECT_THROW(core::ModelSnapshot::load(path.str(), &other),
+                 core::IoError);
+    other = cfg;
+    other.bottomMlp.front() += 1;
+    EXPECT_THROW(core::ModelSnapshot::load(path.str(), &other),
+                 core::IoError);
+
+    // The matching config still loads.
+    EXPECT_NO_THROW(core::ModelSnapshot::load(path.str(), &cfg));
+}
+
+TEST(SnapshotTest, TornWriteNeverTouchesTheTarget)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("torn");
+    const core::DlrmModel v1 = buildModel(cfg, core::EmbDtype::Fp32, 7);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), v1, 1));
+    const std::vector<std::uint8_t> before = readAll(path.str());
+
+    // A "crash" partway through writing version 2: the published file
+    // still holds version 1, bit for bit, and still loads.
+    const core::DlrmModel v2 =
+        buildModel(cfg, core::EmbDtype::Fp32, 8);
+    core::SnapshotFaults faults;
+    faults.tornWrite = true;
+    faults.tornBytes = before.size() / 2;
+    EXPECT_FALSE(
+        core::ModelSnapshot::save(path.str(), v2, 2, 8, &faults));
+    EXPECT_EQ(before, readAll(path.str()));
+    const core::LoadedSnapshot snap =
+        core::ModelSnapshot::load(path.str());
+    EXPECT_EQ(snap.info.modelVersion, 1u);
+
+    // The torn temp file itself must never load.
+    EXPECT_THROW(core::ModelSnapshot::load(path.str() + ".tmp"),
+                 core::IoError);
+}
+
+TEST(SnapshotTest, ScriptedBitFlipFaultIsDetected)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("flipfault");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Int8);
+
+    core::SnapshotFaults faults;
+    faults.flipBit = true;
+    faults.flipByteOffset = 12345;
+    faults.flipMask = 0x40;
+    ASSERT_TRUE(
+        core::ModelSnapshot::save(path.str(), model, 1, 0, &faults));
+    EXPECT_THROW(core::ModelSnapshot::load(path.str()),
+                 core::IoError);
+}
+
+TEST(SnapshotTest, ScriptedBadAllocPropagates)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("badalloc");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Fp32);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 1));
+
+    core::SnapshotFaults faults;
+    faults.loadBadAlloc = true;
+    EXPECT_THROW(
+        core::ModelSnapshot::load(path.str(), nullptr, &faults),
+        std::bad_alloc);
+    // The fault is scripted, not sticky: a clean retry succeeds.
+    EXPECT_NO_THROW(core::ModelSnapshot::load(path.str()));
+}
+
+TEST(SnapshotTest, LoadedStoreStaysRepairable)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    TempPath path("repair");
+    const core::DlrmModel model =
+        buildModel(cfg, core::EmbDtype::Fp32);
+    ASSERT_TRUE(core::ModelSnapshot::save(path.str(), model, 1));
+
+    core::LoadedSnapshot snap = core::ModelSnapshot::load(path.str());
+    // Corrupt a row of the loaded store; scrub-style repair must
+    // restore the as-built bytes because table seeds round-tripped.
+    snap.store->flipBit(0, 3, 11);
+    EXPECT_FALSE(snap.store->verifyBlock(0, snap.store->blockOfRow(3)));
+    snap.store->repairBlock(0, snap.store->blockOfRow(3));
+    EXPECT_TRUE(snap.store->verifyBlock(0, snap.store->blockOfRow(3)));
+    EXPECT_TRUE(snap.store->findCorruptBlocks().empty());
+}
+
+TEST(SnapshotTest, ProbeBatchIsAPureFunctionOfTheConfig)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    core::Tensor d1, d2;
+    core::SparseBatch s1, s2;
+    core::ModelSnapshot::makeProbeBatch(cfg, d1, s1);
+    core::ModelSnapshot::makeProbeBatch(cfg, d2, s2);
+    ASSERT_EQ(d1.rows(), core::ModelSnapshot::kProbeBatch);
+    EXPECT_EQ(0, std::memcmp(d1.data(), d2.data(),
+                             d1.rows() * d1.cols() * sizeof(float)));
+    EXPECT_EQ(s1.indices, s2.indices);
+    EXPECT_EQ(s1.offsets, s2.offsets);
+    EXPECT_TRUE(s1.valid(cfg.rows));
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * VersionedModel: epoch'd publish/pin/retire semantics — in-flight
+ * pins keep a swapped-out version alive until they drain, version ids
+ * are monotonic, and fingerprints separate versions that serve
+ * different bytes.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.hpp"
+#include "core/versioned.hpp"
+
+namespace core = dlrmopt::core;
+
+namespace
+{
+
+core::ModelConfig
+tinyConfig()
+{
+    return core::rm1().scaledToFit(1u << 20);
+}
+
+} // namespace
+
+TEST(VersionedTest, BuildIsDeterministic)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    auto a = core::ModelVersion::build(cfg, 1, 7);
+    auto b = core::ModelVersion::build(cfg, 1, 7);
+    EXPECT_EQ(a->fingerprint, b->fingerprint);
+    EXPECT_EQ(a->version, 1u);
+    EXPECT_EQ(a->weightSeed, 7u);
+
+    // Different seed, version, or dtype → different fingerprint.
+    EXPECT_NE(a->fingerprint,
+              core::ModelVersion::build(cfg, 1, 8)->fingerprint);
+    EXPECT_NE(a->fingerprint,
+              core::ModelVersion::build(cfg, 2, 7)->fingerprint);
+    EXPECT_NE(a->fingerprint,
+              core::ModelVersion::build(cfg, 1, 7,
+                                        core::EmbDtype::Bf16)
+                  ->fingerprint);
+}
+
+TEST(VersionedTest, AdoptRejectsNulls)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    auto v = core::ModelVersion::build(cfg, 1, 7);
+    EXPECT_THROW(core::ModelVersion::adopt(cfg, 2, 7, nullptr,
+                                           v->model),
+                 std::invalid_argument);
+    EXPECT_THROW(core::ModelVersion::adopt(cfg, 2, 7, v->store,
+                                           nullptr),
+                 std::invalid_argument);
+    EXPECT_THROW(core::VersionedModel(nullptr), std::invalid_argument);
+}
+
+TEST(VersionedTest, PublishSwapsAndPinsKeepOldAlive)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    core::VersionedModel vm(core::ModelVersion::build(cfg, 1, 7));
+    EXPECT_EQ(vm.currentVersion(), 1u);
+
+    // An in-flight dispatch pins version 1...
+    auto pin = vm.current();
+    ASSERT_EQ(pin->version, 1u);
+
+    // ...then the fleet swaps to version 2 mid-flight.
+    vm.publish(core::ModelVersion::build(cfg, 2, 8));
+    EXPECT_EQ(vm.currentVersion(), 2u);
+    EXPECT_EQ(vm.retiringCount(), 1u);
+
+    // Version 1 cannot be reclaimed while the dispatch holds it: the
+    // pinned model/store stay valid and serve the old bytes.
+    EXPECT_EQ(vm.retireDrained(), 0u);
+    EXPECT_EQ(vm.retiringCount(), 1u);
+    EXPECT_EQ(pin->version, 1u);
+    EXPECT_EQ(
+        core::ModelSnapshot::probePredictions(*pin->model).size(),
+        core::ModelSnapshot::kProbeBatch);
+
+    // The dispatch completes → the pin drains → version 1 retires.
+    pin.reset();
+    EXPECT_EQ(vm.retireDrained(), 1u);
+    EXPECT_EQ(vm.retiringCount(), 0u);
+    EXPECT_EQ(vm.published(), 1u);
+    EXPECT_EQ(vm.retired(), 1u);
+}
+
+TEST(VersionedTest, VersionIdsAreMonotonic)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    core::VersionedModel vm(core::ModelVersion::build(cfg, 5, 7));
+    EXPECT_THROW(vm.publish(core::ModelVersion::build(cfg, 5, 8)),
+                 std::invalid_argument);
+    EXPECT_THROW(vm.publish(core::ModelVersion::build(cfg, 4, 8)),
+                 std::invalid_argument);
+    EXPECT_THROW(vm.publish(nullptr), std::invalid_argument);
+    EXPECT_NO_THROW(vm.publish(core::ModelVersion::build(cfg, 6, 8)));
+    EXPECT_EQ(vm.currentVersion(), 6u);
+}
+
+TEST(VersionedTest, MultipleRetiringVersionsDrainIndependently)
+{
+    const core::ModelConfig cfg = tinyConfig();
+    core::VersionedModel vm(core::ModelVersion::build(cfg, 1, 7));
+    auto pin1 = vm.current();
+    vm.publish(core::ModelVersion::build(cfg, 2, 8));
+    auto pin2 = vm.current();
+    vm.publish(core::ModelVersion::build(cfg, 3, 9));
+    EXPECT_EQ(vm.retiringCount(), 2u);
+
+    // Draining pin2 first frees only version 2.
+    pin2.reset();
+    EXPECT_EQ(vm.retireDrained(), 1u);
+    EXPECT_EQ(vm.retiringCount(), 1u);
+    pin1.reset();
+    EXPECT_EQ(vm.retireDrained(), 1u);
+    EXPECT_EQ(vm.retiringCount(), 0u);
+    EXPECT_EQ(vm.retired(), 2u);
+}

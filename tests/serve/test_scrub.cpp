@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/embedding_store.hpp"
@@ -226,6 +227,78 @@ TEST(RouterScrub, BackgroundScrubRepairsAScriptedFlipMidSession)
     EXPECT_TRUE(store->findCorruptBlocks().empty());
     EXPECT_EQ(rs.total.arrived,
               rs.total.served + rs.total.shed + rs.total.failed);
+}
+
+/** Retargeting mid-sweep restarts the cursor on the new store's
+ *  geometry and subsequent ticks verify the *new* version's blocks. */
+TEST(ScrubRetarget, SweepMovesToTheNewStore)
+{
+    const core::ModelConfig cfg = smallModel();
+    auto v1 = core::EmbeddingStore::createMutable(cfg, 7, 128);
+    auto v2 = core::EmbeddingStore::createMutable(cfg, 8, 64);
+
+    ScrubConfig sc;
+    sc.enabled = true;
+    sc.intervalMs = 1.0;
+    sc.blocksPerTick = 2;
+    EmbeddingScrubber scrub(v1, sc);
+
+    scrub.advanceTo(3.0);
+    const std::uint64_t before = scrub.blocksScrubbed();
+    EXPECT_GT(before, 0u);
+
+    // v2 carries a silent flip; v1's copy of the same row is clean.
+    v2->flipBit(1, 5, 3);
+    scrub.retarget(v2);
+    EXPECT_EQ(scrub.blocksPerSweep(),
+              v2->numTables() * v2->numBlocks());
+    EXPECT_DOUBLE_EQ(scrub.sweepProgress(), 0.0);
+
+    // One full sweep over v2 finds and repairs the flip; counters
+    // carried over from the v1 era keep accumulating.
+    scrub.advanceTo(3.0 + static_cast<double>(scrub.blocksPerSweep()));
+    EXPECT_GT(scrub.blocksScrubbed(), before);
+    EXPECT_EQ(scrub.corruptionsFound(), 1u);
+    EXPECT_EQ(scrub.blocksRepaired(), 1u);
+    EXPECT_TRUE(v2->findCorruptBlocks().empty());
+    EXPECT_TRUE(v1->findCorruptBlocks().empty());
+
+    EXPECT_THROW(scrub.retarget(nullptr), std::invalid_argument);
+}
+
+/**
+ * Scrub-during-swap race regression: one thread drives scrub ticks
+ * while another retargets the scrubber across versions, repeatedly.
+ * Run under TSan (sanitize-threads preset) this proves ticks never
+ * race the swap; the assertions prove ticks always land on whichever
+ * store is current (no torn cursor/geometry mix).
+ */
+TEST(ScrubRetarget, ConcurrentAdvanceAndRetargetIsClean)
+{
+    const core::ModelConfig cfg = smallModel();
+    auto v1 = core::EmbeddingStore::createMutable(cfg, 7, 128);
+    auto v2 = core::EmbeddingStore::createMutable(cfg, 8, 64);
+
+    ScrubConfig sc;
+    sc.enabled = true;
+    sc.intervalMs = 0.25;
+    sc.blocksPerTick = 1;
+    EmbeddingScrubber scrub(v1, sc);
+
+    std::thread ticker([&] {
+        for (int i = 1; i <= 400; ++i)
+            scrub.advanceTo(static_cast<double>(i) * 0.25);
+    });
+    for (int swap = 0; swap < 50; ++swap)
+        scrub.retarget(swap % 2 == 0 ? v2 : v1);
+    ticker.join();
+
+    EXPECT_GT(scrub.blocksScrubbed(), 0u);
+    EXPECT_EQ(scrub.corruptionsFound(), 0u);
+    // A post-join tick still works on the final target.
+    scrub.retarget(v2);
+    scrub.advanceTo(200.0);
+    EXPECT_LE(scrub.sweepProgress(), 1.0);
 }
 
 } // namespace

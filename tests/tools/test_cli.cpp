@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "cli.hpp"
 
@@ -434,6 +436,76 @@ TEST(CliRun, TenantsRejectsBadOptions)
     std::ostringstream uout, uerr;
     run(parse({"frobnicate"}), uout, uerr);
     EXPECT_NE(uerr.str().find("tenants"), std::string::npos);
+}
+
+TEST(CliRun, SnapshotSaveVerifyLoadRoundtrip)
+{
+    const std::string path = "/tmp/dlrmopt_cli_snapshot_test.snap";
+    std::remove(path.c_str());
+
+    std::ostringstream out, err;
+    int rc = run(parse({"snapshot", "save", "--file", path.c_str(),
+                        "--model", "rm1", "--max-bytes", "500000",
+                        "--version", "7", "--seed", "9"}),
+                 out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("v7 (seed 9)"), std::string::npos);
+    EXPECT_NE(out.str().find("atomic"), std::string::npos);
+    EXPECT_NE(out.str().find("digest"), std::string::npos);
+
+    out.str("");
+    rc = run(parse({"snapshot", "verify", "--file", path.c_str()}),
+             out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("verify OK"), std::string::npos);
+    EXPECT_NE(out.str().find("fp32"), std::string::npos);
+
+    out.str("");
+    rc = run(parse({"snapshot", "load", "--file", path.c_str()}),
+             out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("reproduced bitwise"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, SnapshotQuantizedRoundtripIsByteIdentical)
+{
+    const std::string path = "/tmp/dlrmopt_cli_snapshot_rt.snap";
+    std::remove(path.c_str());
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"snapshot", "roundtrip", "--file", path.c_str(),
+                   "--model", "rm1", "--max-bytes", "500000",
+                   "--dtype", "int8", "--version", "2"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("int8"), std::string::npos);
+    EXPECT_NE(out.str().find("byte-identical"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, SnapshotRejectsBadInvocations)
+{
+    std::ostringstream out, err;
+    // No --file.
+    EXPECT_NE(run(parse({"snapshot", "save"}), out, err), 0);
+    // Unknown operation.
+    EXPECT_NE(run(parse({"snapshot", "frobnicate", "--file",
+                         "/tmp/x.snap"}),
+                  out, err),
+              0);
+    // Verify of a file that does not exist reports an IoError.
+    EXPECT_NE(run(parse({"snapshot", "verify", "--file",
+                         "/tmp/dlrmopt_cli_no_such.snap"}),
+                  out, err),
+              0);
+    EXPECT_NE(err.str().find("error:"), std::string::npos);
+    // Usage advertises the subcommand.
+    std::ostringstream uout, uerr;
+    run(parse({""}), uout, uerr);
+    EXPECT_NE(uerr.str().find("snapshot save|verify|load|roundtrip"),
+              std::string::npos);
 }
 
 } // namespace

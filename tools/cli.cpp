@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
@@ -9,7 +11,10 @@
 #include "core/simd.hpp"
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
+#include "core/errors.hpp"
 #include "core/quant.hpp"
+#include "core/snapshot.hpp"
+#include "core/versioned.hpp"
 #include "platform/report.hpp"
 #include "sched/topology.hpp"
 #include "serve/fault_schedule.hpp"
@@ -1096,6 +1101,138 @@ cmdTenants(const ParsedArgs& args, std::ostream& out)
     return fs.conserved() ? 0 : 1;
 }
 
+/** Folds a checksum list into one FNV-1a digest for compact display. */
+std::uint64_t
+foldChecksums(const std::vector<std::uint64_t>& sums, std::size_t begin,
+              std::size_t count)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = begin; i < begin + count; ++i) {
+        const std::uint64_t v = sums[i];
+        for (std::size_t b = 0; b < 8; ++b)
+            h = (h ^ ((v >> (8 * b)) & 0xffu)) * 1099511628211ull;
+    }
+    return h;
+}
+
+void
+printSnapshotInfo(std::ostream& out, const core::SnapshotInfo& info)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s v%llu (seed %llu): %zu tables x %zu rows x %zu "
+                  "dim, %s, block-rows %zu, %zu bytes\n",
+                  info.cfg.name.c_str(),
+                  static_cast<unsigned long long>(info.modelVersion),
+                  static_cast<unsigned long long>(info.weightSeed),
+                  info.cfg.tables, info.cfg.rows, info.cfg.dim,
+                  core::embDtypeName(info.dtype).c_str(),
+                  info.blockRows, info.fileBytes);
+    out << buf;
+    // Per-table block-checksum digests: enough to diff two snapshots
+    // by eye without dumping every block.
+    for (std::size_t t = 0; t < info.cfg.tables; ++t) {
+        if (t == 8 && info.cfg.tables > 9) {
+            out << "  ... (" << info.cfg.tables - t
+                << " more tables)\n";
+            break;
+        }
+        std::snprintf(
+            buf, sizeof(buf), "  table %2zu: %zu blocks, digest %016llx\n",
+            t, info.blocksPerTable,
+            static_cast<unsigned long long>(foldChecksums(
+                info.blockChecksums, t * info.blocksPerTable,
+                info.blocksPerTable)));
+        out << buf;
+    }
+    out << "  probe rows: " << info.probeCount
+        << " (golden predictions at " << core::embDtypeName(info.dtype)
+        << ")\n";
+}
+
+int
+cmdSnapshot(const ParsedArgs& args, std::ostream& out)
+{
+    // Crash-consistent snapshot tooling over core::ModelSnapshot:
+    //   save      build a versioned model and persist it atomically
+    //   verify    parse + checksum-verify a file (no materialization)
+    //   load      materialize and check the golden probe bitwise
+    //   roundtrip save -> load -> re-save, compare the files bytewise
+    const std::string op =
+        args.positional.empty() ? "" : args.positional[0];
+    const std::string path = args.get("file", "");
+    if (path.empty())
+        throw std::invalid_argument("snapshot wants --file PATH");
+
+    if (op == "verify") {
+        printSnapshotInfo(out, core::ModelSnapshot::verifyFile(path));
+        out << "verify OK (footer, section and per-block checksums)\n";
+        return 0;
+    }
+    if (op == "load") {
+        const core::LoadedSnapshot ls = core::ModelSnapshot::load(path);
+        printSnapshotInfo(out, ls.info);
+        const std::vector<float> got =
+            core::ModelSnapshot::probePredictions(*ls.model);
+        const bool bitwise =
+            got.size() == ls.probePredictions.size() &&
+            std::memcmp(got.data(), ls.probePredictions.data(),
+                        got.size() * sizeof(float)) == 0;
+        out << "golden probe: "
+            << (bitwise ? "reproduced bitwise" : "MISMATCH") << "\n";
+        return bitwise ? 0 : 1;
+    }
+    if (op != "save" && op != "roundtrip") {
+        throw std::invalid_argument(
+            "snapshot wants save|verify|load|roundtrip");
+    }
+
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 64.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+    const std::uint64_t version =
+        static_cast<std::uint64_t>(args.getInt("version", 1));
+    const core::EmbDtype dtype = parseDtypeOption(args);
+    const std::size_t block_rows =
+        static_cast<std::size_t>(args.getInt("block-rows", 256));
+
+    const auto v = core::ModelVersion::build(cfg_model, version, seed,
+                                             dtype, block_rows);
+    if (!core::ModelSnapshot::save(path, *v->model, version, seed))
+        throw core::IoError("snapshot save failed: " + path);
+    printSnapshotInfo(out, core::ModelSnapshot::verifyFile(path));
+    if (op == "save") {
+        out << "saved " << path << " (temp-file + fsync + atomic "
+            << "rename)\n";
+        return 0;
+    }
+
+    // roundtrip: a loaded snapshot re-saved must be byte-identical —
+    // payload bytes, checksums and golden probe all survive the trip.
+    const core::LoadedSnapshot ls = core::ModelSnapshot::load(
+        path, &cfg_model);
+    const std::string again = path + ".roundtrip";
+    if (!core::ModelSnapshot::save(again, *ls.model,
+                                   ls.info.modelVersion,
+                                   ls.info.weightSeed))
+        throw core::IoError("roundtrip re-save failed: " + again);
+    std::ifstream a(path, std::ios::binary);
+    std::ifstream b(again, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    std::remove(again.c_str());
+    const bool identical = !bytes_a.empty() && bytes_a == bytes_b;
+    out << "roundtrip: save -> load -> re-save "
+        << (identical ? "byte-identical" : "DIVERGED") << " ("
+        << bytes_a.size() << " bytes)\n";
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
 std::string
@@ -1124,6 +1261,9 @@ usage()
            "timelines with/without resilience\n"
            "  tenants [options]           multi-tenant fleet with "
            "weighted-fair queueing\n"
+           "  snapshot save|verify|load|roundtrip --file PATH\n"
+           "                              crash-consistent model "
+           "snapshots\n"
            "\n"
            "common options:\n"
            "  --cpu SKL|CSL|ICL|SPR|Zen3   (default CSL)\n"
@@ -1175,7 +1315,18 @@ usage()
            "  --budget N (per-tenant admission budget)\n"
            "  --elastic --min-instances N\n"
            "  --scenario crash-storm|rolling-corruption|"
-           "flapping-straggler\n";
+           "flapping-straggler\n"
+           "\n"
+           "snapshot options:\n"
+           "  --file PATH (required)\n"
+           "  --model NAME --max-bytes X --seed N --version V\n"
+           "  --dtype fp32|bf16|int8 --block-rows N (save/roundtrip)\n"
+           "  verify/load print the header and per-table block-"
+           "checksum digests;\n"
+           "  load additionally recomputes the golden probe "
+           "(bitwise); roundtrip\n"
+           "  re-saves a loaded snapshot and compares the files "
+           "bytewise\n";
 }
 
 int
@@ -1206,6 +1357,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdChaos(args, out);
         if (args.command == "tenants")
             return cmdTenants(args, out);
+        if (args.command == "snapshot")
+            return cmdSnapshot(args, out);
         err << usage();
         return args.command.empty() ? 2 : 1;
     } catch (const std::exception& e) {
