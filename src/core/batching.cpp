@@ -151,7 +151,8 @@ ForwardWorkspace::reserve(const DlrmModel& model, std::size_t max_batch,
 const Tensor&
 ForwardWorkspace::forward(const DlrmModel& model, const Tensor& dense,
                           const SparseBatch& sparse,
-                          const PrefetchSpec& pf, EmbDtype dtype)
+                          const PrefetchSpec& pf, EmbDtype dtype,
+                          HotTierCache *tier)
 {
     assert(sparse.batchSize <= _maxBatch);
     StageBuffers& s = _sets[0];
@@ -161,7 +162,7 @@ ForwardWorkspace::forward(const DlrmModel& model, const Tensor& dense,
     } else {
         model.bottomMlp().forward(dense, s.bottomOut, s.mlpA, s.mlpB);
     }
-    model.embeddingForward(sparse, s.embOut, pf, dtype);
+    model.embeddingForward(sparse, s.embOut, pf, dtype, tier);
     model.interactionForward(s.bottomOut, s.embOut, sparse.batchSize,
                              s.interOut, s.embPtrs);
     if (dtype == EmbDtype::Int8) {
@@ -211,13 +212,13 @@ std::size_t
 ForwardWorkspace::stageGather(
     const DlrmModel& model, const std::vector<const SparseBatch *>& parts,
     const std::vector<const Tensor *>& dense_parts,
-    const PrefetchSpec& pf, EmbDtype dtype)
+    const PrefetchSpec& pf, EmbDtype dtype, HotTierCache *tier)
 {
     const std::size_t set = _gatherNext;
     StageBuffers& s = _sets[set];
     const SparseBatch& merged = coalesceInto(set, parts, dense_parts);
     assert(merged.batchSize <= _maxBatch);
-    model.embeddingForward(merged, s.embOut, pf, dtype);
+    model.embeddingForward(merged, s.embOut, pf, dtype, tier);
     s.batch = merged.batchSize;
     _gatherNext = (_gatherNext + 1) % numSets;
     return set;

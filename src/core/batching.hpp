@@ -174,11 +174,15 @@ class ForwardWorkspace
      *        qact buffer. (The streamed pipeline quantizes only its
      *        gather stage — see stageGather — its compute stages run
      *        fp32.)
+     * @param tier Optional hot tier for the embedding stage (see
+     *        DlrmModel::embeddingForward); bitwise-identical output
+     *        with or without it.
      */
     const Tensor& forward(const DlrmModel& model, const Tensor& dense,
                           const SparseBatch& sparse,
                           const PrefetchSpec& pf = {},
-                          EmbDtype dtype = EmbDtype::Fp32);
+                          EmbDtype dtype = EmbDtype::Fp32,
+                          HotTierCache *tier = nullptr);
 
     /**
      * Coalesces member requests (sparse inputs plus their dense
@@ -222,12 +226,15 @@ class ForwardWorkspace
      *        one quantization accelerates). The compute stages stay
      *        fp32 regardless — pooled bag outputs are fp32 at every
      *        precision, so the handoff is unchanged.
+     * @param tier Optional hot tier for the staged bags (see
+     *        DlrmModel::embeddingForward).
      */
     std::size_t stageGather(const DlrmModel& model,
                             const std::vector<const SparseBatch *>& parts,
                             const std::vector<const Tensor *>& dense_parts,
                             const PrefetchSpec& pf = {},
-                            EmbDtype dtype = EmbDtype::Fp32);
+                            EmbDtype dtype = EmbDtype::Fp32,
+                            HotTierCache *tier = nullptr);
 
     /**
      * Pipeline compute stage over rotation set @p set: bottom MLP,

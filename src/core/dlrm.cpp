@@ -125,18 +125,29 @@ DlrmModel::bottomForward(const Tensor& dense, Tensor& out,
 
 void
 DlrmModel::embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
-                            const PrefetchSpec& pf,
-                            EmbDtype dtype) const
+                            const PrefetchSpec& pf, EmbDtype dtype,
+                            HotTierCache *tier) const
 {
     assert(sparse.numTables() == _cfg.tables);
     const EmbeddingStore& store = storeFor(dtype);
+    // The tier serves only the store it fronts: a dispatch pinned to
+    // a different version (canary, mid-rollout) or a dtype the tier
+    // was not built at gathers cold instead of being served stale or
+    // differently-quantized bytes.
+    const bool tiered = tier != nullptr && tier->matches(store);
     const std::size_t batch = sparse.batchSize;
     emb_out.reshape(_numTables, batch * _cfg.dim);
     for (std::size_t t = 0; t < _numTables; ++t) {
         const std::size_t g = _firstTable + t;
-        store.table(g).bag(sparse.indices[g].data(),
-                           sparse.offsets[g].data(), batch,
-                           emb_out.row(t), pf);
+        if (tiered) {
+            tier->bag(g, sparse.indices[g].data(),
+                      sparse.offsets[g].data(), batch, emb_out.row(t),
+                      pf);
+        } else {
+            store.table(g).bag(sparse.indices[g].data(),
+                               sparse.offsets[g].data(), batch,
+                               emb_out.row(t), pf);
+        }
     }
 }
 
@@ -191,7 +202,7 @@ DlrmModel::topForward(const Tensor& inter_out, Tensor& pred,
 void
 DlrmModel::forward(const Tensor& dense, const SparseBatch& sparse,
                    DlrmWorkspace& ws, const PrefetchSpec& pf,
-                   EmbDtype dtype) const
+                   EmbDtype dtype, HotTierCache *tier) const
 {
     if (!isFullView()) {
         throw std::logic_error(
@@ -199,7 +210,7 @@ DlrmModel::forward(const Tensor& dense, const SparseBatch& sparse,
             "merge shard embedding blocks with mergeShardEmbeddings()");
     }
     bottomForward(dense, ws.bottomOut, dtype);
-    embeddingForward(sparse, ws.embOut, pf, dtype);
+    embeddingForward(sparse, ws.embOut, pf, dtype, tier);
     interactionForward(ws.bottomOut, ws.embOut, sparse.batchSize,
                        ws.interOut);
     topForward(ws.interOut, ws.pred, dtype);

@@ -21,6 +21,7 @@
 
 #include "core/embedding.hpp"
 #include "core/embedding_store.hpp"
+#include "core/hot_tier.hpp"
 #include "core/mlp.hpp"
 #include "core/model_config.hpp"
 #include "core/sparse_input.hpp"
@@ -142,6 +143,18 @@ class DlrmModel
         return *_store;
     }
 
+    /** storeFor() as a shareable handle (what a HotTierCache is built
+     *  over — the tier must front the exact store the bags run on). */
+    const std::shared_ptr<const EmbeddingStore>&
+    sharedStoreFor(EmbDtype dtype) const
+    {
+        if (dtype == EmbDtype::Bf16 && _bf16Store)
+            return _bf16Store;
+        if (dtype == EmbDtype::Int8 && _int8Store)
+            return _int8Store;
+        return _store;
+    }
+
     /** True when a quantized store is attached for @p dtype. */
     bool
     hasQuantizedStore(EmbDtype dtype) const
@@ -193,10 +206,17 @@ class DlrmModel
      * @param pf Software-prefetch configuration for embedding_bag.
      * @param dtype Selects the store (storeFor(dtype)) the bags run
      *        over; the fused-dequant kernels match its precision.
+     * @param tier Optional hot tier: when non-null AND it fronts
+     *        exactly storeFor(dtype) (tier->matches()), bags probe
+     *        the tier before gathering cold — bitwise-identical
+     *        output either way. A tier built over a different store
+     *        (a reload canary's old version, a mismatched dtype) is
+     *        silently bypassed, never wrongly served.
      */
     void embeddingForward(const SparseBatch& sparse, Tensor& emb_out,
                           const PrefetchSpec& pf = {},
-                          EmbDtype dtype = EmbDtype::Fp32) const;
+                          EmbDtype dtype = EmbDtype::Fp32,
+                          HotTierCache *tier = nullptr) const;
 
     /**
      * Runs feature interaction given both stage outputs. Requires the
@@ -245,6 +265,9 @@ class DlrmModel
      *        int8 bags plus the u8·s8 MLP path. Quantized dtypes are
      *        accuracy-budget approximations of fp32, each bitwise
      *        deterministic in its own right.
+     * @param tier Optional hot tier for the embedding stage (see
+     *        embeddingForward); predictions are bitwise-identical
+     *        with or without it.
      *
      * @throws std::logic_error on a shard view — the interaction
      *         stage needs every table's block; run embeddingForward
@@ -252,7 +275,8 @@ class DlrmModel
      */
     void forward(const Tensor& dense, const SparseBatch& sparse,
                  DlrmWorkspace& ws, const PrefetchSpec& pf = {},
-                 EmbDtype dtype = EmbDtype::Fp32) const;
+                 EmbDtype dtype = EmbDtype::Fp32,
+                 HotTierCache *tier = nullptr) const;
 
     const Mlp& bottomMlp() const { return _bottom; }
     const Mlp& topMlp() const { return _top; }

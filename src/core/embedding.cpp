@@ -39,16 +39,17 @@ checkedTableSize(std::size_t rows, std::size_t dim)
     return rows * dim;
 }
 
+} // namespace
+
 /**
- * Issues __builtin_prefetch for the first @p lines cache lines of the
- * @p row_bytes-byte embedding row at @p row_ptr. Quantized rows span
- * fewer lines, so the same PrefetchSpec naturally pulls less data —
- * that shrinkage is the bandwidth win. GCC requires the locality
- * argument to be a compile-time constant, hence the switch.
+ * Quantized rows span fewer lines than fp32 ones, so the same
+ * PrefetchSpec naturally pulls less data — that shrinkage is the
+ * bandwidth win. GCC requires the locality argument to be a
+ * compile-time constant, hence the switch.
  */
-inline void
-prefetchRow(const void *row_ptr, int lines, std::size_t row_bytes,
-            int locality)
+void
+prefetchRowBytes(const void *row_ptr, int lines, std::size_t row_bytes,
+                 int locality)
 {
     const std::size_t max_lines =
         (row_bytes + cachelineBytes - 1) / cachelineBytes;
@@ -74,8 +75,6 @@ prefetchRow(const void *row_ptr, int lines, std::size_t row_bytes,
         break;
     }
 }
-
-} // namespace
 
 void
 PrefetchSpec::validate() const
@@ -360,8 +359,8 @@ EmbeddingTable::bag(const RowIndex *indices, const RowIndex *offsets,
                 // prefetchRow issues proportionally fewer prefetches.
                 const std::size_t nidx =
                     static_cast<std::size_t>(indices[s + pf_dist]);
-                prefetchRow(rowBytesPtr(nidx), pf.lines,
-                            storedRowBytes(), pf.locality);
+                prefetchRowBytes(rowBytesPtr(nidx), pf.lines,
+                                 storedRowBytes(), pf.locality);
             }
             // Fused-dequant accumulate: one pass over the stored
             // bytes whatever the precision.

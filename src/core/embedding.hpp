@@ -193,6 +193,17 @@ class EmbeddingTable
     }
 
     /**
+     * Start of row @p idx's stored bytes at this table's dtype —
+     * storedRowBytes() contiguous bytes (fused codes + scale/bias for
+     * int8). What a hot tier copies verbatim when pinning the row.
+     */
+    const void *
+    rowBytes(RowIndex idx) const
+    {
+        return rowBytesPtr(static_cast<std::size_t>(idx));
+    }
+
+    /**
      * Writes the dequantized fp32 values of row @p row into
      * @p dst[0..dim): the exact addend the bag kernel contributes per
      * lookup of this row (bf16: widened pattern; int8:
@@ -293,6 +304,15 @@ class EmbeddingTable
 void embeddingBagRef(const float *table, std::size_t dim,
                      const RowIndex *indices, const RowIndex *offsets,
                      std::size_t samples, float *out);
+
+/**
+ * Issues __builtin_prefetch for the first @p lines cache lines of the
+ * @p row_bytes-byte embedding row at @p row_ptr (clamped to the row's
+ * span). The primitive behind the bag kernels' look-ahead prefetch,
+ * shared with the hot tier's cold-miss path.
+ */
+void prefetchRowBytes(const void *row_ptr, int lines,
+                      std::size_t row_bytes, int locality);
 
 } // namespace dlrmopt::core
 

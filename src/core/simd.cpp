@@ -488,6 +488,158 @@ bagSampleInt8Avx512(float *out, const std::uint8_t *base,
     return false;
 }
 
+
+/**
+ * Pointer-walking whole-sample bags: identical register-blocked
+ * accumulation to the bagSample* bodies above, but each row arrives
+ * as a resolved pointer (hot-tier pinned copy or cold row) instead of
+ * base + index * stride. No prefetch here — the resolver issued it
+ * while walking the lookups.
+ */
+template <int NB>
+void
+bagSamplePtrsF32Avx512Body(float *out, const std::uint8_t *const *rows,
+                           std::size_t n)
+{
+    __m512 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm512_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const float *row = reinterpret_cast<const float *>(rows[s]);
+        for (int b = 0; b < NB; ++b) {
+            acc[b] = _mm512_add_ps(acc[b],
+                                   _mm512_loadu_ps(row + b * 16));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm512_storeu_ps(out + b * 16, acc[b]);
+}
+
+template <int NB>
+void
+bagSamplePtrsBf16Avx512Body(float *out,
+                            const std::uint8_t *const *rows,
+                            std::size_t n)
+{
+    __m512 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm512_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::uint16_t *row =
+            reinterpret_cast<const std::uint16_t *>(rows[s]);
+        for (int b = 0; b < NB; ++b) {
+            const __m256i h = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(row + b * 16));
+            const __m512i w =
+                _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+            acc[b] = _mm512_add_ps(acc[b], _mm512_castsi512_ps(w));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm512_storeu_ps(out + b * 16, acc[b]);
+}
+
+template <int NB>
+void
+bagSamplePtrsInt8Avx512Body(float *out,
+                            const std::uint8_t *const *rows,
+                            std::size_t dim, std::size_t n)
+{
+    __m512 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm512_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::uint8_t *row = rows[s];
+        float scale, bias;
+        std::memcpy(&scale, row + dim, sizeof(float));
+        std::memcpy(&bias, row + dim + sizeof(float), sizeof(float));
+        const __m512 vscale = _mm512_set1_ps(scale);
+        const __m512 vbias = _mm512_set1_ps(bias);
+        for (int b = 0; b < NB; ++b) {
+            const __m128i q8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + b * 16));
+            const __m512 q =
+                _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(q8));
+            const __m512 t = _mm512_fmadd_ps(q, vscale, acc[b]);
+            acc[b] = _mm512_add_ps(t, vbias);
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm512_storeu_ps(out + b * 16, acc[b]);
+}
+
+bool
+bagSamplePtrsF32Avx512(float *out, const std::uint8_t *const *rows,
+                       std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 16 != 0 || dim > 128)
+        return false;
+    switch (dim / 16) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsF32Avx512Body<NB>(out, rows, n);                  \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSamplePtrsBf16Avx512(float *out, const std::uint8_t *const *rows,
+                        std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 16 != 0 || dim > 128)
+        return false;
+    switch (dim / 16) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsBf16Avx512Body<NB>(out, rows, n);                 \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSamplePtrsInt8Avx512(float *out, const std::uint8_t *const *rows,
+                        std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 16 != 0 || dim > 128)
+        return false;
+    switch (dim / 16) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsInt8Avx512Body<NB>(out, rows, dim, n);            \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
 #endif // AVX512F
 
 #if DLRMOPT_X86 && defined(__AVX2__)
@@ -612,6 +764,150 @@ bagSampleInt8Avx2(float *out, const std::uint8_t *base,
     return false;
 }
 
+
+/** Pointer-walking whole-sample bags at AVX2 (see the zmm variants). */
+template <int NB>
+void
+bagSamplePtrsF32Avx2Body(float *out, const std::uint8_t *const *rows,
+                         std::size_t n)
+{
+    __m256 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm256_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const float *row = reinterpret_cast<const float *>(rows[s]);
+        for (int b = 0; b < NB; ++b) {
+            acc[b] = _mm256_add_ps(acc[b],
+                                   _mm256_loadu_ps(row + b * 8));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm256_storeu_ps(out + b * 8, acc[b]);
+}
+
+template <int NB>
+void
+bagSamplePtrsBf16Avx2Body(float *out, const std::uint8_t *const *rows,
+                          std::size_t n)
+{
+    __m256 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm256_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::uint16_t *row =
+            reinterpret_cast<const std::uint16_t *>(rows[s]);
+        for (int b = 0; b < NB; ++b) {
+            const __m128i h = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + b * 8));
+            const __m256i w =
+                _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+            acc[b] = _mm256_add_ps(acc[b], _mm256_castsi256_ps(w));
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm256_storeu_ps(out + b * 8, acc[b]);
+}
+
+template <int NB>
+void
+bagSamplePtrsInt8Avx2Body(float *out, const std::uint8_t *const *rows,
+                          std::size_t dim, std::size_t n)
+{
+    __m256 acc[NB];
+    for (int b = 0; b < NB; ++b)
+        acc[b] = _mm256_setzero_ps();
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::uint8_t *row = rows[s];
+        float scale, bias;
+        std::memcpy(&scale, row + dim, sizeof(float));
+        std::memcpy(&bias, row + dim + sizeof(float), sizeof(float));
+        const __m256 vscale = _mm256_set1_ps(scale);
+        const __m256 vbias = _mm256_set1_ps(bias);
+        for (int b = 0; b < NB; ++b) {
+            const __m128i q8 = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(row + b * 8));
+            const __m256 q =
+                _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(q8));
+            const __m256 t = _mm256_fmadd_ps(q, vscale, acc[b]);
+            acc[b] = _mm256_add_ps(t, vbias);
+        }
+    }
+    for (int b = 0; b < NB; ++b)
+        _mm256_storeu_ps(out + b * 8, acc[b]);
+}
+
+bool
+bagSamplePtrsF32Avx2(float *out, const std::uint8_t *const *rows,
+                     std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 8 != 0 || dim > 64)
+        return false;
+    switch (dim / 8) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsF32Avx2Body<NB>(out, rows, n);                    \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSamplePtrsBf16Avx2(float *out, const std::uint8_t *const *rows,
+                      std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 8 != 0 || dim > 64)
+        return false;
+    switch (dim / 8) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsBf16Avx2Body<NB>(out, rows, n);                   \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
+bool
+bagSamplePtrsInt8Avx2(float *out, const std::uint8_t *const *rows,
+                      std::size_t n, std::size_t dim)
+{
+    if (dim == 0 || dim % 8 != 0 || dim > 64)
+        return false;
+    switch (dim / 8) {
+#define DLRMOPT_BAG_CASE(NB)                                           \
+      case NB:                                                         \
+        bagSamplePtrsInt8Avx2Body<NB>(out, rows, dim, n);              \
+        return true;
+      DLRMOPT_BAG_CASE(1)
+      DLRMOPT_BAG_CASE(2)
+      DLRMOPT_BAG_CASE(3)
+      DLRMOPT_BAG_CASE(4)
+      DLRMOPT_BAG_CASE(5)
+      DLRMOPT_BAG_CASE(6)
+      DLRMOPT_BAG_CASE(7)
+      DLRMOPT_BAG_CASE(8)
+#undef DLRMOPT_BAG_CASE
+    }
+    return false;
+}
+
 #endif // AVX2
 
 } // namespace
@@ -661,6 +957,72 @@ bagSampleInt8(float *out, const std::uint8_t *base,
 #if DLRMOPT_X86 && defined(__AVX2__)
         return bagSampleInt8Avx2(out, base, strideBytes, dim, indices,
                                  begin, end, total, pfDist, pfLines);
+#else
+        return false;
+#endif
+      default:
+        return false;
+    }
+}
+
+bool
+bagSamplePtrsF32(float *out, const std::uint8_t *const *rows,
+                 std::size_t n, std::size_t dim)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+#if DLRMOPT_X86 && defined(__AVX512F__)
+        return bagSamplePtrsF32Avx512(out, rows, n, dim);
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if DLRMOPT_X86 && defined(__AVX2__)
+        return bagSamplePtrsF32Avx2(out, rows, n, dim);
+#else
+        return false;
+#endif
+      default:
+        return false;
+    }
+}
+
+bool
+bagSamplePtrsBf16(float *out, const std::uint8_t *const *rows,
+                  std::size_t n, std::size_t dim)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+#if DLRMOPT_X86 && defined(__AVX512F__)
+        return bagSamplePtrsBf16Avx512(out, rows, n, dim);
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if DLRMOPT_X86 && defined(__AVX2__)
+        return bagSamplePtrsBf16Avx2(out, rows, n, dim);
+#else
+        return false;
+#endif
+      default:
+        return false;
+    }
+}
+
+bool
+bagSamplePtrsInt8(float *out, const std::uint8_t *const *rows,
+                  std::size_t n, std::size_t dim)
+{
+    switch (activeLevel.load(std::memory_order_relaxed)) {
+      case SimdLevel::Avx512:
+#if DLRMOPT_X86 && defined(__AVX512F__)
+        return bagSamplePtrsInt8Avx512(out, rows, n, dim);
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if DLRMOPT_X86 && defined(__AVX2__)
+        return bagSamplePtrsInt8Avx2(out, rows, n, dim);
 #else
         return false;
 #endif

@@ -146,6 +146,26 @@ bool bagSampleInt8(float *out, const std::uint8_t *base,
                    std::size_t pfDist, int pfLines);
 
 /**
+ * Pointer-walking mirrors of the whole-sample bags for callers whose
+ * rows do not share one base address — the hot tier resolves each
+ * lookup to either its pinned copy or the cold row and hands the
+ * per-sample pointer list here. Accumulation order is the pointer
+ * order and the per-lane chain matches the per-row kernels, so the
+ * result is bitwise-identical to per-row accumulation over the same
+ * pointers (and hence to the cold bag over the same index stream).
+ * Int8 pointers reference fused rows (scale/bias trailer at +dim).
+ *
+ * @return false when the active level or shape has no specialized
+ *         kernel — the caller falls back to the per-row path.
+ */
+bool bagSamplePtrsF32(float *out, const std::uint8_t *const *rows,
+                      std::size_t n, std::size_t dim);
+bool bagSamplePtrsBf16(float *out, const std::uint8_t *const *rows,
+                       std::size_t n, std::size_t dim);
+bool bagSamplePtrsInt8(float *out, const std::uint8_t *const *rows,
+                       std::size_t n, std::size_t dim);
+
+/**
  * Logistic-sigmoid variants backing core::sigmoidInplace's dispatch.
  *
  * The scalar form is the exact-libm reference (1 / (1 + expf(-x)));

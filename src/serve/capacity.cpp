@@ -104,8 +104,13 @@ CapacityController::closeWindowsUpTo(double now_ms)
             _desired = need;
             _lowStreak = 0;
         } else if (need < _desired) {
-            // Over-capacity only wastes: require a sustained lull.
-            if (++_lowStreak >= _cfg.downLag) {
+            if (_holdScaleDowns) {
+                // A canary/rollout is in flight: freeze the streak so
+                // a lull spanning the rollout cannot bank hysteresis
+                // credit and drain an instance the moment it commits.
+                _lowStreak = 0;
+            } else if (++_lowStreak >= _cfg.downLag) {
+                // Over-capacity only wastes: require a sustained lull.
                 _desired = need;
                 _lowStreak = 0;
             }

@@ -125,6 +125,22 @@ class CapacityController
 
     std::size_t windowsClosed() const { return _windowsClosed; }
 
+    /**
+     * Reload-aware hold: while @p hold is set, window boundaries
+     * never lower the desired count (scale-ups stay immediate) and
+     * the low-streak hysteresis does not accumulate. The fleet
+     * asserts this while a ReloadManager canary/rollout is in flight
+     * — draining an instance mid-canary would yank the very capacity
+     * the rollout's p95 gate is being judged against, turning every
+     * reload into a self-inflicted latency regression. Dropped when
+     * the rollout commits or rolls back; the lull must then persist
+     * for a full downLag streak before any instance drains.
+     */
+    void holdScaleDowns(bool hold) { _holdScaleDowns = hold; }
+
+    /** True while scale-downs are held (see holdScaleDowns). */
+    bool scaleDownsHeld() const { return _holdScaleDowns; }
+
   private:
     void closeWindowsUpTo(double now_ms);
 
@@ -138,6 +154,7 @@ class CapacityController
     std::size_t _windowsClosed = 0;
     std::size_t _lowStreak = 0; //!< consecutive scale-down windows
     std::size_t _desired;       //!< last recommendation
+    bool _holdScaleDowns = false; //!< reload in flight: never shrink
 };
 
 /** Recalibration knobs. */

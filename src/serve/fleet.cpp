@@ -58,6 +58,7 @@ FleetConfig::validate() const
     capacity.validate();
     recalibration.validate();
     reload.validate();
+    hotTier.validate();
     if (scrub.enabled)
         scrub.validate();
     if (capacity.minInstances > instances) {
@@ -110,12 +111,23 @@ FleetStats::summary() const
     }
     if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
         reloadsStarted) {
-        std::snprintf(
+        const int n = std::snprintf(
             buf + len, sizeof(buf) - static_cast<std::size_t>(len),
             " | reloads %zu (committed %zu rolled-back %zu failed "
             "%zu) swaps %zu retired %zu",
             reloadsStarted, reloadsCommitted, reloadsRolledBack,
             reloadsFailed, versionSwaps, versionsRetired);
+        if (n > 0)
+            len += n;
+    }
+    if (len > 0 && static_cast<std::size_t>(len) < sizeof(buf) &&
+        tierHits + tierMisses > 0) {
+        std::snprintf(
+            buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+            " | tier hit %.1f%% promoted %llu demoted %llu",
+            100.0 * tierHitRate(),
+            static_cast<unsigned long long>(tierPromotions),
+            static_cast<unsigned long long>(tierDemotions));
     }
     return buf;
 }
@@ -162,6 +174,23 @@ TenantFleet::TenantFleet(const TenantRegistry& reg,
         }
     }
     _coresPerInstance = _servers.front().front()->numCores();
+
+    // Replicated hot tiers: one per (instance, tenant) replica, each
+    // pinned over that tenant's shared cold store — replicas learn
+    // their own hot sets (they serve the same stream here, but the
+    // layering matches a real fleet, where they would not).
+    if (_cfg.hotTier.budgetBytes > 0) {
+        _tiers.resize(_cfg.instances);
+        for (std::size_t i = 0; i < _cfg.instances; ++i) {
+            _tiers[i].reserve(n_t);
+            for (std::size_t k = 0; k < n_t; ++k) {
+                auto tier = std::make_shared<core::HotTierCache>(
+                    _stores[k], _cfg.hotTier);
+                _servers[i][k]->attachHotTier(tier);
+                _tiers[i].push_back(std::move(tier));
+            }
+        }
+    }
 
     // Boot version 1 per tenant: one shared full view over the
     // tenant's store, bitwise-equal to every replica's private view
@@ -238,6 +267,25 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
     if (schedule)
         reload.attachFaults(schedule);
 
+    // Hot tiers: wire every replica tier for commit-time retargeting
+    // and into its tenant's scrub sweep, and snapshot cumulative
+    // counters so the session reports deltas (tiers outlive serve()
+    // calls — a warm tier carries its hot set into the next session).
+    std::vector<core::HotTierStats> tier_base;
+    for (const auto& row : _tiers) {
+        for (const auto& t : row)
+            tier_base.push_back(t->stats());
+    }
+    if (!_tiers.empty()) {
+        for (std::size_t i = 0; i < n_i; ++i) {
+            for (std::size_t k = 0; k < n_t; ++k) {
+                reload.attachHotTier(i, k, _tiers[i][k].get());
+                if (_cfg.scrub.enabled)
+                    scrubbers[k]->attachHotTier(_tiers[i][k].get());
+            }
+        }
+    }
+
     // In-flight version pins, keyed by virtual completion time: a
     // dispatch's pin is released only when the clock passes its end,
     // so retiring versions outlive every batch that started on them.
@@ -291,6 +339,14 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             *_models[i][k] = core::DlrmModel(_reg.tenant(k).model,
                                              _stores[k], _cfg.seed);
         }
+        // Re-pin the replica's hot tiers against the committed
+        // version of record: the hot set survives the restart, its
+        // bytes re-copied (and checksums rebuilt) from the store the
+        // replica will actually serve.
+        if (!_tiers.empty()) {
+            for (std::size_t k = 0; k < n_t; ++k)
+                _tiers[i][k]->retarget(_versioned[k]->current()->store);
+        }
         std::fill(free_at[i].begin(), free_at[i].end(), now);
     };
     const auto beginRestart = [&](std::size_t i, double now) {
@@ -330,6 +386,11 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
     const auto reconcile = [&](double now) {
         if (!_cfg.capacity.elastic)
             return;
+        // Reload-aware capacity: while a canary/rollout is in flight,
+        // freeze the controller's scale-down hysteresis — a lull
+        // spanning the rollout must not bank credit and drain the
+        // canary (or an instance mid-swap) the moment a window closes.
+        ctrl.holdScaleDowns(reload.active());
         const std::size_t desired = ctrl.desiredInstances(now);
         fs.peakForecastLoad =
             std::max(fs.peakForecastLoad, ctrl.forecastLoad());
@@ -357,13 +418,16 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             ++fs.scaleUps;
             ++live;
         }
-        // Scale down: drain the highest-index Up instances.
+        // Scale down: drain the highest-index Up instances. Never
+        // while a reload is in flight — the highest-index Up instance
+        // may be the canary, and draining any instance mid-rollout
+        // churns the pin set the stage machinery is swapping.
         std::size_t up = 0;
         for (std::size_t i = 0; i < n_i; ++i) {
             if (state[i] == InstanceState::Up)
                 ++up;
         }
-        while (up > desired) {
+        while (up > desired && !reload.active()) {
             std::size_t pick = n_i;
             for (std::size_t i = n_i; i-- > 0;) {
                 if (state[i] == InstanceState::Up) {
@@ -376,6 +440,7 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             leaveUp(pick, now);
             beginDrainAt(pick, now);
             ++fs.scaleDowns;
+            fs.scaleDownAtMs.push_back(now);
             --up;
         }
     };
@@ -399,6 +464,20 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
             if (e.table < st.numTables() && e.row < st.rows() &&
                 e.bit < st.dim() * 32) {
                 st.flipBit(e.table, e.row, e.bit);
+            }
+        }
+        // The same fault hits any replica's pinned copy of the row —
+        // the tier's own checksums must catch it independently.
+        for (const auto& row_tiers : _tiers) {
+            for (const auto& t : row_tiers) {
+                if (e.table < t->coldStore()->numTables() &&
+                    e.row < t->coldStore()->rows() &&
+                    e.bit <
+                        t->coldStore()->table(0).storedRowBytes() * 8) {
+                    t->flipBit(e.table,
+                               static_cast<dlrmopt::RowIndex>(e.row),
+                               e.bit);
+                }
             }
         }
         reload.applyBitFlip(e.table, e.row, e.bit);
@@ -864,6 +943,24 @@ TenantFleet::serve(const std::vector<TenantWorkload>& work,
         fs.scrubCorruptions += s->corruptionsFound();
         fs.scrubRepairs += s->blocksRepaired();
         fs.scrubSweeps += s->sweepsCompleted();
+    }
+    {
+        std::size_t ti = 0;
+        for (const auto& row_tiers : _tiers) {
+            for (const auto& t : row_tiers) {
+                const core::HotTierStats s = t->stats();
+                const core::HotTierStats& b = tier_base[ti++];
+                fs.tierHits += s.hits - b.hits;
+                fs.tierMisses += s.misses - b.misses;
+                fs.tierPromotions += s.promotions - b.promotions;
+                fs.tierDemotions += s.demotions - b.demotions;
+                fs.tierCorruptions +=
+                    s.corruptionsFound - b.corruptionsFound;
+                fs.tierQuarantined +=
+                    s.blocksQuarantined - b.blocksQuarantined;
+                fs.tierRepaired += s.blocksRepaired - b.blocksRepaired;
+            }
+        }
     }
     fs.estimateError.resize(n_t);
     fs.estimateStale.resize(n_t);

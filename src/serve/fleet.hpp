@@ -72,6 +72,7 @@
 #include "core/batching.hpp"
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
+#include "core/hot_tier.hpp"
 #include "core/versioned.hpp"
 #include "sched/topology.hpp"
 #include "serve/batch_queue.hpp"
@@ -112,6 +113,12 @@ struct FleetConfig
     RecalibrationConfig recalibration; //!< per-tenant refits
     ScrubConfig scrub;                 //!< per-store background scrub
     ReloadConfig reload;               //!< staged-rollout knobs
+
+    /** Hot-tier knobs. budgetBytes > 0 gives every (instance, tenant)
+     *  replica its own pinned hot tier over the tenant's shared cold
+     *  store, sized from the byte budget; 0 (the default) serves
+     *  straight from the cold store. */
+    core::HotTierConfig hotTier;
 
     std::uint64_t seed = 42; //!< model-weight seed
 
@@ -160,6 +167,11 @@ struct FleetStats
     double instanceMsUp = 0.0;
 
     double peakForecastLoad = 0.0; //!< max windowed forecast seen
+
+    /** Virtual time of every controller-initiated drain, in order —
+     *  lets tests assert no scale-down landed inside a reload's
+     *  canary/rollout window. */
+    std::vector<double> scaleDownAtMs;
     /// @}
 
     /// @name Recalibration
@@ -180,6 +192,26 @@ struct FleetStats
     std::uint64_t scrubCorruptions = 0;
     std::uint64_t scrubRepairs = 0;
     std::uint64_t scrubSweeps = 0;
+    /// @}
+
+    /// @name Hot tier (session deltas summed over every replica tier)
+    /// @{
+    std::uint64_t tierHits = 0;
+    std::uint64_t tierMisses = 0;
+    std::uint64_t tierPromotions = 0;
+    std::uint64_t tierDemotions = 0;
+    std::uint64_t tierCorruptions = 0;
+    std::uint64_t tierQuarantined = 0;
+    std::uint64_t tierRepaired = 0;
+
+    /** Session hit rate over every tier probe, 0 with no tiers. */
+    double tierHitRate() const
+    {
+        const std::uint64_t n = tierHits + tierMisses;
+        return n == 0 ? 0.0
+                      : static_cast<double>(tierHits) /
+                            static_cast<double>(n);
+    }
     /// @}
 
     /// @name Live reload
@@ -257,6 +289,14 @@ class TenantFleet
         return *_versioned[k];
     }
 
+    /** Instance @p i's hot tier for tenant @p k; null when the fleet
+     *  runs without one (hotTier.budgetBytes == 0). */
+    const core::HotTierCache *hotTier(std::size_t i,
+                                      std::size_t k) const
+    {
+        return _tiers.empty() ? nullptr : _tiers[i][k].get();
+    }
+
     /**
      * Serves one session over per-tenant request streams (one
      * workload per registered tenant, same order). An optional
@@ -284,6 +324,10 @@ class TenantFleet
     /** [instance][tenant] replica views / execution engines. */
     std::vector<std::vector<std::unique_ptr<core::DlrmModel>>> _models;
     std::vector<std::vector<std::unique_ptr<Server>>> _servers;
+    /** [instance][tenant] replicated hot tiers over the tenant's
+     *  shared cold store; empty when hotTier.budgetBytes == 0. */
+    std::vector<std::vector<std::shared_ptr<core::HotTierCache>>>
+        _tiers;
     /** Per-tenant version holders; boot version is 1 over _stores. */
     std::vector<std::unique_ptr<core::VersionedModel>> _versioned;
 };

@@ -141,6 +141,8 @@ ReloadManager::ReloadManager(const ReloadConfig& cfg,
     _active.resize(n_t);
     _lastDoneMs.assign(n_t, 0.0);
     _scrubbers.assign(n_t, nullptr);
+    _tiers.assign(_instances,
+                  std::vector<core::HotTierCache *>(n_t, nullptr));
     _shadowDense.assign(n_t, nullptr);
     _shadowBatches.assign(n_t, nullptr);
 }
@@ -150,6 +152,13 @@ ReloadManager::attachScrubber(std::size_t tenant,
                               EmbeddingScrubber *scrub)
 {
     _scrubbers.at(tenant) = scrub;
+}
+
+void
+ReloadManager::attachHotTier(std::size_t instance, std::size_t tenant,
+                             core::HotTierCache *tier)
+{
+    _tiers.at(instance).at(tenant) = tier;
 }
 
 void
@@ -362,6 +371,14 @@ ReloadManager::step(std::size_t k, double now,
             setAllPins(k, a.next);
             if (_scrubbers[k] != nullptr)
                 _scrubbers[k]->retarget(a.next->store);
+            // Re-pin every instance's hot tier at the published
+            // store: the resident hot set carries over, its bytes
+            // now the new version's, so post-commit dispatches hit a
+            // warm tier instead of re-learning the hot set cold.
+            for (std::size_t i = 0; i < _instances; ++i) {
+                if (_tiers[i][k] != nullptr)
+                    _tiers[i][k]->retarget(a.next->store);
+            }
             finish(k, ReloadState::Committed, a.nextStageMs, "");
             return true;
         }

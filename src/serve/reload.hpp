@@ -192,6 +192,18 @@ class ReloadManager
     void attachScrubber(std::size_t tenant, EmbeddingScrubber *scrub);
 
     /**
+     * Wires instance @p instance's hot tier for tenant @p k
+     * (optional; borrowed). Until a rollout commits, dispatches
+     * pinned to the incoming version bypass the tier on their own
+     * (HotTierCache::matches fails against the new store); at commit
+     * the manager retargets every attached tier at the published
+     * store, re-pinning the resident hot set with the new version's
+     * bytes — the cache is warm from the first post-commit dispatch.
+     */
+    void attachHotTier(std::size_t instance, std::size_t tenant,
+                       core::HotTierCache *tier);
+
+    /**
      * Wires tenant @p k's workload as the shadow-validation replay
      * source: request r replays (*batches)[r % batches->size()]
      * against the first batchSize rows of @p dense. Without a source
@@ -307,6 +319,8 @@ class ReloadManager
     std::vector<double> _lastDoneMs;                //!< per tenant
 
     std::vector<EmbeddingScrubber *> _scrubbers;
+    /** [instance][tenant] hot tiers to retarget at commit. */
+    std::vector<std::vector<core::HotTierCache *>> _tiers;
     std::vector<const core::Tensor *> _shadowDense;
     std::vector<const std::vector<core::SparseBatch> *> _shadowBatches;
     const FaultSchedule *_faults = nullptr;

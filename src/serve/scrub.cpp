@@ -63,9 +63,22 @@ EmbeddingScrubber::advanceTo(double now_ms)
         for (std::size_t i = 0; i < _cfg.blocksPerTick; ++i)
             scrubOne();
         scrubbed += _cfg.blocksPerTick;
+        // Tier blocks ride the same tick, after the store's, so a
+        // flip that landed in both copies is repaired cold-first and
+        // the tier re-copy picks up clean bytes.
+        for (core::HotTierCache *t : _tiers)
+            scrubbed += t->scrubTick(_cfg.blocksPerTick);
         _nextTickMs += _cfg.intervalMs;
     }
     return scrubbed;
+}
+
+void
+EmbeddingScrubber::attachHotTier(core::HotTierCache *tier)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    if (tier != nullptr)
+        _tiers.push_back(tier);
 }
 
 void

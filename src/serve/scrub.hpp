@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/embedding_store.hpp"
+#include "core/hot_tier.hpp"
 
 namespace dlrmopt::serve
 {
@@ -101,6 +103,20 @@ class EmbeddingScrubber
      */
     void retarget(std::shared_ptr<core::EmbeddingStore> store);
 
+    /**
+     * Extends the sweep to a hot tier (borrowed; appends — a fleet
+     * attaches every replica's tier over this store): each tick
+     * additionally verifies cfg.blocksPerTick of each attached tier's
+     * checksum blocks through HotTierCache::scrubTick, which
+     * quarantines and repairs (re-copies from the cold store) what it
+     * finds. Store blocks are scrubbed first within a tick, so a flip
+     * that hit both copies is repaired cold-first and the tier repair
+     * picks up clean bytes. Tier coverage counters live in
+     * HotTierStats, store coverage in this scrubber's counters. A
+     * null tier is ignored.
+     */
+    void attachHotTier(core::HotTierCache *tier);
+
     /// @name Coverage counters
     /// @{
 
@@ -126,6 +142,7 @@ class EmbeddingScrubber
     ScrubConfig _cfg;
     std::shared_ptr<const core::EmbeddingStore> _store;
     std::shared_ptr<core::EmbeddingStore> _mutableStore; //!< aliases
+    std::vector<core::HotTierCache *> _tiers; //!< borrowed
     std::size_t _totalBlocks;
     std::size_t _cursor = 0;   //!< next block index in the sweep
     double _nextTickMs;

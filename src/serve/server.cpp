@@ -236,7 +236,7 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
                 if (fault)
                     fault->maybeThrow(req, attempt);
                 _model.embeddingForward(sparse, ws.embOut, eff_pf,
-                                        dtype);
+                                        dtype, _hotTier.get());
                 bottom_fut.get();
                 _model.interactionForward(ws.bottomOut, ws.embOut,
                                           sparse.batchSize,
@@ -256,7 +256,8 @@ Server::executeAttempt(std::size_t core, const core::Tensor& dense,
                    fault, dtype] {
                 if (fault)
                     fault->maybeThrow(req, attempt);
-                _model.forward(dense, sparse, ws, eff_pf, dtype);
+                _model.forward(dense, sparse, ws, eff_pf, dtype,
+                               _hotTier.get());
             });
         f.wait();
         f.get();
@@ -462,7 +463,8 @@ Server::executeBatchedAttempt(
     const auto t0 = Clock::now();
     auto f = _pool.submit(core, [this, &model, &dense, &merged, eff_pf,
                                  dtype] {
-        _batchWs.forward(model, dense, merged, eff_pf, dtype);
+        _batchWs.forward(model, dense, merged, eff_pf, dtype,
+                         _hotTier.get());
     });
     f.wait();
     f.get();
@@ -975,7 +977,8 @@ Server::serveStreamed(const core::Tensor& dense,
                                              : core::PrefetchSpec{};
                     staged = _batchWs.stageGather(_model, parts,
                                                   dense_parts, eff_pf,
-                                                  dtype);
+                                                  dtype,
+                                                  _hotTier.get());
                 });
             }
             const bool run_compute = pending.active &&
@@ -1036,7 +1039,8 @@ Server::serveStreamed(const core::Tensor& dense,
                         tier.prefetchEnabled ? pf
                                              : core::PrefetchSpec{};
                     const std::size_t s = _batchWs.stageGather(
-                        _model, parts, dense_parts, eff_pf, dtype);
+                        _model, parts, dense_parts, eff_pf, dtype,
+                        _hotTier.get());
                     _batchWs.stageCompute(_model, s);
                     staged = s;
                 });

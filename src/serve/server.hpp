@@ -378,6 +378,27 @@ class Server
     }
 
     /**
+     * Attaches (or detaches, with null) this instance's hot tier:
+     * every execution path probes it before gathering from the cold
+     * store. The tier is an instance-local placement optimization —
+     * predictions are bitwise-identical with or without it — and it
+     * guards itself (HotTierCache::matches) against dispatches pinned
+     * to a store it does not front, so attaching is safe under live
+     * reload: canary dispatches on the new version simply bypass it
+     * until the fleet retargets the tier at commit.
+     */
+    void attachHotTier(std::shared_ptr<core::HotTierCache> tier)
+    {
+        _hotTier = std::move(tier);
+    }
+
+    /** The attached hot tier (null when serving untiered). */
+    const std::shared_ptr<core::HotTierCache>& hotTier() const
+    {
+        return _hotTier;
+    }
+
+    /**
      * Backing-store fingerprint of the persistent batched workspace
      * (core::ForwardWorkspace::bufferFingerprint). Unchanged across
      * sessions means no dispatch reallocated or moved a buffer — the
@@ -431,6 +452,9 @@ class Server
      *  session and reused for every dispatch thereafter. */
     core::ForwardWorkspace _batchWs;
     std::vector<core::PredictionSpan> _splitScratch;
+
+    /** Instance-local hot tier, probed by every execution path. */
+    std::shared_ptr<core::HotTierCache> _hotTier;
 };
 
 } // namespace dlrmopt::serve

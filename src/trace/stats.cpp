@@ -1,7 +1,10 @@
 #include "trace/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace dlrmopt::traces
@@ -34,6 +37,139 @@ computeAccessStats(const std::vector<RowIndex>& stream)
     std::sort(st.sortedCounts.begin(), st.sortedCounts.end(),
               std::greater<>());
     return st;
+}
+
+AccessAccumulator::AccessAccumulator(std::size_t tables,
+                                     std::size_t rows)
+    : _tables(tables), _rows(rows)
+{
+    if (tables == 0 || rows == 0) {
+        throw std::invalid_argument(
+            "AccessAccumulator: need tables and rows >= 1");
+    }
+    _counts.assign(tables * rows, 0);
+}
+
+void
+AccessAccumulator::observe(std::size_t table, RowIndex row,
+                           std::uint64_t n)
+{
+    if (table >= _tables || row < 0 ||
+        static_cast<std::uint64_t>(row) >=
+            static_cast<std::uint64_t>(_rows)) {
+        throw std::out_of_range(
+            "AccessAccumulator: (" + std::to_string(table) + ", " +
+            std::to_string(row) + ") out of range");
+    }
+    _counts[table * _rows + static_cast<std::size_t>(row)] += n;
+    _total += n;
+}
+
+void
+AccessAccumulator::observeBatch(const core::SparseBatch& batch)
+{
+    if (batch.numTables() > _tables) {
+        throw std::out_of_range(
+            "AccessAccumulator: batch has more tables than the "
+            "accumulator");
+    }
+    for (std::size_t t = 0; t < batch.numTables(); ++t) {
+        for (RowIndex idx : batch.indices[t])
+            observe(t, idx);
+    }
+}
+
+std::uint64_t
+AccessAccumulator::count(std::size_t table, RowIndex row) const
+{
+    if (table >= _tables || row < 0 ||
+        static_cast<std::uint64_t>(row) >=
+            static_cast<std::uint64_t>(_rows)) {
+        throw std::out_of_range(
+            "AccessAccumulator: (" + std::to_string(table) + ", " +
+            std::to_string(row) + ") out of range");
+    }
+    return _counts[table * _rows + static_cast<std::size_t>(row)];
+}
+
+AccessStats
+AccessAccumulator::tableStats(std::size_t t) const
+{
+    if (t >= _tables) {
+        throw std::out_of_range(
+            "AccessAccumulator: table " + std::to_string(t) +
+            " out of range");
+    }
+    AccessStats st;
+    for (std::size_t r = 0; r < _rows; ++r) {
+        const std::uint64_t c = _counts[t * _rows + r];
+        if (c != 0) {
+            st.sortedCounts.push_back(c);
+            st.totalAccesses += c;
+        }
+    }
+    std::sort(st.sortedCounts.begin(), st.sortedCounts.end(),
+              std::greater<>());
+    return st;
+}
+
+std::vector<std::pair<std::size_t, RowIndex>>
+AccessAccumulator::hottest(std::size_t k) const
+{
+    struct Cand
+    {
+        std::uint64_t count;
+        std::size_t table;
+        std::size_t row;
+    };
+    std::vector<Cand> cands;
+    for (std::size_t t = 0; t < _tables; ++t) {
+        for (std::size_t r = 0; r < _rows; ++r) {
+            const std::uint64_t c = _counts[t * _rows + r];
+            if (c != 0)
+                cands.push_back(Cand{c, t, r});
+        }
+    }
+    const auto hotter = [](const Cand& a, const Cand& b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        if (a.table != b.table)
+            return a.table < b.table;
+        return a.row < b.row;
+    };
+    const std::size_t n = std::min(k, cands.size());
+    std::partial_sort(cands.begin(),
+                      cands.begin() + static_cast<std::ptrdiff_t>(n),
+                      cands.end(), hotter);
+    std::vector<std::pair<std::size_t, RowIndex>> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.emplace_back(cands[i].table,
+                         static_cast<RowIndex>(cands[i].row));
+    }
+    return out;
+}
+
+void
+AccessAccumulator::decay(double factor)
+{
+    if (!(factor >= 0.0) || !(factor <= 1.0)) {
+        throw std::invalid_argument(
+            "AccessAccumulator: decay factor must be in [0, 1]");
+    }
+    _total = 0;
+    for (std::uint64_t& c : _counts) {
+        c = static_cast<std::uint64_t>(
+            std::floor(static_cast<double>(c) * factor));
+        _total += c;
+    }
+}
+
+void
+AccessAccumulator::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _total = 0;
 }
 
 } // namespace dlrmopt::traces

@@ -7,8 +7,10 @@
 #define DLRMOPT_TRACE_STATS_HPP
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "core/sparse_input.hpp"
 #include "core/types.hpp"
 
 namespace dlrmopt::traces
@@ -47,6 +49,70 @@ struct AccessStats
  * Computes access statistics over an index stream.
  */
 AccessStats computeAccessStats(const std::vector<RowIndex>& stream);
+
+/**
+ * Incremental per-(table, row) access-count accumulator fed from
+ * *served* batches — the online flavor of computeAccessStats, and the
+ * measurement feeding hot-tier admission (core::HotTierCache keeps
+ * its own counters on the serving path; this accumulator is the
+ * offline/tooling view: feed it a session's batches, then read per-
+ * table Fig. 5 stats or the globally hottest rows to size and warm a
+ * tier before serving).
+ *
+ * Dense fixed geometry (tables x rows of uint64), so observation is
+ * a single array increment — cheap enough to ride a dispatch loop.
+ * Not thread-safe; one accumulator per observing thread.
+ */
+class AccessAccumulator
+{
+  public:
+    /** @throws std::invalid_argument on zero tables or rows. */
+    AccessAccumulator(std::size_t tables, std::size_t rows);
+
+    /** Counts @p n accesses of (@p table, @p row).
+     *  @throws std::out_of_range on out-of-range coordinates. */
+    void observe(std::size_t table, RowIndex row, std::uint64_t n = 1);
+
+    /** Counts every lookup index of @p batch (table t's stream is
+     *  batch.indices[t]).
+     *  @throws std::out_of_range when the batch has more tables than
+     *          the accumulator or an index is out of range. */
+    void observeBatch(const core::SparseBatch& batch);
+
+    std::size_t numTables() const { return _tables; }
+    std::size_t rows() const { return _rows; }
+
+    std::uint64_t count(std::size_t table, RowIndex row) const;
+    std::uint64_t totalAccesses() const { return _total; }
+
+    /** Snapshot of table @p t's Fig. 5 stats (sorted counts over the
+     *  rows touched so far). */
+    AccessStats tableStats(std::size_t t) const;
+
+    /**
+     * The @p k globally hottest (table, row) pairs, count descending
+     * with (table, row) ascending as the deterministic tie-break —
+     * exactly the admission order core::HotTierCache promotes in, so
+     * replaying these into HotTierCache::recordAccess pre-warms the
+     * tier with the set an online epoch would have picked.
+     */
+    std::vector<std::pair<std::size_t, RowIndex>>
+    hottest(std::size_t k) const;
+
+    /** Halves-style exponential decay: every count is scaled by
+     *  @p factor in [0, 1] (ages out a rotated hot set, mirroring the
+     *  tier's per-epoch decay).
+     *  @throws std::invalid_argument on factor outside [0, 1]. */
+    void decay(double factor);
+
+    void reset();
+
+  private:
+    std::size_t _tables;
+    std::size_t _rows;
+    std::vector<std::uint64_t> _counts; //!< [table * rows + row]
+    std::uint64_t _total = 0;
+};
 
 } // namespace dlrmopt::traces
 

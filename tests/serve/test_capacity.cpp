@@ -264,4 +264,38 @@ TEST(Recalibrator, FlagsAStaleModelBeforeTheRefitLands)
     EXPECT_TRUE(r.stale());
 }
 
+
+TEST(CapacityController, HoldScaleDownsFreezesHysteresisDuringReload)
+{
+    CapacityConfig c;
+    c.minInstances = 1;
+    c.windowMs = 10.0;
+    c.forecastDecay = 0.0;
+    c.targetUtilization = 0.5;
+    c.downLag = 3;
+    CapacityController ctrl(c, 8, 4);
+
+    // Load one busy window up to 3 instances.
+    for (int i = 0; i < 6; ++i)
+        ctrl.observeArrival(static_cast<double>(i), 10.0);
+    ASSERT_EQ(ctrl.desiredInstances(10.0), 3u);
+
+    // A reload starts; the lull spans it. Held, the controller must
+    // never bank hysteresis credit: four idle windows in a row and
+    // the desired count still does not move.
+    ctrl.holdScaleDowns(true);
+    EXPECT_TRUE(ctrl.scaleDownsHeld());
+    for (double t = 20.0; t <= 50.0; t += 10.0)
+        EXPECT_EQ(ctrl.desiredInstances(t), 3u);
+
+    // Release the hold at commit: the streak restarts from zero, so
+    // the scale-down still needs downLag *fresh* idle windows...
+    ctrl.holdScaleDowns(false);
+    EXPECT_FALSE(ctrl.scaleDownsHeld());
+    EXPECT_EQ(ctrl.desiredInstances(60.0), 3u);
+    EXPECT_EQ(ctrl.desiredInstances(70.0), 3u);
+    // ...and only then shrinks.
+    EXPECT_EQ(ctrl.desiredInstances(80.0), 1u);
+}
+
 } // namespace

@@ -441,4 +441,105 @@ TEST_F(FleetTest, RejectsBadShapesAndInputs)
     EXPECT_THROW(fleet.serve({no_batches}), std::invalid_argument);
 }
 
+
+TEST_F(FleetTest, HotTierReplicasServeRepeatedLookups)
+{
+    TenantRegistry reg;
+    reg.add(makeTenant("ranking", 4096, 20.0, 1.0));
+    reg.add(makeTenant("retrieval", 2048, 30.0, 1.0));
+
+    FleetConfig cfg = baseConfig();
+    cfg.hotTier.budgetBytes = 256 * 1024;
+    cfg.hotTier.minAccesses = 1;
+    cfg.hotTier.epochLookups = 200;
+    TenantFleet fleet(reg, topo, cfg);
+
+    // Every (instance, tenant) replica got its own tier over that
+    // tenant's shared cold store.
+    for (std::size_t i = 0; i < fleet.numInstances(); ++i) {
+        for (std::size_t k = 0; k < fleet.numTenants(); ++k) {
+            const core::HotTierCache *t = fleet.hotTier(i, k);
+            ASSERT_NE(t, nullptr);
+            EXPECT_TRUE(t->matches(fleet.currentStore(k)));
+            EXPECT_GT(t->capacityRows(), 0u);
+        }
+    }
+
+    std::vector<TenantWorkload> work;
+    work.push_back(makeWork(reg.tenant(0).model, 5,
+                            evenArrivals(40, 0.5)));
+    work.push_back(makeWork(reg.tenant(1).model, 6,
+                            evenArrivals(40, 0.5)));
+    const FleetStats fs = fleet.serve(work);
+
+    EXPECT_TRUE(fs.conserved());
+    // The request streams cycle 8 batches, so served lookups repeat;
+    // online epochs must promote them and later dispatches must hit.
+    EXPECT_GT(fs.tierHits + fs.tierMisses, 0u);
+    EXPECT_GT(fs.tierPromotions, 0u);
+    EXPECT_GT(fs.tierHits, 0u);
+    EXPECT_GT(fs.tierHitRate(), 0.0);
+
+    // Without a budget there are no tiers at all.
+    TenantFleet bare(reg, topo, baseConfig());
+    EXPECT_EQ(bare.hotTier(0, 0), nullptr);
+}
+
+TEST_F(FleetTest, ElasticScaleDownsHoldDuringACanaryRollout)
+{
+    TenantRegistry reg;
+    reg.add(makeTenant("ranking", 2048, 50.0, 1.0));
+
+    FleetConfig cfg = baseConfig();
+    cfg.instances = 3;
+    cfg.capacity.elastic = true;
+    cfg.capacity.minInstances = 1;
+    cfg.capacity.windowMs = 10.0;
+    cfg.capacity.downLag = 2;
+    cfg.capacity.forecastDecay = 0.0;
+    cfg.reload.loadMs = 2.0;
+    cfg.reload.shadowRequests = 2;
+    cfg.reload.shadowDriftBudget = 1.0;
+    cfg.reload.canaryWindowMs = 60.0;
+    cfg.reload.stageHoldMs = 5.0;
+    TenantFleet fleet(reg, topo, cfg);
+
+    // A burst that scales the fleet up, then a lull that begins just
+    // after the push lands — exactly the window where banked
+    // hysteresis credit would otherwise drain the canary mid-rollout.
+    std::vector<double> arrivals = evenArrivals(160, 0.25);
+    for (double t = 48.0; t <= 160.0; t += 8.0)
+        arrivals.push_back(t);
+    std::vector<TenantWorkload> work;
+    work.push_back(
+        makeWork(reg.tenant(0).model, 5, std::move(arrivals)));
+
+    std::vector<ReloadEvent> reloads(1);
+    reloads[0].atMs = 45.0;
+    reloads[0].tenant = 0;
+    reloads[0].newVersion = 2;
+    reloads[0].weightSeed = 99;
+
+    const FleetStats fs = fleet.serve(
+        work, core::PrefetchSpec::paperDefault(), nullptr, reloads);
+
+    EXPECT_TRUE(fs.conserved());
+    ASSERT_EQ(fs.reloadsStarted, 1u);
+    ASSERT_EQ(fs.reloadsCommitted, 1u);
+    ASSERT_EQ(fs.reloadOutcomes.size(), 1u);
+    const ReloadOutcome& ro = fs.reloadOutcomes[0];
+
+    // No controller-initiated drain may land inside the reload's
+    // canary/rollout window: a drained instance could be the canary
+    // (or mid-swap), churning the pin set the stages are walking.
+    for (const double t : fs.scaleDownAtMs) {
+        EXPECT_TRUE(t < ro.startedMs || t > ro.finishedMs)
+            << "scale-down at " << t << " inside reload ["
+            << ro.startedMs << ", " << ro.finishedMs << "]";
+    }
+    // The lull outlives the rollout, so the shrink the hold deferred
+    // does eventually happen — the hold delays, never cancels.
+    EXPECT_GT(fs.scaleDowns, 0u);
+}
+
 } // namespace

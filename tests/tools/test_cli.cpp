@@ -508,4 +508,98 @@ TEST(CliRun, SnapshotRejectsBadInvocations)
               std::string::npos);
 }
 
+
+TEST(CliRun, CacheReportsPerClassHitRatesAndTotals)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"cache", "--model", "rm1", "--max-bytes",
+                   "2000000", "--cache-budget", "262144",
+                   "--batch-size", "4", "--warm-batches", "4",
+                   "--batches", "6", "--seed", "3"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("tier budget"), std::string::npos);
+    EXPECT_NE(s.find("class"), std::string::npos);
+    EXPECT_NE(s.find("High"), std::string::npos);
+    EXPECT_NE(s.find("Medium"), std::string::npos);
+    EXPECT_NE(s.find("Low"), std::string::npos);
+    EXPECT_NE(s.find("total: hit "), std::string::npos);
+    EXPECT_NE(s.find("resident"), std::string::npos);
+}
+
+TEST(CliRun, CacheRunsAtEveryStoragePrecision)
+{
+    for (const char *dt : {"fp32", "bf16", "int8"}) {
+        std::ostringstream out, err;
+        const int rc = run(parse({"cache", "--model", "rm1",
+                                  "--max-bytes", "2000000",
+                                  "--cache-budget", "131072",
+                                  "--batch-size", "4",
+                                  "--warm-batches", "2", "--batches",
+                                  "4", "--dtype", dt}),
+                           out, err);
+        EXPECT_EQ(rc, 0) << dt << ": " << err.str();
+        EXPECT_NE(out.str().find(dt), std::string::npos) << dt;
+    }
+}
+
+TEST(CliRun, CacheRejectsBadOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_NE(run(parse({"cache", "--batches", "0"}), out, err), 0);
+    EXPECT_NE(
+        run(parse({"cache", "--cache-min-accesses", "0"}), out, err),
+        0);
+    EXPECT_NE(run(parse({"cache", "--dtype", "fp64"}), out, err), 0);
+}
+
+TEST(CliRun, ServeAttachesAHotTierFromCacheBudget)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"serve", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "40",
+                   "--arrival-ms", "2.0", "--sla", "25", "--cores",
+                   "2", "--cache-budget", "262144",
+                   "--cache-epoch-lookups", "200",
+                   "--cache-min-accesses", "1", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("hot tier"), std::string::npos);
+    EXPECT_NE(s.find("hit "), std::string::npos);
+    EXPECT_NE(s.find("promoted"), std::string::npos);
+
+    // Without the option the session reports no tier at all.
+    std::ostringstream bare, err2;
+    ASSERT_EQ(run(parse({"serve", "--model", "rm1", "--max-bytes",
+                         "2000000", "--batch-size", "4", "--requests",
+                         "20", "--arrival-ms", "2.0", "--cores", "2",
+                         "--seed", "5"}),
+                  bare, err2),
+              0)
+        << err2.str();
+    EXPECT_EQ(bare.str().find("hot tier"), std::string::npos);
+}
+
+TEST(CliRun, BatchAttachesAHotTierFromCacheBudget)
+{
+    std::ostringstream out, err;
+    const int rc =
+        run(parse({"batch", "--model", "rm1", "--max-bytes",
+                   "2000000", "--batch-size", "4", "--requests", "40",
+                   "--arrival-ms", "1.0", "--sla", "25", "--cores",
+                   "2", "--max-requests", "4", "--linger-ms", "1.0",
+                   "--cache-budget", "262144",
+                   "--cache-epoch-lookups", "200",
+                   "--cache-min-accesses", "1", "--seed", "5"}),
+            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    const std::string s = out.str();
+    EXPECT_NE(s.find("hot tier"), std::string::npos);
+    EXPECT_NE(s.find("hit "), std::string::npos);
+}
+
 } // namespace

@@ -13,6 +13,7 @@ namespace
 
 using namespace dlrmopt::traces;
 using dlrmopt::RowIndex;
+namespace core = dlrmopt::core;
 
 TEST(AccessStats, EmptyStream)
 {
@@ -100,6 +101,110 @@ TEST(AccessStats, SortedCountsSumToTotal)
         sum += v;
     EXPECT_EQ(sum, st.totalAccesses);
     EXPECT_EQ(st.totalAccesses, stream.size());
+}
+
+
+TEST(AccessAccumulator, RejectsBadShapesAndCoordinates)
+{
+    EXPECT_THROW(AccessAccumulator(0, 8), std::invalid_argument);
+    EXPECT_THROW(AccessAccumulator(2, 0), std::invalid_argument);
+    AccessAccumulator acc(2, 8);
+    EXPECT_THROW(acc.observe(2, 0), std::out_of_range);
+    EXPECT_THROW(acc.observe(0, 8), std::out_of_range);
+    EXPECT_THROW(acc.count(2, 0), std::out_of_range);
+    EXPECT_THROW(acc.decay(1.5), std::invalid_argument);
+    EXPECT_THROW(acc.decay(-0.1), std::invalid_argument);
+}
+
+TEST(AccessAccumulator, ObserveCountsAndTableStats)
+{
+    AccessAccumulator acc(2, 16);
+    acc.observe(0, 3, 5);
+    acc.observe(0, 3);
+    acc.observe(0, 7, 2);
+    acc.observe(1, 7, 9);
+    EXPECT_EQ(acc.count(0, 3), 6u);
+    EXPECT_EQ(acc.count(0, 7), 2u);
+    EXPECT_EQ(acc.count(1, 7), 9u);
+    EXPECT_EQ(acc.count(1, 3), 0u);
+    EXPECT_EQ(acc.totalAccesses(), 17u);
+
+    const AccessStats t0 = acc.tableStats(0);
+    ASSERT_EQ(t0.sortedCounts.size(), 2u);
+    EXPECT_EQ(t0.sortedCounts[0], 6u);
+    EXPECT_EQ(t0.sortedCounts[1], 2u);
+    EXPECT_EQ(t0.totalAccesses, 8u);
+}
+
+TEST(AccessAccumulator, ObserveBatchMatchesPerIndexObservation)
+{
+    core::ModelConfig m;
+    m.name = "acc_tiny";
+    m.cls = core::ModelClass::RMC2;
+    m.rows = 64;
+    m.dim = 8;
+    m.tables = 2;
+    m.lookups = 4;
+    m.bottomMlp = {8, 8};
+    m.topMlp = {4, 1};
+    TraceConfig tc = TraceConfig::forModel(m, Hotness::High, 11);
+    tc.batchSize = 4;
+    TraceGenerator gen(tc);
+    const core::SparseBatch batch = gen.batch(0);
+
+    AccessAccumulator a(2, 64), b(2, 64);
+    a.observeBatch(batch);
+    for (std::size_t t = 0; t < batch.indices.size(); ++t) {
+        for (const RowIndex idx : batch.indices[t])
+            b.observe(t, idx);
+    }
+    for (std::size_t t = 0; t < 2; ++t) {
+        for (std::size_t r = 0; r < 64; ++r) {
+            EXPECT_EQ(a.count(t, static_cast<RowIndex>(r)),
+                      b.count(t, static_cast<RowIndex>(r)));
+        }
+    }
+    EXPECT_EQ(a.totalAccesses(), b.totalAccesses());
+
+    // A batch wider than the accumulator is rejected.
+    AccessAccumulator narrow(1, 64);
+    EXPECT_THROW(narrow.observeBatch(batch), std::out_of_range);
+}
+
+TEST(AccessAccumulator, HottestOrdersByCountWithDeterministicTieBreak)
+{
+    AccessAccumulator acc(2, 8);
+    acc.observe(0, 1, 5);
+    acc.observe(1, 2, 9);
+    acc.observe(0, 4, 5); // ties (0,1): (0,1) must come first
+    acc.observe(1, 0, 5); // ties too: table 1 after table 0
+
+    const auto top = acc.hottest(4);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0], (std::pair<std::size_t, RowIndex>{1, 2}));
+    EXPECT_EQ(top[1], (std::pair<std::size_t, RowIndex>{0, 1}));
+    EXPECT_EQ(top[2], (std::pair<std::size_t, RowIndex>{0, 4}));
+    EXPECT_EQ(top[3], (std::pair<std::size_t, RowIndex>{1, 0}));
+
+    // k beyond the touched set returns only touched rows.
+    EXPECT_EQ(acc.hottest(100).size(), 4u);
+}
+
+TEST(AccessAccumulator, DecayAgesAndResetClears)
+{
+    AccessAccumulator acc(1, 4);
+    acc.observe(0, 0, 8);
+    acc.observe(0, 1, 3);
+    acc.decay(0.5);
+    EXPECT_EQ(acc.count(0, 0), 4u);
+    EXPECT_EQ(acc.count(0, 1), 1u); // floor(3 * 0.5)
+    acc.decay(0.0);
+    EXPECT_EQ(acc.count(0, 0), 0u);
+    acc.observe(0, 2, 2);
+    acc.reset();
+    EXPECT_EQ(acc.count(0, 2), 0u);
+    EXPECT_EQ(acc.totalAccesses(), 0u);
+    EXPECT_TRUE(acc.hottest(4).empty());
 }
 
 } // namespace

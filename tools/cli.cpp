@@ -12,6 +12,7 @@
 #include "core/dlrm.hpp"
 #include "core/embedding_store.hpp"
 #include "core/errors.hpp"
+#include "core/hot_tier.hpp"
 #include "core/quant.hpp"
 #include "core/snapshot.hpp"
 #include "core/versioned.hpp"
@@ -200,6 +201,47 @@ attachQuantized(core::DlrmModel& model, const core::ModelConfig& cfg,
         return;
     model.attachQuantizedStore(
         core::EmbeddingStore::create(cfg, seed, 256, dtype));
+}
+
+/**
+ * Builds the hot tier the shared --cache-budget option asks for (null
+ * when the option is absent or zero): a HotTierCache over the store
+ * the session's serving precision reads, sized from the byte budget.
+ */
+std::shared_ptr<core::HotTierCache>
+makeHotTier(const core::DlrmModel& model, core::EmbDtype dtype,
+            const ParsedArgs& args)
+{
+    const double budget = args.getDouble("cache-budget", 0.0);
+    if (!(budget > 0.0))
+        return nullptr;
+    core::HotTierConfig hc;
+    hc.budgetBytes = static_cast<std::size_t>(budget);
+    hc.epochLookups = static_cast<std::size_t>(
+        args.getInt("cache-epoch-lookups", 20'000));
+    hc.minAccesses = static_cast<std::uint32_t>(
+        args.getInt("cache-min-accesses", 2));
+    hc.validate();
+    return std::make_shared<core::HotTierCache>(
+        model.sharedStoreFor(dtype), hc);
+}
+
+/** One-line tier report ("hit 93.2% | resident 4096/4096 rows ..."). */
+std::string
+tierSummary(const core::HotTierCache& tier)
+{
+    const core::HotTierStats s = tier.stats();
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "hit %.1f%% | resident %zu/%zu rows (%.1f%% of budget) | "
+        "promoted %llu demoted %llu epochs %llu",
+        100.0 * s.hitRate(), s.residentRows, s.capacityRows,
+        100.0 * s.occupancy(),
+        static_cast<unsigned long long>(s.promotions),
+        static_cast<unsigned long long>(s.demotions),
+        static_cast<unsigned long long>(s.epochs));
+    return buf;
 }
 
 void
@@ -577,16 +619,23 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
 
     const auto arrivals =
         serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
+    const auto hot_tier = makeHotTier(model, scfg.dtype, args);
 
     out << cfg_model.name << " scaled to "
         << model.embeddingBytes() / (1u << 20) << " MB embeddings, "
         << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
         << "interarrival " << arrival_ms << " ms, precision "
         << core::embDtypeName(scfg.dtype) << "\n";
+    if (hot_tier) {
+        out << "hot tier: " << hot_tier->capacityRows()
+            << " row budget\n";
+    }
 
     const auto topo = sched::Topology::synthetic(cores, 2);
     {
         serve::Server srv(model, topo, scfg, &inj);
+        if (hot_tier)
+            srv.attachHotTier(hot_tier);
         const auto st = srv.serve(dense, batches, arrivals);
         out << "baseline    " << st.summary() << "\n";
     }
@@ -594,9 +643,13 @@ cmdServe(const ParsedArgs& args, std::ostream& out)
         serve::ServerConfig dcfg = scfg;
         dcfg.degrade.enabled = true;
         serve::Server srv(model, topo, dcfg, &inj);
+        if (hot_tier)
+            srv.attachHotTier(hot_tier);
         const auto st = srv.serve(dense, batches, arrivals);
         out << "degradation " << st.summary() << "\n";
     }
+    if (hot_tier)
+        out << "hot tier    " << tierSummary(*hot_tier) << "\n";
     return 0;
 }
 
@@ -774,6 +827,7 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
     const auto arrivals =
         serve::PoissonLoadGen(arrival_ms, seed).arrivals(requests);
     const auto topo = sched::Topology::synthetic(cores, 2);
+    const auto hot_tier = makeHotTier(model, scfg.dtype, args);
 
     char mb[96];
     std::snprintf(mb, sizeof(mb),
@@ -784,6 +838,10 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
         << cores << " core(s), SLA " << scfg.slaMs << " ms, mean "
         << "interarrival " << arrival_ms << " ms, precision "
         << core::embDtypeName(scfg.dtype) << ", " << mb << "\n";
+    if (hot_tier) {
+        out << "hot tier: " << hot_tier->capacityRows()
+            << " row budget\n";
+    }
 
     const auto report = [&](const std::string& label,
                             const serve::ServeStats& st) {
@@ -802,6 +860,8 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
 
     {
         serve::Server srv(model, topo, scfg);
+        if (hot_tier)
+            srv.attachHotTier(hot_tier);
         report("unbatched       ",
                srv.serve(dense, batches, arrivals));
     }
@@ -813,6 +873,8 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
          {0.0, args.getDouble("linger-ms", 1.0)}) {
         bcfg.batching.maxLingerMs = linger;
         serve::Server srv(model, topo, bcfg);
+        if (hot_tier)
+            srv.attachHotTier(hot_tier);
         char label[48];
         std::snprintf(label, sizeof(label),
                       "batch %zu @ %.1fms ",
@@ -829,12 +891,123 @@ cmdBatch(const ParsedArgs& args, std::ostream& out)
         pcfg.gatherFraction =
             args.getDouble("gather-fraction", 0.5);
         serve::Server srv(model, topo, pcfg);
+        if (hot_tier)
+            srv.attachHotTier(hot_tier);
         char label[48];
         std::snprintf(label, sizeof(label),
                       "streamed %zu g=%.2f ",
                       pcfg.batching.maxRequests, pcfg.gatherFraction);
         report(label, srv.serve(dense, batches, arrivals));
     }
+    if (hot_tier)
+        out << "hot tier        " << tierSummary(*hot_tier) << "\n";
+    return 0;
+}
+
+int
+cmdCache(const ParsedArgs& args, std::ostream& out)
+{
+    // Hot-tier inspection: builds a scaled Table-2 model, sizes a
+    // pinned hot tier from --cache-budget over the chosen precision's
+    // store, and for each hotness class (a) measures the class's row
+    // popularity from real generated batches into the trace-side
+    // AccessAccumulator, (b) replays those counts into the tier's
+    // admission counters and runs a promotion epoch, then (c) serves
+    // batches through the tiered embedding stage and reports the
+    // class's hit rate next to occupancy and promotion/demotion
+    // totals. The per-class loop doubles as a drift demo: each class
+    // rotates the hot set and the epoch re-converges the tier.
+    const auto base = core::modelByName(args.get("model", "rm2_1"));
+    const double max_bytes =
+        args.getDouble("max-bytes", 16.0 * (1u << 20));
+    const auto cfg_model = base.scaledToFit(max_bytes);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const core::EmbDtype dtype = parseDtypeOption(args);
+
+    core::DlrmModel model(cfg_model, seed);
+    attachQuantized(model, cfg_model, seed, dtype);
+    const auto& store = model.sharedStoreFor(dtype);
+
+    core::HotTierConfig hc;
+    hc.budgetBytes = static_cast<std::size_t>(
+        args.getDouble("cache-budget", 4.0 * (1u << 20)));
+    hc.minAccesses = static_cast<std::uint32_t>(
+        args.getInt("cache-min-accesses", 2));
+    hc.validate();
+    core::HotTierCache tier(store, hc);
+
+    const std::size_t batch_size = static_cast<std::size_t>(
+        args.getInt("batch-size", 16));
+    const std::size_t warm_n =
+        static_cast<std::size_t>(args.getInt("warm-batches", 8));
+    const std::size_t measure_n =
+        static_cast<std::size_t>(args.getInt("batches", 16));
+    if (measure_n == 0)
+        throw std::invalid_argument("--batches must be >= 1");
+
+    char buf[224];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s scaled to %zu MB embeddings (%s), tier budget %.1f MB = "
+        "%zu rows (%zu-byte slots, %zu blocks)\n",
+        cfg_model.name.c_str(),
+        static_cast<std::size_t>(store->bytes() / (1u << 20)),
+        core::embDtypeName(dtype).c_str(),
+        static_cast<double>(hc.budgetBytes) / (1u << 20),
+        tier.capacityRows(), tier.slotStride(), tier.numBlocks());
+    out << buf;
+
+    core::Tensor emb_out(cfg_model.tables,
+                         batch_size * cfg_model.dim);
+    const core::PrefetchSpec pf = core::PrefetchSpec::paperDefault();
+
+    out << "class    hit rate   resident        promoted  demoted\n";
+    for (const auto h :
+         {traces::Hotness::High, traces::Hotness::Medium,
+          traces::Hotness::Low}) {
+        traces::TraceConfig tc =
+            traces::TraceConfig::forModel(cfg_model, h, seed);
+        tc.batchSize = batch_size;
+        traces::TraceGenerator gen(tc);
+
+        // (a) + (b): measured hotness feeds admission, one epoch
+        // promotes — the offline mirror of the serving path's online
+        // counters.
+        traces::AccessAccumulator acc(store->numTables(),
+                                      store->rows());
+        for (std::size_t b = 0; b < warm_n; ++b)
+            acc.observeBatch(gen.batch(b));
+        for (const auto& [t, row] : acc.hottest(tier.capacityRows())) {
+            tier.recordAccess(t, row,
+                              static_cast<std::uint32_t>(
+                                  acc.count(t, row)));
+        }
+        tier.endEpoch();
+
+        // (c): serve through the tiered embedding stage.
+        const core::HotTierStats before = tier.stats();
+        for (std::size_t b = 0; b < measure_n; ++b) {
+            model.embeddingForward(gen.batch(warm_n + b), emb_out, pf,
+                                   dtype, &tier);
+        }
+        const core::HotTierStats after = tier.stats();
+        const std::uint64_t hits = after.hits - before.hits;
+        const std::uint64_t misses = after.misses - before.misses;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-8s %7.1f%%   %6zu/%zu    %8llu %8llu\n",
+            traces::hotnessName(h).c_str(),
+            hits + misses
+                ? 100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses)
+                : 0.0,
+            after.residentRows, after.capacityRows,
+            static_cast<unsigned long long>(after.promotions),
+            static_cast<unsigned long long>(after.demotions));
+        out << buf;
+    }
+    out << "total: " << tierSummary(tier) << "\n";
     return 0;
 }
 
@@ -1257,6 +1430,8 @@ usage()
            "serving over one shared store\n"
            "  batch [options]             unbatched vs deadline-aware "
            "request coalescing\n"
+           "  cache [options]             hot-tier hit rates by "
+           "hotness class\n"
            "  chaos [options]             replay scripted fault "
            "timelines with/without resilience\n"
            "  tenants [options]           multi-tenant fleet with "
@@ -1303,6 +1478,14 @@ usage()
            "  --service-base-ms X --service-per-sample-ms X\n"
            "  --streamed (add the stage-pipelined dispatch row)\n"
            "  --gather-fraction F (stage split for --streamed)\n"
+           "\n"
+           "hot-tier options (serve, batch, cache):\n"
+           "  --cache-budget BYTES (pinned hot-tier byte budget; 0 = "
+           "off,\n"
+           "                        cache defaults to 4 MiB)\n"
+           "  --cache-epoch-lookups N --cache-min-accesses N\n"
+           "  cache additionally takes --warm-batches N --batches N "
+           "--batch-size N\n"
            "\n"
            "chaos options (plus the router options above):\n"
            "  --scenario all|crash-storm|rolling-corruption|"
@@ -1353,6 +1536,8 @@ run(const ParsedArgs& args, std::ostream& out, std::ostream& err)
             return cmdRouter(args, out);
         if (args.command == "batch")
             return cmdBatch(args, out);
+        if (args.command == "cache")
+            return cmdCache(args, out);
         if (args.command == "chaos")
             return cmdChaos(args, out);
         if (args.command == "tenants")
